@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Ablation: how the disk-level power-management scheme interacts
+ * with cache-level power awareness. Crosses the DPM regimes
+ * (always-on, adaptive timeout, 2-competitive threshold walk,
+ * off-line Oracle) with LRU and PA-LRU on the OLTP workload.
+ *
+ * Expected shape: without any DPM the cache policy barely matters
+ * for energy; the better the DPM, the bigger PA-LRU's edge — cache
+ * power-awareness and disk power management are complements, which
+ * is the paper's core premise.
+ */
+
+#include <iostream>
+
+#include "core/experiment.hh"
+#include "trace/workloads.hh"
+#include "util/table.hh"
+
+using namespace pacache;
+
+namespace
+{
+
+ExperimentResult
+run(const Trace &trace, PolicyKind policy, DpmChoice dpm)
+{
+    ExperimentConfig cfg;
+    cfg.policy = policy;
+    cfg.dpm = dpm;
+    cfg.cacheBlocks = 1024;
+    cfg.pa.epochLength = 900;
+    return runExperiment(trace, cfg);
+}
+
+const char *
+dpmName(DpmChoice d)
+{
+    switch (d) {
+      case DpmChoice::AlwaysOn: return "always-on";
+      case DpmChoice::Adaptive: return "adaptive";
+      case DpmChoice::Practical: return "practical";
+      case DpmChoice::Oracle: return "oracle";
+    }
+    return "?";
+}
+
+} // namespace
+
+int
+main()
+{
+    OltpParams params;
+    params.duration = 3600;
+    const Trace trace = makeOltpTrace(params);
+
+    std::cout << "=== Ablation: DPM regime x cache policy (OLTP) "
+                 "===\n\n";
+    TextTable t;
+    t.header({"DPM", "LRU (J)", "PA-LRU (J)", "PA-LRU saving",
+              "LRU resp (ms)", "PA-LRU resp (ms)"});
+    for (DpmChoice dpm :
+         {DpmChoice::AlwaysOn, DpmChoice::Adaptive, DpmChoice::Practical,
+          DpmChoice::Oracle}) {
+        const auto lru = run(trace, PolicyKind::LRU, dpm);
+        const auto pa = run(trace, PolicyKind::PALRU, dpm);
+        t.row({dpmName(dpm), fmt(lru.totalEnergy, 0),
+               fmt(pa.totalEnergy, 0),
+               fmtPct(1.0 - pa.totalEnergy / lru.totalEnergy, 1),
+               fmt(lru.responses.mean() * 1000.0, 2),
+               fmt(pa.responses.mean() * 1000.0, 2)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nOracle response times equal the always-on ones "
+                 "(just-in-time spin-up);\nadaptive vs practical "
+                 "trades a simpler controller for slightly worse "
+                 "energy.\n";
+    return 0;
+}

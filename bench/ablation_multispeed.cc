@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Ablation: the two multi-speed service disciplines the paper
+ * discusses (Section 2.1). Option 1 (Carrera & Bianchini / DRPM):
+ * serve requests at whatever speed the platters are at — slower
+ * service, no spin-up. Option 2 (the paper's choice): always spin up
+ * to full speed first — fast service, expensive transitions.
+ *
+ * Crossed with LRU and PA-LRU on the OLTP workload under Practical
+ * DPM. Observed shape: option 1 roughly halves energy for both
+ * policies and all but erases PA-LRU's edge (it can even invert) —
+ * power-aware caching earns its keep by avoiding spin-ups, and
+ * option 1 removes most spin-ups by construction. This supports the
+ * paper's choice of option 2 as the regime where cache policy
+ * matters.
+ */
+
+#include <iostream>
+
+#include "core/experiment.hh"
+#include "trace/workloads.hh"
+#include "util/table.hh"
+
+using namespace pacache;
+
+namespace
+{
+
+ExperimentResult
+run(const Trace &trace, PolicyKind policy, bool serve_low)
+{
+    ExperimentConfig cfg;
+    cfg.policy = policy;
+    cfg.dpm = DpmChoice::Practical;
+    cfg.cacheBlocks = 1024;
+    cfg.pa.epochLength = 900;
+    cfg.disk.serveAtLowSpeed = serve_low;
+    return runExperiment(trace, cfg);
+}
+
+} // namespace
+
+int
+main()
+{
+    OltpParams params;
+    params.duration = 3600;
+    const Trace trace = makeOltpTrace(params);
+
+    std::cout << "=== Ablation: multi-speed service discipline "
+                 "(OLTP, Practical DPM) ===\n\n";
+    TextTable t;
+    t.header({"Discipline", "Policy", "Energy (J)", "Mean resp (ms)",
+              "p95 resp (ms)", "Spin-ups"});
+    for (bool low : {false, true}) {
+        for (PolicyKind k : {PolicyKind::LRU, PolicyKind::PALRU}) {
+            const auto r = run(trace, k, low);
+            t.row({low ? "serve-at-speed (opt 1)" : "spin-up (opt 2)",
+                   r.policyName, fmt(r.totalEnergy, 0),
+                   fmt(r.responses.mean() * 1000.0, 2),
+                   fmt(r.responses.percentile(0.95) * 1000.0, 2),
+                   std::to_string(r.energy.spinUps)});
+        }
+    }
+    t.print(std::cout);
+
+    std::cout << "\nOption 1 removes most spin-ups outright, so the "
+                 "remaining policy gap isolates the\ninterval-"
+                 "stretching benefit of power-aware caching from the "
+                 "spin-up-avoidance benefit.\n";
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Paper Figure 2: energy consumption E_i(t) for each power mode of
+ * the multi-speed disk as a function of idle-interval length, plus
+ * the lower envelope E*(t) that Oracle DPM achieves. Prints one row
+ * per interval length; the "best" column shows which mode the
+ * envelope selects (the t1..t4 crossovers of the paper).
+ */
+
+#include <iostream>
+
+#include "disk/power_model.hh"
+#include "util/table.hh"
+
+using namespace pacache;
+
+int
+main()
+{
+    const PowerModel pm;
+
+    std::cout << "=== Figure 2: E_i(t) per mode and lower envelope "
+                 "E*(t) ===\n\n";
+
+    TextTable t;
+    std::vector<std::string> head{"t (s)"};
+    for (std::size_t i = 0; i < pm.numModes(); ++i)
+        head.push_back("E_" + pm.mode(i).name + " (J)");
+    head.push_back("E* (J)");
+    head.push_back("best");
+    t.header(head);
+
+    for (double x = 0.0; x <= 160.0; x += 5.0) {
+        std::vector<std::string> row{fmt(x, 0)};
+        for (std::size_t i = 0; i < pm.numModes(); ++i)
+            row.push_back(fmt(pm.energyLine(i, x), 1));
+        row.push_back(fmt(pm.envelope(x), 1));
+        row.push_back(pm.mode(pm.bestMode(x)).name);
+        t.row(row);
+    }
+    t.print(std::cout);
+
+    std::cout << "\nEnvelope crossover points (paper t1..t4):\n";
+    const auto &env = pm.envelopeModes();
+    const auto &thr = pm.thresholds();
+    for (std::size_t k = 0; k < thr.size(); ++k) {
+        std::cout << "  t" << (k + 1) << " = " << fmt(thr[k], 2)
+                  << " s  (" << pm.mode(env[k]).name << " -> "
+                  << pm.mode(env[k + 1]).name << ")\n";
+    }
+    return 0;
+}

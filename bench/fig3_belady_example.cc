@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Paper Figure 3: the worked example showing Belady's MIN algorithm
+ * is not energy-optimal. A 4-entry cache services A B C D E B E C D
+ * at t=0..8 and A at t=16 against one 2-mode disk (instantaneous
+ * transitions, 4 J spin-up, 10-unit spin-down threshold). The
+ * alternative schedule takes more misses yet burns less energy.
+ */
+
+#include <iostream>
+
+#include "cache/belady.hh"
+#include "cache/cache.hh"
+#include "disk/disk.hh"
+#include "disk/dpm.hh"
+#include "util/table.hh"
+
+using namespace pacache;
+
+namespace
+{
+
+EnergyStats
+runPattern(const std::vector<Time> &access_times, Time horizon)
+{
+    const PowerModel pm = makeTwoModeModel(1.0, 0.0, 4.0, 0.0, 0.0, 0.0);
+    const ServiceModel sm(pm.spec());
+    EventQueue eq;
+    FixedTimeoutDpm dpm(10.0, 1);
+    Disk disk(0, eq, pm, sm, dpm);
+    for (Time t : access_times) {
+        eq.schedule(t, [&](Time now) {
+            DiskRequest r;
+            r.arrival = now;
+            r.block = 1;
+            disk.submit(std::move(r));
+        });
+    }
+    eq.runAll();
+    const Time end = std::max(horizon, eq.now());
+    eq.runUntil(end);
+    disk.finalize(end);
+    return disk.energy();
+}
+
+std::string
+timesToString(const std::vector<Time> &times)
+{
+    std::string s;
+    for (Time t : times)
+        s += (s.empty() ? "" : ",") + fmt(t, 0);
+    return s;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "=== Figure 3: Belady is not energy-optimal ===\n\n"
+              << "Request sequence: A B C D E B E C D at t=0..8, "
+                 "A at t=16; 4-entry cache.\n"
+              << "Disk: idle 1 W, standby 0 W, instantaneous "
+                 "transitions, spin-up 4 J, 10-unit timeout.\n\n";
+
+    // Belady's schedule, computed by the actual policy.
+    const BlockNum A = 1, B = 2, C = 3, D = 4, E = 5;
+    const std::vector<std::pair<Time, BlockNum>> reqs{
+        {0, A}, {1, B}, {2, C}, {3, D}, {4, E},
+        {5, B}, {6, E}, {7, C}, {8, D}, {16, A}};
+    std::vector<BlockAccess> accs;
+    for (const auto &[t, n] : reqs)
+        accs.push_back({t, BlockId{0, n}, false, accs.size()});
+
+    BeladyPolicy belady;
+    Cache cache(4, belady);
+    belady.prepare(accs);
+    std::vector<Time> belady_misses;
+    for (std::size_t i = 0; i < accs.size(); ++i) {
+        if (!cache.access(accs[i].block, accs[i].time, i).hit)
+            belady_misses.push_back(accs[i].time);
+    }
+
+    // The paper's alternative: keep A, re-miss on B/E instead.
+    const std::vector<Time> alternative{0, 1, 2, 3, 4, 5, 6};
+
+    const EnergyStats be = runPattern(belady_misses, 30.0);
+    const EnergyStats ae = runPattern(alternative, 30.0);
+
+    TextTable t;
+    t.header({"Schedule", "Misses", "Disk access times", "Spin-ups",
+              "Energy (J)"});
+    t.row({"Belady", std::to_string(belady_misses.size()),
+           timesToString(belady_misses), std::to_string(be.spinUps),
+           fmt(be.total(), 2)});
+    t.row({"Alternative", std::to_string(alternative.size()),
+           timesToString(alternative), std::to_string(ae.spinUps),
+           fmt(ae.total(), 2)});
+    t.print(std::cout);
+
+    std::cout << "\nAlternative takes "
+              << alternative.size() - belady_misses.size()
+              << " more miss(es) but saves "
+              << fmt(be.total() - ae.total(), 2)
+              << " J (" << fmtPct(1.0 - ae.total() / be.total(), 1)
+              << ") — Belady minimizes misses, not energy.\n";
+    return 0;
+}

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Paper Figure 5: the epoch histogram approximating the cumulative
+ * distribution function of idle-interval lengths, and the inverse
+ * lookup F^{-1}(p) the PA classifier uses.
+ */
+
+#include <iostream>
+
+#include "trace/synthetic.hh"
+#include "util/histogram.hh"
+#include "util/table.hh"
+
+using namespace pacache;
+
+int
+main()
+{
+    std::cout << "=== Figure 5: interval-length histogram as a CDF "
+                 "===\n\n";
+
+    // Bursty arrival stream, as a disk behind a cache would see.
+    Rng rng(42);
+    const auto arrivals = ArrivalModel::pareto(5000.0, 1.5);
+    auto hist = IntervalHistogram::geometric(0.1, 1000.0, 4);
+    for (int i = 0; i < 20000; ++i)
+        hist.record(arrivals.sample(rng));
+
+    TextTable t;
+    t.header({"interval x (s)", "F(x)"});
+    for (double x = 0.25; x <= 512.0; x *= 2.0)
+        t.row({fmt(x, 2), fmt(hist.cdf(x), 4)});
+    t.print(std::cout);
+
+    std::cout << "\nInverse lookups used by the PA classifier:\n";
+    for (double p : {0.5, 0.8, 0.9, 0.95}) {
+        std::cout << "  F^-1(" << fmt(p, 2)
+                  << ") = " << fmt(hist.quantile(p), 2) << " s\n";
+    }
+    std::cout << "\nmean interval = " << fmt(hist.mean(), 2) << " s, "
+              << hist.sampleCount() << " samples\n";
+    return 0;
+}

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Paper Figure 7: why PA-LRU saves energy on OLTP.
+ *  (a) percentage time breakdown per power mode (incl. transitions)
+ *      for two representative disks, LRU vs PA-LRU;
+ *  (b) mean request inter-arrival time at those disks (post-cache).
+ *
+ * Representative disks mirror the paper's: a busy disk ("disk 4")
+ * whose inter-arrival time shrinks under PA-LRU, and a quiet disk
+ * ("disk 14") whose blocks PA-LRU protects so its inter-arrival time
+ * stretches ~3x and it parks in standby most of the time.
+ */
+
+#include <iostream>
+
+#include "core/experiment.hh"
+#include "trace/workloads.hh"
+#include "util/table.hh"
+
+using namespace pacache;
+
+namespace
+{
+
+ExperimentResult
+run(const Trace &trace, PolicyKind policy)
+{
+    ExperimentConfig cfg;
+    cfg.policy = policy;
+    cfg.dpm = DpmChoice::Practical;
+    cfg.cacheBlocks = 1024;
+    cfg.pa.epochLength = 900;
+    return runExperiment(trace, cfg);
+}
+
+void
+breakdownRow(TextTable &t, const char *label,
+             const ExperimentResult &r, DiskId d)
+{
+    const EnergyStats &e = r.perDisk[d];
+    const Time total = e.totalTime();
+    std::vector<std::string> cells{label};
+    // Active = busy servicing; then one column per idle mode; then
+    // transitions.
+    cells.push_back(fmtPct(e.busyTime / total, 1));
+    for (Time tm : e.timePerMode)
+        cells.push_back(fmtPct(tm / total, 1));
+    cells.push_back(fmtPct(e.transitionTime() / total, 1));
+    t.row(cells);
+}
+
+} // namespace
+
+int
+main()
+{
+    const OltpParams params;
+    const Trace trace = makeOltpTrace(params);
+
+    const auto lru = run(trace, PolicyKind::LRU);
+    const auto pa = run(trace, PolicyKind::PALRU);
+
+    // Representative disks: the busiest disk and the quiet disk whose
+    // standby time grows the most under PA-LRU.
+    const DiskId busy_disk = 4;
+    DiskId quiet_disk = params.busyDisks;
+    Time best_gain = -1;
+    for (DiskId d = params.busyDisks; d < lru.perDisk.size(); ++d) {
+        const Time gain = pa.perDisk[d].timePerMode.back() -
+                          lru.perDisk[d].timePerMode.back();
+        if (gain > best_gain) {
+            best_gain = gain;
+            quiet_disk = d;
+        }
+    }
+
+    std::cout << "=== Figure 7 (a): % time breakdown (OLTP, Practical "
+                 "DPM) ===\n\n";
+    TextTable t;
+    std::vector<std::string> head{"Disk/Policy", "active"};
+    const PowerModel pm;
+    for (std::size_t i = 0; i < pm.numModes(); ++i)
+        head.push_back(pm.mode(i).name);
+    head.push_back("spin up/down");
+    t.header(head);
+
+    breakdownRow(t, ("disk " + std::to_string(busy_disk) + " LRU").c_str(),
+                 lru, busy_disk);
+    breakdownRow(t,
+                 ("disk " + std::to_string(busy_disk) + " PA-LRU").c_str(),
+                 pa, busy_disk);
+    breakdownRow(t,
+                 ("disk " + std::to_string(quiet_disk) + " LRU").c_str(),
+                 lru, quiet_disk);
+    breakdownRow(
+        t, ("disk " + std::to_string(quiet_disk) + " PA-LRU").c_str(),
+        pa, quiet_disk);
+    t.print(std::cout);
+
+    std::cout << "\n=== Figure 7 (b): mean request inter-arrival time "
+                 "at the disk (s) ===\n\n";
+    TextTable t2;
+    t2.header({"Disk", "LRU", "PA-LRU", "ratio"});
+    for (DiskId d : {busy_disk, quiet_disk}) {
+        const double l = lru.diskMeanInterArrival[d];
+        const double q = pa.diskMeanInterArrival[d];
+        t2.row({"disk " + std::to_string(d), fmt(l, 2), fmt(q, 2),
+                fmt(l > 0 ? q / l : 0.0, 2) + "x"});
+    }
+    t2.print(std::cout);
+
+    std::cout << "\nPaper shape: the protected disk's inter-arrival "
+                 "time stretches ~3x and its standby share jumps\n"
+                 "(16% -> 59% in the paper); the busy disk's "
+                 "inter-arrival time shrinks but it was active anyway.\n";
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Paper Figure 8: percentage energy savings of PA-LRU over LRU as a
+ * function of the spin-up cost (energy for the standby -> active
+ * transition), swept over {33.75, 67.5, 101.25, 135, 202.5, 270,
+ * 675} J as in the paper. Savings should be fairly stable across the
+ * 67.5-270 J range of real SCSI disks and fall off at both extremes.
+ */
+
+#include <iostream>
+
+#include "core/experiment.hh"
+#include "trace/workloads.hh"
+#include "util/table.hh"
+
+using namespace pacache;
+
+namespace
+{
+
+double
+savingsAt(const Trace &trace, Energy spinup_cost)
+{
+    ExperimentConfig cfg;
+    cfg.dpm = DpmChoice::Practical;
+    cfg.cacheBlocks = 1024;
+    cfg.pa.epochLength = 900;
+    cfg.spec.spinUpEnergy = spinup_cost;
+
+    cfg.policy = PolicyKind::LRU;
+    const double lru = runExperiment(trace, cfg).totalEnergy;
+    cfg.policy = PolicyKind::PALRU;
+    const double pa = runExperiment(trace, cfg).totalEnergy;
+    return 1.0 - pa / lru;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "=== Figure 8: PA-LRU energy savings vs spin-up cost "
+                 "(OLTP) ===\n\n";
+
+    OltpParams params;
+    params.duration = 3600; // half the full trace: sweep is 14 runs
+    const Trace trace = makeOltpTrace(params);
+
+    TextTable t;
+    t.header({"Spin-up cost (J)", "Energy savings over LRU"});
+    for (Energy cost : {33.75, 67.5, 101.25, 135.0, 202.5, 270.0,
+                        675.0}) {
+        t.row({fmt(cost, 2), fmtPct(savingsAt(trace, cost), 1)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nPaper shape: stable savings across 67.5-270 J "
+                 "(real SCSI disks), smaller at both extremes —\n"
+                 "cheap spin-ups mean LRU also sleeps; expensive "
+                 "spin-ups push thresholds past the available gaps.\n";
+    return 0;
+}

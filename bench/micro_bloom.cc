@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Micro-benchmarks: Bloom-filter insert/test throughput
+ * (google-benchmark). The PA classifier probes the filter on every
+ * storage request, so this is a per-request cost.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "util/bloom_filter.hh"
+#include "util/random.hh"
+
+using namespace pacache;
+
+namespace
+{
+
+void
+BM_BloomInsert(benchmark::State &state)
+{
+    BloomFilter bf(1u << 22, static_cast<std::size_t>(state.range(0)));
+    Rng rng(1);
+    for (auto _ : state)
+        bf.insert(rng.next64());
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void
+BM_BloomTest(benchmark::State &state)
+{
+    BloomFilter bf(1u << 22, static_cast<std::size_t>(state.range(0)));
+    Rng fill(2);
+    for (int i = 0; i < 100000; ++i)
+        bf.insert(fill.next64());
+    Rng rng(3);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(bf.test(rng.next64()));
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void
+BM_BloomTestAndInsert(benchmark::State &state)
+{
+    BloomFilter bf(1u << 22, 4);
+    Rng rng(4);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(bf.testAndInsert(rng.next64()));
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+BENCHMARK(BM_BloomInsert)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(BM_BloomTest)->Arg(2)->Arg(4)->Arg(8);
+BENCHMARK(BM_BloomTestAndInsert);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Micro-benchmarks: replacement-policy operation throughput under a
+ * Zipf workload (google-benchmark).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "cache/arc.hh"
+#include "cache/belady.hh"
+#include "cache/cache.hh"
+#include "cache/clock.hh"
+#include "cache/fifo.hh"
+#include "cache/lru.hh"
+#include "cache/mq.hh"
+#include "core/opg.hh"
+#include "core/pa_lru.hh"
+#include "util/random.hh"
+
+using namespace pacache;
+
+namespace
+{
+
+constexpr std::size_t kCapacity = 4096;
+
+std::vector<BlockAccess>
+workload(std::size_t n)
+{
+    std::vector<BlockAccess> accs;
+    accs.reserve(n);
+    Rng rng(1);
+    ZipfSampler zipf(kCapacity * 8, 0.9);
+    for (std::size_t i = 0; i < n; ++i) {
+        accs.push_back({static_cast<Time>(i) * 0.01,
+                        BlockId{static_cast<DiskId>(rng.below(8)),
+                                zipf.sample(rng)},
+                        false, i});
+    }
+    return accs;
+}
+
+// Off-line policies cannot replay a stream (their future knowledge is
+// positional), so every benchmark runs a fixed iteration count within
+// one precomputed workload.
+constexpr std::size_t kWorkload = 1u << 20;
+constexpr std::size_t kIterations = kWorkload - 1;
+
+void
+drive(benchmark::State &state, ReplacementPolicy &policy)
+{
+    const auto accs = workload(kWorkload);
+    policy.prepare(accs);
+    Cache cache(kCapacity, policy);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.access(accs[i].block, accs[i].time, i));
+        ++i;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void
+BM_Lru(benchmark::State &state)
+{
+    LruPolicy p;
+    drive(state, p);
+}
+
+void
+BM_Fifo(benchmark::State &state)
+{
+    FifoPolicy p;
+    drive(state, p);
+}
+
+void
+BM_Clock(benchmark::State &state)
+{
+    ClockPolicy p;
+    drive(state, p);
+}
+
+void
+BM_Arc(benchmark::State &state)
+{
+    ArcPolicy p(kCapacity);
+    drive(state, p);
+}
+
+void
+BM_Mq(benchmark::State &state)
+{
+    MqPolicy p;
+    drive(state, p);
+}
+
+void
+BM_Belady(benchmark::State &state)
+{
+    BeladyPolicy p;
+    drive(state, p);
+}
+
+void
+BM_Opg(benchmark::State &state)
+{
+    const PowerModel pm;
+    OpgPolicy p(pm, DpmKind::Practical, 0);
+    drive(state, p);
+}
+
+void
+BM_PaLru(benchmark::State &state)
+{
+    PaClassifier cls(8, PaParams{});
+    PaLruPolicy p(cls);
+    drive(state, p);
+}
+
+BENCHMARK(BM_Lru)->Iterations(kIterations);
+BENCHMARK(BM_Fifo)->Iterations(kIterations);
+BENCHMARK(BM_Clock)->Iterations(kIterations);
+BENCHMARK(BM_Arc)->Iterations(kIterations);
+BENCHMARK(BM_Mq)->Iterations(kIterations);
+BENCHMARK(BM_Belady)->Iterations(kIterations);
+BENCHMARK(BM_Opg)->Iterations(kIterations);
+BENCHMARK(BM_PaLru)->Iterations(kIterations);
+
+} // namespace
+
+BENCHMARK_MAIN();

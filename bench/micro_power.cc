@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Micro-benchmarks: power-model evaluation throughput
+ * (google-benchmark). These functions sit on OPG's per-eviction hot
+ * path, so their cost matters.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "disk/power_model.hh"
+#include "util/random.hh"
+
+using namespace pacache;
+
+namespace
+{
+
+void
+BM_Envelope(benchmark::State &state)
+{
+    const PowerModel pm;
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pm.envelope(rng.uniform(0.0, 500.0)));
+}
+
+void
+BM_PracticalEnergy(benchmark::State &state)
+{
+    const PowerModel pm;
+    Rng rng(2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            pm.practicalEnergy(rng.uniform(0.0, 500.0)));
+    }
+}
+
+void
+BM_BestMode(benchmark::State &state)
+{
+    const PowerModel pm;
+    Rng rng(3);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pm.bestMode(rng.uniform(0.0, 500.0)));
+}
+
+void
+BM_ModelConstruction(benchmark::State &state)
+{
+    for (auto _ : state) {
+        PowerModel pm;
+        benchmark::DoNotOptimize(pm.thresholds());
+    }
+}
+
+BENCHMARK(BM_Envelope);
+BENCHMARK(BM_PracticalEnergy);
+BENCHMARK(BM_BestMode);
+BENCHMARK(BM_ModelConstruction);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Micro-benchmarks: synthetic trace generation throughput
+ * (google-benchmark).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "trace/synthetic.hh"
+#include "trace/workloads.hh"
+
+using namespace pacache;
+
+namespace
+{
+
+void
+BM_GenerateSynthetic(benchmark::State &state)
+{
+    SyntheticParams p;
+    p.numRequests = static_cast<uint64_t>(state.range(0));
+    for (auto _ : state) {
+        p.seed++;
+        benchmark::DoNotOptimize(generateSynthetic(p));
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) * state.range(0));
+}
+
+void
+BM_GenerateOltp(benchmark::State &state)
+{
+    OltpParams p;
+    p.duration = 600;
+    for (auto _ : state) {
+        p.seed++;
+        benchmark::DoNotOptimize(makeOltpTrace(p));
+    }
+}
+
+void
+BM_AddressGenerator(benchmark::State &state)
+{
+    AddressGenerator::Params p;
+    AddressGenerator gen(p);
+    Rng rng(5);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gen.next(rng));
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+BENCHMARK(BM_GenerateSynthetic)->Arg(10000)->Arg(100000);
+BENCHMARK(BM_GenerateOltp);
+BENCHMARK(BM_AddressGenerator);
+
+} // namespace
+
+BENCHMARK_MAIN();

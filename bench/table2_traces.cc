@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Paper Table 2: characteristics of the two evaluation traces.
+ * Our OLTP-like and Cello96-like traces are synthesized stand-ins
+ * (see DESIGN.md §3); this harness prints the same columns the paper
+ * reports — disks, write ratio, mean inter-arrival time — plus the
+ * cold-miss structure that drives the Figure-6 results.
+ */
+
+#include <iostream>
+
+#include "trace/stats.hh"
+#include "trace/workloads.hh"
+#include "util/table.hh"
+
+using namespace pacache;
+
+namespace
+{
+
+void
+report(TextTable &t, const char *name, const Trace &trace)
+{
+    const TraceStats s = characterize(trace);
+    t.row({name, std::to_string(s.disks),
+           fmtPct(s.writeRatio, 0),
+           fmt(s.meanInterArrival * 1000.0, 2) + " ms",
+           std::to_string(s.requests),
+           fmt(s.duration, 0) + " s",
+           fmtPct(static_cast<double>(s.uniqueBlocks) /
+                      static_cast<double>(s.requests),
+                  0)});
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "=== Table 2: Trace Characteristics ===\n"
+              << "(paper: OLTP 21 disks / 22% writes / 99 ms;"
+              << " Cello96 19 disks / 38% writes / 5.61 ms)\n\n";
+
+    TextTable t;
+    t.header({"Trace", "Disks", "Writes", "Mean inter-arrival",
+              "Requests", "Duration", "Unique/request"});
+
+    report(t, "OLTP (synthetic)", makeOltpTrace());
+
+    CelloParams cp;
+    cp.duration = 300; // enough to characterize; keeps runtime low
+    report(t, "Cello96 (synthetic)", makeCelloTrace(cp));
+
+    t.print(std::cout);
+
+    std::cout << "\n'Unique/request' approximates the cold-miss "
+                 "fraction: the paper reports ~64% of Cello96\n"
+                 "accesses are cold misses, which caps what any "
+                 "replacement policy can do (Figure 6b).\n";
+    return 0;
+}

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Write-policy walk-through: compares WT / WB / WBEU / WTDU energy
+ * on a write-heavy workload, then demonstrates the WTDU log's
+ * timestamped crash-recovery protocol step by step.
+ */
+
+#include <iostream>
+
+#include "core/experiment.hh"
+#include "core/wtdu_log.hh"
+#include "trace/synthetic.hh"
+#include "util/table.hh"
+
+using namespace pacache;
+
+namespace
+{
+
+void
+comparePolicies()
+{
+    SyntheticParams p;
+    p.numRequests = 20000;
+    p.writeRatio = 0.8;
+    p.arrival = ArrivalModel::pareto(500.0, 1.5);
+    const Trace trace = generateSynthetic(p);
+
+    std::cout << "Write-heavy workload (" << trace.size()
+              << " requests, 80% writes):\n\n";
+    TextTable t;
+    t.header({"Write policy", "Energy (J)", "vs WT",
+              "Mean resp (ms)", "Log writes"});
+    double wt_energy = 0;
+    for (WritePolicy wp :
+         {WritePolicy::WriteThrough, WritePolicy::WriteBack,
+          WritePolicy::WriteBackEagerUpdate,
+          WritePolicy::WriteThroughDeferredUpdate}) {
+        ExperimentConfig cfg;
+        cfg.cacheBlocks = 4096;
+        cfg.storage.writePolicy = wp;
+        const ExperimentResult r = runExperiment(trace, cfg);
+        if (wp == WritePolicy::WriteThrough)
+            wt_energy = r.totalEnergy;
+        t.row({writePolicyName(wp), fmt(r.totalEnergy, 0),
+               fmtPct(1.0 - r.totalEnergy / wt_energy, 1),
+               fmt(r.responses.mean() * 1000.0, 2),
+               std::to_string(r.logWrites)});
+    }
+    t.print(std::cout);
+}
+
+void
+recoveryWalkthrough()
+{
+    std::cout << "\n=== WTDU crash-recovery walk-through ===\n\n";
+    WtduLog log(/*num_disks=*/1, /*region_blocks=*/4);
+
+    std::cout << "1. Disk 0 sleeps; three writes are deferred into "
+                 "its log region:\n";
+    log.append(0, 100, /*version=*/1);
+    log.append(0, 101, 2);
+    log.append(0, 100, 3); // block 100 written again
+    std::cout << "   region used " << log.used(0) << "/4, timestamp "
+              << log.timestamp(0) << "\n";
+
+    std::cout << "2. CRASH before the disk ever woke. Recovery scans "
+                 "the region:\n";
+    for (const auto &e : log.recover(0)) {
+        std::cout << "   replay block " << e.block << " at version "
+                  << e.version << "\n";
+    }
+
+    std::cout << "3. Suppose instead the disk woke up: the cache "
+                 "flushes the logged blocks,\n   then the region "
+                 "retires (timestamp bump, pointer reset):\n";
+    log.retire(0);
+    std::cout << "   region used " << log.used(0) << "/4, timestamp "
+              << log.timestamp(0) << "\n";
+
+    std::cout << "4. A later crash replays nothing stale:\n";
+    const auto live = log.recover(0);
+    std::cout << "   " << live.size()
+              << " entries to replay (old generation is inert).\n";
+
+    std::cout << "5. New writes after the retire reuse the slots:\n";
+    log.append(0, 200, 4);
+    for (const auto &e : log.recover(0)) {
+        std::cout << "   replay block " << e.block << " at version "
+                  << e.version << " (stamp " << e.stamp << ")\n";
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    comparePolicies();
+    recoveryWalkthrough();
+    return 0;
+}

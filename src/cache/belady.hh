@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Belady's MIN — the off-line replacement algorithm that evicts the
+ * block whose next reference is furthest in the future. It minimizes
+ * the miss count (the paper's baseline off-line bound) but, as the
+ * paper's Section 3 shows, is *not* energy-optimal.
+ */
+
+#ifndef PACACHE_CACHE_BELADY_HH
+#define PACACHE_CACHE_BELADY_HH
+
+#include <set>
+#include <unordered_map>
+#include <utility>
+
+#include "cache/policy.hh"
+
+namespace pacache
+{
+
+/** Belady's off-line MIN replacement policy. */
+class BeladyPolicy : public ReplacementPolicy
+{
+  public:
+    const char *name() const override { return "Belady"; }
+
+    void prepare(const std::vector<BlockAccess> &accesses) override;
+
+    void onAccess(const BlockId &block, Time now, std::size_t idx,
+                  bool hit) override;
+    void onRemove(const BlockId &block) override;
+    BlockId evict(Time now, std::size_t idx) override;
+    bool supportsPrefetch() const override { return false; }
+
+  private:
+    FutureKnowledge future;
+    bool prepared = false;
+
+    /** Resident blocks ordered by next-use index (kNever last). */
+    std::set<std::pair<std::size_t, BlockId>> byNextUse;
+    std::unordered_map<BlockId, std::size_t> nextOf;
+};
+
+} // namespace pacache
+
+#endif // PACACHE_CACHE_BELADY_HH

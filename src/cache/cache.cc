@@ -1,0 +1,171 @@
+#include "cache/cache.hh"
+
+#include "util/logging.hh"
+
+namespace pacache
+{
+
+Cache::Cache(std::size_t capacity_blocks, ReplacementPolicy &policy)
+    : capacityBlocks(capacity_blocks), repl(&policy)
+{
+    PACACHE_ASSERT(capacity_blocks > 0, "cache needs positive capacity");
+}
+
+void
+Cache::dropFlags(const BlockId &block, const Flags &flags)
+{
+    if (flags.dirty && block.disk < dirtyPerDisk.size())
+        dirtyPerDisk[block.disk].erase(block.block);
+    if (flags.logged && block.disk < loggedPerDisk.size())
+        loggedPerDisk[block.disk].erase(block.block);
+}
+
+CacheResult
+Cache::access(const BlockId &block, Time now, std::size_t idx)
+{
+    CacheResult result;
+    ++counters.accesses;
+    if (everSeen.insert(block.packed()).second)
+        ++counters.coldMisses;
+
+    auto it = resident.find(block);
+    if (it != resident.end()) {
+        ++counters.hits;
+        result.hit = true;
+        repl->onAccess(block, now, idx, true);
+        return result;
+    }
+
+    ++counters.misses;
+    repl->beforeMiss(block, now, idx);
+    bringIn(block, now, idx, result);
+    return result;
+}
+
+CacheResult
+Cache::insert(const BlockId &block, Time now, std::size_t idx)
+{
+    CacheResult result;
+    if (resident.count(block)) {
+        result.hit = true;
+        return result;
+    }
+    ++counters.prefetchInserts;
+    bringIn(block, now, idx, result);
+    return result;
+}
+
+void
+Cache::bringIn(const BlockId &block, Time now, std::size_t idx,
+               CacheResult &result)
+{
+    if (resident.size() >= capacityBlocks) {
+        const BlockId victim = repl->evict(now, idx);
+        auto vit = resident.find(victim);
+        PACACHE_ASSERT(vit != resident.end(),
+                       "policy evicted a non-resident block");
+        result.evicted = true;
+        result.victim = victim;
+        result.victimDirty = vit->second.dirty;
+        result.victimLogged = vit->second.logged;
+        dropFlags(victim, vit->second);
+        resident.erase(vit);
+        ++counters.evictions;
+    }
+
+    resident.emplace(block, Flags{});
+    repl->onAccess(block, now, idx, false);
+}
+
+void
+Cache::markDirty(const BlockId &block)
+{
+    auto it = resident.find(block);
+    PACACHE_ASSERT(it != resident.end(), "markDirty on non-resident block");
+    if (it->second.dirty)
+        return;
+    it->second.dirty = true;
+    if (block.disk >= dirtyPerDisk.size())
+        dirtyPerDisk.resize(block.disk + 1);
+    dirtyPerDisk[block.disk].insert(block.block);
+}
+
+void
+Cache::markClean(const BlockId &block)
+{
+    auto it = resident.find(block);
+    PACACHE_ASSERT(it != resident.end(), "markClean on non-resident block");
+    if (!it->second.dirty)
+        return;
+    it->second.dirty = false;
+    dirtyPerDisk[block.disk].erase(block.block);
+}
+
+bool
+Cache::isDirty(const BlockId &block) const
+{
+    auto it = resident.find(block);
+    return it != resident.end() && it->second.dirty;
+}
+
+void
+Cache::markLogged(const BlockId &block)
+{
+    auto it = resident.find(block);
+    PACACHE_ASSERT(it != resident.end(), "markLogged on non-resident block");
+    if (it->second.logged)
+        return;
+    it->second.logged = true;
+    if (block.disk >= loggedPerDisk.size())
+        loggedPerDisk.resize(block.disk + 1);
+    loggedPerDisk[block.disk].insert(block.block);
+}
+
+void
+Cache::clearLogged(const BlockId &block)
+{
+    auto it = resident.find(block);
+    if (it == resident.end() || !it->second.logged)
+        return;
+    it->second.logged = false;
+    loggedPerDisk[block.disk].erase(block.block);
+}
+
+bool
+Cache::isLogged(const BlockId &block) const
+{
+    auto it = resident.find(block);
+    return it != resident.end() && it->second.logged;
+}
+
+std::vector<BlockId>
+Cache::dirtyBlocksOf(DiskId disk) const
+{
+    std::vector<BlockId> out;
+    if (disk < dirtyPerDisk.size()) {
+        out.reserve(dirtyPerDisk[disk].size());
+        for (BlockNum b : dirtyPerDisk[disk])
+            out.push_back(BlockId{disk, b});
+    }
+    return out;
+}
+
+std::vector<BlockId>
+Cache::loggedBlocksOf(DiskId disk) const
+{
+    std::vector<BlockId> out;
+    if (disk < loggedPerDisk.size()) {
+        out.reserve(loggedPerDisk[disk].size());
+        for (BlockNum b : loggedPerDisk[disk])
+            out.push_back(BlockId{disk, b});
+    }
+    return out;
+}
+
+std::size_t
+Cache::dirtyCount(DiskId disk) const
+{
+    return disk < dirtyPerDisk.size() ? dirtyPerDisk[disk].size() : 0;
+}
+
+} // namespace pacache

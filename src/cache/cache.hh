@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The storage cache: block-granular, demand-filled, with pluggable
+ * replacement (paper's "CacheSim"). Tracks per-block dirty and
+ * "logged" flags (the latter for the WTDU write policy) and per-disk
+ * dirty-block sets so write policies can flush efficiently.
+ */
+
+#ifndef PACACHE_CACHE_CACHE_HH
+#define PACACHE_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cache/policy.hh"
+#include "sim/types.hh"
+
+namespace pacache
+{
+
+/** Outcome of one cache access. */
+struct CacheResult
+{
+    bool hit = false;
+    bool evicted = false;     //!< an eviction was needed
+    BlockId victim;           //!< valid when evicted
+    bool victimDirty = false; //!< victim needed a write-back
+    bool victimLogged = false; //!< victim held only-in-log data (WTDU)
+};
+
+/** Aggregate cache counters. */
+struct CacheStats
+{
+    uint64_t accesses = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t coldMisses = 0; //!< first-ever accesses (exact, not Bloom)
+    uint64_t prefetchInserts = 0; //!< blocks brought in speculatively
+
+    double
+    hitRatio() const
+    {
+        return accesses ? static_cast<double>(hits) /
+                              static_cast<double>(accesses)
+                        : 0.0;
+    }
+};
+
+/** Fixed-capacity block cache with pluggable replacement. */
+class Cache
+{
+  public:
+    /**
+     * @param capacity_blocks  cache size in blocks (> 0)
+     * @param policy           replacement policy (not owned)
+     */
+    Cache(std::size_t capacity_blocks, ReplacementPolicy &policy);
+
+    /**
+     * Access @p block at time @p now with stream index @p idx.
+     * On a miss the block is brought in, evicting if necessary.
+     * Newly inserted blocks are clean and unlogged.
+     */
+    CacheResult access(const BlockId &block, Time now, std::size_t idx);
+
+    /**
+     * Insert a block without a demand access (prefetch): no hit/miss
+     * counters move, the policy sees a miss-style insertion, and an
+     * eviction may be needed. No-op (hit=true result) if already
+     * resident.
+     */
+    CacheResult insert(const BlockId &block, Time now, std::size_t idx);
+
+    bool contains(const BlockId &block) const
+    {
+        return resident.count(block) > 0;
+    }
+
+    /** Mark a resident block dirty (write-back family). */
+    void markDirty(const BlockId &block);
+
+    /** Clear a resident block's dirty flag (after a flush). */
+    void markClean(const BlockId &block);
+
+    bool isDirty(const BlockId &block) const;
+
+    /** Mark a resident block as logged (WTDU). */
+    void markLogged(const BlockId &block);
+
+    /** Clear a resident block's logged flag (after a log flush). */
+    void clearLogged(const BlockId &block);
+
+    bool isLogged(const BlockId &block) const;
+
+    /** All dirty blocks of a disk (unordered). */
+    std::vector<BlockId> dirtyBlocksOf(DiskId disk) const;
+
+    /** All logged blocks of a disk (unordered). */
+    std::vector<BlockId> loggedBlocksOf(DiskId disk) const;
+
+    /** Number of dirty blocks of a disk. */
+    std::size_t dirtyCount(DiskId disk) const;
+
+    std::size_t size() const { return resident.size(); }
+    std::size_t capacity() const { return capacityBlocks; }
+
+    const CacheStats &stats() const { return counters; }
+
+    ReplacementPolicy &policy() { return *repl; }
+
+  private:
+    struct Flags
+    {
+        bool dirty = false;
+        bool logged = false;
+    };
+
+    void dropFlags(const BlockId &block, const Flags &flags);
+
+    /** Shared miss/prefetch insertion path (evict + insert). */
+    void bringIn(const BlockId &block, Time now, std::size_t idx,
+                 CacheResult &result);
+
+    std::size_t capacityBlocks;
+    ReplacementPolicy *repl;
+    std::unordered_map<BlockId, Flags> resident;
+    std::vector<std::unordered_set<BlockNum>> dirtyPerDisk;
+    std::vector<std::unordered_set<BlockNum>> loggedPerDisk;
+    std::unordered_set<uint64_t> everSeen; //!< for exact cold-miss count
+    CacheStats counters;
+};
+
+} // namespace pacache
+
+#endif // PACACHE_CACHE_CACHE_HH

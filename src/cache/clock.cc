@@ -1,0 +1,68 @@
+#include "cache/clock.hh"
+
+#include "util/logging.hh"
+
+namespace pacache
+{
+
+void
+ClockPolicy::advanceHand()
+{
+    ++hand;
+    if (hand == ring.end())
+        hand = ring.begin();
+}
+
+void
+ClockPolicy::onAccess(const BlockId &block, Time, std::size_t, bool hit)
+{
+    if (hit) {
+        auto it = index.find(block);
+        PACACHE_ASSERT(it != index.end(), "CLOCK hit on unknown block");
+        it->second->referenced = true;
+        return;
+    }
+    // Insert just before the hand (i.e. at the "oldest" position the
+    // hand will reach last).
+    auto pos = hand == ring.end() ? ring.end() : hand;
+    auto it = ring.insert(pos, Entry{block, false});
+    index[block] = it;
+    if (hand == ring.end())
+        hand = it;
+}
+
+void
+ClockPolicy::onRemove(const BlockId &block)
+{
+    auto it = index.find(block);
+    PACACHE_ASSERT(it != index.end(), "CLOCK removal of unknown block");
+    if (it->second == hand) {
+        advanceHand();
+        if (ring.size() == 1)
+            hand = ring.end();
+    }
+    ring.erase(it->second);
+    index.erase(it);
+    if (ring.empty())
+        hand = ring.end();
+}
+
+BlockId
+ClockPolicy::evict(Time, std::size_t)
+{
+    PACACHE_ASSERT(!ring.empty(), "CLOCK evict on empty cache");
+    while (hand->referenced) {
+        hand->referenced = false;
+        advanceHand();
+    }
+    BlockId victim = hand->block;
+    auto dead = hand;
+    advanceHand();
+    if (ring.size() == 1)
+        hand = ring.end();
+    ring.erase(dead);
+    index.erase(victim);
+    return victim;
+}
+
+} // namespace pacache

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * CLOCK (second-chance) replacement: a circular list with reference
+ * bits — the classic low-overhead LRU approximation.
+ */
+
+#ifndef PACACHE_CACHE_CLOCK_HH
+#define PACACHE_CACHE_CLOCK_HH
+
+#include <list>
+#include <unordered_map>
+
+#include "cache/policy.hh"
+
+namespace pacache
+{
+
+/** CLOCK replacement policy. */
+class ClockPolicy : public ReplacementPolicy
+{
+  public:
+    const char *name() const override { return "CLOCK"; }
+
+    void onAccess(const BlockId &block, Time now, std::size_t idx,
+                  bool hit) override;
+    void onRemove(const BlockId &block) override;
+    BlockId evict(Time now, std::size_t idx) override;
+
+  private:
+    struct Entry
+    {
+        BlockId block;
+        bool referenced = false;
+    };
+
+    using Ring = std::list<Entry>;
+
+    void advanceHand();
+
+    Ring ring;
+    Ring::iterator hand = ring.end();
+    std::unordered_map<BlockId, Ring::iterator> index;
+};
+
+} // namespace pacache
+
+#endif // PACACHE_CACHE_CLOCK_HH

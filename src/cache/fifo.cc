@@ -1,0 +1,36 @@
+#include "cache/fifo.hh"
+
+#include "util/logging.hh"
+
+namespace pacache
+{
+
+void
+FifoPolicy::onAccess(const BlockId &block, Time, std::size_t, bool hit)
+{
+    if (hit)
+        return; // FIFO ignores re-references
+    order.push_back(block);
+    index[block] = std::prev(order.end());
+}
+
+void
+FifoPolicy::onRemove(const BlockId &block)
+{
+    auto it = index.find(block);
+    PACACHE_ASSERT(it != index.end(), "FIFO removal of unknown block");
+    order.erase(it->second);
+    index.erase(it);
+}
+
+BlockId
+FifoPolicy::evict(Time, std::size_t)
+{
+    PACACHE_ASSERT(!order.empty(), "FIFO evict on empty cache");
+    BlockId victim = order.front();
+    order.pop_front();
+    index.erase(victim);
+    return victim;
+}
+
+} // namespace pacache

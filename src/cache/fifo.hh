@@ -1,0 +1,35 @@
+/**
+ * @file
+ * First-In-First-Out replacement (insertion order, ignores hits).
+ */
+
+#ifndef PACACHE_CACHE_FIFO_HH
+#define PACACHE_CACHE_FIFO_HH
+
+#include <list>
+#include <unordered_map>
+
+#include "cache/policy.hh"
+
+namespace pacache
+{
+
+/** FIFO replacement policy. */
+class FifoPolicy : public ReplacementPolicy
+{
+  public:
+    const char *name() const override { return "FIFO"; }
+
+    void onAccess(const BlockId &block, Time now, std::size_t idx,
+                  bool hit) override;
+    void onRemove(const BlockId &block) override;
+    BlockId evict(Time now, std::size_t idx) override;
+
+  private:
+    std::list<BlockId> order; //!< front = oldest
+    std::unordered_map<BlockId, std::list<BlockId>::iterator> index;
+};
+
+} // namespace pacache
+
+#endif // PACACHE_CACHE_FIFO_HH

@@ -1,0 +1,48 @@
+#include "cache/future.hh"
+
+#include <unordered_map>
+
+namespace pacache
+{
+
+std::vector<BlockAccess>
+expandTrace(const Trace &trace)
+{
+    std::vector<BlockAccess> out;
+    out.reserve(trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const TraceRecord &rec = trace[i];
+        for (uint32_t b = 0; b < rec.numBlocks; ++b) {
+            out.push_back(BlockAccess{rec.time,
+                                      BlockId{rec.disk, rec.block + b},
+                                      rec.write, i});
+        }
+    }
+    return out;
+}
+
+FutureKnowledge
+FutureKnowledge::build(const std::vector<BlockAccess> &accesses)
+{
+    FutureKnowledge fk;
+    fk.next.assign(accesses.size(), kNever);
+    fk.first.assign(accesses.size(), false);
+
+    // Scan backwards: lastSeen maps block -> the most recent (i.e.
+    // next, in forward order) access index.
+    std::unordered_map<BlockId, std::size_t> last_seen;
+    last_seen.reserve(accesses.size() / 4 + 16);
+    for (std::size_t i = accesses.size(); i-- > 0;) {
+        auto [it, inserted] = last_seen.try_emplace(accesses[i].block, i);
+        if (!inserted) {
+            fk.next[i] = it->second;
+            it->second = i;
+        }
+    }
+    // Forward pass marks first references.
+    for (auto &[block, idx] : last_seen)
+        fk.first[idx] = true;
+    return fk;
+}
+
+} // namespace pacache

@@ -1,0 +1,52 @@
+#include "cache/lru.hh"
+
+#include "util/logging.hh"
+
+namespace pacache
+{
+
+void
+LruStack::touch(const BlockId &block)
+{
+    auto it = index.find(block);
+    if (it != index.end())
+        order.erase(it->second);
+    order.push_front(block);
+    index[block] = order.begin();
+}
+
+bool
+LruStack::remove(const BlockId &block)
+{
+    auto it = index.find(block);
+    if (it == index.end())
+        return false;
+    order.erase(it->second);
+    index.erase(it);
+    return true;
+}
+
+BlockId
+LruStack::popLru()
+{
+    PACACHE_ASSERT(!order.empty(), "popLru on empty stack");
+    BlockId victim = order.back();
+    order.pop_back();
+    index.erase(victim);
+    return victim;
+}
+
+void
+LruPolicy::onRemove(const BlockId &block)
+{
+    const bool present = stack.remove(block);
+    PACACHE_ASSERT(present, "LRU removal of unknown block");
+}
+
+BlockId
+LruPolicy::evict(Time, std::size_t)
+{
+    return stack.popLru();
+}
+
+} // namespace pacache

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Least-Recently-Used replacement: the paper's on-line baseline.
+ */
+
+#ifndef PACACHE_CACHE_LRU_HH
+#define PACACHE_CACHE_LRU_HH
+
+#include <list>
+#include <unordered_map>
+
+#include "cache/policy.hh"
+
+namespace pacache
+{
+
+/**
+ * An LRU stack usable both as a standalone policy and as a building
+ * block (PA-LRU maintains two of them).
+ */
+class LruStack
+{
+  public:
+    /** Move (or add) a block to the MRU position. */
+    void touch(const BlockId &block);
+
+    /** Remove a specific block; @return true if it was present. */
+    bool remove(const BlockId &block);
+
+    /** Pop and return the LRU (bottom) block. Must be non-empty. */
+    BlockId popLru();
+
+    bool contains(const BlockId &block) const
+    {
+        return index.count(block) > 0;
+    }
+
+    bool empty() const { return order.empty(); }
+    std::size_t size() const { return order.size(); }
+
+  private:
+    std::list<BlockId> order; //!< front = MRU, back = LRU
+    std::unordered_map<BlockId, std::list<BlockId>::iterator> index;
+};
+
+/** Plain LRU replacement policy. */
+class LruPolicy : public ReplacementPolicy
+{
+  public:
+    const char *name() const override { return "LRU"; }
+
+    void
+    onAccess(const BlockId &block, Time, std::size_t, bool) override
+    {
+        stack.touch(block);
+    }
+
+    void onRemove(const BlockId &block) override;
+
+    BlockId evict(Time, std::size_t) override;
+
+  private:
+    LruStack stack;
+};
+
+} // namespace pacache
+
+#endif // PACACHE_CACHE_LRU_HH

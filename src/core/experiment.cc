@@ -1,0 +1,193 @@
+#include "core/experiment.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "cache/arc.hh"
+#include "cache/belady.hh"
+#include "cache/clock.hh"
+#include "cache/fifo.hh"
+#include "cache/lirs.hh"
+#include "cache/lru.hh"
+#include "cache/mq.hh"
+#include "core/opg.hh"
+#include "core/pa_lru.hh"
+#include "disk/disk_array.hh"
+#include "disk/dpm.hh"
+#include "disk/oracle_dpm.hh"
+#include "sim/event_queue.hh"
+#include "util/logging.hh"
+
+namespace pacache
+{
+
+const char *
+policyKindName(PolicyKind kind)
+{
+    switch (kind) {
+      case PolicyKind::LRU: return "LRU";
+      case PolicyKind::FIFO: return "FIFO";
+      case PolicyKind::CLOCK: return "CLOCK";
+      case PolicyKind::ARC: return "ARC";
+      case PolicyKind::MQ: return "MQ";
+      case PolicyKind::LIRS: return "LIRS";
+      case PolicyKind::Belady: return "Belady";
+      case PolicyKind::OPG: return "OPG";
+      case PolicyKind::PALRU: return "PA-LRU";
+      case PolicyKind::PAARC: return "PA-ARC";
+      case PolicyKind::PALIRS: return "PA-LIRS";
+      case PolicyKind::InfiniteCache: return "InfiniteCache";
+    }
+    PACACHE_PANIC("unknown policy kind");
+}
+
+namespace
+{
+
+/** First mode below full speed that appears on the lower envelope. */
+std::size_t
+firstEnvelopeNap(const PowerModel &pm)
+{
+    const auto &env = pm.envelopeModes();
+    return env.size() > 1 ? env[1] : pm.deepestMode();
+}
+
+std::unique_ptr<ReplacementPolicy>
+makePolicy(const ExperimentConfig &cfg, const PowerModel &pm,
+           const PaClassifier *classifier, std::size_t capacity)
+{
+    // OPG prices idle periods with the energy function of the DPM the
+    // disks actually run; the adaptive timeout policy is closest to
+    // the threshold walk.
+    const DpmKind pricing = (cfg.dpm == DpmChoice::Practical ||
+                             cfg.dpm == DpmChoice::Adaptive)
+        ? DpmKind::Practical
+        : DpmKind::Oracle;
+    const Energy theta = cfg.opgTheta >= 0
+        ? cfg.opgTheta
+        : pm.mode(firstEnvelopeNap(pm)).transitionEnergy();
+
+    switch (cfg.policy) {
+      case PolicyKind::LRU:
+      case PolicyKind::InfiniteCache:
+        return std::make_unique<LruPolicy>();
+      case PolicyKind::FIFO:
+        return std::make_unique<FifoPolicy>();
+      case PolicyKind::CLOCK:
+        return std::make_unique<ClockPolicy>();
+      case PolicyKind::ARC:
+        return std::make_unique<ArcPolicy>(capacity);
+      case PolicyKind::MQ:
+        return std::make_unique<MqPolicy>();
+      case PolicyKind::LIRS:
+        return std::make_unique<LirsPolicy>(capacity);
+      case PolicyKind::Belady:
+        return std::make_unique<BeladyPolicy>();
+      case PolicyKind::OPG:
+        return std::make_unique<OpgPolicy>(pm, pricing, theta);
+      case PolicyKind::PALRU:
+        PACACHE_ASSERT(classifier, "PA-LRU needs a classifier");
+        return std::make_unique<PaLruPolicy>(*classifier);
+      case PolicyKind::PAARC:
+        PACACHE_ASSERT(classifier, "PA-ARC needs a classifier");
+        return std::make_unique<PaDualPolicy>(
+            *classifier, std::make_unique<ArcPolicy>(capacity),
+            std::make_unique<ArcPolicy>(capacity), "PA-ARC");
+      case PolicyKind::PALIRS:
+        PACACHE_ASSERT(classifier, "PA-LIRS needs a classifier");
+        return std::make_unique<PaDualPolicy>(
+            *classifier, std::make_unique<LirsPolicy>(capacity),
+            std::make_unique<LirsPolicy>(capacity), "PA-LIRS");
+    }
+    PACACHE_PANIC("unknown policy kind");
+}
+
+} // namespace
+
+ExperimentResult
+runExperiment(const Trace &trace, const ExperimentConfig &config)
+{
+    PACACHE_ASSERT(!trace.empty(), "cannot run an empty trace");
+
+    const PowerModel pm(config.spec);
+    const ServiceModel sm(config.spec, config.service);
+
+    const std::size_t num_disks = std::max<std::size_t>(
+        trace.numDisks(), 1);
+
+    // Infinite cache: capacity one past the total block volume.
+    std::size_t capacity = config.cacheBlocks;
+    if (config.policy == PolicyKind::InfiniteCache) {
+        uint64_t blocks = 0;
+        for (const auto &rec : trace)
+            blocks += rec.numBlocks;
+        capacity = blocks + 16;
+    }
+
+    // Classifier for the PA family.
+    std::unique_ptr<PaClassifier> classifier;
+    if (config.policy == PolicyKind::PALRU ||
+        config.policy == PolicyKind::PAARC ||
+        config.policy == PolicyKind::PALIRS) {
+        PaParams pa = config.pa;
+        if (pa.intervalThreshold <= 0)
+            pa.intervalThreshold = pm.breakEvenTime(firstEnvelopeNap(pm));
+        classifier = std::make_unique<PaClassifier>(num_disks, pa);
+    }
+
+    std::unique_ptr<ReplacementPolicy> policy =
+        makePolicy(config, pm, classifier.get(), capacity);
+    Cache cache(capacity, *policy);
+
+    EventQueue eq;
+    AlwaysOnDpm always_on;
+    PracticalDpm practical(pm);
+    AdaptiveDpm adaptive(pm);
+    Dpm *dpm = &static_cast<Dpm &>(always_on);
+    if (config.dpm == DpmChoice::Practical)
+        dpm = &practical;
+    else if (config.dpm == DpmChoice::Adaptive)
+        dpm = &adaptive;
+
+    DiskArray disks(num_disks, eq, pm, sm, *dpm, config.disk);
+
+    std::unique_ptr<Disk> log_disk;
+    if (config.storage.writePolicy ==
+        WritePolicy::WriteThroughDeferredUpdate) {
+        log_disk = std::make_unique<Disk>(
+            static_cast<DiskId>(num_disks), eq, pm, sm, always_on);
+    }
+
+    StorageSystem system(trace, eq, cache, disks, config.storage,
+                         classifier.get(), log_disk.get());
+    system.run();
+
+    ExperimentResult result;
+    result.policyName = policyKindName(config.policy);
+    result.cache = cache.stats();
+    result.numModes = pm.numModes();
+    result.responses = system.responses();
+    result.diskAccesses = system.diskAccesses();
+    result.logWrites = system.logWrites();
+    result.prefetchedBlocks = system.prefetchedBlocks();
+
+    result.energy = EnergyStats(pm.numModes());
+    result.perDisk.reserve(num_disks);
+    const OracleAnalyzer oracle(pm);
+    for (DiskId d = 0; d < num_disks; ++d) {
+        EnergyStats stats = config.dpm == DpmChoice::Oracle
+            ? oracle.priceDisk(disks.disk(d)).stats
+            : disks.disk(d).energy();
+        result.energy += stats;
+        result.perDisk.push_back(std::move(stats));
+        result.diskMeanInterArrival.push_back(
+            disks.disk(d).meanInterArrival());
+    }
+
+    result.totalEnergy = result.energy.total();
+    if (log_disk)
+        result.totalEnergy += log_disk->energy().serviceEnergy;
+    return result;
+}
+
+} // namespace pacache

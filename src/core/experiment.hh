@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Turnkey experiment runner: build the whole simulated storage
+ * system (power model, DPM, disks, cache, replacement policy, write
+ * policy, optional PA classifier and WTDU log device) for a trace,
+ * run it, and collect every statistic the paper's figures need.
+ */
+
+#ifndef PACACHE_CORE_EXPERIMENT_HH
+#define PACACHE_CORE_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "core/pa_classifier.hh"
+#include "core/storage_system.hh"
+#include "disk/power_model.hh"
+#include "disk/service_model.hh"
+#include "stats/energy_stats.hh"
+#include "stats/response_stats.hh"
+#include "trace/trace.hh"
+
+namespace pacache
+{
+
+/** Replacement policies selectable by the runner. */
+enum class PolicyKind
+{
+    LRU,
+    FIFO,
+    CLOCK,
+    ARC,
+    MQ,
+    LIRS,
+    Belady,        //!< off-line MIN
+    OPG,           //!< off-line power-aware greedy
+    PALRU,         //!< on-line power-aware LRU
+    PAARC,         //!< PA wrapper around ARC
+    PALIRS,        //!< PA wrapper around LIRS
+    InfiniteCache, //!< no evictions (cold misses only)
+};
+
+/** DPM regime for the run. */
+enum class DpmChoice
+{
+    AlwaysOn,  //!< disks never leave full speed
+    Practical, //!< on-line threshold DPM (2-competitive)
+    Adaptive,  //!< per-disk adaptive spin-down timeout
+    Oracle,    //!< off-line envelope pricing, just-in-time spin-up
+};
+
+/** Full experiment configuration. */
+struct ExperimentConfig
+{
+    PolicyKind policy = PolicyKind::LRU;
+    DpmChoice dpm = DpmChoice::Practical;
+    std::size_t cacheBlocks = 32768; //!< 128 MiB of 4 KiB blocks
+    StorageConfig storage;
+    DiskSpec spec = DiskSpec::ultrastar36z15();
+    ServiceParams service;
+    DiskOptions disk; //!< e.g. DRPM serve-at-any-speed (option 1)
+    PaParams pa;           //!< intervalThreshold <= 0: auto from model
+    Energy opgTheta = -1;  //!< < 0: auto (first NAP transition energy)
+};
+
+/** Everything a run produces. */
+struct ExperimentResult
+{
+    std::string policyName;
+    CacheStats cache;
+    EnergyStats energy;               //!< all data disks combined
+    std::vector<EnergyStats> perDisk; //!< per data disk
+    ResponseStats responses;          //!< system-level (hits included)
+    Energy totalEnergy = 0;           //!< + log-device service energy
+    std::vector<double> diskMeanInterArrival; //!< post-cache, per disk
+    std::vector<uint64_t> diskAccesses;       //!< per disk
+    uint64_t logWrites = 0;
+    uint64_t prefetchedBlocks = 0;
+    std::size_t numModes = 0; //!< for interpreting the breakdowns
+};
+
+/** Display name for a policy kind. */
+const char *policyKindName(PolicyKind kind);
+
+/** Run one experiment over @p trace. */
+ExperimentResult runExperiment(const Trace &trace,
+                               const ExperimentConfig &config);
+
+} // namespace pacache
+
+#endif // PACACHE_CORE_EXPERIMENT_HH

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * OPG — the Off-line Power-aware Greedy replacement algorithm
+ * (paper Section 3.2).
+ *
+ * OPG maintains, per disk, the set S of *deterministic misses*:
+ * future accesses that are bound to miss no matter what the
+ * replacement algorithm does from now on (initially every cold miss;
+ * whenever a block is evicted, its next reference joins S; whenever
+ * a deterministic miss is serviced it leaves S).
+ *
+ * For a resident block x whose next access is l seconds after its
+ * *leader* (closest deterministic miss to the same disk before it)
+ * and f seconds before its *follower* (closest after it), evicting x
+ * turns one idle period of length l+f into two periods l and f, so
+ * the energy penalty is
+ *
+ *      penalty(x) = E(l) + E(f) - E(l+f) >= 0,
+ *
+ * where E is the idle-period energy function of the underlying DPM:
+ * the lower envelope E*(t) for Oracle DPM or the threshold-walk
+ * energy for Practical DPM. OPG evicts the block with the smallest
+ * penalty, breaking ties by the furthest next access.
+ *
+ * Penalties below the threshold theta are rounded up to theta, which
+ * trades energy for miss ratio: theta = 0 is pure OPG and
+ * theta -> infinity degrades exactly to Belady's MIN (all penalties
+ * equal; ties broken by forward distance).
+ *
+ * Implementation: per disk, S is a sorted set of access indices and
+ * resident blocks are indexed by next-access position, so inserting
+ * or erasing a deterministic miss re-prices only the blocks inside
+ * the affected gap; victims pop from a penalty-ordered set.
+ */
+
+#ifndef PACACHE_CORE_OPG_HH
+#define PACACHE_CORE_OPG_HH
+
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/policy.hh"
+#include "disk/power_model.hh"
+
+namespace pacache
+{
+
+/** Which idle-period energy function prices the penalties. */
+enum class DpmKind
+{
+    Oracle,    //!< lower envelope E*(t)
+    Practical, //!< threshold-based DPM energy
+};
+
+/** The off-line power-aware greedy policy. */
+class OpgPolicy : public ReplacementPolicy
+{
+  public:
+    /**
+     * @param pm     power model used to price idle periods
+     * @param kind   which DPM the disks run (prices E)
+     * @param theta  penalty floor in Joules (0 = pure OPG)
+     */
+    OpgPolicy(const PowerModel &pm, DpmKind kind, Energy theta = 0);
+
+    const char *name() const override { return "OPG"; }
+
+    void prepare(const std::vector<BlockAccess> &accesses) override;
+
+    void beforeMiss(const BlockId &block, Time now,
+                    std::size_t idx) override;
+    void onAccess(const BlockId &block, Time now, std::size_t idx,
+                  bool hit) override;
+    void onRemove(const BlockId &block) override;
+    BlockId evict(Time now, std::size_t idx) override;
+    bool supportsPrefetch() const override { return false; }
+
+    /** Energy penalty currently assigned to a resident block. */
+    Energy penaltyOf(const BlockId &block) const;
+
+    /** Number of deterministic misses currently tracked for a disk. */
+    std::size_t deterministicMissCount(DiskId disk) const;
+
+    /**
+     * Test hook: recompute every resident block's penalty from
+     * scratch and panic if any cached value or index entry is out of
+     * sync with the incremental bookkeeping.
+     */
+    void validateInternalState() const;
+
+  private:
+    struct Info
+    {
+        std::size_t nextIdx;
+        Energy penalty;
+    };
+
+    /** Victim-ordering key: min penalty, then furthest next access. */
+    struct EvictKey
+    {
+        Energy penalty;
+        std::size_t nextIdx;
+        BlockId block;
+
+        bool
+        operator<(const EvictKey &o) const
+        {
+            if (penalty != o.penalty)
+                return penalty < o.penalty;
+            if (nextIdx != o.nextIdx)
+                return nextIdx > o.nextIdx; // furthest first
+            return block < o.block;
+        }
+    };
+
+    Time timeOf(std::size_t idx) const;
+    Energy idleEnergy(Time t) const;
+    Energy computePenalty(DiskId disk, std::size_t next_idx) const;
+
+    void insertResident(const BlockId &block, std::size_t next_idx);
+    void eraseResident(const BlockId &block);
+    /** Re-price resident blocks with next access in (lo, hi). */
+    void repriceRange(DiskId disk, std::size_t lo, std::size_t hi);
+    void detInsert(DiskId disk, std::size_t idx);
+    void detErase(DiskId disk, std::size_t idx);
+
+    const PowerModel *pm;
+    DpmKind dpmKind;
+    Energy theta;
+
+    const std::vector<BlockAccess> *accesses = nullptr;
+    FutureKnowledge future;
+    Time bigTime = 0; //!< stands in for "no leader/follower"
+
+    std::vector<std::set<std::size_t>> detMiss; //!< per-disk S
+    std::vector<std::multimap<std::size_t, BlockId>> residentByNext;
+    std::unordered_map<BlockId, Info> info;
+    std::set<EvictKey> evictOrder;
+};
+
+} // namespace pacache
+
+#endif // PACACHE_CORE_OPG_HH

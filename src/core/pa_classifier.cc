@@ -1,0 +1,82 @@
+#include "core/pa_classifier.hh"
+
+#include "util/logging.hh"
+
+namespace pacache
+{
+
+PaClassifier::PaClassifier(std::size_t num_disks, const PaParams &params)
+    : p(params), bloom(params.bloomBits, params.bloomHashes),
+      epochEnd(params.epochLength),
+      accessesThisEpoch(num_disks, 0), coldThisEpoch(num_disks, 0),
+      lastDiskAccess(num_disks, -1.0), priority(num_disks, false),
+      lastColdFraction(num_disks, 0.0), lastQuantile(num_disks, 0.0)
+{
+    PACACHE_ASSERT(num_disks > 0, "classifier needs at least one disk");
+    PACACHE_ASSERT(p.epochLength > 0, "epoch length must be positive");
+    histograms.reserve(num_disks);
+    for (std::size_t i = 0; i < num_disks; ++i) {
+        // 1 ms .. ~3 hours covers every interesting interval length.
+        histograms.push_back(
+            IntervalHistogram::geometric(1e-3, 1e4, 8));
+    }
+}
+
+void
+PaClassifier::rollEpoch(Time now)
+{
+    while (now >= epochEnd) {
+        for (std::size_t d = 0; d < priority.size(); ++d) {
+            const uint64_t samples = histograms[d].sampleCount();
+            const uint64_t accesses = accessesThisEpoch[d];
+            if (accesses >= p.minEpochSamples &&
+                samples >= p.minEpochSamples) {
+                const double cold =
+                    static_cast<double>(coldThisEpoch[d]) /
+                    static_cast<double>(accesses);
+                const Time t_p =
+                    histograms[d].quantile(p.cumulativeProb);
+                lastColdFraction[d] = cold;
+                lastQuantile[d] = t_p;
+                priority[d] = cold <= p.coldMissThreshold &&
+                              t_p >= p.intervalThreshold;
+            } else if (accesses >= p.minEpochSamples && samples == 0) {
+                // Requests arrived but none reached the disk: the
+                // cache absorbs this disk entirely — clearly worth
+                // protecting if its accesses are not cold.
+                const double cold =
+                    static_cast<double>(coldThisEpoch[d]) /
+                    static_cast<double>(accesses);
+                lastColdFraction[d] = cold;
+                priority[d] = cold <= p.coldMissThreshold;
+            }
+            // Otherwise: too little evidence; keep the previous class.
+            accessesThisEpoch[d] = 0;
+            coldThisEpoch[d] = 0;
+            histograms[d].reset();
+        }
+        epochEnd += p.epochLength;
+        ++epochs;
+    }
+}
+
+void
+PaClassifier::onRequest(DiskId disk, const BlockId &block, Time now)
+{
+    rollEpoch(now);
+    PACACHE_ASSERT(disk < priority.size(), "disk id out of range");
+    ++accessesThisEpoch[disk];
+    if (bloom.testAndInsert(block.packed()))
+        ++coldThisEpoch[disk];
+}
+
+void
+PaClassifier::onDiskAccess(DiskId disk, Time now)
+{
+    PACACHE_ASSERT(disk < priority.size(), "disk id out of range");
+    if (lastDiskAccess[disk] >= 0)
+        histograms[disk].record(now - lastDiskAccess[disk]);
+    lastDiskAccess[disk] = now;
+}
+
+} // namespace pacache

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * The PA epoch-based disk classifier (paper Section 4).
+ *
+ * Per epoch (15 minutes by default) and per disk, PA tracks:
+ *  1. the fraction of requests that are *cold misses* — first-ever
+ *     accesses to their block, detected with a Bloom filter (never a
+ *     false negative, rare false positives), and
+ *  2. the distribution of idle-interval lengths between consecutive
+ *     *disk* accesses (the request stream after cache filtering),
+ *     via a histogram approximating the CDF F(x) (Figure 5).
+ *
+ * At each epoch boundary a disk is classified as "priority" iff its
+ * cold-miss fraction is at most alpha AND the inverse CDF at
+ * cumulative probability p is at least the interval threshold
+ * (break-even time of the first NAP mode by default); otherwise it
+ * is "regular". Blocks of priority disks are kept in the cache
+ * preferentially so those disks can sleep longer.
+ */
+
+#ifndef PACACHE_CORE_PA_CLASSIFIER_HH
+#define PACACHE_CORE_PA_CLASSIFIER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+#include "util/bloom_filter.hh"
+#include "util/histogram.hh"
+
+namespace pacache
+{
+
+/** PA classification parameters (paper Section 5.1 defaults). */
+struct PaParams
+{
+    Time epochLength = 900;         //!< 15 minutes
+    double coldMissThreshold = 0.5; //!< alpha
+    double cumulativeProb = 0.8;    //!< p
+    Time intervalThreshold = 10.0;  //!< T; set from the power model
+    std::size_t bloomBits = 1u << 22;
+    std::size_t bloomHashes = 4;
+    uint64_t minEpochSamples = 2;   //!< keep old class below this
+};
+
+/** Epoch-based regular/priority disk classifier. */
+class PaClassifier
+{
+  public:
+    PaClassifier(std::size_t num_disks, const PaParams &params);
+
+    /**
+     * Every request to the storage system (pre-cache). Rolls the
+     * epoch over when due and feeds the cold-miss statistics.
+     */
+    void onRequest(DiskId disk, const BlockId &block, Time now);
+
+    /** Every access that reaches a disk (post-cache). */
+    void onDiskAccess(DiskId disk, Time now);
+
+    /** Current classification. */
+    bool isPriority(DiskId disk) const { return priority[disk]; }
+
+    /** Number of completed epochs. */
+    uint64_t epochsCompleted() const { return epochs; }
+
+    /** Cold-miss fraction observed in the previous epoch. */
+    double lastColdMissFraction(DiskId disk) const
+    {
+        return lastColdFraction[disk];
+    }
+
+    /** F^{-1}(p) observed in the previous epoch (seconds). */
+    Time lastIntervalQuantile(DiskId disk) const
+    {
+        return lastQuantile[disk];
+    }
+
+    const PaParams &params() const { return p; }
+
+  private:
+    void rollEpoch(Time now);
+
+    PaParams p;
+    BloomFilter bloom;
+    Time epochEnd;
+    uint64_t epochs = 0;
+
+    // Per-disk, current epoch:
+    std::vector<uint64_t> accessesThisEpoch;
+    std::vector<uint64_t> coldThisEpoch;
+    std::vector<IntervalHistogram> histograms;
+    std::vector<Time> lastDiskAccess; //!< persists across epochs
+
+    // Classification state:
+    std::vector<bool> priority;
+    std::vector<double> lastColdFraction;
+    std::vector<Time> lastQuantile;
+};
+
+} // namespace pacache
+
+#endif // PACACHE_CORE_PA_CLASSIFIER_HH

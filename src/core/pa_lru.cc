@@ -1,0 +1,106 @@
+#include "core/pa_lru.hh"
+
+#include "util/logging.hh"
+
+namespace pacache
+{
+
+void
+PaLruPolicy::onAccess(const BlockId &block, Time, std::size_t, bool hit)
+{
+    if (hit) {
+        // The disk's class may have changed since insertion; migrate.
+        lru0.remove(block);
+        lru1.remove(block);
+    }
+    if (cls->isPriority(block.disk))
+        lru1.touch(block);
+    else
+        lru0.touch(block);
+}
+
+void
+PaLruPolicy::onRemove(const BlockId &block)
+{
+    if (!lru0.remove(block)) {
+        const bool present = lru1.remove(block);
+        PACACHE_ASSERT(present, "PA-LRU removal of unknown block");
+    }
+}
+
+BlockId
+PaLruPolicy::evict(Time, std::size_t)
+{
+    if (!lru0.empty())
+        return lru0.popLru();
+    PACACHE_ASSERT(!lru1.empty(), "PA-LRU evict on empty cache");
+    return lru1.popLru();
+}
+
+PaDualPolicy::PaDualPolicy(const PaClassifier &classifier,
+                           std::unique_ptr<ReplacementPolicy> regular,
+                           std::unique_ptr<ReplacementPolicy> priority,
+                           std::string label_)
+    : cls(&classifier), label(std::move(label_))
+{
+    sub[0] = std::move(regular);
+    sub[1] = std::move(priority);
+    PACACHE_ASSERT(sub[0] && sub[1], "PA wrapper needs two base policies");
+}
+
+void
+PaDualPolicy::beforeMiss(const BlockId &block, Time now, std::size_t idx)
+{
+    const uint8_t which = cls->isPriority(block.disk) ? 1 : 0;
+    sub[which]->beforeMiss(block, now, idx);
+}
+
+void
+PaDualPolicy::onAccess(const BlockId &block, Time now, std::size_t idx,
+                       bool hit)
+{
+    const uint8_t want = cls->isPriority(block.disk) ? 1 : 0;
+    auto it = home.find(block);
+    if (hit) {
+        PACACHE_ASSERT(it != home.end(), "PA wrapper hit on unknown block");
+        const uint8_t have = it->second;
+        if (have == want) {
+            sub[want]->onAccess(block, now, idx, true);
+            return;
+        }
+        // Classification changed: migrate between sub-policies.
+        sub[have]->onRemove(block);
+        --counts[have];
+        sub[want]->onAccess(block, now, idx, false);
+        ++counts[want];
+        it->second = want;
+        return;
+    }
+    PACACHE_ASSERT(it == home.end(), "PA wrapper double insert");
+    sub[want]->onAccess(block, now, idx, false);
+    ++counts[want];
+    home.emplace(block, want);
+}
+
+void
+PaDualPolicy::onRemove(const BlockId &block)
+{
+    auto it = home.find(block);
+    PACACHE_ASSERT(it != home.end(), "PA wrapper removal of unknown block");
+    sub[it->second]->onRemove(block);
+    --counts[it->second];
+    home.erase(it);
+}
+
+BlockId
+PaDualPolicy::evict(Time now, std::size_t idx)
+{
+    const uint8_t which = counts[0] > 0 ? 0 : 1;
+    PACACHE_ASSERT(counts[which] > 0, "PA wrapper evict on empty cache");
+    const BlockId victim = sub[which]->evict(now, idx);
+    --counts[which];
+    home.erase(victim);
+    return victim;
+}
+
+} // namespace pacache

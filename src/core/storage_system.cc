@@ -1,0 +1,283 @@
+#include "core/storage_system.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace pacache
+{
+
+StorageSystem::StorageSystem(const Trace &trace_, EventQueue &eq,
+                             Cache &cache_, DiskArray &disks_,
+                             const StorageConfig &config,
+                             PaClassifier *classifier, Disk *log_disk)
+    : trace(&trace_), queue(eq), cache(cache_), disks(disks_),
+      cfg(config), cls(classifier), logDisk(log_disk),
+      perDiskAccesses(disks_.numDisks(), 0)
+{
+    if (cfg.writePolicy == WritePolicy::WriteThroughDeferredUpdate) {
+        PACACHE_ASSERT(logDisk != nullptr, "WTDU needs a log device");
+        log = std::make_unique<WtduLog>(disks.numDisks(),
+                                        cfg.wtduRegionBlocks);
+    }
+    PACACHE_ASSERT(cfg.prefetchBlocks == 0 ||
+                       cache.policy().supportsPrefetch(),
+                   "prefetch is incompatible with off-line policies");
+
+    const bool wants_activation_hook =
+        cfg.writePolicy == WritePolicy::WriteBackEagerUpdate ||
+        cfg.writePolicy == WritePolicy::WriteThroughDeferredUpdate;
+    if (wants_activation_hook) {
+        for (DiskId d = 0; d < disks.numDisks(); ++d) {
+            disks.disk(d).setOnActivated([this, d](Time now) {
+                onDiskActivated(d, now);
+            });
+        }
+    }
+}
+
+void
+StorageSystem::run()
+{
+    PACACHE_ASSERT(!ran, "StorageSystem::run called twice");
+    ran = true;
+
+    const std::vector<BlockAccess> accesses = expandTrace(*trace);
+    cache.policy().prepare(accesses);
+
+    for (std::size_t i = 0; i < accesses.size(); ++i) {
+        queue.runUntil(accesses[i].time);
+        processAccess(accesses[i], i);
+    }
+
+    // Drain in-flight services, spin-ups, and demotion chains, then
+    // close every disk's accounting at a horizon that depends only on
+    // the trace and the power model — NOT on run dynamics — so that
+    // energies are comparable across policies and DPM choices.
+    queue.runAll();
+    const PowerModel &pm = disks.powerModel();
+    const Time tail =
+        (pm.thresholds().empty() ? 0.0 : pm.thresholds().back()) +
+        pm.mode(pm.deepestMode()).transitionTime() + 10.0;
+    const Time horizon = std::max(trace->endTime() + tail, queue.now());
+    disks.finalize(horizon);
+    if (logDisk)
+        logDisk->finalize(horizon);
+}
+
+void
+StorageSystem::processAccess(const BlockAccess &acc, std::size_t idx)
+{
+    if (cls)
+        cls->onRequest(acc.block.disk, acc.block, acc.time);
+    if (acc.write)
+        handleWrite(acc, idx);
+    else
+        handleRead(acc, idx);
+}
+
+void
+StorageSystem::handleRead(const BlockAccess &acc, std::size_t idx)
+{
+    const Time now = acc.time;
+    const CacheResult result = cache.access(acc.block, now, idx);
+    if (result.hit) {
+        respStats.record(cfg.hitLatency);
+        return;
+    }
+
+    // Sequential prefetch: extend the fetch over the following
+    // non-resident blocks — the platters are paying for this seek and
+    // rotation anyway.
+    uint32_t run = 1;
+    if (cfg.prefetchBlocks > 0) {
+        while (run <= cfg.prefetchBlocks &&
+               !cache.contains(
+                   BlockId{acc.block.disk, acc.block.block + run})) {
+            ++run;
+        }
+    }
+
+    submitDisk(acc.block.disk, acc.block.block, run, false, true, now);
+    handleVictim(result, now);
+    for (uint32_t b = 1; b < run; ++b) {
+        const CacheResult pf = cache.insert(
+            BlockId{acc.block.disk, acc.block.block + b}, now, idx);
+        if (!pf.hit)
+            ++prefetchCount;
+        handleVictim(pf, now);
+    }
+}
+
+void
+StorageSystem::handleWrite(const BlockAccess &acc, std::size_t idx)
+{
+    const Time now = acc.time;
+    const DiskId d = acc.block.disk;
+    const CacheResult result = cache.access(acc.block, now, idx);
+
+    switch (cfg.writePolicy) {
+      case WritePolicy::WriteThrough:
+        handleVictim(result, now);
+        submitDisk(d, acc.block.block, 1, true, true, now);
+        break;
+
+      case WritePolicy::WriteBack:
+        cache.markDirty(acc.block);
+        handleVictim(result, now);
+        respStats.record(cfg.hitLatency);
+        break;
+
+      case WritePolicy::WriteBackEagerUpdate: {
+        cache.markDirty(acc.block);
+        handleVictim(result, now);
+        respStats.record(cfg.hitLatency);
+        if (cache.dirtyCount(d) >= cfg.wbeuMaxDirtyPerDisk) {
+            // Dirty backlog cap reached: force the disk awake and
+            // flush everything (the submits trigger the spin-up).
+            std::vector<BlockId> dirty = cache.dirtyBlocksOf(d);
+            for (const BlockId &b : dirty)
+                cache.markClean(b);
+            flushBlocks(d, std::move(dirty), now);
+        }
+        break;
+      }
+
+      case WritePolicy::WriteThroughDeferredUpdate: {
+        handleVictim(result, now);
+        if (disks.disk(d).atFullSpeed()) {
+            // The destination is awake: plain write-through.
+            cache.clearLogged(acc.block);
+            submitDisk(d, acc.block.block, 1, true, true, now);
+            break;
+        }
+        if (log->full(d))
+            flushLogged(d, now); // wakes the disk; region retires
+        const BlockNum log_block =
+            static_cast<BlockNum>(d) * log->regionBlocks() +
+            log->used(d);
+        const bool ok = log->append(d, acc.block.block, nextVersion++);
+        PACACHE_ASSERT(ok, "WTDU log region still full after flush");
+        cache.markLogged(acc.block);
+        ++logWriteCount;
+
+        DiskRequest req;
+        req.arrival = now;
+        req.block = log_block;
+        req.numBlocks = 1;
+        req.write = true;
+        req.onComplete = [this, now](Time done, const DiskRequest &) {
+            respStats.record(done - now);
+        };
+        logDisk->submit(std::move(req));
+        break;
+      }
+    }
+}
+
+void
+StorageSystem::handleVictim(const CacheResult &result, Time now)
+{
+    if (!result.evicted)
+        return;
+    if (result.victimDirty) {
+        // Write-back family: the eviction forces the write-back.
+        submitDisk(result.victim.disk, result.victim.block, 1, true,
+                   false, now);
+    }
+    if (result.victimLogged) {
+        // WTDU corner case: the cache copy is the only fresh copy
+        // outside the log; persist it home before dropping it.
+        ++loggedEvictionCount;
+        submitDisk(result.victim.disk, result.victim.block, 1, true,
+                   false, now);
+    }
+}
+
+void
+StorageSystem::submitDisk(DiskId disk, BlockNum block, uint32_t count,
+                          bool write, bool record_response, Time arrival)
+{
+    PACACHE_ASSERT(disk < disks.numDisks(), "disk id out of range");
+    ++perDiskAccesses[disk];
+    if (cls)
+        cls->onDiskAccess(disk, arrival);
+
+    DiskRequest req;
+    req.arrival = arrival;
+    req.block = block;
+    req.numBlocks = count;
+    req.write = write;
+    if (record_response) {
+        req.onComplete = [this, arrival](Time done, const DiskRequest &) {
+            respStats.record(done - arrival);
+        };
+    }
+    disks.submit(disk, std::move(req));
+}
+
+void
+StorageSystem::flushBlocks(DiskId disk, std::vector<BlockId> blocks,
+                           Time now)
+{
+    if (blocks.empty())
+        return;
+    std::sort(blocks.begin(), blocks.end());
+    std::size_t i = 0;
+    while (i < blocks.size()) {
+        std::size_t j = i + 1;
+        while (j < blocks.size() &&
+               blocks[j].block == blocks[j - 1].block + 1 &&
+               j - i < cfg.maxFlushRun) {
+            ++j;
+        }
+        submitDisk(disk, blocks[i].block,
+                   static_cast<uint32_t>(j - i), true, false, now);
+        i = j;
+    }
+}
+
+void
+StorageSystem::onDiskActivated(DiskId disk, Time now)
+{
+    switch (cfg.writePolicy) {
+      case WritePolicy::WriteBackEagerUpdate: {
+        std::vector<BlockId> dirty = cache.dirtyBlocksOf(disk);
+        for (const BlockId &b : dirty)
+            cache.markClean(b);
+        flushBlocks(disk, std::move(dirty), now);
+        break;
+      }
+      case WritePolicy::WriteThroughDeferredUpdate:
+        flushLogged(disk, now);
+        break;
+      default:
+        break;
+    }
+}
+
+void
+StorageSystem::flushLogged(DiskId disk, Time now)
+{
+    if (log->used(disk) == 0)
+        return;
+    std::vector<BlockId> logged = cache.loggedBlocksOf(disk);
+    for (const BlockId &b : logged)
+        cache.clearLogged(b);
+    flushBlocks(disk, std::move(logged), now);
+    log->retire(disk);
+}
+
+Energy
+StorageSystem::totalEnergy() const
+{
+    Energy total = disks.totalEnergy().total();
+    // The log device is a pre-existing always-active resource (e.g.
+    // a database log disk or NVRAM); only the traffic WTDU adds to it
+    // is charged to the policy.
+    if (logDisk)
+        total += logDisk->energy().serviceEnergy;
+    return total;
+}
+
+} // namespace pacache

@@ -1,0 +1,24 @@
+#include "core/write_policy.hh"
+
+#include "util/logging.hh"
+
+namespace pacache
+{
+
+const char *
+writePolicyName(WritePolicy policy)
+{
+    switch (policy) {
+      case WritePolicy::WriteThrough:
+        return "WT";
+      case WritePolicy::WriteBack:
+        return "WB";
+      case WritePolicy::WriteBackEagerUpdate:
+        return "WBEU";
+      case WritePolicy::WriteThroughDeferredUpdate:
+        return "WTDU";
+    }
+    PACACHE_PANIC("unknown write policy");
+}
+
+} // namespace pacache

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Storage-cache write policies (paper Section 6):
+ *
+ *  - WriteThrough (WT): dirty blocks go to disk immediately; the
+ *    client is acknowledged only once the data is on disk.
+ *  - WriteBack (WB): dirty blocks are written only when evicted.
+ *  - WriteBackEagerUpdate (WBEU): write-back, plus all of a disk's
+ *    dirty blocks are flushed whenever that disk becomes active
+ *    (spin-up for a read miss), and a disk is forced awake when its
+ *    dirty backlog exceeds a threshold.
+ *  - WriteThroughDeferredUpdate (WTDU): writes aimed at a sleeping
+ *    disk go to a per-disk region of a persistent, always-active log
+ *    device instead (same persistency as WT); when the disk wakes,
+ *    logged blocks are flushed and the region is retired via its
+ *    timestamp.
+ */
+
+#ifndef PACACHE_CORE_WRITE_POLICY_HH
+#define PACACHE_CORE_WRITE_POLICY_HH
+
+namespace pacache
+{
+
+/** The four cache write policies studied in the paper. */
+enum class WritePolicy
+{
+    WriteThrough,
+    WriteBack,
+    WriteBackEagerUpdate,
+    WriteThroughDeferredUpdate,
+};
+
+/** Short display name ("WT", "WB", "WBEU", "WTDU"). */
+const char *writePolicyName(WritePolicy policy);
+
+} // namespace pacache
+
+#endif // PACACHE_CORE_WRITE_POLICY_HH

@@ -1,0 +1,90 @@
+#include "core/wtdu_log.hh"
+
+#include "util/logging.hh"
+
+namespace pacache
+{
+
+WtduLog::WtduLog(std::size_t num_disks, std::size_t region_blocks)
+    : regionCapacity(region_blocks), regions(num_disks)
+{
+    PACACHE_ASSERT(num_disks > 0, "log needs at least one region");
+    PACACHE_ASSERT(region_blocks > 0, "regions need positive capacity");
+    for (auto &r : regions)
+        r.slots.reserve(region_blocks);
+}
+
+const WtduLog::Region &
+WtduLog::region(DiskId disk) const
+{
+    PACACHE_ASSERT(disk < regions.size(), "log region out of range");
+    return regions[disk];
+}
+
+WtduLog::Region &
+WtduLog::region(DiskId disk)
+{
+    PACACHE_ASSERT(disk < regions.size(), "log region out of range");
+    return regions[disk];
+}
+
+bool
+WtduLog::append(DiskId disk, BlockNum block, uint64_t version)
+{
+    Region &r = region(disk);
+    if (r.freePtr >= regionCapacity)
+        return false;
+    // Physically, slot reuse overwrites the stale entry left by a
+    // previous generation.
+    const Entry e{block, version, r.stamp};
+    if (r.freePtr < r.slots.size())
+        r.slots[r.freePtr] = e;
+    else
+        r.slots.push_back(e);
+    ++r.freePtr;
+    ++totalAppends;
+    return true;
+}
+
+bool
+WtduLog::full(DiskId disk) const
+{
+    return region(disk).freePtr >= regionCapacity;
+}
+
+std::size_t
+WtduLog::used(DiskId disk) const
+{
+    return region(disk).freePtr;
+}
+
+void
+WtduLog::retire(DiskId disk)
+{
+    Region &r = region(disk);
+    ++r.stamp;
+    r.freePtr = 0;
+}
+
+uint64_t
+WtduLog::timestamp(DiskId disk) const
+{
+    return region(disk).stamp;
+}
+
+std::vector<WtduLog::Entry>
+WtduLog::recover(DiskId disk) const
+{
+    const Region &r = region(disk);
+    std::vector<Entry> live;
+    // Scan the whole physical region, as a real recovery pass would:
+    // only entries stamped with the current region timestamp are
+    // newer than the last retire.
+    for (const Entry &e : r.slots) {
+        if (e.stamp == r.stamp)
+            live.push_back(e);
+    }
+    return live;
+}
+
+} // namespace pacache

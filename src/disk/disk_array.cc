@@ -1,0 +1,66 @@
+#include "disk/disk_array.hh"
+
+#include "util/logging.hh"
+
+namespace pacache
+{
+
+DiskArray::DiskArray(std::size_t num_disks, EventQueue &eq,
+                     const PowerModel &pm_, const ServiceModel &sm_,
+                     Dpm &dpm, const DiskOptions &opts)
+    : queue(eq), pm(&pm_), sm(&sm_)
+{
+    PACACHE_ASSERT(num_disks > 0, "array needs at least one disk");
+    disks.reserve(num_disks);
+    for (std::size_t i = 0; i < num_disks; ++i) {
+        disks.push_back(std::make_unique<Disk>(
+            static_cast<DiskId>(i), eq, pm_, sm_, dpm, opts));
+    }
+}
+
+Disk &
+DiskArray::disk(DiskId id)
+{
+    PACACHE_ASSERT(id < disks.size(), "disk id out of range: ", id);
+    return *disks[id];
+}
+
+const Disk &
+DiskArray::disk(DiskId id) const
+{
+    PACACHE_ASSERT(id < disks.size(), "disk id out of range: ", id);
+    return *disks[id];
+}
+
+void
+DiskArray::submit(DiskId id, DiskRequest req)
+{
+    disk(id).submit(std::move(req));
+}
+
+void
+DiskArray::finalize(Time end)
+{
+    for (auto &d : disks)
+        d->finalize(end);
+}
+
+EnergyStats
+DiskArray::totalEnergy() const
+{
+    EnergyStats total(pm->numModes());
+    for (const auto &d : disks)
+        total += d->energy();
+    return total;
+}
+
+ResponseStats
+DiskArray::totalResponses() const
+{
+    ResponseStats total;
+    for (const auto &d : disks)
+        total.merge(d->responses());
+    return total;
+}
+
+} // namespace pacache

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * A homogeneous array of simulated disks sharing one event queue,
+ * power model, service model, and DPM policy — the storage back-end
+ * behind the cache.
+ */
+
+#ifndef PACACHE_DISK_DISK_ARRAY_HH
+#define PACACHE_DISK_DISK_ARRAY_HH
+
+#include <memory>
+#include <vector>
+
+#include "disk/disk.hh"
+
+namespace pacache
+{
+
+/** Array of identical disks behind the storage cache. */
+class DiskArray
+{
+  public:
+    /**
+     * @param num_disks  number of disks
+     * @param eq         shared event queue
+     * @param pm         power model (not owned)
+     * @param sm         service model (not owned)
+     * @param dpm        DPM policy (not owned)
+     */
+    DiskArray(std::size_t num_disks, EventQueue &eq, const PowerModel &pm,
+              const ServiceModel &sm, Dpm &dpm,
+              const DiskOptions &opts);
+
+    DiskArray(std::size_t num_disks, EventQueue &eq, const PowerModel &pm,
+              const ServiceModel &sm, Dpm &dpm)
+        : DiskArray(num_disks, eq, pm, sm, dpm, DiskOptions{}) {}
+
+    std::size_t numDisks() const { return disks.size(); }
+
+    Disk &disk(DiskId id);
+    const Disk &disk(DiskId id) const;
+
+    /** Submit a request to its disk at the current simulated time. */
+    void submit(DiskId id, DiskRequest req);
+
+    /** Finalize every disk's accounting at @p end. */
+    void finalize(Time end);
+
+    /** Sum of all per-disk energy breakdowns. */
+    EnergyStats totalEnergy() const;
+
+    /** Merged response-time statistics across disks. */
+    ResponseStats totalResponses() const;
+
+    const PowerModel &powerModel() const { return *pm; }
+    const ServiceModel &serviceModel() const { return *sm; }
+
+  private:
+    EventQueue &queue;
+    const PowerModel *pm;
+    const ServiceModel *sm;
+    std::vector<std::unique_ptr<Disk>> disks;
+};
+
+} // namespace pacache
+
+#endif // PACACHE_DISK_DISK_ARRAY_HH

@@ -1,0 +1,79 @@
+#include "disk/oracle_dpm.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace pacache
+{
+
+OracleResult
+OracleAnalyzer::price(const std::vector<Time> &gaps,
+                      const EnergyStats &service,
+                      bool last_gap_open) const
+{
+    const PowerModel &pm = *powerModel;
+    OracleResult result;
+    result.stats = EnergyStats(pm.numModes());
+    result.stats.serviceEnergy = service.serviceEnergy;
+    result.stats.busyTime = service.busyTime;
+    result.stats.requests = service.requests;
+
+    for (std::size_t g = 0; g < gaps.size(); ++g) {
+        const Time gap = gaps[g];
+        const bool open = last_gap_open && g + 1 == gaps.size();
+
+        if (!open) {
+            // Closed gap: pay the full round trip of the best mode
+            // (the paper's E_i(t) = P_i t + TE_i pricing).
+            const std::size_t m = pm.bestMode(gap);
+            const PowerMode &mode = pm.mode(m);
+            result.stats.idleEnergyPerMode[m] += mode.idlePower * gap;
+            result.stats.timePerMode[m] +=
+                std::max<Time>(0.0, gap - mode.transitionTime());
+            if (m != 0) {
+                result.stats.spinDownEnergy += mode.spinDownEnergy;
+                result.stats.spinDownTime +=
+                    std::min(mode.spinDownTime, gap);
+                result.stats.spinUpEnergy += mode.spinUpEnergy;
+                result.stats.spinUpTime += std::min(mode.spinUpTime, gap);
+                ++result.stats.spinDowns;
+                ++result.stats.spinUps;
+            }
+        } else {
+            // Trailing gap: no further request, so no spin-up is ever
+            // paid; pick the mode minimizing park + spin-down energy.
+            std::size_t best = 0;
+            Energy best_e = pm.mode(0).idlePower * gap;
+            for (std::size_t i = 1; i < pm.numModes(); ++i) {
+                const Energy e = pm.mode(i).idlePower * gap +
+                                 pm.mode(i).spinDownEnergy;
+                if (e < best_e) {
+                    best_e = e;
+                    best = i;
+                }
+            }
+            const PowerMode &mode = pm.mode(best);
+            result.stats.idleEnergyPerMode[best] += mode.idlePower * gap;
+            result.stats.timePerMode[best] +=
+                std::max<Time>(0.0, gap - mode.spinDownTime);
+            if (best != 0) {
+                result.stats.spinDownEnergy += mode.spinDownEnergy;
+                result.stats.spinDownTime +=
+                    std::min(mode.spinDownTime, gap);
+                ++result.stats.spinDowns;
+            }
+        }
+    }
+
+    result.totalEnergy = result.stats.total();
+    return result;
+}
+
+OracleResult
+OracleAnalyzer::priceDisk(const Disk &disk) const
+{
+    return price(disk.idleGaps(), disk.energy(), true);
+}
+
+} // namespace pacache

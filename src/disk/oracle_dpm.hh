@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Oracle disk power management (paper Section 2.2), implemented as an
+ * off-line analyzer.
+ *
+ * Oracle DPM knows the length of every idle gap in advance: after
+ * each request it parks the disk in the mode minimizing E_i(gap) (the
+ * lower envelope of the energy lines) and spins the disk up *just in
+ * time* for the next request, so response times are unaffected.
+ *
+ * Because the trace-driven arrival times do not depend on disk
+ * latency, the idle gaps a disk sees are exactly those observed in a
+ * run with an always-on policy. The analyzer therefore takes a disk
+ * that was simulated with AlwaysOnDpm and re-prices its idle gaps
+ * with the envelope, yielding the Oracle energy for the same request
+ * sequence.
+ */
+
+#ifndef PACACHE_DISK_ORACLE_DPM_HH
+#define PACACHE_DISK_ORACLE_DPM_HH
+
+#include <vector>
+
+#include "disk/disk.hh"
+#include "disk/power_model.hh"
+#include "stats/energy_stats.hh"
+
+namespace pacache
+{
+
+/** Result of pricing one disk's timeline under Oracle DPM. */
+struct OracleResult
+{
+    EnergyStats stats;  //!< full breakdown (per-mode idle, service,
+                        //!< transitions)
+    Energy totalEnergy = 0;
+};
+
+/** Off-line analyzer computing Oracle-DPM energy. */
+class OracleAnalyzer
+{
+  public:
+    explicit OracleAnalyzer(const PowerModel &pm) : powerModel(&pm) {}
+
+    /**
+     * Price a sequence of idle gaps under Oracle DPM. The final gap
+     * (after the last request) ends the simulation, so it is parked
+     * in the best mode but pays no spin-up.
+     *
+     * @param gaps          idle gap lengths in seconds
+     * @param service       service energy/time carried over unchanged
+     * @param last_gap_open true if the final entry of @p gaps is the
+     *                      trailing (never-re-activated) gap
+     */
+    OracleResult price(const std::vector<Time> &gaps,
+                       const EnergyStats &service,
+                       bool last_gap_open = true) const;
+
+    /**
+     * Convenience: price a finalized always-on disk. Service energy,
+     * busy time and request counts are copied from the disk; idle
+     * gaps are re-priced with the envelope.
+     */
+    OracleResult priceDisk(const Disk &disk) const;
+
+  private:
+    const PowerModel *powerModel;
+};
+
+} // namespace pacache
+
+#endif // PACACHE_DISK_ORACLE_DPM_HH

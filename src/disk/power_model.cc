@@ -1,0 +1,238 @@
+#include "disk/power_model.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace pacache
+{
+
+DiskSpec
+DiskSpec::ultrastar36z15()
+{
+    return DiskSpec{};
+}
+
+namespace
+{
+
+/**
+ * Derive the idle-mode list for a spec: full-speed idle, one NAP mode
+ * per RPM step down to minRpm, then standby. Transition time/energy
+ * scale linearly with delta-RPM; idle power scales quadratically with
+ * RPM (see file comment in power_model.hh).
+ */
+std::vector<PowerMode>
+deriveModes(const DiskSpec &spec)
+{
+    PACACHE_ASSERT(spec.maxRpm > 0 && spec.rpmStep > 0,
+                   "bad RPM configuration");
+    PACACHE_ASSERT(spec.idlePower > spec.standbyPower,
+                   "idle power must exceed standby power");
+
+    std::vector<PowerMode> modes;
+    auto add = [&](const std::string &name, double rpm) {
+        const double f = rpm / spec.maxRpm;         // speed fraction
+        const double d = 1.0 - f;                   // depth fraction
+        PowerMode m;
+        m.name = name;
+        m.rpm = rpm;
+        m.idlePower = spec.standbyPower +
+                      (spec.idlePower - spec.standbyPower) * f * f;
+        m.spinUpTime = spec.spinUpTime * d;
+        m.spinUpEnergy = spec.spinUpEnergy * d;
+        m.spinDownTime = spec.spinDownTime * d;
+        m.spinDownEnergy = spec.spinDownEnergy * d;
+        modes.push_back(std::move(m));
+    };
+
+    add("idle", spec.maxRpm);
+    int nap = 1;
+    for (double rpm = spec.maxRpm - spec.rpmStep;
+         rpm >= spec.minRpm - 1e-9; rpm -= spec.rpmStep) {
+        add("NAP" + std::to_string(nap++), rpm);
+    }
+    add("standby", 0.0);
+    return modes;
+}
+
+} // namespace
+
+PowerModel::PowerModel(const DiskSpec &spec)
+    : PowerModel(spec, deriveModes(spec))
+{
+}
+
+PowerModel::PowerModel(const DiskSpec &spec, std::vector<PowerMode> modes)
+    : diskSpec(spec), modeList(std::move(modes))
+{
+    PACACHE_ASSERT(!modeList.empty(), "power model needs at least one mode");
+    for (std::size_t i = 1; i < modeList.size(); ++i) {
+        PACACHE_ASSERT(modeList[i].idlePower <= modeList[i - 1].idlePower,
+                       "mode powers must be non-increasing");
+        PACACHE_ASSERT(modeList[i].transitionEnergy() >=
+                           modeList[i - 1].transitionEnergy(),
+                       "transition energies must be non-decreasing");
+    }
+    computeEnvelope();
+}
+
+const PowerMode &
+PowerModel::mode(std::size_t i) const
+{
+    PACACHE_ASSERT(i < modeList.size(), "mode index ", i, " out of range");
+    return modeList[i];
+}
+
+Energy
+PowerModel::energyLine(std::size_t mode_idx, Time t) const
+{
+    const PowerMode &m = mode(mode_idx);
+    return m.idlePower * t + m.transitionEnergy();
+}
+
+Energy
+PowerModel::envelope(Time t) const
+{
+    return energyLine(bestMode(t), t);
+}
+
+std::size_t
+PowerModel::bestMode(Time t) const
+{
+    std::size_t best = 0;
+    Energy best_e = energyLine(0, t);
+    for (std::size_t i = 1; i < modeList.size(); ++i) {
+        const Energy e = energyLine(i, t);
+        if (e < best_e) {
+            best_e = e;
+            best = i;
+        }
+    }
+    return best;
+}
+
+Energy
+PowerModel::savingsLine(std::size_t mode_idx, Time t) const
+{
+    return energyLine(0, t) - energyLine(mode_idx, t);
+}
+
+Energy
+PowerModel::maxSavings(Time t) const
+{
+    return energyLine(0, t) - envelope(t);
+}
+
+Time
+PowerModel::breakEvenTime(std::size_t mode_idx) const
+{
+    const PowerMode &m = mode(mode_idx);
+    const Power dp = modeList[0].idlePower - m.idlePower;
+    if (dp <= 0)
+        return mode_idx == 0 ? 0.0 : std::numeric_limits<Time>::infinity();
+    return m.transitionEnergy() / dp;
+}
+
+void
+PowerModel::computeEnvelope()
+{
+    // Lower envelope of the lines E_i(t) = P_i * t + TE_i. Slopes are
+    // non-increasing with i and intercepts non-decreasing, so a
+    // convex-hull-of-lines sweep applies: keep a stack of envelope
+    // lines and pop lines that become dominated.
+    envModes.clear();
+    thresholdTimes.clear();
+
+    auto intersect = [&](std::size_t a, std::size_t b) {
+        const double dp = modeList[a].idlePower - modeList[b].idlePower;
+        const double de = modeList[b].transitionEnergy() -
+                          modeList[a].transitionEnergy();
+        return dp > 0 ? de / dp : std::numeric_limits<double>::infinity();
+    };
+
+    for (std::size_t i = 0; i < modeList.size(); ++i) {
+        while (true) {
+            if (envModes.empty()) {
+                envModes.push_back(i);
+                break;
+            }
+            const std::size_t top = envModes.back();
+            const double t_new = intersect(top, i);
+            if (!std::isfinite(t_new))
+                break; // equal power, >= intercept: i never wins
+            const double t_prev =
+                thresholdTimes.empty() ? 0.0 : thresholdTimes.back();
+            if (t_new <= t_prev) {
+                // i overtakes top before top's segment even starts:
+                // top never appears on the envelope.
+                envModes.pop_back();
+                if (!thresholdTimes.empty())
+                    thresholdTimes.pop_back();
+                continue;
+            }
+            envModes.push_back(i);
+            thresholdTimes.push_back(t_new);
+            break;
+        }
+    }
+
+    PACACHE_ASSERT(envModes.size() == thresholdTimes.size() + 1,
+                   "envelope bookkeeping mismatch");
+}
+
+std::size_t
+PowerModel::practicalModeAt(Time t) const
+{
+    std::size_t step = 0;
+    while (step < thresholdTimes.size() && t >= thresholdTimes[step])
+        ++step;
+    return envModes[step];
+}
+
+Energy
+PowerModel::practicalEnergy(Time t) const
+{
+    // Walk the envelope steps; the disk sits at envModes[k] during
+    // [thresholds[k-1], thresholds[k]). Demotion energies telescope to
+    // the final mode's spin-down energy; the gap ends with a spin-up
+    // from the final mode. Transition times are treated as part of the
+    // gap (the analytic simplification the paper uses for E'(t)).
+    Energy e = 0;
+    Time prev = 0;
+    std::size_t step = 0;
+    while (step < thresholdTimes.size() && t >= thresholdTimes[step]) {
+        e += mode(envModes[step]).idlePower * (thresholdTimes[step] - prev);
+        prev = thresholdTimes[step];
+        ++step;
+    }
+    const PowerMode &final_mode = mode(envModes[step]);
+    e += final_mode.idlePower * (t - prev);
+    e += final_mode.spinDownEnergy + final_mode.spinUpEnergy;
+    return e;
+}
+
+PowerModel
+makeTwoModeModel(Power idle_power, Power standby_power,
+                 Energy spin_up_energy, Time spin_up_time,
+                 Energy spin_down_energy, Time spin_down_time)
+{
+    DiskSpec spec;
+    spec.model = "two-mode";
+    spec.idlePower = idle_power;
+    spec.standbyPower = standby_power;
+    spec.spinUpEnergy = spin_up_energy;
+    spec.spinUpTime = spin_up_time;
+    spec.spinDownEnergy = spin_down_energy;
+    spec.spinDownTime = spin_down_time;
+
+    std::vector<PowerMode> modes(2);
+    modes[0] = PowerMode{"idle", spec.maxRpm, idle_power, 0, 0, 0, 0};
+    modes[1] = PowerMode{"standby", 0, standby_power, spin_up_time,
+                         spin_up_energy, spin_down_time, spin_down_energy};
+    return PowerModel(spec, std::move(modes));
+}
+
+} // namespace pacache

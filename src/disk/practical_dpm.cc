@@ -1,0 +1,34 @@
+#include "disk/dpm.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace pacache
+{
+
+std::optional<Demotion>
+PracticalDpm::nextDemotion(DiskId, std::size_t current_mode, Time) const
+{
+    const auto &env = powerModel->envelopeModes();
+    const auto &thr = powerModel->thresholds();
+
+    // Locate the current mode's envelope step. A mode that is not on
+    // the envelope can only be reached by some other policy; treat it
+    // as the deepest envelope step that is not below it.
+    auto it = std::find(env.begin(), env.end(), current_mode);
+    std::size_t step;
+    if (it != env.end()) {
+        step = static_cast<std::size_t>(it - env.begin());
+    } else {
+        step = 0;
+        while (step + 1 < env.size() && env[step + 1] <= current_mode)
+            ++step;
+    }
+
+    if (step + 1 >= env.size())
+        return std::nullopt; // already at the deepest beneficial mode
+    return Demotion{env[step + 1], thr[step]};
+}
+
+} // namespace pacache

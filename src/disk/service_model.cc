@@ -1,0 +1,91 @@
+#include "disk/service_model.hh"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace pacache
+{
+
+ServiceModel::ServiceModel(const DiskSpec &spec, const ServiceParams &params)
+    : diskSpec(spec), serviceParams(params)
+{
+    PACACHE_ASSERT(params.capacityBlocks > 0, "disk capacity must be > 0");
+    PACACHE_ASSERT(params.transferRateMBps > 0, "transfer rate must be > 0");
+}
+
+Time
+ServiceModel::seekTime(BlockNum from, BlockNum to) const
+{
+    if (from == to)
+        return 0.0;
+    const double dist =
+        static_cast<double>(from > to ? from - to : to - from) /
+        static_cast<double>(serviceParams.capacityBlocks);
+    const double frac = std::sqrt(std::min(dist, 1.0));
+    return serviceParams.trackToTrackSeek +
+           (serviceParams.fullStrokeSeek - serviceParams.trackToTrackSeek) *
+               frac;
+}
+
+Time
+ServiceModel::rotationalLatency() const
+{
+    return 0.5 * 60.0 / diskSpec.maxRpm;
+}
+
+Time
+ServiceModel::transferTime(uint32_t num_blocks) const
+{
+    const double bytes =
+        static_cast<double>(num_blocks) *
+        static_cast<double>(serviceParams.blockSize);
+    return bytes / (serviceParams.transferRateMBps * 1e6);
+}
+
+Time
+ServiceModel::serviceTime(BlockNum from, BlockNum to,
+                          uint32_t num_blocks) const
+{
+    return serviceParams.controllerOverhead + seekTime(from, to) +
+           rotationalLatency() + transferTime(num_blocks);
+}
+
+Time
+ServiceModel::serviceTimeAtSpeed(BlockNum from, BlockNum to,
+                                 uint32_t num_blocks,
+                                 double speed_fraction) const
+{
+    PACACHE_ASSERT(speed_fraction > 0 && speed_fraction <= 1.0,
+                   "speed fraction must be in (0, 1]");
+    return serviceParams.controllerOverhead + seekTime(from, to) +
+           (rotationalLatency() + transferTime(num_blocks)) /
+               speed_fraction;
+}
+
+Energy
+ServiceModel::serviceEnergy(Time seek_time, Time rest_time) const
+{
+    return diskSpec.seekPower * seek_time +
+           diskSpec.activePower * rest_time;
+}
+
+Energy
+ServiceModel::serviceEnergyAtSpeed(Time seek_time, Time rest_time,
+                                   double speed_fraction) const
+{
+    PACACHE_ASSERT(speed_fraction > 0 && speed_fraction <= 1.0,
+                   "speed fraction must be in (0, 1]");
+    const Power active =
+        diskSpec.standbyPower +
+        (diskSpec.activePower - diskSpec.standbyPower) *
+            speed_fraction * speed_fraction;
+    const Power seek =
+        diskSpec.standbyPower +
+        (diskSpec.seekPower - diskSpec.standbyPower) *
+            speed_fraction * speed_fraction;
+    return seek * seek_time + active * rest_time;
+}
+
+} // namespace pacache

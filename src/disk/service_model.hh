@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Disk request service model: seek + rotational latency + transfer,
+ * with the corresponding service energy (seek power during the seek,
+ * active power during rotation and transfer).
+ *
+ * This replaces DiskSim's detailed mechanical model with a standard
+ * three-component analytic model; the power-management experiments
+ * only depend on service *durations* and *energies*, both of which
+ * this model provides with data-sheet-derived constants.
+ */
+
+#ifndef PACACHE_DISK_SERVICE_MODEL_HH
+#define PACACHE_DISK_SERVICE_MODEL_HH
+
+#include <cstdint>
+
+#include "disk/power_model.hh"
+#include "sim/types.hh"
+
+namespace pacache
+{
+
+/** Mechanical/service constants for a disk. */
+struct ServiceParams
+{
+    Time trackToTrackSeek = 0.6e-3;   //!< s, minimum seek
+    Time fullStrokeSeek = 7.0e-3;     //!< s, maximum seek
+    double transferRateMBps = 55.0;   //!< sustained media rate
+    uint64_t blockSize = kDefaultBlockSize; //!< bytes per block
+    uint64_t capacityBlocks = 4500000;      //!< ~18.4 GB at 4 KiB
+    Time controllerOverhead = 0.1e-3; //!< s per request
+};
+
+/** Computes service time and energy for disk requests. */
+class ServiceModel
+{
+  public:
+    ServiceModel(const DiskSpec &spec, const ServiceParams &params);
+    explicit ServiceModel(const DiskSpec &spec)
+        : ServiceModel(spec, ServiceParams{}) {}
+
+    /**
+     * Seek time between two block addresses: track-to-track plus a
+     * square-root profile over the seek distance fraction (the usual
+     * analytic seek curve).
+     */
+    Time seekTime(BlockNum from, BlockNum to) const;
+
+    /** Average rotational latency: half a revolution at full speed. */
+    Time rotationalLatency() const;
+
+    /** Media transfer time for @p num_blocks blocks. */
+    Time transferTime(uint32_t num_blocks) const;
+
+    /** Total service time for a request (full rotational speed). */
+    Time serviceTime(BlockNum from, BlockNum to, uint32_t num_blocks) const;
+
+    /**
+     * Service time at a reduced rotational speed (DRPM "serve at any
+     * speed" option): rotational latency and media transfer scale
+     * inversely with the speed fraction; seek and controller overhead
+     * do not.
+     *
+     * @param speed_fraction rpm / max rpm, in (0, 1]
+     */
+    Time serviceTimeAtSpeed(BlockNum from, BlockNum to,
+                            uint32_t num_blocks,
+                            double speed_fraction) const;
+
+    /**
+     * Energy for a request with the given seek component: seek at
+     * seekPower, the rest at activePower.
+     */
+    Energy serviceEnergy(Time seek_time, Time rest_time) const;
+
+    /**
+     * Service energy at reduced speed: the active power scales like
+     * the idle power (quadratic in the speed fraction above the
+     * standby floor), mirroring the multi-speed power model.
+     */
+    Energy serviceEnergyAtSpeed(Time seek_time, Time rest_time,
+                                double speed_fraction) const;
+
+    const ServiceParams &params() const { return serviceParams; }
+
+  private:
+    DiskSpec diskSpec;
+    ServiceParams serviceParams;
+};
+
+} // namespace pacache
+
+#endif // PACACHE_DISK_SERVICE_MODEL_HH

@@ -1,0 +1,68 @@
+#include "sim/event_queue.hh"
+
+#include "util/logging.hh"
+
+namespace pacache
+{
+
+EventQueue::Handle
+EventQueue::schedule(Time when, Callback cb)
+{
+    PACACHE_ASSERT(when >= currentTime,
+                   "scheduling into the past: ", when, " < ", currentTime);
+    const uint64_t seq = nextSeq++;
+    events.emplace(Key{when, seq}, std::move(cb));
+    return Handle{when, seq, true};
+}
+
+EventQueue::Handle
+EventQueue::scheduleAfter(Time delay, Callback cb)
+{
+    return schedule(currentTime + delay, std::move(cb));
+}
+
+bool
+EventQueue::cancel(Handle &h)
+{
+    if (!h.valid)
+        return false;
+    h.valid = false;
+    return events.erase(Key{h.when, h.seq}) > 0;
+}
+
+bool
+EventQueue::pending(const Handle &h) const
+{
+    return h.valid && events.count(Key{h.when, h.seq}) > 0;
+}
+
+bool
+EventQueue::runOne()
+{
+    if (events.empty())
+        return false;
+    auto it = events.begin();
+    currentTime = it->first.first;
+    Callback cb = std::move(it->second);
+    events.erase(it);
+    cb(currentTime);
+    return true;
+}
+
+void
+EventQueue::runAll()
+{
+    while (runOne()) {
+    }
+}
+
+void
+EventQueue::runUntil(Time until)
+{
+    while (!events.empty() && events.begin()->first.first <= until)
+        runOne();
+    if (until > currentTime)
+        currentTime = until;
+}
+
+} // namespace pacache

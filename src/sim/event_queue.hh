@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Discrete-event simulation engine: a time-ordered event queue with
+ * stable FIFO ordering among same-time events and O(log n)
+ * cancellation via event handles.
+ */
+
+#ifndef PACACHE_SIM_EVENT_QUEUE_HH
+#define PACACHE_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "sim/types.hh"
+
+namespace pacache
+{
+
+/**
+ * A simple deterministic event queue.
+ *
+ * Events are callbacks scheduled at absolute simulated times.
+ * Ties are broken by insertion order, which makes runs reproducible.
+ */
+class EventQueue
+{
+  public:
+    /** Opaque handle identifying a scheduled event. */
+    struct Handle
+    {
+        Time when = 0;
+        uint64_t seq = 0;
+        bool valid = false;
+    };
+
+    using Callback = std::function<void(Time)>;
+
+    /**
+     * Schedule a callback at absolute time @p when.
+     * Scheduling in the past (before now()) is a bug and panics.
+     */
+    Handle schedule(Time when, Callback cb);
+
+    /** Schedule a callback @p delay seconds from now. */
+    Handle scheduleAfter(Time delay, Callback cb);
+
+    /**
+     * Cancel a previously scheduled event.
+     * @return true if the event was pending and is now removed.
+     */
+    bool cancel(Handle &h);
+
+    /** @return true if the handle refers to a still-pending event. */
+    bool pending(const Handle &h) const;
+
+    /** Current simulated time. */
+    Time now() const { return currentTime; }
+
+    /** Number of pending events. */
+    std::size_t size() const { return events.size(); }
+
+    bool empty() const { return events.empty(); }
+
+    /**
+     * Pop and run the earliest event.
+     * @return false if the queue was empty.
+     */
+    bool runOne();
+
+    /** Run events until the queue drains. */
+    void runAll();
+
+    /**
+     * Run all events with time <= @p until, then advance the clock
+     * to @p until.
+     */
+    void runUntil(Time until);
+
+  private:
+    using Key = std::pair<Time, uint64_t>;
+
+    std::map<Key, Callback> events;
+    Time currentTime = 0;
+    uint64_t nextSeq = 0;
+};
+
+} // namespace pacache
+
+#endif // PACACHE_SIM_EVENT_QUEUE_HH

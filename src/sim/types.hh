@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Fundamental types shared across the library.
+ *
+ * Conventions: time is in seconds (double), energy in Joules,
+ * power in Watts. Blocks are fixed-size cache/disk units (4 KiB by
+ * default); block numbers are per-disk logical block numbers.
+ */
+
+#ifndef PACACHE_SIM_TYPES_HH
+#define PACACHE_SIM_TYPES_HH
+
+#include <cstdint>
+#include <functional>
+
+namespace pacache
+{
+
+/** Simulated time in seconds. */
+using Time = double;
+
+/** Energy in Joules. */
+using Energy = double;
+
+/** Power in Watts. */
+using Power = double;
+
+/** Index of a disk within the array. */
+using DiskId = uint32_t;
+
+/** Per-disk logical block number. */
+using BlockNum = uint64_t;
+
+/** Default block size used throughout (bytes). */
+inline constexpr uint64_t kDefaultBlockSize = 4096;
+
+/** Globally unique block identity: (disk, block number). */
+struct BlockId
+{
+    DiskId disk = 0;
+    BlockNum block = 0;
+
+    friend bool operator==(const BlockId &, const BlockId &) = default;
+    friend auto operator<=>(const BlockId &, const BlockId &) = default;
+
+    /** Pack into a single 64-bit key (for hashing / Bloom filters). */
+    uint64_t
+    packed() const
+    {
+        return (static_cast<uint64_t>(disk) << 48) |
+               (block & 0xffffffffffffULL);
+    }
+};
+
+} // namespace pacache
+
+namespace std
+{
+
+template <>
+struct hash<pacache::BlockId>
+{
+    size_t
+    operator()(const pacache::BlockId &id) const noexcept
+    {
+        uint64_t z = id.packed() + 0x9e3779b97f4a7c15ULL;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return static_cast<size_t>(z ^ (z >> 31));
+    }
+};
+
+} // namespace std
+
+#endif // PACACHE_SIM_TYPES_HH

@@ -1,0 +1,51 @@
+#include "stats/energy_stats.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace pacache
+{
+
+Energy
+EnergyStats::total() const
+{
+    Energy e = serviceEnergy + spinUpEnergy + spinDownEnergy;
+    for (Energy m : idleEnergyPerMode)
+        e += m;
+    return e;
+}
+
+Time
+EnergyStats::totalTime() const
+{
+    Time t = busyTime + spinUpTime + spinDownTime;
+    for (Time m : timePerMode)
+        t += m;
+    return t;
+}
+
+EnergyStats &
+EnergyStats::operator+=(const EnergyStats &other)
+{
+    if (idleEnergyPerMode.size() < other.idleEnergyPerMode.size()) {
+        idleEnergyPerMode.resize(other.idleEnergyPerMode.size(), 0.0);
+        timePerMode.resize(other.timePerMode.size(), 0.0);
+    }
+    for (std::size_t i = 0; i < other.idleEnergyPerMode.size(); ++i) {
+        idleEnergyPerMode[i] += other.idleEnergyPerMode[i];
+        timePerMode[i] += other.timePerMode[i];
+    }
+    serviceEnergy += other.serviceEnergy;
+    busyTime += other.busyTime;
+    spinUpEnergy += other.spinUpEnergy;
+    spinDownEnergy += other.spinDownEnergy;
+    spinUpTime += other.spinUpTime;
+    spinDownTime += other.spinDownTime;
+    spinUps += other.spinUps;
+    spinDowns += other.spinDowns;
+    requests += other.requests;
+    return *this;
+}
+
+} // namespace pacache

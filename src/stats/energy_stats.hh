@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Per-disk energy and time accounting: energy and residency per power
+ * mode, service (seek/rotate/transfer) energy, transition costs and
+ * counts. These are the quantities behind the paper's Figures 6-9.
+ */
+
+#ifndef PACACHE_STATS_ENERGY_STATS_HH
+#define PACACHE_STATS_ENERGY_STATS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace pacache
+{
+
+/** Energy/time breakdown for one disk (or an aggregate). */
+struct EnergyStats
+{
+    explicit EnergyStats(std::size_t num_modes = 0)
+        : idleEnergyPerMode(num_modes, 0.0), timePerMode(num_modes, 0.0) {}
+
+    /** Joules spent parked in each power mode. */
+    std::vector<Energy> idleEnergyPerMode;
+    /** Seconds spent parked in each power mode. */
+    std::vector<Time> timePerMode;
+
+    Energy serviceEnergy = 0; //!< J spent seeking/reading/writing
+    Time busyTime = 0;        //!< s spent servicing requests
+
+    Energy spinUpEnergy = 0;
+    Energy spinDownEnergy = 0;
+    Time spinUpTime = 0;
+    Time spinDownTime = 0;
+    uint64_t spinUps = 0;   //!< transitions toward full speed
+    uint64_t spinDowns = 0; //!< demotion steps performed
+
+    uint64_t requests = 0;  //!< requests serviced
+
+    /** Total energy consumed. */
+    Energy total() const;
+
+    /** Total accounted wall-clock time. */
+    Time totalTime() const;
+
+    /** Seconds of transition (spin-up + spin-down) time. */
+    Time transitionTime() const { return spinUpTime + spinDownTime; }
+
+    /** Accumulate another breakdown into this one. */
+    EnergyStats &operator+=(const EnergyStats &other);
+};
+
+} // namespace pacache
+
+#endif // PACACHE_STATS_ENERGY_STATS_HH

@@ -1,0 +1,49 @@
+#include "stats/response_stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pacache
+{
+
+void
+ResponseStats::record(Time response_time)
+{
+    samples.push_back(response_time);
+    sorted = false;
+    sum += response_time;
+    maxSeen = std::max(maxSeen, response_time);
+}
+
+double
+ResponseStats::mean() const
+{
+    return samples.empty() ? 0.0 : sum / static_cast<double>(samples.size());
+}
+
+Time
+ResponseStats::percentile(double p) const
+{
+    if (samples.empty())
+        return 0.0;
+    if (!sorted) {
+        std::sort(samples.begin(), samples.end());
+        sorted = true;
+    }
+    p = std::clamp(p, 0.0, 1.0);
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(p * static_cast<double>(samples.size())));
+    return samples[rank == 0 ? 0 : rank - 1];
+}
+
+void
+ResponseStats::merge(const ResponseStats &other)
+{
+    samples.insert(samples.end(), other.samples.begin(),
+                   other.samples.end());
+    sorted = false;
+    sum += other.sum;
+    maxSeen = std::max(maxSeen, other.maxSeen);
+}
+
+} // namespace pacache

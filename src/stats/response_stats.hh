@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Response-time statistics: count, mean, max, and percentiles over
+ * recorded request latencies.
+ */
+
+#ifndef PACACHE_STATS_RESPONSE_STATS_HH
+#define PACACHE_STATS_RESPONSE_STATS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace pacache
+{
+
+/** Accumulates request response times. */
+class ResponseStats
+{
+  public:
+    /** Record one response time (seconds). */
+    void record(Time response_time);
+
+    uint64_t count() const { return samples.size(); }
+    double mean() const;
+    Time max() const { return maxSeen; }
+
+    /** p in [0,1]; nearest-rank percentile. 0 samples -> 0. */
+    Time percentile(double p) const;
+
+    /** Merge another accumulator into this one. */
+    void merge(const ResponseStats &other);
+
+  private:
+    mutable std::vector<Time> samples;
+    mutable bool sorted = true;
+    double sum = 0;
+    Time maxSeen = 0;
+};
+
+} // namespace pacache
+
+#endif // PACACHE_STATS_RESPONSE_STATS_HH

@@ -1,0 +1,36 @@
+#include "trace/record.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace pacache
+{
+
+std::string
+toString(const TraceRecord &rec)
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%.9f %u %" PRIu64 " %u %c",
+                  rec.time, rec.disk, rec.block, rec.numBlocks,
+                  rec.write ? 'W' : 'R');
+    return buf;
+}
+
+TraceRecord
+parseRecord(const std::string &line)
+{
+    std::istringstream is(line);
+    TraceRecord rec;
+    char rw = 0;
+    if (!(is >> rec.time >> rec.disk >> rec.block >> rec.numBlocks >> rw))
+        PACACHE_FATAL("malformed trace record: '", line, "'");
+    if (rw != 'R' && rw != 'W' && rw != 'r' && rw != 'w')
+        PACACHE_FATAL("bad R/W flag in trace record: '", line, "'");
+    rec.write = (rw == 'W' || rw == 'w');
+    return rec;
+}
+
+} // namespace pacache

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * One I/O trace record: the unit of input to the storage cache.
+ */
+
+#ifndef PACACHE_TRACE_RECORD_HH
+#define PACACHE_TRACE_RECORD_HH
+
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace pacache
+{
+
+/** A single block-level I/O request from a storage application. */
+struct TraceRecord
+{
+    Time time = 0;          //!< arrival time (seconds)
+    DiskId disk = 0;        //!< target disk
+    BlockNum block = 0;     //!< starting logical block number
+    uint32_t numBlocks = 1; //!< request length in blocks
+    bool write = false;     //!< true for writes
+
+    friend bool operator==(const TraceRecord &,
+                           const TraceRecord &) = default;
+};
+
+/** Render "time disk block count R|W" (the text trace format). */
+std::string toString(const TraceRecord &rec);
+
+/**
+ * Parse a text-format record.
+ * @throws std::runtime_error (via PACACHE_FATAL) on malformed input.
+ */
+TraceRecord parseRecord(const std::string &line);
+
+} // namespace pacache
+
+#endif // PACACHE_TRACE_RECORD_HH

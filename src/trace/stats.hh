@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Trace characterization (paper Table 2): per-trace and per-disk
+ * request counts, write ratio, mean inter-arrival time, footprint.
+ */
+
+#ifndef PACACHE_TRACE_STATS_HH
+#define PACACHE_TRACE_STATS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace pacache
+{
+
+/** Summary statistics for one trace. */
+struct TraceStats
+{
+    uint64_t requests = 0;
+    uint32_t disks = 0;
+    double writeRatio = 0;        //!< fraction of write requests
+    double meanInterArrival = 0;  //!< seconds, across the whole trace
+    Time duration = 0;            //!< last arrival time
+    uint64_t uniqueBlocks = 0;    //!< distinct (disk, block) touched
+
+    /** Per-disk request counts. */
+    std::vector<uint64_t> perDiskRequests;
+    /** Per-disk mean inter-arrival times (seconds). */
+    std::vector<double> perDiskInterArrival;
+    /** Per-disk distinct blocks touched. */
+    std::vector<uint64_t> perDiskUnique;
+};
+
+/** Compute summary statistics for a trace. */
+TraceStats characterize(const Trace &trace);
+
+} // namespace pacache
+
+#endif // PACACHE_TRACE_STATS_HH

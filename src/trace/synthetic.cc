@@ -1,0 +1,156 @@
+#include "trace/synthetic.hh"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/logging.hh"
+
+namespace pacache
+{
+
+Time
+ArrivalModel::sample(Rng &rng) const
+{
+    const double mean_s = meanMs * 1e-3;
+    switch (kind) {
+      case Kind::Exponential:
+        return rng.exponential(mean_s);
+      case Kind::Pareto: {
+        // Mean of Pareto(shape, scale) is scale*shape/(shape-1); pick
+        // the scale so the requested mean is hit.
+        PACACHE_ASSERT(paretoShape > 1.0,
+                       "pareto arrivals need shape > 1 for a finite mean");
+        const double scale = mean_s * (paretoShape - 1.0) / paretoShape;
+        return rng.pareto(paretoShape, scale);
+      }
+    }
+    PACACHE_PANIC("unreachable arrival kind");
+}
+
+AddressGenerator::AddressGenerator(const Params &params)
+    : p(params),
+      zipf(std::max<std::size_t>(1, params.stackSize), params.zipfTheta)
+{
+    PACACHE_ASSERT(p.footprintBlocks > 0, "footprint must be positive");
+    PACACHE_ASSERT(p.seqProb + p.localProb <= 1.0 + 1e-9,
+                   "spatial probabilities exceed 1");
+    stack.resize(std::max<std::size_t>(1, p.stackSize));
+}
+
+void
+AddressGenerator::push(BlockNum b)
+{
+    stack[head] = b;
+    head = (head + 1) % stack.size();
+    filled = std::min(filled + 1, stack.size());
+    last = b;
+}
+
+BlockNum
+AddressGenerator::next(Rng &rng)
+{
+    const double r = rng.uniform();
+    BlockNum b;
+    if (r < p.seqProb) {
+        b = (last + 1) % p.footprintBlocks;
+    } else if (r < p.seqProb + p.localProb) {
+        const auto dist = static_cast<int64_t>(
+            rng.below(2 * p.maxLocalDistance + 1)) -
+            static_cast<int64_t>(p.maxLocalDistance);
+        const auto moved = static_cast<int64_t>(last) + dist;
+        const auto span = static_cast<int64_t>(p.footprintBlocks);
+        b = static_cast<BlockNum>(((moved % span) + span) % span);
+    } else if (filled > 0 && rng.chance(p.reuseProb)) {
+        // Temporal locality: Zipf-distributed stack distance.
+        const std::size_t d = zipf.sample(rng) % filled;
+        const std::size_t idx = (head + stack.size() - 1 - d) %
+                                stack.size();
+        b = stack[idx];
+    } else {
+        b = rng.below(p.footprintBlocks);
+    }
+    push(b);
+    return b;
+}
+
+Trace
+generateSynthetic(const SyntheticParams &params)
+{
+    PACACHE_ASSERT(params.numDisks > 0, "need at least one disk");
+    Rng rng(params.seed);
+
+    std::vector<AddressGenerator> gens;
+    gens.reserve(params.numDisks);
+    for (uint32_t d = 0; d < params.numDisks; ++d)
+        gens.emplace_back(params.address);
+
+    Trace trace;
+    Time now = 0;
+    for (uint64_t i = 0; i < params.numRequests; ++i) {
+        now += params.arrival.sample(rng);
+        TraceRecord rec;
+        rec.time = now;
+        rec.disk = static_cast<DiskId>(rng.below(params.numDisks));
+        rec.block = gens[rec.disk].next(rng);
+        rec.numBlocks = 1;
+        rec.write = rng.chance(params.writeRatio);
+        trace.append(rec);
+    }
+    return trace;
+}
+
+Trace
+generatePerDisk(const std::vector<DiskStream> &streams, Time duration,
+                uint64_t seed)
+{
+    PACACHE_ASSERT(!streams.empty(), "need at least one stream");
+    PACACHE_ASSERT(duration > 0, "duration must be positive");
+
+    struct StreamState
+    {
+        Rng rng;
+        AddressGenerator gen;
+        Time next;
+
+        StreamState(uint64_t s, const DiskStream &ds)
+            : rng(s), gen(ds.address), next(0) {}
+    };
+
+    std::vector<StreamState> state;
+    state.reserve(streams.size());
+    for (std::size_t i = 0; i < streams.size(); ++i) {
+        state.emplace_back(seed * 0x9e3779b97f4a7c15ULL + i + 1,
+                           streams[i]);
+        state[i].next = streams[i].arrival.sample(state[i].rng);
+    }
+
+    // Merge per-disk arrival streams in time order with a min-heap.
+    using HeapEntry = std::pair<Time, std::size_t>;
+    std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                        std::greater<>> heap;
+    for (std::size_t i = 0; i < state.size(); ++i)
+        if (state[i].next <= duration)
+            heap.emplace(state[i].next, i);
+
+    Trace trace;
+    while (!heap.empty()) {
+        const auto [t, i] = heap.top();
+        heap.pop();
+        StreamState &st = state[i];
+
+        TraceRecord rec;
+        rec.time = t;
+        rec.disk = static_cast<DiskId>(i);
+        rec.block = st.gen.next(st.rng);
+        rec.numBlocks = 1;
+        rec.write = st.rng.chance(streams[i].writeRatio);
+        trace.append(rec);
+
+        st.next = t + streams[i].arrival.sample(st.rng);
+        if (st.next <= duration)
+            heap.emplace(st.next, i);
+    }
+    return trace;
+}
+
+} // namespace pacache

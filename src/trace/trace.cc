@@ -1,0 +1,36 @@
+#include "trace/trace.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace pacache
+{
+
+Trace::Trace(std::vector<TraceRecord> recs) : records(std::move(recs))
+{
+    PACACHE_ASSERT(std::is_sorted(records.begin(), records.end(),
+                                  [](const auto &a, const auto &b) {
+                                      return a.time < b.time;
+                                  }),
+                   "trace records must be time-ordered");
+}
+
+void
+Trace::append(TraceRecord rec)
+{
+    PACACHE_ASSERT(records.empty() || rec.time >= records.back().time,
+                   "trace records must be appended in time order");
+    records.push_back(rec);
+}
+
+std::size_t
+Trace::numDisks() const
+{
+    std::size_t n = 0;
+    for (const auto &r : records)
+        n = std::max<std::size_t>(n, r.disk + 1);
+    return n;
+}
+
+} // namespace pacache

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * An in-memory I/O trace: a time-ordered sequence of TraceRecords.
+ */
+
+#ifndef PACACHE_TRACE_TRACE_HH
+#define PACACHE_TRACE_TRACE_HH
+
+#include <vector>
+
+#include "trace/record.hh"
+
+namespace pacache
+{
+
+/** Time-ordered request sequence. */
+class Trace
+{
+  public:
+    Trace() = default;
+    explicit Trace(std::vector<TraceRecord> recs);
+
+    /** Append a record; its time must not precede the last one. */
+    void append(TraceRecord rec);
+
+    std::size_t size() const { return records.size(); }
+    bool empty() const { return records.empty(); }
+
+    const TraceRecord &operator[](std::size_t i) const
+    {
+        return records[i];
+    }
+
+    auto begin() const { return records.begin(); }
+    auto end() const { return records.end(); }
+
+    /** Time of the last record (0 when empty). */
+    Time endTime() const
+    {
+        return records.empty() ? 0.0 : records.back().time;
+    }
+
+    /** Largest disk id referenced, plus one (0 when empty). */
+    std::size_t numDisks() const;
+
+    const std::vector<TraceRecord> &data() const { return records; }
+
+  private:
+    std::vector<TraceRecord> records;
+};
+
+} // namespace pacache
+
+#endif // PACACHE_TRACE_TRACE_HH

@@ -1,0 +1,50 @@
+#include "trace/trace_io.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace pacache
+{
+
+Trace
+readTrace(std::istream &is)
+{
+    std::vector<TraceRecord> recs;
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        recs.push_back(parseRecord(line));
+    }
+    return Trace(std::move(recs));
+}
+
+Trace
+readTraceFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        PACACHE_FATAL("cannot open trace file '", path, "'");
+    return readTrace(in);
+}
+
+void
+writeTrace(std::ostream &os, const Trace &trace)
+{
+    os << "# pacache trace: time disk block count R|W\n";
+    for (const auto &rec : trace)
+        os << toString(rec) << '\n';
+}
+
+void
+writeTraceFile(const std::string &path, const Trace &trace)
+{
+    std::ofstream out(path);
+    if (!out)
+        PACACHE_FATAL("cannot open trace file '", path, "' for writing");
+    writeTrace(out, trace);
+}
+
+} // namespace pacache

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Text trace file I/O. The format is one record per line:
+ *     <time-seconds> <disk> <block> <num-blocks> <R|W>
+ * Lines beginning with '#' are comments.
+ */
+
+#ifndef PACACHE_TRACE_TRACE_IO_HH
+#define PACACHE_TRACE_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace.hh"
+
+namespace pacache
+{
+
+/** Read a trace from a stream. */
+Trace readTrace(std::istream &is);
+
+/** Read a trace from a file (fatal on open failure). */
+Trace readTraceFile(const std::string &path);
+
+/** Write a trace to a stream. */
+void writeTrace(std::ostream &os, const Trace &trace);
+
+/** Write a trace to a file (fatal on open failure). */
+void writeTraceFile(const std::string &path, const Trace &trace);
+
+} // namespace pacache
+
+#endif // PACACHE_TRACE_TRACE_IO_HH

@@ -1,0 +1,88 @@
+#include "trace/workloads.hh"
+
+#include "util/logging.hh"
+
+namespace pacache
+{
+
+Trace
+makeOltpTrace(const OltpParams &p)
+{
+    PACACHE_ASSERT(p.busyDisks <= p.numDisks,
+                   "more busy disks than disks");
+
+    std::vector<DiskStream> streams(p.numDisks);
+    for (uint32_t d = 0; d < p.numDisks; ++d) {
+        DiskStream &s = streams[d];
+        s.writeRatio = p.writeRatio;
+        if (d < p.busyDisks) {
+            // Busy disks: large footprint, little reuse — a stream of
+            // mostly-cold misses that floods an LRU cache.
+            s.arrival = ArrivalModel::pareto(p.busyInterarrivalMs, 1.5);
+            s.address.footprintBlocks = p.busyFootprint;
+            s.address.reuseProb = p.busyReuseProb;
+            s.address.seqProb = 0.05;
+            s.address.localProb = 0.15;
+            s.address.zipfTheta = 0.6;
+        } else {
+            // Quiet disks: small hot set, heavy re-use, almost no
+            // spatial wandering — exactly the blocks a power-aware
+            // cache should pin. The tiny cold-miss rate matters: cold
+            // misses are the spin-ups no replacement policy can avoid.
+            s.arrival = ArrivalModel::pareto(p.quietInterarrivalMs, 1.5);
+            s.address.footprintBlocks = p.quietFootprint;
+            s.address.reuseProb = p.quietReuseProb;
+            s.address.seqProb = 0.01;
+            s.address.localProb = 0.02;
+            s.address.zipfTheta = 1.1;
+            s.address.stackSize = 1u << 11;
+        }
+    }
+    return generatePerDisk(streams, p.duration, p.seed);
+}
+
+Trace
+makeOpgShowcaseTrace(const OpgShowcaseParams &p)
+{
+    PACACHE_ASSERT(p.busyGap > 0 && p.sleepyGap > 0, "gaps positive");
+    std::vector<TraceRecord> recs;
+    uint64_t busy_i = 0, sleepy_i = 0;
+    Time busy_t = p.busyGap, sleepy_t = p.sleepyGap;
+    while (busy_t <= p.duration || sleepy_t <= p.duration) {
+        if (busy_t <= sleepy_t && busy_t <= p.duration) {
+            recs.push_back(TraceRecord{
+                busy_t, 0, busy_i % p.busyBlocks, 1, false});
+            ++busy_i;
+            busy_t += p.busyGap;
+        } else if (sleepy_t <= p.duration) {
+            recs.push_back(TraceRecord{
+                sleepy_t, 1, sleepy_i % p.sleepyBlocks, 1, false});
+            ++sleepy_i;
+            sleepy_t += p.sleepyGap;
+        } else {
+            break;
+        }
+    }
+    return Trace(std::move(recs));
+}
+
+Trace
+makeCelloTrace(const CelloParams &p)
+{
+    std::vector<DiskStream> streams(p.numDisks);
+    double interarrival_ms = p.busiestInterarrivalMs;
+    for (uint32_t d = 0; d < p.numDisks; ++d) {
+        DiskStream &s = streams[d];
+        s.arrival = ArrivalModel::pareto(interarrival_ms, 1.3);
+        s.writeRatio = p.writeRatio;
+        s.address.footprintBlocks = p.footprint;
+        s.address.reuseProb = p.reuseProb;
+        s.address.seqProb = 0.15; // file-server scans are sequential
+        s.address.localProb = 0.15;
+        s.address.zipfTheta = 0.8;
+        interarrival_ms *= p.skewGrowth;
+    }
+    return generatePerDisk(streams, p.duration, p.seed);
+}
+
+} // namespace pacache

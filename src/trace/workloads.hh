@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Ready-made workload synthesizers standing in for the paper's two
+ * real traces (see DESIGN.md §3 for the substitution rationale):
+ *
+ *  - OLTP: TPC-C against a Microsoft SQL Server through a VI-attached
+ *    storage system; 21 disks, 22% writes, ~99 ms mean inter-arrival,
+ *    2 hours. Key properties for power-aware caching: a minority of
+ *    "busy" disks with large footprints and high cold-miss ratios
+ *    flood the cache, while most disks have small, heavily re-used
+ *    working sets whose re-references a cache can absorb.
+ *
+ *  - Cello96: HP's Cello file server; 19 disks, 38% writes, ~5.6 ms
+ *    mean inter-arrival, ~64% cold misses. Key properties: cold-miss
+ *    dominated (scans over a huge footprint), tiny gaps — little any
+ *    replacement policy can do, which is the paper's negative result.
+ */
+
+#ifndef PACACHE_TRACE_WORKLOADS_HH
+#define PACACHE_TRACE_WORKLOADS_HH
+
+#include "trace/synthetic.hh"
+#include "trace/trace.hh"
+
+namespace pacache
+{
+
+/** Knobs for the OLTP-like synthesizer. */
+struct OltpParams
+{
+    uint32_t numDisks = 21;
+    uint32_t busyDisks = 6;       //!< cache-hostile disks
+    Time duration = 7200;         //!< seconds (paper: 2 hours)
+    double busyInterarrivalMs = 800;   //!< per busy disk
+    double quietInterarrivalMs = 3000; //!< per quiet disk
+    uint64_t busyFootprint = 400000;   //!< blocks; >> cache
+    uint64_t quietFootprint = 500;     //!< blocks; cacheable
+    double busyReuseProb = 0.15;
+    double quietReuseProb = 0.995;     //!< near-zero cold-miss rate
+    double writeRatio = 0.22;
+    uint64_t seed = 7;
+};
+
+/**
+ * Knobs for the Cello96-like synthesizer. File-server load is
+ * heavily skewed across spindles (news/swap disks hammer, archive
+ * disks idle), so per-disk inter-arrival times grow geometrically
+ * from @c busiestInterarrivalMs: disk d gets
+ * busiestInterarrivalMs * skewGrowth^d. The defaults put the overall
+ * mean inter-arrival at ~5.5 ms (paper: 5.61 ms).
+ */
+struct CelloParams
+{
+    uint32_t numDisks = 19;
+    Time duration = 900;          //!< seconds
+    double busiestInterarrivalMs = 15; //!< disk 0
+    double skewGrowth = 1.42;     //!< per-disk rate falloff
+    uint64_t footprint = 2000000; //!< blocks; scans dominate
+    double reuseProb = 0.45;      //!< ~64% of accesses end up cold
+    double writeRatio = 0.38;
+    uint64_t seed = 11;
+};
+
+/** Synthesize the OLTP-like trace. */
+Trace makeOltpTrace(const OltpParams &params = OltpParams{});
+
+/** Synthesize the Cello96-like trace. */
+Trace makeCelloTrace(const CelloParams &params = CelloParams{});
+
+/**
+ * Knobs for the OPG showcase workload: a deterministic two-disk
+ * pattern on which Belady's MIN is maximally energy-blind.
+ *
+ * Disk 0 ("busy") cycles through a working set far larger than the
+ * cache, so it misses constantly and stays awake no matter what the
+ * replacement policy does. Disk 1 ("sleepy") cycles slowly through a
+ * small set the cache COULD hold — but its re-use distance (cycle
+ * length) is longer than the busy disk's, so Belady's forward-
+ * distance rule always evicts the sleepy blocks, scattering misses
+ * over the one disk that could have slept. OPG's energy penalties
+ * are near zero for busy-disk blocks (their misses land between
+ * closely spaced deterministic misses) and large for sleepy-disk
+ * blocks, so it pins the sleepy working set: more misses, much less
+ * energy — the generalization of the paper's Figure 3.
+ */
+struct OpgShowcaseParams
+{
+    Time duration = 3600;
+    uint64_t busyBlocks = 1000; //!< working set >> cache
+    Time busyGap = 0.5;    //!< busy disk inter-access time (s)
+    uint64_t sleepyBlocks = 50;
+    Time sleepyGap = 30.0; //!< sleepy disk inter-access time (s)
+    /** Suggested cache size for the effect (blocks). */
+    std::size_t suggestedCacheBlocks() const { return 110; }
+};
+
+/** Synthesize the OPG showcase trace (all accesses are reads). */
+Trace makeOpgShowcaseTrace(
+    const OpgShowcaseParams &params = OpgShowcaseParams{});
+
+} // namespace pacache
+
+#endif // PACACHE_TRACE_WORKLOADS_HH

@@ -1,0 +1,86 @@
+#include "util/bloom_filter.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace pacache
+{
+
+namespace
+{
+
+/** Stafford variant 13 of the splitmix64 finalizer. */
+uint64_t
+mix(uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+BloomFilter::BloomFilter(std::size_t num_bits, std::size_t num_hashes)
+    : bits((num_bits + 63) / 64, 0), numHashes(num_hashes)
+{
+    PACACHE_ASSERT(num_bits > 0, "bloom filter needs at least one bit");
+    PACACHE_ASSERT(num_hashes > 0, "bloom filter needs at least one hash");
+}
+
+std::size_t
+BloomFilter::probe(uint64_t key, std::size_t i) const
+{
+    // Kirsch-Mitzenmacher double hashing: h_i = h1 + i*h2.
+    const uint64_t h1 = mix(key);
+    const uint64_t h2 = mix(key ^ 0x5851f42d4c957f2dULL) | 1;
+    return (h1 + i * h2) % sizeBits();
+}
+
+void
+BloomFilter::insert(uint64_t key)
+{
+    for (std::size_t i = 0; i < numHashes; ++i) {
+        const std::size_t p = probe(key, i);
+        bits[p / 64] |= 1ULL << (p % 64);
+    }
+    ++numInsertions;
+}
+
+bool
+BloomFilter::test(uint64_t key) const
+{
+    for (std::size_t i = 0; i < numHashes; ++i) {
+        const std::size_t p = probe(key, i);
+        if (!(bits[p / 64] & (1ULL << (p % 64))))
+            return false;
+    }
+    return true;
+}
+
+bool
+BloomFilter::testAndInsert(uint64_t key)
+{
+    const bool present = test(key);
+    insert(key);
+    return !present;
+}
+
+void
+BloomFilter::clear()
+{
+    for (auto &w : bits)
+        w = 0;
+    numInsertions = 0;
+}
+
+double
+BloomFilter::expectedFalsePositiveRate() const
+{
+    const double k = static_cast<double>(numHashes);
+    const double n = static_cast<double>(numInsertions);
+    const double m = static_cast<double>(sizeBits());
+    return std::pow(1.0 - std::exp(-k * n / m), k);
+}
+
+} // namespace pacache

@@ -1,0 +1,114 @@
+#include "util/histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace pacache
+{
+
+IntervalHistogram
+IntervalHistogram::geometric(double min_edge, double max_edge,
+                             std::size_t bins_per_decade)
+{
+    PACACHE_ASSERT(min_edge > 0 && max_edge > min_edge,
+                   "bad geometric histogram edges");
+    PACACHE_ASSERT(bins_per_decade > 0, "need at least one bin per decade");
+    std::vector<double> edges;
+    const double step = std::pow(10.0, 1.0 / bins_per_decade);
+    for (double e = min_edge; e < max_edge * (1 + 1e-12); e *= step)
+        edges.push_back(e);
+    if (edges.back() < max_edge)
+        edges.push_back(max_edge);
+    return IntervalHistogram(std::move(edges));
+}
+
+IntervalHistogram::IntervalHistogram(std::vector<double> edges)
+    : binEdges(std::move(edges)), binCounts(binEdges.size() + 1, 0)
+{
+    PACACHE_ASSERT(!binEdges.empty(), "histogram needs at least one edge");
+    PACACHE_ASSERT(std::is_sorted(binEdges.begin(), binEdges.end()),
+                   "histogram edges must ascend");
+}
+
+void
+IntervalHistogram::record(double value)
+{
+    auto it = std::upper_bound(binEdges.begin(), binEdges.end(), value);
+    binCounts[static_cast<std::size_t>(it - binEdges.begin())]++;
+    ++total;
+    sum += value;
+}
+
+void
+IntervalHistogram::reset()
+{
+    std::fill(binCounts.begin(), binCounts.end(), 0);
+    total = 0;
+    sum = 0.0;
+}
+
+double
+IntervalHistogram::mean() const
+{
+    return total == 0 ? 0.0 : sum / static_cast<double>(total);
+}
+
+double
+IntervalHistogram::cdf(double x) const
+{
+    if (total == 0)
+        return 0.0;
+
+    // Cumulative count of all bins whose upper edge is <= x, plus a
+    // linear share of the bin containing x.
+    uint64_t below = 0;
+    double lower = 0.0;
+    for (std::size_t i = 0; i < binCounts.size(); ++i) {
+        const double upper = i < binEdges.size()
+            ? binEdges[i]
+            : std::numeric_limits<double>::infinity();
+        if (x >= upper) {
+            below += binCounts[i];
+            lower = upper;
+            continue;
+        }
+        double frac = 0.0;
+        if (std::isfinite(upper) && upper > lower)
+            frac = (x - lower) / (upper - lower);
+        return (static_cast<double>(below) +
+                frac * static_cast<double>(binCounts[i])) /
+               static_cast<double>(total);
+    }
+    return 1.0;
+}
+
+double
+IntervalHistogram::quantile(double p) const
+{
+    if (total == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 1.0);
+
+    const double target = p * static_cast<double>(total);
+    double below = 0.0;
+    double lower = 0.0;
+    for (std::size_t i = 0; i < binCounts.size(); ++i) {
+        const bool overflow = i >= binEdges.size();
+        const double upper = overflow ? binEdges.back() : binEdges[i];
+        const double count = static_cast<double>(binCounts[i]);
+        if (below + count >= target) {
+            if (overflow || count == 0)
+                return upper;
+            const double frac = (target - below) / count;
+            return lower + frac * (upper - lower);
+        }
+        below += count;
+        lower = upper;
+    }
+    return binEdges.back();
+}
+
+} // namespace pacache

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Epoch-based interval-length histogram (paper Section 4, Figure 5).
+ *
+ * The PA classifier records the length of every idle interval between
+ * consecutive accesses to a disk. The histogram approximates the
+ * cumulative distribution function F(x) = P(interval < x); the
+ * classifier then evaluates the inverse CDF at a target cumulative
+ * probability p to characterize how long the disk's idle periods are.
+ *
+ * Bins are geometric by default (interval lengths span several orders
+ * of magnitude, from milliseconds to minutes).
+ */
+
+#ifndef PACACHE_UTIL_HISTOGRAM_HH
+#define PACACHE_UTIL_HISTOGRAM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pacache
+{
+
+/** Histogram over positive real values with explicit bin edges. */
+class IntervalHistogram
+{
+  public:
+    /**
+     * Build a histogram with geometric bin edges.
+     *
+     * @param min_edge  first finite edge (values below land in bin 0)
+     * @param max_edge  last finite edge (values above land in the
+     *                  overflow bin)
+     * @param bins_per_decade  resolution
+     */
+    static IntervalHistogram geometric(double min_edge, double max_edge,
+                                       std::size_t bins_per_decade = 8);
+
+    /** Build a histogram with caller-supplied ascending edges. */
+    explicit IntervalHistogram(std::vector<double> edges);
+
+    /** Record one interval length. */
+    void record(double value);
+
+    /** Remove all samples (start of a new epoch). */
+    void reset();
+
+    /** Total number of recorded samples. */
+    uint64_t sampleCount() const { return total; }
+
+    /** Mean of the recorded samples. */
+    double mean() const;
+
+    /**
+     * Empirical CDF: fraction of samples strictly below x
+     * (approximated at bin granularity, linearly interpolated).
+     * Returns 0 when the histogram is empty.
+     */
+    double cdf(double x) const;
+
+    /**
+     * Inverse CDF: the smallest x with F(x) >= p, linearly
+     * interpolated inside the bin. Returns 0 when empty.
+     * For p beyond the last finite edge, returns the last edge.
+     */
+    double quantile(double p) const;
+
+    /** Bin edges (ascending). */
+    const std::vector<double> &edges() const { return binEdges; }
+
+    /** Per-bin counts; counts.size() == edges().size() + 1. */
+    const std::vector<uint64_t> &counts() const { return binCounts; }
+
+  private:
+    std::vector<double> binEdges;
+    std::vector<uint64_t> binCounts;
+    uint64_t total = 0;
+    double sum = 0.0;
+};
+
+} // namespace pacache
+
+#endif // PACACHE_UTIL_HISTOGRAM_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Status and error reporting helpers, in the spirit of gem5's
+ * base/logging.hh.
+ *
+ * panic()  — an internal invariant was violated (a pacache bug); aborts.
+ * fatal()  — the user asked for something impossible (bad configuration,
+ *            invalid arguments); exits with an error code.
+ * warn()   — something works well enough but deserves attention.
+ * inform() — normal operating status.
+ */
+
+#ifndef PACACHE_UTIL_LOGGING_HH
+#define PACACHE_UTIL_LOGGING_HH
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace pacache
+{
+
+namespace detail
+{
+
+/** Stream one or more values into a string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Silence warn()/inform() output (used by tests). */
+void setQuietLogging(bool quiet);
+
+/** @return true if warn()/inform() output is suppressed. */
+bool quietLogging();
+
+} // namespace pacache
+
+#define PACACHE_PANIC(...) \
+    ::pacache::detail::panicImpl(__FILE__, __LINE__, \
+                                 ::pacache::detail::concat(__VA_ARGS__))
+
+#define PACACHE_FATAL(...) \
+    ::pacache::detail::fatalImpl(__FILE__, __LINE__, \
+                                 ::pacache::detail::concat(__VA_ARGS__))
+
+#define PACACHE_WARN(...) \
+    ::pacache::detail::warnImpl(::pacache::detail::concat(__VA_ARGS__))
+
+#define PACACHE_INFORM(...) \
+    ::pacache::detail::informImpl(::pacache::detail::concat(__VA_ARGS__))
+
+/** Panic unless the given invariant holds. */
+#define PACACHE_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            PACACHE_PANIC("assertion '", #cond, "' failed ", __VA_ARGS__); \
+        } \
+    } while (0)
+
+#endif // PACACHE_UTIL_LOGGING_HH

@@ -1,0 +1,94 @@
+#include "util/random.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace pacache
+{
+
+uint64_t
+Rng::next64()
+{
+    // SplitMix64 (Steele, Lea, Flood 2014).
+    state += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+double
+Rng::uniform()
+{
+    // 53 random mantissa bits -> [0, 1).
+    return (next64() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+uint64_t
+Rng::below(uint64_t n)
+{
+    PACACHE_ASSERT(n > 0, "below() needs a positive bound");
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t limit = UINT64_MAX - UINT64_MAX % n;
+    uint64_t v;
+    do {
+        v = next64();
+    } while (v >= limit);
+    return v % n;
+}
+
+double
+Rng::exponential(double mean)
+{
+    PACACHE_ASSERT(mean > 0, "exponential mean must be positive");
+    double u;
+    do {
+        u = uniform();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+}
+
+double
+Rng::pareto(double shape, double scale)
+{
+    PACACHE_ASSERT(shape > 0 && scale > 0, "pareto parameters positive");
+    double u;
+    do {
+        u = uniform();
+    } while (u <= 0.0);
+    return scale / std::pow(u, 1.0 / shape);
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double theta)
+{
+    PACACHE_ASSERT(n > 0, "zipf population must be positive");
+    cdf.resize(n);
+    double sum = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+        sum += 1.0 / std::pow(static_cast<double>(k + 1), theta);
+        cdf[k] = sum;
+    }
+    for (auto &v : cdf)
+        v /= sum;
+    cdf.back() = 1.0;
+}
+
+std::size_t
+ZipfSampler::sample(Rng &rng) const
+{
+    const double u = rng.uniform();
+    auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    if (it == cdf.end())
+        --it;
+    return static_cast<std::size_t>(it - cdf.begin());
+}
+
+} // namespace pacache

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation and the workload
+ * distributions used by the synthetic trace generator: Uniform,
+ * Exponential, bounded Pareto (finite mean, infinite variance for
+ * 1 < shape < 2) and Zipf.
+ */
+
+#ifndef PACACHE_UTIL_RANDOM_HH
+#define PACACHE_UTIL_RANDOM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace pacache
+{
+
+/**
+ * SplitMix64 — a tiny, fast, high-quality 64-bit PRNG.
+ *
+ * Deterministic across platforms (unlike std::mt19937 distributions,
+ * whose std:: wrappers are implementation-defined), which keeps traces
+ * and experiments reproducible.
+ */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) : state(seed) {}
+
+    /** @return the next raw 64-bit value. */
+    uint64_t next64();
+
+    /** @return a double uniform in [0, 1). */
+    double uniform();
+
+    /** @return a double uniform in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** @return an integer uniform in [0, n). n must be > 0. */
+    uint64_t below(uint64_t n);
+
+    /** @return true with probability p. */
+    bool chance(double p) { return uniform() < p; }
+
+    /** Exponential variate with the given mean. */
+    double exponential(double mean);
+
+    /**
+     * Pareto variate with shape alpha and scale x_m
+     * (support [x_m, inf), mean = alpha*x_m/(alpha-1) for alpha > 1).
+     */
+    double pareto(double shape, double scale);
+
+  private:
+    uint64_t state;
+};
+
+/**
+ * Zipf sampler over {0, .., n-1} with exponent theta
+ * (P(k) proportional to 1/(k+1)^theta). Uses an inverted-CDF table,
+ * so sampling is O(log n) after O(n) setup.
+ */
+class ZipfSampler
+{
+  public:
+    /**
+     * @param n      population size (> 0)
+     * @param theta  skew exponent (0 = uniform; ~0.8-1.2 typical)
+     */
+    ZipfSampler(std::size_t n, double theta);
+
+    /** Draw one rank in [0, n). */
+    std::size_t sample(Rng &rng) const;
+
+    std::size_t populationSize() const { return cdf.size(); }
+
+  private:
+    std::vector<double> cdf;
+};
+
+} // namespace pacache
+
+#endif // PACACHE_UTIL_RANDOM_HH

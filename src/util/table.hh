@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Minimal fixed-width text table printer used by the benchmark
+ * harnesses to emit paper-style tables and figure series.
+ */
+
+#ifndef PACACHE_UTIL_TABLE_HH
+#define PACACHE_UTIL_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pacache
+{
+
+/** A simple column-aligned table. */
+class TextTable
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row (cells are pre-formatted strings). */
+    void row(std::vector<std::string> cells);
+
+    /** Render to a stream with column alignment and a rule line. */
+    void print(std::ostream &os) const;
+
+    /** Number of data rows. */
+    std::size_t rows() const { return body.size(); }
+
+  private:
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> body;
+};
+
+/** Format a double with the given precision. */
+std::string fmt(double v, int precision = 3);
+
+/** Format a percentage (0.163 -> "16.3%"). */
+std::string fmtPct(double fraction, int precision = 1);
+
+} // namespace pacache
+
+#endif // PACACHE_UTIL_TABLE_HH

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "cache/lru.hh"
+
+namespace pacache
+{
+namespace
+{
+
+BlockId
+b(BlockNum n, DiskId d = 0)
+{
+    return BlockId{d, n};
+}
+
+struct CacheFixture : ::testing::Test
+{
+    LruPolicy policy;
+    Cache cache{3, policy};
+    std::size_t idx = 0;
+
+    CacheResult
+    access(BlockNum n, DiskId d = 0)
+    {
+        const Time now = static_cast<Time>(idx);
+        return cache.access(b(n, d), now, idx++);
+    }
+};
+
+TEST_F(CacheFixture, MissThenHit)
+{
+    EXPECT_FALSE(access(1).hit);
+    EXPECT_TRUE(access(1).hit);
+    EXPECT_EQ(cache.stats().hits, 1u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+    EXPECT_EQ(cache.stats().accesses, 2u);
+}
+
+TEST_F(CacheFixture, CapacityEnforced)
+{
+    access(1);
+    access(2);
+    access(3);
+    EXPECT_EQ(cache.size(), 3u);
+    const auto r = access(4);
+    EXPECT_TRUE(r.evicted);
+    EXPECT_EQ(cache.size(), 3u);
+    EXPECT_EQ(r.victim, b(1)); // LRU victim
+    EXPECT_FALSE(cache.contains(b(1)));
+}
+
+TEST_F(CacheFixture, NoEvictionBelowCapacity)
+{
+    EXPECT_FALSE(access(1).evicted);
+    EXPECT_FALSE(access(2).evicted);
+    EXPECT_FALSE(access(3).evicted);
+    EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST_F(CacheFixture, DirtyFlagLifecycle)
+{
+    access(1);
+    EXPECT_FALSE(cache.isDirty(b(1)));
+    cache.markDirty(b(1));
+    EXPECT_TRUE(cache.isDirty(b(1)));
+    EXPECT_EQ(cache.dirtyCount(0), 1u);
+    cache.markClean(b(1));
+    EXPECT_FALSE(cache.isDirty(b(1)));
+    EXPECT_EQ(cache.dirtyCount(0), 0u);
+}
+
+TEST_F(CacheFixture, VictimDirtyReported)
+{
+    access(1);
+    cache.markDirty(b(1));
+    access(2);
+    access(3);
+    const auto r = access(4);
+    EXPECT_TRUE(r.evicted);
+    EXPECT_TRUE(r.victimDirty);
+    EXPECT_EQ(cache.dirtyCount(0), 0u); // flag dropped with the block
+}
+
+TEST_F(CacheFixture, LoggedFlagLifecycle)
+{
+    access(5);
+    cache.markLogged(b(5));
+    EXPECT_TRUE(cache.isLogged(b(5)));
+    EXPECT_EQ(cache.loggedBlocksOf(0).size(), 1u);
+    cache.clearLogged(b(5));
+    EXPECT_FALSE(cache.isLogged(b(5)));
+}
+
+TEST_F(CacheFixture, VictimLoggedReported)
+{
+    access(1);
+    cache.markLogged(b(1));
+    access(2);
+    access(3);
+    const auto r = access(4);
+    EXPECT_TRUE(r.evicted);
+    EXPECT_TRUE(r.victimLogged);
+    EXPECT_TRUE(cache.loggedBlocksOf(0).empty());
+}
+
+TEST_F(CacheFixture, DirtySetsArePerDisk)
+{
+    access(1, 0);
+    access(1, 1);
+    cache.markDirty(b(1, 0));
+    cache.markDirty(b(1, 1));
+    EXPECT_EQ(cache.dirtyCount(0), 1u);
+    EXPECT_EQ(cache.dirtyCount(1), 1u);
+    EXPECT_EQ(cache.dirtyBlocksOf(0)[0].disk, 0u);
+    EXPECT_EQ(cache.dirtyBlocksOf(1)[0].disk, 1u);
+}
+
+TEST_F(CacheFixture, ColdMissCountIsExact)
+{
+    access(1);
+    access(2);
+    access(1); // hit
+    access(4);
+    access(1); // block 1 still resident
+    access(2); // block 2 still resident
+    EXPECT_EQ(cache.stats().coldMisses, 3u); // 1, 2, 4
+}
+
+TEST_F(CacheFixture, ReaccessAfterEvictionIsWarmMiss)
+{
+    access(1);
+    access(2);
+    access(3);
+    access(4); // evicts 1
+    const auto r = access(1);
+    EXPECT_FALSE(r.hit);
+    EXPECT_EQ(cache.stats().coldMisses, 4u); // the re-access is warm
+}
+
+TEST_F(CacheFixture, MarkDirtyOnNonResidentPanics)
+{
+    EXPECT_ANY_THROW(cache.markDirty(b(99)));
+}
+
+TEST(CacheBasics, ZeroCapacityRejected)
+{
+    LruPolicy p;
+    EXPECT_ANY_THROW(Cache(0, p));
+}
+
+TEST(CacheBasics, HitRatioComputation)
+{
+    LruPolicy p;
+    Cache c(2, p);
+    c.access(b(1), 0, 0);
+    c.access(b(1), 1, 1);
+    c.access(b(1), 2, 2);
+    c.access(b(2), 3, 3);
+    EXPECT_DOUBLE_EQ(c.stats().hitRatio(), 0.5);
+}
+
+} // namespace
+} // namespace pacache

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "cache/lru.hh"
+
+namespace pacache
+{
+namespace
+{
+
+BlockId
+b(BlockNum n)
+{
+    return BlockId{0, n};
+}
+
+TEST(LruStackTest, TouchMovesToMru)
+{
+    LruStack s;
+    s.touch(b(1));
+    s.touch(b(2));
+    s.touch(b(1)); // 1 is MRU again
+    EXPECT_EQ(s.popLru(), b(2));
+    EXPECT_EQ(s.popLru(), b(1));
+    EXPECT_TRUE(s.empty());
+}
+
+TEST(LruStackTest, RemoveSpecific)
+{
+    LruStack s;
+    s.touch(b(1));
+    s.touch(b(2));
+    s.touch(b(3));
+    EXPECT_TRUE(s.remove(b(2)));
+    EXPECT_FALSE(s.remove(b(2)));
+    EXPECT_EQ(s.size(), 2u);
+    EXPECT_EQ(s.popLru(), b(1));
+}
+
+TEST(LruStackTest, ContainsTracksMembership)
+{
+    LruStack s;
+    EXPECT_FALSE(s.contains(b(7)));
+    s.touch(b(7));
+    EXPECT_TRUE(s.contains(b(7)));
+}
+
+TEST(LruStackTest, PopEmptyPanics)
+{
+    LruStack s;
+    EXPECT_ANY_THROW(s.popLru());
+}
+
+TEST(LruPolicyTest, EvictsLeastRecentlyUsed)
+{
+    LruPolicy p;
+    Cache c(2, p);
+    c.access(b(1), 0, 0);
+    c.access(b(2), 1, 1);
+    c.access(b(1), 2, 2);        // 2 is now LRU
+    const auto r = c.access(b(3), 3, 3);
+    EXPECT_EQ(r.victim, b(2));
+}
+
+TEST(LruPolicyTest, SequentialScanEvictsInOrder)
+{
+    LruPolicy p;
+    Cache c(3, p);
+    std::size_t idx = 0;
+    for (BlockNum n = 0; n < 10; ++n) {
+        const auto r = c.access(b(n), static_cast<Time>(n), idx++);
+        if (n >= 3) {
+            EXPECT_EQ(r.victim, b(n - 3));
+        }
+    }
+}
+
+TEST(LruPolicyTest, OnRemoveUnknownPanics)
+{
+    LruPolicy p;
+    EXPECT_ANY_THROW(p.onRemove(b(1)));
+}
+
+TEST(LruPolicyTest, LoopLargerThanCacheAlwaysMisses)
+{
+    // Classic LRU pathology: cyclic access over capacity+1 blocks.
+    LruPolicy p;
+    Cache c(3, p);
+    std::size_t idx = 0;
+    for (int round = 0; round < 5; ++round) {
+        for (BlockNum n = 0; n < 4; ++n) {
+            const Time now = static_cast<Time>(idx);
+            c.access(b(n), now, idx++);
+        }
+    }
+    EXPECT_EQ(c.stats().hits, 0u);
+}
+
+} // namespace
+} // namespace pacache

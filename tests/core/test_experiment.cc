@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "trace/synthetic.hh"
+
+namespace pacache
+{
+namespace
+{
+
+Trace
+smallTrace(uint64_t seed = 1)
+{
+    SyntheticParams p;
+    p.numRequests = 2000;
+    p.numDisks = 4;
+    p.arrival = ArrivalModel::exponential(100.0);
+    p.writeRatio = 0.2;
+    p.address.footprintBlocks = 500;
+    p.seed = seed;
+    return generateSynthetic(p);
+}
+
+ExperimentConfig
+baseConfig()
+{
+    ExperimentConfig cfg;
+    cfg.cacheBlocks = 256;
+    return cfg;
+}
+
+class AllPolicies : public ::testing::TestWithParam<PolicyKind>
+{
+};
+
+TEST_P(AllPolicies, RunsAndProducesSaneResults)
+{
+    const Trace t = smallTrace();
+    ExperimentConfig cfg = baseConfig();
+    cfg.policy = GetParam();
+    const ExperimentResult r = runExperiment(t, cfg);
+
+    EXPECT_EQ(r.cache.accesses, t.size());
+    EXPECT_EQ(r.cache.hits + r.cache.misses, r.cache.accesses);
+    EXPECT_GT(r.totalEnergy, 0.0);
+    EXPECT_EQ(r.perDisk.size(), 4u);
+    // Every block access got a response (write-back default).
+    EXPECT_EQ(r.responses.count(), t.size());
+    EXPECT_EQ(r.policyName, policyKindName(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, AllPolicies,
+    ::testing::Values(PolicyKind::LRU, PolicyKind::FIFO,
+                      PolicyKind::CLOCK, PolicyKind::ARC, PolicyKind::MQ,
+                      PolicyKind::LIRS, PolicyKind::Belady,
+                      PolicyKind::OPG, PolicyKind::PALRU,
+                      PolicyKind::PAARC, PolicyKind::PALIRS,
+                      PolicyKind::InfiniteCache),
+    [](const auto &info) {
+        std::string n = policyKindName(info.param);
+        for (auto &ch : n)
+            if (ch == '-')
+                ch = '_';
+        return n;
+    });
+
+TEST(Experiment, InfiniteCacheOnlyColdMisses)
+{
+    const Trace t = smallTrace();
+    ExperimentConfig cfg = baseConfig();
+    cfg.policy = PolicyKind::InfiniteCache;
+    const ExperimentResult r = runExperiment(t, cfg);
+    EXPECT_EQ(r.cache.misses, r.cache.coldMisses);
+    EXPECT_EQ(r.cache.evictions, 0u);
+}
+
+TEST(Experiment, BeladyMinimizesMisses)
+{
+    const Trace t = smallTrace();
+    ExperimentConfig cfg = baseConfig();
+    for (PolicyKind k :
+         {PolicyKind::LRU, PolicyKind::FIFO, PolicyKind::CLOCK,
+          PolicyKind::ARC, PolicyKind::MQ, PolicyKind::LIRS,
+          PolicyKind::OPG, PolicyKind::PALRU}) {
+        cfg.policy = PolicyKind::Belady;
+        const auto belady = runExperiment(t, cfg);
+        cfg.policy = k;
+        const auto other = runExperiment(t, cfg);
+        EXPECT_LE(belady.cache.misses, other.cache.misses)
+            << policyKindName(k);
+    }
+}
+
+TEST(Experiment, OracleNeverWorseThanPractical)
+{
+    const Trace t = smallTrace();
+    for (PolicyKind k : {PolicyKind::LRU, PolicyKind::Belady}) {
+        ExperimentConfig cfg = baseConfig();
+        cfg.policy = k;
+        cfg.dpm = DpmChoice::Oracle;
+        const auto oracle = runExperiment(t, cfg);
+        cfg.dpm = DpmChoice::Practical;
+        const auto practical = runExperiment(t, cfg);
+        EXPECT_LE(oracle.totalEnergy, practical.totalEnergy * 1.001)
+            << policyKindName(k);
+    }
+}
+
+TEST(Experiment, AdaptiveDpmSitsBetweenAlwaysOnAndOracle)
+{
+    const Trace t = smallTrace();
+    ExperimentConfig cfg = baseConfig();
+    cfg.dpm = DpmChoice::Adaptive;
+    const auto adaptive = runExperiment(t, cfg);
+    cfg.dpm = DpmChoice::AlwaysOn;
+    const auto on = runExperiment(t, cfg);
+    cfg.dpm = DpmChoice::Oracle;
+    const auto oracle = runExperiment(t, cfg);
+    EXPECT_LE(adaptive.totalEnergy, on.totalEnergy * 1.001);
+    EXPECT_GE(adaptive.totalEnergy, oracle.totalEnergy * 0.999);
+    EXPECT_EQ(adaptive.cache.misses, on.cache.misses);
+}
+
+TEST(Experiment, AlwaysOnBurnsMostIdleEnergy)
+{
+    const Trace t = smallTrace();
+    ExperimentConfig cfg = baseConfig();
+    cfg.dpm = DpmChoice::AlwaysOn;
+    const auto on = runExperiment(t, cfg);
+    cfg.dpm = DpmChoice::Practical;
+    const auto practical = runExperiment(t, cfg);
+    // With 4 disks at 100ms mean inter-arrival each disk sees ~2.5/s:
+    // gaps are short, but the long tail still lets practical save a
+    // little; always-on can never be cheaper.
+    EXPECT_GE(on.totalEnergy, practical.totalEnergy * 0.999);
+    EXPECT_EQ(on.energy.spinUps, 0u);
+}
+
+TEST(Experiment, MissesDriveDiskAccesses)
+{
+    const Trace t = smallTrace();
+    ExperimentConfig cfg = baseConfig();
+    cfg.policy = PolicyKind::LRU;
+    const auto r = runExperiment(t, cfg);
+    uint64_t accesses = 0;
+    for (uint64_t a : r.diskAccesses)
+        accesses += a;
+    // Write-back: disk accesses = read misses + write-back I/Os
+    // <= misses + evictions.
+    EXPECT_LE(accesses, r.cache.misses + r.cache.evictions);
+    EXPECT_GT(accesses, 0u);
+}
+
+TEST(Experiment, DeterministicAcrossRuns)
+{
+    const Trace t = smallTrace();
+    ExperimentConfig cfg = baseConfig();
+    cfg.policy = PolicyKind::PALRU;
+    const auto a = runExperiment(t, cfg);
+    const auto b = runExperiment(t, cfg);
+    EXPECT_DOUBLE_EQ(a.totalEnergy, b.totalEnergy);
+    EXPECT_EQ(a.cache.misses, b.cache.misses);
+    EXPECT_DOUBLE_EQ(a.responses.mean(), b.responses.mean());
+}
+
+TEST(Experiment, EmptyTraceRejected)
+{
+    ExperimentConfig cfg = baseConfig();
+    EXPECT_ANY_THROW(runExperiment(Trace{}, cfg));
+}
+
+TEST(Experiment, EnergyBreakdownSumsToTotal)
+{
+    const Trace t = smallTrace();
+    ExperimentConfig cfg = baseConfig();
+    const auto r = runExperiment(t, cfg);
+    Energy per_disk_sum = 0;
+    for (const auto &d : r.perDisk)
+        per_disk_sum += d.total();
+    EXPECT_NEAR(per_disk_sum, r.energy.total(), 1e-6);
+    EXPECT_NEAR(r.totalEnergy, r.energy.total(), 1e-6); // no log disk
+}
+
+} // namespace
+} // namespace pacache

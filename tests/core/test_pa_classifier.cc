@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "core/pa_classifier.hh"
+
+namespace pacache
+{
+namespace
+{
+
+PaParams
+fastParams()
+{
+    PaParams p;
+    p.epochLength = 100.0;
+    p.coldMissThreshold = 0.5;
+    p.cumulativeProb = 0.8;
+    p.intervalThreshold = 10.0;
+    p.minEpochSamples = 2;
+    return p;
+}
+
+TEST(PaClassifierTest, StartsAllRegular)
+{
+    PaClassifier c(4, fastParams());
+    for (DiskId d = 0; d < 4; ++d)
+        EXPECT_FALSE(c.isPriority(d));
+}
+
+TEST(PaClassifierTest, WarmLongIntervalDiskBecomesPriority)
+{
+    PaClassifier c(2, fastParams());
+    // Disk 0: warm accesses (same block), disk accesses 30 s apart.
+    const BlockId blk{0, 7};
+    Time t = 0;
+    for (int i = 0; i < 4; ++i) {
+        c.onRequest(0, blk, t);
+        c.onDiskAccess(0, t);
+        t += 30.0;
+    }
+    c.onRequest(0, blk, 130.0); // crosses the epoch boundary
+    EXPECT_TRUE(c.isPriority(0));
+    EXPECT_LE(c.lastColdMissFraction(0), 0.5);
+    EXPECT_GE(c.lastIntervalQuantile(0), 10.0);
+}
+
+TEST(PaClassifierTest, ColdMissDominatedDiskStaysRegular)
+{
+    PaClassifier c(1, fastParams());
+    // Every access is a brand-new block: 100% cold.
+    Time t = 0;
+    for (BlockNum n = 0; n < 10; ++n) {
+        c.onRequest(0, BlockId{0, n}, t);
+        c.onDiskAccess(0, t);
+        t += 30.0;
+    }
+    c.onRequest(0, BlockId{0, 999}, 400.0);
+    EXPECT_FALSE(c.isPriority(0));
+    EXPECT_GT(c.lastColdMissFraction(0), 0.5);
+}
+
+TEST(PaClassifierTest, ShortIntervalDiskStaysRegular)
+{
+    PaClassifier c(1, fastParams());
+    const BlockId blk{0, 7};
+    Time t = 0;
+    for (int i = 0; i < 50; ++i) {
+        c.onRequest(0, blk, t);
+        c.onDiskAccess(0, t);
+        t += 2.0; // intervals far below the 10 s threshold
+    }
+    c.onRequest(0, blk, 130.0);
+    EXPECT_FALSE(c.isPriority(0));
+    EXPECT_LT(c.lastIntervalQuantile(0), 10.0);
+}
+
+TEST(PaClassifierTest, FullyAbsorbedWarmDiskIsPriority)
+{
+    // Requests arrive but the cache absorbs them all (no disk
+    // accesses): a warm disk like this is worth protecting.
+    PaClassifier c(1, fastParams());
+    const BlockId blk{0, 3};
+    for (int i = 0; i < 10; ++i)
+        c.onRequest(0, blk, 5.0 * i);
+    c.onRequest(0, blk, 130.0);
+    EXPECT_TRUE(c.isPriority(0));
+}
+
+TEST(PaClassifierTest, TooFewSamplesKeepsPreviousClass)
+{
+    PaClassifier c(1, fastParams());
+    // Epoch 1: solidly priority.
+    const BlockId blk{0, 7};
+    Time t = 0;
+    for (int i = 0; i < 4; ++i) {
+        c.onRequest(0, blk, t);
+        c.onDiskAccess(0, t);
+        t += 30.0;
+    }
+    c.onRequest(0, blk, 101.0);
+    ASSERT_TRUE(c.isPriority(0));
+    // Epoch 2: a single access — too little evidence to reclassify.
+    c.onRequest(0, blk, 205.0);
+    EXPECT_TRUE(c.isPriority(0));
+}
+
+TEST(PaClassifierTest, ReclassifiesWhenWorkloadShifts)
+{
+    PaClassifier c(1, fastParams());
+    const BlockId blk{0, 7};
+    // Epoch 1: priority-worthy.
+    Time t = 0;
+    for (int i = 0; i < 4; ++i) {
+        c.onRequest(0, blk, t);
+        c.onDiskAccess(0, t);
+        t += 30.0;
+    }
+    c.onRequest(0, blk, 100.0);
+    ASSERT_TRUE(c.isPriority(0));
+    // Epoch 2: dense disk traffic (2 s gaps).
+    for (int i = 0; i < 40; ++i) {
+        c.onRequest(0, blk, 100.0 + 2.0 * i);
+        c.onDiskAccess(0, 100.0 + 2.0 * i);
+    }
+    c.onRequest(0, blk, 230.0);
+    EXPECT_FALSE(c.isPriority(0));
+}
+
+TEST(PaClassifierTest, EpochsRollEvenAcrossLongGaps)
+{
+    PaClassifier c(1, fastParams());
+    c.onRequest(0, BlockId{0, 1}, 0.0);
+    c.onRequest(0, BlockId{0, 1}, 1000.0); // 10 epochs later
+    EXPECT_GE(c.epochsCompleted(), 10u);
+}
+
+TEST(PaClassifierTest, DisksClassifiedIndependently)
+{
+    PaClassifier c(2, fastParams());
+    const BlockId warm{0, 7};
+    Time t = 0;
+    for (int i = 0; i < 4; ++i) {
+        c.onRequest(0, warm, t);
+        c.onDiskAccess(0, t);
+        // Disk 1: all cold, short gaps.
+        c.onRequest(1, BlockId{1, static_cast<BlockNum>(i * 2)}, t);
+        c.onDiskAccess(1, t);
+        c.onRequest(1, BlockId{1, static_cast<BlockNum>(i * 2 + 1)},
+                    t + 1.0);
+        c.onDiskAccess(1, t + 1.0);
+        t += 30.0;
+    }
+    c.onRequest(0, warm, 130.0);
+    EXPECT_TRUE(c.isPriority(0));
+    EXPECT_FALSE(c.isPriority(1));
+}
+
+} // namespace
+} // namespace pacache

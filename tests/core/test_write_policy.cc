@@ -1,0 +1,22 @@
+#include <gtest/gtest.h>
+
+#include "core/write_policy.hh"
+
+namespace pacache
+{
+namespace
+{
+
+TEST(WritePolicyNames, AllFourNamed)
+{
+    EXPECT_STREQ(writePolicyName(WritePolicy::WriteThrough), "WT");
+    EXPECT_STREQ(writePolicyName(WritePolicy::WriteBack), "WB");
+    EXPECT_STREQ(writePolicyName(WritePolicy::WriteBackEagerUpdate),
+                 "WBEU");
+    EXPECT_STREQ(
+        writePolicyName(WritePolicy::WriteThroughDeferredUpdate),
+        "WTDU");
+}
+
+} // namespace
+} // namespace pacache

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "core/wtdu_log.hh"
+
+namespace pacache
+{
+namespace
+{
+
+TEST(WtduLogTest, AppendAndRecover)
+{
+    WtduLog log(2, 8);
+    EXPECT_TRUE(log.append(0, 100, 1));
+    EXPECT_TRUE(log.append(0, 101, 2));
+    const auto live = log.recover(0);
+    ASSERT_EQ(live.size(), 2u);
+    EXPECT_EQ(live[0].block, 100u);
+    EXPECT_EQ(live[0].version, 1u);
+    EXPECT_EQ(live[1].block, 101u);
+}
+
+TEST(WtduLogTest, RegionsAreIndependent)
+{
+    WtduLog log(3, 4);
+    log.append(0, 1, 1);
+    log.append(2, 2, 2);
+    EXPECT_EQ(log.used(0), 1u);
+    EXPECT_EQ(log.used(1), 0u);
+    EXPECT_EQ(log.used(2), 1u);
+    EXPECT_TRUE(log.recover(1).empty());
+}
+
+TEST(WtduLogTest, FullRegionRejectsAppend)
+{
+    WtduLog log(1, 2);
+    EXPECT_TRUE(log.append(0, 1, 1));
+    EXPECT_TRUE(log.append(0, 2, 2));
+    EXPECT_TRUE(log.full(0));
+    EXPECT_FALSE(log.append(0, 3, 3));
+}
+
+TEST(WtduLogTest, RetireMakesEntriesStale)
+{
+    WtduLog log(1, 4);
+    log.append(0, 1, 1);
+    log.append(0, 2, 2);
+    log.retire(0);
+    EXPECT_EQ(log.used(0), 0u);
+    EXPECT_TRUE(log.recover(0).empty()); // nothing to replay
+    EXPECT_EQ(log.timestamp(0), 1u);
+}
+
+TEST(WtduLogTest, NewGenerationOverwritesSlots)
+{
+    WtduLog log(1, 4);
+    log.append(0, 1, 1);
+    log.append(0, 2, 2);
+    log.retire(0);
+    log.append(0, 7, 3);
+    const auto live = log.recover(0);
+    ASSERT_EQ(live.size(), 1u);
+    EXPECT_EQ(live[0].block, 7u);
+    EXPECT_EQ(live[0].version, 3u);
+}
+
+TEST(WtduLogTest, PartialOverwriteLeavesOnlyCurrentGeneration)
+{
+    // Crash after a partial second generation: stale tail entries of
+    // generation 0 physically remain but must not be replayed.
+    WtduLog log(1, 4);
+    log.append(0, 1, 1);
+    log.append(0, 2, 2);
+    log.append(0, 3, 3);
+    log.retire(0);
+    log.append(0, 9, 4); // overwrites slot 0 only
+    const auto live = log.recover(0);
+    ASSERT_EQ(live.size(), 1u);
+    EXPECT_EQ(live[0].block, 9u);
+}
+
+TEST(WtduLogTest, TimestampsPerRegion)
+{
+    WtduLog log(2, 4);
+    log.append(0, 1, 1);
+    log.retire(0);
+    EXPECT_EQ(log.timestamp(0), 1u);
+    EXPECT_EQ(log.timestamp(1), 0u);
+}
+
+TEST(WtduLogTest, CountsAppends)
+{
+    WtduLog log(1, 4);
+    log.append(0, 1, 1);
+    log.append(0, 2, 2);
+    log.retire(0);
+    log.append(0, 3, 3);
+    EXPECT_EQ(log.appends(), 3u);
+}
+
+TEST(WtduLogTest, OutOfRangeRegionPanics)
+{
+    WtduLog log(1, 4);
+    EXPECT_ANY_THROW(log.append(5, 1, 1));
+    EXPECT_ANY_THROW(log.recover(5));
+}
+
+} // namespace
+} // namespace pacache

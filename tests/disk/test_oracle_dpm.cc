@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "disk/dpm.hh"
+#include "disk/oracle_dpm.hh"
+
+namespace pacache
+{
+namespace
+{
+
+TEST(OracleAnalyzer, ShortClosedGapStaysIdle)
+{
+    const PowerModel pm;
+    OracleAnalyzer oa(pm);
+    EnergyStats none(pm.numModes());
+    const auto r = oa.price({5.0}, none, false);
+    EXPECT_NEAR(r.totalEnergy, 10.2 * 5.0, 1e-9);
+    EXPECT_EQ(r.stats.spinUps, 0u);
+}
+
+TEST(OracleAnalyzer, LongClosedGapUsesEnvelope)
+{
+    const PowerModel pm;
+    OracleAnalyzer oa(pm);
+    EnergyStats none(pm.numModes());
+    const Time gap = 500.0;
+    const auto r = oa.price({gap}, none, false);
+    EXPECT_NEAR(r.totalEnergy, pm.envelope(gap), 1e-9);
+    EXPECT_EQ(r.stats.spinUps, 1u);
+    EXPECT_EQ(r.stats.spinDowns, 1u);
+}
+
+TEST(OracleAnalyzer, EveryClosedGapPricedAtEnvelope)
+{
+    const PowerModel pm;
+    OracleAnalyzer oa(pm);
+    EnergyStats none(pm.numModes());
+    const std::vector<Time> gaps{0.5, 12.0, 17.0, 25.0, 60.0, 120.0,
+                                 400.0};
+    const auto r = oa.price(gaps, none, false);
+    Energy expect = 0;
+    for (Time g : gaps)
+        expect += pm.envelope(g);
+    EXPECT_NEAR(r.totalEnergy, expect, 1e-6);
+}
+
+TEST(OracleAnalyzer, TrailingGapPaysNoSpinUp)
+{
+    const PowerModel pm;
+    OracleAnalyzer oa(pm);
+    EnergyStats none(pm.numModes());
+    const auto closed = oa.price({1000.0}, none, false);
+    const auto open = oa.price({1000.0}, none, true);
+    EXPECT_LT(open.totalEnergy, closed.totalEnergy);
+    EXPECT_EQ(open.stats.spinUps, 0u);
+    // Long trailing gap: standby park + spin-down only.
+    EXPECT_NEAR(open.totalEnergy, 2.5 * 1000.0 + 13.0, 1e-9);
+}
+
+TEST(OracleAnalyzer, ServiceEnergyCarriesOver)
+{
+    const PowerModel pm;
+    OracleAnalyzer oa(pm);
+    EnergyStats svc(pm.numModes());
+    svc.serviceEnergy = 77.0;
+    svc.busyTime = 3.0;
+    svc.requests = 9;
+    const auto r = oa.price({1.0}, svc, false);
+    EXPECT_NEAR(r.totalEnergy, 77.0 + 10.2, 1e-9);
+    EXPECT_EQ(r.stats.requests, 9u);
+}
+
+TEST(OracleAnalyzer, PricesRealDiskTimeline)
+{
+    // Simulate an always-on disk and re-price it; oracle energy must
+    // not exceed the always-on energy.
+    PowerModel pm;
+    ServiceModel sm(pm.spec());
+    EventQueue eq;
+    AlwaysOnDpm always;
+    Disk disk(0, eq, pm, sm, always);
+
+    for (int i = 0; i < 6; ++i) {
+        eq.schedule(30.0 * (i + 1), [&](Time t) {
+            DiskRequest r;
+            r.arrival = t;
+            r.block = 1234;
+            disk.submit(std::move(r));
+        });
+    }
+    eq.runAll();
+    const Time horizon = std::max(400.0, eq.now());
+    eq.runUntil(horizon);
+    disk.finalize(horizon);
+
+    OracleAnalyzer oa(pm);
+    const auto r = oa.priceDisk(disk);
+    EXPECT_LT(r.totalEnergy, disk.energy().total());
+    EXPECT_GT(r.totalEnergy, 0.0);
+    // Same busy accounting.
+    EXPECT_DOUBLE_EQ(r.stats.busyTime, disk.energy().busyTime);
+}
+
+} // namespace
+} // namespace pacache

@@ -1,0 +1,230 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "disk/power_model.hh"
+
+namespace pacache
+{
+namespace
+{
+
+TEST(PowerModel, UltrastarModeCountAndEndpoints)
+{
+    const PowerModel pm;
+    // idle@15k, NAP1..NAP4 (12k/9k/6k/3k), standby.
+    ASSERT_EQ(pm.numModes(), 6u);
+    EXPECT_EQ(pm.mode(0).name, "idle");
+    EXPECT_EQ(pm.mode(5).name, "standby");
+    EXPECT_DOUBLE_EQ(pm.mode(0).idlePower, 10.2);
+    EXPECT_DOUBLE_EQ(pm.mode(5).idlePower, 2.5);
+    EXPECT_DOUBLE_EQ(pm.mode(0).rpm, 15000);
+    EXPECT_DOUBLE_EQ(pm.mode(5).rpm, 0);
+}
+
+TEST(PowerModel, FullSpeedModeHasNoTransitionCost)
+{
+    const PowerModel pm;
+    EXPECT_DOUBLE_EQ(pm.mode(0).transitionEnergy(), 0.0);
+    EXPECT_DOUBLE_EQ(pm.mode(0).transitionTime(), 0.0);
+}
+
+TEST(PowerModel, StandbyTransitionMatchesDataSheet)
+{
+    const PowerModel pm;
+    const PowerMode &sb = pm.mode(5);
+    EXPECT_DOUBLE_EQ(sb.spinUpTime, 10.9);
+    EXPECT_DOUBLE_EQ(sb.spinUpEnergy, 135);
+    EXPECT_DOUBLE_EQ(sb.spinDownTime, 1.5);
+    EXPECT_DOUBLE_EQ(sb.spinDownEnergy, 13);
+}
+
+TEST(PowerModel, PowersDecreaseTransitionsIncrease)
+{
+    const PowerModel pm;
+    for (std::size_t i = 1; i < pm.numModes(); ++i) {
+        EXPECT_LT(pm.mode(i).idlePower, pm.mode(i - 1).idlePower);
+        EXPECT_GT(pm.mode(i).transitionEnergy(),
+                  pm.mode(i - 1).transitionEnergy());
+        EXPECT_GT(pm.mode(i).transitionTime(),
+                  pm.mode(i - 1).transitionTime());
+    }
+}
+
+TEST(PowerModel, EnergyLineFormula)
+{
+    const PowerModel pm;
+    // E_i(t) = P_i * t + TE_i.
+    EXPECT_DOUBLE_EQ(pm.energyLine(0, 10.0), 102.0);
+    EXPECT_DOUBLE_EQ(pm.energyLine(5, 10.0), 25.0 + 148.0);
+}
+
+TEST(PowerModel, EnvelopeIsMinimumOfLines)
+{
+    const PowerModel pm;
+    for (double t = 0.0; t < 400.0; t += 3.7) {
+        double mn = pm.energyLine(0, t);
+        for (std::size_t i = 1; i < pm.numModes(); ++i)
+            mn = std::min(mn, pm.energyLine(i, t));
+        EXPECT_DOUBLE_EQ(pm.envelope(t), mn);
+    }
+}
+
+TEST(PowerModel, EnvelopeShortGapsStayAtFullSpeed)
+{
+    const PowerModel pm;
+    EXPECT_EQ(pm.bestMode(0.0), 0u);
+    EXPECT_EQ(pm.bestMode(1.0), 0u);
+}
+
+TEST(PowerModel, EnvelopeLongGapsGoToStandby)
+{
+    const PowerModel pm;
+    EXPECT_EQ(pm.bestMode(1000.0), pm.deepestMode());
+}
+
+TEST(PowerModel, EveryModeOnEnvelope)
+{
+    // The quadratic-power / linear-transition model keeps every mode
+    // on the lower envelope (the Figure-2 geometry).
+    const PowerModel pm;
+    ASSERT_EQ(pm.envelopeModes().size(), pm.numModes());
+    for (std::size_t i = 0; i < pm.numModes(); ++i)
+        EXPECT_EQ(pm.envelopeModes()[i], i);
+}
+
+TEST(PowerModel, ThresholdsStrictlyIncrease)
+{
+    const PowerModel pm;
+    const auto &thr = pm.thresholds();
+    ASSERT_EQ(thr.size(), pm.envelopeModes().size() - 1);
+    for (std::size_t i = 1; i < thr.size(); ++i)
+        EXPECT_GT(thr[i], thr[i - 1]);
+    EXPECT_GT(thr.front(), 0.0);
+}
+
+TEST(PowerModel, ThresholdsAreLineIntersections)
+{
+    const PowerModel pm;
+    const auto &env = pm.envelopeModes();
+    const auto &thr = pm.thresholds();
+    for (std::size_t k = 0; k < thr.size(); ++k) {
+        EXPECT_NEAR(pm.energyLine(env[k], thr[k]),
+                    pm.energyLine(env[k + 1], thr[k]), 1e-9);
+    }
+}
+
+TEST(PowerModel, BreakEvenSolvesEquality)
+{
+    const PowerModel pm;
+    for (std::size_t i = 1; i < pm.numModes(); ++i) {
+        const Time be = pm.breakEvenTime(i);
+        EXPECT_NEAR(pm.energyLine(0, be), pm.energyLine(i, be), 1e-9);
+    }
+    EXPECT_DOUBLE_EQ(pm.breakEvenTime(0), 0.0);
+}
+
+TEST(PowerModel, StandbyBreakEvenMatchesHandComputation)
+{
+    const PowerModel pm;
+    // (135 + 13) / (10.2 - 2.5) = 19.2207...
+    EXPECT_NEAR(pm.breakEvenTime(pm.deepestMode()), 148.0 / 7.7, 1e-9);
+}
+
+TEST(PowerModel, SavingsEnvelopeIsNonNegativeAndMonotone)
+{
+    const PowerModel pm;
+    double prev = 0;
+    for (double t = 0; t < 500.0; t += 2.3) {
+        const Energy s = pm.maxSavings(t);
+        EXPECT_GE(s, -1e-12);
+        EXPECT_GE(s, prev - 1e-9); // monotone non-decreasing
+        prev = s;
+    }
+}
+
+TEST(PowerModel, SavingsLineIsEnergyDifference)
+{
+    const PowerModel pm;
+    for (std::size_t i = 0; i < pm.numModes(); ++i) {
+        EXPECT_NEAR(pm.savingsLine(i, 50.0),
+                    pm.energyLine(0, 50.0) - pm.energyLine(i, 50.0),
+                    1e-12);
+    }
+}
+
+TEST(PowerModel, PracticalModeWalksThresholds)
+{
+    const PowerModel pm;
+    const auto &thr = pm.thresholds();
+    EXPECT_EQ(pm.practicalModeAt(0.0), 0u);
+    EXPECT_EQ(pm.practicalModeAt(thr[0] - 1e-6), 0u);
+    EXPECT_EQ(pm.practicalModeAt(thr[0] + 1e-6), pm.envelopeModes()[1]);
+    EXPECT_EQ(pm.practicalModeAt(thr.back() + 1.0), pm.deepestMode());
+}
+
+TEST(PowerModel, PracticalEnergyShortGapIsPureIdle)
+{
+    const PowerModel pm;
+    const Time t = pm.thresholds()[0] / 2;
+    EXPECT_NEAR(pm.practicalEnergy(t),
+                pm.mode(0).idlePower * t +
+                    pm.mode(0).spinDownEnergy + pm.mode(0).spinUpEnergy,
+                1e-9);
+}
+
+TEST(PowerModel, PracticalAtLeastOracle)
+{
+    const PowerModel pm;
+    for (double t = 0.01; t < 1000.0; t *= 1.3)
+        EXPECT_GE(pm.practicalEnergy(t), pm.envelope(t) - 1e-9);
+}
+
+TEST(PowerModel, TwoModeFactory)
+{
+    const PowerModel pm = makeTwoModeModel(10.0, 1.0, 90.0, 5.0, 0.0, 0.0);
+    ASSERT_EQ(pm.numModes(), 2u);
+    // Break-even: 90 / (10 - 1) = 10.
+    EXPECT_NEAR(pm.breakEvenTime(1), 10.0, 1e-12);
+    ASSERT_EQ(pm.thresholds().size(), 1u);
+    EXPECT_NEAR(pm.thresholds()[0], 10.0, 1e-12);
+}
+
+TEST(PowerModel, DegenerateLinearCostsPruneMiddleModes)
+{
+    // When power AND transition energy are both linear in the mode
+    // index, all E_i(t) lines pass through one point and intermediate
+    // modes never win strictly: the envelope keeps only the
+    // endpoints. (Exact binary arithmetic so the tie is exact.)
+    DiskSpec spec;
+    std::vector<PowerMode> modes{
+        PowerMode{"idle", 15000, 10.0, 0, 0, 0, 0},
+        PowerMode{"mid", 10000, 8.0, 1, 16, 0, 0},
+        PowerMode{"standby", 0, 6.0, 2, 32, 0, 0},
+    };
+    const PowerModel pm(spec, modes);
+    ASSERT_EQ(pm.envelopeModes().size(), 2u);
+    EXPECT_EQ(pm.envelopeModes().front(), 0u);
+    EXPECT_EQ(pm.envelopeModes().back(), 2u);
+    ASSERT_EQ(pm.thresholds().size(), 1u);
+    EXPECT_DOUBLE_EQ(pm.thresholds()[0], 8.0); // 32 / (10 - 6)
+}
+
+TEST(PowerModel, RejectsNonMonotoneModes)
+{
+    DiskSpec spec;
+    std::vector<PowerMode> bad{
+        PowerMode{"a", 15000, 5.0, 0, 0, 0, 0},
+        PowerMode{"b", 10000, 7.0, 1, 10, 1, 1}, // power increases
+    };
+    EXPECT_ANY_THROW(PowerModel(spec, bad));
+}
+
+TEST(PowerModel, ModeIndexOutOfRangePanics)
+{
+    const PowerModel pm;
+    EXPECT_ANY_THROW(pm.mode(99));
+}
+
+} // namespace
+} // namespace pacache

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "disk/service_model.hh"
+
+namespace pacache
+{
+namespace
+{
+
+ServiceModel
+model()
+{
+    return ServiceModel(DiskSpec::ultrastar36z15());
+}
+
+TEST(ServiceModel, ZeroSeekForSameBlock)
+{
+    EXPECT_DOUBLE_EQ(model().seekTime(100, 100), 0.0);
+}
+
+TEST(ServiceModel, SeekGrowsWithDistance)
+{
+    const ServiceModel sm = model();
+    const Time near = sm.seekTime(0, 1000);
+    const Time far = sm.seekTime(0, 4000000);
+    EXPECT_GT(near, 0.0);
+    EXPECT_GT(far, near);
+    EXPECT_LE(far, sm.params().fullStrokeSeek + 1e-12);
+}
+
+TEST(ServiceModel, SeekBoundedByTrackToTrack)
+{
+    const ServiceModel sm = model();
+    EXPECT_GE(sm.seekTime(0, 1), sm.params().trackToTrackSeek);
+}
+
+TEST(ServiceModel, SeekIsSymmetric)
+{
+    const ServiceModel sm = model();
+    EXPECT_DOUBLE_EQ(sm.seekTime(10, 99999), sm.seekTime(99999, 10));
+}
+
+TEST(ServiceModel, RotationalLatencyIsHalfRevolution)
+{
+    // 15000 RPM -> 4 ms per revolution -> 2 ms average latency.
+    EXPECT_NEAR(model().rotationalLatency(), 0.002, 1e-12);
+}
+
+TEST(ServiceModel, TransferTimeScalesWithBlocks)
+{
+    const ServiceModel sm = model();
+    EXPECT_NEAR(sm.transferTime(2), 2 * sm.transferTime(1), 1e-12);
+    // 4 KiB at 55 MB/s ~ 74.5 us.
+    EXPECT_NEAR(sm.transferTime(1), 4096.0 / 55e6, 1e-9);
+}
+
+TEST(ServiceModel, ServiceTimeIsSumOfComponents)
+{
+    const ServiceModel sm = model();
+    const Time t = sm.serviceTime(0, 100000, 4);
+    EXPECT_NEAR(t,
+                sm.params().controllerOverhead + sm.seekTime(0, 100000) +
+                    sm.rotationalLatency() + sm.transferTime(4),
+                1e-12);
+}
+
+TEST(ServiceModel, ServiceEnergyUsesBothPowers)
+{
+    const ServiceModel sm = model();
+    // Seek power 13.5 W, active power 13.5 W on this disk: energy is
+    // simply 13.5 * total.
+    EXPECT_NEAR(sm.serviceEnergy(0.002, 0.003), 13.5 * 0.005, 1e-12);
+}
+
+TEST(ServiceModel, ServiceEnergyDistinguishesPowersWhenDifferent)
+{
+    DiskSpec spec;
+    spec.seekPower = 20.0;
+    spec.activePower = 10.0;
+    const ServiceModel sm(spec);
+    EXPECT_NEAR(sm.serviceEnergy(1.0, 2.0), 20.0 + 20.0, 1e-12);
+}
+
+TEST(ServiceModel, AtSpeedFullFractionMatchesPlain)
+{
+    const ServiceModel sm = model();
+    EXPECT_NEAR(sm.serviceTimeAtSpeed(0, 5000, 4, 1.0),
+                sm.serviceTime(0, 5000, 4), 1e-12);
+    EXPECT_NEAR(sm.serviceEnergyAtSpeed(0.001, 0.004, 1.0),
+                sm.serviceEnergy(0.001, 0.004), 1e-12);
+}
+
+TEST(ServiceModel, HalfSpeedDoublesRotationAndTransfer)
+{
+    const ServiceModel sm = model();
+    const Time full = sm.serviceTimeAtSpeed(0, 0, 1, 1.0);
+    const Time half = sm.serviceTimeAtSpeed(0, 0, 1, 0.5);
+    const Time rotating = sm.rotationalLatency() + sm.transferTime(1);
+    EXPECT_NEAR(half - full, rotating, 1e-12);
+}
+
+TEST(ServiceModel, LowSpeedServiceUsesLessPower)
+{
+    const ServiceModel sm = model();
+    // Same durations: active power drops quadratically toward the
+    // standby floor.
+    EXPECT_LT(sm.serviceEnergyAtSpeed(0.0, 1.0, 0.2),
+              sm.serviceEnergyAtSpeed(0.0, 1.0, 1.0) / 4);
+    EXPECT_GT(sm.serviceEnergyAtSpeed(0.0, 1.0, 0.2), 2.5);
+}
+
+TEST(ServiceModel, AtSpeedRejectsBadFraction)
+{
+    const ServiceModel sm = model();
+    EXPECT_ANY_THROW(sm.serviceTimeAtSpeed(0, 0, 1, 0.0));
+    EXPECT_ANY_THROW(sm.serviceEnergyAtSpeed(0, 1, 1.5));
+}
+
+TEST(ServiceModel, RejectsBadParams)
+{
+    ServiceParams p;
+    p.capacityBlocks = 0;
+    EXPECT_ANY_THROW(ServiceModel(DiskSpec{}, p));
+}
+
+} // namespace
+} // namespace pacache

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * End-to-end edge cases of the coupled simulator: multi-block
+ * requests, arrivals during spin-down, queue build-up behind a
+ * spin-up, and cross-tool trace round trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/experiment.hh"
+#include "disk/disk.hh"
+#include "trace/trace_io.hh"
+#include "trace/workloads.hh"
+
+namespace pacache
+{
+namespace
+{
+
+TEST(SystemEdgeCases, MultiBlockRequestsExpandAndRespond)
+{
+    Trace t;
+    t.append({1.0, 0, 100, 8, false}); // 8-block read
+    t.append({2.0, 1, 200, 4, true});  // 4-block write
+    t.append({3.0, 0, 100, 8, false}); // full re-read: 8 hits
+
+    ExperimentConfig cfg;
+    cfg.cacheBlocks = 64;
+    const ExperimentResult r = runExperiment(t, cfg);
+    EXPECT_EQ(r.cache.accesses, 20u);
+    EXPECT_EQ(r.cache.misses, 12u);
+    EXPECT_EQ(r.cache.hits, 8u);
+    EXPECT_EQ(r.responses.count(), 20u);
+}
+
+TEST(SystemEdgeCases, PartialOverlapOfMultiBlockRequests)
+{
+    Trace t;
+    t.append({1.0, 0, 100, 4, false}); // blocks 100..103
+    t.append({2.0, 0, 102, 4, false}); // 102,103 hit; 104,105 miss
+
+    ExperimentConfig cfg;
+    cfg.cacheBlocks = 64;
+    const ExperimentResult r = runExperiment(t, cfg);
+    EXPECT_EQ(r.cache.hits, 2u);
+    EXPECT_EQ(r.cache.misses, 6u);
+}
+
+TEST(SystemEdgeCases, ArrivalDuringSpinDownWaitsThenServes)
+{
+    // Drive a raw disk: request lands exactly inside a demotion.
+    PowerModel pm;
+    ServiceModel sm(pm.spec());
+    EventQueue eq;
+    PracticalDpm dpm(pm);
+    Disk disk(0, eq, pm, sm, dpm);
+
+    auto submit = [&](Time when) {
+        eq.schedule(when, [&](Time t) {
+            DiskRequest r;
+            r.arrival = t;
+            disk.submit(std::move(r));
+        });
+    };
+    submit(1.0);
+    // First demotion starts at ~1.0 + service + thr0; the NAP1
+    // spin-down takes 0.3 s. Land in the middle of it.
+    submit(1.01 + pm.thresholds()[0] + 0.15);
+    eq.runAll();
+    const Time horizon = std::max(300.0, eq.now());
+    eq.runUntil(horizon);
+    disk.finalize(horizon);
+
+    EXPECT_EQ(disk.energy().requests, 2u);
+    // The request waited for spin-down completion plus the NAP1
+    // spin-up (2.18 s).
+    EXPECT_GT(disk.responses().max(), 2.0);
+    EXPECT_LT(disk.responses().max(), 4.0);
+    EXPECT_GE(disk.energy().spinUps, 1u);
+}
+
+TEST(SystemEdgeCases, QueueBuildsBehindSpinUp)
+{
+    PowerModel pm;
+    ServiceModel sm(pm.spec());
+    EventQueue eq;
+    PracticalDpm dpm(pm);
+    Disk disk(0, eq, pm, sm, dpm);
+
+    auto submit = [&](Time when, BlockNum b) {
+        eq.schedule(when, [&disk, b](Time t) {
+            DiskRequest r;
+            r.arrival = t;
+            r.block = b;
+            disk.submit(std::move(r));
+        });
+    };
+    submit(1.0, 1);
+    // Burst while the disk is in standby: all five wait for one
+    // 10.9 s spin-up, then drain FCFS.
+    for (int i = 0; i < 5; ++i)
+        submit(500.0 + 0.001 * i, 100 + i);
+    eq.runAll();
+    const Time horizon = std::max(700.0, eq.now());
+    eq.runUntil(horizon);
+    disk.finalize(horizon);
+
+    EXPECT_EQ(disk.energy().requests, 6u);
+    EXPECT_EQ(disk.energy().spinUps, 1u); // one spin-up serves all
+    EXPECT_GT(disk.responses().percentile(0.9), 10.9);
+}
+
+TEST(SystemEdgeCases, TraceFileRoundTripPreservesExperiment)
+{
+    OltpParams p;
+    p.duration = 300;
+    const Trace original = makeOltpTrace(p);
+
+    std::stringstream ss;
+    writeTrace(ss, original);
+    const Trace reloaded = readTrace(ss);
+
+    ExperimentConfig cfg;
+    cfg.cacheBlocks = 512;
+    const auto a = runExperiment(original, cfg);
+    const auto b = runExperiment(reloaded, cfg);
+    EXPECT_EQ(a.cache.misses, b.cache.misses);
+    EXPECT_NEAR(a.totalEnergy, b.totalEnergy, a.totalEnergy * 1e-9);
+}
+
+TEST(SystemEdgeCases, SingleRequestTrace)
+{
+    Trace t;
+    t.append({1.0, 0, 1, 1, false});
+    ExperimentConfig cfg;
+    cfg.cacheBlocks = 4;
+    const auto r = runExperiment(t, cfg);
+    EXPECT_EQ(r.cache.accesses, 1u);
+    EXPECT_EQ(r.responses.count(), 1u);
+    EXPECT_GT(r.totalEnergy, 0.0);
+}
+
+TEST(SystemEdgeCases, AllWritesTraceUnderEveryPolicy)
+{
+    Trace t;
+    for (int i = 0; i < 50; ++i)
+        t.append({1.0 + i * 5.0, static_cast<DiskId>(i % 2),
+                  static_cast<BlockNum>(i), 1, true});
+    for (WritePolicy wp :
+         {WritePolicy::WriteThrough, WritePolicy::WriteBack,
+          WritePolicy::WriteBackEagerUpdate,
+          WritePolicy::WriteThroughDeferredUpdate}) {
+        ExperimentConfig cfg;
+        cfg.cacheBlocks = 16;
+        cfg.storage.writePolicy = wp;
+        const auto r = runExperiment(t, cfg);
+        EXPECT_EQ(r.responses.count(), 50u) << writePolicyName(wp);
+    }
+}
+
+} // namespace
+} // namespace pacache

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Property sweep over the DPM mathematics (paper Section 2.2):
+ * for any idle-interval length t,
+ *   - the lower envelope E*(t) bounds every line from below,
+ *   - the threshold-based Practical DPM never beats the Oracle,
+ *   - Practical is 2-competitive: E_practical(t) <= 2 * E*(t)
+ *     (Irani et al.), given intersection-point thresholds.
+ */
+
+#include <gtest/gtest.h>
+
+#include "disk/power_model.hh"
+#include "util/random.hh"
+
+namespace pacache
+{
+namespace
+{
+
+class EnvelopeSweep : public ::testing::TestWithParam<double>
+{
+  protected:
+    const PowerModel pm;
+};
+
+TEST_P(EnvelopeSweep, EnvelopeIsLowerBound)
+{
+    const double t = GetParam();
+    for (std::size_t i = 0; i < pm.numModes(); ++i)
+        EXPECT_LE(pm.envelope(t), pm.energyLine(i, t) + 1e-9);
+}
+
+TEST_P(EnvelopeSweep, OracleLowerBoundsPractical)
+{
+    const double t = GetParam();
+    EXPECT_LE(pm.envelope(t), pm.practicalEnergy(t) + 1e-9);
+}
+
+TEST_P(EnvelopeSweep, PracticalIsTwoCompetitive)
+{
+    const double t = GetParam();
+    EXPECT_LE(pm.practicalEnergy(t), 2.0 * pm.envelope(t) + 1e-9);
+}
+
+TEST_P(EnvelopeSweep, SavingsMatchesEnvelopeGap)
+{
+    const double t = GetParam();
+    EXPECT_NEAR(pm.maxSavings(t),
+                pm.energyLine(0, t) - pm.envelope(t), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    IntervalLengths, EnvelopeSweep,
+    ::testing::Values(0.0, 0.5, 2.0, 5.0, 10.68, 13.7, 19.2, 25.0,
+                      32.0, 50.0, 96.1, 150.0, 500.0, 5000.0),
+    [](const auto &info) {
+        std::string n = std::to_string(info.param);
+        for (auto &ch : n)
+            if (ch == '.')
+                ch = '_';
+        return "t" + n;
+    });
+
+TEST(DpmCompetitiveRandom, HoldsOnRandomModelsAndIntervals)
+{
+    Rng rng(99);
+    for (int m = 0; m < 20; ++m) {
+        DiskSpec spec;
+        spec.idlePower = rng.uniform(5.0, 15.0);
+        spec.standbyPower = rng.uniform(0.5, 3.0);
+        spec.spinUpEnergy = rng.uniform(50.0, 300.0);
+        spec.spinDownEnergy = rng.uniform(2.0, 30.0);
+        spec.spinUpTime = rng.uniform(2.0, 20.0);
+        spec.spinDownTime = rng.uniform(0.5, 3.0);
+        const PowerModel pm(spec);
+        for (int i = 0; i < 200; ++i) {
+            const double t = rng.pareto(1.2, 0.1);
+            ASSERT_LE(pm.envelope(t), pm.practicalEnergy(t) + 1e-9)
+                << "model " << m << " t=" << t;
+            ASSERT_LE(pm.practicalEnergy(t),
+                      2.0 * pm.envelope(t) + 1e-9)
+                << "model " << m << " t=" << t;
+        }
+    }
+}
+
+TEST(DpmCompetitiveRandom, ThresholdsAlwaysAscend)
+{
+    Rng rng(7);
+    for (int m = 0; m < 50; ++m) {
+        DiskSpec spec;
+        spec.idlePower = rng.uniform(5.0, 15.0);
+        spec.standbyPower = rng.uniform(0.5, 3.0);
+        spec.spinUpEnergy = rng.uniform(50.0, 300.0);
+        spec.spinDownEnergy = rng.uniform(2.0, 30.0);
+        const PowerModel pm(spec);
+        const auto &thr = pm.thresholds();
+        for (std::size_t i = 1; i < thr.size(); ++i)
+            ASSERT_GT(thr[i], thr[i - 1]);
+    }
+}
+
+} // namespace
+} // namespace pacache

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Parameterized property sweeps: for every replacement policy and a
+ * range of random workloads, the cache and energy-accounting
+ * invariants must hold.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/experiment.hh"
+#include "trace/synthetic.hh"
+
+namespace pacache
+{
+namespace
+{
+
+using Param = std::tuple<PolicyKind, uint64_t /*seed*/>;
+
+class PolicyInvariants : public ::testing::TestWithParam<Param>
+{
+  protected:
+    Trace
+    makeTrace(uint64_t seed) const
+    {
+        SyntheticParams p;
+        p.numRequests = 1500;
+        p.numDisks = 3;
+        p.arrival = (seed % 2) ? ArrivalModel::pareto(80.0, 1.5)
+                               : ArrivalModel::exponential(80.0);
+        p.writeRatio = 0.25;
+        p.address.footprintBlocks = 400;
+        p.address.reuseProb = 0.5;
+        p.seed = seed;
+        return generateSynthetic(p);
+    }
+};
+
+TEST_P(PolicyInvariants, AccountingHoldsEverywhere)
+{
+    const auto [policy, seed] = GetParam();
+    const Trace trace = makeTrace(seed);
+
+    ExperimentConfig cfg;
+    cfg.policy = policy;
+    cfg.cacheBlocks = 128;
+    cfg.pa.epochLength = 20.0;
+    const ExperimentResult r = runExperiment(trace, cfg);
+
+    // Cache identities.
+    EXPECT_EQ(r.cache.accesses, trace.size());
+    EXPECT_EQ(r.cache.hits + r.cache.misses, r.cache.accesses);
+    EXPECT_LE(r.cache.evictions, r.cache.misses);
+    EXPECT_LE(r.cache.coldMisses, r.cache.misses);
+    EXPECT_GT(r.cache.coldMisses, 0u);
+
+    // Every access is answered exactly once.
+    EXPECT_EQ(r.responses.count(), trace.size());
+    EXPECT_GE(r.responses.mean(), 0.0);
+
+    // Energy accounting: non-negative parts, parts sum to total.
+    Energy parts = r.energy.serviceEnergy + r.energy.spinUpEnergy +
+                   r.energy.spinDownEnergy;
+    for (Energy e : r.energy.idleEnergyPerMode) {
+        EXPECT_GE(e, 0.0);
+        parts += e;
+    }
+    EXPECT_NEAR(parts, r.energy.total(), 1e-9);
+    EXPECT_GT(r.energy.total(), 0.0);
+
+    // Per-disk time accounting covers a common horizon.
+    for (std::size_t d = 1; d < r.perDisk.size(); ++d) {
+        EXPECT_NEAR(r.perDisk[d].totalTime(), r.perDisk[0].totalTime(),
+                    1e-6);
+    }
+
+    // Spin-up/down pairing: every spin-up implies at least one
+    // demotion happened before it.
+    EXPECT_LE(r.energy.spinUps, r.energy.spinDowns);
+}
+
+TEST_P(PolicyInvariants, OracleLowerBoundsPractical)
+{
+    const auto [policy, seed] = GetParam();
+    const Trace trace = makeTrace(seed);
+
+    ExperimentConfig cfg;
+    cfg.policy = policy;
+    cfg.cacheBlocks = 128;
+    cfg.pa.epochLength = 20.0;
+
+    cfg.dpm = DpmChoice::Oracle;
+    const Energy oracle = runExperiment(trace, cfg).totalEnergy;
+    cfg.dpm = DpmChoice::Practical;
+    const Energy practical = runExperiment(trace, cfg).totalEnergy;
+    cfg.dpm = DpmChoice::AlwaysOn;
+    const Energy always = runExperiment(trace, cfg).totalEnergy;
+
+    EXPECT_LE(oracle, practical * 1.001);
+    EXPECT_LE(oracle, always * 1.001);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PolicyInvariants,
+    ::testing::Combine(
+        ::testing::Values(PolicyKind::LRU, PolicyKind::FIFO,
+                          PolicyKind::CLOCK, PolicyKind::ARC,
+                          PolicyKind::MQ, PolicyKind::LIRS,
+                          PolicyKind::Belady, PolicyKind::OPG,
+                          PolicyKind::PALRU, PolicyKind::PAARC,
+                          PolicyKind::PALIRS),
+        ::testing::Values(1u, 2u, 3u)),
+    [](const auto &info) {
+        std::string n = policyKindName(std::get<0>(info.param));
+        for (auto &ch : n)
+            if (ch == '-')
+                ch = '_';
+        return n + "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+class WritePolicyInvariants
+    : public ::testing::TestWithParam<std::tuple<WritePolicy, uint64_t>>
+{
+};
+
+TEST_P(WritePolicyInvariants, EveryWritePolicyKeepsTheBooks)
+{
+    const auto [wp, seed] = GetParam();
+    SyntheticParams p;
+    p.numRequests = 1200;
+    p.numDisks = 3;
+    // Sparse arrivals so disks actually reach low-power modes and the
+    // deferred-update path (log writes to sleeping disks) is taken.
+    p.arrival = ArrivalModel::exponential(8000.0);
+    p.writeRatio = 0.5;
+    p.address.footprintBlocks = 300;
+    p.seed = seed;
+    const Trace trace = generateSynthetic(p);
+
+    ExperimentConfig cfg;
+    cfg.cacheBlocks = 128;
+    cfg.storage.writePolicy = wp;
+    cfg.storage.wtduRegionBlocks = 64; // exercise region wraps
+    const ExperimentResult r = runExperiment(trace, cfg);
+
+    EXPECT_EQ(r.cache.accesses, trace.size());
+    EXPECT_EQ(r.responses.count(), trace.size());
+    EXPECT_GT(r.totalEnergy, 0.0);
+    if (wp == WritePolicy::WriteThroughDeferredUpdate)
+        EXPECT_GT(r.logWrites, 0u);
+    else
+        EXPECT_EQ(r.logWrites, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, WritePolicyInvariants,
+    ::testing::Combine(
+        ::testing::Values(WritePolicy::WriteThrough,
+                          WritePolicy::WriteBack,
+                          WritePolicy::WriteBackEagerUpdate,
+                          WritePolicy::WriteThroughDeferredUpdate),
+        ::testing::Values(11u, 12u)),
+    [](const auto &info) {
+        return std::string(writePolicyName(std::get<0>(info.param))) +
+               "_seed" + std::to_string(std::get<1>(info.param));
+    });
+
+} // namespace
+} // namespace pacache

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Fuzz property: OPG's incremental penalty maintenance (gap-scoped
+ * repricing on deterministic-miss insert/erase) must always agree
+ * with a from-scratch recomputation, across random workloads, both
+ * DPM pricings, and a range of theta floors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "cache/cache.hh"
+#include "core/opg.hh"
+#include "trace/synthetic.hh"
+
+namespace pacache
+{
+namespace
+{
+
+using Param = std::tuple<DpmKind, double /*theta*/, uint64_t /*seed*/>;
+
+class OpgConsistency : public ::testing::TestWithParam<Param>
+{
+};
+
+TEST_P(OpgConsistency, IncrementalMatchesFromScratch)
+{
+    const auto [kind, theta, seed] = GetParam();
+
+    SyntheticParams sp;
+    sp.numRequests = 3000;
+    sp.numDisks = 4;
+    sp.arrival = (seed % 2) ? ArrivalModel::pareto(150.0, 1.5)
+                            : ArrivalModel::exponential(150.0);
+    sp.address.footprintBlocks = 250;
+    sp.address.reuseProb = 0.6;
+    sp.seed = seed;
+    const Trace trace = generateSynthetic(sp);
+    const auto accesses = expandTrace(trace);
+
+    const PowerModel pm;
+    OpgPolicy policy(pm, kind, theta);
+    Cache cache(96, policy);
+    policy.prepare(accesses);
+    policy.validateInternalState();
+
+    for (std::size_t i = 0; i < accesses.size(); ++i) {
+        cache.access(accesses[i].block, accesses[i].time, i);
+        if (i % 250 == 0)
+            policy.validateInternalState();
+    }
+    policy.validateInternalState();
+    EXPECT_GT(cache.stats().evictions, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fuzz, OpgConsistency,
+    ::testing::Combine(::testing::Values(DpmKind::Oracle,
+                                         DpmKind::Practical),
+                       ::testing::Values(0.0, 29.6),
+                       ::testing::Values(51u, 52u, 53u)),
+    [](const auto &info) {
+        std::string n = std::get<0>(info.param) == DpmKind::Oracle
+            ? "oracle"
+            : "practical";
+        n += std::get<1>(info.param) > 0 ? "_theta" : "_pure";
+        n += "_seed" + std::to_string(std::get<2>(info.param));
+        return n;
+    });
+
+} // namespace
+} // namespace pacache

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace pacache
+{
+namespace
+{
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(3.0, [&](Time) { order.push_back(3); });
+    eq.schedule(1.0, [&](Time) { order.push_back(1); });
+    eq.schedule(2.0, [&](Time) { order.push_back(2); });
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_DOUBLE_EQ(eq.now(), 3.0);
+}
+
+TEST(EventQueue, SameTimeFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(5.0, [&, i](Time) { order.push_back(i); });
+    eq.runAll();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CallbackSeesEventTime)
+{
+    EventQueue eq;
+    Time seen = -1;
+    eq.schedule(4.5, [&](Time t) { seen = t; });
+    eq.runAll();
+    EXPECT_DOUBLE_EQ(seen, 4.5);
+}
+
+TEST(EventQueue, CancelRemovesEvent)
+{
+    EventQueue eq;
+    bool fired = false;
+    auto h = eq.schedule(1.0, [&](Time) { fired = true; });
+    EXPECT_TRUE(eq.pending(h));
+    EXPECT_TRUE(eq.cancel(h));
+    EXPECT_FALSE(eq.pending(h));
+    eq.runAll();
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelTwiceIsFalse)
+{
+    EventQueue eq;
+    auto h = eq.schedule(1.0, [](Time) {});
+    EXPECT_TRUE(eq.cancel(h));
+    EXPECT_FALSE(eq.cancel(h));
+}
+
+TEST(EventQueue, CancelDefaultHandleIsFalse)
+{
+    EventQueue eq;
+    EventQueue::Handle h;
+    EXPECT_FALSE(eq.cancel(h));
+}
+
+TEST(EventQueue, ScheduleAfterUsesNow)
+{
+    EventQueue eq;
+    Time fired_at = -1;
+    eq.schedule(2.0, [&](Time) {
+        eq.scheduleAfter(3.0, [&](Time t) { fired_at = t; });
+    });
+    eq.runAll();
+    EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(EventQueue, SchedulingInPastPanics)
+{
+    EventQueue eq;
+    eq.schedule(5.0, [](Time) {});
+    eq.runAll();
+    EXPECT_ANY_THROW(eq.schedule(1.0, [](Time) {}));
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(1.0, [&](Time) { order.push_back(1); });
+    eq.schedule(2.0, [&](Time) { order.push_back(2); });
+    eq.schedule(3.0, [&](Time) { order.push_back(3); });
+    eq.runUntil(2.0); // inclusive
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    EXPECT_DOUBLE_EQ(eq.now(), 2.0);
+    EXPECT_EQ(eq.size(), 1u);
+}
+
+TEST(EventQueue, RunUntilAdvancesClockWithoutEvents)
+{
+    EventQueue eq;
+    eq.runUntil(7.0);
+    EXPECT_DOUBLE_EQ(eq.now(), 7.0);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue eq;
+    int depth = 0;
+    std::function<void(Time)> chain = [&](Time) {
+        if (++depth < 5)
+            eq.scheduleAfter(1.0, chain);
+    };
+    eq.schedule(0.0, chain);
+    eq.runAll();
+    EXPECT_EQ(depth, 5);
+    EXPECT_DOUBLE_EQ(eq.now(), 4.0);
+}
+
+TEST(EventQueue, RunOneReturnsFalseWhenEmpty)
+{
+    EventQueue eq;
+    EXPECT_FALSE(eq.runOne());
+    EXPECT_TRUE(eq.empty());
+}
+
+} // namespace
+} // namespace pacache

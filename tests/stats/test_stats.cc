@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "stats/energy_stats.hh"
+#include "stats/response_stats.hh"
+
+namespace pacache
+{
+namespace
+{
+
+TEST(EnergyStatsTest, TotalsSumAllParts)
+{
+    EnergyStats s(3);
+    s.idleEnergyPerMode = {10.0, 20.0, 30.0};
+    s.timePerMode = {1.0, 2.0, 3.0};
+    s.serviceEnergy = 5.0;
+    s.busyTime = 0.5;
+    s.spinUpEnergy = 7.0;
+    s.spinDownEnergy = 2.0;
+    s.spinUpTime = 0.25;
+    s.spinDownTime = 0.25;
+    EXPECT_DOUBLE_EQ(s.total(), 74.0);
+    EXPECT_DOUBLE_EQ(s.totalTime(), 7.0);
+    EXPECT_DOUBLE_EQ(s.transitionTime(), 0.5);
+}
+
+TEST(EnergyStatsTest, AccumulateMergesEverything)
+{
+    EnergyStats a(2), b(2);
+    a.idleEnergyPerMode = {1.0, 2.0};
+    b.idleEnergyPerMode = {10.0, 20.0};
+    a.spinUps = 3;
+    b.spinUps = 4;
+    a.requests = 7;
+    b.requests = 5;
+    a += b;
+    EXPECT_DOUBLE_EQ(a.idleEnergyPerMode[0], 11.0);
+    EXPECT_DOUBLE_EQ(a.idleEnergyPerMode[1], 22.0);
+    EXPECT_EQ(a.spinUps, 7u);
+    EXPECT_EQ(a.requests, 12u);
+}
+
+TEST(EnergyStatsTest, AccumulateGrowsModeVector)
+{
+    EnergyStats a(1), b(3);
+    b.idleEnergyPerMode = {1.0, 2.0, 3.0};
+    a += b;
+    ASSERT_EQ(a.idleEnergyPerMode.size(), 3u);
+    EXPECT_DOUBLE_EQ(a.idleEnergyPerMode[2], 3.0);
+}
+
+TEST(ResponseStatsTest, EmptyIsZero)
+{
+    ResponseStats r;
+    EXPECT_EQ(r.count(), 0u);
+    EXPECT_DOUBLE_EQ(r.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(r.max(), 0.0);
+    EXPECT_DOUBLE_EQ(r.percentile(0.5), 0.0);
+}
+
+TEST(ResponseStatsTest, MeanMaxPercentiles)
+{
+    ResponseStats r;
+    for (int i = 1; i <= 100; ++i)
+        r.record(static_cast<Time>(i));
+    EXPECT_EQ(r.count(), 100u);
+    EXPECT_DOUBLE_EQ(r.mean(), 50.5);
+    EXPECT_DOUBLE_EQ(r.max(), 100.0);
+    EXPECT_DOUBLE_EQ(r.percentile(0.5), 50.0);
+    EXPECT_DOUBLE_EQ(r.percentile(0.95), 95.0);
+    EXPECT_DOUBLE_EQ(r.percentile(1.0), 100.0);
+    EXPECT_DOUBLE_EQ(r.percentile(0.0), 1.0);
+}
+
+TEST(ResponseStatsTest, PercentileWorksAfterMoreRecords)
+{
+    // The lazy sort must be invalidated by later records.
+    ResponseStats r;
+    r.record(5.0);
+    EXPECT_DOUBLE_EQ(r.percentile(0.5), 5.0);
+    r.record(1.0);
+    EXPECT_DOUBLE_EQ(r.percentile(0.0), 1.0);
+}
+
+TEST(ResponseStatsTest, MergeCombinesSamples)
+{
+    ResponseStats a, b;
+    a.record(1.0);
+    a.record(2.0);
+    b.record(10.0);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 3u);
+    EXPECT_DOUBLE_EQ(a.max(), 10.0);
+    EXPECT_NEAR(a.mean(), 13.0 / 3.0, 1e-12);
+}
+
+} // namespace
+} // namespace pacache

@@ -1,0 +1,16 @@
+/**
+ * @file
+ * gtest entry point; silences info/warn noise during tests.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+int
+main(int argc, char **argv)
+{
+    ::testing::InitGoogleTest(&argc, argv);
+    pacache::setQuietLogging(true);
+    return RUN_ALL_TESTS();
+}

@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "trace/record.hh"
+
+namespace pacache
+{
+namespace
+{
+
+TEST(TraceRecord, RoundTripsThroughText)
+{
+    TraceRecord rec{12.5, 3, 123456789ULL, 8, true};
+    const TraceRecord back = parseRecord(toString(rec));
+    EXPECT_DOUBLE_EQ(back.time, rec.time);
+    EXPECT_EQ(back.disk, rec.disk);
+    EXPECT_EQ(back.block, rec.block);
+    EXPECT_EQ(back.numBlocks, rec.numBlocks);
+    EXPECT_EQ(back.write, rec.write);
+}
+
+TEST(TraceRecord, ReadFlagRoundTrips)
+{
+    TraceRecord rec{0.0, 0, 7, 1, false};
+    EXPECT_FALSE(parseRecord(toString(rec)).write);
+}
+
+TEST(TraceRecord, ParsesLowercaseFlags)
+{
+    EXPECT_TRUE(parseRecord("1.0 0 5 1 w").write);
+    EXPECT_FALSE(parseRecord("1.0 0 5 1 r").write);
+}
+
+TEST(TraceRecord, RejectsMalformedLine)
+{
+    EXPECT_ANY_THROW(parseRecord("not a record"));
+    EXPECT_ANY_THROW(parseRecord("1.0 0 5 1"));
+    EXPECT_ANY_THROW(parseRecord("1.0 0 5 1 X"));
+}
+
+TEST(TraceRecord, PreservesSubMillisecondTimes)
+{
+    TraceRecord rec{0.000123456, 1, 2, 1, false};
+    EXPECT_NEAR(parseRecord(toString(rec)).time, rec.time, 1e-9);
+}
+
+TEST(BlockIdTest, PackedIsInjectiveAcrossDisks)
+{
+    BlockId a{1, 100}, b{2, 100};
+    EXPECT_NE(a.packed(), b.packed());
+}
+
+TEST(BlockIdTest, OrderingIsLexicographic)
+{
+    EXPECT_LT((BlockId{0, 999}), (BlockId{1, 0}));
+    EXPECT_LT((BlockId{1, 5}), (BlockId{1, 6}));
+}
+
+} // namespace
+} // namespace pacache

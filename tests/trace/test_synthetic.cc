@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "trace/stats.hh"
+#include "trace/synthetic.hh"
+
+namespace pacache
+{
+namespace
+{
+
+TEST(ArrivalModelTest, ExponentialMeanMatches)
+{
+    Rng rng(1);
+    const auto m = ArrivalModel::exponential(250.0);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += m.sample(rng);
+    EXPECT_NEAR(sum / n, 0.250, 0.01);
+}
+
+TEST(ArrivalModelTest, ParetoMeanRoughlyMatches)
+{
+    Rng rng(2);
+    // Shape 1.9 keeps the variance blow-up manageable for the test.
+    const auto m = ArrivalModel::pareto(100.0, 1.9);
+    double sum = 0;
+    const int n = 2000000;
+    for (int i = 0; i < n; ++i)
+        sum += m.sample(rng);
+    EXPECT_NEAR(sum / n, 0.100, 0.02);
+}
+
+TEST(ArrivalModelTest, ParetoHasHeavierTail)
+{
+    // At equal mean, Pareto(1.5) produces far more very-long gaps
+    // than Exponential — the burstiness the paper wants.
+    Rng r1(3), r2(3);
+    const auto exp_m = ArrivalModel::exponential(100.0);
+    const auto par_m = ArrivalModel::pareto(100.0, 1.5);
+    int exp_long = 0, par_long = 0;
+    for (int i = 0; i < 50000; ++i) {
+        exp_long += exp_m.sample(r1) > 0.5;
+        par_long += par_m.sample(r2) > 0.5;
+    }
+    EXPECT_GT(par_long, 2 * exp_long);
+}
+
+TEST(AddressGenerator, StaysInFootprint)
+{
+    AddressGenerator::Params p;
+    p.footprintBlocks = 1000;
+    AddressGenerator gen(p);
+    Rng rng(4);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(gen.next(rng), 1000u);
+}
+
+TEST(AddressGenerator, SequentialRunsAppear)
+{
+    AddressGenerator::Params p;
+    p.seqProb = 1.0;
+    p.localProb = 0.0;
+    p.footprintBlocks = 10000;
+    AddressGenerator gen(p);
+    Rng rng(5);
+    BlockNum prev = gen.next(rng);
+    for (int i = 0; i < 100; ++i) {
+        const BlockNum cur = gen.next(rng);
+        EXPECT_EQ(cur, (prev + 1) % 10000);
+        prev = cur;
+    }
+}
+
+TEST(AddressGenerator, LocalAccessesStayClose)
+{
+    AddressGenerator::Params p;
+    p.seqProb = 0.0;
+    p.localProb = 1.0;
+    p.maxLocalDistance = 10;
+    p.footprintBlocks = 100000;
+    AddressGenerator gen(p);
+    Rng rng(6);
+    BlockNum prev = gen.next(rng);
+    for (int i = 0; i < 1000; ++i) {
+        const BlockNum cur = gen.next(rng);
+        const auto dist = cur > prev ? cur - prev : prev - cur;
+        // Within maxLocalDistance, modulo footprint wraps.
+        EXPECT_TRUE(dist <= 10 || dist >= 100000 - 10);
+        prev = cur;
+    }
+}
+
+TEST(AddressGenerator, ReuseCreatesRepeats)
+{
+    AddressGenerator::Params hi, lo;
+    hi.seqProb = lo.seqProb = 0.0;
+    hi.localProb = lo.localProb = 0.0;
+    hi.footprintBlocks = lo.footprintBlocks = 1u << 30;
+    hi.reuseProb = 0.9;
+    lo.reuseProb = 0.0;
+
+    auto unique_frac = [](AddressGenerator gen, uint64_t seed) {
+        Rng rng(seed);
+        std::unordered_set<BlockNum> seen;
+        const int n = 20000;
+        for (int i = 0; i < n; ++i)
+            seen.insert(gen.next(rng));
+        return static_cast<double>(seen.size()) / n;
+    };
+
+    EXPECT_LT(unique_frac(AddressGenerator(hi), 7),
+              unique_frac(AddressGenerator(lo), 7) * 0.5);
+}
+
+TEST(Synthetic, GeneratesRequestedCount)
+{
+    SyntheticParams p;
+    p.numRequests = 5000;
+    p.numDisks = 4;
+    const Trace t = generateSynthetic(p);
+    EXPECT_EQ(t.size(), 5000u);
+    EXPECT_LE(t.numDisks(), 4u);
+}
+
+TEST(Synthetic, WriteRatioIsRespected)
+{
+    SyntheticParams p;
+    p.numRequests = 50000;
+    p.writeRatio = 0.3;
+    const TraceStats s = characterize(generateSynthetic(p));
+    EXPECT_NEAR(s.writeRatio, 0.3, 0.02);
+}
+
+TEST(Synthetic, MeanInterarrivalMatchesModel)
+{
+    SyntheticParams p;
+    p.numRequests = 50000;
+    p.arrival = ArrivalModel::exponential(100.0);
+    const TraceStats s = characterize(generateSynthetic(p));
+    EXPECT_NEAR(s.meanInterArrival, 0.100, 0.01);
+}
+
+TEST(Synthetic, DeterministicUnderSeed)
+{
+    SyntheticParams p;
+    p.numRequests = 1000;
+    const Trace a = generateSynthetic(p);
+    const Trace b = generateSynthetic(p);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(Synthetic, DifferentSeedsDiffer)
+{
+    SyntheticParams p;
+    p.numRequests = 1000;
+    const Trace a = generateSynthetic(p);
+    p.seed = 43;
+    const Trace b = generateSynthetic(p);
+    int diff = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        diff += !(a[i] == b[i]);
+    EXPECT_GT(diff, 500);
+}
+
+TEST(PerDiskGenerator, RespectsDurationAndDisks)
+{
+    std::vector<DiskStream> streams(3);
+    for (auto &s : streams)
+        s.arrival = ArrivalModel::exponential(50.0);
+    const Trace t = generatePerDisk(streams, 60.0, 9);
+    EXPECT_GT(t.size(), 1000u); // 3 disks * ~20/s * 60s
+    EXPECT_LE(t.endTime(), 60.0);
+    EXPECT_EQ(t.numDisks(), 3u);
+}
+
+TEST(PerDiskGenerator, TimeOrdered)
+{
+    std::vector<DiskStream> streams(5);
+    const Trace t = generatePerDisk(streams, 300.0, 10);
+    for (std::size_t i = 1; i < t.size(); ++i)
+        EXPECT_LE(t[i - 1].time, t[i].time);
+}
+
+TEST(PerDiskGenerator, PerDiskRatesDiffer)
+{
+    std::vector<DiskStream> streams(2);
+    streams[0].arrival = ArrivalModel::exponential(10.0);
+    streams[1].arrival = ArrivalModel::exponential(1000.0);
+    const TraceStats s = characterize(generatePerDisk(streams, 120.0, 11));
+    EXPECT_GT(s.perDiskRequests[0], s.perDiskRequests[1] * 20);
+}
+
+} // namespace
+} // namespace pacache

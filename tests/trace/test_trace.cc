@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/trace.hh"
+#include "trace/trace_io.hh"
+
+namespace pacache
+{
+namespace
+{
+
+Trace
+smallTrace()
+{
+    Trace t;
+    t.append({0.0, 0, 10, 1, false});
+    t.append({1.0, 1, 20, 2, true});
+    t.append({2.5, 0, 30, 1, false});
+    return t;
+}
+
+TEST(Trace, AppendKeepsOrderInvariants)
+{
+    Trace t = smallTrace();
+    EXPECT_EQ(t.size(), 3u);
+    EXPECT_DOUBLE_EQ(t.endTime(), 2.5);
+    EXPECT_EQ(t.numDisks(), 2u);
+}
+
+TEST(Trace, AppendOutOfOrderPanics)
+{
+    Trace t;
+    t.append({5.0, 0, 1, 1, false});
+    EXPECT_ANY_THROW(t.append({4.0, 0, 2, 1, false}));
+}
+
+TEST(Trace, ConstructorValidatesOrder)
+{
+    std::vector<TraceRecord> recs{{2.0, 0, 1, 1, false},
+                                  {1.0, 0, 2, 1, false}};
+    EXPECT_ANY_THROW(Trace{recs});
+}
+
+TEST(Trace, EmptyTraceBasics)
+{
+    Trace t;
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(t.numDisks(), 0u);
+    EXPECT_DOUBLE_EQ(t.endTime(), 0.0);
+}
+
+TEST(TraceIo, RoundTripsThroughStream)
+{
+    const Trace t = smallTrace();
+    std::stringstream ss;
+    writeTrace(ss, t);
+    const Trace back = readTrace(ss);
+    ASSERT_EQ(back.size(), t.size());
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        EXPECT_EQ(back[i].disk, t[i].disk);
+        EXPECT_EQ(back[i].block, t[i].block);
+        EXPECT_EQ(back[i].numBlocks, t[i].numBlocks);
+        EXPECT_EQ(back[i].write, t[i].write);
+        EXPECT_NEAR(back[i].time, t[i].time, 1e-9);
+    }
+}
+
+TEST(TraceIo, SkipsCommentsAndBlankLines)
+{
+    std::stringstream ss("# comment\n\n1.0 0 5 1 R\n# another\n");
+    const Trace t = readTrace(ss);
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_EQ(t[0].block, 5u);
+}
+
+TEST(TraceIo, MissingFileIsFatal)
+{
+    EXPECT_ANY_THROW(readTraceFile("/nonexistent/path/trace.txt"));
+}
+
+TEST(TraceIo, FileRoundTrip)
+{
+    const std::string path = ::testing::TempDir() + "/pacache_trace.txt";
+    writeTraceFile(path, smallTrace());
+    const Trace back = readTraceFile(path);
+    EXPECT_EQ(back.size(), 3u);
+}
+
+} // namespace
+} // namespace pacache

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "trace/stats.hh"
+#include "trace/workloads.hh"
+
+namespace pacache
+{
+namespace
+{
+
+OltpParams
+smallOltp()
+{
+    OltpParams p;
+    p.duration = 600; // keep tests fast
+    return p;
+}
+
+CelloParams
+smallCello()
+{
+    CelloParams p;
+    p.duration = 60;
+    return p;
+}
+
+TEST(Workloads, OltpShape)
+{
+    const TraceStats s = characterize(makeOltpTrace(smallOltp()));
+    EXPECT_EQ(s.disks, 21u);
+    EXPECT_NEAR(s.writeRatio, 0.22, 0.04);
+    EXPECT_GT(s.requests, 500u);
+}
+
+TEST(Workloads, OltpBusyDisksDominateTraffic)
+{
+    const OltpParams p = smallOltp();
+    const TraceStats s = characterize(makeOltpTrace(p));
+    uint64_t busy = 0, quiet = 0;
+    for (uint32_t d = 0; d < s.disks; ++d) {
+        if (d < p.busyDisks)
+            busy += s.perDiskRequests[d];
+        else
+            quiet += s.perDiskRequests[d];
+    }
+    EXPECT_GT(busy, quiet);
+}
+
+TEST(Workloads, OltpQuietDisksHaveSmallFootprints)
+{
+    const OltpParams p = smallOltp();
+    const TraceStats s = characterize(makeOltpTrace(p));
+    for (uint32_t d = p.busyDisks; d < s.disks; ++d)
+        EXPECT_LE(s.perDiskUnique[d], p.quietFootprint);
+}
+
+TEST(Workloads, OltpQuietDisksReuseBlocks)
+{
+    // Quiet disks must re-reference: unique blocks well below
+    // accesses once the stream is long enough.
+    OltpParams p = smallOltp();
+    p.duration = 3600;
+    const TraceStats s = characterize(makeOltpTrace(p));
+    for (uint32_t d = p.busyDisks; d < s.disks; ++d) {
+        if (s.perDiskRequests[d] > 200) {
+            EXPECT_LT(s.perDiskUnique[d],
+                      s.perDiskRequests[d] * 8 / 10);
+        }
+    }
+}
+
+TEST(Workloads, CelloShape)
+{
+    const TraceStats s = characterize(makeCelloTrace(smallCello()));
+    EXPECT_EQ(s.disks, 19u);
+    EXPECT_NEAR(s.writeRatio, 0.38, 0.05);
+    // ~5.6ms overall inter-arrival.
+    EXPECT_LT(s.meanInterArrival, 0.02);
+}
+
+TEST(Workloads, CelloIsColdMissDominated)
+{
+    const TraceStats s = characterize(makeCelloTrace(smallCello()));
+    // Most accesses touch blocks never seen before (paper: 64%).
+    EXPECT_GT(static_cast<double>(s.uniqueBlocks) /
+                  static_cast<double>(s.requests),
+              0.45);
+}
+
+TEST(Workloads, Deterministic)
+{
+    const Trace a = makeOltpTrace(smallOltp());
+    const Trace b = makeOltpTrace(smallOltp());
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < std::min<std::size_t>(a.size(), 500); ++i)
+        EXPECT_EQ(a[i], b[i]);
+}
+
+} // namespace
+} // namespace pacache

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "util/bloom_filter.hh"
+#include "util/random.hh"
+
+namespace pacache
+{
+namespace
+{
+
+TEST(BloomFilter, EmptyContainsNothing)
+{
+    BloomFilter bf(1024, 3);
+    for (uint64_t k = 0; k < 100; ++k)
+        EXPECT_FALSE(bf.test(k));
+}
+
+TEST(BloomFilter, NoFalseNegatives)
+{
+    BloomFilter bf(1u << 16, 4);
+    for (uint64_t k = 0; k < 5000; ++k)
+        bf.insert(k * 2654435761ULL);
+    for (uint64_t k = 0; k < 5000; ++k)
+        EXPECT_TRUE(bf.test(k * 2654435761ULL));
+}
+
+TEST(BloomFilter, TestAndInsertDetectsColdMiss)
+{
+    BloomFilter bf(1u << 14, 4);
+    EXPECT_TRUE(bf.testAndInsert(42));   // first time: cold
+    EXPECT_FALSE(bf.testAndInsert(42));  // second time: warm
+}
+
+TEST(BloomFilter, FalsePositiveRateIsSmall)
+{
+    // m=2^20 bits, n=10^5, k=4 -> theoretical fp ~ 1.0%.
+    BloomFilter bf(1u << 20, 4);
+    Rng rng(5);
+    for (int i = 0; i < 100000; ++i)
+        bf.insert(rng.next64());
+
+    int fp = 0;
+    const int probes = 100000;
+    Rng other(77777);
+    for (int i = 0; i < probes; ++i)
+        fp += bf.test(other.next64());
+    EXPECT_LT(static_cast<double>(fp) / probes, 0.02);
+    EXPECT_LT(bf.expectedFalsePositiveRate(), 0.02);
+    // Empirical rate tracks the analytic estimate.
+    EXPECT_NEAR(static_cast<double>(fp) / probes,
+                bf.expectedFalsePositiveRate(), 0.005);
+}
+
+TEST(BloomFilter, ClearForgetsEverything)
+{
+    BloomFilter bf(4096, 3);
+    for (uint64_t k = 0; k < 50; ++k)
+        bf.insert(k);
+    bf.clear();
+    for (uint64_t k = 0; k < 50; ++k)
+        EXPECT_FALSE(bf.test(k));
+    EXPECT_EQ(bf.insertions(), 0u);
+}
+
+TEST(BloomFilter, SizeRoundsUpToWords)
+{
+    BloomFilter bf(65, 2);
+    EXPECT_EQ(bf.sizeBits(), 128u);
+}
+
+TEST(BloomFilter, CountsInsertions)
+{
+    BloomFilter bf(1024, 2);
+    bf.insert(1);
+    bf.insert(2);
+    bf.insert(1); // duplicates still count as insert operations
+    EXPECT_EQ(bf.insertions(), 3u);
+}
+
+TEST(BloomFilter, ExpectedFpGrowsWithFill)
+{
+    BloomFilter bf(4096, 4);
+    const double before = bf.expectedFalsePositiveRate();
+    for (uint64_t k = 0; k < 1000; ++k)
+        bf.insert(k);
+    EXPECT_GT(bf.expectedFalsePositiveRate(), before);
+}
+
+} // namespace
+} // namespace pacache

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "util/histogram.hh"
+#include "util/random.hh"
+
+namespace pacache
+{
+namespace
+{
+
+TEST(Histogram, EmptyReportsZero)
+{
+    auto h = IntervalHistogram::geometric(0.001, 1000.0);
+    EXPECT_EQ(h.sampleCount(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.cdf(1.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, MeanIsExact)
+{
+    auto h = IntervalHistogram::geometric(0.001, 1000.0);
+    h.record(1.0);
+    h.record(2.0);
+    h.record(3.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+    EXPECT_EQ(h.sampleCount(), 3u);
+}
+
+TEST(Histogram, CdfMonotone)
+{
+    auto h = IntervalHistogram::geometric(0.01, 100.0, 4);
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i)
+        h.record(rng.exponential(5.0));
+    double prev = 0;
+    for (double x = 0.01; x < 200.0; x *= 1.5) {
+        const double c = h.cdf(x);
+        EXPECT_GE(c, prev);
+        EXPECT_LE(c, 1.0);
+        prev = c;
+    }
+}
+
+TEST(Histogram, CdfApproximatesUniformDistribution)
+{
+    auto h = IntervalHistogram::geometric(0.01, 100.0, 16);
+    Rng rng(5);
+    for (int i = 0; i < 100000; ++i)
+        h.record(rng.uniform(0.01, 10.0));
+    EXPECT_NEAR(h.cdf(5.0), 0.5, 0.05);
+    EXPECT_NEAR(h.cdf(10.0), 1.0, 0.01);
+}
+
+TEST(Histogram, QuantileInvertsCdf)
+{
+    auto h = IntervalHistogram::geometric(0.001, 1000.0, 16);
+    Rng rng(7);
+    for (int i = 0; i < 100000; ++i)
+        h.record(rng.exponential(2.0));
+    // Median of Exp(mean 2) is 2*ln2 ~ 1.386.
+    EXPECT_NEAR(h.quantile(0.5), 1.386, 0.15);
+    // 80th percentile: -2*ln(0.2) ~ 3.22.
+    EXPECT_NEAR(h.quantile(0.8), 3.22, 0.35);
+}
+
+TEST(Histogram, QuantileClampsProbability)
+{
+    auto h = IntervalHistogram::geometric(0.1, 10.0);
+    h.record(1.0);
+    EXPECT_GE(h.quantile(-1.0), 0.0);
+    EXPECT_LE(h.quantile(2.0), 10.0);
+}
+
+TEST(Histogram, ResetClears)
+{
+    auto h = IntervalHistogram::geometric(0.1, 10.0);
+    h.record(1.0);
+    h.record(5.0);
+    h.reset();
+    EXPECT_EQ(h.sampleCount(), 0u);
+    EXPECT_DOUBLE_EQ(h.cdf(100.0), 0.0);
+}
+
+TEST(Histogram, OverflowBinCatchesLargeValues)
+{
+    auto h = IntervalHistogram::geometric(0.1, 10.0);
+    h.record(1e9);
+    EXPECT_EQ(h.sampleCount(), 1u);
+    EXPECT_DOUBLE_EQ(h.cdf(10.0), 0.0);
+    // The overflow sample is reported at the last finite edge.
+    EXPECT_NEAR(h.quantile(1.0), 10.0, 1e-9);
+}
+
+TEST(Histogram, UnderflowGoesToFirstBin)
+{
+    auto h = IntervalHistogram::geometric(1.0, 100.0);
+    h.record(0.001);
+    EXPECT_GT(h.cdf(1.0), 0.99);
+}
+
+TEST(Histogram, ExplicitEdgesValidated)
+{
+    EXPECT_ANY_THROW(IntervalHistogram({3.0, 2.0, 1.0}));
+    EXPECT_ANY_THROW(IntervalHistogram(std::vector<double>{}));
+}
+
+TEST(Histogram, CountsPerBin)
+{
+    IntervalHistogram h({1.0, 2.0, 3.0});
+    h.record(0.5);  // bin 0 (< 1)
+    h.record(1.5);  // bin 1
+    h.record(2.5);  // bin 2
+    h.record(9.0);  // overflow bin
+    ASSERT_EQ(h.counts().size(), 4u);
+    EXPECT_EQ(h.counts()[0], 1u);
+    EXPECT_EQ(h.counts()[1], 1u);
+    EXPECT_EQ(h.counts()[2], 1u);
+    EXPECT_EQ(h.counts()[3], 1u);
+}
+
+} // namespace
+} // namespace pacache

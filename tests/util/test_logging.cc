@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "util/logging.hh"
+
+namespace pacache
+{
+namespace
+{
+
+TEST(Logging, PanicThrowsLogicError)
+{
+    EXPECT_THROW(PACACHE_PANIC("boom ", 42), std::logic_error);
+}
+
+TEST(Logging, FatalThrowsRuntimeError)
+{
+    EXPECT_THROW(PACACHE_FATAL("bad config: ", "x"), std::runtime_error);
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    EXPECT_NO_THROW(PACACHE_ASSERT(1 + 1 == 2, "math works"));
+}
+
+TEST(Logging, AssertThrowsOnFalse)
+{
+    EXPECT_THROW(PACACHE_ASSERT(false, "must fail"), std::logic_error);
+}
+
+TEST(Logging, PanicMessageContainsPayload)
+{
+    try {
+        PACACHE_PANIC("value=", 7, " name=", "disk");
+        FAIL() << "panic did not throw";
+    } catch (const std::logic_error &e) {
+        EXPECT_NE(std::string(e.what()).find("value=7"),
+                  std::string::npos);
+        EXPECT_NE(std::string(e.what()).find("name=disk"),
+                  std::string::npos);
+    }
+}
+
+TEST(Logging, QuietFlagRoundTrips)
+{
+    const bool before = quietLogging();
+    setQuietLogging(true);
+    EXPECT_TRUE(quietLogging());
+    setQuietLogging(before);
+}
+
+} // namespace
+} // namespace pacache

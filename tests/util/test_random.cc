@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/random.hh"
+
+namespace pacache
+{
+namespace
+{
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next64() == b.next64();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(9);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformMeanIsHalf)
+{
+    Rng rng(11);
+    double sum = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowStaysBelow)
+{
+    Rng rng(13);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversAllResidues)
+{
+    Rng rng(15);
+    std::vector<int> seen(10, 0);
+    for (int i = 0; i < 10000; ++i)
+        seen[rng.below(10)]++;
+    for (int c : seen)
+        EXPECT_GT(c, 700); // roughly uniform
+}
+
+TEST(Rng, BelowZeroPanics)
+{
+    Rng rng(1);
+    EXPECT_ANY_THROW(rng.below(0));
+}
+
+TEST(Rng, ExponentialMeanMatches)
+{
+    Rng rng(17);
+    double sum = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(2.5);
+    EXPECT_NEAR(sum / n, 2.5, 0.05);
+}
+
+TEST(Rng, ExponentialIsPositive)
+{
+    Rng rng(19);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_GT(rng.exponential(1.0), 0.0);
+}
+
+TEST(Rng, ParetoMinimumIsScale)
+{
+    Rng rng(21);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_GE(rng.pareto(1.5, 3.0), 3.0);
+}
+
+TEST(Rng, ParetoMeanMatchesTheory)
+{
+    // mean = shape*scale/(shape-1); use shape 3 so the variance is
+    // finite and the sample mean converges quickly.
+    Rng rng(23);
+    double sum = 0;
+    const int n = 400000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.pareto(3.0, 2.0);
+    EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(25);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Zipf, SampleWithinPopulation)
+{
+    Rng rng(27);
+    ZipfSampler z(100, 0.9);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(z.sample(rng), 100u);
+}
+
+TEST(Zipf, SkewFavorsLowRanks)
+{
+    Rng rng(29);
+    ZipfSampler z(1000, 1.0);
+    int low = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        low += z.sample(rng) < 10;
+    // With theta=1 the first 10 of 1000 ranks carry far more than 1%
+    // of the mass.
+    EXPECT_GT(low, n / 5);
+}
+
+TEST(Zipf, ZeroThetaIsUniform)
+{
+    Rng rng(31);
+    ZipfSampler z(10, 0.0);
+    std::vector<int> seen(10, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        seen[z.sample(rng)]++;
+    for (int c : seen)
+        EXPECT_NEAR(c, n / 10, n / 50);
+}
+
+TEST(Zipf, SingletonPopulation)
+{
+    Rng rng(33);
+    ZipfSampler z(1, 1.2);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(z.sample(rng), 0u);
+}
+
+} // namespace
+} // namespace pacache

@@ -1,0 +1,49 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/table.hh"
+
+namespace pacache
+{
+namespace
+{
+
+TEST(Table, AlignsColumns)
+{
+    TextTable t;
+    t.header({"name", "value"});
+    t.row({"a", "1"});
+    t.row({"long-name", "22"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("long-name"), std::string::npos);
+    EXPECT_NE(s.find("---"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, NoHeaderNoRule)
+{
+    TextTable t;
+    t.row({"x", "y"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_EQ(os.str().find("---"), std::string::npos);
+}
+
+TEST(Table, FmtPrecision)
+{
+    EXPECT_EQ(fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+TEST(Table, FmtPct)
+{
+    EXPECT_EQ(fmtPct(0.163, 1), "16.3%");
+    EXPECT_EQ(fmtPct(1.0, 0), "100%");
+}
+
+} // namespace
+} // namespace pacache

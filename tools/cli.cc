@@ -1,0 +1,82 @@
+#include "cli.hh"
+
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace pacache::cli
+{
+
+Args::Args(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            pos.push_back(std::move(arg));
+            continue;
+        }
+        arg.erase(0, 2);
+        const auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            values[arg.substr(0, eq)] = arg.substr(eq + 1);
+        } else if (i + 1 < argc &&
+                   std::string(argv[i + 1]).rfind("--", 0) != 0) {
+            values[arg] = argv[++i];
+        } else {
+            values[arg] = "1"; // boolean flag
+        }
+    }
+}
+
+bool
+Args::has(const std::string &key) const
+{
+    return values.count(key) > 0;
+}
+
+std::string
+Args::get(const std::string &key, const std::string &fallback) const
+{
+    auto it = values.find(key);
+    return it == values.end() ? fallback : it->second;
+}
+
+double
+Args::getDouble(const std::string &key, double fallback) const
+{
+    auto it = values.find(key);
+    if (it == values.end())
+        return fallback;
+    char *end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0')
+        PACACHE_FATAL("flag --", key, " expects a number, got '",
+                      it->second, "'");
+    return v;
+}
+
+uint64_t
+Args::getUint(const std::string &key, uint64_t fallback) const
+{
+    auto it = values.find(key);
+    if (it == values.end())
+        return fallback;
+    char *end = nullptr;
+    const auto v = std::strtoull(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0')
+        PACACHE_FATAL("flag --", key, " expects an integer, got '",
+                      it->second, "'");
+    return v;
+}
+
+std::string
+Args::firstUnknown(const std::set<std::string> &known) const
+{
+    for (const auto &[key, value] : values) {
+        if (!known.count(key))
+            return key;
+    }
+    return {};
+}
+
+} // namespace pacache::cli

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Minimal command-line flag parsing shared by the pacache tools:
+ * "--key value" and "--key=value" pairs plus "--flag" booleans, with
+ * typed accessors and an unknown-flag check.
+ */
+
+#ifndef PACACHE_TOOLS_CLI_HH
+#define PACACHE_TOOLS_CLI_HH
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace pacache::cli
+{
+
+/** Parsed command line. */
+class Args
+{
+  public:
+    /** Parse argv; values follow their flag or use '='. */
+    Args(int argc, char **argv);
+
+    bool has(const std::string &key) const;
+
+    std::string get(const std::string &key,
+                    const std::string &fallback) const;
+    double getDouble(const std::string &key, double fallback) const;
+    uint64_t getUint(const std::string &key, uint64_t fallback) const;
+
+    /** Positional (non-flag) arguments. */
+    const std::vector<std::string> &positional() const { return pos; }
+
+    /**
+     * Verify every provided flag is in @p known; returns the first
+     * unknown flag or an empty string.
+     */
+    std::string firstUnknown(const std::set<std::string> &known) const;
+
+  private:
+    std::map<std::string, std::string> values;
+    std::vector<std::string> pos;
+};
+
+} // namespace pacache::cli
+
+#endif // PACACHE_TOOLS_CLI_HH

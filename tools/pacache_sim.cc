@@ -1,0 +1,212 @@
+/**
+ * @file
+ * pacache_sim — command-line driver for the full simulated storage
+ * system: pick a workload (built-in synthesizer or a trace file), a
+ * replacement policy, a write policy, a DPM regime and a cache size;
+ * get the energy/latency report.
+ *
+ * Examples:
+ *   pacache_sim --workload oltp --policy pa-lru --cache-blocks 1024
+ *   pacache_sim --trace mytrace.txt --policy arc --dpm oracle
+ *   pacache_sim --workload cello --policy lru --write wtdu
+ *   pacache_sim --workload synthetic --requests 50000 --write-ratio 0.8
+ */
+
+#include <iostream>
+#include <set>
+
+#include "cli.hh"
+#include "core/experiment.hh"
+#include "trace/stats.hh"
+#include "trace/synthetic.hh"
+#include "trace/trace_io.hh"
+#include "trace/workloads.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+using namespace pacache;
+
+namespace
+{
+
+const char kUsage[] = R"(pacache_sim — power-aware storage cache simulator
+
+workload selection (one of):
+  --trace FILE           load a trace file (time disk block count R|W)
+  --workload NAME        oltp | cello | synthetic | opg-showcase
+                         (default: oltp)
+  --duration SECONDS     workload length where applicable
+  --requests N           synthetic workload request count
+  --write-ratio R        synthetic write fraction (0..1)
+  --interarrival MS      synthetic mean inter-arrival time
+  --pareto               synthetic: bursty Pareto arrivals
+  --seed N               generator seed
+
+system configuration:
+  --policy NAME          lru | fifo | clock | arc | mq | lirs | belady |
+                         opg | pa-lru | pa-arc | pa-lirs | infinite
+                         (default: lru)
+  --dpm NAME             always-on | adaptive | practical | oracle
+                         (default: practical)
+  --write NAME           wt | wb | wbeu | wtdu   (default: wb)
+  --cache-blocks N       cache capacity in blocks (default: 1024)
+  --epoch SECONDS        PA classifier epoch (default: 900)
+  --opg-theta J          OPG penalty floor (default: auto)
+
+output:
+  --per-disk             include the per-disk breakdown
+  --help                 this text
+)";
+
+PolicyKind
+parsePolicy(const std::string &name)
+{
+    if (name == "lru") return PolicyKind::LRU;
+    if (name == "fifo") return PolicyKind::FIFO;
+    if (name == "clock") return PolicyKind::CLOCK;
+    if (name == "arc") return PolicyKind::ARC;
+    if (name == "mq") return PolicyKind::MQ;
+    if (name == "lirs") return PolicyKind::LIRS;
+    if (name == "belady") return PolicyKind::Belady;
+    if (name == "opg") return PolicyKind::OPG;
+    if (name == "pa-lru") return PolicyKind::PALRU;
+    if (name == "pa-arc") return PolicyKind::PAARC;
+    if (name == "pa-lirs") return PolicyKind::PALIRS;
+    if (name == "infinite") return PolicyKind::InfiniteCache;
+    PACACHE_FATAL("unknown policy '", name, "'");
+}
+
+DpmChoice
+parseDpm(const std::string &name)
+{
+    if (name == "always-on") return DpmChoice::AlwaysOn;
+    if (name == "adaptive") return DpmChoice::Adaptive;
+    if (name == "practical") return DpmChoice::Practical;
+    if (name == "oracle") return DpmChoice::Oracle;
+    PACACHE_FATAL("unknown dpm '", name, "'");
+}
+
+WritePolicy
+parseWrite(const std::string &name)
+{
+    if (name == "wt") return WritePolicy::WriteThrough;
+    if (name == "wb") return WritePolicy::WriteBack;
+    if (name == "wbeu") return WritePolicy::WriteBackEagerUpdate;
+    if (name == "wtdu") return WritePolicy::WriteThroughDeferredUpdate;
+    PACACHE_FATAL("unknown write policy '", name, "'");
+}
+
+Trace
+loadWorkload(const cli::Args &args)
+{
+    if (args.has("trace"))
+        return readTraceFile(args.get("trace", ""));
+
+    const std::string name = args.get("workload", "oltp");
+    if (name == "oltp") {
+        OltpParams p;
+        p.duration = args.getDouble("duration", p.duration);
+        p.seed = args.getUint("seed", p.seed);
+        return makeOltpTrace(p);
+    }
+    if (name == "cello") {
+        CelloParams p;
+        p.duration = args.getDouble("duration", 300.0);
+        p.seed = args.getUint("seed", p.seed);
+        return makeCelloTrace(p);
+    }
+    if (name == "opg-showcase") {
+        OpgShowcaseParams p;
+        p.duration = args.getDouble("duration", p.duration);
+        return makeOpgShowcaseTrace(p);
+    }
+    if (name == "synthetic") {
+        SyntheticParams p;
+        p.numRequests = args.getUint("requests", 20000);
+        p.writeRatio = args.getDouble("write-ratio", p.writeRatio);
+        const double mean =
+            args.getDouble("interarrival", p.arrival.meanMs);
+        p.arrival = args.has("pareto") ? ArrivalModel::pareto(mean)
+                                       : ArrivalModel::exponential(mean);
+        p.seed = args.getUint("seed", p.seed);
+        return generateSynthetic(p);
+    }
+    PACACHE_FATAL("unknown workload '", name, "'");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+try {
+    const cli::Args args(argc, argv);
+    if (args.has("help")) {
+        std::cout << kUsage;
+        return 0;
+    }
+    const std::set<std::string> known{
+        "trace", "workload", "duration", "requests", "write-ratio",
+        "interarrival", "pareto", "seed", "policy", "dpm", "write",
+        "cache-blocks", "epoch", "opg-theta", "per-disk", "help"};
+    if (const std::string bad = args.firstUnknown(known); !bad.empty())
+        PACACHE_FATAL("unknown flag --", bad, " (see --help)");
+
+    const Trace trace = loadWorkload(args);
+    const TraceStats st = characterize(trace);
+
+    ExperimentConfig cfg;
+    cfg.policy = parsePolicy(args.get("policy", "lru"));
+    cfg.dpm = parseDpm(args.get("dpm", "practical"));
+    cfg.storage.writePolicy = parseWrite(args.get("write", "wb"));
+    cfg.cacheBlocks = args.getUint("cache-blocks", 1024);
+    cfg.pa.epochLength = args.getDouble("epoch", 900.0);
+    cfg.opgTheta = args.getDouble("opg-theta", -1.0);
+
+    const ExperimentResult r = runExperiment(trace, cfg);
+
+    std::cout << "workload: " << st.requests << " requests, "
+              << st.disks << " disks, " << fmtPct(st.writeRatio, 1)
+              << " writes, mean inter-arrival "
+              << fmt(st.meanInterArrival * 1000.0, 2) << " ms\n";
+    std::cout << "system:   policy " << r.policyName << ", dpm "
+              << args.get("dpm", "practical") << ", write "
+              << writePolicyName(cfg.storage.writePolicy) << ", cache "
+              << cfg.cacheBlocks << " blocks\n\n";
+
+    TextTable t;
+    t.row({"total energy", fmt(r.totalEnergy, 1) + " J"});
+    t.row({"hit ratio", fmtPct(r.cache.hitRatio(), 2)});
+    t.row({"cold misses",
+           fmtPct(static_cast<double>(r.cache.coldMisses) /
+                      static_cast<double>(std::max<uint64_t>(
+                          1, r.cache.accesses)),
+                  2)});
+    t.row({"mean response", fmt(r.responses.mean() * 1000.0, 3) + " ms"});
+    t.row({"p95 response",
+           fmt(r.responses.percentile(0.95) * 1000.0, 3) + " ms"});
+    t.row({"max response", fmt(r.responses.max(), 3) + " s"});
+    t.row({"spin-ups", std::to_string(r.energy.spinUps)});
+    t.row({"spin-downs", std::to_string(r.energy.spinDowns)});
+    if (r.logWrites > 0)
+        t.row({"log writes", std::to_string(r.logWrites)});
+    t.print(std::cout);
+
+    if (args.has("per-disk")) {
+        std::cout << "\nper-disk breakdown:\n\n";
+        TextTable d;
+        d.header({"disk", "accesses", "energy (J)", "spin-ups",
+                  "standby (s)", "mean gap (s)"});
+        for (std::size_t i = 0; i < r.perDisk.size(); ++i) {
+            d.row({std::to_string(i), std::to_string(r.diskAccesses[i]),
+                   fmt(r.perDisk[i].total(), 0),
+                   std::to_string(r.perDisk[i].spinUps),
+                   fmt(r.perDisk[i].timePerMode.back(), 0),
+                   fmt(r.diskMeanInterArrival[i], 2)});
+        }
+        d.print(std::cout);
+    }
+    return 0;
+} catch (const std::exception &e) {
+    std::cerr << e.what() << '\n';
+    return 1;
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * pacache_tracegen — emit workload traces in the pacache text format
+ * for use with pacache_sim --trace or external tooling.
+ *
+ * Examples:
+ *   pacache_tracegen --workload oltp --out oltp.txt
+ *   pacache_tracegen --workload synthetic --requests 100000 \
+ *       --write-ratio 0.5 --pareto --out wr50.txt
+ */
+
+#include <iostream>
+#include <set>
+
+#include "cli.hh"
+#include "trace/stats.hh"
+#include "trace/synthetic.hh"
+#include "trace/trace_io.hh"
+#include "trace/workloads.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+using namespace pacache;
+
+namespace
+{
+
+const char kUsage[] = R"(pacache_tracegen — workload trace generator
+
+  --workload NAME     oltp | cello | synthetic | opg-showcase
+                      (default: synthetic)
+  --out FILE          output path (default: stdout)
+  --duration SECONDS  workload length where applicable
+  --requests N        synthetic request count (default: 20000)
+  --write-ratio R     synthetic write fraction
+  --interarrival MS   synthetic mean inter-arrival time
+  --pareto            synthetic: bursty Pareto arrivals
+  --disks N           synthetic disk count
+  --seed N            generator seed
+  --help              this text
+)";
+
+} // namespace
+
+int
+main(int argc, char **argv)
+try {
+    const cli::Args args(argc, argv);
+    if (args.has("help")) {
+        std::cout << kUsage;
+        return 0;
+    }
+    const std::set<std::string> known{
+        "workload", "out", "duration", "requests", "write-ratio",
+        "interarrival", "pareto", "disks", "seed", "help"};
+    if (const std::string bad = args.firstUnknown(known); !bad.empty())
+        PACACHE_FATAL("unknown flag --", bad, " (see --help)");
+
+    Trace trace;
+    const std::string name = args.get("workload", "synthetic");
+    if (name == "oltp") {
+        OltpParams p;
+        p.duration = args.getDouble("duration", p.duration);
+        p.seed = args.getUint("seed", p.seed);
+        trace = makeOltpTrace(p);
+    } else if (name == "cello") {
+        CelloParams p;
+        p.duration = args.getDouble("duration", 300.0);
+        p.seed = args.getUint("seed", p.seed);
+        trace = makeCelloTrace(p);
+    } else if (name == "opg-showcase") {
+        OpgShowcaseParams p;
+        p.duration = args.getDouble("duration", p.duration);
+        trace = makeOpgShowcaseTrace(p);
+    } else if (name == "synthetic") {
+        SyntheticParams p;
+        p.numRequests = args.getUint("requests", 20000);
+        p.numDisks =
+            static_cast<uint32_t>(args.getUint("disks", p.numDisks));
+        p.writeRatio = args.getDouble("write-ratio", p.writeRatio);
+        const double mean =
+            args.getDouble("interarrival", p.arrival.meanMs);
+        p.arrival = args.has("pareto") ? ArrivalModel::pareto(mean)
+                                       : ArrivalModel::exponential(mean);
+        p.seed = args.getUint("seed", p.seed);
+        trace = generateSynthetic(p);
+    } else {
+        PACACHE_FATAL("unknown workload '", name, "'");
+    }
+
+    if (args.has("out")) {
+        writeTraceFile(args.get("out", ""), trace);
+        const TraceStats s = characterize(trace);
+        std::cerr << "wrote " << s.requests << " requests ("
+                  << s.disks << " disks, " << fmtPct(s.writeRatio, 1)
+                  << " writes) to " << args.get("out", "") << "\n";
+    } else {
+        writeTrace(std::cout, trace);
+    }
+    return 0;
+} catch (const std::exception &e) {
+    std::cerr << e.what() << '\n';
+    return 1;
+}
