@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dpm.dir/ablation_dpm.cc.o"
+  "CMakeFiles/ablation_dpm.dir/ablation_dpm.cc.o.d"
+  "ablation_dpm"
+  "ablation_dpm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dpm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

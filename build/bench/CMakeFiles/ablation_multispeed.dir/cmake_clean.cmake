@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_multispeed.dir/ablation_multispeed.cc.o"
+  "CMakeFiles/ablation_multispeed.dir/ablation_multispeed.cc.o.d"
+  "ablation_multispeed"
+  "ablation_multispeed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_multispeed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_envelope.dir/fig2_envelope.cc.o"
+  "CMakeFiles/fig2_envelope.dir/fig2_envelope.cc.o.d"
+  "fig2_envelope"
+  "fig2_envelope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_envelope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

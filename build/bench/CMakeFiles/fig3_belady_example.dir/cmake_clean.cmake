@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_belady_example.dir/fig3_belady_example.cc.o"
+  "CMakeFiles/fig3_belady_example.dir/fig3_belady_example.cc.o.d"
+  "fig3_belady_example"
+  "fig3_belady_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_belady_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

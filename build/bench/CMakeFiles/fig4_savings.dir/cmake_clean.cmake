@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_savings.dir/fig4_savings.cc.o"
+  "CMakeFiles/fig4_savings.dir/fig4_savings.cc.o.d"
+  "fig4_savings"
+  "fig4_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_replacement.dir/fig6_replacement.cc.o"
+  "CMakeFiles/fig6_replacement.dir/fig6_replacement.cc.o.d"
+  "fig6_replacement"
+  "fig6_replacement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_replacement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

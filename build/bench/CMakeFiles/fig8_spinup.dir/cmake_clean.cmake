@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_spinup.dir/fig8_spinup.cc.o"
+  "CMakeFiles/fig8_spinup.dir/fig8_spinup.cc.o.d"
+  "fig8_spinup"
+  "fig8_spinup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_spinup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_write_policies.dir/fig9_write_policies.cc.o"
+  "CMakeFiles/fig9_write_policies.dir/fig9_write_policies.cc.o.d"
+  "fig9_write_policies"
+  "fig9_write_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_write_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_bloom.dir/micro_bloom.cc.o"
+  "CMakeFiles/micro_bloom.dir/micro_bloom.cc.o.d"
+  "micro_bloom"
+  "micro_bloom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_bloom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_power.dir/micro_power.cc.o"
+  "CMakeFiles/micro_power.dir/micro_power.cc.o.d"
+  "micro_power"
+  "micro_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_trace.dir/micro_trace.cc.o"
+  "CMakeFiles/micro_trace.dir/micro_trace.cc.o.d"
+  "micro_trace"
+  "micro_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

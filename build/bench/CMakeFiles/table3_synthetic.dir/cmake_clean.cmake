@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_synthetic.dir/table3_synthetic.cc.o"
+  "CMakeFiles/table3_synthetic.dir/table3_synthetic.cc.o.d"
+  "table3_synthetic"
+  "table3_synthetic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_synthetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/write_policy_demo.dir/write_policy_demo.cpp.o"
+  "CMakeFiles/write_policy_demo.dir/write_policy_demo.cpp.o.d"
+  "write_policy_demo"
+  "write_policy_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/write_policy_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/arc.cc" "src/CMakeFiles/pacache.dir/cache/arc.cc.o" "gcc" "src/CMakeFiles/pacache.dir/cache/arc.cc.o.d"
+  "/root/repo/src/cache/belady.cc" "src/CMakeFiles/pacache.dir/cache/belady.cc.o" "gcc" "src/CMakeFiles/pacache.dir/cache/belady.cc.o.d"
+  "/root/repo/src/cache/cache.cc" "src/CMakeFiles/pacache.dir/cache/cache.cc.o" "gcc" "src/CMakeFiles/pacache.dir/cache/cache.cc.o.d"
+  "/root/repo/src/cache/clock.cc" "src/CMakeFiles/pacache.dir/cache/clock.cc.o" "gcc" "src/CMakeFiles/pacache.dir/cache/clock.cc.o.d"
+  "/root/repo/src/cache/fifo.cc" "src/CMakeFiles/pacache.dir/cache/fifo.cc.o" "gcc" "src/CMakeFiles/pacache.dir/cache/fifo.cc.o.d"
+  "/root/repo/src/cache/future.cc" "src/CMakeFiles/pacache.dir/cache/future.cc.o" "gcc" "src/CMakeFiles/pacache.dir/cache/future.cc.o.d"
+  "/root/repo/src/cache/lirs.cc" "src/CMakeFiles/pacache.dir/cache/lirs.cc.o" "gcc" "src/CMakeFiles/pacache.dir/cache/lirs.cc.o.d"
+  "/root/repo/src/cache/lru.cc" "src/CMakeFiles/pacache.dir/cache/lru.cc.o" "gcc" "src/CMakeFiles/pacache.dir/cache/lru.cc.o.d"
+  "/root/repo/src/cache/mq.cc" "src/CMakeFiles/pacache.dir/cache/mq.cc.o" "gcc" "src/CMakeFiles/pacache.dir/cache/mq.cc.o.d"
+  "/root/repo/src/core/experiment.cc" "src/CMakeFiles/pacache.dir/core/experiment.cc.o" "gcc" "src/CMakeFiles/pacache.dir/core/experiment.cc.o.d"
+  "/root/repo/src/core/opg.cc" "src/CMakeFiles/pacache.dir/core/opg.cc.o" "gcc" "src/CMakeFiles/pacache.dir/core/opg.cc.o.d"
+  "/root/repo/src/core/optimal.cc" "src/CMakeFiles/pacache.dir/core/optimal.cc.o" "gcc" "src/CMakeFiles/pacache.dir/core/optimal.cc.o.d"
+  "/root/repo/src/core/pa_classifier.cc" "src/CMakeFiles/pacache.dir/core/pa_classifier.cc.o" "gcc" "src/CMakeFiles/pacache.dir/core/pa_classifier.cc.o.d"
+  "/root/repo/src/core/pa_lru.cc" "src/CMakeFiles/pacache.dir/core/pa_lru.cc.o" "gcc" "src/CMakeFiles/pacache.dir/core/pa_lru.cc.o.d"
+  "/root/repo/src/core/storage_system.cc" "src/CMakeFiles/pacache.dir/core/storage_system.cc.o" "gcc" "src/CMakeFiles/pacache.dir/core/storage_system.cc.o.d"
+  "/root/repo/src/core/write_policy.cc" "src/CMakeFiles/pacache.dir/core/write_policy.cc.o" "gcc" "src/CMakeFiles/pacache.dir/core/write_policy.cc.o.d"
+  "/root/repo/src/core/wtdu_log.cc" "src/CMakeFiles/pacache.dir/core/wtdu_log.cc.o" "gcc" "src/CMakeFiles/pacache.dir/core/wtdu_log.cc.o.d"
+  "/root/repo/src/disk/adaptive_dpm.cc" "src/CMakeFiles/pacache.dir/disk/adaptive_dpm.cc.o" "gcc" "src/CMakeFiles/pacache.dir/disk/adaptive_dpm.cc.o.d"
+  "/root/repo/src/disk/disk.cc" "src/CMakeFiles/pacache.dir/disk/disk.cc.o" "gcc" "src/CMakeFiles/pacache.dir/disk/disk.cc.o.d"
+  "/root/repo/src/disk/disk_array.cc" "src/CMakeFiles/pacache.dir/disk/disk_array.cc.o" "gcc" "src/CMakeFiles/pacache.dir/disk/disk_array.cc.o.d"
+  "/root/repo/src/disk/oracle_dpm.cc" "src/CMakeFiles/pacache.dir/disk/oracle_dpm.cc.o" "gcc" "src/CMakeFiles/pacache.dir/disk/oracle_dpm.cc.o.d"
+  "/root/repo/src/disk/power_model.cc" "src/CMakeFiles/pacache.dir/disk/power_model.cc.o" "gcc" "src/CMakeFiles/pacache.dir/disk/power_model.cc.o.d"
+  "/root/repo/src/disk/practical_dpm.cc" "src/CMakeFiles/pacache.dir/disk/practical_dpm.cc.o" "gcc" "src/CMakeFiles/pacache.dir/disk/practical_dpm.cc.o.d"
+  "/root/repo/src/disk/service_model.cc" "src/CMakeFiles/pacache.dir/disk/service_model.cc.o" "gcc" "src/CMakeFiles/pacache.dir/disk/service_model.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/pacache.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/pacache.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/stats/energy_stats.cc" "src/CMakeFiles/pacache.dir/stats/energy_stats.cc.o" "gcc" "src/CMakeFiles/pacache.dir/stats/energy_stats.cc.o.d"
+  "/root/repo/src/stats/response_stats.cc" "src/CMakeFiles/pacache.dir/stats/response_stats.cc.o" "gcc" "src/CMakeFiles/pacache.dir/stats/response_stats.cc.o.d"
+  "/root/repo/src/trace/record.cc" "src/CMakeFiles/pacache.dir/trace/record.cc.o" "gcc" "src/CMakeFiles/pacache.dir/trace/record.cc.o.d"
+  "/root/repo/src/trace/stats.cc" "src/CMakeFiles/pacache.dir/trace/stats.cc.o" "gcc" "src/CMakeFiles/pacache.dir/trace/stats.cc.o.d"
+  "/root/repo/src/trace/synthetic.cc" "src/CMakeFiles/pacache.dir/trace/synthetic.cc.o" "gcc" "src/CMakeFiles/pacache.dir/trace/synthetic.cc.o.d"
+  "/root/repo/src/trace/trace.cc" "src/CMakeFiles/pacache.dir/trace/trace.cc.o" "gcc" "src/CMakeFiles/pacache.dir/trace/trace.cc.o.d"
+  "/root/repo/src/trace/trace_io.cc" "src/CMakeFiles/pacache.dir/trace/trace_io.cc.o" "gcc" "src/CMakeFiles/pacache.dir/trace/trace_io.cc.o.d"
+  "/root/repo/src/trace/workloads.cc" "src/CMakeFiles/pacache.dir/trace/workloads.cc.o" "gcc" "src/CMakeFiles/pacache.dir/trace/workloads.cc.o.d"
+  "/root/repo/src/util/bloom_filter.cc" "src/CMakeFiles/pacache.dir/util/bloom_filter.cc.o" "gcc" "src/CMakeFiles/pacache.dir/util/bloom_filter.cc.o.d"
+  "/root/repo/src/util/histogram.cc" "src/CMakeFiles/pacache.dir/util/histogram.cc.o" "gcc" "src/CMakeFiles/pacache.dir/util/histogram.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/pacache.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/pacache.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/pacache.dir/util/random.cc.o" "gcc" "src/CMakeFiles/pacache.dir/util/random.cc.o.d"
+  "/root/repo/src/util/table.cc" "src/CMakeFiles/pacache.dir/util/table.cc.o" "gcc" "src/CMakeFiles/pacache.dir/util/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

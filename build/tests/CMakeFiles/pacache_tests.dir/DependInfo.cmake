@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cache/test_arc.cc" "tests/CMakeFiles/pacache_tests.dir/cache/test_arc.cc.o" "gcc" "tests/CMakeFiles/pacache_tests.dir/cache/test_arc.cc.o.d"
+  "/root/repo/tests/cache/test_belady.cc" "tests/CMakeFiles/pacache_tests.dir/cache/test_belady.cc.o" "gcc" "tests/CMakeFiles/pacache_tests.dir/cache/test_belady.cc.o.d"
+  "/root/repo/tests/cache/test_cache.cc" "tests/CMakeFiles/pacache_tests.dir/cache/test_cache.cc.o" "gcc" "tests/CMakeFiles/pacache_tests.dir/cache/test_cache.cc.o.d"
+  "/root/repo/tests/cache/test_clock.cc" "tests/CMakeFiles/pacache_tests.dir/cache/test_clock.cc.o" "gcc" "tests/CMakeFiles/pacache_tests.dir/cache/test_clock.cc.o.d"
+  "/root/repo/tests/cache/test_fifo.cc" "tests/CMakeFiles/pacache_tests.dir/cache/test_fifo.cc.o" "gcc" "tests/CMakeFiles/pacache_tests.dir/cache/test_fifo.cc.o.d"
+  "/root/repo/tests/cache/test_future.cc" "tests/CMakeFiles/pacache_tests.dir/cache/test_future.cc.o" "gcc" "tests/CMakeFiles/pacache_tests.dir/cache/test_future.cc.o.d"
+  "/root/repo/tests/cache/test_lirs.cc" "tests/CMakeFiles/pacache_tests.dir/cache/test_lirs.cc.o" "gcc" "tests/CMakeFiles/pacache_tests.dir/cache/test_lirs.cc.o.d"
+  "/root/repo/tests/cache/test_lru.cc" "tests/CMakeFiles/pacache_tests.dir/cache/test_lru.cc.o" "gcc" "tests/CMakeFiles/pacache_tests.dir/cache/test_lru.cc.o.d"
+  "/root/repo/tests/cache/test_mq.cc" "tests/CMakeFiles/pacache_tests.dir/cache/test_mq.cc.o" "gcc" "tests/CMakeFiles/pacache_tests.dir/cache/test_mq.cc.o.d"
+  "/root/repo/tests/core/test_experiment.cc" "tests/CMakeFiles/pacache_tests.dir/core/test_experiment.cc.o" "gcc" "tests/CMakeFiles/pacache_tests.dir/core/test_experiment.cc.o.d"
+  "/root/repo/tests/core/test_opg.cc" "tests/CMakeFiles/pacache_tests.dir/core/test_opg.cc.o" "gcc" "tests/CMakeFiles/pacache_tests.dir/core/test_opg.cc.o.d"
+  "/root/repo/tests/core/test_optimal.cc" "tests/CMakeFiles/pacache_tests.dir/core/test_optimal.cc.o" "gcc" "tests/CMakeFiles/pacache_tests.dir/core/test_optimal.cc.o.d"
+  "/root/repo/tests/core/test_pa_classifier.cc" "tests/CMakeFiles/pacache_tests.dir/core/test_pa_classifier.cc.o" "gcc" "tests/CMakeFiles/pacache_tests.dir/core/test_pa_classifier.cc.o.d"
+  "/root/repo/tests/core/test_pa_lru.cc" "tests/CMakeFiles/pacache_tests.dir/core/test_pa_lru.cc.o" "gcc" "tests/CMakeFiles/pacache_tests.dir/core/test_pa_lru.cc.o.d"
+  "/root/repo/tests/core/test_prefetch.cc" "tests/CMakeFiles/pacache_tests.dir/core/test_prefetch.cc.o" "gcc" "tests/CMakeFiles/pacache_tests.dir/core/test_prefetch.cc.o.d"
+  "/root/repo/tests/core/test_storage_system.cc" "tests/CMakeFiles/pacache_tests.dir/core/test_storage_system.cc.o" "gcc" "tests/CMakeFiles/pacache_tests.dir/core/test_storage_system.cc.o.d"
+  "/root/repo/tests/core/test_write_policy.cc" "tests/CMakeFiles/pacache_tests.dir/core/test_write_policy.cc.o" "gcc" "tests/CMakeFiles/pacache_tests.dir/core/test_write_policy.cc.o.d"
+  "/root/repo/tests/core/test_wtdu_log.cc" "tests/CMakeFiles/pacache_tests.dir/core/test_wtdu_log.cc.o" "gcc" "tests/CMakeFiles/pacache_tests.dir/core/test_wtdu_log.cc.o.d"
+  "/root/repo/tests/disk/test_disk.cc" "tests/CMakeFiles/pacache_tests.dir/disk/test_disk.cc.o" "gcc" "tests/CMakeFiles/pacache_tests.dir/disk/test_disk.cc.o.d"
+  "/root/repo/tests/disk/test_dpm.cc" "tests/CMakeFiles/pacache_tests.dir/disk/test_dpm.cc.o" "gcc" "tests/CMakeFiles/pacache_tests.dir/disk/test_dpm.cc.o.d"
+  "/root/repo/tests/disk/test_oracle_dpm.cc" "tests/CMakeFiles/pacache_tests.dir/disk/test_oracle_dpm.cc.o" "gcc" "tests/CMakeFiles/pacache_tests.dir/disk/test_oracle_dpm.cc.o.d"
+  "/root/repo/tests/disk/test_power_model.cc" "tests/CMakeFiles/pacache_tests.dir/disk/test_power_model.cc.o" "gcc" "tests/CMakeFiles/pacache_tests.dir/disk/test_power_model.cc.o.d"
+  "/root/repo/tests/disk/test_service_model.cc" "tests/CMakeFiles/pacache_tests.dir/disk/test_service_model.cc.o" "gcc" "tests/CMakeFiles/pacache_tests.dir/disk/test_service_model.cc.o.d"
+  "/root/repo/tests/integration/test_paper_example.cc" "tests/CMakeFiles/pacache_tests.dir/integration/test_paper_example.cc.o" "gcc" "tests/CMakeFiles/pacache_tests.dir/integration/test_paper_example.cc.o.d"
+  "/root/repo/tests/integration/test_replacement_energy.cc" "tests/CMakeFiles/pacache_tests.dir/integration/test_replacement_energy.cc.o" "gcc" "tests/CMakeFiles/pacache_tests.dir/integration/test_replacement_energy.cc.o.d"
+  "/root/repo/tests/integration/test_system_edge_cases.cc" "tests/CMakeFiles/pacache_tests.dir/integration/test_system_edge_cases.cc.o" "gcc" "tests/CMakeFiles/pacache_tests.dir/integration/test_system_edge_cases.cc.o.d"
+  "/root/repo/tests/property/test_dpm_competitive.cc" "tests/CMakeFiles/pacache_tests.dir/property/test_dpm_competitive.cc.o" "gcc" "tests/CMakeFiles/pacache_tests.dir/property/test_dpm_competitive.cc.o.d"
+  "/root/repo/tests/property/test_invariants.cc" "tests/CMakeFiles/pacache_tests.dir/property/test_invariants.cc.o" "gcc" "tests/CMakeFiles/pacache_tests.dir/property/test_invariants.cc.o.d"
+  "/root/repo/tests/property/test_opg_consistency.cc" "tests/CMakeFiles/pacache_tests.dir/property/test_opg_consistency.cc.o" "gcc" "tests/CMakeFiles/pacache_tests.dir/property/test_opg_consistency.cc.o.d"
+  "/root/repo/tests/property/test_recovery.cc" "tests/CMakeFiles/pacache_tests.dir/property/test_recovery.cc.o" "gcc" "tests/CMakeFiles/pacache_tests.dir/property/test_recovery.cc.o.d"
+  "/root/repo/tests/sim/test_event_queue.cc" "tests/CMakeFiles/pacache_tests.dir/sim/test_event_queue.cc.o" "gcc" "tests/CMakeFiles/pacache_tests.dir/sim/test_event_queue.cc.o.d"
+  "/root/repo/tests/stats/test_stats.cc" "tests/CMakeFiles/pacache_tests.dir/stats/test_stats.cc.o" "gcc" "tests/CMakeFiles/pacache_tests.dir/stats/test_stats.cc.o.d"
+  "/root/repo/tests/test_main.cc" "tests/CMakeFiles/pacache_tests.dir/test_main.cc.o" "gcc" "tests/CMakeFiles/pacache_tests.dir/test_main.cc.o.d"
+  "/root/repo/tests/trace/test_record.cc" "tests/CMakeFiles/pacache_tests.dir/trace/test_record.cc.o" "gcc" "tests/CMakeFiles/pacache_tests.dir/trace/test_record.cc.o.d"
+  "/root/repo/tests/trace/test_stats.cc" "tests/CMakeFiles/pacache_tests.dir/trace/test_stats.cc.o" "gcc" "tests/CMakeFiles/pacache_tests.dir/trace/test_stats.cc.o.d"
+  "/root/repo/tests/trace/test_synthetic.cc" "tests/CMakeFiles/pacache_tests.dir/trace/test_synthetic.cc.o" "gcc" "tests/CMakeFiles/pacache_tests.dir/trace/test_synthetic.cc.o.d"
+  "/root/repo/tests/trace/test_trace.cc" "tests/CMakeFiles/pacache_tests.dir/trace/test_trace.cc.o" "gcc" "tests/CMakeFiles/pacache_tests.dir/trace/test_trace.cc.o.d"
+  "/root/repo/tests/trace/test_workloads.cc" "tests/CMakeFiles/pacache_tests.dir/trace/test_workloads.cc.o" "gcc" "tests/CMakeFiles/pacache_tests.dir/trace/test_workloads.cc.o.d"
+  "/root/repo/tests/util/test_bloom_filter.cc" "tests/CMakeFiles/pacache_tests.dir/util/test_bloom_filter.cc.o" "gcc" "tests/CMakeFiles/pacache_tests.dir/util/test_bloom_filter.cc.o.d"
+  "/root/repo/tests/util/test_histogram.cc" "tests/CMakeFiles/pacache_tests.dir/util/test_histogram.cc.o" "gcc" "tests/CMakeFiles/pacache_tests.dir/util/test_histogram.cc.o.d"
+  "/root/repo/tests/util/test_logging.cc" "tests/CMakeFiles/pacache_tests.dir/util/test_logging.cc.o" "gcc" "tests/CMakeFiles/pacache_tests.dir/util/test_logging.cc.o.d"
+  "/root/repo/tests/util/test_random.cc" "tests/CMakeFiles/pacache_tests.dir/util/test_random.cc.o" "gcc" "tests/CMakeFiles/pacache_tests.dir/util/test_random.cc.o.d"
+  "/root/repo/tests/util/test_table.cc" "tests/CMakeFiles/pacache_tests.dir/util/test_table.cc.o" "gcc" "tests/CMakeFiles/pacache_tests.dir/util/test_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pacache.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pacache_cli.dir/cli.cc.o"
+  "CMakeFiles/pacache_cli.dir/cli.cc.o.d"
+  "libpacache_cli.a"
+  "libpacache_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pacache_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpacache_cli.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pacache_sim.dir/pacache_sim.cc.o"
+  "CMakeFiles/pacache_sim.dir/pacache_sim.cc.o.d"
+  "pacache_sim"
+  "pacache_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pacache_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

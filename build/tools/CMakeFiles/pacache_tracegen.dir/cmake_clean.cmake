@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pacache_tracegen.dir/pacache_tracegen.cc.o"
+  "CMakeFiles/pacache_tracegen.dir/pacache_tracegen.cc.o.d"
+  "pacache_tracegen"
+  "pacache_tracegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pacache_tracegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

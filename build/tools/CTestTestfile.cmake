@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tools.sim_smoke "/root/repo/build/tools/pacache_sim" "--workload" "synthetic" "--requests" "2000" "--policy" "pa-lru" "--dpm" "practical" "--per-disk")
+set_tests_properties(tools.sim_smoke PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tools.sim_help "/root/repo/build/tools/pacache_sim" "--help")
+set_tests_properties(tools.sim_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tools.sim_rejects_unknown_flag "/root/repo/build/tools/pacache_sim" "--no-such-flag")
+set_tests_properties(tools.sim_rejects_unknown_flag PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tools.tracegen_roundtrip "sh" "-c" "/root/repo/build/tools/pacache_tracegen --workload synthetic           --requests 500 --out /root/repo/build/tools/t.txt &&           /root/repo/build/tools/pacache_sim --trace           /root/repo/build/tools/t.txt --policy arc")
+set_tests_properties(tools.tracegen_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;20;add_test;/root/repo/tools/CMakeLists.txt;0;")
