@@ -1,5 +1,6 @@
 #include "cache/cache.hh"
 
+#include "obs/observer.hh"
 #include "util/logging.hh"
 
 namespace pacache
@@ -33,12 +34,16 @@ Cache::access(const BlockId &block, Time now, std::size_t idx)
         ++counters.hits;
         result.hit = true;
         repl->onAccess(block, now, idx, true);
+        if (obs)
+            obs->cacheAccess(true);
         return result;
     }
 
     ++counters.misses;
     repl->beforeMiss(block, now, idx);
     bringIn(block, now, idx, result);
+    if (obs)
+        obs->cacheAccess(false);
     return result;
 }
 
@@ -71,6 +76,8 @@ Cache::bringIn(const BlockId &block, Time now, std::size_t idx,
         dropFlags(victim, vit->second);
         resident.erase(vit);
         ++counters.evictions;
+        if (obs)
+            obs->cacheEviction(victim, result.victimDirty);
     }
 
     resident.emplace(block, Flags{});

@@ -20,6 +20,11 @@
 namespace pacache
 {
 
+namespace obs
+{
+class SimObserver;
+}
+
 /** Outcome of one cache access. */
 struct CacheResult
 {
@@ -111,6 +116,9 @@ class Cache
 
     ReplacementPolicy &policy() { return *repl; }
 
+    /** Attach an observability fan-out (null to detach). */
+    void setObserver(obs::SimObserver *observer) { obs = observer; }
+
   private:
     struct Flags
     {
@@ -131,6 +139,7 @@ class Cache
     std::vector<std::unordered_set<BlockNum>> loggedPerDisk;
     std::unordered_set<uint64_t> everSeen; //!< for exact cold-miss count
     CacheStats counters;
+    obs::SimObserver *obs = nullptr; //!< null = no instrumentation
 };
 
 } // namespace pacache

@@ -15,6 +15,7 @@
 #include "disk/disk_array.hh"
 #include "disk/dpm.hh"
 #include "disk/oracle_dpm.hh"
+#include "obs/observer.hh"
 #include "sim/event_queue.hh"
 #include "util/logging.hh"
 
@@ -149,17 +150,74 @@ runExperiment(const Trace &trace, const ExperimentConfig &config)
     else if (config.dpm == DpmChoice::Adaptive)
         dpm = &adaptive;
 
-    DiskArray disks(num_disks, eq, pm, sm, *dpm, config.disk);
+    const bool wtdu = config.storage.writePolicy ==
+                      WritePolicy::WriteThroughDeferredUpdate;
 
-    std::unique_ptr<Disk> log_disk;
-    if (config.storage.writePolicy ==
-        WritePolicy::WriteThroughDeferredUpdate) {
-        log_disk = std::make_unique<Disk>(
-            static_cast<DiskId>(num_disks), eq, pm, sm, always_on);
+    // Observability wiring. configureRun() must precede disk
+    // construction (the constructor reports the initial power state).
+    obs::SimObserver *observer = config.observer;
+    DiskOptions disk_opts = config.disk;
+    StorageConfig storage_cfg = config.storage;
+    if (observer) {
+        std::vector<std::string> mode_names;
+        for (std::size_t m = 0; m < pm.numModes(); ++m)
+            mode_names.push_back(pm.mode(m).name);
+        observer->configureRun(num_disks, wtdu, std::move(mode_names));
+        disk_opts.observer = observer;
+        storage_cfg.observer = observer;
+        cache.setObserver(observer);
+        if (classifier) {
+            classifier->setObserver(observer);
+            const PaClassifier *cls = classifier.get();
+            observer->setPriorityFn([cls, num_disks](DiskId d) {
+                return d < num_disks && cls->isPriority(d);
+            });
+        }
     }
 
-    StorageSystem system(trace, eq, cache, disks, config.storage,
+    DiskArray disks(num_disks, eq, pm, sm, *dpm, disk_opts);
+
+    std::unique_ptr<Disk> log_disk;
+    if (wtdu) {
+        DiskOptions log_opts;
+        log_opts.observer = disk_opts.observer;
+        log_disk = std::make_unique<Disk>(
+            static_cast<DiskId>(num_disks), eq, pm, sm, always_on,
+            log_opts);
+    }
+
+    StorageSystem system(trace, eq, cache, disks, storage_cfg,
                          classifier.get(), log_disk.get());
+
+    if (observer) {
+        const PaClassifier *cls = classifier.get();
+        observer->setSnapshotFn([&pm, &cache, &disks, &system, cls,
+                                 num_disks](obs::TimelineSnapshot &s) {
+            const CacheStats &cs = cache.stats();
+            s.accesses = cs.accesses;
+            s.hits = cs.hits;
+            s.missesPerDisk = system.diskAccesses();
+            EnergyStats agg(pm.numModes());
+            for (DiskId d = 0; d < num_disks; ++d)
+                agg += disks.disk(d).energy();
+            s.idleEnergyPerMode = agg.idleEnergyPerMode;
+            s.serviceEnergy = agg.serviceEnergy;
+            s.spinUpEnergy = agg.spinUpEnergy;
+            s.spinDownEnergy = agg.spinDownEnergy;
+            s.spinUps = agg.spinUps;
+            s.spinDowns = agg.spinDowns;
+            const ResponseStats &rs = system.responses();
+            s.responseCount = rs.count();
+            s.responseSum = rs.sum();
+            if (cls) {
+                for (DiskId d = 0; d < num_disks; ++d) {
+                    if (cls->isPriority(d))
+                        s.prioritySet.push_back(d);
+                }
+            }
+        });
+    }
+
     system.run();
 
     ExperimentResult result;
@@ -187,6 +245,36 @@ runExperiment(const Trace &trace, const ExperimentConfig &config)
     result.totalEnergy = result.energy.total();
     if (log_disk)
         result.totalEnergy += log_disk->energy().serviceEnergy;
+
+    // Final summary gauges: the registry snapshot then reports the
+    // exact values the CLI report prints.
+    if (obs::MetricRegistry *reg =
+            observer ? observer->metrics() : nullptr) {
+        reg->gauge("energy.total_joules").set(result.totalEnergy);
+        reg->gauge("energy.service_joules")
+            .set(result.energy.serviceEnergy);
+        reg->gauge("energy.spinup_joules").set(result.energy.spinUpEnergy);
+        reg->gauge("energy.spindown_joules")
+            .set(result.energy.spinDownEnergy);
+        Energy idle = 0;
+        for (const Energy e : result.energy.idleEnergyPerMode)
+            idle += e;
+        reg->gauge("energy.idle_joules").set(idle);
+        reg->gauge("cache.hit_ratio").set(result.cache.hitRatio());
+        reg->gauge("responses.mean_ms")
+            .set(result.responses.mean() * 1e3);
+        reg->gauge("responses.p95_ms")
+            .set(result.responses.percentile(0.95) * 1e3);
+        reg->gauge("responses.max_s").set(result.responses.max());
+        for (DiskId d = 0; d < num_disks; ++d) {
+            reg->gauge("disk." + std::to_string(d) + ".energy_joules")
+                .set(result.perDisk[d].total());
+        }
+        if (log_disk) {
+            reg->gauge("log_device.service_joules")
+                .set(log_disk->energy().serviceEnergy);
+        }
+    }
     return result;
 }
 

@@ -62,6 +62,14 @@ struct ExperimentConfig
     DiskOptions disk; //!< e.g. DRPM serve-at-any-speed (option 1)
     PaParams pa;           //!< intervalThreshold <= 0: auto from model
     Energy opgTheta = -1;  //!< < 0: auto (first NAP transition energy)
+
+    /**
+     * Observability fan-out; null disables instrumentation. The
+     * runner wires it into the disks, cache, classifier and storage
+     * system, installs the timeline snapshot callback, and fills the
+     * final summary gauges into the attached metric registry.
+     */
+    obs::SimObserver *observer = nullptr;
 };
 
 /** Everything a run produces. */

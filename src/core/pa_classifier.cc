@@ -1,5 +1,6 @@
 #include "core/pa_classifier.hh"
 
+#include "obs/observer.hh"
 #include "util/logging.hh"
 
 namespace pacache
@@ -27,6 +28,7 @@ PaClassifier::rollEpoch(Time now)
 {
     while (now >= epochEnd) {
         for (std::size_t d = 0; d < priority.size(); ++d) {
+            const bool was_priority = priority[d];
             const uint64_t samples = histograms[d].sampleCount();
             const uint64_t accesses = accessesThisEpoch[d];
             if (accesses >= p.minEpochSamples &&
@@ -54,7 +56,13 @@ PaClassifier::rollEpoch(Time now)
             accessesThisEpoch[d] = 0;
             coldThisEpoch[d] = 0;
             histograms[d].reset();
+            if (obs && priority[d] != was_priority) {
+                obs->paClassFlip(static_cast<DiskId>(d), priority[d],
+                                 epochEnd);
+            }
         }
+        if (obs)
+            obs->paEpochBoundary(epochs, epochEnd);
         epochEnd += p.epochLength;
         ++epochs;
     }

@@ -31,6 +31,11 @@
 namespace pacache
 {
 
+namespace obs
+{
+class SimObserver;
+}
+
 /** PA classification parameters (paper Section 5.1 defaults). */
 struct PaParams
 {
@@ -78,10 +83,15 @@ class PaClassifier
 
     const PaParams &params() const { return p; }
 
+    /** Attach an observability fan-out: epoch boundaries and class
+     *  flips become trace instants and metric counters. */
+    void setObserver(obs::SimObserver *observer) { obs = observer; }
+
   private:
     void rollEpoch(Time now);
 
     PaParams p;
+    obs::SimObserver *obs = nullptr; //!< null = no instrumentation
     BloomFilter bloom;
     Time epochEnd;
     uint64_t epochs = 0;

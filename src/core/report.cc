@@ -1,0 +1,49 @@
+#include "core/report.hh"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/table.hh"
+
+namespace pacache
+{
+
+void
+printSummaryReport(std::ostream &os, const ExperimentResult &r)
+{
+    TextTable t;
+    t.row({"total energy", fmt(r.totalEnergy, 1) + " J"});
+    t.row({"hit ratio", fmtPct(r.cache.hitRatio(), 2)});
+    t.row({"cold misses",
+           fmtPct(static_cast<double>(r.cache.coldMisses) /
+                      static_cast<double>(std::max<uint64_t>(
+                          1, r.cache.accesses)),
+                  2)});
+    t.row({"mean response", fmt(r.responses.mean() * 1000.0, 3) + " ms"});
+    t.row({"p95 response",
+           fmt(r.responses.percentile(0.95) * 1000.0, 3) + " ms"});
+    t.row({"max response", fmt(r.responses.max(), 3) + " s"});
+    t.row({"spin-ups", std::to_string(r.energy.spinUps)});
+    t.row({"spin-downs", std::to_string(r.energy.spinDowns)});
+    if (r.logWrites > 0)
+        t.row({"log writes", std::to_string(r.logWrites)});
+    t.print(os);
+}
+
+void
+printPerDiskReport(std::ostream &os, const ExperimentResult &r)
+{
+    TextTable d;
+    d.header({"disk", "accesses", "energy (J)", "spin-ups",
+              "standby (s)", "mean gap (s)"});
+    for (std::size_t i = 0; i < r.perDisk.size(); ++i) {
+        d.row({std::to_string(i), std::to_string(r.diskAccesses[i]),
+               fmt(r.perDisk[i].total(), 0),
+               std::to_string(r.perDisk[i].spinUps),
+               fmt(r.perDisk[i].timePerMode.back(), 0),
+               fmt(r.diskMeanInterArrival[i], 2)});
+    }
+    d.print(os);
+}
+
+} // namespace pacache

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Shared formatting of an ExperimentResult: the summary table and the
+ * per-disk breakdown the CLI prints. Lives in the library so tools,
+ * benches, and examples render identical reports instead of each
+ * hand-rolling the rows; the JSON view of the same numbers comes from
+ * the stats serializers (EnergyStats/ResponseStats writeJson).
+ */
+
+#ifndef PACACHE_CORE_REPORT_HH
+#define PACACHE_CORE_REPORT_HH
+
+#include <iosfwd>
+
+#include "core/experiment.hh"
+
+namespace pacache
+{
+
+/** Print the headline summary table (energy, hit ratio, latency). */
+void printSummaryReport(std::ostream &os, const ExperimentResult &r);
+
+/** Print the per-disk breakdown table. */
+void printPerDiskReport(std::ostream &os, const ExperimentResult &r);
+
+} // namespace pacache
+
+#endif // PACACHE_CORE_REPORT_HH

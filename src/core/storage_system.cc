@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/observer.hh"
 #include "util/logging.hh"
 
 namespace pacache
@@ -45,9 +46,15 @@ StorageSystem::run()
     const std::vector<BlockAccess> accesses = expandTrace(*trace);
     cache.policy().prepare(accesses);
 
+    obs::SimObserver *observer = cfg.observer;
+    if (observer)
+        observer->runBegin(accesses.size(), trace->endTime());
+
     for (std::size_t i = 0; i < accesses.size(); ++i) {
         queue.runUntil(accesses[i].time);
         processAccess(accesses[i], i);
+        if (observer)
+            observer->requestProcessed(accesses[i].time);
     }
 
     // Drain in-flight services, spin-ups, and demotion chains, then
@@ -63,6 +70,8 @@ StorageSystem::run()
     disks.finalize(horizon);
     if (logDisk)
         logDisk->finalize(horizon);
+    if (observer)
+        observer->runEnd(horizon);
 }
 
 void
@@ -136,6 +145,8 @@ StorageSystem::handleWrite(const BlockAccess &acc, std::size_t idx)
             // Dirty backlog cap reached: force the disk awake and
             // flush everything (the submits trigger the spin-up).
             std::vector<BlockId> dirty = cache.dirtyBlocksOf(d);
+            if (cfg.observer)
+                cfg.observer->wbeuForcedWake(d, dirty.size(), now);
             for (const BlockId &b : dirty)
                 cache.markClean(b);
             flushBlocks(d, std::move(dirty), now);
@@ -160,6 +171,8 @@ StorageSystem::handleWrite(const BlockAccess &acc, std::size_t idx)
         PACACHE_ASSERT(ok, "WTDU log region still full after flush");
         cache.markLogged(acc.block);
         ++logWriteCount;
+        if (cfg.observer)
+            cfg.observer->wtduLogWrite();
 
         DiskRequest req;
         req.arrival = now;
@@ -266,6 +279,8 @@ StorageSystem::flushLogged(DiskId disk, Time now)
         cache.clearLogged(b);
     flushBlocks(disk, std::move(logged), now);
     log->retire(disk);
+    if (cfg.observer)
+        cfg.observer->wtduRegionRecycle(disk, now);
 }
 
 Energy

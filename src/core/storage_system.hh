@@ -28,6 +28,11 @@
 namespace pacache
 {
 
+namespace obs
+{
+class SimObserver;
+}
+
 /** Configuration for a StorageSystem run. */
 struct StorageConfig
 {
@@ -48,6 +53,14 @@ struct StorageConfig
      * (Belady/OPG), whose future knowledge is positional.
      */
     uint32_t prefetchBlocks = 0;
+
+    /**
+     * Observability fan-out (metrics / trace events / timeline /
+     * progress). Null disables instrumentation. The same observer
+     * should also be wired into the disks, cache, and classifier —
+     * runExperiment() does this automatically.
+     */
+    obs::SimObserver *observer = nullptr;
 };
 
 /** End-to-end simulator for one trace. */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/observer.hh"
 #include "util/logging.hh"
 
 namespace pacache
@@ -10,12 +11,27 @@ namespace pacache
 Disk::Disk(DiskId id, EventQueue &eq, const PowerModel &pm_,
            const ServiceModel &sm_, Dpm &dpm_, const DiskOptions &opts)
     : diskId(id), queue(eq), pm(&pm_), sm(&sm_), dpm(&dpm_),
-      options(opts), stats(pm_.numModes())
+      options(opts), stats(pm_.numModes()), obs(opts.observer)
 {
     parkStart = eq.now();
     idleStart = eq.now();
     idleOpen = true;
+    observeParked(eq.now());
     armDemotionTimer(eq.now());
+}
+
+void
+Disk::observeState(const char *label, Time now)
+{
+    if (obs)
+        obs->diskPowerState(diskId, label, now);
+}
+
+void
+Disk::observeParked(Time now)
+{
+    if (obs)
+        obs->diskPowerState(diskId, pm->mode(curMode).name, now);
 }
 
 void
@@ -83,6 +99,7 @@ Disk::startService(Time now)
     queue.cancel(demotionTimer);
     accrueParked(now);
     curState = State::Busy;
+    observeState("busy", now);
 
     const DiskRequest &req = pending.front();
     const double speed = pm->mode(curMode).rpm / pm->spec().maxRpm;
@@ -132,6 +149,7 @@ Disk::enterIdle(Time now)
     parkStart = now;
     idleStart = now;
     idleOpen = true;
+    observeParked(now);
     armDemotionTimer(now);
 }
 
@@ -158,6 +176,10 @@ Disk::onDemotionTimer(Time now, std::size_t target_mode)
 
     accrueParked(now);
     curState = State::SpinningDown;
+    if (obs) {
+        obs->diskSpinDownStart(diskId, pm->mode(target_mode).name, now);
+        obs->diskPowerState(diskId, "spin-down", now);
+    }
 
     const Time dt = pm->mode(target_mode).spinDownTime -
                     pm->mode(curMode).spinDownTime;
@@ -188,6 +210,7 @@ Disk::onSpinDownDone(Time now, std::size_t target_mode)
     } else {
         curState = State::Parked;
         parkStart = now;
+        observeParked(now);
         armDemotionTimer(now);
     }
 }
@@ -201,6 +224,10 @@ Disk::beginSpinUp(Time now)
     accrueParked(now);
     curState = State::SpinningUp;
     wantSpinUp = false;
+    if (obs) {
+        obs->diskSpinUpStart(diskId, pm->mode(curMode).name, now);
+        obs->diskPowerState(diskId, "spin-up", now);
+    }
 
     const Time dt = pm->mode(curMode).spinUpTime;
     const Energy de = pm->mode(curMode).spinUpEnergy;
@@ -218,6 +245,7 @@ Disk::onSpinUpDone(Time now)
     curMode = 0;
     curState = State::Parked;
     parkStart = now;
+    observeParked(now);
 
     if (onActivated)
         onActivated(now); // may submit flush writes re-entrantly

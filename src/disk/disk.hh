@@ -35,6 +35,11 @@
 namespace pacache
 {
 
+namespace obs
+{
+class SimObserver;
+}
+
 /** One I/O request as seen by a disk. */
 struct DiskRequest
 {
@@ -58,6 +63,15 @@ struct DiskOptions
      * requires a spin-up. Off by default (the paper's option 2).
      */
     bool serveAtLowSpeed = false;
+
+    /**
+     * Observability fan-out (metrics / trace events / timeline).
+     * Null (the default) disables instrumentation entirely; when set,
+     * it must outlive the disk and have been configured before the
+     * disk is constructed (the constructor reports the initial
+     * power state).
+     */
+    obs::SimObserver *observer = nullptr;
 };
 
 /** Event-driven single-disk simulator. */
@@ -169,6 +183,12 @@ class Disk
     /** True when requests can be serviced in the current mode. */
     bool canServiceInMode(std::size_t mode) const;
 
+    /** Report a residency-state change to the observer (if any). */
+    void observeState(const char *label, Time now);
+
+    /** Report parking in @c curMode to the observer (if any). */
+    void observeParked(Time now);
+
     DiskId diskId;
     EventQueue &queue;
     const PowerModel *pm;
@@ -197,6 +217,8 @@ class Disk
     Time lastArrival = 0;
 
     std::function<void(Time)> onActivated;
+
+    obs::SimObserver *obs; //!< null = no instrumentation
 
     bool finalized = false;
 };

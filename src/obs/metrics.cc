@@ -1,0 +1,230 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+#include <ostream>
+#include <vector>
+
+#include "util/json.hh"
+#include "util/logging.hh"
+
+namespace pacache::obs
+{
+
+void
+Histogram::record(double v)
+{
+    if (bins.sampleCount() == 0) {
+        minSeen = v;
+        maxSeen = v;
+    } else {
+        minSeen = std::min(minSeen, v);
+        maxSeen = std::max(maxSeen, v);
+    }
+    bins.record(v);
+}
+
+namespace
+{
+
+bool
+validMetricName(std::string_view name)
+{
+    if (name.empty() || name.front() == '.' || name.back() == '.')
+        return false;
+    for (std::size_t i = 1; i < name.size(); ++i) {
+        if (name[i] == '.' && name[i - 1] == '.')
+            return false; // empty segment
+    }
+    return true;
+}
+
+std::vector<std::string_view>
+splitSegments(std::string_view name)
+{
+    std::vector<std::string_view> segs;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t dot = name.find('.', start);
+        if (dot == std::string_view::npos) {
+            segs.push_back(name.substr(start));
+            return segs;
+        }
+        segs.push_back(name.substr(start, dot - start));
+        start = dot + 1;
+    }
+}
+
+/** True when @p shorter is a dot-boundary prefix of @p longer. */
+bool
+dotPrefix(std::string_view shorter, std::string_view longer)
+{
+    return longer.size() > shorter.size() &&
+           longer[shorter.size()] == '.' &&
+           longer.substr(0, shorter.size()) == shorter;
+}
+
+const char *
+kindName(int kind)
+{
+    switch (kind) {
+      case 0: return "counter";
+      case 1: return "gauge";
+      case 2: return "histogram";
+    }
+    return "?";
+}
+
+} // namespace
+
+MetricRegistry::Slot &
+MetricRegistry::findOrCreate(std::string_view name, Kind kind)
+{
+    if (!validMetricName(name))
+        PACACHE_FATAL("invalid metric name '", name, "'");
+
+    if (const auto it = slots.find(name); it != slots.end()) {
+        if (it->second.kind != kind) {
+            PACACHE_FATAL("metric '", name, "' already registered as a ",
+                          kindName(static_cast<int>(it->second.kind)),
+                          ", requested as a ",
+                          kindName(static_cast<int>(kind)));
+        }
+        return it->second;
+    }
+
+    // A name that is a dot-prefix of another (either way) would be
+    // both a leaf and an object in the nested snapshot.
+    for (const auto &[existing, slot] : slots) {
+        if (dotPrefix(existing, name) || dotPrefix(name, existing)) {
+            PACACHE_FATAL("metric '", name, "' collides with '", existing,
+                          "': one is a dot-prefix of the other");
+        }
+    }
+
+    Slot slot;
+    slot.kind = kind;
+    auto [it, inserted] = slots.emplace(std::string(name), std::move(slot));
+    PACACHE_ASSERT(inserted, "metric emplace failed");
+    return it->second;
+}
+
+Counter &
+MetricRegistry::counter(std::string_view name)
+{
+    Slot &s = findOrCreate(name, Kind::Counter);
+    if (!s.counter)
+        s.counter = std::make_unique<Counter>();
+    return *s.counter;
+}
+
+Gauge &
+MetricRegistry::gauge(std::string_view name)
+{
+    Slot &s = findOrCreate(name, Kind::Gauge);
+    if (!s.gauge)
+        s.gauge = std::make_unique<Gauge>();
+    return *s.gauge;
+}
+
+Histogram &
+MetricRegistry::histogram(std::string_view name, double min_edge,
+                          double max_edge)
+{
+    Slot &s = findOrCreate(name, Kind::Histogram);
+    if (!s.histogram)
+        s.histogram = std::make_unique<Histogram>(min_edge, max_edge);
+    return *s.histogram;
+}
+
+namespace
+{
+
+void
+writeLeaf(JsonWriter &json, const char *key, const Histogram &h)
+{
+    json.key(key).beginObject();
+    json.kv("count", h.count());
+    json.kv("mean", h.mean());
+    json.kv("min", h.min());
+    json.kv("p50", h.percentile(0.50));
+    json.kv("p95", h.percentile(0.95));
+    json.kv("p99", h.percentile(0.99));
+    json.kv("max", h.max());
+    json.endObject();
+}
+
+} // namespace
+
+void
+MetricRegistry::writeJson(std::ostream &os) const
+{
+    JsonWriter json(os);
+    json.beginObject();
+
+    // The map is name-ordered and lexicographic order groups shared
+    // dot-prefixes contiguously, so a path stack suffices for nesting.
+    std::vector<std::string> open; // currently open object path
+    for (const auto &[name, slot] : slots) {
+        const std::vector<std::string_view> segs = splitSegments(name);
+
+        std::size_t common = 0;
+        while (common < open.size() && common + 1 < segs.size() &&
+               open[common] == segs[common]) {
+            ++common;
+        }
+        while (open.size() > common) {
+            json.endObject();
+            open.pop_back();
+        }
+        while (open.size() + 1 < segs.size()) {
+            const std::string_view seg = segs[open.size()];
+            json.key(seg).beginObject();
+            open.emplace_back(seg);
+        }
+
+        const std::string leaf(segs.back());
+        switch (slot.kind) {
+          case Kind::Counter:
+            json.kv(leaf, slot.counter->value());
+            break;
+          case Kind::Gauge:
+            json.kv(leaf, slot.gauge->value());
+            break;
+          case Kind::Histogram:
+            writeLeaf(json, leaf.c_str(), *slot.histogram);
+            break;
+        }
+    }
+    while (!open.empty()) {
+        json.endObject();
+        open.pop_back();
+    }
+    json.endObject();
+}
+
+void
+MetricRegistry::writeText(std::ostream &os) const
+{
+    for (const auto &[name, slot] : slots) {
+        switch (slot.kind) {
+          case Kind::Counter:
+            os << name << ' ' << slot.counter->value() << '\n';
+            break;
+          case Kind::Gauge:
+            os << name << ' ' << slot.gauge->value() << '\n';
+            break;
+          case Kind::Histogram: {
+            const Histogram &h = *slot.histogram;
+            os << name << ".count " << h.count() << '\n'
+               << name << ".mean " << h.mean() << '\n'
+               << name << ".p50 " << h.percentile(0.50) << '\n'
+               << name << ".p95 " << h.percentile(0.95) << '\n'
+               << name << ".p99 " << h.percentile(0.99) << '\n'
+               << name << ".max " << h.max() << '\n';
+            break;
+          }
+        }
+    }
+}
+
+} // namespace pacache::obs

@@ -1,0 +1,113 @@
+#include "obs/timeline.hh"
+
+#include <ostream>
+
+#include "util/json.hh"
+
+namespace pacache::obs
+{
+
+Energy
+TimelineRow::totalEnergy() const
+{
+    Energy e = serviceEnergy + spinUpEnergy + spinDownEnergy;
+    for (const Energy m : idleEnergyPerMode)
+        e += m;
+    return e;
+}
+
+double
+TimelineRow::meanResponse() const
+{
+    return responseCount
+               ? responseSum / static_cast<double>(responseCount)
+               : 0.0;
+}
+
+TimelineWriter::Format
+TimelineWriter::formatForPath(const std::string &path)
+{
+    const std::string suffix = ".csv";
+    if (path.size() >= suffix.size() &&
+        path.compare(path.size() - suffix.size(), suffix.size(),
+                     suffix) == 0) {
+        return Format::Csv;
+    }
+    return Format::Jsonl;
+}
+
+void
+TimelineWriter::emit(const TimelineRow &row)
+{
+    if (fmt == Format::Jsonl)
+        emitJsonl(row);
+    else
+        emitCsv(row);
+}
+
+void
+TimelineWriter::emitJsonl(const TimelineRow &row)
+{
+    JsonWriter json(*out);
+    json.beginObject();
+    json.kv("epoch", row.index);
+    json.kv("t_start", row.tStart);
+    json.kv("t_end", row.tEnd);
+    json.kv("accesses", row.accesses);
+    json.kv("hits", row.hits);
+    json.kv("hit_ratio", row.hitRatio());
+    json.key("misses_per_disk").beginArray();
+    for (const uint64_t m : row.missesPerDisk)
+        json.value(m);
+    json.endArray();
+    json.key("idle_energy_per_mode_j").beginArray();
+    for (const Energy e : row.idleEnergyPerMode)
+        json.value(e);
+    json.endArray();
+    json.kv("service_energy_j", row.serviceEnergy);
+    json.kv("spinup_energy_j", row.spinUpEnergy);
+    json.kv("spindown_energy_j", row.spinDownEnergy);
+    json.kv("total_energy_j", row.totalEnergy());
+    json.kv("spinups", row.spinUps);
+    json.kv("spindowns", row.spinDowns);
+    json.kv("response_count", row.responseCount);
+    json.kv("response_sum_s", row.responseSum);
+    json.kv("mean_response_ms", row.meanResponse() * 1e3);
+    json.key("priority_disks").beginArray();
+    for (const uint32_t d : row.prioritySet)
+        json.value(uint64_t{d});
+    json.endArray();
+    json.endObject();
+    *out << '\n';
+}
+
+void
+TimelineWriter::emitCsv(const TimelineRow &row)
+{
+    if (!wroteHeader) {
+        *out << "epoch,t_start,t_end,accesses,hits,hit_ratio,misses,"
+                "service_energy_j,spinup_energy_j,spindown_energy_j,"
+                "idle_energy_j,total_energy_j,spinups,spindowns,"
+                "response_count,mean_response_ms,priority_disks\n";
+        wroteHeader = true;
+    }
+    uint64_t misses = 0;
+    for (const uint64_t m : row.missesPerDisk)
+        misses += m;
+    Energy idle = 0;
+    for (const Energy e : row.idleEnergyPerMode)
+        idle += e;
+    *out << row.index << ',' << row.tStart << ',' << row.tEnd << ','
+         << row.accesses << ',' << row.hits << ',' << row.hitRatio()
+         << ',' << misses << ',' << row.serviceEnergy << ','
+         << row.spinUpEnergy << ',' << row.spinDownEnergy << ','
+         << idle << ',' << row.totalEnergy() << ',' << row.spinUps
+         << ',' << row.spinDowns << ',' << row.responseCount << ','
+         << row.meanResponse() * 1e3 << ',';
+    // The priority set is ";"-separated so the CSV stays one cell.
+    for (std::size_t i = 0; i < row.prioritySet.size(); ++i)
+        *out << (i ? ";" : "") << row.prioritySet[i];
+    *out << '\n';
+}
+
+} // namespace pacache::obs

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Per-epoch timeline: at a fixed simulated-time interval the observer
+ * snapshots the cumulative run statistics and emits the *delta* since
+ * the previous row. Because every row is a difference of consecutive
+ * cumulative snapshots (and a final row flushes the remainder at the
+ * simulation horizon), the column sums over all rows reconcile with
+ * the end-of-run aggregate statistics — the property the consistency
+ * tests assert.
+ *
+ * TimelineWriter serializes rows as JSONL (one JSON object per line)
+ * or CSV, chosen by file extension in the CLI.
+ */
+
+#ifndef PACACHE_OBS_TIMELINE_HH
+#define PACACHE_OBS_TIMELINE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace pacache::obs
+{
+
+/** One timeline interval's worth of activity (all deltas except the
+ *  priority set, which is the classification current at row end). */
+struct TimelineRow
+{
+    uint64_t index = 0; //!< 0-based interval number
+    Time tStart = 0;
+    Time tEnd = 0;
+
+    uint64_t accesses = 0; //!< cache accesses in this interval
+    uint64_t hits = 0;
+    std::vector<uint64_t> missesPerDisk; //!< disk accesses per disk
+
+    std::vector<Energy> idleEnergyPerMode;
+    Energy serviceEnergy = 0;
+    Energy spinUpEnergy = 0;
+    Energy spinDownEnergy = 0;
+    uint64_t spinUps = 0;
+    uint64_t spinDowns = 0;
+
+    uint64_t responseCount = 0;
+    double responseSum = 0; //!< seconds; mean = sum / count
+
+    std::vector<uint32_t> prioritySet; //!< PA priority disks (ids)
+
+    double
+    hitRatio() const
+    {
+        return accesses ? static_cast<double>(hits) /
+                              static_cast<double>(accesses)
+                        : 0.0;
+    }
+
+    Energy totalEnergy() const;
+    double meanResponse() const;
+};
+
+/** Destination for timeline rows. */
+class TimelineSink
+{
+  public:
+    virtual ~TimelineSink() = default;
+    virtual void emit(const TimelineRow &row) = 0;
+};
+
+/** Streams rows as JSONL or CSV. */
+class TimelineWriter : public TimelineSink
+{
+  public:
+    enum class Format
+    {
+        Jsonl,
+        Csv
+    };
+
+    TimelineWriter(std::ostream &os, Format format)
+        : out(&os), fmt(format)
+    {
+    }
+
+    void emit(const TimelineRow &row) override;
+
+    /** Pick CSV for a ".csv" path, JSONL otherwise. */
+    static Format formatForPath(const std::string &path);
+
+  private:
+    void emitJsonl(const TimelineRow &row);
+    void emitCsv(const TimelineRow &row);
+
+    std::ostream *out;
+    Format fmt;
+    bool wroteHeader = false;
+};
+
+} // namespace pacache::obs
+
+#endif // PACACHE_OBS_TIMELINE_HH

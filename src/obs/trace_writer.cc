@@ -1,0 +1,110 @@
+#include "obs/trace_writer.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "util/json.hh"
+#include "util/logging.hh"
+
+namespace pacache::obs
+{
+
+int64_t
+TraceEventWriter::toMicros(Time t)
+{
+    return static_cast<int64_t>(std::llround(t * 1e6));
+}
+
+void
+TraceEventWriter::setTrackName(uint32_t track, std::string name)
+{
+    Event e;
+    e.phase = 'M';
+    e.track = track;
+    e.tsUs = 0;
+    e.durUs = 0;
+    e.name = "thread_name";
+    e.category = "__metadata";
+    e.args.emplace_back("name", std::move(name));
+    events.push_back(std::move(e));
+}
+
+void
+TraceEventWriter::complete(uint32_t track, std::string name, Time start,
+                           Time end, const char *category)
+{
+    PACACHE_ASSERT(end >= start - 1e-12, "negative-duration trace event");
+    Event e;
+    e.phase = 'X';
+    e.track = track;
+    e.tsUs = toMicros(start);
+    e.durUs = std::max<int64_t>(0, toMicros(end) - e.tsUs);
+    e.name = std::move(name);
+    e.category = category;
+    events.push_back(std::move(e));
+}
+
+void
+TraceEventWriter::instant(uint32_t track, std::string name, Time t,
+                          const char *category, std::vector<Arg> args)
+{
+    Event e;
+    e.phase = 'i';
+    e.track = track;
+    e.tsUs = toMicros(t);
+    e.durUs = 0;
+    e.name = std::move(name);
+    e.category = category;
+    e.args = std::move(args);
+    events.push_back(std::move(e));
+}
+
+void
+TraceEventWriter::writeJson(std::ostream &os) const
+{
+    // Sort a copy of the index so writeJson stays const/idempotent.
+    std::vector<std::size_t> order(events.size());
+    for (std::size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    std::stable_sort(order.begin(), order.end(),
+                     [this](std::size_t a, std::size_t b) {
+                         // Metadata first, then by timestamp.
+                         const bool ma = events[a].phase == 'M';
+                         const bool mb = events[b].phase == 'M';
+                         if (ma != mb)
+                             return ma;
+                         return events[a].tsUs < events[b].tsUs;
+                     });
+
+    JsonWriter json(os);
+    json.beginObject();
+    json.kv("displayTimeUnit", "ms");
+    json.key("traceEvents").beginArray();
+    for (const std::size_t i : order) {
+        const Event &e = events[i];
+        json.beginObject();
+        json.kv("name", e.name);
+        json.kv("cat", e.category);
+        json.kv("ph", std::string_view(&e.phase, 1));
+        json.kv("pid", uint64_t{0});
+        json.kv("tid", uint64_t{e.track});
+        json.kv("ts", e.tsUs);
+        if (e.phase == 'X')
+            json.kv("dur", e.durUs);
+        if (e.phase == 'i')
+            json.kv("s", "t"); // thread-scoped instant
+        if (!e.args.empty()) {
+            json.key("args").beginObject();
+            for (const Arg &a : e.args)
+                json.kv(a.first, a.second);
+            json.endObject();
+        }
+        json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    os << '\n';
+}
+
+} // namespace pacache::obs

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Chrome trace-event writer: buffers duration ("complete", ph "X"),
+ * instant (ph "i"), and track-name metadata (ph "M") events during a
+ * simulation and serializes them as trace-event JSON loadable in
+ * Perfetto (ui.perfetto.dev) or chrome://tracing.
+ *
+ * Simulated seconds map to trace microseconds. Events are buffered
+ * and sorted by timestamp before writing, so the emitted file has
+ * monotonically non-decreasing "ts" fields even though duration
+ * events are recorded when they *close* (their ts is the open time).
+ */
+
+#ifndef PACACHE_OBS_TRACE_WRITER_HH
+#define PACACHE_OBS_TRACE_WRITER_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace pacache::obs
+{
+
+/** Buffering trace-event recorder. */
+class TraceEventWriter
+{
+  public:
+    /** One "name": "value" argument attached to an event. */
+    using Arg = std::pair<std::string, std::string>;
+
+    /** Name a track (trace "thread"); shown as the lane label. */
+    void setTrackName(uint32_t track, std::string name);
+
+    /** Record a duration (complete) event on @p track. */
+    void complete(uint32_t track, std::string name, Time start,
+                  Time end, const char *category = "power");
+
+    /** Record an instant event on @p track. */
+    void instant(uint32_t track, std::string name, Time t,
+                 const char *category = "event",
+                 std::vector<Arg> args = {});
+
+    std::size_t eventCount() const { return events.size(); }
+
+    /**
+     * Serialize everything as {"traceEvents":[...]} with events in
+     * non-decreasing timestamp order. The buffer is left intact, so
+     * this is safe to call more than once.
+     */
+    void writeJson(std::ostream &os) const;
+
+  private:
+    struct Event
+    {
+        char phase;       //!< 'X', 'i', or 'M'
+        uint32_t track;
+        int64_t tsUs;     //!< microseconds
+        int64_t durUs;    //!< for 'X'
+        std::string name;
+        const char *category;
+        std::vector<Arg> args;
+    };
+
+    static int64_t toMicros(Time t);
+
+    std::vector<Event> events;
+};
+
+} // namespace pacache::obs
+
+#endif // PACACHE_OBS_TRACE_WRITER_HH

@@ -1,7 +1,9 @@
 #include "stats/energy_stats.hh"
 
 #include <algorithm>
+#include <ostream>
 
+#include "util/json.hh"
 #include "util/logging.hh"
 
 namespace pacache
@@ -46,6 +48,70 @@ EnergyStats::operator+=(const EnergyStats &other)
     spinDowns += other.spinDowns;
     requests += other.requests;
     return *this;
+}
+
+void
+EnergyStats::writeJsonValue(
+    JsonWriter &json, const std::vector<std::string> *mode_names) const
+{
+    json.beginObject();
+    json.kv("total_joules", total());
+    json.kv("service_joules", serviceEnergy);
+    json.kv("spinup_joules", spinUpEnergy);
+    json.kv("spindown_joules", spinDownEnergy);
+    if (mode_names && mode_names->size() == idleEnergyPerMode.size()) {
+        json.key("idle_energy_per_mode_j");
+        json.beginObject();
+        for (std::size_t m = 0; m < idleEnergyPerMode.size(); ++m)
+            json.kv((*mode_names)[m], idleEnergyPerMode[m]);
+        json.endObject();
+        json.key("time_per_mode_s");
+        json.beginObject();
+        for (std::size_t m = 0; m < timePerMode.size(); ++m)
+            json.kv((*mode_names)[m], timePerMode[m]);
+        json.endObject();
+    } else {
+        json.key("idle_energy_per_mode_j");
+        json.beginArray();
+        for (const Energy e : idleEnergyPerMode)
+            json.value(e);
+        json.endArray();
+        json.key("time_per_mode_s");
+        json.beginArray();
+        for (const Time t : timePerMode)
+            json.value(t);
+        json.endArray();
+    }
+    json.kv("busy_time_s", busyTime);
+    json.kv("spinup_time_s", spinUpTime);
+    json.kv("spindown_time_s", spinDownTime);
+    json.kv("spinups", spinUps);
+    json.kv("spindowns", spinDowns);
+    json.kv("requests", requests);
+    json.endObject();
+}
+
+void
+EnergyStats::writeJson(std::ostream &os,
+                       const std::vector<std::string> *mode_names) const
+{
+    JsonWriter json(os);
+    writeJsonValue(json, mode_names);
+    json.finish();
+}
+
+std::ostream &
+operator<<(std::ostream &os, const EnergyStats &stats)
+{
+    Energy idle = 0;
+    for (const Energy e : stats.idleEnergyPerMode)
+        idle += e;
+    os << "energy " << stats.total() << " J (service "
+       << stats.serviceEnergy << " J, idle " << idle << " J, spin-up "
+       << stats.spinUpEnergy << " J, spin-down " << stats.spinDownEnergy
+       << " J; " << stats.spinUps << " spin-ups, " << stats.spinDowns
+       << " spin-downs, " << stats.requests << " requests)";
+    return os;
 }
 
 } // namespace pacache

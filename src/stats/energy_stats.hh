@@ -9,12 +9,16 @@
 #define PACACHE_STATS_ENERGY_STATS_HH
 
 #include <cstdint>
+#include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "sim/types.hh"
 
 namespace pacache
 {
+
+class JsonWriter;
 
 /** Energy/time breakdown for one disk (or an aggregate). */
 struct EnergyStats
@@ -50,7 +54,25 @@ struct EnergyStats
 
     /** Accumulate another breakdown into this one. */
     EnergyStats &operator+=(const EnergyStats &other);
+
+    /**
+     * Serialize as a JSON object. With @p mode_names (one name per
+     * mode), the per-mode vectors become named objects instead of
+     * arrays. The totals here are the exact doubles the reports
+     * print, so emitted files reconcile with the console output.
+     */
+    void writeJson(std::ostream &os,
+                   const std::vector<std::string> *mode_names =
+                       nullptr) const;
+
+    /** Append this breakdown as a value into an open JSON document. */
+    void writeJsonValue(JsonWriter &json,
+                        const std::vector<std::string> *mode_names =
+                            nullptr) const;
 };
+
+/** Human-readable one-line summary (energy totals and transitions). */
+std::ostream &operator<<(std::ostream &os, const EnergyStats &stats);
 
 } // namespace pacache
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <ostream>
+
+#include "util/json.hh"
 
 namespace pacache
 {
@@ -11,14 +14,14 @@ ResponseStats::record(Time response_time)
 {
     samples.push_back(response_time);
     sorted = false;
-    sum += response_time;
+    total += response_time;
     maxSeen = std::max(maxSeen, response_time);
 }
 
 double
 ResponseStats::mean() const
 {
-    return samples.empty() ? 0.0 : sum / static_cast<double>(samples.size());
+    return samples.empty() ? 0.0 : total / static_cast<double>(samples.size());
 }
 
 Time
@@ -42,8 +45,40 @@ ResponseStats::merge(const ResponseStats &other)
     samples.insert(samples.end(), other.samples.begin(),
                    other.samples.end());
     sorted = false;
-    sum += other.sum;
+    total += other.total;
     maxSeen = std::max(maxSeen, other.maxSeen);
+}
+
+void
+ResponseStats::writeJsonValue(JsonWriter &json) const
+{
+    json.beginObject();
+    json.kv("count", count());
+    json.kv("sum_s", total);
+    json.kv("mean_ms", mean() * 1e3);
+    json.kv("p50_ms", percentile(0.50) * 1e3);
+    json.kv("p95_ms", percentile(0.95) * 1e3);
+    json.kv("p99_ms", percentile(0.99) * 1e3);
+    json.kv("max_s", max());
+    json.endObject();
+}
+
+void
+ResponseStats::writeJson(std::ostream &os) const
+{
+    JsonWriter json(os);
+    writeJsonValue(json);
+    json.finish();
+}
+
+std::ostream &
+operator<<(std::ostream &os, const ResponseStats &stats)
+{
+    os << stats.count() << " responses, mean "
+       << stats.mean() * 1e3 << " ms, p95 "
+       << stats.percentile(0.95) * 1e3 << " ms, max "
+       << stats.max() << " s";
+    return os;
 }
 
 } // namespace pacache

@@ -8,12 +8,15 @@
 #define PACACHE_STATS_RESPONSE_STATS_HH
 
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 #include "sim/types.hh"
 
 namespace pacache
 {
+
+class JsonWriter;
 
 /** Accumulates request response times. */
 class ResponseStats
@@ -26,18 +29,30 @@ class ResponseStats
     double mean() const;
     Time max() const { return maxSeen; }
 
+    /** Sum of all recorded response times (seconds). */
+    double sum() const { return total; }
+
     /** p in [0,1]; nearest-rank percentile. 0 samples -> 0. */
     Time percentile(double p) const;
 
     /** Merge another accumulator into this one. */
     void merge(const ResponseStats &other);
 
+    /** Serialize count/mean/percentiles/max as a JSON object. */
+    void writeJson(std::ostream &os) const;
+
+    /** Append the same object as a value into an open JSON document. */
+    void writeJsonValue(JsonWriter &json) const;
+
   private:
     mutable std::vector<Time> samples;
     mutable bool sorted = true;
-    double sum = 0;
+    double total = 0;
     Time maxSeen = 0;
 };
+
+/** Human-readable one-line summary (count, mean, p95, max). */
+std::ostream &operator<<(std::ostream &os, const ResponseStats &stats);
 
 } // namespace pacache
 

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Build identification captured at CMake configure time: version, git
+ * revision, compiler, C++ standard, and build type. Used by the CLI
+ * tools' --version output and embedded into emitted metric files so a
+ * result can always be traced back to the binary that produced it.
+ */
+
+#ifndef PACACHE_UTIL_BUILD_INFO_HH
+#define PACACHE_UTIL_BUILD_INFO_HH
+
+#include <string>
+
+namespace pacache
+{
+
+class JsonWriter;
+
+/** Static facts about this build of the simulator. */
+struct BuildInfo
+{
+    const char *version;      //!< project version, e.g. "0.2.0"
+    const char *gitDescribe;  //!< `git describe --always --dirty`
+    const char *compiler;     //!< compiler id + version
+    const char *cxxStandard;  //!< e.g. "C++20"
+    const char *buildType;    //!< e.g. "RelWithDebInfo"
+};
+
+/** The build info baked into this binary. */
+const BuildInfo &buildInfo();
+
+/** One-line banner for `--version`, e.g. "pacache_sim 0.2.0 (...)". */
+std::string buildInfoBanner(const char *tool_name);
+
+/** Append the build info as a JSON object value. */
+void writeBuildInfoJson(JsonWriter &json);
+
+} // namespace pacache
+
+#endif // PACACHE_UTIL_BUILD_INFO_HH

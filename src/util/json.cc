@@ -1,0 +1,189 @@
+#include "util/json.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <ostream>
+
+#include "util/logging.hh"
+
+namespace pacache
+{
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+JsonWriter::JsonWriter(std::ostream &os) : out(os) {}
+
+JsonWriter::~JsonWriter()
+{
+    // Scopes left open are a caller bug, but a destructor must not
+    // throw; close them so the output at least parses.
+    finish();
+}
+
+void
+JsonWriter::finish()
+{
+    while (!scopes.empty()) {
+        if (scopes.back() == 'o')
+            endObject();
+        else
+            endArray();
+    }
+}
+
+void
+JsonWriter::separate()
+{
+    if (afterKey) {
+        afterKey = false;
+        return;
+    }
+    if (!scopes.empty() && !firstInScope)
+        out << ',';
+    firstInScope = false;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    separate();
+    out << '{';
+    scopes.push_back('o');
+    firstInScope = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    PACACHE_ASSERT(!scopes.empty() && scopes.back() == 'o',
+                   "endObject outside an object");
+    scopes.pop_back();
+    out << '}';
+    firstInScope = false;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    separate();
+    out << '[';
+    scopes.push_back('a');
+    firstInScope = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    PACACHE_ASSERT(!scopes.empty() && scopes.back() == 'a',
+                   "endArray outside an array");
+    scopes.pop_back();
+    out << ']';
+    firstInScope = false;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view k)
+{
+    PACACHE_ASSERT(!scopes.empty() && scopes.back() == 'o',
+                   "key outside an object");
+    PACACHE_ASSERT(!afterKey, "two keys in a row");
+    separate();
+    out << '"' << jsonEscape(k) << "\":";
+    afterKey = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    if (!std::isfinite(v))
+        return null();
+    separate();
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.*g",
+                  std::numeric_limits<double>::max_digits10, v);
+    out << buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(uint64_t v)
+{
+    separate();
+    out << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int64_t v)
+{
+    separate();
+    out << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    separate();
+    out << (v ? "true" : "false");
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view v)
+{
+    separate();
+    out << '"' << jsonEscape(v) << '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    separate();
+    out << "null";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::rawValue(std::string_view v)
+{
+    separate();
+    out << v;
+    return *this;
+}
+
+} // namespace pacache

@@ -1,0 +1,295 @@
+/**
+ * @file
+ * Minimal recursive-descent JSON parser for tests: validates syntax
+ * strictly (no trailing garbage, no trailing commas) and exposes just
+ * enough of a document model to assert on emitted files. Not for
+ * production use — the simulator only ever *writes* JSON.
+ */
+
+#ifndef PACACHE_TESTS_OBS_JSON_CHECK_HH
+#define PACACHE_TESTS_OBS_JSON_CHECK_HH
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace pacache::testjson
+{
+
+struct Value;
+using ValuePtr = std::shared_ptr<Value>;
+
+/** One parsed JSON value. */
+struct Value
+{
+    enum class Type
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<ValuePtr> items;
+    std::map<std::string, ValuePtr> members;
+
+    bool isNumber() const { return type == Type::Number; }
+    bool isObject() const { return type == Type::Object; }
+    bool isArray() const { return type == Type::Array; }
+
+    const Value &
+    at(const std::string &key) const
+    {
+        auto it = members.find(key);
+        if (it == members.end())
+            throw std::runtime_error("missing key: " + key);
+        return *it->second;
+    }
+
+    bool has(const std::string &key) const
+    {
+        return members.count(key) > 0;
+    }
+};
+
+/** Strict parser over a complete document string. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : s(text) {}
+
+    Value
+    parse()
+    {
+        Value v = parseValue();
+        skipWs();
+        if (pos != s.size())
+            fail("trailing characters after document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &why) const
+    {
+        throw std::runtime_error("JSON error at offset " +
+                                 std::to_string(pos) + ": " + why);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < s.size() &&
+               (s[pos] == ' ' || s[pos] == '\t' || s[pos] == '\n' ||
+                s[pos] == '\r')) {
+            ++pos;
+        }
+    }
+
+    char
+    peek()
+    {
+        skipWs();
+        if (pos >= s.size())
+            fail("unexpected end of input");
+        return s[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "', got '" + s[pos] +
+                 "'");
+        ++pos;
+    }
+
+    Value
+    parseValue()
+    {
+        switch (peek()) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': {
+            Value v;
+            v.type = Value::Type::String;
+            v.str = parseString();
+            return v;
+          }
+          case 't':
+          case 'f': return parseBool();
+          case 'n': parseLiteral("null"); return Value{};
+          default: return parseNumber();
+        }
+    }
+
+    void
+    parseLiteral(const char *lit)
+    {
+        skipWs();
+        for (const char *p = lit; *p; ++p) {
+            if (pos >= s.size() || s[pos] != *p)
+                fail(std::string("bad literal, wanted ") + lit);
+            ++pos;
+        }
+    }
+
+    Value
+    parseBool()
+    {
+        Value v;
+        v.type = Value::Type::Bool;
+        if (s[pos] == 't') {
+            parseLiteral("true");
+            v.boolean = true;
+        } else {
+            parseLiteral("false");
+            v.boolean = false;
+        }
+        return v;
+    }
+
+    Value
+    parseNumber()
+    {
+        skipWs();
+        const std::size_t start = pos;
+        if (pos < s.size() && s[pos] == '-')
+            ++pos;
+        while (pos < s.size() &&
+               (std::isdigit(static_cast<unsigned char>(s[pos])) ||
+                s[pos] == '.' || s[pos] == 'e' || s[pos] == 'E' ||
+                s[pos] == '+' || s[pos] == '-')) {
+            ++pos;
+        }
+        if (pos == start)
+            fail("expected a number");
+        Value v;
+        v.type = Value::Type::Number;
+        char *end = nullptr;
+        const std::string text = s.substr(start, pos - start);
+        v.number = std::strtod(text.c_str(), &end);
+        if (!end || *end != '\0')
+            fail("malformed number: " + text);
+        return v;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos >= s.size())
+                fail("unterminated string");
+            const char c = s[pos++];
+            if (c == '"')
+                return out;
+            if (c == '\\') {
+                if (pos >= s.size())
+                    fail("unterminated escape");
+                const char e = s[pos++];
+                switch (e) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'b': out += '\b'; break;
+                  case 'f': out += '\f'; break;
+                  case 'n': out += '\n'; break;
+                  case 'r': out += '\r'; break;
+                  case 't': out += '\t'; break;
+                  case 'u': {
+                    if (pos + 4 > s.size())
+                        fail("truncated \\u escape");
+                    // Tests only need round-trip safety for ASCII;
+                    // decode the code unit as a single byte when it
+                    // fits, otherwise keep a replacement character.
+                    const std::string hex = s.substr(pos, 4);
+                    pos += 4;
+                    const long cp = std::strtol(hex.c_str(), nullptr, 16);
+                    if (cp < 0x80)
+                        out += static_cast<char>(cp);
+                    else
+                        out += '?';
+                    break;
+                  }
+                  default: fail("bad escape");
+                }
+            } else {
+                out += c;
+            }
+        }
+    }
+
+    Value
+    parseArray()
+    {
+        expect('[');
+        Value v;
+        v.type = Value::Type::Array;
+        if (peek() == ']') {
+            ++pos;
+            return v;
+        }
+        while (true) {
+            v.items.push_back(
+                std::make_shared<Value>(parseValue()));
+            const char c = peek();
+            if (c == ',') {
+                ++pos;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    Value
+    parseObject()
+    {
+        expect('{');
+        Value v;
+        v.type = Value::Type::Object;
+        if (peek() == '}') {
+            ++pos;
+            return v;
+        }
+        while (true) {
+            const std::string key = parseString();
+            expect(':');
+            v.members[key] =
+                std::make_shared<Value>(parseValue());
+            const char c = peek();
+            if (c == ',') {
+                ++pos;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    const std::string &s;
+    std::size_t pos = 0;
+};
+
+/** Parse or throw; convenience for EXPECT_NO_THROW-style checks. */
+inline Value
+parse(const std::string &text)
+{
+    return Parser(text).parse();
+}
+
+} // namespace pacache::testjson
+
+#endif // PACACHE_TESTS_OBS_JSON_CHECK_HH

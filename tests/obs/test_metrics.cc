@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "json_check.hh"
+#include "obs/metrics.hh"
+
+namespace pacache::obs
+{
+namespace
+{
+
+TEST(MetricRegistryTest, CounterIsMonotonicAndShared)
+{
+    MetricRegistry reg;
+    Counter &c = reg.counter("disk.0.spinups");
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+
+    // Find-or-create returns the same instrument.
+    Counter &again = reg.counter("disk.0.spinups");
+    EXPECT_EQ(&again, &c);
+    again.inc();
+    EXPECT_EQ(c.value(), 43u);
+    EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(MetricRegistryTest, GaugeIsLastWriteWins)
+{
+    MetricRegistry reg;
+    Gauge &g = reg.gauge("cache.hit_ratio");
+    g.set(0.25);
+    g.set(0.75);
+    EXPECT_DOUBLE_EQ(g.value(), 0.75);
+}
+
+TEST(MetricRegistryTest, HistogramTracksExactExtremesAndCount)
+{
+    MetricRegistry reg;
+    Histogram &h = reg.histogram("responses.seconds", 1e-4, 1e2);
+    for (int i = 1; i <= 100; ++i)
+        h.record(i * 0.01); // 0.01 .. 1.00
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_DOUBLE_EQ(h.min(), 0.01);
+    EXPECT_DOUBLE_EQ(h.max(), 1.00);
+    EXPECT_NEAR(h.mean(), 0.505, 1e-9);
+}
+
+TEST(MetricRegistryTest, HistogramPercentilesLandInTheRightBins)
+{
+    MetricRegistry reg;
+    Histogram &h = reg.histogram("lat", 1e-4, 1e2);
+    for (int i = 1; i <= 1000; ++i)
+        h.record(i * 0.001); // uniform over (0, 1]
+
+    // Geometric bins give interpolated quantiles; generous factor-of-
+    // bin-width tolerance, not exact equality.
+    EXPECT_NEAR(h.percentile(0.50), 0.5, 0.5 * 0.5);
+    EXPECT_NEAR(h.percentile(0.95), 0.95, 0.95 * 0.5);
+    EXPECT_GT(h.percentile(0.99), h.percentile(0.50));
+    EXPECT_LE(h.percentile(1.0), h.max() * 1.5);
+}
+
+TEST(MetricRegistryTest, KindCollisionIsFatal)
+{
+    MetricRegistry reg;
+    reg.counter("cache.evictions.total");
+    EXPECT_THROW(reg.gauge("cache.evictions.total"), std::runtime_error);
+    EXPECT_THROW(reg.histogram("cache.evictions.total"),
+                 std::runtime_error);
+}
+
+TEST(MetricRegistryTest, DotPrefixCollisionIsFatal)
+{
+    MetricRegistry reg;
+    reg.counter("cache.evictions");
+    // Existing name would become both a leaf and an object.
+    EXPECT_THROW(reg.counter("cache.evictions.priority"),
+                 std::runtime_error);
+
+    // The other direction: new name is a prefix of an existing one.
+    reg.counter("wtdu.log.writes");
+    EXPECT_THROW(reg.counter("wtdu.log"), std::runtime_error);
+
+    // Sibling leaves under a shared object are fine.
+    EXPECT_NO_THROW(reg.counter("wtdu.log.recycles"));
+}
+
+TEST(MetricRegistryTest, MalformedNamesAreFatal)
+{
+    MetricRegistry reg;
+    EXPECT_THROW(reg.counter(""), std::runtime_error);
+    EXPECT_THROW(reg.counter(".leading"), std::runtime_error);
+    EXPECT_THROW(reg.counter("trailing."), std::runtime_error);
+    EXPECT_THROW(reg.counter("empty..segment"), std::runtime_error);
+}
+
+TEST(MetricRegistryTest, JsonSnapshotNestsAlongDots)
+{
+    MetricRegistry reg;
+    reg.counter("disk.0.spinups").inc(3);
+    reg.counter("disk.1.spinups").inc(5);
+    reg.gauge("cache.hit_ratio").set(0.5);
+    reg.counter("total").inc(7);
+    reg.histogram("lat", 1e-3, 1e3).record(2.0);
+
+    std::ostringstream os;
+    reg.writeJson(os);
+    const testjson::Value doc = testjson::parse(os.str());
+
+    ASSERT_TRUE(doc.isObject());
+    EXPECT_DOUBLE_EQ(doc.at("disk").at("0").at("spinups").number, 3.0);
+    EXPECT_DOUBLE_EQ(doc.at("disk").at("1").at("spinups").number, 5.0);
+    EXPECT_DOUBLE_EQ(doc.at("cache").at("hit_ratio").number, 0.5);
+    EXPECT_DOUBLE_EQ(doc.at("total").number, 7.0);
+    const testjson::Value &lat = doc.at("lat");
+    ASSERT_TRUE(lat.isObject());
+    EXPECT_DOUBLE_EQ(lat.at("count").number, 1.0);
+    EXPECT_DOUBLE_EQ(lat.at("min").number, 2.0);
+    EXPECT_DOUBLE_EQ(lat.at("max").number, 2.0);
+}
+
+TEST(MetricRegistryTest, TextSnapshotIsFlatAndNameOrdered)
+{
+    MetricRegistry reg;
+    reg.counter("b.two").inc(2);
+    reg.counter("a.one").inc(1);
+    reg.gauge("c").set(3.5);
+
+    std::ostringstream os;
+    reg.writeText(os);
+    EXPECT_EQ(os.str(), "a.one 1\nb.two 2\nc 3.5\n");
+}
+
+TEST(MetricRegistryTest, TextSnapshotExpandsHistograms)
+{
+    MetricRegistry reg;
+    reg.histogram("lat", 1e-3, 1e3).record(1.0);
+
+    std::ostringstream os;
+    reg.writeText(os);
+    const std::string text = os.str();
+    EXPECT_NE(text.find("lat.count 1"), std::string::npos);
+    EXPECT_NE(text.find("lat.mean"), std::string::npos);
+    EXPECT_NE(text.find("lat.p50"), std::string::npos);
+    EXPECT_NE(text.find("lat.p95"), std::string::npos);
+    EXPECT_NE(text.find("lat.p99"), std::string::npos);
+    EXPECT_NE(text.find("lat.max"), std::string::npos);
+}
+
+} // namespace
+} // namespace pacache::obs

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "json_check.hh"
+#include "obs/trace_writer.hh"
+
+namespace pacache::obs
+{
+namespace
+{
+
+TEST(TraceEventWriterTest, EmitsValidJsonDocument)
+{
+    TraceEventWriter w;
+    w.setTrackName(0, "disk 0");
+    w.complete(0, "idle", 0.0, 1.5);
+    w.instant(0, "spin-up", 1.5, "event", {{"from", "idle"}});
+
+    std::ostringstream os;
+    w.writeJson(os);
+    const testjson::Value doc = testjson::parse(os.str());
+    ASSERT_TRUE(doc.isObject());
+    ASSERT_TRUE(doc.at("traceEvents").isArray());
+    EXPECT_EQ(doc.at("traceEvents").items.size(), 3u);
+}
+
+TEST(TraceEventWriterTest, TimestampsAreNonDecreasing)
+{
+    TraceEventWriter w;
+    // Duration events are recorded when they close, so insertion
+    // order is not timestamp order; the writer must sort.
+    w.complete(0, "busy", 5.0, 7.0);
+    w.complete(1, "idle", 0.0, 6.0);
+    w.instant(0, "spin-down", 2.5);
+    w.complete(0, "NAP1", 1.0, 2.0);
+
+    std::ostringstream os;
+    w.writeJson(os);
+    const testjson::Value doc = testjson::parse(os.str());
+
+    double prev = -1.0;
+    for (const auto &ev : doc.at("traceEvents").items) {
+        const double ts = ev->at("ts").number;
+        EXPECT_GE(ts, prev) << "ts regressed";
+        prev = ts;
+    }
+    // Spot-check microsecond conversion.
+    EXPECT_DOUBLE_EQ(doc.at("traceEvents").items.front()->at("ts").number,
+                     0.0);
+    EXPECT_DOUBLE_EQ(doc.at("traceEvents").items.back()->at("ts").number,
+                     5.0e6);
+}
+
+TEST(TraceEventWriterTest, MetadataSortsFirstRegardlessOfWhenNamed)
+{
+    TraceEventWriter w;
+    w.complete(0, "busy", 0.0, 1.0);
+    w.setTrackName(0, "disk 0"); // named late, must still lead
+
+    std::ostringstream os;
+    w.writeJson(os);
+    const testjson::Value doc = testjson::parse(os.str());
+    const auto &events = doc.at("traceEvents").items;
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0]->at("ph").str, "M");
+    EXPECT_EQ(events[0]->at("name").str, "thread_name");
+    EXPECT_EQ(events[0]->at("args").at("name").str, "disk 0");
+    EXPECT_EQ(events[1]->at("ph").str, "X");
+}
+
+TEST(TraceEventWriterTest, EventShapesMatchTheTraceFormat)
+{
+    TraceEventWriter w;
+    w.complete(3, "standby", 1.0, 4.0, "power");
+    w.instant(3, "spin-up", 4.0, "event", {{"target", "full"}});
+
+    std::ostringstream os;
+    w.writeJson(os);
+    const testjson::Value doc = testjson::parse(os.str());
+    const auto &events = doc.at("traceEvents").items;
+    ASSERT_EQ(events.size(), 2u);
+
+    const testjson::Value &dur = *events[0];
+    EXPECT_EQ(dur.at("ph").str, "X");
+    EXPECT_EQ(dur.at("cat").str, "power");
+    EXPECT_DOUBLE_EQ(dur.at("tid").number, 3.0);
+    EXPECT_DOUBLE_EQ(dur.at("ts").number, 1.0e6);
+    EXPECT_DOUBLE_EQ(dur.at("dur").number, 3.0e6);
+
+    const testjson::Value &inst = *events[1];
+    EXPECT_EQ(inst.at("ph").str, "i");
+    EXPECT_EQ(inst.at("s").str, "t");
+    EXPECT_FALSE(inst.has("dur"));
+    EXPECT_EQ(inst.at("args").at("target").str, "full");
+}
+
+TEST(TraceEventWriterTest, WriteJsonIsIdempotent)
+{
+    TraceEventWriter w;
+    w.complete(0, "busy", 2.0, 3.0);
+    w.complete(0, "idle", 0.0, 2.0);
+
+    std::ostringstream first, second;
+    w.writeJson(first);
+    w.writeJson(second);
+    EXPECT_EQ(first.str(), second.str());
+    EXPECT_EQ(w.eventCount(), 2u);
+}
+
+TEST(TraceEventWriterTest, NamesWithSpecialCharactersStayValid)
+{
+    TraceEventWriter w;
+    w.instant(0, "flip \"P\"\n", 0.5);
+
+    std::ostringstream os;
+    w.writeJson(os);
+    const testjson::Value doc = testjson::parse(os.str());
+    EXPECT_EQ(doc.at("traceEvents").items[0]->at("name").str,
+              "flip \"P\"\n");
+}
+
+} // namespace
+} // namespace pacache::obs

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <sstream>
+
+#include "../obs/json_check.hh"
 #include "stats/energy_stats.hh"
 #include "stats/response_stats.hh"
 
@@ -92,6 +95,90 @@ TEST(ResponseStatsTest, MergeCombinesSamples)
     EXPECT_EQ(a.count(), 3u);
     EXPECT_DOUBLE_EQ(a.max(), 10.0);
     EXPECT_NEAR(a.mean(), 13.0 / 3.0, 1e-12);
+}
+
+TEST(EnergyStatsTest, WriteJsonRoundTripsTheBreakdown)
+{
+    EnergyStats s(2);
+    s.idleEnergyPerMode = {10.0, 20.0};
+    s.timePerMode = {1.0, 2.0};
+    s.serviceEnergy = 5.0;
+    s.busyTime = 0.5;
+    s.spinUpEnergy = 7.0;
+    s.spinDownEnergy = 2.0;
+    s.spinUps = 3;
+    s.spinDowns = 4;
+    s.requests = 11;
+
+    std::ostringstream os;
+    const std::vector<std::string> modes{"idle", "standby"};
+    s.writeJson(os, &modes);
+    const testjson::Value doc = pacache::testjson::parse(os.str());
+    EXPECT_DOUBLE_EQ(doc.at("total_joules").number, s.total());
+    EXPECT_DOUBLE_EQ(doc.at("service_joules").number, 5.0);
+    EXPECT_DOUBLE_EQ(
+        doc.at("idle_energy_per_mode_j").at("idle").number, 10.0);
+    EXPECT_DOUBLE_EQ(
+        doc.at("idle_energy_per_mode_j").at("standby").number, 20.0);
+    EXPECT_DOUBLE_EQ(doc.at("time_per_mode_s").at("standby").number,
+                     2.0);
+    EXPECT_DOUBLE_EQ(doc.at("spinups").number, 3.0);
+    EXPECT_DOUBLE_EQ(doc.at("requests").number, 11.0);
+}
+
+TEST(EnergyStatsTest, WriteJsonWithoutModeNamesUsesArrays)
+{
+    EnergyStats s(2);
+    s.idleEnergyPerMode = {1.0, 2.0};
+
+    std::ostringstream os;
+    s.writeJson(os);
+    const testjson::Value doc = pacache::testjson::parse(os.str());
+    ASSERT_TRUE(doc.at("idle_energy_per_mode_j").isArray());
+    ASSERT_EQ(doc.at("idle_energy_per_mode_j").items.size(), 2u);
+    EXPECT_DOUBLE_EQ(doc.at("idle_energy_per_mode_j").items[1]->number,
+                     2.0);
+}
+
+TEST(EnergyStatsTest, StreamOperatorSummarizes)
+{
+    EnergyStats s(1);
+    s.idleEnergyPerMode = {4.0};
+    s.serviceEnergy = 6.0;
+    s.spinUps = 2;
+
+    std::ostringstream os;
+    os << s;
+    EXPECT_NE(os.str().find("energy 10 J"), std::string::npos);
+    EXPECT_NE(os.str().find("2 spin-ups"), std::string::npos);
+}
+
+TEST(ResponseStatsTest, WriteJsonReportsPercentilesAndSum)
+{
+    ResponseStats r;
+    for (int i = 1; i <= 100; ++i)
+        r.record(static_cast<double>(i));
+
+    std::ostringstream os;
+    r.writeJson(os);
+    const testjson::Value doc = pacache::testjson::parse(os.str());
+    EXPECT_DOUBLE_EQ(doc.at("count").number, 100.0);
+    EXPECT_DOUBLE_EQ(doc.at("sum_s").number, 5050.0);
+    EXPECT_DOUBLE_EQ(doc.at("mean_ms").number, 50.5 * 1e3);
+    EXPECT_DOUBLE_EQ(doc.at("p50_ms").number, 50.0 * 1e3);
+    EXPECT_DOUBLE_EQ(doc.at("p95_ms").number, 95.0 * 1e3);
+    EXPECT_DOUBLE_EQ(doc.at("max_s").number, 100.0);
+}
+
+TEST(ResponseStatsTest, StreamOperatorSummarizes)
+{
+    ResponseStats r;
+    r.record(2.0);
+
+    std::ostringstream os;
+    os << r;
+    EXPECT_NE(os.str().find("1 responses"), std::string::npos);
+    EXPECT_NE(os.str().find("max 2 s"), std::string::npos);
 }
 
 } // namespace

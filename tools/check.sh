@@ -1,0 +1,47 @@
+#!/bin/sh
+# Full pre-merge check: a Release build and an ASan+UBSan build, the
+# test suite under both, and an observability smoke run whose output
+# files are validated by tools/check_obs_json.py.
+#
+# Usage: tools/check.sh            (from the repository root)
+#        JOBS=4 tools/check.sh     (limit build parallelism)
+
+set -eu
+
+root=$(cd "$(dirname "$0")/.." && pwd)
+jobs=${JOBS:-$(nproc 2>/dev/null || echo 4)}
+
+step() {
+    printf '\n== %s ==\n' "$*"
+}
+
+step "Release build"
+cmake -B "$root/build-release" -S "$root" \
+      -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$root/build-release" -j "$jobs"
+
+step "Release tests"
+ctest --test-dir "$root/build-release" --output-on-failure -j "$jobs"
+
+step "ASan+UBSan build"
+cmake -B "$root/build-asan" -S "$root" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DPACACHE_SANITIZE=address,undefined >/dev/null
+cmake --build "$root/build-asan" -j "$jobs"
+
+step "ASan+UBSan tests"
+ctest --test-dir "$root/build-asan" --output-on-failure -j "$jobs"
+
+step "observability smoke run (sanitized binary)"
+obs_dir=$(mktemp -d)
+trap 'rm -rf "$obs_dir"' EXIT
+"$root/build-asan/tools/pacache_sim" \
+    --workload oltp --policy pa-lru --write wtdu --dpm practical \
+    --metrics-out "$obs_dir/m.json" \
+    --trace-events "$obs_dir/t.json" \
+    --timeline "$obs_dir/tl.jsonl" --timeline-interval 900 \
+    > "$obs_dir/report.txt"
+python3 "$root/tools/check_obs_json.py" \
+    "$obs_dir/m.json" "$obs_dir/t.json" "$obs_dir/tl.jsonl"
+
+step "all checks passed"

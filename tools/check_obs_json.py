@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Validate the observability outputs of a pacache_sim run.
+
+Usage: check_obs_json.py METRICS.json TRACE.json TIMELINE.jsonl
+
+Checks, mirroring the C++ unit tests but against the real files the
+CLI wrote:
+  - every file is well-formed (JSON / trace-event JSON / JSONL),
+  - trace-event timestamps are monotonically non-decreasing,
+  - timeline row sums reconcile with the metrics summary (accesses,
+    hits, response count/sum exactly; energy within 1e-6 relative).
+
+Exits non-zero with a diagnostic on the first violation.
+"""
+
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_obs_json: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_json(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+
+def check_trace(path):
+    doc = load_json(path)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: no traceEvents array")
+    prev = None
+    for i, ev in enumerate(events):
+        for field in ("name", "ph", "pid", "tid", "ts"):
+            if field not in ev:
+                fail(f"{path}: event {i} lacks '{field}'")
+        if prev is not None and ev["ts"] < prev:
+            fail(f"{path}: ts regressed at event {i}: "
+                 f"{ev['ts']} < {prev}")
+        prev = ev["ts"]
+    return len(events)
+
+
+def check_timeline(path):
+    rows = []
+    with open(path) as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rows.append(json.loads(line))
+            except json.JSONDecodeError as e:
+                fail(f"{path}:{lineno}: bad JSONL row: {e}")
+    if not rows:
+        fail(f"{path}: no timeline rows")
+    for i, row in enumerate(rows):
+        if row["epoch"] != i:
+            fail(f"{path}: row {i} has epoch {row['epoch']}")
+        if row["t_end"] <= row["t_start"]:
+            fail(f"{path}: row {i} is empty or reversed in time")
+    return rows
+
+
+def main():
+    if len(sys.argv) != 4:
+        print(__doc__, file=sys.stderr)
+        return 2
+    metrics_path, trace_path, timeline_path = sys.argv[1:]
+
+    metrics = load_json(metrics_path)
+    for section in ("build", "run", "energy", "responses", "cache",
+                    "metrics"):
+        if section not in metrics:
+            fail(f"{metrics_path}: missing '{section}' section")
+
+    n_events = check_trace(trace_path)
+    rows = check_timeline(timeline_path)
+
+    # Reconciliation: timeline deltas telescope to the final totals.
+    sums = {
+        "accesses": sum(r["accesses"] for r in rows),
+        "hits": sum(r["hits"] for r in rows),
+        "energy": sum(r["total_energy_j"] for r in rows),
+        "resp_n": sum(r["response_count"] for r in rows),
+        "resp_s": sum(r["response_sum_s"] for r in rows),
+    }
+    cache = metrics["cache"]
+    if sums["accesses"] != cache["accesses"]:
+        fail(f"timeline accesses {sums['accesses']} != "
+             f"metrics {cache['accesses']}")
+    if sums["hits"] != cache["hits"]:
+        fail(f"timeline hits {sums['hits']} != metrics {cache['hits']}")
+    resp = metrics["responses"]
+    if sums["resp_n"] != resp["count"]:
+        fail(f"timeline responses {sums['resp_n']} != "
+             f"metrics {resp['count']}")
+    if abs(sums["resp_s"] - resp["sum_s"]) > 1e-6:
+        fail(f"timeline response sum {sums['resp_s']} != "
+             f"metrics {resp['sum_s']}")
+    total = metrics["energy"]["total_joules"]
+    if abs(sums["energy"] - total) > 1e-6 * max(1.0, abs(total)):
+        fail(f"timeline energy {sums['energy']} != metrics {total}")
+
+    print(f"check_obs_json: OK ({n_events} trace events, "
+          f"{len(rows)} timeline rows, energy {total:.1f} J)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,15 +12,22 @@
  *   pacache_sim --workload synthetic --requests 50000 --write-ratio 0.8
  */
 
+#include <fstream>
 #include <iostream>
+#include <memory>
 #include <set>
+#include <sstream>
 
 #include "cli.hh"
 #include "core/experiment.hh"
+#include "core/report.hh"
+#include "obs/observer.hh"
 #include "trace/stats.hh"
 #include "trace/synthetic.hh"
 #include "trace/trace_io.hh"
 #include "trace/workloads.hh"
+#include "util/build_info.hh"
+#include "util/json.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
 
@@ -56,6 +63,20 @@ system configuration:
 output:
   --per-disk             include the per-disk breakdown
   --help                 this text
+  --version              build information
+
+observability:
+  --metrics-out FILE     metric registry + summary snapshot; JSON, or
+                         flat "name value" text if FILE ends in .txt
+  --trace-events FILE    Chrome trace-event JSON (load in Perfetto or
+                         chrome://tracing): per-disk power-state
+                         residency tracks, spin-up/-down markers, PA
+                         epochs and class flips, WBEU/WTDU events
+  --timeline FILE        per-interval activity rows; JSONL, or CSV if
+                         FILE ends in .csv
+  --timeline-interval S  timeline row length in simulated seconds
+                         (default: 900, the PA epoch)
+  --progress             live progress meter on stderr
 )";
 
 PolicyKind
@@ -134,6 +155,85 @@ loadWorkload(const cli::Args &args)
     PACACHE_FATAL("unknown workload '", name, "'");
 }
 
+bool
+hasSuffix(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(),
+                     suffix) == 0;
+}
+
+std::ofstream
+openOutput(const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        PACACHE_FATAL("cannot open '", path, "' for writing");
+    return out;
+}
+
+/**
+ * The full --metrics-out JSON document: build identification, run
+ * configuration, the report-level summary statistics (energy,
+ * responses, cache), and the nested metric registry snapshot. The
+ * summary numbers are the same doubles the console report formats, so
+ * the file reconciles with the printed output exactly.
+ */
+void
+writeMetricsJson(std::ostream &os, const cli::Args &args,
+                 const TraceStats &st, const ExperimentConfig &cfg,
+                 const ExperimentResult &r,
+                 const std::vector<std::string> &mode_names,
+                 const obs::MetricRegistry &registry)
+{
+    JsonWriter json(os);
+    json.beginObject();
+
+    json.key("build");
+    writeBuildInfoJson(json);
+
+    json.key("run");
+    json.beginObject();
+    if (args.has("trace"))
+        json.kv("trace", args.get("trace", ""));
+    else
+        json.kv("workload", args.get("workload", "oltp"));
+    json.kv("policy", r.policyName);
+    json.kv("dpm", args.get("dpm", "practical"));
+    json.kv("write_policy", writePolicyName(cfg.storage.writePolicy));
+    json.kv("cache_blocks", static_cast<uint64_t>(cfg.cacheBlocks));
+    json.kv("requests", st.requests);
+    json.kv("disks", static_cast<uint64_t>(st.disks));
+    json.endObject();
+
+    json.kv("total_energy_joules", r.totalEnergy);
+    json.key("energy");
+    r.energy.writeJsonValue(json, &mode_names);
+
+    json.key("responses");
+    r.responses.writeJsonValue(json);
+
+    json.key("cache");
+    json.beginObject();
+    json.kv("accesses", r.cache.accesses);
+    json.kv("hits", r.cache.hits);
+    json.kv("misses", r.cache.misses);
+    json.kv("hit_ratio", r.cache.hitRatio());
+    json.kv("cold_misses", r.cache.coldMisses);
+    json.kv("evictions", r.cache.evictions);
+    json.endObject();
+
+    // The registry snapshot is a complete JSON object of its own;
+    // splice it in verbatim.
+    std::ostringstream reg;
+    registry.writeJson(reg);
+    json.key("metrics");
+    json.rawValue(reg.str());
+
+    json.endObject();
+    json.finish();
+}
+
 } // namespace
 
 int
@@ -144,10 +244,16 @@ try {
         std::cout << kUsage;
         return 0;
     }
+    if (args.has("version")) {
+        std::cout << buildInfoBanner("pacache_sim") << '\n';
+        return 0;
+    }
     const std::set<std::string> known{
         "trace", "workload", "duration", "requests", "write-ratio",
         "interarrival", "pareto", "seed", "policy", "dpm", "write",
-        "cache-blocks", "epoch", "opg-theta", "per-disk", "help"};
+        "cache-blocks", "epoch", "opg-theta", "per-disk", "help",
+        "version", "metrics-out", "trace-events", "timeline",
+        "timeline-interval", "progress"};
     if (const std::string bad = args.firstUnknown(known); !bad.empty())
         PACACHE_FATAL("unknown flag --", bad, " (see --help)");
 
@@ -162,7 +268,66 @@ try {
     cfg.pa.epochLength = args.getDouble("epoch", 900.0);
     cfg.opgTheta = args.getDouble("opg-theta", -1.0);
 
+    // Observability sinks, attached only when requested; the null
+    // observer default keeps the un-instrumented hot path unchanged.
+    // Output files open before the run so a bad path fails fast, not
+    // after hours of simulation.
+    obs::SimObserver observer;
+    obs::MetricRegistry registry;
+    obs::TraceEventWriter trace_events;
+    std::ofstream metrics_out, trace_out, timeline_out;
+    std::unique_ptr<obs::TimelineWriter> timeline;
+    bool observing = false;
+    if (args.has("metrics-out")) {
+        metrics_out = openOutput(args.get("metrics-out", ""));
+        observer.attachMetrics(&registry);
+        observing = true;
+    }
+    if (args.has("trace-events")) {
+        trace_out = openOutput(args.get("trace-events", ""));
+        observer.attachTrace(&trace_events);
+        observing = true;
+    }
+    if (args.has("timeline")) {
+        const std::string path = args.get("timeline", "");
+        timeline_out = openOutput(path);
+        timeline = std::make_unique<obs::TimelineWriter>(
+            timeline_out, obs::TimelineWriter::formatForPath(path));
+        const double interval =
+            args.getDouble("timeline-interval", 900.0);
+        if (interval <= 0)
+            PACACHE_FATAL("--timeline-interval must be positive, got ",
+                          interval);
+        observer.attachTimeline(timeline.get(), interval);
+        observing = true;
+    }
+    if (args.has("progress")) {
+        observer.enableProgress(std::cerr);
+        observing = true;
+    }
+    if (observing)
+        cfg.observer = &observer;
+
     const ExperimentResult r = runExperiment(trace, cfg);
+
+    if (args.has("trace-events"))
+        trace_events.writeJson(trace_out);
+    if (args.has("metrics-out")) {
+        const std::string path = args.get("metrics-out", "");
+        std::ostream &out = metrics_out;
+        if (hasSuffix(path, ".txt")) {
+            registry.writeText(out);
+        } else {
+            std::vector<std::string> mode_names;
+            const PowerModel pm(cfg.spec);
+            for (std::size_t m = 0; m < pm.numModes(); ++m)
+                mode_names.push_back(pm.mode(m).name);
+            writeMetricsJson(out, args, st, cfg, r, mode_names,
+                             registry);
+        }
+    }
+    if (timeline)
+        timeline_out.flush();
 
     std::cout << "workload: " << st.requests << " requests, "
               << st.disks << " disks, " << fmtPct(st.writeRatio, 1)
@@ -173,37 +338,11 @@ try {
               << writePolicyName(cfg.storage.writePolicy) << ", cache "
               << cfg.cacheBlocks << " blocks\n\n";
 
-    TextTable t;
-    t.row({"total energy", fmt(r.totalEnergy, 1) + " J"});
-    t.row({"hit ratio", fmtPct(r.cache.hitRatio(), 2)});
-    t.row({"cold misses",
-           fmtPct(static_cast<double>(r.cache.coldMisses) /
-                      static_cast<double>(std::max<uint64_t>(
-                          1, r.cache.accesses)),
-                  2)});
-    t.row({"mean response", fmt(r.responses.mean() * 1000.0, 3) + " ms"});
-    t.row({"p95 response",
-           fmt(r.responses.percentile(0.95) * 1000.0, 3) + " ms"});
-    t.row({"max response", fmt(r.responses.max(), 3) + " s"});
-    t.row({"spin-ups", std::to_string(r.energy.spinUps)});
-    t.row({"spin-downs", std::to_string(r.energy.spinDowns)});
-    if (r.logWrites > 0)
-        t.row({"log writes", std::to_string(r.logWrites)});
-    t.print(std::cout);
+    printSummaryReport(std::cout, r);
 
     if (args.has("per-disk")) {
         std::cout << "\nper-disk breakdown:\n\n";
-        TextTable d;
-        d.header({"disk", "accesses", "energy (J)", "spin-ups",
-                  "standby (s)", "mean gap (s)"});
-        for (std::size_t i = 0; i < r.perDisk.size(); ++i) {
-            d.row({std::to_string(i), std::to_string(r.diskAccesses[i]),
-                   fmt(r.perDisk[i].total(), 0),
-                   std::to_string(r.perDisk[i].spinUps),
-                   fmt(r.perDisk[i].timePerMode.back(), 0),
-                   fmt(r.diskMeanInterArrival[i], 2)});
-        }
-        d.print(std::cout);
+        printPerDiskReport(std::cout, r);
     }
     return 0;
 } catch (const std::exception &e) {

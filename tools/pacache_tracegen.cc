@@ -17,6 +17,7 @@
 #include "trace/synthetic.hh"
 #include "trace/trace_io.hh"
 #include "trace/workloads.hh"
+#include "util/build_info.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
 
@@ -38,6 +39,7 @@ const char kUsage[] = R"(pacache_tracegen — workload trace generator
   --disks N           synthetic disk count
   --seed N            generator seed
   --help              this text
+  --version           build information
 )";
 
 } // namespace
@@ -50,9 +52,13 @@ try {
         std::cout << kUsage;
         return 0;
     }
+    if (args.has("version")) {
+        std::cout << buildInfoBanner("pacache_tracegen") << '\n';
+        return 0;
+    }
     const std::set<std::string> known{
         "workload", "out", "duration", "requests", "write-ratio",
-        "interarrival", "pareto", "disks", "seed", "help"};
+        "interarrival", "pareto", "disks", "seed", "help", "version"};
     if (const std::string bad = args.firstUnknown(known); !bad.empty())
         PACACHE_FATAL("unknown flag --", bad, " (see --help)");
 
