@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Micro-benchmarks: trace ingestion throughput (google-benchmark) —
+ * text parsing vs the buffered .pct reader vs the zero-copy mmap
+ * .pct reader, in records per second over the same workload.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "trace/synthetic.hh"
+#include "trace/trace_io.hh"
+#include "tracefmt/pct.hh"
+#include "tracefmt/text_source.hh"
+#include "tracefmt/trace_source.hh"
+
+using namespace pacache;
+
+namespace
+{
+
+constexpr uint64_t kRecords = 200000;
+
+/** One shared workload, written once per process in both formats. */
+class TraceFiles
+{
+  public:
+    TraceFiles()
+    {
+        SyntheticParams p;
+        p.numRequests = kRecords;
+        p.numDisks = 8;
+        p.seed = 42;
+        const Trace t = generateSynthetic(p);
+
+        txt = std::string(std::tmpnam(nullptr)) + ".trace.txt";
+        pct = std::string(std::tmpnam(nullptr)) + ".trace.pct";
+        writeTraceFile(txt, t);
+        tracefmt::MemorySource src(t);
+        tracefmt::writePct(pct, src);
+    }
+
+    ~TraceFiles()
+    {
+        std::remove(txt.c_str());
+        std::remove(pct.c_str());
+    }
+
+    std::string txt;
+    std::string pct;
+};
+
+const TraceFiles &
+files()
+{
+    static TraceFiles f;
+    return f;
+}
+
+/** Drain a source to the end, defeating dead-code elimination. */
+uint64_t
+drain(tracefmt::TraceSource &src)
+{
+    TraceRecord rec;
+    uint64_t sum = 0;
+    while (src.next(rec))
+        sum += rec.block + rec.numBlocks;
+    benchmark::DoNotOptimize(sum);
+    return sum;
+}
+
+void
+BM_TextParse(benchmark::State &state)
+{
+    for (auto _ : state) {
+        tracefmt::TextSource src(files().txt);
+        drain(src);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * kRecords));
+}
+
+void
+BM_PctBuffered(benchmark::State &state)
+{
+    tracefmt::PctReadOptions opts;
+    opts.verifyChecksum = false;
+    for (auto _ : state) {
+        tracefmt::PctBufferedSource src(files().pct, opts);
+        drain(src);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * kRecords));
+}
+
+void
+BM_PctMmap(benchmark::State &state)
+{
+    tracefmt::PctReadOptions opts;
+    opts.verifyChecksum = false;
+    for (auto _ : state) {
+        tracefmt::PctMmapSource src(files().pct, opts);
+        drain(src);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * kRecords));
+}
+
+void
+BM_PctMmapVerified(benchmark::State &state)
+{
+    for (auto _ : state) {
+        tracefmt::PctMmapSource src(files().pct); // checksum pass on open
+        drain(src);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * kRecords));
+}
+
+BENCHMARK(BM_TextParse);
+BENCHMARK(BM_PctBuffered);
+BENCHMARK(BM_PctMmap);
+BENCHMARK(BM_PctMmapVerified);
+
+} // namespace
+
+BENCHMARK_MAIN();

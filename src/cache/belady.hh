@@ -31,6 +31,7 @@ class BeladyPolicy : public ReplacementPolicy
     void onRemove(const BlockId &block) override;
     BlockId evict(Time now, std::size_t idx) override;
     bool supportsPrefetch() const override { return false; }
+    bool isOffline() const override { return true; }
 
   private:
     FutureKnowledge future;

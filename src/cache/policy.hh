@@ -70,6 +70,13 @@ class ReplacementPolicy
      * their books; they override this to false.
      */
     virtual bool supportsPrefetch() const { return true; }
+
+    /**
+     * Off-line policies consume future knowledge built from the whole
+     * access stream in prepare(), so streaming drivers must
+     * materialize the trace for them; they override this to true.
+     */
+    virtual bool isOffline() const { return false; }
 };
 
 } // namespace pacache

@@ -17,6 +17,7 @@
 #include "disk/oracle_dpm.hh"
 #include "obs/observer.hh"
 #include "sim/event_queue.hh"
+#include "tracefmt/trace_source.hh"
 #include "util/logging.hh"
 
 namespace pacache
@@ -103,24 +104,24 @@ makePolicy(const ExperimentConfig &cfg, const PowerModel &pm,
     PACACHE_PANIC("unknown policy kind");
 }
 
-} // namespace
-
+/**
+ * Shared experiment body: exactly one of @p trace / @p source is
+ * non-null and picks the in-memory or streaming drive path.
+ */
 ExperimentResult
-runExperiment(const Trace &trace, const ExperimentConfig &config)
+runExperimentImpl(const Trace *trace, tracefmt::TraceSource *source,
+                  std::size_t num_disks, const ExperimentConfig &config)
 {
-    PACACHE_ASSERT(!trace.empty(), "cannot run an empty trace");
-
     const PowerModel pm(config.spec);
     const ServiceModel sm(config.spec, config.service);
 
-    const std::size_t num_disks = std::max<std::size_t>(
-        trace.numDisks(), 1);
-
-    // Infinite cache: capacity one past the total block volume.
+    // Infinite cache: capacity one past the total block volume (the
+    // streaming overload materializes for this policy).
     std::size_t capacity = config.cacheBlocks;
     if (config.policy == PolicyKind::InfiniteCache) {
+        PACACHE_ASSERT(trace, "infinite cache needs the whole trace");
         uint64_t blocks = 0;
-        for (const auto &rec : trace)
+        for (const auto &rec : *trace)
             blocks += rec.numBlocks;
         capacity = blocks + 16;
     }
@@ -186,8 +187,17 @@ runExperiment(const Trace &trace, const ExperimentConfig &config)
             log_opts);
     }
 
-    StorageSystem system(trace, eq, cache, disks, storage_cfg,
-                         classifier.get(), log_disk.get());
+    std::unique_ptr<StorageSystem> system_ptr;
+    if (trace) {
+        system_ptr = std::make_unique<StorageSystem>(
+            *trace, eq, cache, disks, storage_cfg, classifier.get(),
+            log_disk.get());
+    } else {
+        system_ptr = std::make_unique<StorageSystem>(
+            *source, eq, cache, disks, storage_cfg, classifier.get(),
+            log_disk.get());
+    }
+    StorageSystem &system = *system_ptr;
 
     if (observer) {
         const PaClassifier *cls = classifier.get();
@@ -276,6 +286,41 @@ runExperiment(const Trace &trace, const ExperimentConfig &config)
         }
     }
     return result;
+}
+
+} // namespace
+
+ExperimentResult
+runExperiment(const Trace &trace, const ExperimentConfig &config)
+{
+    PACACHE_ASSERT(!trace.empty(), "cannot run an empty trace");
+    return runExperimentImpl(
+        &trace, nullptr, std::max<std::size_t>(trace.numDisks(), 1),
+        config);
+}
+
+ExperimentResult
+runExperiment(tracefmt::TraceSource &source,
+              const ExperimentConfig &config)
+{
+    // Off-line future knowledge and the infinite-cache sizing rule
+    // both need the whole access stream before the run starts.
+    if (config.policy == PolicyKind::Belady ||
+        config.policy == PolicyKind::OPG ||
+        config.policy == PolicyKind::InfiniteCache) {
+        const Trace trace = tracefmt::readAll(source);
+        return runExperiment(trace, config);
+    }
+
+    // Disk-array sizing: take the header hint when the format has
+    // one (.pct, memory), else a constant-memory pre-scan pass.
+    uint64_t num_disks = source.numDisksHint();
+    if (num_disks == tracefmt::TraceSource::kUnknown)
+        num_disks = tracefmt::scan(source).numDisks;
+    return runExperimentImpl(
+        nullptr, &source,
+        std::max<std::size_t>(static_cast<std::size_t>(num_disks), 1),
+        config);
 }
 
 } // namespace pacache

@@ -24,6 +24,11 @@
 namespace pacache
 {
 
+namespace tracefmt
+{
+class TraceSource;
+}
+
 /** Replacement policies selectable by the runner. */
 enum class PolicyKind
 {
@@ -93,6 +98,17 @@ const char *policyKindName(PolicyKind kind);
 
 /** Run one experiment over @p trace. */
 ExperimentResult runExperiment(const Trace &trace,
+                               const ExperimentConfig &config);
+
+/**
+ * Run one experiment by streaming records from @p source (rewinding
+ * it first if a pre-scan is needed), so traces larger than RAM can
+ * drive the system. Off-line policies (Belady, OPG) and the infinite
+ * cache need the whole access stream up front; for those the source
+ * is materialized transparently. Statistics are identical to the
+ * in-memory path on the same workload.
+ */
+ExperimentResult runExperiment(tracefmt::TraceSource &source,
                                const ExperimentConfig &config);
 
 } // namespace pacache

@@ -76,6 +76,7 @@ class OpgPolicy : public ReplacementPolicy
     void onRemove(const BlockId &block) override;
     BlockId evict(Time now, std::size_t idx) override;
     bool supportsPrefetch() const override { return false; }
+    bool isOffline() const override { return true; }
 
     /** Energy penalty currently assigned to a resident block. */
     Energy penaltyOf(const BlockId &block) const;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/observer.hh"
+#include "tracefmt/trace_source.hh"
 #include "util/logging.hh"
 
 namespace pacache
@@ -15,6 +16,27 @@ StorageSystem::StorageSystem(const Trace &trace_, EventQueue &eq,
     : trace(&trace_), queue(eq), cache(cache_), disks(disks_),
       cfg(config), cls(classifier), logDisk(log_disk),
       perDiskAccesses(disks_.numDisks(), 0)
+{
+    init();
+}
+
+StorageSystem::StorageSystem(tracefmt::TraceSource &source_,
+                             EventQueue &eq, Cache &cache_,
+                             DiskArray &disks_,
+                             const StorageConfig &config,
+                             PaClassifier *classifier, Disk *log_disk)
+    : trace(nullptr), source(&source_), queue(eq), cache(cache_),
+      disks(disks_), cfg(config), cls(classifier), logDisk(log_disk),
+      perDiskAccesses(disks_.numDisks(), 0)
+{
+    PACACHE_ASSERT(!cache.policy().isOffline(),
+                   "streaming runs need an on-line policy; materialize "
+                   "the trace for ", cache.policy().name());
+    init();
+}
+
+void
+StorageSystem::init()
 {
     if (cfg.writePolicy == WritePolicy::WriteThroughDeferredUpdate) {
         PACACHE_ASSERT(logDisk != nullptr, "WTDU needs a log device");
@@ -42,7 +64,15 @@ StorageSystem::run()
 {
     PACACHE_ASSERT(!ran, "StorageSystem::run called twice");
     ran = true;
+    if (source)
+        runStreaming();
+    else
+        runMaterialized();
+}
 
+void
+StorageSystem::runMaterialized()
+{
     const std::vector<BlockAccess> accesses = expandTrace(*trace);
     cache.policy().prepare(accesses);
 
@@ -57,6 +87,48 @@ StorageSystem::run()
             observer->requestProcessed(accesses[i].time);
     }
 
+    finishRun(trace->endTime());
+}
+
+void
+StorageSystem::runStreaming()
+{
+    // On-line policies ignore prepare(); guaranteed by the ctor.
+    obs::SimObserver *observer = cfg.observer;
+    if (observer) {
+        const uint64_t hint = source->sizeHint();
+        observer->runBegin(
+            hint == tracefmt::TraceSource::kUnknown
+                ? 0
+                : static_cast<std::size_t>(hint),
+            std::max<Time>(source->endTimeHint(), 0.0));
+    }
+
+    TraceRecord rec;
+    std::size_t idx = 0;
+    std::size_t records = 0;
+    Time end_time = 0;
+    while (source->next(rec)) {
+        for (uint32_t b = 0; b < rec.numBlocks; ++b) {
+            const BlockAccess acc{rec.time,
+                                  BlockId{rec.disk, rec.block + b},
+                                  rec.write, records};
+            queue.runUntil(acc.time);
+            processAccess(acc, idx++);
+            if (observer)
+                observer->requestProcessed(acc.time);
+        }
+        end_time = rec.time;
+        ++records;
+    }
+    PACACHE_ASSERT(records > 0, "cannot run an empty trace");
+
+    finishRun(end_time);
+}
+
+void
+StorageSystem::finishRun(Time trace_end)
+{
     // Drain in-flight services, spin-ups, and demotion chains, then
     // close every disk's accounting at a horizon that depends only on
     // the trace and the power model — NOT on run dynamics — so that
@@ -66,12 +138,12 @@ StorageSystem::run()
     const Time tail =
         (pm.thresholds().empty() ? 0.0 : pm.thresholds().back()) +
         pm.mode(pm.deepestMode()).transitionTime() + 10.0;
-    const Time horizon = std::max(trace->endTime() + tail, queue.now());
+    const Time horizon = std::max(trace_end + tail, queue.now());
     disks.finalize(horizon);
     if (logDisk)
         logDisk->finalize(horizon);
-    if (observer)
-        observer->runEnd(horizon);
+    if (cfg.observer)
+        cfg.observer->runEnd(horizon);
 }
 
 void

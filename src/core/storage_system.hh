@@ -33,6 +33,11 @@ namespace obs
 class SimObserver;
 }
 
+namespace tracefmt
+{
+class TraceSource;
+}
+
 /** Configuration for a StorageSystem run. */
 struct StorageConfig
 {
@@ -83,6 +88,19 @@ class StorageSystem
                   Disk *log_disk = nullptr);
 
     /**
+     * Streaming variant: pull records from @p source one at a time so
+     * traces larger than RAM can drive the simulation. Requires an
+     * on-line replacement policy (off-line ones need the whole access
+     * stream up front — materialize for them); every record's disk id
+     * must be < disks.numDisks().
+     */
+    StorageSystem(tracefmt::TraceSource &source, EventQueue &eq,
+                  Cache &cache, DiskArray &disks,
+                  const StorageConfig &config,
+                  PaClassifier *classifier = nullptr,
+                  Disk *log_disk = nullptr);
+
+    /**
      * Drive the whole trace, drain the event queue, and finalize all
      * disks. Idempotent guard: panics on a second call.
      */
@@ -114,6 +132,13 @@ class StorageSystem
     const WtduLog *wtduLog() const { return log.get(); }
 
   private:
+    void init();
+    void runMaterialized();
+    void runStreaming();
+
+    /** Drain the queue and finalize accounting at the fixed horizon. */
+    void finishRun(Time trace_end);
+
     void processAccess(const BlockAccess &acc, std::size_t idx);
     void handleRead(const BlockAccess &acc, std::size_t idx);
     void handleWrite(const BlockAccess &acc, std::size_t idx);
@@ -133,7 +158,8 @@ class StorageSystem
     /** WTDU: flush logged blocks and retire the region. */
     void flushLogged(DiskId disk, Time now);
 
-    const Trace *trace;
+    const Trace *trace;                      //!< null when streaming
+    tracefmt::TraceSource *source = nullptr; //!< null when in-memory
     EventQueue &queue;
     Cache &cache;
     DiskArray &disks;

@@ -2,9 +2,8 @@
 
 #include <cinttypes>
 #include <cstdio>
-#include <sstream>
 
-#include "util/logging.hh"
+#include "tracefmt/text_source.hh"
 
 namespace pacache
 {
@@ -22,15 +21,11 @@ toString(const TraceRecord &rec)
 TraceRecord
 parseRecord(const std::string &line)
 {
-    std::istringstream is(line);
-    TraceRecord rec;
-    char rw = 0;
-    if (!(is >> rec.time >> rec.disk >> rec.block >> rec.numBlocks >> rw))
-        PACACHE_FATAL("malformed trace record: '", line, "'");
-    if (rw != 'R' && rw != 'W' && rw != 'r' && rw != 'w')
-        PACACHE_FATAL("bad R/W flag in trace record: '", line, "'");
-    rec.write = (rw == 'W' || rw == 'w');
-    return rec;
+    // Line 0 marks the input as not line-addressable; errors read
+    // "trace record: <problem> near '<token>'".
+    return tracefmt::parseTextRecord(line,
+                                     tracefmt::ParseCursor{
+                                         "trace record", 0});
 }
 
 } // namespace pacache

@@ -14,6 +14,8 @@ Trace::Trace(std::vector<TraceRecord> recs) : records(std::move(recs))
                                       return a.time < b.time;
                                   }),
                    "trace records must be time-ordered");
+    for (const auto &r : records)
+        nDisks = std::max<std::size_t>(nDisks, r.disk + 1);
 }
 
 void
@@ -21,16 +23,8 @@ Trace::append(TraceRecord rec)
 {
     PACACHE_ASSERT(records.empty() || rec.time >= records.back().time,
                    "trace records must be appended in time order");
+    nDisks = std::max<std::size_t>(nDisks, rec.disk + 1);
     records.push_back(rec);
-}
-
-std::size_t
-Trace::numDisks() const
-{
-    std::size_t n = 0;
-    for (const auto &r : records)
-        n = std::max<std::size_t>(n, r.disk + 1);
-    return n;
 }
 
 } // namespace pacache

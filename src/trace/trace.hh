@@ -41,12 +41,13 @@ class Trace
     }
 
     /** Largest disk id referenced, plus one (0 when empty). */
-    std::size_t numDisks() const;
+    std::size_t numDisks() const { return nDisks; }
 
     const std::vector<TraceRecord> &data() const { return records; }
 
   private:
     std::vector<TraceRecord> records;
+    std::size_t nDisks = 0; //!< cached max disk id + 1
 };
 
 } // namespace pacache

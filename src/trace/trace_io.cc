@@ -1,33 +1,30 @@
 #include "trace/trace_io.hh"
 
 #include <fstream>
-#include <sstream>
 
+#include "tracefmt/text_source.hh"
+#include "tracefmt/trace_source.hh"
 #include "util/logging.hh"
 
 namespace pacache
 {
 
+// Reading goes through the tracefmt streaming parser so malformed or
+// out-of-order lines are reported with <name>:<line> context and the
+// offending token, and so the text format has exactly one parser.
+
 Trace
-readTrace(std::istream &is)
+readTrace(std::istream &is, const std::string &name)
 {
-    std::vector<TraceRecord> recs;
-    std::string line;
-    while (std::getline(is, line)) {
-        if (line.empty() || line[0] == '#')
-            continue;
-        recs.push_back(parseRecord(line));
-    }
-    return Trace(std::move(recs));
+    tracefmt::TextSource src(is, name);
+    return tracefmt::readAll(src);
 }
 
 Trace
 readTraceFile(const std::string &path)
 {
-    std::ifstream in(path);
-    if (!in)
-        PACACHE_FATAL("cannot open trace file '", path, "'");
-    return readTrace(in);
+    tracefmt::TextSource src(path);
+    return tracefmt::readAll(src);
 }
 
 void

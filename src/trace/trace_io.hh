@@ -16,10 +16,13 @@
 namespace pacache
 {
 
-/** Read a trace from a stream. */
-Trace readTrace(std::istream &is);
+/**
+ * Read a trace from a stream. Malformed and out-of-order lines are
+ * fatal with "<name>:<line>" context and the offending token.
+ */
+Trace readTrace(std::istream &is, const std::string &name = "<stream>");
 
-/** Read a trace from a file (fatal on open failure). */
+/** Read a trace from a file (fatal on open failure / bad lines). */
 Trace readTraceFile(const std::string &path);
 
 /** Write a trace to a stream. */

@@ -1,0 +1,152 @@
+#include "tracefmt/detect.hh"
+
+#include <cctype>
+#include <cstring>
+#include <fstream>
+
+#include "tracefmt/pct.hh"
+#include "tracefmt/text_source.hh"
+#include "util/logging.hh"
+
+namespace pacache::tracefmt
+{
+
+namespace
+{
+
+bool
+isSingleRwChar(std::string_view tok)
+{
+    return tok.size() == 1 && (tok[0] == 'R' || tok[0] == 'r' ||
+                               tok[0] == 'W' || tok[0] == 'w');
+}
+
+bool
+isReadWriteWord(std::string_view tok)
+{
+    return tok.size() >= 4 &&
+           (std::tolower(static_cast<unsigned char>(tok[0])) == 'r' ||
+            std::tolower(static_cast<unsigned char>(tok[0])) == 'w');
+}
+
+bool
+looksLikeDevice(std::string_view tok)
+{
+    const std::size_t comma = tok.find(',');
+    if (comma == std::string_view::npos || comma == 0 ||
+        comma + 1 >= tok.size())
+        return false;
+    for (std::size_t i = 0; i < tok.size(); ++i) {
+        if (i != comma && !std::isdigit(static_cast<unsigned char>(tok[i])))
+            return false;
+    }
+    return true;
+}
+
+/** Classify one meaningful text line, or Auto when undecidable. */
+TraceFormat
+classifyLine(std::string_view line)
+{
+    const std::vector<std::string_view> tok = splitTokens(line);
+    if (!tok.empty() && looksLikeDevice(tok[0]) && tok.size() >= 7)
+        return TraceFormat::Blktrace;
+    if (line.find(',') != std::string_view::npos) {
+        const std::vector<std::string_view> f = splitFields(line, ',');
+        if (f.size() >= 6 && isReadWriteWord(f[3]))
+            return TraceFormat::Msr;
+        if (f.size() >= 5 && isSingleRwChar(f[3]))
+            return TraceFormat::Spc;
+        return TraceFormat::Auto;
+    }
+    if (tok.size() == 5 && isSingleRwChar(tok[4]))
+        return TraceFormat::Text;
+    return TraceFormat::Auto;
+}
+
+} // namespace
+
+const char *
+traceFormatName(TraceFormat fmt)
+{
+    switch (fmt) {
+      case TraceFormat::Auto: return "auto";
+      case TraceFormat::Text: return "text";
+      case TraceFormat::Spc: return "spc";
+      case TraceFormat::Msr: return "msr";
+      case TraceFormat::Blktrace: return "blktrace";
+      case TraceFormat::Pct: return "pct";
+    }
+    PACACHE_PANIC("unknown trace format");
+}
+
+TraceFormat
+parseTraceFormat(const std::string &name)
+{
+    if (name == "auto") return TraceFormat::Auto;
+    if (name == "text") return TraceFormat::Text;
+    if (name == "spc") return TraceFormat::Spc;
+    if (name == "msr") return TraceFormat::Msr;
+    if (name == "blktrace") return TraceFormat::Blktrace;
+    if (name == "pct") return TraceFormat::Pct;
+    PACACHE_FATAL("unknown trace format '", name,
+                  "' (auto|text|spc|msr|blktrace|pct)");
+}
+
+TraceFormat
+detectTraceFormat(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        PACACHE_FATAL("cannot open trace file '", path, "'");
+
+    char magic[sizeof(kPctMagic)] = {};
+    in.read(magic, sizeof(magic));
+    if (in.gcount() == sizeof(magic) &&
+        std::memcmp(magic, kPctMagic, sizeof(magic)) == 0)
+        return TraceFormat::Pct;
+
+    in.clear();
+    in.seekg(0);
+    // Classify the first meaningful line; a handful of follow-up
+    // lines break ties for files that open with unusual records.
+    std::string line;
+    for (int scanned = 0; scanned < 16 && std::getline(in, line);
+         ++scanned) {
+        std::string_view sv(line);
+        if (!sv.empty() && sv.back() == '\r')
+            sv.remove_suffix(1);
+        if (sv.empty() || sv.front() == '#')
+            continue;
+        const TraceFormat fmt = classifyLine(sv);
+        if (fmt != TraceFormat::Auto)
+            return fmt;
+    }
+    PACACHE_FATAL("cannot auto-detect the trace format of '", path,
+                  "'; pass an explicit format (text|spc|msr|blktrace|"
+                  "pct)");
+}
+
+std::unique_ptr<TraceSource>
+openTraceSource(const std::string &path, TraceFormat fmt,
+                const IngestOptions &opts)
+{
+    if (fmt == TraceFormat::Auto)
+        fmt = detectTraceFormat(path);
+    switch (fmt) {
+      case TraceFormat::Text:
+        return std::make_unique<TextSource>(path);
+      case TraceFormat::Spc:
+        return std::make_unique<SpcSource>(path, opts);
+      case TraceFormat::Msr:
+        return std::make_unique<MsrSource>(path, opts);
+      case TraceFormat::Blktrace:
+        return std::make_unique<BlktraceSource>(path, opts);
+      case TraceFormat::Pct:
+        return std::make_unique<PctMmapSource>(path);
+      case TraceFormat::Auto:
+        break;
+    }
+    PACACHE_PANIC("unreachable trace format");
+}
+
+} // namespace pacache::tracefmt

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Trace format identification and the one-call entry point of the
+ * ingestion subsystem: openTraceSource() turns a path (plus an
+ * optional explicit format) into a streaming TraceSource, sniffing
+ * the .pct magic and the first meaningful text line when asked to
+ * auto-detect.
+ */
+
+#ifndef PACACHE_TRACEFMT_DETECT_HH
+#define PACACHE_TRACEFMT_DETECT_HH
+
+#include <memory>
+#include <string>
+
+#include "tracefmt/formats.hh"
+#include "tracefmt/trace_source.hh"
+
+namespace pacache::tracefmt
+{
+
+/** Supported on-disk trace formats. */
+enum class TraceFormat
+{
+    Auto,     //!< sniff magic / first line
+    Text,     //!< native "time disk block count R|W"
+    Spc,      //!< SPC-1 / UMass CSV
+    Msr,      //!< MSR-Cambridge CSV
+    Blktrace, //!< blkparse text output
+    Pct,      //!< pacache binary
+};
+
+/** Display name ("auto", "text", "spc", ...). */
+const char *traceFormatName(TraceFormat fmt);
+
+/** Parse a format name (fatal on an unknown one). */
+TraceFormat parseTraceFormat(const std::string &name);
+
+/** Identify the format of @p path (never Auto; fatal if unknowable). */
+TraceFormat detectTraceFormat(const std::string &path);
+
+/**
+ * Open a streaming source for @p path. Auto format sniffs the file;
+ * .pct files get the zero-copy mmap reader. @p opts applies to the
+ * foreign text formats (SPC / MSR / blktrace).
+ */
+std::unique_ptr<TraceSource>
+openTraceSource(const std::string &path,
+                TraceFormat fmt = TraceFormat::Auto,
+                const IngestOptions &opts = {});
+
+} // namespace pacache::tracefmt
+
+#endif // PACACHE_TRACEFMT_DETECT_HH

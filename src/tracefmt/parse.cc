@@ -1,0 +1,107 @@
+#include "tracefmt/parse.hh"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace pacache::tracefmt
+{
+
+namespace
+{
+
+std::string_view
+trim(std::string_view s)
+{
+    while (!s.empty() &&
+           (s.front() == ' ' || s.front() == '\t' || s.front() == '\r'))
+        s.remove_prefix(1);
+    while (!s.empty() &&
+           (s.back() == ' ' || s.back() == '\t' || s.back() == '\r'))
+        s.remove_suffix(1);
+    return s;
+}
+
+} // namespace
+
+void
+parseFail(const ParseCursor &at, const std::string &msg,
+          std::string_view token)
+{
+    std::string where = at.source;
+    if (at.line > 0)
+        where += ":" + std::to_string(at.line);
+    if (token.empty())
+        PACACHE_FATAL(where, ": ", msg);
+    PACACHE_FATAL(where, ": ", msg, " near '", std::string(token), "'");
+}
+
+std::vector<std::string_view>
+splitFields(std::string_view line, char sep)
+{
+    std::vector<std::string_view> out;
+    std::size_t start = 0;
+    while (true) {
+        const std::size_t pos = line.find(sep, start);
+        if (pos == std::string_view::npos) {
+            out.push_back(trim(line.substr(start)));
+            return out;
+        }
+        out.push_back(trim(line.substr(start, pos - start)));
+        start = pos + 1;
+    }
+}
+
+std::vector<std::string_view>
+splitTokens(std::string_view line)
+{
+    std::vector<std::string_view> out;
+    std::size_t i = 0;
+    while (i < line.size()) {
+        while (i < line.size() &&
+               (line[i] == ' ' || line[i] == '\t' || line[i] == '\r'))
+            ++i;
+        std::size_t j = i;
+        while (j < line.size() && line[j] != ' ' && line[j] != '\t' &&
+               line[j] != '\r')
+            ++j;
+        if (j > i)
+            out.push_back(line.substr(i, j - i));
+        i = j;
+    }
+    return out;
+}
+
+uint64_t
+parseU64Field(std::string_view tok, const ParseCursor &at, const char *what)
+{
+    uint64_t value = 0;
+    const auto [ptr, ec] =
+        std::from_chars(tok.data(), tok.data() + tok.size(), value);
+    if (tok.empty() || ec != std::errc{} || ptr != tok.data() + tok.size())
+        parseFail(at, std::string("malformed ") + what, tok);
+    return value;
+}
+
+double
+parseDoubleField(std::string_view tok, const ParseCursor &at,
+                 const char *what)
+{
+    // strtod needs NUL termination; trace fields are short, so a
+    // bounded stack copy avoids allocation on the parse hot path.
+    char buf[64];
+    if (tok.empty() || tok.size() >= sizeof(buf))
+        parseFail(at, std::string("malformed ") + what, tok);
+    tok.copy(buf, tok.size());
+    buf[tok.size()] = '\0';
+    char *end = nullptr;
+    const double value = std::strtod(buf, &end);
+    if (end != buf + tok.size() || !std::isfinite(value))
+        parseFail(at, std::string("malformed ") + what, tok);
+    return value;
+}
+
+} // namespace pacache::tracefmt

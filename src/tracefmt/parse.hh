@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Shared error reporting and field parsing for trace parsers.
+ *
+ * Every malformed record is reported as "<source>:<line>: <message>
+ * near '<token>'" so a bad line in a multi-gigabyte trace can be
+ * located and inspected, instead of a context-free fatal.
+ */
+
+#ifndef PACACHE_TRACEFMT_PARSE_HH
+#define PACACHE_TRACEFMT_PARSE_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pacache::tracefmt
+{
+
+/** Where a parser currently is: input name plus 1-based line. */
+struct ParseCursor
+{
+    std::string source = "<input>";
+    uint64_t line = 0; //!< 0 when the input is not line-addressable
+};
+
+/**
+ * Report a malformed record and exit via fatal(): the message carries
+ * @p at rendered as "source:line" (just "source" when line is 0) and,
+ * when given, the offending @p token.
+ */
+[[noreturn]] void parseFail(const ParseCursor &at, const std::string &msg,
+                            std::string_view token = {});
+
+/** Split on @p sep, trimming spaces/tabs/CR around each field. */
+std::vector<std::string_view> splitFields(std::string_view line, char sep);
+
+/** Split on runs of spaces/tabs. */
+std::vector<std::string_view> splitTokens(std::string_view line);
+
+/** Parse an unsigned integer field; parseFail() on any malformation. */
+uint64_t parseU64Field(std::string_view tok, const ParseCursor &at,
+                       const char *what);
+
+/** Parse a finite floating-point field; parseFail() on malformation. */
+double parseDoubleField(std::string_view tok, const ParseCursor &at,
+                        const char *what);
+
+} // namespace pacache::tracefmt
+
+#endif // PACACHE_TRACEFMT_PARSE_HH

@@ -1,0 +1,389 @@
+#include "tracefmt/pct.hh"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace pacache::tracefmt
+{
+
+namespace
+{
+
+constexpr uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+/** Writer buffer size: 64 Ki records per flush. */
+constexpr std::size_t kWriteBufRecords = 1 << 16;
+/** Buffered reader chunk: records per read(). */
+constexpr std::size_t kReadBufRecords = 1 << 14;
+
+uint64_t
+fnv1a(uint64_t h, const unsigned char *p, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+// Shift-based little-endian accessors: endian-agnostic, and on LE
+// hosts compilers collapse them to single loads/stores.
+void
+putLe32(unsigned char *p, uint32_t v)
+{
+    p[0] = static_cast<unsigned char>(v);
+    p[1] = static_cast<unsigned char>(v >> 8);
+    p[2] = static_cast<unsigned char>(v >> 16);
+    p[3] = static_cast<unsigned char>(v >> 24);
+}
+
+void
+putLe64(unsigned char *p, uint64_t v)
+{
+    putLe32(p, static_cast<uint32_t>(v));
+    putLe32(p + 4, static_cast<uint32_t>(v >> 32));
+}
+
+uint32_t
+getLe32(const unsigned char *p)
+{
+    return static_cast<uint32_t>(p[0]) |
+           (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+}
+
+uint64_t
+getLe64(const unsigned char *p)
+{
+    return static_cast<uint64_t>(getLe32(p)) |
+           (static_cast<uint64_t>(getLe32(p + 4)) << 32);
+}
+
+void
+encodeRecord(unsigned char *p, const TraceRecord &rec)
+{
+    putLe64(p, std::bit_cast<uint64_t>(rec.time));
+    putLe64(p + 8, rec.block);
+    putLe32(p + 16, rec.disk);
+    putLe32(p + 20, (rec.numBlocks & 0x7fffffffu) |
+                        (rec.write ? 0x80000000u : 0u));
+}
+
+void
+decodeRecord(const unsigned char *p, TraceRecord &rec,
+             const std::string &path, uint64_t index, Time last_time)
+{
+    rec.time = std::bit_cast<Time>(getLe64(p));
+    rec.block = getLe64(p + 8);
+    rec.disk = getLe32(p + 16);
+    const uint32_t len_flags = getLe32(p + 20);
+    rec.write = (len_flags & 0x80000000u) != 0;
+    rec.numBlocks = len_flags & 0x7fffffffu;
+    if (rec.numBlocks == 0 || !(rec.time >= last_time)) {
+        PACACHE_FATAL("corrupt .pct record ", index, " in '", path,
+                      "' (zero length or out-of-order time)");
+    }
+}
+
+void
+encodeHeader(unsigned char *p, const PctInfo &info)
+{
+    std::memcpy(p, kPctMagic, sizeof(kPctMagic));
+    putLe32(p + 8, info.version);
+    putLe32(p + 12, info.numDisks);
+    putLe64(p + 16, info.records);
+    putLe64(p + 24, info.checksum);
+    putLe64(p + 32, std::bit_cast<uint64_t>(info.endTime));
+}
+
+PctInfo
+decodeHeader(const unsigned char *p, const std::string &path,
+             uint64_t file_size)
+{
+    if (std::memcmp(p, kPctMagic, sizeof(kPctMagic)) != 0)
+        PACACHE_FATAL("'", path, "' is not a .pct trace (bad magic)");
+    PctInfo info;
+    info.version = getLe32(p + 8);
+    if (info.version != kPctVersion) {
+        PACACHE_FATAL("'", path, "' has unsupported .pct version ",
+                      info.version, " (expected ", kPctVersion, ")");
+    }
+    info.numDisks = getLe32(p + 12);
+    info.records = getLe64(p + 16);
+    info.checksum = getLe64(p + 24);
+    info.endTime = std::bit_cast<Time>(getLe64(p + 32));
+    const uint64_t want =
+        kPctHeaderBytes + info.records * kPctRecordBytes;
+    if (file_size != want) {
+        PACACHE_FATAL("'", path, "' is truncated or oversized: header "
+                      "promises ", info.records, " records (",
+                      want, " bytes), file has ", file_size, " bytes");
+    }
+    return info;
+}
+
+uint64_t
+fileSize(std::ifstream &in, const std::string &path)
+{
+    in.seekg(0, std::ios::end);
+    const std::streamoff size = in.tellg();
+    if (size < 0)
+        PACACHE_FATAL("cannot determine size of '", path, "'");
+    in.seekg(0);
+    return static_cast<uint64_t>(size);
+}
+
+} // namespace
+
+PctWriter::PctWriter(const std::string &path_)
+    : path(path_), out(path_, std::ios::binary | std::ios::trunc),
+      fnv(kFnvOffset)
+{
+    if (!out)
+        PACACHE_FATAL("cannot open '", path, "' for writing");
+    buf.reserve(kWriteBufRecords * kPctRecordBytes);
+    // Header placeholder; finish() seeks back and fills it in.
+    const unsigned char zeros[kPctHeaderBytes] = {};
+    out.write(reinterpret_cast<const char *>(zeros), kPctHeaderBytes);
+}
+
+PctWriter::~PctWriter()
+{
+    if (finished)
+        return;
+    try {
+        finish();
+    } catch (const std::exception &e) {
+        PACACHE_WARN("PctWriter('", path, "'): ", e.what());
+    }
+}
+
+void
+PctWriter::append(const TraceRecord &rec)
+{
+    PACACHE_ASSERT(!finished, "append after finish");
+    PACACHE_ASSERT(rec.numBlocks > 0 && rec.numBlocks <= 0x7fffffffu,
+                   "record length out of range");
+    PACACHE_ASSERT(count == 0 || rec.time >= lastTime,
+                   "records must be appended in time order");
+    const std::size_t off = buf.size();
+    buf.resize(off + kPctRecordBytes);
+    encodeRecord(buf.data() + off, rec);
+    fnv = fnv1a(fnv, buf.data() + off, kPctRecordBytes);
+    ++count;
+    lastTime = rec.time;
+    numDisks = std::max<uint32_t>(numDisks, rec.disk + 1);
+    if (buf.size() >= kWriteBufRecords * kPctRecordBytes)
+        flushBuffer();
+}
+
+void
+PctWriter::flushBuffer()
+{
+    if (buf.empty())
+        return;
+    out.write(reinterpret_cast<const char *>(buf.data()),
+              static_cast<std::streamsize>(buf.size()));
+    buf.clear();
+}
+
+PctInfo
+PctWriter::finish()
+{
+    PACACHE_ASSERT(!finished, "finish called twice");
+    finished = true;
+    flushBuffer();
+
+    PctInfo info;
+    info.numDisks = numDisks;
+    info.records = count;
+    info.checksum = fnv;
+    info.endTime = lastTime;
+
+    unsigned char header[kPctHeaderBytes];
+    encodeHeader(header, info);
+    out.seekp(0);
+    out.write(reinterpret_cast<const char *>(header), kPctHeaderBytes);
+    out.flush();
+    if (!out)
+        PACACHE_FATAL("write error on '", path, "'");
+    out.close();
+    return info;
+}
+
+PctInfo
+writePct(const std::string &path, TraceSource &src)
+{
+    PctWriter writer(path);
+    TraceRecord rec;
+    while (src.next(rec))
+        writer.append(rec);
+    return writer.finish();
+}
+
+PctInfo
+readPctInfo(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        PACACHE_FATAL("cannot open trace file '", path, "'");
+    const uint64_t size = fileSize(in, path);
+    if (size < kPctHeaderBytes)
+        PACACHE_FATAL("'", path, "' is too small to be a .pct trace");
+    unsigned char header[kPctHeaderBytes];
+    in.read(reinterpret_cast<char *>(header), kPctHeaderBytes);
+    if (!in)
+        PACACHE_FATAL("read error on '", path, "'");
+    return decodeHeader(header, path, size);
+}
+
+PctBufferedSource::PctBufferedSource(const std::string &path_,
+                                     PctReadOptions opts)
+    : path(path_), in(path_, std::ios::binary)
+{
+    if (!in)
+        PACACHE_FATAL("cannot open trace file '", path, "'");
+    const uint64_t size = fileSize(in, path);
+    if (size < kPctHeaderBytes)
+        PACACHE_FATAL("'", path, "' is too small to be a .pct trace");
+    unsigned char header[kPctHeaderBytes];
+    in.read(reinterpret_cast<char *>(header), kPctHeaderBytes);
+    if (!in)
+        PACACHE_FATAL("read error on '", path, "'");
+    info = decodeHeader(header, path, size);
+    buf.resize(kReadBufRecords * kPctRecordBytes);
+
+    if (opts.verifyChecksum) {
+        uint64_t h = kFnvOffset;
+        uint64_t left = info.records * kPctRecordBytes;
+        while (left > 0) {
+            const std::size_t chunk = static_cast<std::size_t>(
+                std::min<uint64_t>(left, buf.size()));
+            in.read(reinterpret_cast<char *>(buf.data()),
+                    static_cast<std::streamsize>(chunk));
+            if (!in)
+                PACACHE_FATAL("read error on '", path, "'");
+            h = fnv1a(h, buf.data(), chunk);
+            left -= chunk;
+        }
+        if (h != info.checksum) {
+            PACACHE_FATAL("checksum mismatch in '", path,
+                          "': file is corrupt");
+        }
+        in.clear();
+        in.seekg(kPctHeaderBytes);
+    }
+}
+
+void
+PctBufferedSource::refill()
+{
+    const uint64_t left = info.records - consumed;
+    bufCount = static_cast<std::size_t>(
+        std::min<uint64_t>(left, kReadBufRecords));
+    bufPos = 0;
+    if (bufCount == 0)
+        return;
+    in.read(reinterpret_cast<char *>(buf.data()),
+            static_cast<std::streamsize>(bufCount * kPctRecordBytes));
+    if (!in)
+        PACACHE_FATAL("read error on '", path, "'");
+}
+
+bool
+PctBufferedSource::next(TraceRecord &out)
+{
+    if (bufPos >= bufCount) {
+        if (consumed >= info.records)
+            return false;
+        refill();
+        if (bufCount == 0)
+            return false;
+    }
+    decodeRecord(buf.data() + bufPos * kPctRecordBytes, out, path,
+                 consumed, lastTime);
+    lastTime = out.time;
+    ++bufPos;
+    ++consumed;
+    return true;
+}
+
+void
+PctBufferedSource::rewind()
+{
+    in.clear();
+    in.seekg(kPctHeaderBytes);
+    bufPos = bufCount = 0;
+    consumed = 0;
+    lastTime = 0;
+}
+
+PctMmapSource::PctMmapSource(const std::string &path_, PctReadOptions opts)
+    : path(path_)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        PACACHE_FATAL("cannot open trace file '", path, "'");
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+        ::close(fd);
+        PACACHE_FATAL("cannot stat '", path, "'");
+    }
+    mapLen = static_cast<std::size_t>(st.st_size);
+    if (mapLen < kPctHeaderBytes) {
+        ::close(fd);
+        PACACHE_FATAL("'", path, "' is too small to be a .pct trace");
+    }
+    void *map = ::mmap(nullptr, mapLen, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd); // the mapping keeps its own reference
+    if (map == MAP_FAILED)
+        PACACHE_FATAL("cannot mmap '", path, "'");
+    base = static_cast<const unsigned char *>(map);
+    ::madvise(map, mapLen, MADV_SEQUENTIAL);
+
+    info = decodeHeader(base, path, mapLen);
+    records = base + kPctHeaderBytes;
+    if (opts.verifyChecksum &&
+        fnv1a(kFnvOffset, records, info.records * kPctRecordBytes) !=
+            info.checksum) {
+        PACACHE_FATAL("checksum mismatch in '", path,
+                      "': file is corrupt");
+    }
+}
+
+PctMmapSource::~PctMmapSource()
+{
+    if (base)
+        ::munmap(const_cast<unsigned char *>(base), mapLen);
+}
+
+bool
+PctMmapSource::next(TraceRecord &out)
+{
+    if (pos >= info.records)
+        return false;
+    decodeRecord(records + pos * kPctRecordBytes, out, path, pos,
+                 lastTime);
+    lastTime = out.time;
+    ++pos;
+    return true;
+}
+
+void
+PctMmapSource::rewind()
+{
+    pos = 0;
+    lastTime = 0;
+}
+
+} // namespace pacache::tracefmt

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * .pct — the pacache compact binary trace format.
+ *
+ * Layout (everything little-endian):
+ *
+ *     offset  size  field
+ *     0       8     magic "PCTRACE1"
+ *     8       4     version (currently 1)
+ *     12      4     numDisks (max disk id + 1)
+ *     16      8     recordCount
+ *     24      8     FNV-1a64 checksum of the record bytes
+ *     32      8     endTime (IEEE-754 double, seconds)
+ *     40      24*n  records
+ *
+ * Record (24 bytes): f64 time, u64 block, u32 disk, u32 lenFlags
+ * where lenFlags bit 31 is the write flag and bits 0..30 the block
+ * count. Fixed-width records make the file mmap-able: the zero-copy
+ * reader decodes fields straight out of the mapping with no parsing,
+ * no allocation and no read() traffic.
+ */
+
+#ifndef PACACHE_TRACEFMT_PCT_HH
+#define PACACHE_TRACEFMT_PCT_HH
+
+#include <cstddef>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "tracefmt/trace_source.hh"
+
+namespace pacache::tracefmt
+{
+
+inline constexpr char kPctMagic[8] = {'P', 'C', 'T', 'R',
+                                      'A', 'C', 'E', '1'};
+inline constexpr uint32_t kPctVersion = 1;
+inline constexpr std::size_t kPctHeaderBytes = 40;
+inline constexpr std::size_t kPctRecordBytes = 24;
+
+/** Decoded .pct header. */
+struct PctInfo
+{
+    uint32_t version = kPctVersion;
+    uint32_t numDisks = 0;
+    uint64_t records = 0;
+    uint64_t checksum = 0;
+    Time endTime = 0;
+};
+
+/** Buffered .pct writer; finish() seeks back and patches the header. */
+class PctWriter
+{
+  public:
+    /** Create/truncate @p path (fatal on failure). */
+    explicit PctWriter(const std::string &path);
+    ~PctWriter();
+
+    PctWriter(const PctWriter &) = delete;
+    PctWriter &operator=(const PctWriter &) = delete;
+
+    /** Append one record (must not precede the previous one). */
+    void append(const TraceRecord &rec);
+
+    /** Flush, rewrite the header, close; returns the final header. */
+    PctInfo finish();
+
+  private:
+    void flushBuffer();
+
+    std::string path;
+    std::ofstream out;
+    std::vector<unsigned char> buf;
+    uint64_t count = 0;
+    uint64_t fnv;
+    uint32_t numDisks = 0;
+    Time lastTime = 0;
+    bool finished = false;
+};
+
+/** Drain @p src into a .pct file at @p path. */
+PctInfo writePct(const std::string &path, TraceSource &src);
+
+/** Read and validate just the header of a .pct file. */
+PctInfo readPctInfo(const std::string &path);
+
+/** Reader options shared by both .pct sources. */
+struct PctReadOptions
+{
+    /** Verify the record checksum on open (one extra pass). */
+    bool verifyChecksum = true;
+};
+
+/** Streaming .pct reader over buffered file I/O. */
+class PctBufferedSource : public TraceSource
+{
+  public:
+    explicit PctBufferedSource(const std::string &path,
+                               PctReadOptions opts = {});
+
+    bool next(TraceRecord &out) override;
+    void rewind() override;
+    const char *formatName() const override { return "pct"; }
+    uint64_t sizeHint() const override { return info.records; }
+    uint64_t numDisksHint() const override { return info.numDisks; }
+    Time endTimeHint() const override { return info.endTime; }
+
+    const PctInfo &header() const { return info; }
+
+  private:
+    void refill();
+
+    std::string path;
+    std::ifstream in;
+    PctInfo info;
+    std::vector<unsigned char> buf;
+    std::size_t bufPos = 0;   //!< next record within buf
+    std::size_t bufCount = 0; //!< records currently in buf
+    uint64_t consumed = 0;    //!< records handed out so far
+    Time lastTime = 0;
+};
+
+/** Zero-copy .pct reader over an mmap'd file. */
+class PctMmapSource : public TraceSource
+{
+  public:
+    explicit PctMmapSource(const std::string &path,
+                           PctReadOptions opts = {});
+    ~PctMmapSource();
+
+    PctMmapSource(const PctMmapSource &) = delete;
+    PctMmapSource &operator=(const PctMmapSource &) = delete;
+
+    bool next(TraceRecord &out) override;
+    void rewind() override;
+    const char *formatName() const override { return "pct"; }
+    uint64_t sizeHint() const override { return info.records; }
+    uint64_t numDisksHint() const override { return info.numDisks; }
+    Time endTimeHint() const override { return info.endTime; }
+
+    const PctInfo &header() const { return info; }
+
+  private:
+    std::string path;
+    const unsigned char *base = nullptr; //!< whole mapping
+    std::size_t mapLen = 0;
+    const unsigned char *records = nullptr;
+    PctInfo info;
+    uint64_t pos = 0;
+    Time lastTime = 0;
+};
+
+} // namespace pacache::tracefmt
+
+#endif // PACACHE_TRACEFMT_PCT_HH

@@ -1,0 +1,47 @@
+#include "tracefmt/text_source.hh"
+
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace pacache::tracefmt
+{
+
+TraceRecord
+parseTextRecord(std::string_view line, const ParseCursor &at)
+{
+    const std::vector<std::string_view> tok = splitTokens(line);
+    if (tok.size() != 5) {
+        parseFail(at, detail::concat("expected 5 fields "
+                                     "(time disk block count R|W), got ",
+                                     tok.size()),
+                  line);
+    }
+
+    TraceRecord rec;
+    rec.time = parseDoubleField(tok[0], at, "time");
+    if (rec.time < 0)
+        parseFail(at, "negative arrival time", tok[0]);
+
+    const uint64_t disk = parseU64Field(tok[1], at, "disk id");
+    if (disk > std::numeric_limits<DiskId>::max())
+        parseFail(at, "disk id out of range", tok[1]);
+    rec.disk = static_cast<DiskId>(disk);
+
+    rec.block = parseU64Field(tok[2], at, "block number");
+
+    const uint64_t count = parseU64Field(tok[3], at, "block count");
+    if (count == 0 || count > std::numeric_limits<uint32_t>::max())
+        parseFail(at, "block count out of range", tok[3]);
+    rec.numBlocks = static_cast<uint32_t>(count);
+
+    if (tok[4].size() != 1 ||
+        (tok[4][0] != 'R' && tok[4][0] != 'r' && tok[4][0] != 'W' &&
+         tok[4][0] != 'w')) {
+        parseFail(at, "bad R/W flag", tok[4]);
+    }
+    rec.write = (tok[4][0] == 'W' || tok[4][0] == 'w');
+    return rec;
+}
+
+} // namespace pacache::tracefmt

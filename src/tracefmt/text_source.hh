@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Streaming parser for the native pacache text trace format:
+ *     <time-seconds> <disk> <block> <num-blocks> <R|W>
+ * one record per line, '#' comments. Strict: malformed fields and
+ * out-of-order arrivals are reported with file:line context.
+ */
+
+#ifndef PACACHE_TRACEFMT_TEXT_SOURCE_HH
+#define PACACHE_TRACEFMT_TEXT_SOURCE_HH
+
+#include "tracefmt/line_source.hh"
+
+namespace pacache::tracefmt
+{
+
+/** Parse one native-format record; parseFail(at) on malformation. */
+TraceRecord parseTextRecord(std::string_view line, const ParseCursor &at);
+
+/** Native text format source (file- or stream-backed). */
+class TextSource : public LineSource
+{
+  public:
+    explicit TextSource(const std::string &path)
+        : LineSource(path, /*rebase=*/false, /*clamp=*/false)
+    {}
+
+    TextSource(std::istream &is, std::string name)
+        : LineSource(is, std::move(name), /*rebase=*/false,
+                     /*clamp=*/false)
+    {}
+
+    const char *formatName() const override { return "text"; }
+
+  protected:
+    bool
+    parseLine(std::string_view line, const ParseCursor &at,
+              TraceRecord &out) override
+    {
+        out = parseTextRecord(line, at);
+        return true;
+    }
+};
+
+} // namespace pacache::tracefmt
+
+#endif // PACACHE_TRACEFMT_TEXT_SOURCE_HH

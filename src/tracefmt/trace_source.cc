@@ -1,0 +1,39 @@
+#include "tracefmt/trace_source.hh"
+
+#include <algorithm>
+
+namespace pacache::tracefmt
+{
+
+Trace
+readAll(TraceSource &src)
+{
+    std::vector<TraceRecord> recs;
+    if (const uint64_t hint = src.sizeHint(); hint != TraceSource::kUnknown)
+        recs.reserve(hint);
+    TraceRecord rec;
+    while (src.next(rec))
+        recs.push_back(rec);
+    return Trace(std::move(recs));
+}
+
+ScanSummary
+scan(TraceSource &src)
+{
+    ScanSummary s;
+    TraceRecord rec;
+    while (src.next(rec)) {
+        if (s.records == 0)
+            s.firstTime = rec.time;
+        ++s.records;
+        if (rec.write)
+            ++s.writes;
+        s.blocks += rec.numBlocks;
+        s.numDisks = std::max<std::size_t>(s.numDisks, rec.disk + 1);
+        s.endTime = rec.time;
+    }
+    src.rewind();
+    return s;
+}
+
+} // namespace pacache::tracefmt

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <sstream>
+
+#include "trace/trace_io.hh"
+
+namespace pacache
+{
+namespace
+{
+
+/** Run @p fn, which must throw, and return the exception message. */
+std::string
+messageOf(const std::function<void()> &fn)
+{
+    try {
+        fn();
+    } catch (const std::exception &e) {
+        return e.what();
+    }
+    ADD_FAILURE() << "expected an exception";
+    return {};
+}
+
+TEST(TraceIo, RoundTripsThroughAStream)
+{
+    Trace t;
+    t.append({0.0, 0, 10, 2, false});
+    t.append({1.25, 3, 99, 1, true});
+
+    std::ostringstream os;
+    writeTrace(os, t);
+    std::istringstream is(os.str());
+    const Trace back = readTrace(is);
+
+    ASSERT_EQ(back.size(), t.size());
+    for (std::size_t i = 0; i < t.size(); ++i)
+        EXPECT_EQ(back[i], t[i]);
+    EXPECT_EQ(back.numDisks(), 4u);
+}
+
+TEST(TraceIo, MalformedLineReportsNameLineAndToken)
+{
+    std::istringstream is("0.0 0 1 1 R\n"
+                          "# comment lines still count\n"
+                          "oops 0 2 1 R\n");
+    const std::string msg =
+        messageOf([&] { readTrace(is, "input.trace"); });
+    EXPECT_NE(msg.find("input.trace:3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("oops"), std::string::npos) << msg;
+}
+
+TEST(TraceIo, OutOfOrderLineReportsContext)
+{
+    std::istringstream is("2.0 0 1 1 R\n1.0 0 2 1 R\n");
+    const std::string msg = messageOf([&] { readTrace(is, "ooo"); });
+    EXPECT_NE(msg.find("ooo:2"), std::string::npos) << msg;
+}
+
+TEST(TraceIo, DefaultStreamNameAppearsInErrors)
+{
+    std::istringstream is("garbage\n");
+    const std::string msg = messageOf([&] { readTrace(is); });
+    EXPECT_NE(msg.find("<stream>:1"), std::string::npos) << msg;
+}
+
+TEST(TraceIo, MissingFileIsFatalWithPath)
+{
+    const std::string msg =
+        messageOf([] { readTraceFile("/no/such/dir/trace.txt"); });
+    EXPECT_NE(msg.find("/no/such/dir/trace.txt"), std::string::npos)
+        << msg;
+}
+
+TEST(TraceNumDisks, StaysCachedAcrossAppends)
+{
+    Trace t;
+    EXPECT_EQ(t.numDisks(), 0u);
+    t.append({0.0, 2, 1, 1, false});
+    EXPECT_EQ(t.numDisks(), 3u);
+    t.append({1.0, 0, 1, 1, false}); // smaller id: unchanged
+    EXPECT_EQ(t.numDisks(), 3u);
+    t.append({2.0, 7, 1, 1, true});
+    EXPECT_EQ(t.numDisks(), 8u);
+}
+
+TEST(TraceNumDisks, VectorConstructorComputesOnce)
+{
+    const Trace t(std::vector<TraceRecord>{{0.0, 5, 1, 1, false},
+                                           {1.0, 1, 2, 1, true}});
+    EXPECT_EQ(t.numDisks(), 6u);
+}
+
+} // namespace
+} // namespace pacache

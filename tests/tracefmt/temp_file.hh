@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Temp-file helpers for the tracefmt tests: every fixture file lands
+ * in gtest's per-run temp directory under a caller-chosen name, so
+ * parallel test processes never collide.
+ */
+
+#ifndef PACACHE_TESTS_TRACEFMT_TEMP_FILE_HH
+#define PACACHE_TESTS_TRACEFMT_TEMP_FILE_HH
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <functional>
+#include <string>
+
+namespace pacache::test
+{
+
+inline std::string
+tempPath(const std::string &name)
+{
+    return ::testing::TempDir() + "pacache_" + name;
+}
+
+/** Write @p content to a fresh temp file and return its path. */
+inline std::string
+writeTempFile(const std::string &name, const std::string &content)
+{
+    const std::string path = tempPath(name);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << content;
+    EXPECT_TRUE(out.good()) << "cannot write " << path;
+    return path;
+}
+
+/** Run @p fn, which must throw, and return the exception message. */
+inline std::string
+messageOf(const std::function<void()> &fn)
+{
+    try {
+        fn();
+    } catch (const std::exception &e) {
+        return e.what();
+    }
+    ADD_FAILURE() << "expected an exception";
+    return {};
+}
+
+} // namespace pacache::test
+
+#endif // PACACHE_TESTS_TRACEFMT_TEMP_FILE_HH

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "temp_file.hh"
+#include "tracefmt/detect.hh"
+#include "tracefmt/sink.hh"
+
+namespace pacache
+{
+namespace
+{
+
+using test::messageOf;
+using test::tempPath;
+using test::writeTempFile;
+using tracefmt::TraceFormat;
+
+TEST(Detect, FormatNamesRoundTrip)
+{
+    for (const TraceFormat fmt :
+         {TraceFormat::Auto, TraceFormat::Text, TraceFormat::Spc,
+          TraceFormat::Msr, TraceFormat::Blktrace, TraceFormat::Pct}) {
+        EXPECT_EQ(tracefmt::parseTraceFormat(
+                      tracefmt::traceFormatName(fmt)),
+                  fmt);
+    }
+    EXPECT_ANY_THROW(tracefmt::parseTraceFormat("bogus"));
+}
+
+TEST(Detect, IdentifiesEveryTextFormat)
+{
+    const std::string text = writeTempFile(
+        "det_text.txt", "# comment\n0.5 0 100 2 R\n");
+    EXPECT_EQ(tracefmt::detectTraceFormat(text), TraceFormat::Text);
+
+    const std::string spc = writeTempFile(
+        "det_spc.csv", "0,16,8192,w,0.5\n");
+    EXPECT_EQ(tracefmt::detectTraceFormat(spc), TraceFormat::Spc);
+
+    const std::string msr = writeTempFile(
+        "det_msr.csv",
+        "128166372003061629,web0,1,Read,8192,4096,123\n");
+    EXPECT_EQ(tracefmt::detectTraceFormat(msr), TraceFormat::Msr);
+
+    const std::string blk = writeTempFile(
+        "det_blk.txt",
+        "8,0 1 1 0.000000000 1234 Q R 32 + 8 [fio]\n");
+    EXPECT_EQ(tracefmt::detectTraceFormat(blk), TraceFormat::Blktrace);
+}
+
+TEST(Detect, IdentifiesPctByMagic)
+{
+    Trace t;
+    t.append({0.0, 0, 1, 1, false});
+    const std::string path = tempPath("det.pct");
+    tracefmt::MemorySource src(t);
+    tracefmt::writePct(path, src);
+    EXPECT_EQ(tracefmt::detectTraceFormat(path), TraceFormat::Pct);
+}
+
+TEST(Detect, UndecidableInputIsFatalWithPath)
+{
+    const std::string path = writeTempFile(
+        "det_garbage.txt", "utterly unrecognizable content\n");
+    const std::string msg = messageOf(
+        [&] { tracefmt::detectTraceFormat(path); });
+    EXPECT_NE(msg.find("det_garbage.txt"), std::string::npos) << msg;
+}
+
+TEST(OpenTraceSource, AutoDetectsAndStreams)
+{
+    const std::string path = writeTempFile(
+        "open_auto.txt", "0.5 0 100 2 R\n1.5 1 200 1 W\n");
+    const auto src = tracefmt::openTraceSource(path);
+    EXPECT_STREQ(src->formatName(), "text");
+    const Trace t = tracefmt::readAll(*src);
+    ASSERT_EQ(t.size(), 2u);
+    EXPECT_EQ(t[1], (TraceRecord{1.5, 1, 200, 1, true}));
+}
+
+TEST(OpenTraceSource, ExplicitFormatOverridesSniffing)
+{
+    // A single-disk SPC line is also a well-formed 5-field CSV; an
+    // explicit format must win over the sniffer.
+    const std::string path = writeTempFile(
+        "open_explicit.csv", "0,16,8192,w,0.5\n");
+    const auto src =
+        tracefmt::openTraceSource(path, TraceFormat::Spc);
+    EXPECT_STREQ(src->formatName(), "spc");
+}
+
+TEST(OpenTraceSink, ExtensionPicksTheBinaryFormat)
+{
+    Trace t;
+    t.append({0.0, 0, 1, 1, false});
+    t.append({1.0, 2, 5, 3, true});
+
+    // text -> .pct -> text: the classic golden round-trip.
+    const std::string pct_path = tempPath("sink_rt.pct");
+    {
+        tracefmt::MemorySource src(t);
+        const auto sink = tracefmt::openTraceSink(pct_path);
+        EXPECT_EQ(tracefmt::copyAll(src, *sink), 2u);
+    }
+    EXPECT_EQ(tracefmt::detectTraceFormat(pct_path), TraceFormat::Pct);
+
+    const std::string txt_path = tempPath("sink_rt.txt");
+    {
+        const auto src = tracefmt::openTraceSource(pct_path);
+        const auto sink = tracefmt::openTraceSink(txt_path);
+        EXPECT_EQ(tracefmt::copyAll(*src, *sink), 2u);
+    }
+    EXPECT_EQ(tracefmt::detectTraceFormat(txt_path), TraceFormat::Text);
+
+    const auto back = tracefmt::openTraceSource(txt_path);
+    const Trace t2 = tracefmt::readAll(*back);
+    ASSERT_EQ(t2.size(), t.size());
+    for (std::size_t i = 0; i < t.size(); ++i)
+        EXPECT_EQ(t2[i], t[i]) << "record " << i;
+}
+
+} // namespace
+} // namespace pacache

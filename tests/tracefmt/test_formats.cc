@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include "temp_file.hh"
+#include "tracefmt/formats.hh"
+
+namespace pacache
+{
+namespace
+{
+
+using test::messageOf;
+using test::writeTempFile;
+
+TEST(SpcSource, MapsSectorsAndBytesOntoBlocks)
+{
+    // LBA is in 512-byte sectors, size in bytes; default 4 KiB blocks.
+    const std::string path = writeTempFile(
+        "spc_basic.csv",
+        "0,16,8192,w,0.5\n"
+        "1,24,512,R,0.75\n");
+    tracefmt::SpcSource src(path);
+    TraceRecord rec;
+
+    ASSERT_TRUE(src.next(rec));
+    EXPECT_EQ(rec.disk, 0u);
+    EXPECT_EQ(rec.block, 2u); // 16 * 512 / 4096
+    EXPECT_EQ(rec.numBlocks, 2u);
+    EXPECT_TRUE(rec.write);
+    EXPECT_DOUBLE_EQ(rec.time, 0.0); // rebased to t = 0
+
+    ASSERT_TRUE(src.next(rec));
+    EXPECT_EQ(rec.disk, 1u);
+    EXPECT_EQ(rec.block, 3u);
+    EXPECT_EQ(rec.numBlocks, 1u);
+    EXPECT_FALSE(rec.write);
+    EXPECT_DOUBLE_EQ(rec.time, 0.25);
+    EXPECT_FALSE(src.next(rec));
+}
+
+TEST(SpcSource, HonorsBlockAndSectorSizeOverrides)
+{
+    const std::string path = writeTempFile(
+        "spc_sizes.csv", "0,4,1024,r,0.0\n");
+    tracefmt::IngestOptions opt;
+    opt.blockBytes = 1024;
+    opt.sectorBytes = 1024;
+    tracefmt::SpcSource src(path, opt);
+    TraceRecord rec;
+    ASSERT_TRUE(src.next(rec));
+    EXPECT_EQ(rec.block, 4u);
+    EXPECT_EQ(rec.numBlocks, 1u);
+}
+
+TEST(SpcSource, FoldsDisksViaModulo)
+{
+    const std::string path = writeTempFile(
+        "spc_modulo.csv",
+        "5,0,4096,r,0.0\n"
+        "6,0,4096,r,0.1\n");
+    tracefmt::IngestOptions opt;
+    opt.diskModulo = 2;
+    tracefmt::SpcSource src(path, opt);
+    TraceRecord rec;
+    ASSERT_TRUE(src.next(rec));
+    EXPECT_EQ(rec.disk, 1u); // 5 % 2
+    ASSERT_TRUE(src.next(rec));
+    EXPECT_EQ(rec.disk, 0u); // 6 % 2
+}
+
+TEST(SpcSource, ClampsSmallTimestampRegressionsByDefault)
+{
+    const std::string path = writeTempFile(
+        "spc_clamp.csv",
+        "0,0,4096,r,0.5\n"
+        "0,8,4096,r,0.4\n"); // regressed arrival
+    tracefmt::SpcSource src(path);
+    TraceRecord rec;
+    ASSERT_TRUE(src.next(rec));
+    EXPECT_DOUBLE_EQ(rec.time, 0.0);
+    ASSERT_TRUE(src.next(rec));
+    EXPECT_DOUBLE_EQ(rec.time, 0.0); // clamped, not negative
+}
+
+TEST(SpcSource, StrictOrderModeRejectsRegressions)
+{
+    const std::string path = writeTempFile(
+        "spc_strict.csv",
+        "0,0,4096,r,0.5\n"
+        "0,8,4096,r,0.4\n");
+    tracefmt::IngestOptions opt;
+    opt.clampUnsorted = false;
+    tracefmt::SpcSource src(path, opt);
+    TraceRecord rec;
+    ASSERT_TRUE(src.next(rec));
+    const std::string msg = messageOf([&] { src.next(rec); });
+    EXPECT_NE(msg.find(":2"), std::string::npos) << msg;
+}
+
+TEST(SpcSource, RejectsMalformedLinesWithFileContext)
+{
+    const std::string path = writeTempFile(
+        "spc_bad.csv",
+        "0,16,8192,w,0.5\n"
+        "0,16,8192\n");
+    tracefmt::SpcSource src(path);
+    TraceRecord rec;
+    ASSERT_TRUE(src.next(rec));
+    const std::string msg = messageOf([&] { src.next(rec); });
+    EXPECT_NE(msg.find("spc_bad.csv:2"), std::string::npos) << msg;
+
+    const std::string opcode = writeTempFile(
+        "spc_badop.csv", "0,16,8192,x,0.5\n");
+    tracefmt::SpcSource src2(opcode);
+    const std::string msg2 = messageOf([&] { src2.next(rec); });
+    EXPECT_NE(msg2.find("'x'"), std::string::npos) << msg2;
+}
+
+TEST(MsrSource, ParsesFiletimeTicksAndByteExtents)
+{
+    const std::string path = writeTempFile(
+        "msr_basic.csv",
+        "Timestamp,Hostname,DiskNumber,Type,Offset,Size,ResponseTime\n"
+        "128166372003061629,web0,1,Read,8192,4096,123\n"
+        "128166372013061629,web0,2,Write,0,8192,55\n");
+    tracefmt::MsrSource src(path);
+    TraceRecord rec;
+
+    ASSERT_TRUE(src.next(rec));
+    EXPECT_EQ(rec.disk, 1u);
+    EXPECT_EQ(rec.block, 2u);
+    EXPECT_EQ(rec.numBlocks, 1u);
+    EXPECT_FALSE(rec.write);
+    EXPECT_DOUBLE_EQ(rec.time, 0.0);
+
+    ASSERT_TRUE(src.next(rec));
+    EXPECT_EQ(rec.disk, 2u);
+    EXPECT_EQ(rec.block, 0u);
+    EXPECT_EQ(rec.numBlocks, 2u);
+    EXPECT_TRUE(rec.write);
+    // 10^7 FILETIME ticks of 100 ns = exactly one second.
+    EXPECT_DOUBLE_EQ(rec.time, 1.0);
+    EXPECT_FALSE(src.next(rec));
+}
+
+TEST(MsrSource, WorksWithoutHeaderRow)
+{
+    const std::string path = writeTempFile(
+        "msr_noheader.csv",
+        "128166372003061629,web0,0,Read,0,4096,1\n");
+    tracefmt::MsrSource src(path);
+    TraceRecord rec;
+    ASSERT_TRUE(src.next(rec));
+    EXPECT_EQ(rec.disk, 0u);
+    EXPECT_FALSE(src.next(rec));
+}
+
+TEST(MsrSource, RewindReanchorsDeterministically)
+{
+    const std::string path = writeTempFile(
+        "msr_rewind.csv",
+        "128166372003061629,web0,0,Read,0,4096,1\n"
+        "128166372008061629,web0,0,Write,4096,4096,1\n");
+    tracefmt::MsrSource src(path);
+    TraceRecord rec;
+    ASSERT_TRUE(src.next(rec));
+    ASSERT_TRUE(src.next(rec));
+    const Time second_pass_expected = rec.time;
+    src.rewind();
+    ASSERT_TRUE(src.next(rec));
+    EXPECT_DOUBLE_EQ(rec.time, 0.0);
+    ASSERT_TRUE(src.next(rec));
+    EXPECT_DOUBLE_EQ(rec.time, second_pass_expected);
+}
+
+TEST(MsrSource, RejectsTruncatedRows)
+{
+    const std::string path = writeTempFile(
+        "msr_bad.csv", "128166372003061629,web0,0,Read\n");
+    tracefmt::MsrSource src(path);
+    TraceRecord rec;
+    const std::string msg = messageOf([&] { src.next(rec); });
+    EXPECT_NE(msg.find("msr_bad.csv:1"), std::string::npos) << msg;
+}
+
+TEST(BlktraceSource, ParsesQueueActionsAndSkipsNoise)
+{
+    const std::string path = writeTempFile(
+        "blk_basic.txt",
+        "  8,0    1        1     0.000000000  1234  Q   R 32 + 8 [fio]\n"
+        "  8,0    1        2     0.001000000  1234  G   R 32 + 8 [fio]\n"
+        "  8,16   1        3     0.002000000  1234  Q   W 0 + 16 [fio]\n"
+        "  8,0    1        4     0.003000000  1234  C   R 32 + 8 [0]\n"
+        "CPU0 (8,0):\n"
+        " Reads Queued:           1,        4KiB\n");
+    tracefmt::BlktraceSource src(path);
+    TraceRecord rec;
+
+    ASSERT_TRUE(src.next(rec));
+    EXPECT_EQ(rec.disk, 0u); // first device seen -> dense id 0
+    EXPECT_EQ(rec.block, 4u); // sector 32 * 512 B / 4096 B
+    EXPECT_EQ(rec.numBlocks, 1u);
+    EXPECT_FALSE(rec.write);
+    EXPECT_DOUBLE_EQ(rec.time, 0.0);
+
+    ASSERT_TRUE(src.next(rec));
+    EXPECT_EQ(rec.disk, 1u); // 8,16 -> dense id 1
+    EXPECT_EQ(rec.block, 0u);
+    EXPECT_EQ(rec.numBlocks, 2u);
+    EXPECT_TRUE(rec.write);
+    EXPECT_DOUBLE_EQ(rec.time, 0.002);
+    EXPECT_FALSE(src.next(rec)); // G/C actions and summaries skipped
+}
+
+TEST(BlktraceSource, DeviceMapIsStableAcrossRewind)
+{
+    const std::string path = writeTempFile(
+        "blk_rewind.txt",
+        "8,0 1 1 0.000000000 1 Q R 0 + 8 [a]\n"
+        "8,16 1 2 0.001000000 1 Q R 0 + 8 [a]\n");
+    tracefmt::BlktraceSource src(path);
+    TraceRecord rec;
+    ASSERT_TRUE(src.next(rec));
+    ASSERT_TRUE(src.next(rec));
+    EXPECT_EQ(rec.disk, 1u);
+    src.rewind();
+    ASSERT_TRUE(src.next(rec));
+    EXPECT_EQ(rec.disk, 0u);
+    ASSERT_TRUE(src.next(rec));
+    EXPECT_EQ(rec.disk, 1u);
+}
+
+TEST(BlktraceSource, RejectsRecordsWithoutAnExtent)
+{
+    const std::string path = writeTempFile(
+        "blk_bad.txt", "8,0 1 1 0.000000000 1 Q R 64\n");
+    tracefmt::BlktraceSource src(path);
+    TraceRecord rec;
+    const std::string msg = messageOf([&] { src.next(rec); });
+    EXPECT_NE(msg.find("blk_bad.txt:1"), std::string::npos) << msg;
+}
+
+} // namespace
+} // namespace pacache

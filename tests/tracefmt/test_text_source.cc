@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "temp_file.hh"
+#include "tracefmt/text_source.hh"
+
+namespace pacache
+{
+namespace
+{
+
+using test::messageOf;
+using test::writeTempFile;
+
+TEST(TextSource, ParsesRecordsSkippingCommentsAndBlanks)
+{
+    std::istringstream is("# header comment\n"
+                          "0.5 0 100 2 R\n"
+                          "\n"
+                          "1.5 1 200 1 W\n"
+                          "   \n"
+                          "# trailing comment\n");
+    tracefmt::TextSource src(is, "unit");
+    TraceRecord rec;
+    ASSERT_TRUE(src.next(rec));
+    EXPECT_EQ(rec, (TraceRecord{0.5, 0, 100, 2, false}));
+    ASSERT_TRUE(src.next(rec));
+    EXPECT_EQ(rec, (TraceRecord{1.5, 1, 200, 1, true}));
+    EXPECT_FALSE(src.next(rec));
+}
+
+TEST(TextSource, HandlesCrlfLineEndings)
+{
+    std::istringstream is("0.5 0 100 2 R\r\n1.0 0 101 1 W\r\n");
+    tracefmt::TextSource src(is, "crlf");
+    TraceRecord rec;
+    ASSERT_TRUE(src.next(rec));
+    EXPECT_EQ(rec.numBlocks, 2u);
+    ASSERT_TRUE(src.next(rec));
+    EXPECT_TRUE(rec.write);
+}
+
+TEST(TextSource, RewindReplaysTheFile)
+{
+    const std::string path = writeTempFile(
+        "text_rewind.txt", "0.0 0 1 1 R\n1.0 1 2 1 W\n");
+    tracefmt::TextSource src(path);
+    TraceRecord rec;
+    ASSERT_TRUE(src.next(rec));
+    ASSERT_TRUE(src.next(rec));
+    ASSERT_FALSE(src.next(rec));
+    src.rewind();
+    ASSERT_TRUE(src.next(rec));
+    EXPECT_DOUBLE_EQ(rec.time, 0.0);
+    ASSERT_TRUE(src.next(rec));
+    EXPECT_DOUBLE_EQ(rec.time, 1.0);
+}
+
+TEST(TextSource, ErrorsCarrySourceLineAndToken)
+{
+    std::istringstream is("0.0 0 1 1 R\n"
+                          "0.5 0 2 1 W\n"
+                          "0.7 0 bogus 1 R\n");
+    tracefmt::TextSource src(is, "mytrace.txt");
+    TraceRecord rec;
+    ASSERT_TRUE(src.next(rec));
+    ASSERT_TRUE(src.next(rec));
+    const std::string msg = messageOf([&] { src.next(rec); });
+    EXPECT_NE(msg.find("mytrace.txt:3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("bogus"), std::string::npos) << msg;
+}
+
+TEST(TextSource, RejectsOutOfOrderArrivalsWithContext)
+{
+    std::istringstream is("1.0 0 1 1 R\n0.5 0 2 1 R\n");
+    tracefmt::TextSource src(is, "ooo.txt");
+    TraceRecord rec;
+    ASSERT_TRUE(src.next(rec));
+    const std::string msg = messageOf([&] { src.next(rec); });
+    EXPECT_NE(msg.find("ooo.txt:2"), std::string::npos) << msg;
+}
+
+TEST(TextSource, RejectsMalformedFields)
+{
+    const auto fails = [](const std::string &line) {
+        std::istringstream is(line + "\n");
+        tracefmt::TextSource src(is, "bad");
+        TraceRecord rec;
+        EXPECT_ANY_THROW(src.next(rec)) << line;
+    };
+    fails("not a record at all");
+    fails("1.0 0 5 1");          // missing flag
+    fails("1.0 0 5 1 X");        // bad flag
+    fails("1.0 0 5 0 R");        // zero-length request
+    fails("-1.0 0 5 1 R");       // negative time
+    fails("1.0 0 5 1 R extra");  // trailing token
+    fails("nan 0 5 1 R");        // non-finite time
+}
+
+TEST(TextSource, EmptyAndCommentOnlyStreamsYieldNothing)
+{
+    std::istringstream empty("");
+    tracefmt::TextSource src1(empty, "empty");
+    TraceRecord rec;
+    EXPECT_FALSE(src1.next(rec));
+
+    std::istringstream comments("# one\n# two\n\n");
+    tracefmt::TextSource src2(comments, "comments");
+    EXPECT_FALSE(src2.next(rec));
+}
+
+TEST(TextSource, MissingFileIsFatalWithPath)
+{
+    const std::string msg = messageOf(
+        [] { tracefmt::TextSource src("/no/such/trace.txt"); });
+    EXPECT_NE(msg.find("/no/such/trace.txt"), std::string::npos) << msg;
+}
+
+} // namespace
+} // namespace pacache

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "tracefmt/trace_source.hh"
+
+namespace pacache
+{
+namespace
+{
+
+Trace
+sampleTrace()
+{
+    Trace t;
+    t.append({0.0, 0, 10, 2, false});
+    t.append({0.5, 1, 20, 1, true});
+    t.append({1.5, 2, 30, 4, false});
+    t.append({2.0, 0, 11, 1, true});
+    return t;
+}
+
+TEST(MemorySource, StreamsRecordsInOrder)
+{
+    const Trace t = sampleTrace();
+    tracefmt::MemorySource src(t);
+    TraceRecord rec;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        ASSERT_TRUE(src.next(rec));
+        EXPECT_EQ(rec, t[i]);
+    }
+    EXPECT_FALSE(src.next(rec));
+    EXPECT_FALSE(src.next(rec)); // stays exhausted
+}
+
+TEST(MemorySource, RewindRestartsFromTheFirstRecord)
+{
+    const Trace t = sampleTrace();
+    tracefmt::MemorySource src(t);
+    TraceRecord rec;
+    ASSERT_TRUE(src.next(rec));
+    ASSERT_TRUE(src.next(rec));
+    src.rewind();
+    ASSERT_TRUE(src.next(rec));
+    EXPECT_EQ(rec, t[0]);
+}
+
+TEST(MemorySource, ReportsExactHints)
+{
+    const Trace t = sampleTrace();
+    tracefmt::MemorySource src(t);
+    EXPECT_EQ(src.sizeHint(), t.size());
+    EXPECT_EQ(src.numDisksHint(), 3u);
+    EXPECT_DOUBLE_EQ(src.endTimeHint(), 2.0);
+    EXPECT_STREQ(src.formatName(), "memory");
+}
+
+TEST(MemorySource, EmptyTraceHasNoEndTime)
+{
+    const Trace t;
+    tracefmt::MemorySource src(t);
+    TraceRecord rec;
+    EXPECT_FALSE(src.next(rec));
+    EXPECT_EQ(src.sizeHint(), 0u);
+    EXPECT_LT(src.endTimeHint(), 0.0);
+}
+
+TEST(ReadAll, MaterializesTheWholeStream)
+{
+    const Trace t = sampleTrace();
+    tracefmt::MemorySource src(t);
+    const Trace back = tracefmt::readAll(src);
+    ASSERT_EQ(back.size(), t.size());
+    for (std::size_t i = 0; i < t.size(); ++i)
+        EXPECT_EQ(back[i], t[i]);
+    EXPECT_EQ(back.numDisks(), t.numDisks());
+}
+
+TEST(Scan, SummarizesAndRewinds)
+{
+    const Trace t = sampleTrace();
+    tracefmt::MemorySource src(t);
+    const tracefmt::ScanSummary sum = tracefmt::scan(src);
+    EXPECT_EQ(sum.records, 4u);
+    EXPECT_EQ(sum.writes, 2u);
+    EXPECT_EQ(sum.blocks, 8u);
+    EXPECT_EQ(sum.numDisks, 3u);
+    EXPECT_DOUBLE_EQ(sum.firstTime, 0.0);
+    EXPECT_DOUBLE_EQ(sum.endTime, 2.0);
+    EXPECT_DOUBLE_EQ(sum.writeRatio(), 0.5);
+    EXPECT_DOUBLE_EQ(sum.meanInterArrival(), 2.0 / 3.0);
+
+    // scan() leaves the source rewound and re-runnable.
+    TraceRecord rec;
+    ASSERT_TRUE(src.next(rec));
+    EXPECT_EQ(rec, t[0]);
+}
+
+TEST(Scan, EmptyStreamYieldsZeroSummary)
+{
+    const Trace t;
+    tracefmt::MemorySource src(t);
+    const tracefmt::ScanSummary sum = tracefmt::scan(src);
+    EXPECT_EQ(sum.records, 0u);
+    EXPECT_DOUBLE_EQ(sum.writeRatio(), 0.0);
+    EXPECT_DOUBLE_EQ(sum.meanInterArrival(), 0.0);
+}
+
+} // namespace
+} // namespace pacache

@@ -44,4 +44,25 @@ trap 'rm -rf "$obs_dir"' EXIT
 python3 "$root/tools/check_obs_json.py" \
     "$obs_dir/m.json" "$obs_dir/t.json" "$obs_dir/tl.jsonl"
 
+step "trace ingestion smoke run (sanitized binaries)"
+# Generate a workload, convert it through the binary .pct format, and
+# require the simulator report to be byte-identical whether the trace
+# comes from text, from .pct, or is streamed record by record.
+"$root/build-asan/tools/pacache_tracegen" \
+    --workload synthetic --requests 2000 --out "$obs_dir/w.txt"
+"$root/build-asan/tools/pacache_tracectl" convert \
+    --in "$obs_dir/w.txt" --out "$obs_dir/w.pct"
+"$root/build-asan/tools/pacache_tracectl" info --in "$obs_dir/w.pct"
+"$root/build-asan/tools/pacache_sim" \
+    --trace "$obs_dir/w.txt" --policy pa-lru --write wbeu \
+    > "$obs_dir/sim_text.txt"
+"$root/build-asan/tools/pacache_sim" \
+    --trace "$obs_dir/w.pct" --policy pa-lru --write wbeu \
+    > "$obs_dir/sim_pct.txt"
+"$root/build-asan/tools/pacache_sim" \
+    --trace "$obs_dir/w.pct" --policy pa-lru --write wbeu --stream \
+    > "$obs_dir/sim_stream.txt"
+cmp "$obs_dir/sim_text.txt" "$obs_dir/sim_pct.txt"
+cmp "$obs_dir/sim_text.txt" "$obs_dir/sim_stream.txt"
+
 step "all checks passed"

@@ -26,6 +26,8 @@
 #include "trace/synthetic.hh"
 #include "trace/trace_io.hh"
 #include "trace/workloads.hh"
+#include "tracefmt/detect.hh"
+#include "tracefmt/trace_source.hh"
 #include "util/build_info.hh"
 #include "util/json.hh"
 #include "util/logging.hh"
@@ -39,7 +41,14 @@ namespace
 const char kUsage[] = R"(pacache_sim — power-aware storage cache simulator
 
 workload selection (one of):
-  --trace FILE           load a trace file (time disk block count R|W)
+  --trace FILE           load a trace file; the format is sniffed
+                         unless --trace-format says otherwise
+  --trace-format NAME    auto | text | spc | msr | blktrace | pct
+                         (default: auto)
+  --stream               drive the simulation straight from the trace
+                         file instead of loading it into memory, so
+                         traces larger than RAM work (requires --trace;
+                         off-line policies are materialized anyway)
   --workload NAME        oltp | cello | synthetic | opg-showcase
                          (default: oltp)
   --duration SECONDS     workload length where applicable
@@ -120,8 +129,12 @@ parseWrite(const std::string &name)
 Trace
 loadWorkload(const cli::Args &args)
 {
-    if (args.has("trace"))
-        return readTraceFile(args.get("trace", ""));
+    if (args.has("trace")) {
+        const auto src = tracefmt::openTraceSource(
+            args.get("trace", ""),
+            tracefmt::parseTraceFormat(args.get("trace-format", "auto")));
+        return tracefmt::readAll(*src);
+    }
 
     const std::string name = args.get("workload", "oltp");
     if (name == "oltp") {
@@ -249,16 +262,40 @@ try {
         return 0;
     }
     const std::set<std::string> known{
-        "trace", "workload", "duration", "requests", "write-ratio",
-        "interarrival", "pareto", "seed", "policy", "dpm", "write",
-        "cache-blocks", "epoch", "opg-theta", "per-disk", "help",
-        "version", "metrics-out", "trace-events", "timeline",
-        "timeline-interval", "progress"};
+        "trace", "trace-format", "stream", "workload", "duration",
+        "requests", "write-ratio", "interarrival", "pareto", "seed",
+        "policy", "dpm", "write", "cache-blocks", "epoch", "opg-theta",
+        "per-disk", "help", "version", "metrics-out", "trace-events",
+        "timeline", "timeline-interval", "progress"};
     if (const std::string bad = args.firstUnknown(known); !bad.empty())
         PACACHE_FATAL("unknown flag --", bad, " (see --help)");
 
-    const Trace trace = loadWorkload(args);
-    const TraceStats st = characterize(trace);
+    // --stream skips materialization: the workload line's statistics
+    // come from a constant-memory scan (same formulas as
+    // characterize(), so the printed report matches the in-memory
+    // path byte for byte).
+    const bool streaming = args.has("stream");
+    if (streaming && !args.has("trace"))
+        PACACHE_FATAL("--stream requires --trace (generated workloads "
+                      "are already in memory)");
+
+    Trace trace;
+    std::unique_ptr<tracefmt::TraceSource> source;
+    TraceStats st;
+    if (streaming) {
+        source = tracefmt::openTraceSource(
+            args.get("trace", ""),
+            tracefmt::parseTraceFormat(args.get("trace-format", "auto")));
+        const tracefmt::ScanSummary sum = tracefmt::scan(*source);
+        st.requests = sum.records;
+        st.disks = static_cast<uint32_t>(sum.numDisks);
+        st.writeRatio = sum.writeRatio();
+        st.meanInterArrival = sum.meanInterArrival();
+        st.duration = sum.endTime;
+    } else {
+        trace = loadWorkload(args);
+        st = characterize(trace);
+    }
 
     ExperimentConfig cfg;
     cfg.policy = parsePolicy(args.get("policy", "lru"));
@@ -308,7 +345,8 @@ try {
     if (observing)
         cfg.observer = &observer;
 
-    const ExperimentResult r = runExperiment(trace, cfg);
+    const ExperimentResult r =
+        streaming ? runExperiment(*source, cfg) : runExperiment(trace, cfg);
 
     if (args.has("trace-events"))
         trace_events.writeJson(trace_out);
