@@ -9,11 +9,17 @@
  * for energy; the better the DPM, the bigger PA-LRU's edge — cache
  * power-awareness and disk power management are complements, which
  * is the paper's core premise.
+ *
+ * All 8 runs execute in parallel on the work-stealing pool
+ * (PACACHE_JOBS overrides the worker count).
  */
 
 #include <iostream>
+#include <vector>
 
+#include "bench_report.hh"
 #include "core/experiment.hh"
+#include "runner/sweep.hh"
 #include "trace/workloads.hh"
 #include "util/table.hh"
 
@@ -22,27 +28,22 @@ using namespace pacache;
 namespace
 {
 
-ExperimentResult
-run(const Trace &trace, PolicyKind policy, DpmChoice dpm)
-{
-    ExperimentConfig cfg;
-    cfg.policy = policy;
-    cfg.dpm = dpm;
-    cfg.cacheBlocks = 1024;
-    cfg.pa.epochLength = 900;
-    return runExperiment(trace, cfg);
-}
+const std::vector<DpmChoice> kDpms{
+    DpmChoice::AlwaysOn, DpmChoice::Adaptive, DpmChoice::Practical,
+    DpmChoice::Oracle};
 
-const char *
-dpmName(DpmChoice d)
+runner::RunPoint
+point(const Trace &trace, PolicyKind policy, DpmChoice dpm)
 {
-    switch (d) {
-      case DpmChoice::AlwaysOn: return "always-on";
-      case DpmChoice::Adaptive: return "adaptive";
-      case DpmChoice::Practical: return "practical";
-      case DpmChoice::Oracle: return "oracle";
-    }
-    return "?";
+    runner::RunPoint p;
+    p.label = std::string(runner::dpmChoiceName(dpm)) + "/" +
+              policyKindName(policy);
+    p.trace = &trace;
+    p.config.policy = policy;
+    p.config.dpm = dpm;
+    p.config.cacheBlocks = 1024;
+    p.config.pa.epochLength = 900;
+    return p;
 }
 
 } // namespace
@@ -54,18 +55,25 @@ main()
     params.duration = 3600;
     const Trace trace = makeOltpTrace(params);
 
+    // Point order: DPM-major, LRU then PA-LRU within each regime.
+    std::vector<runner::RunPoint> points;
+    for (DpmChoice dpm : kDpms) {
+        points.push_back(point(trace, PolicyKind::LRU, dpm));
+        points.push_back(point(trace, PolicyKind::PALRU, dpm));
+    }
+    const auto outcomes =
+        runner::runAll(points, benchsupport::jobsFromEnv());
+
     std::cout << "=== Ablation: DPM regime x cache policy (OLTP) "
                  "===\n\n";
     TextTable t;
     t.header({"DPM", "LRU (J)", "PA-LRU (J)", "PA-LRU saving",
               "LRU resp (ms)", "PA-LRU resp (ms)"});
-    for (DpmChoice dpm :
-         {DpmChoice::AlwaysOn, DpmChoice::Adaptive, DpmChoice::Practical,
-          DpmChoice::Oracle}) {
-        const auto lru = run(trace, PolicyKind::LRU, dpm);
-        const auto pa = run(trace, PolicyKind::PALRU, dpm);
-        t.row({dpmName(dpm), fmt(lru.totalEnergy, 0),
-               fmt(pa.totalEnergy, 0),
+    for (std::size_t i = 0; i < kDpms.size(); ++i) {
+        const ExperimentResult &lru = outcomes[2 * i].result;
+        const ExperimentResult &pa = outcomes[2 * i + 1].result;
+        t.row({runner::dpmChoiceName(kDpms[i]),
+               fmt(lru.totalEnergy, 0), fmt(pa.totalEnergy, 0),
                fmtPct(1.0 - pa.totalEnergy / lru.totalEnergy, 1),
                fmt(lru.responses.mean() * 1000.0, 2),
                fmt(pa.responses.mean() * 1000.0, 2)});
@@ -76,5 +84,11 @@ main()
                  "(just-in-time spin-up);\nadaptive vs practical "
                  "trades a simpler controller for slightly worse "
                  "energy.\n";
+
+    benchsupport::BenchReport report("ablation_dpm",
+                                     benchsupport::jobsFromEnv());
+    for (const auto &o : outcomes)
+        report.addRun(o.label, o.wallMs, trace.size());
+    report.write();
     return 0;
 }

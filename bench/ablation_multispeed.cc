@@ -13,11 +13,17 @@
  * option 1 removes most spin-ups by construction. This supports the
  * paper's choice of option 2 as the regime where cache policy
  * matters.
+ *
+ * All 4 runs execute in parallel on the work-stealing pool
+ * (PACACHE_JOBS overrides the worker count).
  */
 
 #include <iostream>
+#include <vector>
 
+#include "bench_report.hh"
 #include "core/experiment.hh"
+#include "runner/sweep.hh"
 #include "trace/workloads.hh"
 #include "util/table.hh"
 
@@ -26,16 +32,19 @@ using namespace pacache;
 namespace
 {
 
-ExperimentResult
-run(const Trace &trace, PolicyKind policy, bool serve_low)
+runner::RunPoint
+point(const Trace &trace, PolicyKind policy, bool serve_low)
 {
-    ExperimentConfig cfg;
-    cfg.policy = policy;
-    cfg.dpm = DpmChoice::Practical;
-    cfg.cacheBlocks = 1024;
-    cfg.pa.epochLength = 900;
-    cfg.disk.serveAtLowSpeed = serve_low;
-    return runExperiment(trace, cfg);
+    runner::RunPoint p;
+    p.label = std::string(serve_low ? "serve-at-speed" : "spin-up") +
+              "/" + policyKindName(policy);
+    p.trace = &trace;
+    p.config.policy = policy;
+    p.config.dpm = DpmChoice::Practical;
+    p.config.cacheBlocks = 1024;
+    p.config.pa.epochLength = 900;
+    p.config.disk.serveAtLowSpeed = serve_low;
+    return p;
 }
 
 } // namespace
@@ -47,20 +56,26 @@ main()
     params.duration = 3600;
     const Trace trace = makeOltpTrace(params);
 
+    std::vector<runner::RunPoint> points;
+    for (bool low : {false, true}) {
+        points.push_back(point(trace, PolicyKind::LRU, low));
+        points.push_back(point(trace, PolicyKind::PALRU, low));
+    }
+    const auto outcomes =
+        runner::runAll(points, benchsupport::jobsFromEnv());
+
     std::cout << "=== Ablation: multi-speed service discipline "
                  "(OLTP, Practical DPM) ===\n\n";
     TextTable t;
     t.header({"Discipline", "Policy", "Energy (J)", "Mean resp (ms)",
               "p95 resp (ms)", "Spin-ups"});
-    for (bool low : {false, true}) {
-        for (PolicyKind k : {PolicyKind::LRU, PolicyKind::PALRU}) {
-            const auto r = run(trace, k, low);
-            t.row({low ? "serve-at-speed (opt 1)" : "spin-up (opt 2)",
-                   r.policyName, fmt(r.totalEnergy, 0),
-                   fmt(r.responses.mean() * 1000.0, 2),
-                   fmt(r.responses.percentile(0.95) * 1000.0, 2),
-                   std::to_string(r.energy.spinUps)});
-        }
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const ExperimentResult &r = outcomes[i].result;
+        t.row({i < 2 ? "spin-up (opt 2)" : "serve-at-speed (opt 1)",
+               r.policyName, fmt(r.totalEnergy, 0),
+               fmt(r.responses.mean() * 1000.0, 2),
+               fmt(r.responses.percentile(0.95) * 1000.0, 2),
+               std::to_string(r.energy.spinUps)});
     }
     t.print(std::cout);
 
@@ -68,5 +83,11 @@ main()
                  "remaining policy gap isolates the\ninterval-"
                  "stretching benefit of power-aware caching from the "
                  "spin-up-avoidance benefit.\n";
+
+    benchsupport::BenchReport report("ablation_multispeed",
+                                     benchsupport::jobsFromEnv());
+    for (const auto &o : outcomes)
+        report.addRun(o.label, o.wallMs, trace.size());
+    report.write();
     return 0;
 }

@@ -6,11 +6,17 @@
  * prefetch degrees: each fetched run lets the disk sleep through the
  * following re-references, trading a longer transfer for fewer
  * wake-ups.
+ *
+ * All 5 runs execute in parallel on the work-stealing pool
+ * (PACACHE_JOBS overrides the worker count).
  */
 
 #include <iostream>
+#include <vector>
 
+#include "bench_report.hh"
 #include "core/experiment.hh"
+#include "runner/sweep.hh"
 #include "trace/synthetic.hh"
 #include "util/table.hh"
 
@@ -42,24 +48,32 @@ int
 main()
 {
     const Trace trace = scanTrace();
+    const std::vector<uint32_t> degrees{0, 2, 8, 32, 128};
+
+    std::vector<runner::RunPoint> points;
+    for (uint32_t degree : degrees) {
+        runner::RunPoint p;
+        p.label = "degree" + std::to_string(degree);
+        p.trace = &trace;
+        p.config.cacheBlocks = 4096;
+        p.config.storage.prefetchBlocks = degree;
+        points.push_back(std::move(p));
+    }
+    const auto outcomes =
+        runner::runAll(points, benchsupport::jobsFromEnv());
 
     std::cout << "=== Ablation: sequential prefetch degree "
                  "(scan-heavy workload, LRU, Practical DPM) ===\n\n";
     TextTable t;
     t.header({"degree", "Energy (J)", "vs none", "Mean resp (ms)",
               "Disk accesses", "Prefetched blocks", "Hit ratio"});
-    double base = 0;
-    for (uint32_t degree : {0u, 2u, 8u, 32u, 128u}) {
-        ExperimentConfig cfg;
-        cfg.cacheBlocks = 4096;
-        cfg.storage.prefetchBlocks = degree;
-        const auto r = runExperiment(trace, cfg);
-        if (degree == 0)
-            base = r.totalEnergy;
+    const double base = outcomes[0].result.totalEnergy;
+    for (std::size_t i = 0; i < degrees.size(); ++i) {
+        const ExperimentResult &r = outcomes[i].result;
         uint64_t accesses = 0;
         for (uint64_t a : r.diskAccesses)
             accesses += a;
-        t.row({std::to_string(degree), fmt(r.totalEnergy, 0),
+        t.row({std::to_string(degrees[i]), fmt(r.totalEnergy, 0),
                fmt(r.totalEnergy / base, 3),
                fmt(r.responses.mean() * 1000.0, 2),
                std::to_string(accesses),
@@ -72,5 +86,11 @@ main()
                  "sequential locality; very large degrees\nwaste "
                  "transfer energy and cache space on blocks that are "
                  "never referenced.\n";
+
+    benchsupport::BenchReport report("ablation_prefetch",
+                                     benchsupport::jobsFromEnv());
+    for (const auto &o : outcomes)
+        report.addRun(o.label, o.wallMs, trace.size());
+    report.write();
     return 0;
 }

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Machine-readable benchmark reports. Each driver builds a
+ * BenchReport, records its runs (wall clock + request counts) and any
+ * derived scalars, and write() emits BENCH_<name>.json — wall_ms,
+ * requests/sec, job count, and the git revision — next to the console
+ * tables, so performance tracking across commits needs no console
+ * scraping. Set PACACHE_BENCH_DIR to redirect the output directory.
+ */
+
+#ifndef PACACHE_BENCH_BENCH_REPORT_HH
+#define PACACHE_BENCH_BENCH_REPORT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pacache::benchsupport
+{
+
+/** Job count for bench drivers: $PACACHE_JOBS, else 0 (= all cores). */
+unsigned jobsFromEnv();
+
+class BenchReport
+{
+  public:
+    /** @param name file stem: BENCH_<name>.json */
+    explicit BenchReport(std::string name, unsigned jobs = 0);
+
+    /** Record one experiment run's cost. */
+    void addRun(const std::string &label, double wall_ms,
+                uint64_t requests);
+
+    /** Record a derived scalar (e.g. a speedup ratio). */
+    void metric(const std::string &key, double value);
+
+    /** Total wall clock across recorded runs (ms). */
+    double totalWallMs() const;
+
+    /**
+     * Write BENCH_<name>.json into $PACACHE_BENCH_DIR (default: the
+     * current directory). @return the path written.
+     */
+    std::string write() const;
+
+  private:
+    struct Run
+    {
+        std::string label;
+        double wallMs;
+        uint64_t requests;
+    };
+
+    std::string name;
+    unsigned jobs;
+    std::vector<Run> runs;
+    std::vector<std::pair<std::string, double>> metrics;
+};
+
+} // namespace pacache::benchsupport
+
+#endif // PACACHE_BENCH_BENCH_REPORT_HH

@@ -11,11 +11,17 @@
  * ~16% energy and ~50% response time over LRU on OLTP but only a few
  * percent on Cello96 (cold-miss dominated); the infinite cache lower-
  * bounds everything under Oracle DPM.
+ *
+ * All points run in parallel on the work-stealing pool (PACACHE_JOBS
+ * overrides the worker count); the tables are identical to the old
+ * serial driver because results are consumed in spec order.
  */
 
 #include <iostream>
 
+#include "bench_report.hh"
 #include "core/experiment.hh"
+#include "runner/sweep.hh"
 #include "trace/stats.hh"
 #include "trace/workloads.hh"
 #include "util/table.hh"
@@ -36,20 +42,19 @@ struct TraceSetup
 const std::vector<PolicyKind> kPolicies{
     PolicyKind::InfiniteCache, PolicyKind::Belady, PolicyKind::OPG,
     PolicyKind::LRU, PolicyKind::PALRU};
+const std::vector<DpmChoice> kDpms{DpmChoice::Oracle,
+                                   DpmChoice::Practical};
 
-ExperimentResult
-run(const TraceSetup &setup, PolicyKind policy, DpmChoice dpm)
+/** Flat index for (setup, policy, dpm) into the run-point list. */
+std::size_t
+pointIndex(std::size_t setup, std::size_t policy, std::size_t dpm)
 {
-    ExperimentConfig cfg;
-    cfg.policy = policy;
-    cfg.dpm = dpm;
-    cfg.cacheBlocks = setup.cacheBlocks;
-    cfg.pa.epochLength = setup.epoch;
-    return runExperiment(setup.trace, cfg);
+    return (setup * kPolicies.size() + policy) * kDpms.size() + dpm;
 }
 
 void
-energyPanel(const TraceSetup &setup)
+energyPanel(const TraceSetup &setup, std::size_t setup_idx,
+            const std::vector<runner::RunOutcome> &outcomes)
 {
     std::cout << "--- Figure 6 energy: " << setup.name
               << " (normalized to LRU) ---\n\n";
@@ -57,24 +62,24 @@ energyPanel(const TraceSetup &setup)
     t.header({"Policy", "Oracle DPM", "Practical DPM",
               "Oracle (J)", "Practical (J)"});
 
-    std::vector<double> oracle, practical;
-    for (PolicyKind k : kPolicies) {
-        oracle.push_back(run(setup, k, DpmChoice::Oracle).totalEnergy);
-        practical.push_back(
-            run(setup, k, DpmChoice::Practical).totalEnergy);
-    }
-    const double lru_o = oracle[3], lru_p = practical[3];
+    const auto energy = [&](std::size_t policy, std::size_t dpm) {
+        return outcomes[pointIndex(setup_idx, policy, dpm)]
+            .result.totalEnergy;
+    };
+    const double lru_o = energy(3, 0), lru_p = energy(3, 1);
     for (std::size_t i = 0; i < kPolicies.size(); ++i) {
         t.row({policyKindName(kPolicies[i]),
-               fmt(oracle[i] / lru_o, 3), fmt(practical[i] / lru_p, 3),
-               fmt(oracle[i], 0), fmt(practical[i], 0)});
+               fmt(energy(i, 0) / lru_o, 3),
+               fmt(energy(i, 1) / lru_p, 3), fmt(energy(i, 0), 0),
+               fmt(energy(i, 1), 0)});
     }
     t.print(std::cout);
     std::cout << '\n';
 }
 
 void
-responsePanel(const std::vector<TraceSetup> &setups)
+responsePanel(const std::vector<TraceSetup> &setups,
+              const std::vector<runner::RunOutcome> &outcomes)
 {
     std::cout << "--- Figure 6 (c): average response time, Practical "
                  "DPM (normalized to LRU) ---\n\n";
@@ -86,28 +91,19 @@ responsePanel(const std::vector<TraceSetup> &setups)
     }
     t.header(head);
 
-    std::vector<std::vector<double>> means(setups.size());
-    for (std::size_t s = 0; s < setups.size(); ++s) {
-        for (PolicyKind k : kPolicies) {
-            if (k == PolicyKind::InfiniteCache) {
-                continue; // the paper's 6(c) omits it
-            }
-            means[s].push_back(
-                run(setups[s], k, DpmChoice::Practical)
-                    .responses.mean());
-        }
-    }
-    std::size_t row = 0;
-    for (PolicyKind k : kPolicies) {
-        if (k == PolicyKind::InfiniteCache)
-            continue;
-        std::vector<std::string> cells{policyKindName(k)};
+    const auto mean = [&](std::size_t setup, std::size_t policy) {
+        return outcomes[pointIndex(setup, policy, 1)]
+            .result.responses.mean();
+    };
+    for (std::size_t i = 0; i < kPolicies.size(); ++i) {
+        if (kPolicies[i] == PolicyKind::InfiniteCache)
+            continue; // the paper's 6(c) omits it
+        std::vector<std::string> cells{policyKindName(kPolicies[i])};
         for (std::size_t s = 0; s < setups.size(); ++s) {
-            cells.push_back(fmt(means[s][row] / means[s][2], 3));
-            cells.push_back(fmt(means[s][row] * 1000.0, 2));
+            cells.push_back(fmt(mean(s, i) / mean(s, 3), 3));
+            cells.push_back(fmt(mean(s, i) * 1000.0, 2));
         }
         t.row(cells);
-        ++row;
     }
     t.print(std::cout);
     std::cout << '\n';
@@ -135,8 +131,35 @@ main()
     }
     std::cout << '\n';
 
-    for (const auto &s : setups)
-        energyPanel(s);
-    responsePanel(setups);
+    std::vector<runner::RunPoint> points;
+    for (const auto &s : setups) {
+        for (PolicyKind policy : kPolicies) {
+            for (DpmChoice dpm : kDpms) {
+                runner::RunPoint p;
+                p.label = std::string(s.name) + "/" +
+                          policyKindName(policy) + "/" +
+                          runner::dpmChoiceName(dpm);
+                p.trace = &s.trace;
+                p.config.policy = policy;
+                p.config.dpm = dpm;
+                p.config.cacheBlocks = s.cacheBlocks;
+                p.config.pa.epochLength = s.epoch;
+                points.push_back(std::move(p));
+            }
+        }
+    }
+    const auto outcomes =
+        runner::runAll(points, benchsupport::jobsFromEnv());
+
+    for (std::size_t s = 0; s < setups.size(); ++s)
+        energyPanel(setups[s], s, outcomes);
+    responsePanel(setups, outcomes);
+
+    benchsupport::BenchReport report("fig6_replacement",
+                                     benchsupport::jobsFromEnv());
+    for (std::size_t i = 0; i < points.size(); ++i)
+        report.addRun(outcomes[i].label, outcomes[i].wallMs,
+                      points[i].trace->size());
+    report.write();
     return 0;
 }

@@ -9,11 +9,16 @@
  * whose inter-arrival time shrinks under PA-LRU, and a quiet disk
  * ("disk 14") whose blocks PA-LRU protects so its inter-arrival time
  * stretches ~3x and it parks in standby most of the time.
+ *
+ * Both runs execute in parallel on the work-stealing pool
+ * (PACACHE_JOBS overrides the worker count).
  */
 
 #include <iostream>
 
+#include "bench_report.hh"
 #include "core/experiment.hh"
+#include "runner/sweep.hh"
 #include "trace/workloads.hh"
 #include "util/table.hh"
 
@@ -22,15 +27,17 @@ using namespace pacache;
 namespace
 {
 
-ExperimentResult
-run(const Trace &trace, PolicyKind policy)
+runner::RunPoint
+point(const Trace &trace, PolicyKind policy)
 {
-    ExperimentConfig cfg;
-    cfg.policy = policy;
-    cfg.dpm = DpmChoice::Practical;
-    cfg.cacheBlocks = 1024;
-    cfg.pa.epochLength = 900;
-    return runExperiment(trace, cfg);
+    runner::RunPoint p;
+    p.label = policyKindName(policy);
+    p.trace = &trace;
+    p.config.policy = policy;
+    p.config.dpm = DpmChoice::Practical;
+    p.config.cacheBlocks = 1024;
+    p.config.pa.epochLength = 900;
+    return p;
 }
 
 void
@@ -57,8 +64,12 @@ main()
     const OltpParams params;
     const Trace trace = makeOltpTrace(params);
 
-    const auto lru = run(trace, PolicyKind::LRU);
-    const auto pa = run(trace, PolicyKind::PALRU);
+    const std::vector<runner::RunPoint> points{
+        point(trace, PolicyKind::LRU), point(trace, PolicyKind::PALRU)};
+    const auto outcomes =
+        runner::runAll(points, benchsupport::jobsFromEnv());
+    const ExperimentResult &lru = outcomes[0].result;
+    const ExperimentResult &pa = outcomes[1].result;
 
     // Representative disks: the busiest disk and the quiet disk whose
     // standby time grows the most under PA-LRU.
@@ -113,5 +124,11 @@ main()
                  "time stretches ~3x and its standby share jumps\n"
                  "(16% -> 59% in the paper); the busy disk's "
                  "inter-arrival time shrinks but it was active anyway.\n";
+
+    benchsupport::BenchReport report("fig7_breakdown",
+                                     benchsupport::jobsFromEnv());
+    for (const auto &o : outcomes)
+        report.addRun(o.label, o.wallMs, trace.size());
+    report.write();
     return 0;
 }

@@ -5,11 +5,17 @@
  * transition), swept over {33.75, 67.5, 101.25, 135, 202.5, 270,
  * 675} J as in the paper. Savings should be fairly stable across the
  * 67.5-270 J range of real SCSI disks and fall off at both extremes.
+ *
+ * All 14 runs execute in parallel on the work-stealing pool
+ * (PACACHE_JOBS overrides the worker count).
  */
 
 #include <iostream>
+#include <vector>
 
+#include "bench_report.hh"
 #include "core/experiment.hh"
+#include "runner/sweep.hh"
 #include "trace/workloads.hh"
 #include "util/table.hh"
 
@@ -18,20 +24,22 @@ using namespace pacache;
 namespace
 {
 
-double
-savingsAt(const Trace &trace, Energy spinup_cost)
-{
-    ExperimentConfig cfg;
-    cfg.dpm = DpmChoice::Practical;
-    cfg.cacheBlocks = 1024;
-    cfg.pa.epochLength = 900;
-    cfg.spec.spinUpEnergy = spinup_cost;
+const std::vector<Energy> kSpinUpCosts{33.75,  67.5,  101.25, 135.0,
+                                       202.5, 270.0, 675.0};
 
-    cfg.policy = PolicyKind::LRU;
-    const double lru = runExperiment(trace, cfg).totalEnergy;
-    cfg.policy = PolicyKind::PALRU;
-    const double pa = runExperiment(trace, cfg).totalEnergy;
-    return 1.0 - pa / lru;
+runner::RunPoint
+point(const Trace &trace, Energy spinup_cost, PolicyKind policy)
+{
+    runner::RunPoint p;
+    p.label = std::string(policyKindName(policy)) + "/spinup" +
+              fmt(spinup_cost, 2) + "J";
+    p.trace = &trace;
+    p.config.policy = policy;
+    p.config.dpm = DpmChoice::Practical;
+    p.config.cacheBlocks = 1024;
+    p.config.pa.epochLength = 900;
+    p.config.spec.spinUpEnergy = spinup_cost;
+    return p;
 }
 
 } // namespace
@@ -46,11 +54,21 @@ main()
     params.duration = 3600; // half the full trace: sweep is 14 runs
     const Trace trace = makeOltpTrace(params);
 
+    // Point order: cost-major, LRU then PA-LRU within each cost.
+    std::vector<runner::RunPoint> points;
+    for (Energy cost : kSpinUpCosts) {
+        points.push_back(point(trace, cost, PolicyKind::LRU));
+        points.push_back(point(trace, cost, PolicyKind::PALRU));
+    }
+    const auto outcomes =
+        runner::runAll(points, benchsupport::jobsFromEnv());
+
     TextTable t;
     t.header({"Spin-up cost (J)", "Energy savings over LRU"});
-    for (Energy cost : {33.75, 67.5, 101.25, 135.0, 202.5, 270.0,
-                        675.0}) {
-        t.row({fmt(cost, 2), fmtPct(savingsAt(trace, cost), 1)});
+    for (std::size_t i = 0; i < kSpinUpCosts.size(); ++i) {
+        const double lru = outcomes[2 * i].result.totalEnergy;
+        const double pa = outcomes[2 * i + 1].result.totalEnergy;
+        t.row({fmt(kSpinUpCosts[i], 2), fmtPct(1.0 - pa / lru, 1)});
     }
     t.print(std::cout);
 
@@ -58,5 +76,11 @@ main()
                  "(real SCSI disks), smaller at both extremes —\n"
                  "cheap spin-ups mean LRU also sleeps; expensive "
                  "spin-ups push thresholds past the available gaps.\n";
+
+    benchsupport::BenchReport report("fig8_spinup",
+                                     benchsupport::jobsFromEnv());
+    for (const auto &o : outcomes)
+        report.addRun(o.label, o.wallMs, trace.size());
+    report.write();
     return 0;
 }

@@ -26,11 +26,10 @@ Cache::access(const BlockId &block, Time now, std::size_t idx)
 {
     CacheResult result;
     ++counters.accesses;
-    if (everSeen.insert(block.packed()).second)
+    if (everSeen.emplace(block.packed(), 0).second)
         ++counters.coldMisses;
 
-    auto it = resident.find(block);
-    if (it != resident.end()) {
+    if (resident.find(block)) {
         ++counters.hits;
         result.hit = true;
         repl->onAccess(block, now, idx, true);
@@ -51,7 +50,7 @@ CacheResult
 Cache::insert(const BlockId &block, Time now, std::size_t idx)
 {
     CacheResult result;
-    if (resident.count(block)) {
+    if (resident.contains(block)) {
         result.hit = true;
         return result;
     }
@@ -66,15 +65,14 @@ Cache::bringIn(const BlockId &block, Time now, std::size_t idx,
 {
     if (resident.size() >= capacityBlocks) {
         const BlockId victim = repl->evict(now, idx);
-        auto vit = resident.find(victim);
-        PACACHE_ASSERT(vit != resident.end(),
-                       "policy evicted a non-resident block");
+        const Flags *flags = resident.find(victim);
+        PACACHE_ASSERT(flags, "policy evicted a non-resident block");
         result.evicted = true;
         result.victim = victim;
-        result.victimDirty = vit->second.dirty;
-        result.victimLogged = vit->second.logged;
-        dropFlags(victim, vit->second);
-        resident.erase(vit);
+        result.victimDirty = flags->dirty;
+        result.victimLogged = flags->logged;
+        dropFlags(victim, *flags);
+        resident.erase(victim);
         ++counters.evictions;
         if (obs)
             obs->cacheEviction(victim, result.victimDirty);
@@ -87,11 +85,11 @@ Cache::bringIn(const BlockId &block, Time now, std::size_t idx,
 void
 Cache::markDirty(const BlockId &block)
 {
-    auto it = resident.find(block);
-    PACACHE_ASSERT(it != resident.end(), "markDirty on non-resident block");
-    if (it->second.dirty)
+    Flags *flags = resident.find(block);
+    PACACHE_ASSERT(flags, "markDirty on non-resident block");
+    if (flags->dirty)
         return;
-    it->second.dirty = true;
+    flags->dirty = true;
     if (block.disk >= dirtyPerDisk.size())
         dirtyPerDisk.resize(block.disk + 1);
     dirtyPerDisk[block.disk].insert(block.block);
@@ -100,29 +98,29 @@ Cache::markDirty(const BlockId &block)
 void
 Cache::markClean(const BlockId &block)
 {
-    auto it = resident.find(block);
-    PACACHE_ASSERT(it != resident.end(), "markClean on non-resident block");
-    if (!it->second.dirty)
+    Flags *flags = resident.find(block);
+    PACACHE_ASSERT(flags, "markClean on non-resident block");
+    if (!flags->dirty)
         return;
-    it->second.dirty = false;
+    flags->dirty = false;
     dirtyPerDisk[block.disk].erase(block.block);
 }
 
 bool
 Cache::isDirty(const BlockId &block) const
 {
-    auto it = resident.find(block);
-    return it != resident.end() && it->second.dirty;
+    const Flags *flags = resident.find(block);
+    return flags && flags->dirty;
 }
 
 void
 Cache::markLogged(const BlockId &block)
 {
-    auto it = resident.find(block);
-    PACACHE_ASSERT(it != resident.end(), "markLogged on non-resident block");
-    if (it->second.logged)
+    Flags *flags = resident.find(block);
+    PACACHE_ASSERT(flags, "markLogged on non-resident block");
+    if (flags->logged)
         return;
-    it->second.logged = true;
+    flags->logged = true;
     if (block.disk >= loggedPerDisk.size())
         loggedPerDisk.resize(block.disk + 1);
     loggedPerDisk[block.disk].insert(block.block);
@@ -131,18 +129,18 @@ Cache::markLogged(const BlockId &block)
 void
 Cache::clearLogged(const BlockId &block)
 {
-    auto it = resident.find(block);
-    if (it == resident.end() || !it->second.logged)
+    Flags *flags = resident.find(block);
+    if (!flags || !flags->logged)
         return;
-    it->second.logged = false;
+    flags->logged = false;
     loggedPerDisk[block.disk].erase(block.block);
 }
 
 bool
 Cache::isLogged(const BlockId &block) const
 {
-    auto it = resident.find(block);
-    return it != resident.end() && it->second.logged;
+    const Flags *flags = resident.find(block);
+    return flags && flags->logged;
 }
 
 std::vector<BlockId>

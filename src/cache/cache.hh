@@ -10,12 +10,12 @@
 #define PACACHE_CACHE_CACHE_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "cache/policy.hh"
 #include "sim/types.hh"
+#include "util/flat_map.hh"
 
 namespace pacache
 {
@@ -81,7 +81,7 @@ class Cache
 
     bool contains(const BlockId &block) const
     {
-        return resident.count(block) > 0;
+        return resident.contains(block);
     }
 
     /** Mark a resident block dirty (write-back family). */
@@ -134,10 +134,10 @@ class Cache
 
     std::size_t capacityBlocks;
     ReplacementPolicy *repl;
-    std::unordered_map<BlockId, Flags> resident;
+    FlatMap<BlockId, Flags> resident; //!< open-addressing: hot path
     std::vector<std::unordered_set<BlockNum>> dirtyPerDisk;
     std::vector<std::unordered_set<BlockNum>> loggedPerDisk;
-    std::unordered_set<uint64_t> everSeen; //!< for exact cold-miss count
+    FlatMap<uint64_t, uint8_t> everSeen; //!< exact cold-miss count
     CacheStats counters;
     obs::SimObserver *obs = nullptr; //!< null = no instrumentation
 };

@@ -6,61 +6,46 @@ namespace pacache
 {
 
 void
-ClockPolicy::advanceHand()
-{
-    ++hand;
-    if (hand == ring.end())
-        hand = ring.begin();
-}
-
-void
 ClockPolicy::onAccess(const BlockId &block, Time, std::size_t, bool hit)
 {
     if (hit) {
-        auto it = index.find(block);
-        PACACHE_ASSERT(it != index.end(), "CLOCK hit on unknown block");
-        it->second->referenced = true;
+        Ring::Node **node = index.find(block);
+        PACACHE_ASSERT(node, "CLOCK hit on unknown block");
+        (*node)->value.referenced = true;
         return;
     }
     // Insert just before the hand (i.e. at the "oldest" position the
     // hand will reach last).
-    auto pos = hand == ring.end() ? ring.end() : hand;
-    auto it = ring.insert(pos, Entry{block, false});
-    index[block] = it;
-    if (hand == ring.end())
-        hand = it;
+    Ring::Node *n = ring.insertBefore(hand, Entry{block, false});
+    index.emplace(block, n);
+    if (!hand)
+        hand = n;
 }
 
 void
 ClockPolicy::onRemove(const BlockId &block)
 {
-    auto it = index.find(block);
-    PACACHE_ASSERT(it != index.end(), "CLOCK removal of unknown block");
-    if (it->second == hand) {
-        advanceHand();
-        if (ring.size() == 1)
-            hand = ring.end();
-    }
-    ring.erase(it->second);
-    index.erase(it);
-    if (ring.empty())
-        hand = ring.end();
+    Ring::Node **found = index.find(block);
+    PACACHE_ASSERT(found, "CLOCK removal of unknown block");
+    Ring::Node *node = *found;
+    if (node == hand)
+        hand = ring.size() == 1 ? nullptr : after(node);
+    ring.unlink(node);
+    index.erase(block);
 }
 
 BlockId
 ClockPolicy::evict(Time, std::size_t)
 {
     PACACHE_ASSERT(!ring.empty(), "CLOCK evict on empty cache");
-    while (hand->referenced) {
-        hand->referenced = false;
-        advanceHand();
+    while (hand->value.referenced) {
+        hand->value.referenced = false;
+        hand = after(hand);
     }
-    BlockId victim = hand->block;
-    auto dead = hand;
-    advanceHand();
-    if (ring.size() == 1)
-        hand = ring.end();
-    ring.erase(dead);
+    const BlockId victim = hand->value.block;
+    Ring::Node *dead = hand;
+    hand = ring.size() == 1 ? nullptr : after(dead);
+    ring.unlink(dead);
     index.erase(victim);
     return victim;
 }

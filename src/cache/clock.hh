@@ -7,10 +7,9 @@
 #ifndef PACACHE_CACHE_CLOCK_HH
 #define PACACHE_CACHE_CLOCK_HH
 
-#include <list>
-#include <unordered_map>
-
 #include "cache/policy.hh"
+#include "util/flat_map.hh"
+#include "util/intrusive_list.hh"
 
 namespace pacache
 {
@@ -33,13 +32,17 @@ class ClockPolicy : public ReplacementPolicy
         bool referenced = false;
     };
 
-    using Ring = std::list<Entry>;
+    using Ring = ArenaList<Entry>;
 
-    void advanceHand();
+    /** Hand successor with wrap-around (null only when empty). */
+    Ring::Node *after(Ring::Node *n)
+    {
+        return n->next ? n->next : ring.front();
+    }
 
-    Ring ring;
-    Ring::iterator hand = ring.end();
-    std::unordered_map<BlockId, Ring::iterator> index;
+    Ring ring;                  //!< linear storage, wrapped manually
+    Ring::Node *hand = nullptr; //!< null iff the ring is empty
+    FlatMap<BlockId, Ring::Node *> index;
 };
 
 } // namespace pacache

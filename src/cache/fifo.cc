@@ -10,25 +10,23 @@ FifoPolicy::onAccess(const BlockId &block, Time, std::size_t, bool hit)
 {
     if (hit)
         return; // FIFO ignores re-references
-    order.push_back(block);
-    index[block] = std::prev(order.end());
+    index.emplace(block, order.pushBack(block));
 }
 
 void
 FifoPolicy::onRemove(const BlockId &block)
 {
-    auto it = index.find(block);
-    PACACHE_ASSERT(it != index.end(), "FIFO removal of unknown block");
-    order.erase(it->second);
-    index.erase(it);
+    Order::Node **node = index.find(block);
+    PACACHE_ASSERT(node, "FIFO removal of unknown block");
+    order.unlink(*node);
+    index.erase(block);
 }
 
 BlockId
 FifoPolicy::evict(Time, std::size_t)
 {
     PACACHE_ASSERT(!order.empty(), "FIFO evict on empty cache");
-    BlockId victim = order.front();
-    order.pop_front();
+    const BlockId victim = order.popFront();
     index.erase(victim);
     return victim;
 }

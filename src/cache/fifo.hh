@@ -6,10 +6,9 @@
 #ifndef PACACHE_CACHE_FIFO_HH
 #define PACACHE_CACHE_FIFO_HH
 
-#include <list>
-#include <unordered_map>
-
 #include "cache/policy.hh"
+#include "util/flat_map.hh"
+#include "util/intrusive_list.hh"
 
 namespace pacache
 {
@@ -26,8 +25,10 @@ class FifoPolicy : public ReplacementPolicy
     BlockId evict(Time now, std::size_t idx) override;
 
   private:
-    std::list<BlockId> order; //!< front = oldest
-    std::unordered_map<BlockId, std::list<BlockId>::iterator> index;
+    using Order = ArenaList<BlockId>;
+
+    Order order; //!< front = oldest
+    FlatMap<BlockId, Order::Node *> index;
 };
 
 } // namespace pacache

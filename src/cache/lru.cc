@@ -8,21 +8,21 @@ namespace pacache
 void
 LruStack::touch(const BlockId &block)
 {
-    auto it = index.find(block);
-    if (it != index.end())
-        order.erase(it->second);
-    order.push_front(block);
-    index[block] = order.begin();
+    if (Order::Node **node = index.find(block)) {
+        order.moveToFront(*node);
+        return;
+    }
+    index.emplace(block, order.pushFront(block));
 }
 
 bool
 LruStack::remove(const BlockId &block)
 {
-    auto it = index.find(block);
-    if (it == index.end())
+    Order::Node **node = index.find(block);
+    if (!node)
         return false;
-    order.erase(it->second);
-    index.erase(it);
+    order.unlink(*node);
+    index.erase(block);
     return true;
 }
 
@@ -30,8 +30,7 @@ BlockId
 LruStack::popLru()
 {
     PACACHE_ASSERT(!order.empty(), "popLru on empty stack");
-    BlockId victim = order.back();
-    order.pop_back();
+    const BlockId victim = order.popBack();
     index.erase(victim);
     return victim;
 }

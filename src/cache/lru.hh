@@ -6,17 +6,18 @@
 #ifndef PACACHE_CACHE_LRU_HH
 #define PACACHE_CACHE_LRU_HH
 
-#include <list>
-#include <unordered_map>
-
 #include "cache/policy.hh"
+#include "util/flat_map.hh"
+#include "util/intrusive_list.hh"
 
 namespace pacache
 {
 
 /**
  * An LRU stack usable both as a standalone policy and as a building
- * block (PA-LRU maintains two of them).
+ * block (PA-LRU maintains two of them). Backed by an arena list plus
+ * an open-addressing index, so steady-state touch/evict churn does no
+ * per-node heap allocation.
  */
 class LruStack
 {
@@ -32,15 +33,17 @@ class LruStack
 
     bool contains(const BlockId &block) const
     {
-        return index.count(block) > 0;
+        return index.contains(block);
     }
 
     bool empty() const { return order.empty(); }
     std::size_t size() const { return order.size(); }
 
   private:
-    std::list<BlockId> order; //!< front = MRU, back = LRU
-    std::unordered_map<BlockId, std::list<BlockId>::iterator> index;
+    using Order = ArenaList<BlockId>;
+
+    Order order; //!< front = MRU, back = LRU
+    FlatMap<BlockId, Order::Node *> index;
 };
 
 /** Plain LRU replacement policy. */

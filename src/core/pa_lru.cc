@@ -60,23 +60,22 @@ PaDualPolicy::onAccess(const BlockId &block, Time now, std::size_t idx,
                        bool hit)
 {
     const uint8_t want = cls->isPriority(block.disk) ? 1 : 0;
-    auto it = home.find(block);
+    uint8_t *have = home.find(block);
     if (hit) {
-        PACACHE_ASSERT(it != home.end(), "PA wrapper hit on unknown block");
-        const uint8_t have = it->second;
-        if (have == want) {
+        PACACHE_ASSERT(have, "PA wrapper hit on unknown block");
+        if (*have == want) {
             sub[want]->onAccess(block, now, idx, true);
             return;
         }
         // Classification changed: migrate between sub-policies.
-        sub[have]->onRemove(block);
-        --counts[have];
+        sub[*have]->onRemove(block);
+        --counts[*have];
         sub[want]->onAccess(block, now, idx, false);
         ++counts[want];
-        it->second = want;
+        *have = want;
         return;
     }
-    PACACHE_ASSERT(it == home.end(), "PA wrapper double insert");
+    PACACHE_ASSERT(!have, "PA wrapper double insert");
     sub[want]->onAccess(block, now, idx, false);
     ++counts[want];
     home.emplace(block, want);
@@ -85,11 +84,11 @@ PaDualPolicy::onAccess(const BlockId &block, Time now, std::size_t idx,
 void
 PaDualPolicy::onRemove(const BlockId &block)
 {
-    auto it = home.find(block);
-    PACACHE_ASSERT(it != home.end(), "PA wrapper removal of unknown block");
-    sub[it->second]->onRemove(block);
-    --counts[it->second];
-    home.erase(it);
+    const uint8_t *which = home.find(block);
+    PACACHE_ASSERT(which, "PA wrapper removal of unknown block");
+    sub[*which]->onRemove(block);
+    --counts[*which];
+    home.erase(block);
 }
 
 BlockId

@@ -16,11 +16,11 @@
 
 #include <memory>
 #include <string>
-#include <unordered_map>
 
 #include "cache/lru.hh"
 #include "cache/policy.hh"
 #include "core/pa_classifier.hh"
+#include "util/flat_map.hh"
 
 namespace pacache
 {
@@ -86,7 +86,7 @@ class PaDualPolicy : public ReplacementPolicy
     const PaClassifier *cls;
     std::unique_ptr<ReplacementPolicy> sub[2]; //!< [0]=regular
     std::size_t counts[2] = {0, 0};
-    std::unordered_map<BlockId, uint8_t> home; //!< which sub holds it
+    FlatMap<BlockId, uint8_t> home; //!< which sub holds it
     std::string label;
 };
 

@@ -66,6 +66,11 @@ SimObserver::configureRun(std::size_t num_disks, bool has_log_device,
         cacheEvictionsPriority =
             &registry->counter("cache.evictions.priority");
         wtduLogWrites = &registry->counter("wtdu.log_writes");
+        paEpochs = &registry->counter("pa.epochs");
+        paClassFlips = &registry->counter("pa.class_flips");
+        wbeuForcedWakeups = &registry->counter("wbeu.forced_wakeups");
+        wtduRegionRecycles =
+            &registry->counter("wtdu.region_recycles");
         diskSpinUps.clear();
         diskSpinDowns.clear();
         for (std::size_t d = 0; d < tracks; ++d) {
@@ -288,7 +293,7 @@ void
 SimObserver::paEpochBoundary(uint64_t epoch, Time now)
 {
     if (registry)
-        registry->counter("pa.epochs").inc();
+        paEpochs->inc();
     if (traceWriter) {
         nameClassifierTrack();
         traceWriter->instant(classifierTrack(), "epoch", now, "pa",
@@ -300,7 +305,7 @@ void
 SimObserver::paClassFlip(DiskId disk, bool priority, Time now)
 {
     if (registry)
-        registry->counter("pa.class_flips").inc();
+        paClassFlips->inc();
     if (traceWriter) {
         nameClassifierTrack();
         traceWriter->instant(
@@ -317,7 +322,7 @@ SimObserver::wbeuForcedWake(DiskId disk, std::size_t dirty_blocks,
                             Time now)
 {
     if (registry)
-        registry->counter("wbeu.forced_wakeups").inc();
+        wbeuForcedWakeups->inc();
     if (traceWriter) {
         traceWriter->instant(
             disk, "wbeu-forced-wake", now, "write",
@@ -336,7 +341,7 @@ void
 SimObserver::wtduRegionRecycle(DiskId disk, Time now)
 {
     if (registry)
-        registry->counter("wtdu.region_recycles").inc();
+        wtduRegionRecycles->inc();
     if (traceWriter)
         traceWriter->instant(disk, "wtdu-region-recycle", now, "write");
 }

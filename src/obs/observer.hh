@@ -170,6 +170,10 @@ class SimObserver
     Counter *cacheEvictionsTotal = nullptr;
     Counter *cacheEvictionsPriority = nullptr;
     Counter *wtduLogWrites = nullptr;
+    Counter *paEpochs = nullptr;
+    Counter *paClassFlips = nullptr;
+    Counter *wbeuForcedWakeups = nullptr;
+    Counter *wtduRegionRecycles = nullptr;
     std::vector<Counter *> diskSpinUps;
     std::vector<Counter *> diskSpinDowns;
 

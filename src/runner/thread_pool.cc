@@ -1,0 +1,124 @@
+#include "runner/thread_pool.hh"
+
+#include "util/logging.hh"
+
+namespace pacache::runner
+{
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    const unsigned n = threads == 0 ? 1 : threads;
+    queues.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        queues.push_back(std::make_unique<WorkerQueue>());
+    workers.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard lock(sleepMutex);
+        shuttingDown = true;
+    }
+    workAvailable.notify_all();
+    for (std::thread &w : workers)
+        w.join();
+}
+
+unsigned
+ThreadPool::defaultWorkers()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+void
+ThreadPool::submit(Task task)
+{
+    PACACHE_ASSERT(task, "submitted an empty task");
+    const std::size_t target =
+        nextQueue.fetch_add(1, std::memory_order_relaxed) % queues.size();
+    {
+        std::lock_guard lock(sleepMutex);
+        PACACHE_ASSERT(!shuttingDown, "submit after shutdown began");
+        ++inFlight;
+        ++submitSeq;
+    }
+    {
+        std::lock_guard lock(queues[target]->mutex);
+        queues[target]->tasks.push_back(std::move(task));
+    }
+    workAvailable.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock lock(sleepMutex);
+    allDone.wait(lock, [this] { return inFlight == 0; });
+}
+
+bool
+ThreadPool::popLocal(std::size_t self, Task &out)
+{
+    WorkerQueue &q = *queues[self];
+    std::lock_guard lock(q.mutex);
+    if (q.tasks.empty())
+        return false;
+    out = std::move(q.tasks.front());
+    q.tasks.pop_front();
+    return true;
+}
+
+bool
+ThreadPool::stealRemote(std::size_t self, Task &out)
+{
+    const std::size_t n = queues.size();
+    for (std::size_t step = 1; step < n; ++step) {
+        WorkerQueue &victim = *queues[(self + step) % n];
+        std::lock_guard lock(victim.mutex);
+        if (victim.tasks.empty())
+            continue;
+        // Steal the coldest (oldest) task: the owner works the
+        // front, so contention on a single element is unlikely.
+        out = std::move(victim.tasks.back());
+        victim.tasks.pop_back();
+        return true;
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(std::size_t self)
+{
+    while (true) {
+        // Snapshot the submit generation BEFORE scanning: a submit
+        // that races with the scan bumps the sequence and defeats
+        // the wait predicate below, so no wakeup is ever lost.
+        std::size_t seenSeq;
+        {
+            std::lock_guard lock(sleepMutex);
+            seenSeq = submitSeq;
+        }
+
+        Task task;
+        if (popLocal(self, task) || stealRemote(self, task)) {
+            task();
+            std::lock_guard lock(sleepMutex);
+            if (--inFlight == 0)
+                allDone.notify_all();
+            continue;
+        }
+
+        std::unique_lock lock(sleepMutex);
+        if (shuttingDown)
+            return;
+        workAvailable.wait(lock, [this, seenSeq] {
+            return shuttingDown || submitSeq != seenSeq;
+        });
+    }
+}
+
+} // namespace pacache::runner

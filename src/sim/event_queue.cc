@@ -1,68 +1,23 @@
 #include "sim/event_queue.hh"
 
-#include "util/logging.hh"
+#include <algorithm>
 
 namespace pacache
 {
 
-EventQueue::Handle
-EventQueue::schedule(Time when, Callback cb)
-{
-    PACACHE_ASSERT(when >= currentTime,
-                   "scheduling into the past: ", when, " < ", currentTime);
-    const uint64_t seq = nextSeq++;
-    events.emplace(Key{when, seq}, std::move(cb));
-    return Handle{when, seq, true};
-}
-
-EventQueue::Handle
-EventQueue::scheduleAfter(Time delay, Callback cb)
-{
-    return schedule(currentTime + delay, std::move(cb));
-}
-
-bool
-EventQueue::cancel(Handle &h)
-{
-    if (!h.valid)
-        return false;
-    h.valid = false;
-    return events.erase(Key{h.when, h.seq}) > 0;
-}
-
-bool
-EventQueue::pending(const Handle &h) const
-{
-    return h.valid && events.count(Key{h.when, h.seq}) > 0;
-}
-
-bool
-EventQueue::runOne()
-{
-    if (events.empty())
-        return false;
-    auto it = events.begin();
-    currentTime = it->first.first;
-    Callback cb = std::move(it->second);
-    events.erase(it);
-    cb(currentTime);
-    return true;
-}
-
 void
-EventQueue::runAll()
+EventQueue::compact()
 {
-    while (runOne()) {
+    heap.erase(std::remove_if(heap.begin(), heap.end(),
+                              [this](const Entry &e) {
+                                  return !entryLive(e);
+                              }),
+               heap.end());
+    staleEntries = 0;
+    if (heap.size() > 1) {
+        for (std::size_t i = (heap.size() - 2) / kArity + 1; i-- > 0;)
+            siftDown(i);
     }
-}
-
-void
-EventQueue::runUntil(Time until)
-{
-    while (!events.empty() && events.begin()->first.first <= until)
-        runOne();
-    if (until > currentTime)
-        currentTime = until;
 }
 
 } // namespace pacache

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * ArenaList — a doubly-linked list whose nodes live in a chunked
+ * arena, built for replacement-policy recency stacks.
+ *
+ * The policies (LRU, FIFO, CLOCK, the PA stacks) perform exactly
+ * three operations per simulated request: look a node up by key (the
+ * job of FlatMap), splice it to one end, or unlink it. std::list
+ * pays a heap allocation per insert and a free per erase; at cache
+ * capacity the policies insert and erase on every miss, forever.
+ * ArenaList instead:
+ *
+ *  - allocates nodes from a std::deque arena (chunked, so node
+ *    addresses are stable for the lifetime of the list);
+ *  - keeps unlinked nodes on an internal free list, so a policy
+ *    running at steady state performs **zero** allocations no matter
+ *    how long the trace is — the arena high-water mark is the cache
+ *    capacity;
+ *  - exposes nodes directly (Node*), so an index map can store the
+ *    node pointer and splice/unlink without any iterator machinery.
+ *
+ * Not thread-safe; nodes belong to exactly one list (no cross-list
+ * splicing) — everything the replacement policies need and nothing
+ * more.
+ */
+
+#ifndef PACACHE_UTIL_INTRUSIVE_LIST_HH
+#define PACACHE_UTIL_INTRUSIVE_LIST_HH
+
+#include <cstddef>
+#include <deque>
+#include <utility>
+
+namespace pacache
+{
+
+/** Arena-backed doubly-linked list; see the file comment. */
+template <typename T>
+class ArenaList
+{
+  public:
+    struct Node
+    {
+        T value{};
+        Node *prev = nullptr;
+        Node *next = nullptr;
+    };
+
+    ArenaList() = default;
+    ArenaList(const ArenaList &) = delete;
+    ArenaList &operator=(const ArenaList &) = delete;
+
+    std::size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+
+    Node *front() { return head; }
+    Node *back() { return tail; }
+    const Node *front() const { return head; }
+    const Node *back() const { return tail; }
+
+    /** Next node, or null at the end. */
+    static Node *next(Node *n) { return n->next; }
+
+    Node *
+    pushFront(T value)
+    {
+        Node *n = acquire(std::move(value));
+        n->next = head;
+        if (head)
+            head->prev = n;
+        head = n;
+        if (!tail)
+            tail = n;
+        ++count;
+        return n;
+    }
+
+    Node *
+    pushBack(T value)
+    {
+        Node *n = acquire(std::move(value));
+        n->prev = tail;
+        if (tail)
+            tail->next = n;
+        tail = n;
+        if (!head)
+            head = n;
+        ++count;
+        return n;
+    }
+
+    /**
+     * Insert a new node just before @p pos (null: append at the
+     * back), matching std::list::insert semantics.
+     */
+    Node *
+    insertBefore(Node *pos, T value)
+    {
+        if (!pos)
+            return pushBack(std::move(value));
+        if (!pos->prev)
+            return pushFront(std::move(value));
+        Node *n = acquire(std::move(value));
+        n->prev = pos->prev;
+        n->next = pos;
+        pos->prev->next = n;
+        pos->prev = n;
+        ++count;
+        return n;
+    }
+
+    /** Splice an already-linked node to the front (MRU position). */
+    void
+    moveToFront(Node *n)
+    {
+        if (n == head)
+            return;
+        detach(n);
+        n->prev = nullptr;
+        n->next = head;
+        head->prev = n; // head != n, so the list is non-empty
+        head = n;
+    }
+
+    /**
+     * Unlink @p n and recycle it onto the free list. The pointer is
+     * dead after this call (a later insert may resurrect the node).
+     */
+    void
+    unlink(Node *n)
+    {
+        detach(n);
+        n->next = freeList;
+        n->prev = nullptr;
+        freeList = n;
+        --count;
+    }
+
+    /** Unlink the back node and return its value. List must be
+     *  non-empty. */
+    T
+    popBack()
+    {
+        Node *n = tail;
+        T value = std::move(n->value);
+        unlink(n);
+        return value;
+    }
+
+    /** Unlink the front node and return its value. List must be
+     *  non-empty. */
+    T
+    popFront()
+    {
+        Node *n = head;
+        T value = std::move(n->value);
+        unlink(n);
+        return value;
+    }
+
+    /** Drop every element (arena storage is retained for reuse). */
+    void
+    clear()
+    {
+        while (head) {
+            Node *n = head;
+            head = n->next;
+            n->next = freeList;
+            n->prev = nullptr;
+            freeList = n;
+        }
+        tail = nullptr;
+        count = 0;
+    }
+
+    /** Nodes ever materialized (testing: steady-state reuse). */
+    std::size_t arenaSize() const { return arena.size(); }
+
+  private:
+    Node *
+    acquire(T value)
+    {
+        Node *n;
+        if (freeList) {
+            n = freeList;
+            freeList = n->next;
+        } else {
+            n = &arena.emplace_back();
+        }
+        n->value = std::move(value);
+        n->prev = nullptr;
+        n->next = nullptr;
+        return n;
+    }
+
+    /** Remove @p n from the chain without touching the free list. */
+    void
+    detach(Node *n)
+    {
+        if (n->prev)
+            n->prev->next = n->next;
+        else
+            head = n->next;
+        if (n->next)
+            n->next->prev = n->prev;
+        else
+            tail = n->prev;
+    }
+
+    std::deque<Node> arena;
+    Node *freeList = nullptr;
+    Node *head = nullptr;
+    Node *tail = nullptr;
+    std::size_t count = 0;
+};
+
+} // namespace pacache
+
+#endif // PACACHE_UTIL_INTRUSIVE_LIST_HH

@@ -1,7 +1,9 @@
 #include "util/json.hh"
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <limits>
 #include <ostream>
 
@@ -184,6 +186,306 @@ JsonWriter::rawValue(std::string_view v)
     separate();
     out << v;
     return *this;
+}
+
+// ---- parser ---------------------------------------------------------
+
+bool
+JsonValue::asBool() const
+{
+    PACACHE_ASSERT(isBool(), "JSON value is not a bool");
+    return boolValue;
+}
+
+double
+JsonValue::asNumber() const
+{
+    PACACHE_ASSERT(isNumber(), "JSON value is not a number");
+    return numberValue;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    PACACHE_ASSERT(isString(), "JSON value is not a string");
+    return stringValue;
+}
+
+const JsonValue::Array &
+JsonValue::asArray() const
+{
+    PACACHE_ASSERT(isArray(), "JSON value is not an array");
+    return arrayValue;
+}
+
+const JsonValue::Object &
+JsonValue::asObject() const
+{
+    PACACHE_ASSERT(isObject(), "JSON value is not an object");
+    return objectValue;
+}
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    if (!isObject())
+        return nullptr;
+    const auto it = objectValue.find(key);
+    return it == objectValue.end() ? nullptr : &it->second;
+}
+
+/** Recursive-descent parser over a complete in-memory document. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(std::string_view text) : text(text) {}
+
+    JsonValue
+    parseDocument()
+    {
+        JsonValue v = parseValue();
+        skipWhitespace();
+        if (pos != text.size())
+            fail("trailing characters after JSON document");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what)
+    {
+        std::size_t line = 1, col = 1;
+        for (std::size_t i = 0; i < pos && i < text.size(); ++i) {
+            if (text[i] == '\n') {
+                ++line;
+                col = 1;
+            } else {
+                ++col;
+            }
+        }
+        PACACHE_FATAL("JSON parse error at line ", line, ", column ",
+                      col, ": ", what);
+    }
+
+    void
+    skipWhitespace()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r')) {
+            ++pos;
+        }
+    }
+
+    char
+    peek()
+    {
+        if (pos >= text.size())
+            fail("unexpected end of input");
+        return text[pos];
+    }
+
+    void
+    expect(char c)
+    {
+        if (pos >= text.size() || text[pos] != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos;
+    }
+
+    bool
+    consumeLiteral(std::string_view lit)
+    {
+        if (text.substr(pos, lit.size()) != lit)
+            return false;
+        pos += lit.size();
+        return true;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        skipWhitespace();
+        switch (peek()) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': return parseString();
+          case 't':
+          case 'f': return parseBool();
+          case 'n': {
+            if (!consumeLiteral("null"))
+                fail("invalid literal");
+            return JsonValue{};
+          }
+          default: return parseNumber();
+        }
+    }
+
+    JsonValue
+    parseObject()
+    {
+        expect('{');
+        JsonValue v;
+        v.valueKind = JsonValue::Kind::Object;
+        skipWhitespace();
+        if (peek() == '}') {
+            ++pos;
+            return v;
+        }
+        while (true) {
+            skipWhitespace();
+            if (peek() != '"')
+                fail("expected object key string");
+            JsonValue key = parseString();
+            skipWhitespace();
+            expect(':');
+            v.objectValue[key.stringValue] = parseValue();
+            skipWhitespace();
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            expect('}');
+            return v;
+        }
+    }
+
+    JsonValue
+    parseArray()
+    {
+        expect('[');
+        JsonValue v;
+        v.valueKind = JsonValue::Kind::Array;
+        skipWhitespace();
+        if (peek() == ']') {
+            ++pos;
+            return v;
+        }
+        while (true) {
+            v.arrayValue.push_back(parseValue());
+            skipWhitespace();
+            if (peek() == ',') {
+                ++pos;
+                continue;
+            }
+            expect(']');
+            return v;
+        }
+    }
+
+    JsonValue
+    parseString()
+    {
+        expect('"');
+        JsonValue v;
+        v.valueKind = JsonValue::Kind::String;
+        std::string &out = v.stringValue;
+        while (true) {
+            const char c = peek();
+            ++pos;
+            if (c == '"')
+                return v;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            const char esc = peek();
+            ++pos;
+            switch (esc) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos + 4 > text.size())
+                    fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text[pos++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("invalid \\u escape digit");
+                }
+                // Config files are ASCII in practice; encode the
+                // code point as UTF-8 without surrogate handling.
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xC0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    out += static_cast<char>(0xE0 | (code >> 12));
+                    out += static_cast<char>(0x80 |
+                                             ((code >> 6) & 0x3F));
+                    out += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+              }
+              default: fail("unknown escape sequence");
+            }
+        }
+    }
+
+    JsonValue
+    parseBool()
+    {
+        JsonValue v;
+        v.valueKind = JsonValue::Kind::Bool;
+        if (consumeLiteral("true")) {
+            v.boolValue = true;
+            return v;
+        }
+        if (consumeLiteral("false")) {
+            v.boolValue = false;
+            return v;
+        }
+        fail("invalid literal");
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        const std::size_t start = pos;
+        if (pos < text.size() && text[pos] == '-')
+            ++pos;
+        while (pos < text.size() &&
+               (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+                text[pos] == '.' || text[pos] == 'e' ||
+                text[pos] == 'E' || text[pos] == '+' ||
+                text[pos] == '-')) {
+            ++pos;
+        }
+        if (pos == start)
+            fail("expected a value");
+        const std::string token(text.substr(start, pos - start));
+        char *end = nullptr;
+        const double parsed = std::strtod(token.c_str(), &end);
+        if (end != token.c_str() + token.size())
+            fail("malformed number '" + token + "'");
+        JsonValue v;
+        v.valueKind = JsonValue::Kind::Number;
+        v.numberValue = parsed;
+        return v;
+    }
+
+    std::string_view text;
+    std::size_t pos = 0;
+};
+
+JsonValue
+JsonValue::parse(std::string_view text)
+{
+    return JsonParser(text).parseDocument();
 }
 
 } // namespace pacache

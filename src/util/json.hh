@@ -1,10 +1,12 @@
 /**
  * @file
  * Minimal streaming JSON writer shared by the observability sinks and
- * the stats serializers. Tracks the object/array nesting and inserts
- * commas so callers never emit malformed separators; numbers are
- * written round-trippably (doubles with max_digits10, NaN/Inf as
- * null, since JSON has no representation for them).
+ * the stats serializers, plus a small JSON value parser for
+ * configuration inputs (sweep spec files). The writer tracks the
+ * object/array nesting and inserts commas so callers never emit
+ * malformed separators; numbers are written round-trippably (doubles
+ * with max_digits10, NaN/Inf as null, since JSON has no
+ * representation for them).
  */
 
 #ifndef PACACHE_UTIL_JSON_HH
@@ -12,6 +14,8 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -80,6 +84,62 @@ class JsonWriter
     std::vector<char> scopes;
     bool firstInScope = true;
     bool afterKey = false;
+};
+
+/**
+ * A parsed JSON value (configuration-input sized, not a streaming
+ * DOM). Numbers are kept as doubles — ample for sweep-spec knobs.
+ * Parse errors throw std::runtime_error with line/column context.
+ */
+class JsonValue
+{
+  public:
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    using Array = std::vector<JsonValue>;
+    /** Ordered map: deterministic iteration for reserialization. */
+    using Object = std::map<std::string, JsonValue, std::less<>>;
+
+    JsonValue() = default;
+
+    Kind kind() const { return valueKind; }
+    bool isNull() const { return valueKind == Kind::Null; }
+    bool isBool() const { return valueKind == Kind::Bool; }
+    bool isNumber() const { return valueKind == Kind::Number; }
+    bool isString() const { return valueKind == Kind::String; }
+    bool isArray() const { return valueKind == Kind::Array; }
+    bool isObject() const { return valueKind == Kind::Object; }
+
+    /** Typed accessors; fatal on kind mismatch (caller validated). */
+    bool asBool() const;
+    double asNumber() const;
+    const std::string &asString() const;
+    const Array &asArray() const;
+    const Object &asObject() const;
+
+    /** Object member lookup; null if absent or not an object. */
+    const JsonValue *find(std::string_view key) const;
+
+    /** Parse a complete JSON document (rejects trailing garbage). */
+    static JsonValue parse(std::string_view text);
+
+  private:
+    friend class JsonParser;
+
+    Kind valueKind = Kind::Null;
+    bool boolValue = false;
+    double numberValue = 0.0;
+    std::string stringValue;
+    Array arrayValue;
+    Object objectValue;
 };
 
 } // namespace pacache

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runner/thread_pool.hh"
+
+namespace pacache::runner
+{
+namespace
+{
+
+TEST(ThreadPool, RunsEveryTask)
+{
+    std::atomic<int> done{0};
+    ThreadPool pool(8);
+    for (int i = 0; i < 1000; ++i)
+        pool.submit([&done] { done.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(done.load(), 1000);
+}
+
+TEST(ThreadPool, ZeroThreadRequestClampsToOne)
+{
+    ThreadPool pool(0);
+    EXPECT_EQ(pool.workerCount(), 1u);
+    std::atomic<int> done{0};
+    pool.submit([&done] { done.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(done.load(), 1);
+}
+
+TEST(ThreadPool, SingleWorkerPreservesSubmissionOrder)
+{
+    // One worker, one deque, pop-from-front: strict FIFO.
+    ThreadPool pool(1);
+    std::vector<int> order;
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&order, i] { order.push_back(i); });
+    pool.wait();
+    ASSERT_EQ(order.size(), 100u);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, WaitIsReusable)
+{
+    std::atomic<int> done{0};
+    ThreadPool pool(4);
+    for (int i = 0; i < 50; ++i)
+        pool.submit([&done] { done.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(done.load(), 50);
+    for (int i = 0; i < 50; ++i)
+        pool.submit([&done] { done.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPool, DestructorDrainsPendingWork)
+{
+    std::atomic<int> done{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 200; ++i)
+            pool.submit([&done] {
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(10));
+                done.fetch_add(1);
+            });
+        // No wait(): shutdown must still run everything submitted.
+    }
+    EXPECT_EQ(done.load(), 200);
+}
+
+TEST(ThreadPool, UnevenTasksAllComplete)
+{
+    // A few long tasks among many short ones: idle workers must
+    // steal the backlog instead of idling behind the long runs.
+    std::atomic<int> done{0};
+    ThreadPool pool(4);
+    for (int i = 0; i < 400; ++i) {
+        const bool slow = i % 100 == 0;
+        pool.submit([&done, slow] {
+            if (slow)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(20));
+            done.fetch_add(1);
+        });
+    }
+    pool.wait();
+    EXPECT_EQ(done.load(), 400);
+}
+
+TEST(ThreadPool, SubmitFromManyThreads)
+{
+    std::atomic<int> done{0};
+    ThreadPool pool(4);
+    std::vector<std::thread> producers;
+    for (int p = 0; p < 4; ++p) {
+        producers.emplace_back([&pool, &done] {
+            for (int i = 0; i < 250; ++i)
+                pool.submit([&done] { done.fetch_add(1); });
+        });
+    }
+    for (std::thread &t : producers)
+        t.join();
+    pool.wait();
+    EXPECT_EQ(done.load(), 1000);
+}
+
+} // namespace
+} // namespace pacache::runner

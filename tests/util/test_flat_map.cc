@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/types.hh"
+#include "util/flat_map.hh"
+#include "util/random.hh"
+
+namespace pacache
+{
+namespace
+{
+
+TEST(FlatMap, EmptyFindsNothing)
+{
+    FlatMap<uint64_t, int> m;
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.size(), 0u);
+    EXPECT_EQ(m.find(42), nullptr);
+    EXPECT_FALSE(m.erase(42));
+}
+
+TEST(FlatMap, InsertFindErase)
+{
+    FlatMap<uint64_t, int> m;
+    auto [v, inserted] = m.emplace(7, 70);
+    EXPECT_TRUE(inserted);
+    EXPECT_EQ(*v, 70);
+    EXPECT_EQ(m.size(), 1u);
+
+    auto [v2, again] = m.emplace(7, 99);
+    EXPECT_FALSE(again);
+    EXPECT_EQ(*v2, 70); // existing value wins
+
+    ASSERT_NE(m.find(7), nullptr);
+    EXPECT_EQ(*m.find(7), 70);
+
+    EXPECT_TRUE(m.erase(7));
+    EXPECT_EQ(m.find(7), nullptr);
+    EXPECT_TRUE(m.empty());
+}
+
+TEST(FlatMap, SubscriptDefaultInserts)
+{
+    FlatMap<uint64_t, int> m;
+    m[5] = 50;
+    EXPECT_EQ(m[5], 50);
+    EXPECT_EQ(m[6], 0); // default-constructed
+    EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(FlatMap, GrowsAndKeepsEverything)
+{
+    FlatMap<uint64_t, uint64_t> m;
+    const std::size_t n = 10000;
+    for (uint64_t k = 0; k < n; ++k)
+        ASSERT_TRUE(m.emplace(k, k * 3).second);
+    EXPECT_EQ(m.size(), n);
+    EXPECT_GE(m.capacity(), n);
+    for (uint64_t k = 0; k < n; ++k) {
+        const uint64_t *v = m.find(k);
+        ASSERT_NE(v, nullptr) << "key " << k;
+        EXPECT_EQ(*v, k * 3);
+    }
+    EXPECT_EQ(m.find(n + 1), nullptr);
+}
+
+TEST(FlatMap, TombstoneChurnDoesNotGrowTable)
+{
+    // Steady-state insert/erase at fixed occupancy (the cache's
+    // access pattern) must stabilize the table size: tombstones are
+    // squashed by same-size rehashes, not by doubling forever.
+    FlatMap<uint64_t, int> m;
+    for (uint64_t k = 0; k < 64; ++k)
+        m.emplace(k, 1);
+    const std::size_t cap_after_fill = m.capacity();
+    for (uint64_t round = 0; round < 100000; ++round) {
+        const uint64_t dead = 64 + round;
+        m.emplace(dead, 2);
+        ASSERT_TRUE(m.erase(dead));
+    }
+    EXPECT_EQ(m.size(), 64u);
+    EXPECT_LE(m.capacity(), cap_after_fill * 2);
+    for (uint64_t k = 0; k < 64; ++k)
+        ASSERT_NE(m.find(k), nullptr);
+}
+
+TEST(FlatMap, EraseThenReinsertReusesTombstones)
+{
+    FlatMap<uint64_t, int> m;
+    for (uint64_t k = 0; k < 1000; ++k)
+        m.emplace(k, 1);
+    for (uint64_t k = 0; k < 1000; k += 2)
+        ASSERT_TRUE(m.erase(k));
+    EXPECT_EQ(m.size(), 500u);
+    for (uint64_t k = 0; k < 1000; k += 2)
+        ASSERT_TRUE(m.emplace(k, 2).second);
+    EXPECT_EQ(m.size(), 1000u);
+    for (uint64_t k = 0; k < 1000; ++k) {
+        ASSERT_NE(m.find(k), nullptr);
+        EXPECT_EQ(*m.find(k), k % 2 == 0 ? 2 : 1);
+    }
+}
+
+TEST(FlatMap, BlockIdKeys)
+{
+    FlatMap<BlockId, int> m;
+    const BlockId a{1, 100}, b{2, 100}, c{1, 101};
+    m.emplace(a, 1);
+    m.emplace(b, 2);
+    m.emplace(c, 3);
+    EXPECT_EQ(*m.find(a), 1);
+    EXPECT_EQ(*m.find(b), 2);
+    EXPECT_EQ(*m.find(c), 3);
+    EXPECT_TRUE(m.erase(b));
+    EXPECT_EQ(m.find(b), nullptr);
+    EXPECT_EQ(*m.find(a), 1);
+}
+
+TEST(FlatMap, ClearRetainsCapacity)
+{
+    FlatMap<uint64_t, int> m;
+    for (uint64_t k = 0; k < 100; ++k)
+        m.emplace(k, 1);
+    const std::size_t cap = m.capacity();
+    m.clear();
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.capacity(), cap);
+    EXPECT_EQ(m.find(5), nullptr);
+    m.emplace(5, 9);
+    EXPECT_EQ(*m.find(5), 9);
+}
+
+TEST(FlatMap, ReservePreventsRehash)
+{
+    FlatMap<uint64_t, int> m;
+    m.reserve(5000);
+    const std::size_t cap = m.capacity();
+    for (uint64_t k = 0; k < 5000; ++k)
+        m.emplace(k, 1);
+    EXPECT_EQ(m.capacity(), cap);
+}
+
+TEST(FlatMap, MatchesUnorderedMapUnderRandomChurn)
+{
+    FlatMap<uint64_t, uint64_t> m;
+    std::unordered_map<uint64_t, uint64_t> ref;
+    Rng rng(17);
+    for (int op = 0; op < 200000; ++op) {
+        const uint64_t key = rng.below(512); // small space: collisions
+        switch (rng.below(3)) {
+          case 0: {
+            const uint64_t val = rng.next64();
+            const bool inserted = m.emplace(key, val).second;
+            const bool ref_inserted = ref.emplace(key, val).second;
+            ASSERT_EQ(inserted, ref_inserted);
+            break;
+          }
+          case 1:
+            ASSERT_EQ(m.erase(key), ref.erase(key) > 0);
+            break;
+          default: {
+            const uint64_t *v = m.find(key);
+            auto it = ref.find(key);
+            ASSERT_EQ(v != nullptr, it != ref.end());
+            if (v) {
+                ASSERT_EQ(*v, it->second);
+            }
+          }
+        }
+        ASSERT_EQ(m.size(), ref.size());
+    }
+}
+
+TEST(FlatMap, ForEachVisitsAllLiveEntries)
+{
+    FlatMap<uint64_t, int> m;
+    for (uint64_t k = 0; k < 50; ++k)
+        m.emplace(k, static_cast<int>(k));
+    for (uint64_t k = 0; k < 50; k += 3)
+        m.erase(k);
+    std::vector<uint64_t> seen;
+    m.forEach([&](uint64_t k, int v) {
+        EXPECT_EQ(static_cast<int>(k), v);
+        seen.push_back(k);
+    });
+    std::sort(seen.begin(), seen.end());
+    EXPECT_EQ(seen.size(), m.size());
+    for (uint64_t k : seen)
+        EXPECT_NE(k % 3, 0u);
+}
+
+} // namespace
+} // namespace pacache

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/intrusive_list.hh"
+
+namespace pacache
+{
+namespace
+{
+
+using IntList = ArenaList<int>;
+
+std::vector<int>
+contents(IntList &list)
+{
+    std::vector<int> out;
+    for (IntList::Node *n = list.front(); n; n = IntList::next(n))
+        out.push_back(n->value);
+    return out;
+}
+
+TEST(ArenaList, StartsEmpty)
+{
+    IntList list;
+    EXPECT_TRUE(list.empty());
+    EXPECT_EQ(list.size(), 0u);
+    EXPECT_EQ(list.front(), nullptr);
+    EXPECT_EQ(list.back(), nullptr);
+}
+
+TEST(ArenaList, PushFrontAndBackOrder)
+{
+    IntList list;
+    list.pushBack(2);
+    list.pushFront(1);
+    list.pushBack(3);
+    EXPECT_EQ(contents(list), (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(list.front()->value, 1);
+    EXPECT_EQ(list.back()->value, 3);
+    EXPECT_EQ(list.size(), 3u);
+}
+
+TEST(ArenaList, MoveToFrontFromMiddleAndBack)
+{
+    IntList list;
+    list.pushBack(1);
+    IntList::Node *mid = list.pushBack(2);
+    IntList::Node *last = list.pushBack(3);
+
+    list.moveToFront(mid);
+    EXPECT_EQ(contents(list), (std::vector<int>{2, 1, 3}));
+
+    list.moveToFront(last);
+    EXPECT_EQ(contents(list), (std::vector<int>{3, 2, 1}));
+
+    // Front splice is a no-op.
+    list.moveToFront(list.front());
+    EXPECT_EQ(contents(list), (std::vector<int>{3, 2, 1}));
+    EXPECT_EQ(list.size(), 3u);
+}
+
+TEST(ArenaList, UnlinkMiddleFrontBack)
+{
+    IntList list;
+    IntList::Node *a = list.pushBack(1);
+    IntList::Node *b = list.pushBack(2);
+    IntList::Node *c = list.pushBack(3);
+
+    list.unlink(b); // middle
+    EXPECT_EQ(contents(list), (std::vector<int>{1, 3}));
+
+    list.unlink(a); // front
+    EXPECT_EQ(contents(list), (std::vector<int>{3}));
+    EXPECT_EQ(list.front(), list.back());
+
+    list.unlink(c); // last
+    EXPECT_TRUE(list.empty());
+    EXPECT_EQ(list.front(), nullptr);
+    EXPECT_EQ(list.back(), nullptr);
+}
+
+TEST(ArenaList, PopFrontBack)
+{
+    IntList list;
+    list.pushBack(1);
+    list.pushBack(2);
+    list.pushBack(3);
+    EXPECT_EQ(list.popBack(), 3);
+    EXPECT_EQ(list.popFront(), 1);
+    EXPECT_EQ(list.popBack(), 2);
+    EXPECT_TRUE(list.empty());
+}
+
+TEST(ArenaList, InsertBefore)
+{
+    IntList list;
+    IntList::Node *b = list.pushBack(2);
+    list.insertBefore(b, 1);                 // before head
+    list.insertBefore(nullptr, 4);           // null: append
+    list.insertBefore(list.back(), 3);       // middle
+    EXPECT_EQ(contents(list), (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(ArenaList, SteadyStateChurnReusesNodes)
+{
+    // Insert/evict churn at fixed occupancy (the replacement-policy
+    // pattern) must not grow the arena: the free list recycles every
+    // unlinked node.
+    IntList list;
+    for (int i = 0; i < 64; ++i)
+        list.pushFront(i);
+    const std::size_t arena_after_fill = list.arenaSize();
+    for (int round = 0; round < 100000; ++round) {
+        list.popBack();
+        list.pushFront(round);
+    }
+    EXPECT_EQ(list.size(), 64u);
+    EXPECT_EQ(list.arenaSize(), arena_after_fill);
+}
+
+TEST(ArenaList, ClearRecyclesEverything)
+{
+    IntList list;
+    for (int i = 0; i < 10; ++i)
+        list.pushBack(i);
+    const std::size_t arena = list.arenaSize();
+    list.clear();
+    EXPECT_TRUE(list.empty());
+    for (int i = 0; i < 10; ++i)
+        list.pushBack(i);
+    EXPECT_EQ(list.arenaSize(), arena); // free list reused
+    EXPECT_EQ(list.size(), 10u);
+}
+
+TEST(ArenaList, LruStackPattern)
+{
+    // The exact LRU usage: hit = moveToFront, evict = popBack,
+    // insert = pushFront; order must match a reference trace.
+    IntList list;
+    IntList::Node *n1 = list.pushFront(1); // [1]
+    list.pushFront(2);                     // [2 1]
+    IntList::Node *n3 = list.pushFront(3); // [3 2 1]
+    list.moveToFront(n1);                  // [1 3 2]
+    EXPECT_EQ(list.popBack(), 2);          // [1 3]
+    list.pushFront(4);                     // [4 1 3]
+    list.moveToFront(n3);                  // [3 4 1]
+    EXPECT_EQ(contents(list), (std::vector<int>{3, 4, 1}));
+}
+
+} // namespace
+} // namespace pacache

@@ -1,7 +1,8 @@
 #!/bin/sh
 # Full pre-merge check: a Release build and an ASan+UBSan build, the
-# test suite under both, and an observability smoke run whose output
-# files are validated by tools/check_obs_json.py.
+# test suite under both, an observability smoke run whose output
+# files are validated by tools/check_obs_json.py, and a TSan build
+# exercising the parallel sweep runner.
 #
 # Usage: tools/check.sh            (from the repository root)
 #        JOBS=4 tools/check.sh     (limit build parallelism)
@@ -64,5 +65,17 @@ step "trace ingestion smoke run (sanitized binaries)"
     > "$obs_dir/sim_stream.txt"
 cmp "$obs_dir/sim_text.txt" "$obs_dir/sim_pct.txt"
 cmp "$obs_dir/sim_text.txt" "$obs_dir/sim_stream.txt"
+
+step "TSan build"
+cmake -B "$root/build-tsan" -S "$root" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DPACACHE_SANITIZE=thread >/dev/null
+cmake --build "$root/build-tsan" -j "$jobs" --target pacache_tests
+
+step "TSan parallel sweep determinism"
+# The work-stealing pool must produce byte-identical results at any
+# job count, with no data races while doing so.
+"$root/build-tsan/tests/pacache_tests" \
+    --gtest_filter='ThreadPool.*:SweepRunner.*'
 
 step "all checks passed"

@@ -12,7 +12,9 @@
  *   pacache_sim --workload synthetic --requests 50000 --write-ratio 0.8
  */
 
+#include <chrono>
 #include <fstream>
+#include <optional>
 #include <iostream>
 #include <memory>
 #include <set>
@@ -22,6 +24,8 @@
 #include "core/experiment.hh"
 #include "core/report.hh"
 #include "obs/observer.hh"
+#include "runner/sweep.hh"
+#include "runner/thread_pool.hh"
 #include "trace/stats.hh"
 #include "trace/synthetic.hh"
 #include "trace/trace_io.hh"
@@ -69,6 +73,16 @@ system configuration:
   --epoch SECONDS        PA classifier epoch (default: 900)
   --opg-theta J          OPG penalty floor (default: auto)
 
+parallel sweeps:
+  --sweep FILE           run every point of the JSON sweep spec instead
+                         of a single experiment; axes: workloads,
+                         policies, cache_blocks, dpms, write_policies,
+                         plus name and duration (see EXPERIMENTS.md)
+  --sweep-out FILE       write the sweep report as JSON (default:
+                         console table only)
+  --jobs N               worker threads for --sweep
+                         (default: all hardware threads)
+
 output:
   --per-disk             include the per-disk breakdown
   --help                 this text
@@ -87,44 +101,6 @@ observability:
                          (default: 900, the PA epoch)
   --progress             live progress meter on stderr
 )";
-
-PolicyKind
-parsePolicy(const std::string &name)
-{
-    if (name == "lru") return PolicyKind::LRU;
-    if (name == "fifo") return PolicyKind::FIFO;
-    if (name == "clock") return PolicyKind::CLOCK;
-    if (name == "arc") return PolicyKind::ARC;
-    if (name == "mq") return PolicyKind::MQ;
-    if (name == "lirs") return PolicyKind::LIRS;
-    if (name == "belady") return PolicyKind::Belady;
-    if (name == "opg") return PolicyKind::OPG;
-    if (name == "pa-lru") return PolicyKind::PALRU;
-    if (name == "pa-arc") return PolicyKind::PAARC;
-    if (name == "pa-lirs") return PolicyKind::PALIRS;
-    if (name == "infinite") return PolicyKind::InfiniteCache;
-    PACACHE_FATAL("unknown policy '", name, "'");
-}
-
-DpmChoice
-parseDpm(const std::string &name)
-{
-    if (name == "always-on") return DpmChoice::AlwaysOn;
-    if (name == "adaptive") return DpmChoice::Adaptive;
-    if (name == "practical") return DpmChoice::Practical;
-    if (name == "oracle") return DpmChoice::Oracle;
-    PACACHE_FATAL("unknown dpm '", name, "'");
-}
-
-WritePolicy
-parseWrite(const std::string &name)
-{
-    if (name == "wt") return WritePolicy::WriteThrough;
-    if (name == "wb") return WritePolicy::WriteBack;
-    if (name == "wbeu") return WritePolicy::WriteBackEagerUpdate;
-    if (name == "wtdu") return WritePolicy::WriteThroughDeferredUpdate;
-    PACACHE_FATAL("unknown write policy '", name, "'");
-}
 
 Trace
 loadWorkload(const cli::Args &args)
@@ -247,6 +223,90 @@ writeMetricsJson(std::ostream &os, const cli::Args &args,
     json.finish();
 }
 
+/**
+ * --sweep mode: expand the spec, run every point on the thread pool,
+ * print a per-point table, and optionally dump a JSON report whose
+ * ordering is independent of the job count.
+ */
+int
+runSweepMode(const cli::Args &args)
+{
+    const std::string path = args.get("sweep", "");
+    std::ifstream in(path);
+    if (!in)
+        PACACHE_FATAL("cannot open sweep spec '", path, "'");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const runner::SweepSpec spec =
+        runner::SweepSpec::fromJsonText(buf.str());
+
+    const unsigned jobs =
+        static_cast<unsigned>(args.getUint("jobs", 0));
+    const unsigned workers =
+        jobs == 0 ? runner::ThreadPool::defaultWorkers() : jobs;
+
+    // Open the report file before the sweep so a bad path fails in
+    // milliseconds, not after minutes of simulation.
+    std::optional<std::ofstream> sweepOut;
+    if (args.has("sweep-out"))
+        sweepOut.emplace(openOutput(args.get("sweep-out", "")));
+
+    std::cout << "sweep '" << spec.name << "': " << spec.points()
+              << " runs on " << workers << " worker"
+              << (workers == 1 ? "" : "s") << "\n\n";
+
+    obs::MetricRegistry registry;
+    const auto outcomes = runner::runSweep(spec, jobs, &registry);
+
+    TextTable table;
+    table.header({"run", "energy (J)", "hit ratio", "mean resp (ms)",
+                  "wall (ms)", "req/s"});
+    for (const auto &o : outcomes) {
+        table.row({o.label, fmt(o.result.totalEnergy, 1),
+                   fmtPct(o.result.cache.hitRatio(), 1),
+                   fmt(o.result.responses.mean() * 1000.0, 3),
+                   fmt(o.wallMs, 1), fmt(o.requestsPerSec, 0)});
+    }
+    table.print(std::cout);
+
+    const double sweepWall =
+        registry.gauge("runner.sweep.wall_ms").value();
+    std::cout << "\nsweep wall clock " << fmt(sweepWall, 1)
+              << " ms, aggregate "
+              << fmt(registry.gauge("runner.sweep.requests_per_sec")
+                         .value(),
+                     0)
+              << " requests/s\n";
+
+    if (sweepOut) {
+        std::ofstream &out = *sweepOut;
+        JsonWriter json(out);
+        json.beginObject();
+        json.key("build");
+        writeBuildInfoJson(json);
+        json.kv("sweep", spec.name);
+        json.kv("jobs", workers);
+        json.kv("wall_ms", sweepWall);
+        json.key("runs");
+        json.beginArray();
+        for (const auto &o : outcomes) {
+            json.beginObject();
+            json.kv("label", o.label);
+            json.kv("policy", o.result.policyName);
+            json.kv("total_energy_joules", o.result.totalEnergy);
+            json.kv("hit_ratio", o.result.cache.hitRatio());
+            json.kv("mean_response_s", o.result.responses.mean());
+            json.kv("wall_ms", o.wallMs);
+            json.kv("requests_per_sec", o.requestsPerSec);
+            json.endObject();
+        }
+        json.endArray();
+        json.endObject();
+        json.finish();
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -266,9 +326,13 @@ try {
         "requests", "write-ratio", "interarrival", "pareto", "seed",
         "policy", "dpm", "write", "cache-blocks", "epoch", "opg-theta",
         "per-disk", "help", "version", "metrics-out", "trace-events",
-        "timeline", "timeline-interval", "progress"};
+        "timeline", "timeline-interval", "progress", "sweep",
+        "sweep-out", "jobs"};
     if (const std::string bad = args.firstUnknown(known); !bad.empty())
         PACACHE_FATAL("unknown flag --", bad, " (see --help)");
+
+    if (args.has("sweep"))
+        return runSweepMode(args);
 
     // --stream skips materialization: the workload line's statistics
     // come from a constant-memory scan (same formulas as
@@ -298,9 +362,10 @@ try {
     }
 
     ExperimentConfig cfg;
-    cfg.policy = parsePolicy(args.get("policy", "lru"));
-    cfg.dpm = parseDpm(args.get("dpm", "practical"));
-    cfg.storage.writePolicy = parseWrite(args.get("write", "wb"));
+    cfg.policy = runner::parsePolicyKind(args.get("policy", "lru"));
+    cfg.dpm = runner::parseDpmChoice(args.get("dpm", "practical"));
+    cfg.storage.writePolicy =
+        runner::parseWritePolicy(args.get("write", "wb"));
     cfg.cacheBlocks = args.getUint("cache-blocks", 1024);
     cfg.pa.epochLength = args.getDouble("epoch", 900.0);
     cfg.opgTheta = args.getDouble("opg-theta", -1.0);
@@ -345,8 +410,18 @@ try {
     if (observing)
         cfg.observer = &observer;
 
+    const auto wallStart = std::chrono::steady_clock::now();
     const ExperimentResult r =
         streaming ? runExperiment(*source, cfg) : runExperiment(trace, cfg);
+    const std::chrono::duration<double, std::milli> wall =
+        std::chrono::steady_clock::now() - wallStart;
+    if (args.has("metrics-out")) {
+        registry.gauge("run.wall_ms").set(wall.count());
+        registry.gauge("run.requests_per_sec")
+            .set(wall.count() > 0 ? static_cast<double>(st.requests) *
+                                        1000.0 / wall.count()
+                                  : 0.0);
+    }
 
     if (args.has("trace-events"))
         trace_events.writeJson(trace_out);
