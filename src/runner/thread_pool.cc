@@ -41,14 +41,22 @@ ThreadPool::submit(Task task)
     const std::size_t target =
         nextQueue.fetch_add(1, std::memory_order_relaxed) % queues.size();
     {
+        // Push before bumping submitSeq, both under sleepMutex: a
+        // worker that snapshots the bumped sequence is guaranteed the
+        // task is already visible to its scan, and one that snapshots
+        // the old sequence will find its wait predicate true (the
+        // bump happened) if its scan raced ahead of the push. Either
+        // way the wakeup cannot be lost. inFlight is bumped before
+        // the push so a worker can never finish the task (and
+        // decrement) ahead of the increment.
         std::lock_guard lock(sleepMutex);
         PACACHE_ASSERT(!shuttingDown, "submit after shutdown began");
         ++inFlight;
+        {
+            std::lock_guard queueLock(queues[target]->mutex);
+            queues[target]->tasks.push_back(std::move(task));
+        }
         ++submitSeq;
-    }
-    {
-        std::lock_guard lock(queues[target]->mutex);
-        queues[target]->tasks.push_back(std::move(task));
     }
     workAvailable.notify_one();
 }
@@ -58,6 +66,12 @@ ThreadPool::wait()
 {
     std::unique_lock lock(sleepMutex);
     allDone.wait(lock, [this] { return inFlight == 0; });
+    if (firstError) {
+        std::exception_ptr error = std::move(firstError);
+        firstError = nullptr;
+        lock.unlock();
+        std::rethrow_exception(error);
+    }
 }
 
 bool
@@ -105,8 +119,19 @@ ThreadPool::workerLoop(std::size_t self)
 
         Task task;
         if (popLocal(self, task) || stealRemote(self, task)) {
-            task();
+            // A throwing task must not escape the thread function
+            // (std::terminate) or skip the inFlight decrement (wait()
+            // would deadlock): capture the first failure and let
+            // wait() rethrow it on the caller's thread.
+            std::exception_ptr error;
+            try {
+                task();
+            } catch (...) {
+                error = std::current_exception();
+            }
             std::lock_guard lock(sleepMutex);
+            if (error && !firstError)
+                firstError = std::move(error);
             if (--inFlight == 0)
                 allDone.notify_all();
             continue;

@@ -19,6 +19,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -45,7 +46,11 @@ class ThreadPool
     /** Enqueue @p task; runnable immediately by any worker. */
     void submit(Task task);
 
-    /** Block until every submitted task has finished running. */
+    /**
+     * Block until every submitted task has finished running. If any
+     * task threw, rethrows the first captured exception here, on the
+     * caller's thread (remaining tasks still ran to completion).
+     */
     void wait();
 
     unsigned workerCount() const
@@ -86,6 +91,9 @@ class ThreadPool
 
     /** Bumped per submit; workers use it to avoid lost wakeups. */
     std::size_t submitSeq = 0;
+
+    /** First exception thrown by a task; rethrown by wait(). */
+    std::exception_ptr firstError;
 
     std::atomic<std::size_t> nextQueue{0};
     bool shuttingDown = false;

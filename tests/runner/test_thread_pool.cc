@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -93,6 +94,39 @@ TEST(ThreadPool, UnevenTasksAllComplete)
     }
     pool.wait();
     EXPECT_EQ(done.load(), 400);
+}
+
+TEST(ThreadPool, TaskExceptionPropagatesToWait)
+{
+    ThreadPool pool(4);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 32; ++i)
+        pool.submit([&done, i] {
+            if (i == 7)
+                throw std::runtime_error("task 7 failed");
+            done.fetch_add(1);
+        });
+    // wait() still drains every task, then rethrows on this thread.
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    EXPECT_EQ(done.load(), 31);
+    // The failure was consumed: the pool stays usable afterwards.
+    pool.submit([&done] { done.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ThreadPool, RepeatedSmallBatchesNeverStrand)
+{
+    // Regression stress for the submit()/workerLoop() lost-wakeup
+    // race: single-task batches maximize submissions racing against
+    // workers going idle, and a stranded task hangs wait().
+    ThreadPool pool(8);
+    std::atomic<int> done{0};
+    for (int round = 0; round < 2000; ++round) {
+        pool.submit([&done] { done.fetch_add(1); });
+        pool.wait();
+    }
+    EXPECT_EQ(done.load(), 2000);
 }
 
 TEST(ThreadPool, SubmitFromManyThreads)
