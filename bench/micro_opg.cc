@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Off-line oracle fast-path micro-benchmark: replays the fig6-scale
+ * OLTP workload (21 disks, 2 hours, 1024-block cache) through the
+ * indexed-heap/ordered-set OPG and Belady implementations and through
+ * the retained node-based references (ReferenceOpgPolicy with the
+ * legacy per-call pricing, ReferenceBeladyPolicy), verifying the runs
+ * are byte-identical — same eviction sequence, same counters, exactly
+ * equal priced schedule energy — before reporting best-of-N replay
+ * speedups. Fast and reference reps run as interleaved pairs so
+ * bursty machine load cannot skew the ratio toward either side. A
+ * pricing-only panel times the precomputed envelope /
+ * practical-energy fast paths against the legacy scans on a dense gap
+ * grid.
+ *
+ * BENCH_micro_opg.json carries every timed run plus the speedup
+ * ratios; tools/bench_compare.py gates regressions against the
+ * committed baseline. PACACHE_BENCH_REPS overrides the repetition
+ * count (default 5; every rep re-verifies equivalence).
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_report.hh"
+#include "cache/belady.hh"
+#include "cache/belady_ref.hh"
+#include "cache/cache.hh"
+#include "core/opg.hh"
+#include "core/opg_ref.hh"
+#include "core/optimal.hh"
+#include "trace/workloads.hh"
+#include "util/table.hh"
+
+using namespace pacache;
+
+namespace
+{
+
+constexpr std::size_t kCacheBlocks = 1024;
+
+unsigned
+repsFromEnv()
+{
+    if (const char *env = std::getenv("PACACHE_BENCH_REPS")) {
+        const long v = std::atol(env);
+        if (v > 0)
+            return static_cast<unsigned>(v);
+    }
+    return 5;
+}
+
+double
+nowMs()
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** One replay's identity: eviction order, counters, priced energy. */
+struct ReplayFingerprint
+{
+    uint64_t evictionHash = 1469598103934665603ull; // FNV offset
+    uint64_t evictions = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    Energy scheduleEnergyJ = 0;
+
+    void
+    addVictim(const BlockId &b)
+    {
+        ++evictions;
+        for (uint64_t word :
+             {static_cast<uint64_t>(b.disk), b.block}) {
+            evictionHash ^= word;
+            evictionHash *= 1099511628211ull;
+        }
+    }
+
+    bool
+    operator==(const ReplayFingerprint &o) const
+    {
+        return evictionHash == o.evictionHash &&
+               evictions == o.evictions && hits == o.hits &&
+               misses == o.misses &&
+               scheduleEnergyJ == o.scheduleEnergyJ; // exact, not near
+    }
+};
+
+struct ReplayTiming
+{
+    double bestMs = 0;
+    ReplayFingerprint fp;
+};
+
+/** One timed replay of @p accesses through @p policy. */
+template <typename Policy>
+std::pair<double, ReplayFingerprint>
+replayOnce(const std::vector<BlockAccess> &accesses,
+           const SchedulePricing &pricing, Policy &&policy)
+{
+    ReplayFingerprint fp;
+    Cache cache(kCacheBlocks, policy);
+    std::vector<std::vector<Time>> missTimes;
+
+    const double t0 = nowMs();
+    policy.prepare(accesses);
+    for (std::size_t i = 0; i < accesses.size(); ++i) {
+        const auto r =
+            cache.access(accesses[i].block, accesses[i].time, i);
+        if (r.evicted)
+            fp.addVictim(r.victim);
+        if (!r.hit) {
+            const DiskId d = accesses[i].block.disk;
+            if (d >= missTimes.size())
+                missTimes.resize(d + 1);
+            missTimes[d].push_back(accesses[i].time);
+        }
+    }
+    const double ms = nowMs() - t0;
+
+    fp.hits = cache.stats().hits;
+    fp.misses = cache.stats().misses;
+    fp.scheduleEnergyJ = scheduleEnergy(missTimes, pricing);
+    return {ms, fp};
+}
+
+void
+foldRep(ReplayTiming &out, double ms, const ReplayFingerprint &fp,
+        unsigned rep)
+{
+    if (rep == 0) {
+        out.bestMs = ms;
+        out.fp = fp;
+        return;
+    }
+    out.bestMs = std::min(out.bestMs, ms);
+    if (!(fp == out.fp)) {
+        std::cerr << "FATAL: replay not deterministic across "
+                     "repetitions\n";
+        std::exit(1);
+    }
+}
+
+/**
+ * Time fast and reference replays as interleaved pairs: machine-load
+ * bursts that span a rep then inflate both sides of the ratio instead
+ * of just whichever block happened to be running, so the best-of-N
+ * speedup is far more stable than timing the two sides back to back.
+ */
+template <typename MakeFast, typename MakeRef>
+std::pair<ReplayTiming, ReplayTiming>
+timeReplayPair(const std::vector<BlockAccess> &accesses,
+               const SchedulePricing &pricing, unsigned reps,
+               MakeFast makeFast, MakeRef makeRef)
+{
+    ReplayTiming fast, ref;
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        const auto [fms, ffp] =
+            replayOnce(accesses, pricing, makeFast());
+        foldRep(fast, fms, ffp, rep);
+        const auto [rms, rfp] =
+            replayOnce(accesses, pricing, makeRef());
+        foldRep(ref, rms, rfp, rep);
+    }
+    return {fast, ref};
+}
+
+bool
+checkIdentical(const char *what, const ReplayTiming &fast,
+               const ReplayTiming &ref)
+{
+    if (fast.fp == ref.fp)
+        return true;
+    std::cerr << "FATAL: " << what
+              << " fast path diverges from reference:\n"
+              << "  evictions " << fast.fp.evictions << " vs "
+              << ref.fp.evictions << "\n  eviction hash "
+              << fast.fp.evictionHash << " vs " << ref.fp.evictionHash
+              << "\n  misses " << fast.fp.misses << " vs "
+              << ref.fp.misses << "\n  energy "
+              << fast.fp.scheduleEnergyJ << " vs "
+              << ref.fp.scheduleEnergyJ << '\n';
+    return false;
+}
+
+/** Time summing a pricing function over a dense grid of gap lengths. */
+template <typename Fn>
+std::pair<double, Energy>
+timePricing(const PowerModel &pm, unsigned reps, Fn fn)
+{
+    constexpr int kGaps = 2000000;
+    const Time horizon = pm.thresholds().empty()
+        ? 100.0
+        : pm.thresholds().back() * 4;
+    double best = 0;
+    Energy sink = 0;
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        Energy sum = 0;
+        const double t0 = nowMs();
+        for (int i = 0; i < kGaps; ++i)
+            sum += fn(pm, horizon * i / kGaps);
+        const double ms = nowMs() - t0;
+        best = rep == 0 ? ms : std::min(best, ms);
+        sink = sum;
+    }
+    return {best, sink};
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "=== micro_opg: off-line oracle fast path ===\n\n";
+    const unsigned reps = repsFromEnv();
+
+    const Trace trace = makeOltpTrace();
+    const auto accesses = expandTrace(trace);
+    const PowerModel pm;
+    const SchedulePricing pricing{&pm, 0.05,
+                                  accesses.back().time + 1};
+    std::cout << "OLTP fig6 scale: " << accesses.size()
+              << " block accesses, " << trace.numDisks()
+              << " disks, cache " << kCacheBlocks << " blocks, "
+              << reps << " reps\n\n";
+
+    benchsupport::BenchReport report("micro_opg",
+                                     benchsupport::jobsFromEnv());
+    TextTable table;
+    table.header({"Replay", "ref (ms)", "fast (ms)", "speedup"});
+    bool ok = true;
+    double opgSpeedupFloor = 0;
+
+    struct OpgCase
+    {
+        const char *name;
+        DpmKind kind;
+    };
+    for (const OpgCase c : {OpgCase{"OPG/oracle", DpmKind::Oracle},
+                            OpgCase{"OPG/practical",
+                                    DpmKind::Practical}}) {
+        const auto [fast, ref] = timeReplayPair(
+            accesses, pricing, reps,
+            [&] { return OpgPolicy(pm, c.kind); },
+            [&] {
+                return ReferenceOpgPolicy(pm, c.kind, 0,
+                                          /*refPricing=*/true);
+            });
+        ok = checkIdentical(c.name, fast, ref) && ok;
+        const double speedup = ref.bestMs / fast.bestMs;
+        opgSpeedupFloor = opgSpeedupFloor == 0
+            ? speedup
+            : std::min(opgSpeedupFloor, speedup);
+        table.row({c.name, fmt(ref.bestMs, 1), fmt(fast.bestMs, 1),
+                   fmt(speedup, 2)});
+        report.addRun(std::string(c.name) + "/fast", fast.bestMs,
+                      accesses.size());
+        report.addRun(std::string(c.name) + "/ref", ref.bestMs,
+                      accesses.size());
+    }
+
+    {
+        const auto [fast, ref] = timeReplayPair(
+            accesses, pricing, reps, [] { return BeladyPolicy(); },
+            [] { return ReferenceBeladyPolicy(); });
+        ok = checkIdentical("Belady", fast, ref) && ok;
+        table.row({"Belady", fmt(ref.bestMs, 1), fmt(fast.bestMs, 1),
+                   fmt(ref.bestMs / fast.bestMs, 2)});
+        report.addRun("Belady/fast", fast.bestMs, accesses.size());
+        report.addRun("Belady/ref", ref.bestMs, accesses.size());
+        report.metric("belady_replay_speedup",
+                      ref.bestMs / fast.bestMs);
+    }
+    table.print(std::cout);
+    std::cout << '\n';
+
+    // Pricing-only panel: precomputed curves vs legacy scans.
+    TextTable ptable;
+    ptable.header({"Pricing", "ref (ms)", "fast (ms)", "speedup"});
+    const auto envFast = timePricing(
+        pm, reps, [](const PowerModel &m, Time t) {
+            return m.envelope(t);
+        });
+    const auto envRef = timePricing(
+        pm, reps, [](const PowerModel &m, Time t) {
+            return m.envelopeRef(t);
+        });
+    const auto pracFast = timePricing(
+        pm, reps, [](const PowerModel &m, Time t) {
+            return m.practicalEnergy(t);
+        });
+    const auto pracRef = timePricing(
+        pm, reps, [](const PowerModel &m, Time t) {
+            return m.practicalEnergyRef(t);
+        });
+    if (envFast.second != envRef.second ||
+        pracFast.second != pracRef.second) {
+        std::cerr << "FATAL: pricing fast path diverges from the "
+                     "legacy scan\n";
+        ok = false;
+    }
+    ptable.row({"envelope", fmt(envRef.first, 1),
+                fmt(envFast.first, 1),
+                fmt(envRef.first / envFast.first, 2)});
+    ptable.row({"practical", fmt(pracRef.first, 1),
+                fmt(pracFast.first, 1),
+                fmt(pracRef.first / pracFast.first, 2)});
+    ptable.print(std::cout);
+    std::cout << '\n';
+    report.addRun("pricing/envelope/fast", envFast.first, 2000000);
+    report.addRun("pricing/envelope/ref", envRef.first, 2000000);
+    report.addRun("pricing/practical/fast", pracFast.first, 2000000);
+    report.addRun("pricing/practical/ref", pracRef.first, 2000000);
+    report.metric("envelope_pricing_speedup",
+                  envRef.first / envFast.first);
+    report.metric("practical_pricing_speedup",
+                  pracRef.first / pracFast.first);
+
+    // The headline number: the slower of the two OPG replays.
+    report.metric("opg_replay_speedup", opgSpeedupFloor);
+    std::cout << "OPG end-to-end replay speedup (worst case): "
+              << fmt(opgSpeedupFloor, 2) << "x\n";
+    std::cout << (ok ? "equivalence: byte-identical\n"
+                     : "equivalence: DIVERGED\n");
+
+    const std::string path = report.write();
+    std::cout << "report: " << path << '\n';
+    return ok ? 0 : 1;
+}

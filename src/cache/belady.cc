@@ -10,6 +10,13 @@ BeladyPolicy::prepare(const std::vector<BlockAccess> &accesses)
 {
     future = FutureKnowledge::build(accesses);
     prepared = true;
+    byNextUse.clear();
+    handleOf.clear();
+    byNextUse.reserve(accesses.size() / 4 + 16);
+    // handleOf holds one entry per *resident* block, so it stays
+    // cache-capacity-sized; let it grow instead of sizing it to the
+    // trace (a trace-sized table would spread the per-access probes
+    // over megabytes).
 }
 
 void
@@ -20,23 +27,23 @@ BeladyPolicy::onAccess(const BlockId &block, Time, std::size_t idx,
     PACACHE_ASSERT(idx < future.size(), "access index out of range");
     const std::size_t next = future.nextUse(idx);
     if (hit) {
-        auto it = nextOf.find(block);
-        PACACHE_ASSERT(it != nextOf.end(), "Belady hit on unknown block");
-        byNextUse.erase({it->second, block});
-        it->second = next;
+        Handle *hp = handleOf.find(block.packed());
+        PACACHE_ASSERT(hp, "Belady hit on unknown block");
+        byNextUse.update(*hp, UseKey{next, block});
     } else {
-        nextOf[block] = next;
+        const Handle h = byNextUse.push(UseKey{next, block});
+        const bool inserted = handleOf.emplace(block.packed(), h).second;
+        PACACHE_ASSERT(inserted, "Belady double insert");
     }
-    byNextUse.insert({next, block});
 }
 
 void
 BeladyPolicy::onRemove(const BlockId &block)
 {
-    auto it = nextOf.find(block);
-    PACACHE_ASSERT(it != nextOf.end(), "Belady removal of unknown block");
-    byNextUse.erase({it->second, block});
-    nextOf.erase(it);
+    Handle *hp = handleOf.find(block.packed());
+    PACACHE_ASSERT(hp, "Belady removal of unknown block");
+    byNextUse.erase(*hp);
+    handleOf.erase(block.packed());
 }
 
 BlockId
@@ -44,10 +51,9 @@ BeladyPolicy::evict(Time, std::size_t)
 {
     PACACHE_ASSERT(!byNextUse.empty(), "Belady evict on empty cache");
     // Furthest next use: the largest key (kNever sorts last).
-    auto it = std::prev(byNextUse.end());
-    const BlockId victim = it->second;
-    nextOf.erase(victim);
-    byNextUse.erase(it);
+    const BlockId victim = byNextUse.top().second;
+    byNextUse.pop();
+    handleOf.erase(victim.packed());
     return victim;
 }
 

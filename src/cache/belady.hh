@@ -4,16 +4,23 @@
  * block whose next reference is furthest in the future. It minimizes
  * the miss count (the paper's baseline off-line bound) but, as the
  * paper's Section 3 shows, is *not* energy-optimal.
+ *
+ * Implementation (the oracle fast path; ReferenceBeladyPolicy in
+ * cache/belady_ref.hh is the retained set-based original): resident
+ * blocks live in an addressable max-heap keyed by (next-use index,
+ * block) — kNever sorts last, exactly matching the reference's
+ * std::prev(set.end()) victim — with a flat hash map from block to
+ * its stable heap handle.
  */
 
 #ifndef PACACHE_CACHE_BELADY_HH
 #define PACACHE_CACHE_BELADY_HH
 
-#include <set>
-#include <unordered_map>
 #include <utility>
 
 #include "cache/policy.hh"
+#include "util/flat_map.hh"
+#include "util/indexed_heap.hh"
 
 namespace pacache
 {
@@ -34,12 +41,27 @@ class BeladyPolicy : public ReplacementPolicy
     bool isOffline() const override { return true; }
 
   private:
+    using UseKey = std::pair<std::size_t, BlockId>;
+
+    /** Max-heap order: top() is the largest (furthest) key. */
+    struct FurthestFirst
+    {
+        bool
+        operator()(const UseKey &a, const UseKey &b) const
+        {
+            return b < a;
+        }
+    };
+
+    using UseHeap = IndexedHeap<UseKey, FurthestFirst>;
+    using Handle = UseHeap::Handle;
+
     FutureKnowledge future;
     bool prepared = false;
 
-    /** Resident blocks ordered by next-use index (kNever last). */
-    std::set<std::pair<std::size_t, BlockId>> byNextUse;
-    std::unordered_map<BlockId, std::size_t> nextOf;
+    UseHeap byNextUse;
+    /** Packed 64-bit keys: 16-byte slots, one-word hash per probe. */
+    FlatMap<std::uint64_t, Handle> handleOf;
 };
 
 } // namespace pacache

@@ -10,6 +10,26 @@ Cache::Cache(std::size_t capacity_blocks, ReplacementPolicy &policy)
     : capacityBlocks(capacity_blocks), repl(&policy)
 {
     PACACHE_ASSERT(capacity_blocks > 0, "cache needs positive capacity");
+    // The resident table reaches exactly capacity entries; sizing it
+    // now keeps the steady-state churn rehash-free.
+    resident.reserve(capacity_blocks);
+}
+
+bool
+Cache::recordFirstSeen(const BlockId &block)
+{
+    if (block.block >= kSeenBitmapLimit)
+        return everSeenSparse.emplace(block.packed(), 0).second;
+    if (block.disk >= seenBits.size())
+        seenBits.resize(block.disk + 1);
+    auto &bits = seenBits[block.disk];
+    const std::size_t word = block.block >> 6;
+    if (word >= bits.size())
+        bits.resize(std::max(word + 1, bits.size() * 2), 0);
+    const uint64_t mask = uint64_t{1} << (block.block & 63);
+    const bool first = !(bits[word] & mask);
+    bits[word] |= mask;
+    return first;
 }
 
 void
@@ -26,10 +46,7 @@ Cache::access(const BlockId &block, Time now, std::size_t idx)
 {
     CacheResult result;
     ++counters.accesses;
-    if (everSeen.emplace(block.packed(), 0).second)
-        ++counters.coldMisses;
-
-    if (resident.find(block)) {
+    if (resident.find(block.packed())) {
         ++counters.hits;
         result.hit = true;
         repl->onAccess(block, now, idx, true);
@@ -38,6 +55,10 @@ Cache::access(const BlockId &block, Time now, std::size_t idx)
         return result;
     }
 
+    // Record first-seen only on misses: a hit can never be a
+    // compulsory miss, so the hit path skips the probe entirely.
+    if (recordFirstSeen(block))
+        ++counters.coldMisses;
     ++counters.misses;
     repl->beforeMiss(block, now, idx);
     bringIn(block, now, idx, result);
@@ -50,7 +71,7 @@ CacheResult
 Cache::insert(const BlockId &block, Time now, std::size_t idx)
 {
     CacheResult result;
-    if (resident.contains(block)) {
+    if (resident.contains(block.packed())) {
         result.hit = true;
         return result;
     }
@@ -65,27 +86,28 @@ Cache::bringIn(const BlockId &block, Time now, std::size_t idx,
 {
     if (resident.size() >= capacityBlocks) {
         const BlockId victim = repl->evict(now, idx);
-        const Flags *flags = resident.find(victim);
-        PACACHE_ASSERT(flags, "policy evicted a non-resident block");
+        Flags flags;
+        const bool wasResident = resident.take(victim.packed(), flags);
+        PACACHE_ASSERT(wasResident,
+                       "policy evicted a non-resident block");
         result.evicted = true;
         result.victim = victim;
-        result.victimDirty = flags->dirty;
-        result.victimLogged = flags->logged;
-        dropFlags(victim, *flags);
-        resident.erase(victim);
+        result.victimDirty = flags.dirty;
+        result.victimLogged = flags.logged;
+        dropFlags(victim, flags);
         ++counters.evictions;
         if (obs)
             obs->cacheEviction(victim, result.victimDirty);
     }
 
-    resident.emplace(block, Flags{});
+    resident.emplace(block.packed(), Flags{});
     repl->onAccess(block, now, idx, false);
 }
 
 void
 Cache::markDirty(const BlockId &block)
 {
-    Flags *flags = resident.find(block);
+    Flags *flags = resident.find(block.packed());
     PACACHE_ASSERT(flags, "markDirty on non-resident block");
     if (flags->dirty)
         return;
@@ -98,7 +120,7 @@ Cache::markDirty(const BlockId &block)
 void
 Cache::markClean(const BlockId &block)
 {
-    Flags *flags = resident.find(block);
+    Flags *flags = resident.find(block.packed());
     PACACHE_ASSERT(flags, "markClean on non-resident block");
     if (!flags->dirty)
         return;
@@ -109,14 +131,14 @@ Cache::markClean(const BlockId &block)
 bool
 Cache::isDirty(const BlockId &block) const
 {
-    const Flags *flags = resident.find(block);
+    const Flags *flags = resident.find(block.packed());
     return flags && flags->dirty;
 }
 
 void
 Cache::markLogged(const BlockId &block)
 {
-    Flags *flags = resident.find(block);
+    Flags *flags = resident.find(block.packed());
     PACACHE_ASSERT(flags, "markLogged on non-resident block");
     if (flags->logged)
         return;
@@ -129,7 +151,7 @@ Cache::markLogged(const BlockId &block)
 void
 Cache::clearLogged(const BlockId &block)
 {
-    Flags *flags = resident.find(block);
+    Flags *flags = resident.find(block.packed());
     if (!flags || !flags->logged)
         return;
     flags->logged = false;
@@ -139,7 +161,7 @@ Cache::clearLogged(const BlockId &block)
 bool
 Cache::isLogged(const BlockId &block) const
 {
-    const Flags *flags = resident.find(block);
+    const Flags *flags = resident.find(block.packed());
     return flags && flags->logged;
 }
 

@@ -42,7 +42,7 @@ struct CacheStats
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t evictions = 0;
-    uint64_t coldMisses = 0; //!< first-ever accesses (exact, not Bloom)
+    uint64_t coldMisses = 0; //!< compulsory misses (exact, not Bloom)
     uint64_t prefetchInserts = 0; //!< blocks brought in speculatively
 
     double
@@ -81,7 +81,7 @@ class Cache
 
     bool contains(const BlockId &block) const
     {
-        return resident.contains(block);
+        return resident.contains(block.packed());
     }
 
     /** Mark a resident block dirty (write-back family). */
@@ -134,10 +134,27 @@ class Cache
 
     std::size_t capacityBlocks;
     ReplacementPolicy *repl;
-    FlatMap<BlockId, Flags> resident; //!< open-addressing: hot path
+    /**
+     * Residency keyed on packed 64-bit block ids: 16-byte slots keep
+     * the table inside L1 at fig6 cache sizes, and the per-access
+     * probe hashes one word instead of a struct.
+     */
+    FlatMap<uint64_t, Flags> resident;
     std::vector<std::unordered_set<BlockNum>> dirtyPerDisk;
     std::vector<std::unordered_set<BlockNum>> loggedPerDisk;
-    FlatMap<uint64_t, uint8_t> everSeen; //!< exact cold-miss count
+
+    /**
+     * Exact cold-miss detection, probed once per miss. Block numbers
+     * below kSeenBitmapLimit (every simulated workload) are answered
+     * by a per-disk grow-on-demand bitmap — one direct bit test, no
+     * hashing. Sparse ids beyond the limit (raw sector addresses from
+     * real traces) fall back to the hash set, so memory stays bounded
+     * by blocks actually seen.
+     */
+    static constexpr BlockNum kSeenBitmapLimit = BlockNum{1} << 22;
+    bool recordFirstSeen(const BlockId &block);
+    std::vector<std::vector<uint64_t>> seenBits;
+    FlatMap<uint64_t, uint8_t> everSeenSparse;
     CacheStats counters;
     obs::SimObserver *obs = nullptr; //!< null = no instrumentation
 };

@@ -31,10 +31,24 @@ struct BlockAccess
     std::size_t traceIndex = 0; //!< index of the originating request
 };
 
-/** Expand a trace into block-granular accesses. */
+/**
+ * Expand a trace into block-granular accesses. The output vector is
+ * reserved exactly from the trace's cached block-access count (which
+ * ultimately derives from the TraceSource size hints), so expansion
+ * never reallocates.
+ */
 std::vector<BlockAccess> expandTrace(const Trace &trace);
 
-/** Next-use and cold-miss precomputation for off-line policies. */
+/**
+ * Next-use and cold-miss precomputation for off-line policies.
+ *
+ * Stored as structure-of-arrays: the next-use chain, the cold-miss
+ * bits, and a copy of the access times each live in their own dense
+ * array. Oracle replay touches times and next-use indices millions of
+ * times through gap pricing; reading them from 8-byte-stride arrays
+ * instead of the 40-byte BlockAccess records keeps the hot loop's
+ * memory traffic to the fields it actually uses.
+ */
 class FutureKnowledge
 {
   public:
@@ -44,16 +58,30 @@ class FutureKnowledge
     /** Build from an expanded access stream. */
     static FutureKnowledge build(const std::vector<BlockAccess> &accesses);
 
+    /**
+     * Retained original build, used by the reference policies: a
+     * node-based std::unordered_map keyed by the full BlockId. Same
+     * output as build() — the reference replay path keeps the whole
+     * legacy stack behind the policy interface so old-vs-new
+     * comparisons time the stacks as they actually were.
+     */
+    static FutureKnowledge
+    buildRef(const std::vector<BlockAccess> &accesses);
+
     /** Index of the next access to the same block (kNever if none). */
     std::size_t nextUse(std::size_t idx) const { return next[idx]; }
 
     /** True if access idx is the first ever to its block. */
     bool isFirstReference(std::size_t idx) const { return first[idx]; }
 
+    /** Time of access idx (the SoA copy of BlockAccess::time). */
+    Time timeOf(std::size_t idx) const { return times[idx]; }
+
     std::size_t size() const { return next.size(); }
 
   private:
     std::vector<std::size_t> next;
+    std::vector<Time> times;
     std::vector<bool> first;
 };
 

@@ -19,41 +19,37 @@ OpgPolicy::prepare(const std::vector<BlockAccess> &accs)
     accesses = &accs;
     future = FutureKnowledge::build(accs);
 
+    // One pass over the 40-byte records: disk count, trace end, and
+    // the cold-miss indices (each block's first reference) that seed
+    // S. The per-disk inserts are deferred until the disk count is
+    // known; cold[] holds one entry per unique block.
     std::size_t num_disks = 1;
     Time last = 0;
-    for (const auto &a : accs) {
+    std::vector<std::pair<DiskId, std::size_t>> cold;
+    for (std::size_t i = 0; i < accs.size(); ++i) {
+        const auto &a = accs[i];
         num_disks = std::max<std::size_t>(num_disks, a.block.disk + 1);
         last = std::max(last, a.time);
+        if (future.isFirstReference(i))
+            cold.emplace_back(a.block.disk, i);
     }
     // "No leader/follower" sentinel: far enough out that every energy
     // function has reached its linear (deepest-mode) tail.
     const auto &thr = pm->thresholds();
     const Time deepest = thr.empty() ? 0.0 : thr.back();
     bigTime = last + 4 * deepest + 1000.0;
+    // A missing leader/follower always prices as E(bigTime); cache
+    // the scan once instead of re-running it per gap endpoint.
+    eBig = idleEnergy(bigTime);
 
     detMiss.assign(num_disks, {});
     residentByNext.assign(num_disks, {});
-    info.clear();
+    handleOf.clear();
     evictOrder.clear();
 
     // S starts as the set of all cold misses (first references).
-    for (std::size_t i = 0; i < accs.size(); ++i) {
-        if (future.isFirstReference(i))
-            detMiss[accs[i].block.disk].insert(i);
-    }
-}
-
-Time
-OpgPolicy::timeOf(std::size_t idx) const
-{
-    return (*accesses)[idx].time;
-}
-
-Energy
-OpgPolicy::idleEnergy(Time t) const
-{
-    return dpmKind == DpmKind::Oracle ? pm->envelope(t)
-                                      : pm->practicalEnergy(t);
+    for (const auto &[disk, i] : cold)
+        detMiss[disk].insert(i);
 }
 
 Energy
@@ -62,17 +58,19 @@ OpgPolicy::computePenalty(DiskId disk, std::size_t next_idx) const
     if (next_idx == FutureKnowledge::kNever)
         return 0.0; // never re-referenced: eviction costs nothing
 
-    const auto &s = detMiss[disk];
-    auto it = s.lower_bound(next_idx);
-    PACACHE_ASSERT(it == s.end() || *it != next_idx,
+    const auto nb = detMiss[disk].neighbors(next_idx);
+    PACACHE_ASSERT(!nb.present,
                    "resident block's next access is a deterministic miss");
 
-    const Time t_x = timeOf(next_idx);
-    const Time l = (it == s.begin()) ? bigTime : t_x - timeOf(*std::prev(it));
-    const Time f = (it == s.end()) ? bigTime : timeOf(*it) - t_x;
+    const Time t_x = future.timeOf(next_idx);
+    const Time l = nb.hasPred ? t_x - future.timeOf(nb.pred) : bigTime;
+    const Time f = nb.hasSucc ? future.timeOf(nb.succ) - t_x : bigTime;
 
-    const Energy penalty =
-        idleEnergy(l) + idleEnergy(f) - idleEnergy(l + f);
+    // eBig is the exact value idleEnergy(bigTime) returns, so the
+    // substitution is bit-identical to pricing the missing end.
+    const Energy e_l = nb.hasPred ? idleEnergy(l) : eBig;
+    const Energy e_f = nb.hasSucc ? idleEnergy(f) : eBig;
+    const Energy penalty = e_l + e_f - idleEnergy(l + f);
     return std::max<Energy>(penalty, 0.0);
 }
 
@@ -81,83 +79,92 @@ OpgPolicy::insertResident(const BlockId &block, std::size_t next_idx)
 {
     const Energy penalty =
         std::max(computePenalty(block.disk, next_idx), theta);
-    info[block] = Info{next_idx, penalty};
-    residentByNext[block.disk].emplace(next_idx, block);
-    evictOrder.insert(EvictKey{penalty, next_idx, block});
+    const Handle h =
+        evictOrder.push(EvictKey{penalty, next_idx, block.packed()});
+    const bool inserted = handleOf.emplace(block.packed(), h).second;
+    PACACHE_ASSERT(inserted, "OPG double insert of resident block");
+    if (next_idx != FutureKnowledge::kNever) {
+        const bool fresh =
+            residentByNext[block.disk].insert(next_idx, h);
+        PACACHE_ASSERT(fresh, "OPG next-use index collision");
+    }
 }
 
-void
+OpgPolicy::EvictKey
 OpgPolicy::eraseResident(const BlockId &block)
 {
-    auto it = info.find(block);
-    PACACHE_ASSERT(it != info.end(), "OPG removal of unknown block");
-    const Info inf = it->second;
-    info.erase(it);
-    evictOrder.erase(EvictKey{inf.penalty, inf.nextIdx, block});
-
-    auto &byNext = residentByNext[block.disk];
-    auto range = byNext.equal_range(inf.nextIdx);
-    for (auto rit = range.first; rit != range.second; ++rit) {
-        if (rit->second == block) {
-            byNext.erase(rit);
-            return;
-        }
+    Handle *hp = handleOf.find(block.packed());
+    PACACHE_ASSERT(hp, "OPG removal of unknown block");
+    const Handle h = *hp;
+    const EvictKey key = evictOrder.key(h);
+    handleOf.erase(block.packed());
+    if (key.nextIdx != FutureKnowledge::kNever) {
+        const bool erased =
+            residentByNext[block.disk].erase(key.nextIdx);
+        PACACHE_ASSERT(erased, "OPG residentByNext out of sync");
     }
-    PACACHE_PANIC("OPG residentByNext out of sync");
+    evictOrder.erase(h);
+    return key;
 }
 
 void
-OpgPolicy::repriceRange(DiskId disk, std::size_t lo, std::size_t hi)
+OpgPolicy::repriceGap(DiskId disk, std::size_t lo, bool has_lo,
+                      std::size_t hi, bool has_hi)
 {
-    auto &byNext = residentByNext[disk];
-    for (auto it = byNext.upper_bound(lo);
-         it != byNext.end() && it->first < hi; ++it) {
-        if (it->first == FutureKnowledge::kNever)
-            break; // penalty is pinned at zero
-        const BlockId &block = it->second;
-        auto iit = info.find(block);
-        PACACHE_ASSERT(iit != info.end(), "repriceRange missing info");
-        const Energy fresh =
-            std::max(computePenalty(disk, iit->second.nextIdx), theta);
-        if (fresh == iit->second.penalty)
-            continue;
-        evictOrder.erase(
-            EvictKey{iit->second.penalty, iit->second.nextIdx, block});
-        iit->second.penalty = fresh;
-        evictOrder.insert(EvictKey{fresh, iit->second.nextIdx, block});
-    }
+    // Every resident with next access inside (lo, hi) shares the same
+    // leader (lo) and follower (hi) — no per-block detMiss queries.
+    const Time t_lo = has_lo ? future.timeOf(lo) : 0;
+    const Time t_hi = has_hi ? future.timeOf(hi) : 0;
+    const std::size_t hi_key =
+        has_hi ? hi : FutureKnowledge::kNever;
+    // The whole-gap term is loop-invariant: with both ends present,
+    // l + f is the gap width for every resident in the range, and a
+    // missing end prices as the cached E(bigTime). Each hoisted value
+    // is exactly what the per-block form computes, so the penalties
+    // stay bit-identical.
+    const bool bounded = has_lo && has_hi;
+    const Energy e_whole =
+        bounded ? idleEnergy(t_hi - t_lo) : 0;
+    residentByNext[disk].forEachInRange(
+        lo, hi_key, [&](std::size_t next_idx, Handle h) {
+            const Time t_x = future.timeOf(next_idx);
+            const Time l = has_lo ? t_x - t_lo : bigTime;
+            const Time f = has_hi ? t_hi - t_x : bigTime;
+            const Energy e_l = has_lo ? idleEnergy(l) : eBig;
+            const Energy e_f = has_hi ? idleEnergy(f) : eBig;
+            const Energy e_lf =
+                bounded ? e_whole : idleEnergy(l + f);
+            const Energy penalty = e_l + e_f - e_lf;
+            const Energy fresh =
+                std::max(std::max<Energy>(penalty, 0.0), theta);
+            const EvictKey &key = evictOrder.key(h);
+            if (fresh == key.penalty)
+                return;
+            evictOrder.update(h, EvictKey{fresh, next_idx, key.block});
+        });
 }
 
 void
 OpgPolicy::detInsert(DiskId disk, std::size_t idx)
 {
-    auto [it, inserted] = detMiss[disk].insert(idx);
-    PACACHE_ASSERT(inserted, "duplicate deterministic miss");
-    const std::size_t lo = (it == detMiss[disk].begin())
-        ? 0
-        : *std::prev(it);
-    auto nit = std::next(it);
-    const std::size_t hi = (nit == detMiss[disk].end())
-        ? FutureKnowledge::kNever
-        : *nit;
-    repriceRange(disk, lo, hi);
+    OrderedSet<std::size_t>::Neighbors nb;
+    const bool fresh = detMiss[disk].insertWithNeighbors(idx, nb);
+    PACACHE_ASSERT(fresh, "duplicate deterministic miss");
+    // idx split its gap in two: residents below idx now follow it,
+    // residents above now lead from it.
+    repriceGap(disk, nb.hasPred ? nb.pred : 0, nb.hasPred, idx, true);
+    repriceGap(disk, idx, true, nb.hasSucc ? nb.succ : 0, nb.hasSucc);
 }
 
 void
 OpgPolicy::detErase(DiskId disk, std::size_t idx)
 {
-    auto it = detMiss[disk].find(idx);
-    PACACHE_ASSERT(it != detMiss[disk].end(),
-                   "miss not in deterministic-miss set");
-    const std::size_t lo = (it == detMiss[disk].begin())
-        ? 0
-        : *std::prev(it);
-    auto nit = std::next(it);
-    const std::size_t hi = (nit == detMiss[disk].end())
-        ? FutureKnowledge::kNever
-        : *nit;
-    detMiss[disk].erase(it);
-    repriceRange(disk, lo, hi);
+    OrderedSet<std::size_t>::Neighbors nb;
+    const bool was = detMiss[disk].eraseWithNeighbors(idx, nb);
+    PACACHE_ASSERT(was, "miss not in deterministic-miss set");
+    // idx's two gaps merged into one spanning (pred, succ).
+    repriceGap(disk, nb.hasPred ? nb.pred : 0, nb.hasPred,
+               nb.hasSucc ? nb.succ : 0, nb.hasSucc);
 }
 
 void
@@ -173,14 +180,27 @@ OpgPolicy::onAccess(const BlockId &block, Time, std::size_t idx, bool hit)
 {
     PACACHE_ASSERT(accesses, "OPG requires prepare() before use");
     const std::size_t next = future.nextUse(idx);
-    if (hit) {
-        auto it = info.find(block);
-        PACACHE_ASSERT(it != info.end(), "OPG hit on unknown block");
-        PACACHE_ASSERT(it->second.nextIdx == idx,
-                       "stale next-use index on hit");
-        eraseResident(block);
+    if (!hit) {
+        insertResident(block, next);
+        return;
     }
-    insertResident(block, next);
+    // Hit: the block stays resident, only its next access (and hence
+    // its penalty) moves — update the heap key in place and re-slot
+    // the next-use index entry. The hit itself is the block's
+    // recorded next access, so taking idx out of the next-use index
+    // yields the heap handle with no block-keyed hash probe.
+    Handle h{};
+    const bool unindexed = residentByNext[block.disk].take(idx, h);
+    PACACHE_ASSERT(unindexed, "OPG hit on unindexed block");
+    PACACHE_ASSERT(evictOrder.key(h).nextIdx == idx,
+                   "stale next-use index on hit");
+    const Energy penalty =
+        std::max(computePenalty(block.disk, next), theta);
+    evictOrder.update(h, EvictKey{penalty, next, block.packed()});
+    if (next != FutureKnowledge::kNever) {
+        const bool fresh = residentByNext[block.disk].insert(next, h);
+        PACACHE_ASSERT(fresh, "OPG next-use index collision");
+    }
 }
 
 void
@@ -188,21 +208,28 @@ OpgPolicy::onRemove(const BlockId &block)
 {
     // External removal behaves like an eviction: the block's next
     // reference becomes a deterministic miss.
-    auto it = info.find(block);
-    PACACHE_ASSERT(it != info.end(), "OPG removal of unknown block");
-    const std::size_t next = it->second.nextIdx;
-    eraseResident(block);
-    if (next != FutureKnowledge::kNever)
-        detInsert(block.disk, next);
+    const EvictKey key = eraseResident(block);
+    if (key.nextIdx != FutureKnowledge::kNever)
+        detInsert(block.disk, key.nextIdx);
 }
 
 BlockId
 OpgPolicy::evict(Time, std::size_t)
 {
     PACACHE_ASSERT(!evictOrder.empty(), "OPG evict on empty cache");
-    const EvictKey key = *evictOrder.begin();
-    const BlockId victim = key.block;
-    eraseResident(victim);
+    // The victim is the heap top: no handle lookup needed, and pop()
+    // is cheaper than erase(handle) from an arbitrary slot.
+    const Handle h = evictOrder.topHandle();
+    const EvictKey key = evictOrder.key(h);
+    const BlockId victim = BlockId::fromPacked(key.block);
+    const bool known = handleOf.erase(key.block);
+    PACACHE_ASSERT(known, "OPG evicting unknown block");
+    if (key.nextIdx != FutureKnowledge::kNever) {
+        const bool erased =
+            residentByNext[victim.disk].erase(key.nextIdx);
+        PACACHE_ASSERT(erased, "OPG residentByNext out of sync");
+    }
+    evictOrder.pop();
     if (key.nextIdx != FutureKnowledge::kNever)
         detInsert(victim.disk, key.nextIdx);
     return victim;
@@ -211,9 +238,9 @@ OpgPolicy::evict(Time, std::size_t)
 Energy
 OpgPolicy::penaltyOf(const BlockId &block) const
 {
-    auto it = info.find(block);
-    PACACHE_ASSERT(it != info.end(), "penaltyOf unknown block");
-    return it->second.penalty;
+    const Handle *hp = handleOf.find(block.packed());
+    PACACHE_ASSERT(hp, "penaltyOf unknown block");
+    return evictOrder.key(*hp).penalty;
 }
 
 std::size_t
@@ -223,26 +250,46 @@ OpgPolicy::deterministicMissCount(DiskId disk) const
 }
 
 void
-OpgPolicy::validateInternalState() const
+OpgPolicy::validateInternalState(bool full) const
 {
-    PACACHE_ASSERT(evictOrder.size() == info.size(),
-                   "evict order / info size drift");
+    // Cheap size-drift invariants, always on.
+    PACACHE_ASSERT(evictOrder.size() == handleOf.size(),
+                   "evict order / handle index size drift");
     std::size_t indexed = 0;
     for (const auto &byNext : residentByNext)
         indexed += byNext.size();
-    PACACHE_ASSERT(indexed == info.size(), "next-use index size drift");
+    PACACHE_ASSERT(indexed <= handleOf.size(),
+                   "next-use index size drift");
+    if (!full)
+        return;
 
-    for (const auto &[block, inf] : info) {
-        const Energy fresh =
-            std::max(computePenalty(block.disk, inf.nextIdx), theta);
-        PACACHE_ASSERT(fresh == inf.penalty,
+    // Full cross-check: recompute every penalty from scratch and
+    // verify every index entry against the incremental bookkeeping.
+    evictOrder.validate();
+    for (const auto &s : detMiss)
+        s.checkInvariants();
+    std::size_t finite = 0;
+    handleOf.forEach([&](std::uint64_t packed, Handle h) {
+        const EvictKey &key = evictOrder.key(h);
+        PACACHE_ASSERT(key.block == packed,
+                       "victim-heap handle points at wrong block");
+        const BlockId block = BlockId::fromPacked(packed);
+        const Energy freshPenalty =
+            std::max(computePenalty(block.disk, key.nextIdx), theta);
+        PACACHE_ASSERT(freshPenalty == key.penalty,
                        "stale penalty for disk ", block.disk,
                        " block ", block.block, ": cached ",
-                       inf.penalty, " fresh ", fresh);
-        PACACHE_ASSERT(
-            evictOrder.count(EvictKey{inf.penalty, inf.nextIdx, block}),
-            "missing evict-order entry");
-    }
+                       key.penalty, " fresh ", freshPenalty);
+        if (key.nextIdx == FutureKnowledge::kNever)
+            return;
+        ++finite;
+        const Handle *indexedHandle =
+            residentByNext[block.disk].find(key.nextIdx);
+        PACACHE_ASSERT(indexedHandle && *indexedHandle == h,
+                       "missing next-use index entry");
+    });
+    PACACHE_ASSERT(indexed == finite,
+                   "next-use index holds stale entries");
 }
 
 } // namespace pacache

@@ -27,22 +27,36 @@
  * theta -> infinity degrades exactly to Belady's MIN (all penalties
  * equal; ties broken by forward distance).
  *
- * Implementation: per disk, S is a sorted set of access indices and
- * resident blocks are indexed by next-access position, so inserting
- * or erasing a deterministic miss re-prices only the blocks inside
- * the affected gap; victims pop from a penalty-ordered set.
+ * Implementation (the oracle fast path; ReferenceOpgPolicy in
+ * core/opg_ref.hh is the retained node-based original):
+ *
+ *  - per disk, S is a chunked sorted-vector OrderedSet whose
+ *    neighbors() query answers leader/follower/membership in one
+ *    locate;
+ *  - resident blocks with a finite next access live in a per-disk
+ *    OrderedSet map from next-access index to victim-heap handle, so
+ *    gap-scoped repricing is a contiguous range scan with no hash
+ *    lookups (blocks that are never re-referenced have nothing to
+ *    reprice and stay out of the index);
+ *  - the victim order is an addressable 4-ary IndexedHeap keyed by
+ *    (penalty, furthest next access, block); repricing updates keys
+ *    in place through stable handles;
+ *  - gap pricing inlines the power model's precomputed fast paths
+ *    (flat line-table min-scan for Oracle, closed-form segment table
+ *    for Practical), bit-identical to the legacy per-call scans.
  */
 
 #ifndef PACACHE_CORE_OPG_HH
 #define PACACHE_CORE_OPG_HH
 
-#include <map>
-#include <set>
-#include <unordered_map>
+#include <cstdint>
 #include <vector>
 
 #include "cache/policy.hh"
 #include "disk/power_model.hh"
+#include "util/flat_map.hh"
+#include "util/indexed_heap.hh"
+#include "util/ordered_set.hh"
 
 namespace pacache
 {
@@ -85,25 +99,35 @@ class OpgPolicy : public ReplacementPolicy
     std::size_t deterministicMissCount(DiskId disk) const;
 
     /**
-     * Test hook: recompute every resident block's penalty from
-     * scratch and panic if any cached value or index entry is out of
-     * sync with the incremental bookkeeping.
+     * Full validation recomputes every resident penalty from scratch
+     * (O(n * pricing) — oracle-sized). Debug/test builds default to
+     * it; release builds default to the cheap size-drift invariants
+     * so sanitizer CI does not pay oracle costs per call.
      */
-    void validateInternalState() const;
+#ifdef NDEBUG
+    static constexpr bool kFullValidationDefault = false;
+#else
+    static constexpr bool kFullValidationDefault = true;
+#endif
+
+    /**
+     * Test hook: check internal bookkeeping; panics when out of sync.
+     * With @p full, recompute every resident block's penalty and
+     * cross-check every index entry against the incremental state.
+     */
+    void validateInternalState(bool full = kFullValidationDefault) const;
 
   private:
-    struct Info
-    {
-        std::size_t nextIdx;
-        Energy penalty;
-    };
-
-    /** Victim-ordering key: min penalty, then furthest next access. */
+    /**
+     * Victim-ordering key: min penalty, then furthest next access.
+     * The block rides along as its packed id — same tie-break order
+     * as (disk, block), and the 24-byte key cuts heap sift traffic.
+     */
     struct EvictKey
     {
         Energy penalty;
         std::size_t nextIdx;
-        BlockId block;
+        std::uint64_t block; //!< BlockId::packed()
 
         bool
         operator<(const EvictKey &o) const
@@ -116,14 +140,27 @@ class OpgPolicy : public ReplacementPolicy
         }
     };
 
-    Time timeOf(std::size_t idx) const;
-    Energy idleEnergy(Time t) const;
+    using EvictHeap = IndexedHeap<EvictKey>;
+    using Handle = EvictHeap::Handle;
+
+    Energy
+    idleEnergy(Time t) const
+    {
+        return dpmKind == DpmKind::Oracle ? pm->envelope(t)
+                                          : pm->practicalEnergy(t);
+    }
     Energy computePenalty(DiskId disk, std::size_t next_idx) const;
 
     void insertResident(const BlockId &block, std::size_t next_idx);
-    void eraseResident(const BlockId &block);
-    /** Re-price resident blocks with next access in (lo, hi). */
-    void repriceRange(DiskId disk, std::size_t lo, std::size_t hi);
+    /** Drop a resident from every index; @return its evict key. */
+    EvictKey eraseResident(const BlockId &block);
+    /**
+     * Re-price resident blocks with next access in (lo, hi), where lo
+     * and hi (when present) are known to be the gap's deterministic
+     * misses — their leader and follower.
+     */
+    void repriceGap(DiskId disk, std::size_t lo, bool has_lo,
+                    std::size_t hi, bool has_hi);
     void detInsert(DiskId disk, std::size_t idx);
     void detErase(DiskId disk, std::size_t idx);
 
@@ -133,12 +170,15 @@ class OpgPolicy : public ReplacementPolicy
 
     const std::vector<BlockAccess> *accesses = nullptr;
     FutureKnowledge future;
-    Time bigTime = 0; //!< stands in for "no leader/follower"
+    Time bigTime = 0;  //!< stands in for "no leader/follower"
+    Energy eBig = 0;   //!< cached idleEnergy(bigTime)
 
-    std::vector<std::set<std::size_t>> detMiss; //!< per-disk S
-    std::vector<std::multimap<std::size_t, BlockId>> residentByNext;
-    std::unordered_map<BlockId, Info> info;
-    std::set<EvictKey> evictOrder;
+    std::vector<OrderedSet<std::size_t>> detMiss; //!< per-disk S
+    /** Per disk: finite next-access index -> victim-heap handle. */
+    std::vector<OrderedSet<std::size_t, Handle>> residentByNext;
+    /** Packed 64-bit keys: 16-byte slots, one-word hash per probe. */
+    FlatMap<std::uint64_t, Handle> handleOf;
+    EvictHeap evictOrder;
 };
 
 } // namespace pacache

@@ -94,13 +94,13 @@ PowerModel::energyLine(std::size_t mode_idx, Time t) const
 }
 
 Energy
-PowerModel::envelope(Time t) const
+PowerModel::envelopeRef(Time t) const
 {
-    return energyLine(bestMode(t), t);
+    return energyLine(bestModeRef(t), t);
 }
 
 std::size_t
-PowerModel::bestMode(Time t) const
+PowerModel::bestModeRef(Time t) const
 {
     std::size_t best = 0;
     Energy best_e = energyLine(0, t);
@@ -181,19 +181,51 @@ PowerModel::computeEnvelope()
 
     PACACHE_ASSERT(envModes.size() == thresholdTimes.size() + 1,
                    "envelope bookkeeping mismatch");
+    buildEnergyTables();
 }
 
-std::size_t
-PowerModel::practicalModeAt(Time t) const
+void
+PowerModel::buildEnergyTables()
 {
-    std::size_t step = 0;
-    while (step < thresholdTimes.size() && t >= thresholdTimes[step])
-        ++step;
-    return envModes[step];
+    // Freeze both idle-energy curves. The practical segment table's
+    // prefix is accumulated with exactly the operations (and order)
+    // of the legacy threshold walk, so pracTable.eval() reproduces it
+    // bit for bit; the envelope is priced by min-scanning the flat
+    // line table (see EnergyLine for why a segment lookup cannot be
+    // bit-identical there). envTable still records the envelope's
+    // closed-form segments for introspection.
+    envTable.clear();
+    pracTable.clear();
+    lineTable.clear();
+    for (const PowerMode &m : modeList)
+        lineTable.push_back(EnergyLine{m.idlePower, m.transitionEnergy()});
+    linePad.fill(
+        EnergyLine{0.0, std::numeric_limits<Energy>::infinity()});
+    for (std::size_t i = 0;
+         i < std::min(lineTable.size(), kLinePad); ++i)
+        linePad[i] = lineTable[i];
+    constexpr Time kInf = std::numeric_limits<Time>::infinity();
+
+    Energy prefix = 0;
+    Time prev = 0;
+    for (std::size_t k = 0; k < envModes.size(); ++k) {
+        const PowerMode &m = mode(envModes[k]);
+        const Time bound =
+            k < thresholdTimes.size() ? thresholdTimes[k] : kInf;
+        envTable.push(EnergySegment{bound, 0.0, 0.0, m.idlePower,
+                                    m.transitionEnergy()});
+        pracTable.push(
+            EnergySegment{bound, prev, prefix, m.idlePower,
+                          m.spinDownEnergy + m.spinUpEnergy});
+        if (k < thresholdTimes.size()) {
+            prefix += m.idlePower * (thresholdTimes[k] - prev);
+            prev = thresholdTimes[k];
+        }
+    }
 }
 
 Energy
-PowerModel::practicalEnergy(Time t) const
+PowerModel::practicalEnergyRef(Time t) const
 {
     // Walk the envelope steps; the disk sits at envModes[k] during
     // [thresholds[k-1], thresholds[k]). Demotion energies telescope to

@@ -38,6 +38,7 @@
 #ifndef PACACHE_DISK_POWER_MODEL_HH
 #define PACACHE_DISK_POWER_MODEL_HH
 
+#include <array>
 #include <cstddef>
 #include <string>
 #include <vector>
@@ -46,6 +47,91 @@
 
 namespace pacache
 {
+
+/**
+ * One linear segment of a piecewise idle-energy curve. The segment is
+ * active while t < bound (the last segment's bound is +infinity) and
+ * evaluates to (base + slope * (t - start)) + tail — an expression
+ * shape shared by the envelope lines (base = start = 0, tail = TE_i)
+ * and the Practical-DPM walk (base = energy accumulated before the
+ * segment, tail = final spin-down + spin-up), so one evaluator prices
+ * both and reproduces the legacy per-call walks bit for bit.
+ */
+struct EnergySegment
+{
+    Time bound = 0;   //!< active while t < bound
+    Time start = 0;   //!< abscissa where this segment begins
+    Energy base = 0;  //!< energy accumulated before start
+    Power slope = 0;  //!< idle power of the segment's mode
+    Energy tail = 0;  //!< transition energy added on top
+};
+
+/**
+ * One precomputed energy line E_i(t) = slope * t + intercept. The
+ * envelope fast path min-scans a flat array of these instead of
+ * striding over the string-bearing PowerMode structs and re-adding
+ * the transition energy per call. A segment lookup cannot stand in
+ * here: within ulps of a line crossing, the floating-point min can
+ * pick either line, so bit-identity with the legacy scan requires
+ * performing the same min — just over cheaper operands.
+ */
+struct EnergyLine
+{
+    Power slope = 0;      //!< mode idle power P_i
+    Energy intercept = 0; //!< round-trip transition energy TE_i
+};
+
+/**
+ * A piecewise-linear idle-energy curve precomputed at PowerModel
+ * construction. eval() replaces the per-call mode scans
+ * (envelope) and threshold walks (practicalEnergy) on the oracle hot
+ * path with a branch-light scan over at most numModes segments plus
+ * one fused multiply-add — the closed-form fast path OPG's penalty
+ * pricing calls three times per repriced block.
+ */
+class PiecewiseEnergy
+{
+  public:
+    Energy
+    eval(Time t) const
+    {
+        // Short idle gaps dominate replay pricing, so segment 0 gets
+        // a predictable early-out. Deeper gaps resolve branch-free:
+        // bounds ascend (last is +inf), so the segment index is the
+        // number of bounds <= t, and summing the comparisons avoids a
+        // data-dependent mispredict per segment on random gaps.
+        const EnergySegment *s = segs.data();
+        if (t < s->bound)
+            return (s->base + s->slope * (t - s->start)) + s->tail;
+        std::size_t idx = 1;
+        for (std::size_t i = 1; i < segs.size(); ++i)
+            idx += t >= s[i].bound ? 1 : 0;
+        s += idx;
+        return (s->base + s->slope * (t - s->start)) + s->tail;
+    }
+
+    /** Envelope-step index whose segment covers @p t. */
+    std::size_t
+    segment(Time t) const
+    {
+        std::size_t k = 0;
+        while (t >= segs[k].bound)
+            ++k;
+        return k;
+    }
+
+    std::size_t numSegments() const { return segs.size(); }
+    const EnergySegment &operator[](std::size_t k) const
+    {
+        return segs[k];
+    }
+
+    void clear() { segs.clear(); }
+    void push(const EnergySegment &s) { segs.push_back(s); }
+
+  private:
+    std::vector<EnergySegment> segs;
+};
 
 /** One idle power mode of a multi-speed disk. */
 struct PowerMode
@@ -117,11 +203,65 @@ class PowerModel
     /** E_i(t) = P_i * t + TE_i. */
     Energy energyLine(std::size_t mode_idx, Time t) const;
 
-    /** Lower envelope E*(t) = min_i E_i(t) (Oracle energy). */
-    Energy envelope(Time t) const;
+    /**
+     * Lower envelope E*(t) = min_i E_i(t) (Oracle energy): a min-scan
+     * over the flat precomputed line table, with the exact arithmetic
+     * and comparison order of the legacy mode scan (bit-identical to
+     * envelopeRef for every t, including within ulps of crossings).
+     */
+    Energy
+    envelope(Time t) const
+    {
+        // Fixed-width min-tree over the padded line table: eight
+        // independent evaluations and a three-deep min reduction
+        // instead of a serial compare chain whose latency grows with
+        // the mode count. Padding lines evaluate to +inf and never
+        // win; the minimum of finite positive doubles does not depend
+        // on reduction order (ties are the same bit pattern), so the
+        // result is bit-identical to the sequential legacy scan.
+        if (lineTable.size() <= kLinePad) [[likely]] {
+            const EnergyLine *l = linePad.data();
+            const Energy e0 = l[0].slope * t + l[0].intercept;
+            const Energy e1 = l[1].slope * t + l[1].intercept;
+            const Energy e2 = l[2].slope * t + l[2].intercept;
+            const Energy e3 = l[3].slope * t + l[3].intercept;
+            const Energy e4 = l[4].slope * t + l[4].intercept;
+            const Energy e5 = l[5].slope * t + l[5].intercept;
+            const Energy e6 = l[6].slope * t + l[6].intercept;
+            const Energy e7 = l[7].slope * t + l[7].intercept;
+            const Energy a = e0 < e1 ? e0 : e1;
+            const Energy b = e2 < e3 ? e2 : e3;
+            const Energy c = e4 < e5 ? e4 : e5;
+            const Energy d = e6 < e7 ? e6 : e7;
+            const Energy ab = a < b ? a : b;
+            const Energy cd = c < d ? c : d;
+            return ab < cd ? ab : cd;
+        }
+        const EnergyLine *l = lineTable.data();
+        Energy best = l[0].slope * t + l[0].intercept;
+        for (std::size_t i = 1; i < lineTable.size(); ++i) {
+            const Energy e = l[i].slope * t + l[i].intercept;
+            best = e < best ? e : best;
+        }
+        return best;
+    }
 
     /** argmin_i E_i(t): the mode Oracle DPM picks for a gap of t. */
-    std::size_t bestMode(Time t) const;
+    std::size_t
+    bestMode(Time t) const
+    {
+        const EnergyLine *l = lineTable.data();
+        std::size_t best = 0;
+        Energy best_e = l[0].slope * t + l[0].intercept;
+        for (std::size_t i = 1; i < lineTable.size(); ++i) {
+            const Energy e = l[i].slope * t + l[i].intercept;
+            if (e < best_e) {
+                best_e = e;
+                best = i;
+            }
+        }
+        return best;
+    }
 
     /** Savings line S_i(t) = E_0(t) - E_i(t) (may be negative). */
     Energy savingsLine(std::size_t mode_idx, Time t) const;
@@ -155,20 +295,59 @@ class PowerModel
      * Energy a threshold-based Practical DPM spends on an idle gap of
      * length t: the disk descends through the envelope modes at the
      * threshold times, then pays the spin-up from whatever mode it
-     * reached (plus the step-down energies along the way).
+     * reached (plus the step-down energies along the way). Evaluated
+     * from the precomputed segment table; bit-identical to the legacy
+     * threshold walk (practicalEnergyRef).
      */
-    Energy practicalEnergy(Time t) const;
+    Energy practicalEnergy(Time t) const { return pracTable.eval(t); }
 
     /** Mode Practical DPM occupies after t seconds of idleness. */
-    std::size_t practicalModeAt(Time t) const;
+    std::size_t
+    practicalModeAt(Time t) const
+    {
+        return envModes[pracTable.segment(t)];
+    }
+
+    /** The precomputed envelope curve (segment boundaries). */
+    const PiecewiseEnergy &envelopeTable() const { return envTable; }
+
+    /** The precomputed Practical-DPM curve (pricing fast path). */
+    const PiecewiseEnergy &practicalTable() const { return pracTable; }
+
+    /** The flat E_i(t) lines (envelope pricing fast path). */
+    const std::vector<EnergyLine> &energyLines() const
+    {
+        return lineTable;
+    }
+
+    /**
+     * Reference implementations of the per-call scans the segment
+     * tables replaced. Retained so differential tests (and the
+     * micro_opg old-path benchmark) can verify and price against the
+     * original code forever.
+     */
+    Energy envelopeRef(Time t) const;
+    std::size_t bestModeRef(Time t) const;
+    Energy practicalEnergyRef(Time t) const;
 
   private:
     void computeEnvelope();
+    void buildEnergyTables();
 
     DiskSpec diskSpec;
     std::vector<PowerMode> modeList;
     std::vector<std::size_t> envModes;
     std::vector<Time> thresholdTimes;
+    PiecewiseEnergy envTable;
+    PiecewiseEnergy pracTable;
+    std::vector<EnergyLine> lineTable;
+    /**
+     * lineTable padded to a fixed width with {0, +inf} lines, so
+     * envelope() can run a constant-shape min-tree. Models with more
+     * than kLinePad modes fall back to the dynamic scan.
+     */
+    static constexpr std::size_t kLinePad = 8;
+    std::array<EnergyLine, kLinePad> linePad{};
 };
 
 /**

@@ -50,6 +50,18 @@ struct BlockId
         return (static_cast<uint64_t>(disk) << 48) |
                (block & 0xffffffffffffULL);
     }
+
+    /**
+     * Inverse of packed(). For block numbers below 2^48, packed keys
+     * also order exactly like (disk, block), so compact structures
+     * can store and compare the key and unpack on demand.
+     */
+    static BlockId
+    fromPacked(uint64_t key)
+    {
+        return BlockId{static_cast<DiskId>(key >> 48),
+                       key & 0xffffffffffffULL};
+    }
 };
 
 } // namespace pacache

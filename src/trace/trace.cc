@@ -14,8 +14,10 @@ Trace::Trace(std::vector<TraceRecord> recs) : records(std::move(recs))
                                       return a.time < b.time;
                                   }),
                    "trace records must be time-ordered");
-    for (const auto &r : records)
+    for (const auto &r : records) {
         nDisks = std::max<std::size_t>(nDisks, r.disk + 1);
+        nBlockAccesses += r.numBlocks;
+    }
 }
 
 void
@@ -24,6 +26,7 @@ Trace::append(TraceRecord rec)
     PACACHE_ASSERT(records.empty() || rec.time >= records.back().time,
                    "trace records must be appended in time order");
     nDisks = std::max<std::size_t>(nDisks, rec.disk + 1);
+    nBlockAccesses += rec.numBlocks;
     records.push_back(rec);
 }
 

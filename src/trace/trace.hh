@@ -43,11 +43,21 @@ class Trace
     /** Largest disk id referenced, plus one (0 when empty). */
     std::size_t numDisks() const { return nDisks; }
 
+    /**
+     * Total block-granular accesses (sum of per-record block counts);
+     * cached so expandTrace can reserve its output exactly.
+     */
+    std::size_t numBlockAccesses() const { return nBlockAccesses; }
+
+    /** Pre-size the record storage (e.g. from a TraceSource hint). */
+    void reserve(std::size_t n) { records.reserve(n); }
+
     const std::vector<TraceRecord> &data() const { return records; }
 
   private:
     std::vector<TraceRecord> records;
     std::size_t nDisks = 0; //!< cached max disk id + 1
+    std::size_t nBlockAccesses = 0; //!< cached sum of numBlocks
 };
 
 } // namespace pacache

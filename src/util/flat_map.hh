@@ -181,6 +181,24 @@ class FlatMap
         return true;
     }
 
+    /**
+     * Remove @p key and move its value into @p out in one probe
+     * (where find-then-erase would pay the hash walk twice).
+     * @return true if the key was present.
+     */
+    bool
+    take(const Key &key, T &out)
+    {
+        Slot *s = findSlot(key);
+        if (!s)
+            return false;
+        out = std::move(s->value);
+        s->state = kTomb;
+        --occupied;
+        ++tombstones;
+        return true;
+    }
+
     /** Occupied-slot visitation (testing/serialization; any order). */
     template <typename Fn>
     void

@@ -226,5 +226,65 @@ TEST(PowerModel, ModeIndexOutOfRangePanics)
     EXPECT_ANY_THROW(pm.mode(99));
 }
 
+// The closed-form segment tables must reproduce the legacy per-call
+// scans *exactly* — OPG's golden-equivalence guarantee rides on
+// penalties being bit-identical, not merely close.
+TEST(PowerModel, EnvelopeTableBitIdenticalToReferenceScan)
+{
+    const PowerModel pm;
+    const auto &thr = pm.thresholds();
+    const Time horizon = (thr.empty() ? 10.0 : thr.back()) * 4 + 100;
+    for (int i = 0; i <= 20000; ++i) {
+        const Time t = horizon * i / 20000.0;
+        ASSERT_EQ(pm.envelope(t), pm.envelopeRef(t)) << "t=" << t;
+        ASSERT_EQ(pm.bestMode(t), pm.bestModeRef(t)) << "t=" << t;
+    }
+    // At and immediately around every mode-switch abscissa.
+    for (std::size_t k = 0; k + 1 < pm.envelopeModes().size(); ++k) {
+        const Time b = pm.envelopeTable()[k].bound;
+        for (Time t : {std::nextafter(b, 0.0), b,
+                       std::nextafter(b, b + 1)}) {
+            ASSERT_EQ(pm.envelope(t), pm.envelopeRef(t)) << "t=" << t;
+        }
+    }
+}
+
+TEST(PowerModel, PracticalTableBitIdenticalToReferenceWalk)
+{
+    const PowerModel pm;
+    const auto &thr = pm.thresholds();
+    const Time horizon = (thr.empty() ? 10.0 : thr.back()) * 4 + 100;
+    for (int i = 0; i <= 20000; ++i) {
+        const Time t = horizon * i / 20000.0;
+        ASSERT_EQ(pm.practicalEnergy(t), pm.practicalEnergyRef(t))
+            << "t=" << t;
+    }
+    for (const Time b : thr) {
+        for (Time t : {std::nextafter(b, 0.0), b,
+                       std::nextafter(b, b + 1)}) {
+            ASSERT_EQ(pm.practicalEnergy(t), pm.practicalEnergyRef(t))
+                << "t=" << t;
+        }
+    }
+}
+
+TEST(PowerModel, TablesBitIdenticalOnCustomModeSets)
+{
+    DiskSpec spec;
+    const std::vector<PowerMode> modes{
+        PowerMode{"idle", 15000, 10.0, 0, 0, 0, 0},
+        PowerMode{"low", 12000, 8.5, 0.5, 9, 0.3, 0.4},
+        PowerMode{"mid", 10000, 6.0, 1, 16, 0.8, 1.1},
+        PowerMode{"standby", 0, 2.0, 2, 32, 1.5, 2.0},
+    };
+    const PowerModel pm(spec, modes);
+    for (int i = 0; i <= 20000; ++i) {
+        const Time t = 60.0 * i / 20000.0;
+        ASSERT_EQ(pm.envelope(t), pm.envelopeRef(t)) << "t=" << t;
+        ASSERT_EQ(pm.practicalEnergy(t), pm.practicalEnergyRef(t))
+            << "t=" << t;
+    }
+}
+
 } // namespace
 } // namespace pacache

@@ -44,14 +44,14 @@ TEST_P(OpgConsistency, IncrementalMatchesFromScratch)
     OpgPolicy policy(pm, kind, theta);
     Cache cache(96, policy);
     policy.prepare(accesses);
-    policy.validateInternalState();
+    policy.validateInternalState(/*full=*/true);
 
     for (std::size_t i = 0; i < accesses.size(); ++i) {
         cache.access(accesses[i].block, accesses[i].time, i);
         if (i % 250 == 0)
-            policy.validateInternalState();
+            policy.validateInternalState(/*full=*/true);
     }
-    policy.validateInternalState();
+    policy.validateInternalState(/*full=*/true);
     EXPECT_GT(cache.stats().evictions, 0u);
 }
 

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Gate a BENCH_*.json report against a committed baseline.
+
+Benchmark drivers (bench/bench_report.hh) emit BENCH_<name>.json with
+raw timed runs plus derived scalar metrics. The raw wall-clock numbers
+are machine-specific, so this gate compares only the *metrics* — the
+speedup ratios, which are stable across hosts because both sides of
+each ratio run interleaved on the same machine (see bench/micro_opg.cc).
+
+A metric fails when the current value drops below
+
+    baseline * (1 - tolerance)        (ratio regression), or
+    an explicit floor given with --min key=value.
+
+Higher is always better for these metrics (they are speedups); a metric
+present in the baseline but missing from the current report is an error
+(a silently dropped measurement must not read as a pass).
+
+Usage:
+    bench_compare.py CURRENT.json BASELINE.json \
+        [--tolerance 0.25] [--min opg_replay_speedup=2.5] ...
+"""
+
+import argparse
+import json
+import sys
+
+# Top-level keys that are bookkeeping, not gated metrics.
+NON_METRIC_KEYS = {
+    "bench",
+    "git",
+    "jobs",
+    "wall_ms",
+    "requests",
+    "requests_per_sec",
+    "runs",
+}
+
+
+def metrics_of(report):
+    return {
+        k: v
+        for k, v in report.items()
+        if k not in NON_METRIC_KEYS and isinstance(v, (int, float))
+    }
+
+
+def parse_floor(spec):
+    key, sep, value = spec.partition("=")
+    if not sep or not key:
+        raise argparse.ArgumentTypeError(
+            f"--min expects key=value, got {spec!r}")
+    try:
+        return key, float(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"--min {spec!r}: {exc}") from exc
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        sys.exit(f"bench_compare: cannot read {path}: {exc}")
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("current", help="freshly produced BENCH_*.json")
+    ap.add_argument("baseline", help="committed baseline report")
+    ap.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="allowed fractional drop below the baseline ratio "
+             "(default 0.25; benchmark noise on a busy host is "
+             "bursty, so the slack is generous — hard floors "
+             "belong in --min)")
+    ap.add_argument(
+        "--min", dest="floors", type=parse_floor, action="append",
+        default=[], metavar="KEY=VALUE",
+        help="absolute floor for a metric, checked in addition to "
+             "the baseline-relative tolerance")
+    args = ap.parse_args()
+
+    current = load(args.current)
+    baseline = load(args.baseline)
+    if current.get("bench") != baseline.get("bench"):
+        sys.exit("bench_compare: reports are from different "
+                 f"benchmarks ({current.get('bench')!r} vs "
+                 f"{baseline.get('bench')!r})")
+
+    cur = metrics_of(current)
+    base = metrics_of(baseline)
+    floors = dict(args.floors)
+    failures = []
+
+    print(f"bench_compare: {current.get('bench')} "
+          f"(current {current.get('git', '?')}, "
+          f"baseline {baseline.get('git', '?')})")
+    for key in sorted(base):
+        if key not in cur:
+            failures.append(f"{key}: missing from current report")
+            continue
+        threshold = base[key] * (1.0 - args.tolerance)
+        floor = floors.pop(key, None)
+        bound = threshold if floor is None else max(threshold, floor)
+        ok = cur[key] >= bound
+        verdict = "ok" if ok else "FAIL"
+        floor_note = "" if floor is None else f", floor {floor:.2f}"
+        print(f"  {key}: {cur[key]:.2f} "
+              f"(baseline {base[key]:.2f}, "
+              f"needs >= {bound:.2f}{floor_note}) {verdict}")
+        if not ok:
+            failures.append(
+                f"{key}: {cur[key]:.2f} < {bound:.2f}")
+    for key, floor in floors.items():
+        # Floors for metrics absent from the baseline still apply.
+        if key not in cur:
+            failures.append(f"{key}: missing from current report")
+        elif cur[key] < floor:
+            failures.append(f"{key}: {cur[key]:.2f} < floor {floor}")
+        else:
+            print(f"  {key}: {cur[key]:.2f} (floor {floor}) ok")
+
+    if failures:
+        print("bench_compare: REGRESSION", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("bench_compare: all metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -24,6 +24,26 @@ cmake --build "$root/build-release" -j "$jobs"
 step "Release tests"
 ctest --test-dir "$root/build-release" --output-on-failure -j "$jobs"
 
+step "oracle fast-path benchmark gate"
+# micro_opg replays the fig6-scale OLTP workload through the fast and
+# reference oracle stacks (verifying byte-identical results) and
+# reports speedup ratios; bench_compare.py gates them against the
+# committed baseline. Ratios, not absolute times, are compared — the
+# interleaved-pair timing makes them stable across hosts. Set
+# SKIP_BENCH_GATE=1 to skip on machines too loaded to bench.
+if [ "${SKIP_BENCH_GATE:-0}" = "1" ]; then
+    echo "skipped (SKIP_BENCH_GATE=1)"
+else
+    bench_dir=$(mktemp -d)
+    PACACHE_BENCH_DIR="$bench_dir" \
+        "$root/build-release/bench/micro_opg"
+    python3 "$root/tools/bench_compare.py" \
+        "$bench_dir/BENCH_micro_opg.json" \
+        "$root/bench/baselines/BENCH_micro_opg.json" \
+        --min opg_replay_speedup=2.5
+    rm -rf "$bench_dir"
+fi
+
 step "ASan+UBSan build"
 cmake -B "$root/build-asan" -S "$root" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo \
