@@ -49,14 +49,18 @@ Cache::access(const BlockId &block, Time now, std::size_t idx)
     if (resident.find(block.packed())) {
         ++counters.hits;
         result.hit = true;
+        // coldMisses counts first-ever demand accesses. Without
+        // prefetching a hit implies a prior demand access, so the hit
+        // path skips the first-seen probe; once insert() has run, a
+        // block's first access can hit and the probe is needed.
+        if (counters.prefetchInserts && recordFirstSeen(block))
+            ++counters.coldMisses;
         repl->onAccess(block, now, idx, true);
         if (obs)
             obs->cacheAccess(true);
         return result;
     }
 
-    // Record first-seen only on misses: a hit can never be a
-    // compulsory miss, so the hit path skips the probe entirely.
     if (recordFirstSeen(block))
         ++counters.coldMisses;
     ++counters.misses;

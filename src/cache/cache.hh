@@ -42,7 +42,9 @@ struct CacheStats
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t evictions = 0;
-    uint64_t coldMisses = 0; //!< compulsory misses (exact, not Bloom)
+    //! First-ever accesses to a block (compulsory misses; exact, not
+    //! Bloom). A prefetch-hidden first access still counts.
+    uint64_t coldMisses = 0;
     uint64_t prefetchInserts = 0; //!< blocks brought in speculatively
 
     double

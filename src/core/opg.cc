@@ -117,14 +117,14 @@ OpgPolicy::repriceGap(DiskId disk, std::size_t lo, bool has_lo,
     const Time t_hi = has_hi ? future.timeOf(hi) : 0;
     const std::size_t hi_key =
         has_hi ? hi : FutureKnowledge::kNever;
-    // The whole-gap term is loop-invariant: with both ends present,
-    // l + f is the gap width for every resident in the range, and a
-    // missing end prices as the cached E(bigTime). Each hoisted value
-    // is exactly what the per-block form computes, so the penalties
-    // stay bit-identical.
-    const bool bounded = has_lo && has_hi;
-    const Energy e_whole =
-        bounded ? idleEnergy(t_hi - t_lo) : 0;
+    // A missing end always prices as the cached E(bigTime), exactly
+    // what computePenalty substitutes. The whole-gap term is NOT
+    // hoisted as E(t_hi - t_lo) even though l + f is mathematically
+    // the gap width: FP addition is not associative, so
+    // (t_x - t_lo) + (t_hi - t_x) can round to a different double
+    // than t_hi - t_lo, and the penalty must stay bit-identical to
+    // the per-block form computePenalty (and the reference policy)
+    // evaluates.
     residentByNext[disk].forEachInRange(
         lo, hi_key, [&](std::size_t next_idx, Handle h) {
             const Time t_x = future.timeOf(next_idx);
@@ -132,9 +132,7 @@ OpgPolicy::repriceGap(DiskId disk, std::size_t lo, bool has_lo,
             const Time f = has_hi ? t_hi - t_x : bigTime;
             const Energy e_l = has_lo ? idleEnergy(l) : eBig;
             const Energy e_f = has_hi ? idleEnergy(f) : eBig;
-            const Energy e_lf =
-                bounded ? e_whole : idleEnergy(l + f);
-            const Energy penalty = e_l + e_f - e_lf;
+            const Energy penalty = e_l + e_f - idleEnergy(l + f);
             const Energy fresh =
                 std::max(std::max<Energy>(penalty, 0.0), theta);
             const EvictKey &key = evictOrder.key(h);

@@ -199,8 +199,12 @@ PowerModel::buildEnergyTables()
     lineTable.clear();
     for (const PowerMode &m : modeList)
         lineTable.push_back(EnergyLine{m.idlePower, m.transitionEnergy()});
+    // NaN-proof padding: a {0, +inf} dummy would evaluate to
+    // 0 * t = NaN on an infinite gap; slope 1 with a DBL_MAX
+    // intercept is at least DBL_MAX for any finite t (never winning
+    // against a real line) and +inf at t = +inf.
     linePad.fill(
-        EnergyLine{0.0, std::numeric_limits<Energy>::infinity()});
+        EnergyLine{1.0, std::numeric_limits<Energy>::max()});
     for (std::size_t i = 0;
          i < std::min(lineTable.size(), kLinePad); ++i)
         linePad[i] = lineTable[i];

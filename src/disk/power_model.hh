@@ -106,6 +106,11 @@ class PiecewiseEnergy
         std::size_t idx = 1;
         for (std::size_t i = 1; i < segs.size(); ++i)
             idx += t >= s[i].bound ? 1 : 0;
+        // t = +inf counts the last segment's +inf sentinel bound too;
+        // clamp onto the last segment — which then prices the gap to
+        // +inf — instead of indexing out of bounds.
+        if (idx >= segs.size())
+            idx = segs.size() - 1;
         s += idx;
         return (s->base + s->slope * (t - s->start)) + s->tail;
     }
@@ -114,8 +119,10 @@ class PiecewiseEnergy
     std::size_t
     segment(Time t) const
     {
+        // k + 1 bound: t = +inf matches the last +inf sentinel bound
+        // and must still land on the last segment, not run past it.
         std::size_t k = 0;
-        while (t >= segs[k].bound)
+        while (k + 1 < segs.size() && t >= segs[k].bound)
             ++k;
         return k;
     }
@@ -215,9 +222,12 @@ class PowerModel
         // Fixed-width min-tree over the padded line table: eight
         // independent evaluations and a three-deep min reduction
         // instead of a serial compare chain whose latency grows with
-        // the mode count. Padding lines evaluate to +inf and never
-        // win; the minimum of finite positive doubles does not depend
-        // on reduction order (ties are the same bit pattern), so the
+        // the mode count. Padding lines are {slope 1, DBL_MAX}: at
+        // least DBL_MAX for any finite t (so they never win against a
+        // real line) and +inf at t = +inf, where a zero-slope pad
+        // would turn into 0 * inf = NaN and poison the selects. The
+        // minimum of finite positive doubles does not depend on
+        // reduction order (ties are the same bit pattern), so the
         // result is bit-identical to the sequential legacy scan.
         if (lineTable.size() <= kLinePad) [[likely]] {
             const EnergyLine *l = linePad.data();
@@ -342,9 +352,11 @@ class PowerModel
     PiecewiseEnergy pracTable;
     std::vector<EnergyLine> lineTable;
     /**
-     * lineTable padded to a fixed width with {0, +inf} lines, so
-     * envelope() can run a constant-shape min-tree. Models with more
-     * than kLinePad modes fall back to the dynamic scan.
+     * lineTable padded to a fixed width with {1, DBL_MAX} lines
+     * (positive slope and finite intercept, so no padding line can
+     * ever evaluate to NaN — not even at t = +inf), so envelope() can
+     * run a constant-shape min-tree. Models with more than kLinePad
+     * modes fall back to the dynamic scan.
      */
     static constexpr std::size_t kLinePad = 8;
     std::array<EnergyLine, kLinePad> linePad{};

@@ -13,6 +13,8 @@
 #include <cstdint>
 #include <functional>
 
+#include "util/logging.hh"
+
 namespace pacache
 {
 
@@ -43,18 +45,29 @@ struct BlockId
     friend bool operator==(const BlockId &, const BlockId &) = default;
     friend auto operator<=>(const BlockId &, const BlockId &) = default;
 
-    /** Pack into a single 64-bit key (for hashing / Bloom filters). */
+    /**
+     * Pack into a single 64-bit key (for hashing / residency and
+     * handle maps / Bloom filters). The key holds 16 disk bits and 48
+     * block bits; an id outside that range would silently alias
+     * another block in every packed-keyed structure, so it panics
+     * here instead (no real trace comes close: 2^48 blocks is 1 EiB
+     * of 4 KiB sectors per disk).
+     */
     uint64_t
     packed() const
     {
+        PACACHE_ASSERT(disk < (uint64_t{1} << 16) &&
+                           block < (uint64_t{1} << 48),
+                       "BlockId (", disk, ", ", block,
+                       ") overflows the 16/48-bit packed key");
         return (static_cast<uint64_t>(disk) << 48) |
                (block & 0xffffffffffffULL);
     }
 
     /**
-     * Inverse of packed(). For block numbers below 2^48, packed keys
-     * also order exactly like (disk, block), so compact structures
-     * can store and compare the key and unpack on demand.
+     * Inverse of packed(). Packed keys order exactly like
+     * (disk, block), so compact structures can store and compare the
+     * key and unpack on demand.
      */
     static BlockId
     fromPacked(uint64_t key)

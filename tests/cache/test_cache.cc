@@ -138,6 +138,28 @@ TEST_F(CacheFixture, ReaccessAfterEvictionIsWarmMiss)
     EXPECT_EQ(cache.stats().coldMisses, 4u); // the re-access is warm
 }
 
+TEST_F(CacheFixture, PrefetchHiddenFirstAccessStillCountsCold)
+{
+    // coldMisses counts first-ever demand accesses: a block whose
+    // first access hits because insert() prefetched it beforehand
+    // still counts, exactly once.
+    cache.insert(b(7), 0, idx);
+    EXPECT_EQ(cache.stats().coldMisses, 0u); // a prefetch is no access
+    EXPECT_TRUE(access(7).hit);
+    EXPECT_EQ(cache.stats().coldMisses, 1u);
+    access(7);
+    EXPECT_EQ(cache.stats().coldMisses, 1u);
+    access(1);
+    EXPECT_EQ(cache.stats().coldMisses, 2u);
+}
+
+TEST_F(CacheFixture, PackedKeyOverflowPanics)
+{
+    // Block numbers at or above 2^48 would alias another block in the
+    // packed-key residency map; they must fail loudly instead.
+    EXPECT_ANY_THROW(access(BlockNum{1} << 48));
+}
+
 TEST_F(CacheFixture, MarkDirtyOnNonResidentPanics)
 {
     EXPECT_ANY_THROW(cache.markDirty(b(99)));

@@ -191,6 +191,49 @@ TEST(Opg, HitUpdatesNextUse)
     EXPECT_NE(before, after);
 }
 
+TEST(Opg, GapRescanStaysConsistentAtNonAssociativeTimes)
+{
+    // Regression: the gap rescan must price the whole-gap term per
+    // block as E((t_x - t_lo) + (t_hi - t_x)), never the hoisted
+    // E(t_hi - t_lo). FP addition is not associative, so the two can
+    // round one ulp apart, and a repriced penalty then disagrees with
+    // computePenalty's from-scratch form (and the reference policy).
+    const Time tLo = 4.0;
+    const Time tX = 7.0;
+    const Time tHi = 1e16 + 6.0;
+    // Chosen so the two summation orders round to different doubles.
+    ASSERT_NE((tX - tLo) + (tHi - tX), tHi - tLo);
+
+    // Capacity-2 walk: the miss on block 3 evicts block 2 (its next
+    // use sits two seconds before block 5's cold miss, so its penalty
+    // is the smallest), and that next use (idx 5) joining S rescans
+    // the bounded gap (idx 3 @ tLo, idx 5 @ tHi) containing block 1's
+    // next use at tX.
+    const auto accs = stream({{0, 1},
+                              {1, 2},
+                              {2, 3},
+                              {tLo, 4},
+                              {tX, 1},
+                              {tHi, 2},
+                              {1e16 + 8, 5}});
+    for (const DpmKind kind : {DpmKind::Oracle, DpmKind::Practical}) {
+        const PowerModel pm;
+        OpgPolicy p(pm, kind, 0);
+        Cache c(2, p);
+        p.prepare(accs);
+        c.access(accs[0].block, accs[0].time, 0);
+        c.access(accs[1].block, accs[1].time, 1);
+        const CacheResult r = c.access(accs[2].block, accs[2].time, 2);
+        ASSERT_TRUE(r.evicted);
+        ASSERT_EQ(r.victim.block, 2u); // the rescan trigger
+        p.validateInternalState(/*full=*/true);
+        for (std::size_t i = 3; i < accs.size(); ++i) {
+            c.access(accs[i].block, accs[i].time, i);
+            p.validateInternalState(/*full=*/true);
+        }
+    }
+}
+
 TEST(Opg, RemoveBehavesLikeEviction)
 {
     const auto accs = stream({{0, 1}, {50, 1}, {60, 2}});

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "disk/power_model.hh"
 
@@ -224,6 +225,19 @@ TEST(PowerModel, ModeIndexOutOfRangePanics)
 {
     const PowerModel pm;
     EXPECT_ANY_THROW(pm.mode(99));
+}
+
+TEST(PowerModel, InfiniteGapPricesToInfinityNotNaN)
+{
+    // Latent-hazard guard: an infinite gap must price to +inf, not
+    // NaN (a zero-slope +inf-intercept envelope pad would evaluate to
+    // 0 * inf = NaN) and must not index past the practical segment
+    // table's +inf sentinel bound.
+    const Time inf = std::numeric_limits<Time>::infinity();
+    const PowerModel pm;
+    EXPECT_TRUE(std::isinf(pm.envelope(inf)));
+    EXPECT_TRUE(std::isinf(pm.practicalEnergy(inf)));
+    EXPECT_EQ(pm.practicalModeAt(inf), pm.envelopeModes().back());
 }
 
 // The closed-form segment tables must reproduce the legacy per-call
