@@ -114,14 +114,6 @@ LirsPolicy::trimGhosts()
 }
 
 void
-LirsPolicy::beforeMiss(const BlockId &block, Time, std::size_t)
-{
-    auto it = table.find(block);
-    pendingGhostHit =
-        it != table.end() && it->second.status == Status::HirGhost;
-}
-
-void
 LirsPolicy::onAccess(const BlockId &block, Time, std::size_t, bool hit)
 {
     if (hit) {
@@ -155,9 +147,15 @@ LirsPolicy::onAccess(const BlockId &block, Time, std::size_t, bool hit)
     }
 
     // Miss path: the cache has already evicted via evict() if needed.
-    if (pendingGhostHit) {
-        Entry &e = table.at(block);
-        PACACHE_ASSERT(e.status == Status::HirGhost, "stale ghost flag");
+    // Ghost state is re-read here rather than cached in beforeMiss():
+    // the evict() between beforeMiss() and this call may prune the
+    // incoming block's ghost entry, and wrappers that migrate blocks
+    // between sub-policies (PA-LIRS) insert via a bare miss access
+    // while this policy still holds the block as a ghost.
+    if (auto ghost = table.find(block);
+        ghost != table.end() &&
+        ghost->second.status == Status::HirGhost) {
+        Entry &e = ghost->second;
         --numGhosts;
         stackErase(e);
         e.status = Status::Lir;
@@ -184,7 +182,6 @@ LirsPolicy::onAccess(const BlockId &block, Time, std::size_t, bool hit)
             queuePushBack(block, it->second);
         }
     }
-    pendingGhostHit = false;
     trimGhosts();
 }
 

@@ -42,8 +42,6 @@ class LirsPolicy : public ReplacementPolicy
 
     const char *name() const override { return "LIRS"; }
 
-    void beforeMiss(const BlockId &block, Time now,
-                    std::size_t idx) override;
     void onAccess(const BlockId &block, Time now, std::size_t idx,
                   bool hit) override;
     void onRemove(const BlockId &block) override;
@@ -96,7 +94,6 @@ class LirsPolicy : public ReplacementPolicy
     std::unordered_map<BlockId, Entry> table;
     std::size_t numLir = 0;
     std::size_t numGhosts = 0;
-    bool pendingGhostHit = false; //!< from beforeMiss
 };
 
 } // namespace pacache

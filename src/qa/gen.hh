@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Gen<T> — tiny composable generator combinators for the qa
+ * subsystem.
+ *
+ * A Gen<T> is a deterministic function Rng -> T. Every combinator
+ * draws from the Rng it is handed, so a case is fully reproducible
+ * from one 64-bit seed: same seed, same draws, same value, on every
+ * platform (the Rng is SplitMix64, not std:: distributions).
+ *
+ * Independent sub-streams are derived with deriveSeed(master, index),
+ * so a campaign can hand case i its own Rng without the cases'
+ * consumption patterns interfering — adding a draw to one generator
+ * never perturbs any other case.
+ */
+
+#ifndef PACACHE_QA_GEN_HH
+#define PACACHE_QA_GEN_HH
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace pacache::qa
+{
+
+/**
+ * Derive the seed of an independent sub-stream: one SplitMix64 step
+ * over (master ^ golden-ratio * (index + 1)). Distinct indices give
+ * decorrelated streams even for adjacent master seeds.
+ */
+inline uint64_t
+deriveSeed(uint64_t master, uint64_t index)
+{
+    uint64_t z = master ^ ((index + 1) * 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** A composable random value generator. */
+template <typename T>
+class Gen
+{
+  public:
+    using value_type = T;
+    using Fn = std::function<T(Rng &)>;
+
+    Gen() = default;
+    explicit Gen(Fn fn_) : fn(std::move(fn_)) {}
+
+    T operator()(Rng &rng) const { return fn(rng); }
+
+    /** Apply @p f to every generated value. */
+    template <typename F>
+    auto
+    map(F f) const
+    {
+        using U = decltype(f(std::declval<T>()));
+        Gen<T> self = *this;
+        return Gen<U>([self, f](Rng &rng) { return f(self(rng)); });
+    }
+
+    /** Monadic bind: let the generated value pick the next Gen. */
+    template <typename F>
+    auto
+    then(F f) const
+    {
+        using G = decltype(f(std::declval<T>()));
+        using U = typename G::value_type;
+        Gen<T> self = *this;
+        return Gen<U>([self, f](Rng &rng) { return f(self(rng))(rng); });
+    }
+
+  private:
+    Fn fn;
+};
+
+/** Always @p v. */
+template <typename T>
+Gen<T>
+constant(T v)
+{
+    return Gen<T>([v](Rng &) { return v; });
+}
+
+/** Integer uniform in [lo, hi] (inclusive). */
+inline Gen<uint64_t>
+intIn(uint64_t lo, uint64_t hi)
+{
+    PACACHE_ASSERT(lo <= hi, "intIn: empty range");
+    return Gen<uint64_t>(
+        [lo, hi](Rng &rng) { return lo + rng.below(hi - lo + 1); });
+}
+
+/** Double uniform in [lo, hi). */
+inline Gen<double>
+realIn(double lo, double hi)
+{
+    PACACHE_ASSERT(lo <= hi, "realIn: empty range");
+    return Gen<double>([lo, hi](Rng &rng) { return rng.uniform(lo, hi); });
+}
+
+/** True with probability @p p. */
+inline Gen<bool>
+boolWith(double p)
+{
+    return Gen<bool>([p](Rng &rng) { return rng.chance(p); });
+}
+
+/** Uniform pick from a fixed value list. */
+template <typename T>
+Gen<T>
+elementOf(std::vector<T> choices)
+{
+    PACACHE_ASSERT(!choices.empty(), "elementOf: no choices");
+    return Gen<T>([choices = std::move(choices)](Rng &rng) {
+        return choices[rng.below(choices.size())];
+    });
+}
+
+/** Uniform pick among sub-generators. */
+template <typename T>
+Gen<T>
+oneOf(std::vector<Gen<T>> gens)
+{
+    PACACHE_ASSERT(!gens.empty(), "oneOf: no generators");
+    return Gen<T>([gens = std::move(gens)](Rng &rng) {
+        return gens[rng.below(gens.size())](rng);
+    });
+}
+
+/** Weighted pick among sub-generators (weights need not sum to 1). */
+template <typename T>
+Gen<T>
+frequency(std::vector<std::pair<double, Gen<T>>> weighted)
+{
+    PACACHE_ASSERT(!weighted.empty(), "frequency: no generators");
+    double total = 0;
+    for (const auto &[w, g] : weighted) {
+        PACACHE_ASSERT(w >= 0, "frequency: negative weight");
+        total += w;
+    }
+    PACACHE_ASSERT(total > 0, "frequency: all weights zero");
+    return Gen<T>([weighted = std::move(weighted), total](Rng &rng) {
+        double pick = rng.uniform() * total;
+        for (const auto &[w, g] : weighted) {
+            pick -= w;
+            if (pick < 0)
+                return g(rng);
+        }
+        return weighted.back().second(rng); // FP slack lands here
+    });
+}
+
+/** A vector whose length is drawn from @p size. */
+template <typename T>
+Gen<std::vector<T>>
+vectorOf(Gen<T> item, Gen<uint64_t> size)
+{
+    return Gen<std::vector<T>>([item = std::move(item),
+                                size = std::move(size)](Rng &rng) {
+        const uint64_t n = size(rng);
+        std::vector<T> out;
+        out.reserve(static_cast<std::size_t>(n));
+        for (uint64_t i = 0; i < n; ++i)
+            out.push_back(item(rng));
+        return out;
+    });
+}
+
+} // namespace pacache::qa
+
+#endif // PACACHE_QA_GEN_HH

@@ -1,0 +1,720 @@
+#include "qa/properties.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <limits>
+#include <sstream>
+#include <unistd.h>
+#include <vector>
+
+#include "cache/belady.hh"
+#include "cache/belady_ref.hh"
+#include "cache/cache.hh"
+#include "cache/future.hh"
+#include "cache/lru.hh"
+#include "core/experiment.hh"
+#include "core/opg.hh"
+#include "core/opg_ref.hh"
+#include "core/wtdu_log.hh"
+#include "disk/power_model.hh"
+#include "qa/gen.hh"
+#include "runner/sweep.hh"
+#include "tracefmt/pct.hh"
+#include "tracefmt/trace_source.hh"
+
+namespace pacache::qa
+{
+
+namespace
+{
+
+template <typename... Args>
+PropertyResult
+failMsg(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return PropertyResult::fail(os.str());
+}
+
+std::string
+blockStr(const BlockId &b)
+{
+    std::ostringstream os;
+    os << '(' << b.disk << ',' << b.block << ')';
+    return os.str();
+}
+
+/** The ExperimentConfig a case's knobs describe. */
+ExperimentConfig
+experimentConfig(const FuzzCase &c)
+{
+    ExperimentConfig cfg;
+    cfg.policy = c.cfg.policy;
+    cfg.dpm = c.cfg.dpm;
+    cfg.cacheBlocks = c.cfg.cacheBlocks > 0 ? c.cfg.cacheBlocks : 1;
+    cfg.storage.writePolicy = c.cfg.writePolicy;
+    cfg.storage.wtduRegionBlocks =
+        c.cfg.wtduRegionBlocks > 0 ? c.cfg.wtduRegionBlocks : 1;
+    cfg.spec = c.cfg.spec;
+    cfg.pa.epochLength = c.cfg.paEpoch;
+    cfg.opgTheta = c.cfg.theta;
+    return cfg;
+}
+
+/** Victim-recording pass-through (the oracle-equivalence pattern). */
+class RecordingPolicy : public ReplacementPolicy
+{
+  public:
+    explicit RecordingPolicy(ReplacementPolicy &inner_) : inner(&inner_) {}
+
+    const char *name() const override { return inner->name(); }
+
+    void
+    prepare(const std::vector<BlockAccess> &accesses) override
+    {
+        inner->prepare(accesses);
+    }
+
+    void
+    onAccess(const BlockId &block, Time now, std::size_t idx,
+             bool hit) override
+    {
+        inner->onAccess(block, now, idx, hit);
+    }
+
+    void
+    beforeMiss(const BlockId &block, Time now, std::size_t idx) override
+    {
+        inner->beforeMiss(block, now, idx);
+    }
+
+    void onRemove(const BlockId &block) override { inner->onRemove(block); }
+
+    BlockId
+    evict(Time now, std::size_t idx) override
+    {
+        BlockId victim = inner->evict(now, idx);
+        victims.push_back(victim);
+        return victim;
+    }
+
+    bool supportsPrefetch() const override
+    {
+        return inner->supportsPrefetch();
+    }
+    bool isOffline() const override { return inner->isOffline(); }
+
+    std::vector<BlockId> victims;
+
+  private:
+    ReplacementPolicy *inner;
+};
+
+struct Replay
+{
+    std::vector<BlockId> victims;
+    CacheStats stats;
+};
+
+Replay
+replayPolicy(const FuzzCase &c, ReplacementPolicy &policy)
+{
+    const std::vector<BlockAccess> accesses = expandTrace(c.trace);
+    RecordingPolicy rec(policy);
+    Cache cache(c.cfg.cacheBlocks > 0 ? c.cfg.cacheBlocks : 1, rec);
+    rec.prepare(accesses);
+    for (std::size_t i = 0; i < accesses.size(); ++i)
+        cache.access(accesses[i].block, accesses[i].time, i);
+    return {std::move(rec.victims), cache.stats()};
+}
+
+/** Exact-compare two experiment results; "" when identical. */
+std::string
+diffResults(const ExperimentResult &a, const ExperimentResult &b)
+{
+    std::ostringstream os;
+    auto field = [&os](const char *name, auto x, auto y) {
+        if (os.tellp() == 0 && !(x == y))
+            os << name << ": " << x << " vs " << y;
+    };
+
+    field("cache.accesses", a.cache.accesses, b.cache.accesses);
+    field("cache.hits", a.cache.hits, b.cache.hits);
+    field("cache.misses", a.cache.misses, b.cache.misses);
+    field("cache.evictions", a.cache.evictions, b.cache.evictions);
+    field("cache.coldMisses", a.cache.coldMisses, b.cache.coldMisses);
+    field("totalEnergy", a.totalEnergy, b.totalEnergy);
+    field("energy.total", a.energy.total(), b.energy.total());
+    field("energy.serviceEnergy", a.energy.serviceEnergy,
+          b.energy.serviceEnergy);
+    field("energy.spinUps", a.energy.spinUps, b.energy.spinUps);
+    field("energy.spinDowns", a.energy.spinDowns, b.energy.spinDowns);
+    field("responses.count", a.responses.count(), b.responses.count());
+    field("responses.sum", a.responses.sum(), b.responses.sum());
+    field("responses.max", a.responses.max(), b.responses.max());
+    field("logWrites", a.logWrites, b.logWrites);
+    field("prefetchedBlocks", a.prefetchedBlocks, b.prefetchedBlocks);
+    field("numModes", a.numModes, b.numModes);
+    field("perDisk.size", a.perDisk.size(), b.perDisk.size());
+    if (os.tellp() != 0)
+        return os.str();
+
+    for (std::size_t d = 0; d < a.perDisk.size(); ++d) {
+        const EnergyStats &x = a.perDisk[d];
+        const EnergyStats &y = b.perDisk[d];
+        std::ostringstream pre;
+        pre << "perDisk[" << d << "].";
+        const std::string p = pre.str();
+        field((p + "total").c_str(), x.total(), y.total());
+        field((p + "busyTime").c_str(), x.busyTime, y.busyTime);
+        field((p + "requests").c_str(), x.requests, y.requests);
+        field((p + "spinUps").c_str(), x.spinUps, y.spinUps);
+        field((p + "spinDowns").c_str(), x.spinDowns, y.spinDowns);
+        for (std::size_t m = 0;
+             m < x.idleEnergyPerMode.size() &&
+             m < y.idleEnergyPerMode.size();
+             ++m) {
+            field((p + "idleEnergy[mode]").c_str(),
+                  x.idleEnergyPerMode[m], y.idleEnergyPerMode[m]);
+            field((p + "timePerMode[mode]").c_str(), x.timePerMode[m],
+                  y.timePerMode[m]);
+        }
+        if (os.tellp() != 0)
+            return os.str();
+    }
+
+    if (a.diskAccesses != b.diskAccesses)
+        return "diskAccesses differ";
+    if (a.diskMeanInterArrival != b.diskMeanInterArrival)
+        return "diskMeanInterArrival differ";
+    return {};
+}
+
+/** Self-deleting temp file for the round-trip property. */
+struct TempFile
+{
+    std::string path;
+
+    explicit TempFile(const std::string &stem)
+    {
+        std::ostringstream os;
+        os << "pacache_qa_" << ::getpid() << '_' << stem;
+        path = (std::filesystem::temp_directory_path() / os.str())
+                   .string();
+    }
+
+    ~TempFile()
+    {
+        std::error_code ec;
+        std::filesystem::remove(path, ec);
+    }
+};
+
+// ---------------------------------------------------------------
+// Differential properties: fast path vs retained reference.
+// ---------------------------------------------------------------
+
+PropertyResult
+propOpgMatchesRef(const FuzzCase &c)
+{
+    const PowerModel pm = c.powerModel();
+    OpgPolicy fast(pm, c.cfg.dpmKind, c.cfg.theta);
+    ReferenceOpgPolicy ref(pm, c.cfg.dpmKind, c.cfg.theta,
+                           /*refPricing=*/true);
+    return checkPolicyDifferential(c, fast, ref);
+}
+
+PropertyResult
+propBeladyMatchesRef(const FuzzCase &c)
+{
+    BeladyPolicy fast;
+    ReferenceBeladyPolicy ref;
+    return checkPolicyDifferential(c, fast, ref);
+}
+
+PropertyResult
+propEnergyTablesMatchLegacy(const FuzzCase &c)
+{
+    const PowerModel pm = c.powerModel();
+    Rng rng(deriveSeed(c.seed, 0x7ab1e5));
+
+    std::vector<Time> samples{0.0,
+                              std::numeric_limits<Time>::infinity()};
+    for (const Time t : pm.thresholds()) {
+        samples.push_back(t);
+        samples.push_back(std::nextafter(t, 0.0));
+        samples.push_back(std::nextafter(
+            t, std::numeric_limits<Time>::infinity()));
+    }
+    for (std::size_t m = 0; m < pm.numModes(); ++m) {
+        const Time be = pm.breakEvenTime(m);
+        if (std::isfinite(be)) {
+            samples.push_back(be);
+            samples.push_back(std::nextafter(be, 0.0));
+        }
+    }
+    for (int i = 0; i < 200; ++i)
+        samples.push_back(std::pow(10.0, rng.uniform(-3.0, 5.0)));
+
+    for (const Time t : samples) {
+        const Energy env = pm.envelope(t);
+        const Energy envRef = pm.envelopeRef(t);
+        if (env != envRef)
+            return failMsg("envelope(", formatExact(t), ") = ",
+                           formatExact(env), " but legacy scan gives ",
+                           formatExact(envRef));
+        const Energy prac = pm.practicalEnergy(t);
+        const Energy pracRef = pm.practicalEnergyRef(t);
+        if (prac != pracRef)
+            return failMsg("practicalEnergy(", formatExact(t), ") = ",
+                           formatExact(prac),
+                           " but legacy walk gives ",
+                           formatExact(pracRef));
+        if (pm.bestMode(t) != pm.bestModeRef(t))
+            return failMsg("bestMode(", formatExact(t), ") = ",
+                           pm.bestMode(t), " but legacy scan gives ",
+                           pm.bestModeRef(t));
+    }
+    return PropertyResult::ok();
+}
+
+// ---------------------------------------------------------------
+// Metamorphic properties: two runs that must agree by construction.
+// ---------------------------------------------------------------
+
+PropertyResult
+propStreamingMatchesMaterialized(const FuzzCase &c)
+{
+    if (c.trace.empty())
+        return PropertyResult::ok();
+    const ExperimentConfig cfg = experimentConfig(c);
+    const ExperimentResult mat = runExperiment(c.trace, cfg);
+    tracefmt::MemorySource src(c.trace);
+    const ExperimentResult streamed = runExperiment(src, cfg);
+    const std::string diff = diffResults(mat, streamed);
+    if (!diff.empty())
+        return failMsg("streaming replay diverges from materialized: ",
+                       diff);
+    return PropertyResult::ok();
+}
+
+PropertyResult
+propParallelMatchesSerial(const FuzzCase &c)
+{
+    if (c.trace.empty())
+        return PropertyResult::ok();
+    // Three points off one shared trace: the case's own config plus
+    // two cheap on-line variants, so the pool actually interleaves.
+    std::vector<runner::RunPoint> points;
+    for (const PolicyKind policy :
+         {c.cfg.policy, PolicyKind::LRU, PolicyKind::FIFO}) {
+        runner::RunPoint point;
+        point.label = runner::policyCliName(policy);
+        point.trace = &c.trace;
+        point.config = experimentConfig(c);
+        point.config.policy = policy;
+        points.push_back(std::move(point));
+    }
+    const std::vector<runner::RunOutcome> serial =
+        runner::runAll(points, 1);
+    const std::vector<runner::RunOutcome> parallel =
+        runner::runAll(points, 3);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const std::string diff =
+            diffResults(serial[i].result, parallel[i].result);
+        if (!diff.empty())
+            return failMsg("--jobs 3 diverges from serial at point '",
+                           points[i].label, "': ", diff);
+    }
+    return PropertyResult::ok();
+}
+
+PropertyResult
+propPctRoundTrip(const FuzzCase &c)
+{
+    std::ostringstream stem;
+    stem << c.seed << ".pct";
+    const TempFile tmp(stem.str());
+    {
+        tracefmt::PctWriter writer(tmp.path);
+        for (const TraceRecord &rec : c.trace)
+            writer.append(rec);
+        writer.finish();
+    }
+
+    auto compare = [&](tracefmt::TraceSource &src,
+                       const char *reader) -> PropertyResult {
+        TraceRecord rec;
+        std::size_t i = 0;
+        while (src.next(rec)) {
+            if (i >= c.trace.size())
+                return failMsg(reader, " yields ", i + 1,
+                               "+ records, wrote ", c.trace.size());
+            if (!(rec == c.trace[i]))
+                return failMsg(reader, " record ", i,
+                               " differs after round-trip: got '",
+                               toString(rec), "', wrote '",
+                               toString(c.trace[i]), "'");
+            ++i;
+        }
+        if (i != c.trace.size())
+            return failMsg(reader, " yields ", i, " records, wrote ",
+                           c.trace.size());
+        return PropertyResult::ok();
+    };
+
+    tracefmt::PctBufferedSource buffered(tmp.path);
+    PropertyResult r = compare(buffered, "buffered reader");
+    if (!r.passed)
+        return r;
+    tracefmt::PctMmapSource mapped(tmp.path);
+    return compare(mapped, "mmap reader");
+}
+
+uint64_t
+hitsAt(const Trace &trace, std::size_t capacity, bool belady)
+{
+    const std::vector<BlockAccess> accesses = expandTrace(trace);
+    LruPolicy lru;
+    BeladyPolicy min;
+    ReplacementPolicy &policy =
+        belady ? static_cast<ReplacementPolicy &>(min)
+               : static_cast<ReplacementPolicy &>(lru);
+    Cache cache(capacity, policy);
+    policy.prepare(accesses);
+    for (std::size_t i = 0; i < accesses.size(); ++i)
+        cache.access(accesses[i].block, accesses[i].time, i);
+    return cache.stats().hits;
+}
+
+PropertyResult
+propHitCountMonotone(const FuzzCase &c)
+{
+    // LRU and Belady are stack algorithms: a strictly larger cache
+    // can never hit less often on the same stream.
+    const std::size_t base = c.cfg.cacheBlocks > 0 ? c.cfg.cacheBlocks : 1;
+    for (const bool belady : {false, true}) {
+        uint64_t prev = 0;
+        for (const std::size_t cap : {base, base * 2, base * 4}) {
+            const uint64_t hits = hitsAt(c.trace, cap, belady);
+            if (cap != base && hits < prev)
+                return failMsg(belady ? "Belady" : "LRU",
+                               " hits dropped from ", prev, " to ",
+                               hits, " when the cache grew to ", cap,
+                               " blocks");
+            prev = hits;
+        }
+    }
+    return PropertyResult::ok();
+}
+
+PropertyResult
+propEnergyAccountingIdentity(const FuzzCase &c)
+{
+    if (c.trace.empty())
+        return PropertyResult::ok();
+    const ExperimentConfig cfg = experimentConfig(c);
+    const ExperimentResult res = runExperiment(c.trace, cfg);
+    const CacheStats &cs = res.cache;
+
+    if (cs.hits + cs.misses != cs.accesses)
+        return failMsg("hits (", cs.hits, ") + misses (", cs.misses,
+                       ") != accesses (", cs.accesses, ")");
+    if (res.responses.count() != c.trace.size())
+        return failMsg("responses.count() = ", res.responses.count(),
+                       " but the trace has ", c.trace.size(),
+                       " requests");
+
+    auto relClose = [](double a, double b, double rel) {
+        const double scale = std::max({std::fabs(a), std::fabs(b), 1.0});
+        return std::fabs(a - b) <= rel * scale;
+    };
+
+    Energy perDiskSum = 0;
+    for (const EnergyStats &d : res.perDisk)
+        perDiskSum += d.total();
+    if (!relClose(perDiskSum, res.energy.total(), 1e-9))
+        return failMsg("sum of per-disk energy ", perDiskSum,
+                       " != aggregate ", res.energy.total());
+
+    const PowerModel pm = c.powerModel();
+    for (std::size_t d = 0; d < res.perDisk.size(); ++d) {
+        const EnergyStats &es = res.perDisk[d];
+        Energy parts = es.serviceEnergy + es.spinUpEnergy +
+                       es.spinDownEnergy;
+        for (const Energy e : es.idleEnergyPerMode)
+            parts += e;
+        if (!relClose(parts, es.total(), 1e-9))
+            return failMsg("disk ", d, ": component sum ", parts,
+                           " != total() ", es.total());
+        if (es.spinUps > es.spinDowns)
+            return failMsg("disk ", d, ": ", es.spinUps,
+                           " spin-ups exceed ", es.spinDowns,
+                           " demotion steps");
+        if (es.idleEnergyPerMode.size() != res.numModes)
+            return failMsg("disk ", d, ": breakdown has ",
+                           es.idleEnergyPerMode.size(),
+                           " modes, model has ", res.numModes);
+        // Oracle DPM prices a closed gap as idlePower * gap without
+        // splitting out the transition residency, so the per-mode
+        // residency-times-power identity only holds for the on-line
+        // regimes (see DESIGN.md).
+        if (cfg.dpm == DpmChoice::Oracle)
+            continue;
+        for (std::size_t m = 0; m < es.idleEnergyPerMode.size(); ++m) {
+            const Energy fromTime =
+                es.timePerMode[m] * pm.mode(m).idlePower;
+            if (!relClose(fromTime, es.idleEnergyPerMode[m], 1e-6))
+                return failMsg("disk ", d, " mode ", m, ": residency ",
+                               es.timePerMode[m], "s x ",
+                               pm.mode(m).idlePower, "W = ", fromTime,
+                               "J but idleEnergyPerMode records ",
+                               es.idleEnergyPerMode[m], "J");
+        }
+    }
+    return PropertyResult::ok();
+}
+
+PropertyResult
+propWtduRecoveryIdempotent(const FuzzCase &c)
+{
+    const std::size_t numDisks = std::max<std::size_t>(
+        c.trace.numDisks(), 1);
+    const std::size_t region =
+        c.cfg.wtduRegionBlocks > 0 ? c.cfg.wtduRegionBlocks : 1;
+    WtduLog log(numDisks, region);
+
+    // Model of exactly-the-acknowledged-writes: everything appended
+    // since a region's last retire must come back from recover(), in
+    // append order, with the exact payload versions.
+    std::vector<std::vector<std::pair<BlockNum, uint64_t>>> pending(
+        numDisks);
+    uint64_t version = 1;
+    uint64_t steps = 0;
+    for (const TraceRecord &rec : c.trace) {
+        if (!rec.write)
+            continue;
+        if (steps++ == c.cfg.crashStep)
+            break; // crash: everything after never happened
+        if (log.full(rec.disk)) {
+            // Data disk spun up and flushed; region retires.
+            log.retire(rec.disk);
+            pending[rec.disk].clear();
+        }
+        if (!log.append(rec.disk, rec.block, version))
+            return failMsg("append refused for disk ", rec.disk,
+                           " directly after a retire");
+        pending[rec.disk].emplace_back(rec.block, version);
+        ++version;
+    }
+
+    for (DiskId d = 0; d < numDisks; ++d) {
+        const std::vector<WtduLog::Entry> first = log.recover(d);
+        const std::vector<WtduLog::Entry> second = log.recover(d);
+        if (first.size() != second.size())
+            return failMsg("recover() is not idempotent on disk ", d,
+                           ": ", first.size(), " then ", second.size(),
+                           " entries");
+        for (std::size_t i = 0; i < first.size(); ++i)
+            if (first[i].block != second[i].block ||
+                first[i].version != second[i].version)
+                return failMsg("recover() is not idempotent on disk ",
+                               d, " at entry ", i);
+
+        if (first.size() != pending[d].size())
+            return failMsg("disk ", d, ": recover() replays ",
+                           first.size(), " entries, ",
+                           pending[d].size(),
+                           " writes were acknowledged since the last "
+                           "retire");
+        for (std::size_t i = 0; i < first.size(); ++i) {
+            if (first[i].block != pending[d][i].first ||
+                first[i].version != pending[d][i].second)
+                return failMsg("disk ", d, " entry ", i,
+                               ": recovered block ", first[i].block,
+                               " v", first[i].version, ", expected ",
+                               pending[d][i].first, " v",
+                               pending[d][i].second);
+        }
+    }
+    return PropertyResult::ok();
+}
+
+PropertyResult
+propOpgIncrementalConsistent(const FuzzCase &c)
+{
+    const PowerModel pm = c.powerModel();
+    OpgPolicy policy(pm, c.cfg.dpmKind, c.cfg.theta);
+    const std::vector<BlockAccess> accesses = expandTrace(c.trace);
+    RecordingPolicy rec(policy);
+    Cache cache(c.cfg.cacheBlocks > 0 ? c.cfg.cacheBlocks : 1, rec);
+    rec.prepare(accesses);
+    for (std::size_t i = 0; i < accesses.size(); ++i) {
+        cache.access(accesses[i].block, accesses[i].time, i);
+        if (i % 64 == 63) {
+            try {
+                policy.validateInternalState(/*full=*/true);
+            } catch (const std::logic_error &e) {
+                return failMsg("OPG internal state invalid after "
+                               "access ",
+                               i, ": ", e.what());
+            }
+        }
+    }
+    try {
+        policy.validateInternalState(/*full=*/true);
+    } catch (const std::logic_error &e) {
+        return failMsg("OPG internal state invalid after replay: ",
+                       e.what());
+    }
+    return PropertyResult::ok();
+}
+
+PropertyResult
+propDpmTwoCompetitive(const FuzzCase &c)
+{
+    const PowerModel pm = c.powerModel();
+
+    const std::vector<Time> &th = pm.thresholds();
+    for (std::size_t i = 1; i < th.size(); ++i)
+        if (!(th[i - 1] < th[i]))
+            return failMsg("thresholds not strictly ascending: t", i - 1,
+                           " = ", th[i - 1], " >= t", i, " = ", th[i]);
+
+    Rng rng(deriveSeed(c.seed, 0x2c0));
+    for (int i = 0; i < 200; ++i) {
+        const Time t = std::pow(10.0, rng.uniform(-3.0, 5.0));
+        const Energy lower = pm.envelope(t);
+        const Energy prac = pm.practicalEnergy(t);
+        const double slack = 1e-9 * std::max(std::fabs(lower), 1.0);
+        if (prac < lower - slack)
+            return failMsg("practicalEnergy(", formatExact(t), ") = ",
+                           prac, " beats the lower envelope ", lower);
+        if (prac > 2 * lower + slack)
+            return failMsg("practicalEnergy(", formatExact(t), ") = ",
+                           prac, " exceeds twice the envelope ",
+                           2 * lower, " (not 2-competitive)");
+    }
+    return PropertyResult::ok();
+}
+
+} // namespace
+
+PropertyResult
+checkPolicyDifferential(const FuzzCase &c, ReplacementPolicy &candidate,
+                        ReplacementPolicy &reference)
+{
+    const Replay cand = replayPolicy(c, candidate);
+    const Replay ref = replayPolicy(c, reference);
+
+    const std::size_t n = std::min(cand.victims.size(),
+                                   ref.victims.size());
+    for (std::size_t i = 0; i < n; ++i)
+        if (!(cand.victims[i] == ref.victims[i]))
+            return failMsg(candidate.name(), " evicts ",
+                           blockStr(cand.victims[i]), " at eviction ",
+                           i, ", ", reference.name(), " evicts ",
+                           blockStr(ref.victims[i]));
+    if (cand.victims.size() != ref.victims.size())
+        return failMsg(candidate.name(), " performs ",
+                       cand.victims.size(), " evictions, ",
+                       reference.name(), " performs ",
+                       ref.victims.size());
+
+    auto counter = [&](const char *what, uint64_t a,
+                       uint64_t b) -> PropertyResult {
+        if (a != b)
+            return failMsg(candidate.name(), " ", what, " = ", a,
+                           " but ", reference.name(), " ", what, " = ",
+                           b);
+        return PropertyResult::ok();
+    };
+    PropertyResult r = counter("hits", cand.stats.hits, ref.stats.hits);
+    if (!r.passed)
+        return r;
+    r = counter("misses", cand.stats.misses, ref.stats.misses);
+    if (!r.passed)
+        return r;
+    r = counter("evictions", cand.stats.evictions, ref.stats.evictions);
+    if (!r.passed)
+        return r;
+    return counter("coldMisses", cand.stats.coldMisses,
+                   ref.stats.coldMisses);
+}
+
+const std::vector<PropertyDef> &
+allProperties()
+{
+    static const std::vector<PropertyDef> registry = {
+        {"opg_matches_ref",
+         "OPG fast path evicts and counts bit-identically to the "
+         "retained node-based reference with legacy pricing",
+         propOpgMatchesRef},
+        {"belady_matches_ref",
+         "Belady indexed-heap fast path is bit-identical to the "
+         "retained set-based reference",
+         propBeladyMatchesRef},
+        {"energy_tables_match_legacy",
+         "PiecewiseEnergy/envelope tables match the legacy per-call "
+         "scans bitwise on fuzzed specs (incl. thresholds and +inf)",
+         propEnergyTablesMatchLegacy},
+        {"streaming_matches_materialized",
+         "Streaming a trace through a TraceSource reproduces the "
+         "materialized run's statistics exactly",
+         propStreamingMatchesMaterialized},
+        {"parallel_matches_serial",
+         "runAll with --jobs N returns results identical to the "
+         "serial run",
+         propParallelMatchesSerial},
+        {"pct_roundtrip_identity",
+         "Writing a trace to .pct and reading it back (buffered and "
+         "mmap) is the identity",
+         propPctRoundTrip},
+        {"hit_count_monotone",
+         "LRU and Belady hit counts never decrease when the cache "
+         "grows (stack-algorithm inclusion)",
+         propHitCountMonotone},
+        {"energy_accounting_identity",
+         "Energy breakdowns sum to totals, residency prices per-mode "
+         "energy, and every request gets a response",
+         propEnergyAccountingIdentity},
+        {"wtdu_recovery_idempotent",
+         "WTDU log recovery at a fuzzed crash point replays exactly "
+         "the acknowledged writes, twice over",
+         propWtduRecoveryIdempotent},
+        {"opg_incremental_consistent",
+         "OPG incremental bookkeeping matches a from-scratch penalty "
+         "recomputation throughout replay",
+         propOpgIncrementalConsistent},
+        {"dpm_two_competitive",
+         "Practical DPM stays within twice the Oracle envelope and "
+         "its thresholds ascend",
+         propDpmTwoCompetitive},
+    };
+    return registry;
+}
+
+const PropertyDef *
+findProperty(const std::string &name)
+{
+    for (const PropertyDef &prop : allProperties())
+        if (name == prop.name)
+            return &prop;
+    return nullptr;
+}
+
+PropertyResult
+runProperty(const PropertyDef &prop, const FuzzCase &c)
+{
+    try {
+        return prop.check(c);
+    } catch (const std::exception &e) {
+        return PropertyResult::fail(std::string("exception: ") +
+                                    e.what());
+    }
+}
+
+} // namespace pacache::qa

@@ -1,0 +1,172 @@
+#include "qa/shrink.hh"
+
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace pacache::qa
+{
+
+namespace
+{
+
+/** Rebuild a case around a new record sequence. */
+FuzzCase
+withRecords(const FuzzCase &base, const std::vector<TraceRecord> &recs)
+{
+    FuzzCase c;
+    c.seed = base.seed;
+    c.cfg = base.cfg;
+    for (const TraceRecord &rec : recs)
+        c.trace.append(rec);
+    return c;
+}
+
+struct Shrinker
+{
+    const FailFn &stillFails;
+    std::size_t maxAttempts;
+    ShrinkStats stats;
+
+    bool
+    budgetLeft() const
+    {
+        return stats.attempts < maxAttempts;
+    }
+
+    /** Evaluate a candidate; true (and count it) if it still fails. */
+    bool
+    accept(const FuzzCase &candidate)
+    {
+        ++stats.attempts;
+        if (!stillFails(candidate))
+            return false;
+        ++stats.accepted;
+        return true;
+    }
+
+    /** ddmin: drop windows of records, halving the window size. */
+    bool
+    dropRecords(FuzzCase &best)
+    {
+        bool shrunk = false;
+        std::vector<TraceRecord> recs(best.trace.begin(),
+                                      best.trace.end());
+        for (std::size_t chunk = (recs.size() + 1) / 2;
+             chunk >= 1 && !recs.empty(); chunk /= 2) {
+            for (std::size_t at = 0;
+                 at < recs.size() && budgetLeft();) {
+                std::vector<TraceRecord> candidate;
+                candidate.reserve(recs.size());
+                for (std::size_t i = 0; i < recs.size(); ++i)
+                    if (i < at || i >= at + chunk)
+                        candidate.push_back(recs[i]);
+                const FuzzCase next = withRecords(best, candidate);
+                if (accept(next)) {
+                    recs = std::move(candidate);
+                    best = next;
+                    shrunk = true;
+                    // Same position now holds the next window.
+                } else {
+                    at += chunk;
+                }
+            }
+            if (chunk == 1)
+                break;
+        }
+        return shrunk;
+    }
+
+    /** Per-record simplification: length 1, writes to reads. */
+    bool
+    simplifyRecords(FuzzCase &best)
+    {
+        bool shrunk = false;
+        std::vector<TraceRecord> recs(best.trace.begin(),
+                                      best.trace.end());
+        for (std::size_t i = 0; i < recs.size() && budgetLeft(); ++i) {
+            TraceRecord simpler = recs[i];
+            if (simpler.numBlocks > 1)
+                simpler.numBlocks = 1;
+            else if (simpler.write)
+                simpler.write = false;
+            else
+                continue;
+            std::vector<TraceRecord> candidate = recs;
+            candidate[i] = simpler;
+            const FuzzCase next = withRecords(best, candidate);
+            if (accept(next)) {
+                recs = std::move(candidate);
+                best = next;
+                shrunk = true;
+                --i; // the same record may simplify further
+            }
+        }
+        return shrunk;
+    }
+
+    /** Halve numeric config knobs toward their floors. */
+    bool
+    shrinkConfig(FuzzCase &best)
+    {
+        bool shrunk = false;
+        auto tryCfg = [&](auto mutate) {
+            if (!budgetLeft())
+                return;
+            FuzzCase candidate = best;
+            mutate(candidate.cfg);
+            if (accept(candidate)) {
+                best = candidate;
+                shrunk = true;
+            }
+        };
+
+        while (best.cfg.cacheBlocks > 1 && budgetLeft()) {
+            const std::size_t before = best.cfg.cacheBlocks;
+            tryCfg([](CaseConfig &cfg) { cfg.cacheBlocks /= 2; });
+            if (best.cfg.cacheBlocks == before)
+                break;
+        }
+        while (best.cfg.wtduRegionBlocks > 1 && budgetLeft()) {
+            const std::size_t before = best.cfg.wtduRegionBlocks;
+            tryCfg([](CaseConfig &cfg) { cfg.wtduRegionBlocks /= 2; });
+            if (best.cfg.wtduRegionBlocks == before)
+                break;
+        }
+        while (best.cfg.crashStep > 0 && budgetLeft()) {
+            const uint64_t before = best.cfg.crashStep;
+            tryCfg([](CaseConfig &cfg) { cfg.crashStep /= 2; });
+            if (best.cfg.crashStep == before)
+                break;
+        }
+        if (best.cfg.theta != 0)
+            tryCfg([](CaseConfig &cfg) { cfg.theta = 0; });
+        return shrunk;
+    }
+};
+
+} // namespace
+
+FuzzCase
+shrinkCase(const FuzzCase &failing, const FailFn &stillFails,
+           std::size_t maxAttempts, ShrinkStats *stats)
+{
+    PACACHE_ASSERT(stillFails(failing),
+                   "shrinkCase: the input case does not fail");
+    Shrinker shrinker{stillFails, maxAttempts, {}};
+    FuzzCase best = failing;
+    // Fixed point: each pass can unlock the others (a smaller trace
+    // makes a smaller cache failing, and vice versa).
+    for (int pass = 0; pass < 8; ++pass) {
+        bool any = shrinker.dropRecords(best);
+        any = shrinker.simplifyRecords(best) || any;
+        any = shrinker.shrinkConfig(best) || any;
+        if (!any || !shrinker.budgetLeft())
+            break;
+    }
+    if (stats)
+        *stats = shrinker.stats;
+    return best;
+}
+
+} // namespace pacache::qa

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Delta-debugging shrinker for FuzzCases.
+ *
+ * Given a failing case and a predicate that re-checks the failure,
+ * shrinkCase() greedily minimizes the trace (ddmin-style chunk
+ * removal, halving the window down to single records), simplifies the
+ * surviving records (length 1, writes to reads), and shrinks the
+ * config knobs (cache size, WTDU region, crash step, theta) — keeping
+ * every transformation only if the case still fails. Record removal
+ * preserves time monotonicity by construction (deleting from a sorted
+ * sequence keeps it sorted), so every intermediate case is a valid
+ * Trace.
+ *
+ * The predicate is typically `!runProperty(prop, c).passed`; because
+ * runProperty converts exceptions into failures, the shrinker also
+ * minimizes crashers.
+ */
+
+#ifndef PACACHE_QA_SHRINK_HH
+#define PACACHE_QA_SHRINK_HH
+
+#include <cstddef>
+#include <functional>
+
+#include "qa/fuzz_case.hh"
+
+namespace pacache::qa
+{
+
+/** Re-check the failure; true = the case still fails. */
+using FailFn = std::function<bool(const FuzzCase &)>;
+
+/** What a shrink run did. */
+struct ShrinkStats
+{
+    std::size_t attempts = 0; //!< candidate cases evaluated
+    std::size_t accepted = 0; //!< candidates that still failed
+};
+
+/**
+ * Minimize @p failing under @p stillFails. @p maxAttempts bounds the
+ * number of predicate evaluations (the predicate replays the
+ * property, so this bounds total shrink cost). The input case must
+ * satisfy the predicate; the returned case always does.
+ */
+FuzzCase shrinkCase(const FuzzCase &failing, const FailFn &stillFails,
+                    std::size_t maxAttempts = 2000,
+                    ShrinkStats *stats = nullptr);
+
+} // namespace pacache::qa
+
+#endif // PACACHE_QA_SHRINK_HH

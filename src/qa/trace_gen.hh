@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Domain generators for the qa subsystem: Gen<T> pipelines producing
+ * whole FuzzCases — synthetic traces (Zipf/Pareto mixes, bursty
+ * arrivals, varied read/write ratios, multi-disk skew) through
+ * trace/synthetic, plus fuzzed cache sizes, power-model parameter
+ * sets, and write-policy/DPM combinations.
+ *
+ * Everything is seed-deterministic: genCase(profile)(Rng(seed))
+ * produces the same case on every host, and a campaign derives case
+ * i's rng from deriveSeed(masterSeed, i), so cases are independent
+ * and individually reproducible.
+ */
+
+#ifndef PACACHE_QA_TRACE_GEN_HH
+#define PACACHE_QA_TRACE_GEN_HH
+
+#include "qa/fuzz_case.hh"
+#include "qa/gen.hh"
+#include "trace/synthetic.hh"
+
+namespace pacache::qa
+{
+
+/** Bounds for generated cases; the default profile keeps one case in
+ *  the low-millisecond range so campaigns sustain hundreds of cases
+ *  per second of budget. */
+struct CaseProfile
+{
+    uint64_t minRequests = 200;
+    uint64_t maxRequests = 1200;
+    uint32_t minDisks = 1;
+    uint32_t maxDisks = 5;
+    std::size_t minCacheBlocks = 4;
+    std::size_t maxCacheBlocks = 256;
+    /** Probability a case gets skewed (non-uniform) disk weights. */
+    double skewProb = 0.5;
+};
+
+/** Synthetic workload parameters (trace shape only, no seed). */
+Gen<SyntheticParams> genTraceParams(const CaseProfile &profile);
+
+/** Fuzzed disk data-sheet constants (always a valid power model). */
+Gen<DiskSpec> genDiskSpec();
+
+/** System knobs: cache size, policies, DPM regimes, write policy. */
+Gen<CaseConfig> genCaseConfig(const CaseProfile &profile);
+
+/**
+ * A whole case: config + materialized trace. The trace's generator
+ * seed is drawn from the same rng, so one rng drives everything.
+ */
+Gen<FuzzCase> genCase(const CaseProfile &profile = {});
+
+/** Convenience: the case produced by master seed @p seed, index @p i. */
+FuzzCase makeCase(uint64_t master_seed, uint64_t index,
+                  const CaseProfile &profile = {});
+
+} // namespace pacache::qa
+
+#endif // PACACHE_QA_TRACE_GEN_HH

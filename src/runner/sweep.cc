@@ -74,9 +74,6 @@ writePolicyCliName(WritePolicy policy)
     PACACHE_PANIC("unknown write policy");
 }
 
-namespace
-{
-
 /** CLI-style policy spelling (parsePolicyKind's inverse). */
 const char *
 policyCliName(PolicyKind kind)
@@ -97,6 +94,9 @@ policyCliName(PolicyKind kind)
     }
     PACACHE_PANIC("unknown policy kind");
 }
+
+namespace
+{
 
 std::vector<std::string>
 stringAxis(const JsonValue &v, const char *key)

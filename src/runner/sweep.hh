@@ -40,6 +40,7 @@ DpmChoice parseDpmChoice(const std::string &name);
 WritePolicy parseWritePolicy(const std::string &name);
 
 /** Display names matching the parsers' spellings. */
+const char *policyCliName(PolicyKind kind);
 const char *dpmChoiceName(DpmChoice dpm);
 const char *writePolicyCliName(WritePolicy policy);
 

@@ -73,6 +73,31 @@ AddressGenerator::next(Rng &rng)
     return b;
 }
 
+namespace
+{
+
+/** Cumulative weights for skewed disk choice (empty: uniform). */
+std::vector<double>
+diskCdf(const SyntheticParams &params)
+{
+    if (params.diskWeights.empty())
+        return {};
+    PACACHE_ASSERT(params.diskWeights.size() == params.numDisks,
+                   "diskWeights must have one entry per disk");
+    std::vector<double> cdf(params.diskWeights.size());
+    double sum = 0;
+    for (std::size_t d = 0; d < cdf.size(); ++d) {
+        PACACHE_ASSERT(params.diskWeights[d] >= 0,
+                       "diskWeights must be non-negative");
+        sum += params.diskWeights[d];
+        cdf[d] = sum;
+    }
+    PACACHE_ASSERT(sum > 0, "diskWeights must have a positive sum");
+    return cdf;
+}
+
+} // namespace
+
 Trace
 generateSynthetic(const SyntheticParams &params)
 {
@@ -84,13 +109,23 @@ generateSynthetic(const SyntheticParams &params)
     for (uint32_t d = 0; d < params.numDisks; ++d)
         gens.emplace_back(params.address);
 
+    const std::vector<double> cdf = diskCdf(params);
+
     Trace trace;
     Time now = 0;
     for (uint64_t i = 0; i < params.numRequests; ++i) {
         now += params.arrival.sample(rng);
         TraceRecord rec;
         rec.time = now;
-        rec.disk = static_cast<DiskId>(rng.below(params.numDisks));
+        if (cdf.empty()) {
+            rec.disk = static_cast<DiskId>(rng.below(params.numDisks));
+        } else {
+            const double pick = rng.uniform() * cdf.back();
+            const auto it =
+                std::upper_bound(cdf.begin(), cdf.end(), pick);
+            rec.disk = static_cast<DiskId>(
+                std::min<std::size_t>(it - cdf.begin(), cdf.size() - 1));
+        }
         rec.block = gens[rec.disk].next(rng);
         rec.numBlocks = 1;
         rec.write = rng.chance(params.writeRatio);

@@ -95,6 +95,14 @@ struct SyntheticParams
     double writeRatio = 0.2;
     AddressGenerator::Params address; //!< per-disk address model
     uint64_t seed = 42;
+    /**
+     * Relative per-disk traffic weights (multi-disk skew). Empty:
+     * disks are chosen uniformly — the historical behavior, with the
+     * historical RNG consumption, so existing seeds replay unchanged.
+     * Otherwise must have numDisks non-negative entries with a
+     * positive sum; disk d receives a weights[d]-proportional share.
+     */
+    std::vector<double> diskWeights;
 };
 
 /**

@@ -6,11 +6,18 @@
  *   - the threshold-based Practical DPM never beats the Oracle,
  *   - Practical is 2-competitive: E_practical(t) <= 2 * E*(t)
  *     (Irani et al.), given intersection-point thresholds.
+ *
+ * Fixed interval lengths run against the paper's default model below;
+ * randomized models come from qa::genDiskSpec (the fuzz campaign's
+ * generator), and the full randomized sweep is the registry's
+ * dpm_two_competitive / energy_tables_match_legacy properties.
  */
 
 #include <gtest/gtest.h>
 
 #include "disk/power_model.hh"
+#include "qa/properties.hh"
+#include "qa/trace_gen.hh"
 #include "util/random.hh"
 
 namespace pacache
@@ -62,18 +69,12 @@ INSTANTIATE_TEST_SUITE_P(
         return "t" + n;
     });
 
-TEST(DpmCompetitiveRandom, HoldsOnRandomModelsAndIntervals)
+TEST(DpmCompetitiveRandom, HoldsOnGeneratedModelsAndIntervals)
 {
     Rng rng(99);
+    const qa::Gen<DiskSpec> gen = qa::genDiskSpec();
     for (int m = 0; m < 20; ++m) {
-        DiskSpec spec;
-        spec.idlePower = rng.uniform(5.0, 15.0);
-        spec.standbyPower = rng.uniform(0.5, 3.0);
-        spec.spinUpEnergy = rng.uniform(50.0, 300.0);
-        spec.spinDownEnergy = rng.uniform(2.0, 30.0);
-        spec.spinUpTime = rng.uniform(2.0, 20.0);
-        spec.spinDownTime = rng.uniform(0.5, 3.0);
-        const PowerModel pm(spec);
+        const PowerModel pm(gen(rng));
         for (int i = 0; i < 200; ++i) {
             const double t = rng.pareto(1.2, 0.1);
             ASSERT_LE(pm.envelope(t), pm.practicalEnergy(t) + 1e-9)
@@ -88,16 +89,31 @@ TEST(DpmCompetitiveRandom, HoldsOnRandomModelsAndIntervals)
 TEST(DpmCompetitiveRandom, ThresholdsAlwaysAscend)
 {
     Rng rng(7);
+    const qa::Gen<DiskSpec> gen = qa::genDiskSpec();
     for (int m = 0; m < 50; ++m) {
-        DiskSpec spec;
-        spec.idlePower = rng.uniform(5.0, 15.0);
-        spec.standbyPower = rng.uniform(0.5, 3.0);
-        spec.spinUpEnergy = rng.uniform(50.0, 300.0);
-        spec.spinDownEnergy = rng.uniform(2.0, 30.0);
-        const PowerModel pm(spec);
+        const PowerModel pm(gen(rng));
         const auto &thr = pm.thresholds();
         for (std::size_t i = 1; i < thr.size(); ++i)
             ASSERT_GT(thr[i], thr[i - 1]);
+    }
+}
+
+TEST(DpmCompetitiveRandom, RegistryPropertiesHoldOnGeneratedCases)
+{
+    const qa::PropertyDef *competitive =
+        qa::findProperty("dpm_two_competitive");
+    const qa::PropertyDef *tables =
+        qa::findProperty("energy_tables_match_legacy");
+    ASSERT_NE(competitive, nullptr);
+    ASSERT_NE(tables, nullptr);
+    for (uint64_t i = 0; i < 8; ++i) {
+        const qa::FuzzCase c = qa::makeCase(0xd900, i);
+        qa::PropertyResult result = qa::runProperty(*competitive, c);
+        EXPECT_TRUE(result.passed)
+            << "case " << i << ": " << result.message;
+        result = qa::runProperty(*tables, c);
+        EXPECT_TRUE(result.passed)
+            << "case " << i << ": " << result.message;
     }
 }
 

@@ -1,8 +1,12 @@
 /**
  * @file
- * Parameterized property sweeps: for every replacement policy and a
- * range of random workloads, the cache and energy-accounting
- * invariants must hold.
+ * Parameterized property sweeps: for every replacement policy over
+ * qa-generated workloads, the cache and energy-accounting invariants
+ * must hold. The invariants themselves live in the qa property
+ * registry (energy_accounting_identity, hit_count_monotone); this
+ * suite pins every policy dimension explicitly so a failure names the
+ * policy, while the fuzz campaign covers the randomized cross
+ * product.
  */
 
 #include <gtest/gtest.h>
@@ -10,93 +14,60 @@
 #include <tuple>
 
 #include "core/experiment.hh"
-#include "trace/synthetic.hh"
+#include "qa/properties.hh"
+#include "qa/trace_gen.hh"
 
 namespace pacache
 {
 namespace
 {
 
-using Param = std::tuple<PolicyKind, uint64_t /*seed*/>;
+using Param = std::tuple<PolicyKind, uint64_t /*case index*/>;
+
+qa::FuzzCase
+caseFor(PolicyKind policy, uint64_t index)
+{
+    qa::CaseProfile profile;
+    profile.minRequests = 800;
+    profile.maxRequests = 1500;
+    qa::FuzzCase c = qa::makeCase(0x1a17, index, profile);
+    c.cfg.policy = policy;
+    c.cfg.cacheBlocks = 128;
+    return c;
+}
 
 class PolicyInvariants : public ::testing::TestWithParam<Param>
 {
-  protected:
-    Trace
-    makeTrace(uint64_t seed) const
-    {
-        SyntheticParams p;
-        p.numRequests = 1500;
-        p.numDisks = 3;
-        p.arrival = (seed % 2) ? ArrivalModel::pareto(80.0, 1.5)
-                               : ArrivalModel::exponential(80.0);
-        p.writeRatio = 0.25;
-        p.address.footprintBlocks = 400;
-        p.address.reuseProb = 0.5;
-        p.seed = seed;
-        return generateSynthetic(p);
-    }
 };
 
 TEST_P(PolicyInvariants, AccountingHoldsEverywhere)
 {
-    const auto [policy, seed] = GetParam();
-    const Trace trace = makeTrace(seed);
-
-    ExperimentConfig cfg;
-    cfg.policy = policy;
-    cfg.cacheBlocks = 128;
-    cfg.pa.epochLength = 20.0;
-    const ExperimentResult r = runExperiment(trace, cfg);
-
-    // Cache identities.
-    EXPECT_EQ(r.cache.accesses, trace.size());
-    EXPECT_EQ(r.cache.hits + r.cache.misses, r.cache.accesses);
-    EXPECT_LE(r.cache.evictions, r.cache.misses);
-    EXPECT_LE(r.cache.coldMisses, r.cache.misses);
-    EXPECT_GT(r.cache.coldMisses, 0u);
-
-    // Every access is answered exactly once.
-    EXPECT_EQ(r.responses.count(), trace.size());
-    EXPECT_GE(r.responses.mean(), 0.0);
-
-    // Energy accounting: non-negative parts, parts sum to total.
-    Energy parts = r.energy.serviceEnergy + r.energy.spinUpEnergy +
-                   r.energy.spinDownEnergy;
-    for (Energy e : r.energy.idleEnergyPerMode) {
-        EXPECT_GE(e, 0.0);
-        parts += e;
-    }
-    EXPECT_NEAR(parts, r.energy.total(), 1e-9);
-    EXPECT_GT(r.energy.total(), 0.0);
-
-    // Per-disk time accounting covers a common horizon.
-    for (std::size_t d = 1; d < r.perDisk.size(); ++d) {
-        EXPECT_NEAR(r.perDisk[d].totalTime(), r.perDisk[0].totalTime(),
-                    1e-6);
-    }
-
-    // Spin-up/down pairing: every spin-up implies at least one
-    // demotion happened before it.
-    EXPECT_LE(r.energy.spinUps, r.energy.spinDowns);
+    const auto [policy, index] = GetParam();
+    const qa::FuzzCase c = caseFor(policy, index);
+    const qa::PropertyDef *prop =
+        qa::findProperty("energy_accounting_identity");
+    ASSERT_NE(prop, nullptr);
+    const qa::PropertyResult result = qa::runProperty(*prop, c);
+    EXPECT_TRUE(result.passed) << result.message;
 }
 
 TEST_P(PolicyInvariants, OracleLowerBoundsPractical)
 {
-    const auto [policy, seed] = GetParam();
-    const Trace trace = makeTrace(seed);
+    const auto [policy, index] = GetParam();
+    const qa::FuzzCase c = caseFor(policy, index);
 
     ExperimentConfig cfg;
-    cfg.policy = policy;
-    cfg.cacheBlocks = 128;
-    cfg.pa.epochLength = 20.0;
+    cfg.policy = c.cfg.policy;
+    cfg.cacheBlocks = c.cfg.cacheBlocks;
+    cfg.spec = c.cfg.spec;
+    cfg.pa.epochLength = c.cfg.paEpoch;
 
     cfg.dpm = DpmChoice::Oracle;
-    const Energy oracle = runExperiment(trace, cfg).totalEnergy;
+    const Energy oracle = runExperiment(c.trace, cfg).totalEnergy;
     cfg.dpm = DpmChoice::Practical;
-    const Energy practical = runExperiment(trace, cfg).totalEnergy;
+    const Energy practical = runExperiment(c.trace, cfg).totalEnergy;
     cfg.dpm = DpmChoice::AlwaysOn;
-    const Energy always = runExperiment(trace, cfg).totalEnergy;
+    const Energy always = runExperiment(c.trace, cfg).totalEnergy;
 
     EXPECT_LE(oracle, practical * 1.001);
     EXPECT_LE(oracle, always * 1.001);
@@ -117,8 +88,21 @@ INSTANTIATE_TEST_SUITE_P(
         for (auto &ch : n)
             if (ch == '-')
                 ch = '_';
-        return n + "_seed" + std::to_string(std::get<1>(info.param));
+        return n + "_case" + std::to_string(std::get<1>(info.param));
     });
+
+TEST(CacheInclusion, HitCountsGrowWithCapacity)
+{
+    const qa::PropertyDef *prop =
+        qa::findProperty("hit_count_monotone");
+    ASSERT_NE(prop, nullptr);
+    for (uint64_t i = 0; i < 4; ++i) {
+        const qa::FuzzCase c = qa::makeCase(0x90a0, i);
+        const qa::PropertyResult result = qa::runProperty(*prop, c);
+        EXPECT_TRUE(result.passed)
+            << "case " << i << ": " << result.message;
+    }
+}
 
 class WritePolicyInvariants
     : public ::testing::TestWithParam<std::tuple<WritePolicy, uint64_t>>
@@ -127,26 +111,40 @@ class WritePolicyInvariants
 
 TEST_P(WritePolicyInvariants, EveryWritePolicyKeepsTheBooks)
 {
-    const auto [wp, seed] = GetParam();
-    SyntheticParams p;
-    p.numRequests = 1200;
-    p.numDisks = 3;
-    // Sparse arrivals so disks actually reach low-power modes and the
-    // deferred-update path (log writes to sleeping disks) is taken.
-    p.arrival = ArrivalModel::exponential(8000.0);
-    p.writeRatio = 0.5;
-    p.address.footprintBlocks = 300;
-    p.seed = seed;
-    const Trace trace = generateSynthetic(p);
+    const auto [wp, index] = GetParam();
+    // Generated case, but with the write policy pinned and the
+    // arrival stream stretched: sparse arrivals let disks reach
+    // low-power modes so the deferred-update path (log writes to
+    // sleeping disks) is actually taken.
+    qa::FuzzCase c = qa::makeCase(0x3417e, index);
+    c.cfg.writePolicy = wp;
+    c.cfg.cacheBlocks = 128;
+    c.cfg.wtduRegionBlocks = 64; // exercise region wraps
+    Trace stretched;
+    Time shift = 0;
+    for (std::size_t i = 0; i < c.trace.size(); ++i) {
+        TraceRecord rec = c.trace[i];
+        rec.time = rec.time * 50 + shift;
+        rec.write = i % 2 == 0; // force a steady write stream
+        stretched.append(rec);
+        shift += 1.0;
+    }
+    c.trace = std::move(stretched);
+
+    const qa::PropertyDef *prop =
+        qa::findProperty("energy_accounting_identity");
+    ASSERT_NE(prop, nullptr);
+    const qa::PropertyResult result = qa::runProperty(*prop, c);
+    EXPECT_TRUE(result.passed) << result.message;
 
     ExperimentConfig cfg;
-    cfg.cacheBlocks = 128;
+    cfg.cacheBlocks = c.cfg.cacheBlocks;
+    cfg.spec = c.cfg.spec;
     cfg.storage.writePolicy = wp;
-    cfg.storage.wtduRegionBlocks = 64; // exercise region wraps
-    const ExperimentResult r = runExperiment(trace, cfg);
-
-    EXPECT_EQ(r.cache.accesses, trace.size());
-    EXPECT_EQ(r.responses.count(), trace.size());
+    cfg.storage.wtduRegionBlocks = c.cfg.wtduRegionBlocks;
+    const ExperimentResult r = runExperiment(c.trace, cfg);
+    EXPECT_EQ(r.cache.accesses, c.trace.size());
+    EXPECT_EQ(r.responses.count(), c.trace.size());
     EXPECT_GT(r.totalEnergy, 0.0);
     if (wp == WritePolicy::WriteThroughDeferredUpdate)
         EXPECT_GT(r.logWrites, 0u);
@@ -164,7 +162,7 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Values(11u, 12u)),
     [](const auto &info) {
         return std::string(writePolicyName(std::get<0>(info.param))) +
-               "_seed" + std::to_string(std::get<1>(info.param));
+               "_case" + std::to_string(std::get<1>(info.param));
     });
 
 } // namespace

@@ -2,24 +2,25 @@
  * @file
  * Fuzz property: OPG's incremental penalty maintenance (gap-scoped
  * repricing on deterministic-miss insert/erase) must always agree
- * with a from-scratch recomputation, across random workloads, both
- * DPM pricings, and a range of theta floors.
+ * with a from-scratch recomputation. The check itself is the qa
+ * registry's opg_incremental_consistent property; this suite pins the
+ * DPM pricing and theta floor explicitly across generated workloads,
+ * while the fuzz campaign covers the randomized cross product.
  */
 
 #include <gtest/gtest.h>
 
 #include <tuple>
 
-#include "cache/cache.hh"
-#include "core/opg.hh"
-#include "trace/synthetic.hh"
+#include "qa/properties.hh"
+#include "qa/trace_gen.hh"
 
 namespace pacache
 {
 namespace
 {
 
-using Param = std::tuple<DpmKind, double /*theta*/, uint64_t /*seed*/>;
+using Param = std::tuple<DpmKind, double /*theta*/, uint64_t /*case*/>;
 
 class OpgConsistency : public ::testing::TestWithParam<Param>
 {
@@ -27,32 +28,22 @@ class OpgConsistency : public ::testing::TestWithParam<Param>
 
 TEST_P(OpgConsistency, IncrementalMatchesFromScratch)
 {
-    const auto [kind, theta, seed] = GetParam();
+    const auto [kind, theta, index] = GetParam();
 
-    SyntheticParams sp;
-    sp.numRequests = 3000;
-    sp.numDisks = 4;
-    sp.arrival = (seed % 2) ? ArrivalModel::pareto(150.0, 1.5)
-                            : ArrivalModel::exponential(150.0);
-    sp.address.footprintBlocks = 250;
-    sp.address.reuseProb = 0.6;
-    sp.seed = seed;
-    const Trace trace = generateSynthetic(sp);
-    const auto accesses = expandTrace(trace);
+    qa::CaseProfile profile;
+    profile.minRequests = 1000;
+    profile.maxRequests = 2500;
+    qa::FuzzCase c = qa::makeCase(0x09c0, index, profile);
+    c.cfg.policy = PolicyKind::OPG;
+    c.cfg.dpmKind = kind;
+    c.cfg.theta = theta;
+    c.cfg.cacheBlocks = 96;
 
-    const PowerModel pm;
-    OpgPolicy policy(pm, kind, theta);
-    Cache cache(96, policy);
-    policy.prepare(accesses);
-    policy.validateInternalState(/*full=*/true);
-
-    for (std::size_t i = 0; i < accesses.size(); ++i) {
-        cache.access(accesses[i].block, accesses[i].time, i);
-        if (i % 250 == 0)
-            policy.validateInternalState(/*full=*/true);
-    }
-    policy.validateInternalState(/*full=*/true);
-    EXPECT_GT(cache.stats().evictions, 0u);
+    const qa::PropertyDef *prop =
+        qa::findProperty("opg_incremental_consistent");
+    ASSERT_NE(prop, nullptr);
+    const qa::PropertyResult result = qa::runProperty(*prop, c);
+    EXPECT_TRUE(result.passed) << result.message;
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -66,7 +57,7 @@ INSTANTIATE_TEST_SUITE_P(
             ? "oracle"
             : "practical";
         n += std::get<1>(info.param) > 0 ? "_theta" : "_pure";
-        n += "_seed" + std::to_string(std::get<2>(info.param));
+        n += "_case" + std::to_string(std::get<2>(info.param));
         return n;
     });
 

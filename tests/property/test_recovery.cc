@@ -5,8 +5,11 @@
  * state reconstructs exactly the acknowledged writes.
  *
  * We model disk and log contents as block -> version maps, run a
- * random mix of log appends, flush+retire cycles, and direct writes,
- * crash at a random step, and verify recovery.
+ * random mix of log appends, flush+retire cycles, and direct writes
+ * (all drawn through qa::Gen so the trial shapes are the campaign's),
+ * crash at a random step, and verify recovery. Recovery *idempotence*
+ * at fuzzed crash points is the qa registry's
+ * wtdu_recovery_idempotent property, swept here over generated cases.
  */
 
 #include <gtest/gtest.h>
@@ -14,7 +17,9 @@
 #include <unordered_map>
 
 #include "core/wtdu_log.hh"
-#include "util/random.hh"
+#include "qa/gen.hh"
+#include "qa/properties.hh"
+#include "qa/trace_gen.hh"
 
 namespace pacache
 {
@@ -27,9 +32,14 @@ class RecoverySweep : public ::testing::TestWithParam<uint64_t>
 
 TEST_P(RecoverySweep, CrashAnywhereRecoversAcknowledgedWrites)
 {
-    Rng rng(GetParam());
+    Rng rng(qa::deriveSeed(GetParam(), 0));
     const std::size_t region_blocks = 8;
     const DiskId disk = 0;
+
+    const qa::Gen<uint64_t> stepCount = qa::intIn(1, 60);
+    const qa::Gen<uint64_t> blockPick = qa::intIn(0, 15);
+    const qa::Gen<bool> isAppend = qa::boolWith(0.7);
+    const qa::Gen<bool> isFlush = qa::boolWith(0.5);
 
     for (int trial = 0; trial < 50; ++trial) {
         WtduLog log(1, region_blocks);
@@ -41,16 +51,15 @@ TEST_P(RecoverySweep, CrashAnywhereRecoversAcknowledgedWrites)
         std::unordered_map<BlockNum, uint64_t> pending;
 
         uint64_t version = 1;
-        const int steps = 1 + static_cast<int>(rng.below(60));
-        const int crash_at = static_cast<int>(
-            rng.below(static_cast<uint64_t>(steps)));
+        const uint64_t steps = stepCount(rng);
+        const uint64_t crash_at = rng.below(steps);
 
-        for (int s = 0; s < steps; ++s) {
+        for (uint64_t s = 0; s < steps; ++s) {
             if (s == crash_at)
                 break; // crash: cache contents are lost
 
-            const BlockNum block = rng.below(16);
-            if (rng.chance(0.7)) {
+            const BlockNum block = blockPick(rng);
+            if (isAppend(rng)) {
                 // Deferred write: append to the log, ack the client.
                 if (log.full(disk)) {
                     // Flush: everything pending reaches the disk,
@@ -64,7 +73,7 @@ TEST_P(RecoverySweep, CrashAnywhereRecoversAcknowledgedWrites)
                 ASSERT_TRUE(log.append(disk, block, v));
                 pending[block] = v;
                 acknowledged[block] = v;
-            } else if (rng.chance(0.5)) {
+            } else if (isFlush(rng)) {
                 // Disk activation: flush pending, retire the region.
                 for (const auto &[b, v] : pending)
                     disk_state[b] = std::max(disk_state[b], v);
@@ -95,6 +104,20 @@ TEST_P(RecoverySweep, CrashAnywhereRecoversAcknowledgedWrites)
 INSTANTIATE_TEST_SUITE_P(Seeds, RecoverySweep,
                          ::testing::Values(101u, 202u, 303u, 404u,
                                            505u));
+
+TEST(RecoverySweepRegistry, IdempotentAtFuzzedCrashPoints)
+{
+    const qa::PropertyDef *prop =
+        qa::findProperty("wtdu_recovery_idempotent");
+    ASSERT_NE(prop, nullptr);
+    for (uint64_t i = 0; i < 6; ++i) {
+        qa::FuzzCase c = qa::makeCase(0x4ec0, i);
+        c.cfg.writePolicy = WritePolicy::WriteThroughDeferredUpdate;
+        const qa::PropertyResult result = qa::runProperty(*prop, c);
+        EXPECT_TRUE(result.passed)
+            << "case " << i << ": " << result.message;
+    }
+}
 
 TEST(Recovery, ReplayIsIdempotent)
 {

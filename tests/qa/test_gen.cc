@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "qa/gen.hh"
+#include "qa/trace_gen.hh"
+
+namespace pacache::qa
+{
+namespace
+{
+
+TEST(DeriveSeed, DistinctIndicesGiveDistinctStreams)
+{
+    std::set<uint64_t> seeds;
+    for (uint64_t i = 0; i < 1000; ++i)
+        seeds.insert(deriveSeed(42, i));
+    EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(DeriveSeed, AdjacentMastersDecorrelate)
+{
+    // Neighboring master seeds must not produce overlapping derived
+    // streams (a naive master+index scheme would).
+    std::set<uint64_t> a, b;
+    for (uint64_t i = 0; i < 200; ++i) {
+        a.insert(deriveSeed(7, i));
+        b.insert(deriveSeed(8, i));
+    }
+    std::vector<uint64_t> overlap;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(overlap));
+    EXPECT_TRUE(overlap.empty());
+}
+
+TEST(Gen, IntInCoversInclusiveRange)
+{
+    Rng rng(1);
+    const Gen<uint64_t> g = intIn(3, 6);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 400; ++i) {
+        const uint64_t v = g(rng);
+        ASSERT_GE(v, 3u);
+        ASSERT_LE(v, 6u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u) << "all four values should appear";
+}
+
+TEST(Gen, RealInStaysInRange)
+{
+    Rng rng(2);
+    const Gen<double> g = realIn(-1.5, 2.5);
+    for (int i = 0; i < 400; ++i) {
+        const double v = g(rng);
+        ASSERT_GE(v, -1.5);
+        ASSERT_LT(v, 2.5);
+    }
+}
+
+TEST(Gen, ElementOfOnlyYieldsChoices)
+{
+    Rng rng(3);
+    const Gen<int> g = elementOf<int>({10, 20, 30});
+    std::set<int> seen;
+    for (int i = 0; i < 300; ++i)
+        seen.insert(g(rng));
+    EXPECT_EQ(seen, (std::set<int>{10, 20, 30}));
+}
+
+TEST(Gen, FrequencyRespectsWeights)
+{
+    Rng rng(4);
+    const Gen<int> g = frequency<int>(
+        {{9.0, constant(1)}, {1.0, constant(2)}});
+    int ones = 0;
+    for (int i = 0; i < 2000; ++i)
+        if (g(rng) == 1)
+            ++ones;
+    // ~90% with generous slack.
+    EXPECT_GT(ones, 1600);
+    EXPECT_LT(ones, 2000);
+}
+
+TEST(Gen, MapAndThenCompose)
+{
+    Rng rng(5);
+    const Gen<uint64_t> doubled =
+        intIn(1, 4).map([](uint64_t v) { return v * 2; });
+    for (int i = 0; i < 100; ++i) {
+        const uint64_t v = doubled(rng);
+        ASSERT_EQ(v % 2, 0u);
+        ASSERT_GE(v, 2u);
+        ASSERT_LE(v, 8u);
+    }
+    const Gen<uint64_t> dependent = intIn(0, 1).then(
+        [](uint64_t coin) { return coin ? intIn(100, 100) : intIn(0, 0); });
+    for (int i = 0; i < 100; ++i) {
+        const uint64_t v = dependent(rng);
+        ASSERT_TRUE(v == 0 || v == 100) << v;
+    }
+}
+
+TEST(Gen, VectorOfDrawsLengthFromSizeGen)
+{
+    Rng rng(6);
+    const auto g = vectorOf(intIn(0, 9), intIn(2, 5));
+    for (int i = 0; i < 100; ++i) {
+        const std::vector<uint64_t> v = g(rng);
+        ASSERT_GE(v.size(), 2u);
+        ASSERT_LE(v.size(), 5u);
+    }
+}
+
+TEST(TraceGen, MakeCaseIsDeterministic)
+{
+    const FuzzCase a = makeCase(99, 3);
+    const FuzzCase b = makeCase(99, 3);
+    EXPECT_EQ(a.seed, b.seed);
+    ASSERT_EQ(a.trace.size(), b.trace.size());
+    for (std::size_t i = 0; i < a.trace.size(); ++i)
+        ASSERT_EQ(a.trace[i], b.trace[i]) << "record " << i;
+    EXPECT_EQ(a.cfg.cacheBlocks, b.cfg.cacheBlocks);
+    EXPECT_EQ(a.cfg.policy, b.cfg.policy);
+    EXPECT_EQ(a.cfg.dpm, b.cfg.dpm);
+    EXPECT_EQ(a.cfg.writePolicy, b.cfg.writePolicy);
+    EXPECT_EQ(a.cfg.theta, b.cfg.theta);
+    EXPECT_EQ(a.cfg.spec.idlePower, b.cfg.spec.idlePower);
+    EXPECT_EQ(a.cfg.spec.spinUpEnergy, b.cfg.spec.spinUpEnergy);
+}
+
+TEST(TraceGen, DistinctIndicesGiveDistinctCases)
+{
+    const FuzzCase a = makeCase(99, 0);
+    const FuzzCase b = makeCase(99, 1);
+    EXPECT_NE(a.seed, b.seed);
+    const bool differ =
+        a.trace.size() != b.trace.size() ||
+        a.cfg.cacheBlocks != b.cfg.cacheBlocks ||
+        (a.trace.size() > 0 && !(a.trace[0] == b.trace[0]));
+    EXPECT_TRUE(differ);
+}
+
+TEST(TraceGen, CasesRespectProfileBounds)
+{
+    CaseProfile profile;
+    profile.minRequests = 50;
+    profile.maxRequests = 80;
+    profile.minDisks = 2;
+    profile.maxDisks = 3;
+    profile.minCacheBlocks = 8;
+    profile.maxCacheBlocks = 16;
+    for (uint64_t i = 0; i < 25; ++i) {
+        const FuzzCase c = makeCase(7, i, profile);
+        ASSERT_GE(c.trace.size(), 50u);
+        ASSERT_LE(c.trace.size(), 80u);
+        ASSERT_GE(c.cfg.cacheBlocks, 8u);
+        ASSERT_LE(c.cfg.cacheBlocks, 16u);
+        for (std::size_t r = 0; r < c.trace.size(); ++r)
+            ASSERT_LT(c.trace[r].disk, 3u);
+    }
+}
+
+TEST(TraceGen, TracesAreTimeOrderedAndValid)
+{
+    for (uint64_t i = 0; i < 25; ++i) {
+        const FuzzCase c = makeCase(13, i);
+        Time prev = 0;
+        for (std::size_t r = 0; r < c.trace.size(); ++r) {
+            const TraceRecord &rec = c.trace[r];
+            ASSERT_GE(rec.time, prev) << "record " << r;
+            ASSERT_GE(rec.numBlocks, 1u);
+            ASSERT_LT(rec.block, 1ULL << 48) << "packed-key limit";
+            prev = rec.time;
+        }
+    }
+}
+
+TEST(TraceGen, SweepExercisesTheConfigSpace)
+{
+    // 200 cases should hit every policy, write policy and DPM choice;
+    // a generator bug that pins a dimension would show up here.
+    std::set<int> policies, writes, dpms, kinds;
+    std::set<uint32_t> disks;
+    bool sawTheta = false;
+    for (uint64_t i = 0; i < 200; ++i) {
+        const FuzzCase c = makeCase(21, i);
+        policies.insert(static_cast<int>(c.cfg.policy));
+        writes.insert(static_cast<int>(c.cfg.writePolicy));
+        dpms.insert(static_cast<int>(c.cfg.dpm));
+        kinds.insert(static_cast<int>(c.cfg.dpmKind));
+        uint32_t maxDisk = 0;
+        for (std::size_t r = 0; r < c.trace.size(); ++r)
+            maxDisk = std::max(maxDisk, c.trace[r].disk);
+        disks.insert(maxDisk + 1);
+        if (c.cfg.theta > 0)
+            sawTheta = true;
+    }
+    EXPECT_GE(policies.size(), 8u);
+    EXPECT_EQ(writes.size(), 4u);
+    EXPECT_EQ(dpms.size(), 4u);
+    EXPECT_EQ(kinds.size(), 2u);
+    EXPECT_GE(disks.size(), 3u);
+    EXPECT_TRUE(sawTheta) << "nonzero theta never generated";
+}
+
+TEST(TraceGen, GeneratedSpecsBuildValidPowerModels)
+{
+    Rng rng(31);
+    const Gen<DiskSpec> g = genDiskSpec();
+    for (int i = 0; i < 50; ++i) {
+        const DiskSpec spec = g(rng);
+        const PowerModel pm(spec);
+        ASSERT_GE(pm.numModes(), 2u);
+        // Thresholds must strictly ascend for the mode tables to be
+        // well-formed.
+        const std::vector<Time> &th = pm.thresholds();
+        for (std::size_t t = 1; t < th.size(); ++t)
+            ASSERT_LT(th[t - 1], th[t]);
+    }
+}
+
+} // namespace
+} // namespace pacache::qa

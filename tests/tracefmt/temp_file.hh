@@ -1,8 +1,9 @@
 /**
  * @file
  * Temp-file helpers for the tracefmt tests: every fixture file lands
- * in gtest's per-run temp directory under a caller-chosen name, so
- * parallel test processes never collide.
+ * in a process-scoped path under gtest's temp directory, so parallel
+ * test processes (ctest -j runs several binaries at once) never
+ * collide on a name.
  */
 
 #ifndef PACACHE_TESTS_TRACEFMT_TEMP_FILE_HH
@@ -14,13 +15,15 @@
 #include <functional>
 #include <string>
 
+#include "support/temp_dir.hh"
+
 namespace pacache::test
 {
 
 inline std::string
 tempPath(const std::string &name)
 {
-    return ::testing::TempDir() + "pacache_" + name;
+    return processScopedPath(name);
 }
 
 /** Write @p content to a fresh temp file and return its path. */

@@ -4,6 +4,14 @@
 # files are validated by tools/check_obs_json.py, and a TSan build
 # exercising the parallel sweep runner.
 #
+# Test tiers (ctest labels): the Release build runs everything —
+# unit, property, integration, and fuzz-smoke (a short deterministic
+# pacache_fuzz campaign plus a replay of the committed corpus). The
+# sanitizer builds exclude fuzz-smoke (-LE fuzz-smoke): the campaign
+# re-runs whole experiments hundreds of times, which is wasted time
+# under 10-20x sanitizer overhead; instead each sanitizer gets a
+# small dedicated campaign sized for it.
+#
 # Usage: tools/check.sh            (from the repository root)
 #        JOBS=4 tools/check.sh     (limit build parallelism)
 
@@ -21,8 +29,15 @@ cmake -B "$root/build-release" -S "$root" \
       -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$root/build-release" -j "$jobs"
 
-step "Release tests"
+step "Release tests (all tiers)"
 ctest --test-dir "$root/build-release" --output-on-failure -j "$jobs"
+
+step "fuzz campaign smoke (Release)"
+# Deterministic short campaign across the whole property registry; a
+# failure names the case index and emits a shrunk reproducer.
+"$root/build-release/tools/pacache_fuzz" \
+    --seconds 10 --seed 1 --jobs "$jobs" \
+    --corpus-out "$root/build-release/fuzz_corpus"
 
 step "oracle fast-path benchmark gate"
 # micro_opg replays the fig6-scale OLTP workload through the fast and
@@ -50,8 +65,14 @@ cmake -B "$root/build-asan" -S "$root" \
       -DPACACHE_SANITIZE=address,undefined >/dev/null
 cmake --build "$root/build-asan" -j "$jobs"
 
-step "ASan+UBSan tests"
-ctest --test-dir "$root/build-asan" --output-on-failure -j "$jobs"
+step "ASan+UBSan tests (fuzz smoke excluded)"
+ctest --test-dir "$root/build-asan" --output-on-failure -j "$jobs" \
+      -LE fuzz-smoke
+
+step "ASan+UBSan mini fuzz campaign"
+# A handful of cases is enough to drag generated workloads through
+# every experiment layer under ASan/UBSan.
+"$root/build-asan/tools/pacache_fuzz" --cases 8 --seed 2
 
 step "observability smoke run (sanitized binary)"
 obs_dir=$(mktemp -d)
@@ -90,12 +111,18 @@ step "TSan build"
 cmake -B "$root/build-tsan" -S "$root" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DPACACHE_SANITIZE=thread >/dev/null
-cmake --build "$root/build-tsan" -j "$jobs" --target pacache_tests
+cmake --build "$root/build-tsan" -j "$jobs" \
+      --target pacache_tests pacache_fuzz
 
 step "TSan parallel sweep determinism"
 # The work-stealing pool must produce byte-identical results at any
 # job count, with no data races while doing so.
 "$root/build-tsan/tests/pacache_tests" \
     --gtest_filter='ThreadPool.*:SweepRunner.*'
+
+step "TSan fuzz campaign (threaded)"
+# The campaign driver shares the pool across batches; run it with
+# several workers so TSan sees the real submit/wait traffic.
+"$root/build-tsan/tools/pacache_fuzz" --cases 12 --seed 3 --jobs 4
 
 step "all checks passed"

@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Validate qa corpus reproducers.
+
+Structurally checks every .corpus file (format version, required
+metadata, well-formed trace records, monotone timestamps) and, when
+given --fuzz-bin, replays each file through `pacache_fuzz --replay`
+and requires the property to PASS — a committed reproducer documents
+a bug that is fixed at HEAD, so a red replay means a regression (or a
+stale corpus file).
+
+Usage:
+    tools/corpus_lint.py tests/qa/corpus
+    tools/corpus_lint.py --fuzz-bin build/tools/pacache_fuzz \
+        tests/qa/corpus
+"""
+
+import argparse
+import pathlib
+import subprocess
+import sys
+
+HEADER = "pacache-corpus v1"
+REQUIRED_KEYS = {
+    "property", "seed", "cache_blocks", "policy", "dpm_kind", "dpm",
+    "write_policy", "wtdu_region_blocks", "theta", "crash_step",
+    "pa_epoch", "spec",
+}
+OPTIONAL_KEYS = {"pre_fix_rev", "description"}
+POLICIES = {"lru", "fifo", "clock", "arc", "mq", "lirs", "belady",
+            "opg", "pa-lru", "pa-arc", "pa-lirs", "infinite"}
+DPM_KINDS = {"oracle", "practical"}
+DPMS = {"always-on", "adaptive", "practical", "oracle"}
+WRITE_POLICIES = {"wt", "wb", "wbeu", "wtdu"}
+
+
+def lint_file(path: pathlib.Path) -> list[str]:
+    errors = []
+    lines = path.read_text().splitlines()
+    if not lines or lines[0] != HEADER:
+        return [f"missing '{HEADER}' header"]
+
+    keys = {}
+    trace = []
+    in_trace = False
+    saw_end = False
+    for lineno, raw in enumerate(lines[1:], start=2):
+        line = raw if in_trace else raw.split("#", 1)[0].rstrip()
+        if not line:
+            continue
+        if in_trace:
+            if line == "end":
+                in_trace = False
+                saw_end = True
+                continue
+            fields = line.split()
+            if len(fields) != 5:
+                errors.append(f"line {lineno}: trace record needs 5 "
+                              f"fields, has {len(fields)}")
+                continue
+            try:
+                time = float(fields[0])
+                disk = int(fields[1])
+                block = int(fields[2])
+                count = int(fields[3])
+            except ValueError:
+                errors.append(f"line {lineno}: non-numeric trace field")
+                continue
+            if fields[4] not in ("R", "W"):
+                errors.append(f"line {lineno}: direction must be R|W")
+            if time < 0 or disk < 0 or block < 0 or count < 1:
+                errors.append(f"line {lineno}: out-of-range field")
+            if block >= 1 << 48:
+                errors.append(f"line {lineno}: block beyond the 2^48 "
+                              "packed-key limit")
+            if trace and time < trace[-1]:
+                errors.append(f"line {lineno}: time {time} precedes "
+                              f"previous record at {trace[-1]}")
+            trace.append(time)
+            continue
+        if saw_end:
+            errors.append(f"line {lineno}: content after 'end'")
+            continue
+        if line == "trace:":
+            in_trace = True
+            continue
+        if ":" not in line:
+            errors.append(f"line {lineno}: expected 'key: value'")
+            continue
+        key, _, value = line.partition(":")
+        keys[key.strip()] = value.strip()
+
+    if not saw_end:
+        errors.append("missing 'trace:' ... 'end' section")
+    missing = REQUIRED_KEYS - keys.keys()
+    if missing:
+        errors.append(f"missing keys: {', '.join(sorted(missing))}")
+    unknown = keys.keys() - REQUIRED_KEYS - OPTIONAL_KEYS
+    if unknown:
+        errors.append(f"unknown keys: {', '.join(sorted(unknown))}")
+
+    def check_enum(key, allowed):
+        if key in keys and keys[key] not in allowed:
+            errors.append(f"bad {key} '{keys[key]}'")
+
+    check_enum("policy", POLICIES)
+    check_enum("dpm_kind", DPM_KINDS)
+    check_enum("dpm", DPMS)
+    check_enum("write_policy", WRITE_POLICIES)
+    if "spec" in keys and len(keys["spec"].split()) != 6:
+        errors.append("spec needs 6 numeric fields")
+    if keys.get("property") == "":
+        errors.append("empty property name")
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("paths", nargs="+", type=pathlib.Path,
+                        help="corpus files or directories of them")
+    parser.add_argument("--fuzz-bin", type=pathlib.Path,
+                        help="pacache_fuzz binary; when given, every "
+                             "file must also replay green")
+    args = parser.parse_args()
+
+    files = []
+    for path in args.paths:
+        if path.is_dir():
+            files.extend(sorted(path.glob("*.corpus")))
+        else:
+            files.append(path)
+    if not files:
+        print("corpus_lint: no corpus files found", file=sys.stderr)
+        return 1
+
+    failed = False
+    for path in files:
+        errors = lint_file(path)
+        if errors:
+            failed = True
+            for error in errors:
+                print(f"{path}: {error}", file=sys.stderr)
+            continue
+        if args.fuzz_bin:
+            result = subprocess.run(
+                [str(args.fuzz_bin), "--replay", str(path)],
+                capture_output=True, text=True)
+            if result.returncode != 0:
+                failed = True
+                print(f"{path}: replay failed:\n{result.stdout}"
+                      f"{result.stderr}", file=sys.stderr)
+                continue
+        print(f"{path}: ok")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
