@@ -21,9 +21,11 @@
 
 #include "bench_report.hh"
 #include "core/experiment.hh"
+#include "obs/energy_ledger.hh"
 #include "runner/sweep.hh"
 #include "trace/stats.hh"
 #include "trace/workloads.hh"
+#include "util/logging.hh"
 #include "util/table.hh"
 
 using namespace pacache;
@@ -150,6 +152,16 @@ main()
     }
     const auto outcomes =
         runner::runAll(points, benchsupport::jobsFromEnv());
+
+    // Every figure point must satisfy the energy-attribution ledger's
+    // conservation invariant; a violation means the published numbers
+    // would not decompose.
+    for (const auto &o : outcomes) {
+        const double err = obs::ledgerMaxRelError(o.result.perDisk);
+        PACACHE_ASSERT(err <= obs::kLedgerConservationTol,
+                       "ledger conservation violated at '", o.label,
+                       "' (rel error ", err, ")");
+    }
 
     for (std::size_t s = 0; s < setups.size(); ++s)
         energyPanel(setups[s], s, outcomes);

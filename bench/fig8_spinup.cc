@@ -15,7 +15,9 @@
 
 #include "bench_report.hh"
 #include "core/experiment.hh"
+#include "obs/energy_ledger.hh"
 #include "runner/sweep.hh"
+#include "util/logging.hh"
 #include "trace/workloads.hh"
 #include "util/table.hh"
 
@@ -62,6 +64,15 @@ main()
     }
     const auto outcomes =
         runner::runAll(points, benchsupport::jobsFromEnv());
+
+    // Figure points must satisfy the energy-attribution ledger's
+    // conservation invariant (rows sum back to the energy totals).
+    for (const auto &o : outcomes) {
+        const double err = obs::ledgerMaxRelError(o.result.perDisk);
+        PACACHE_ASSERT(err <= obs::kLedgerConservationTol,
+                       "ledger conservation violated at '", o.label,
+                       "' (rel error ", err, ")");
+    }
 
     TextTable t;
     t.header({"Spin-up cost (J)", "Energy savings over LRU"});

@@ -25,7 +25,9 @@
 
 #include "bench_report.hh"
 #include "core/experiment.hh"
+#include "obs/energy_ledger.hh"
 #include "runner/sweep.hh"
+#include "util/logging.hh"
 #include "trace/synthetic.hh"
 #include "util/table.hh"
 
@@ -171,6 +173,15 @@ main()
     const Grid grid;
     const auto outcomes =
         runner::runAll(grid.points(), benchsupport::jobsFromEnv());
+
+    // Figure points must satisfy the energy-attribution ledger's
+    // conservation invariant (rows sum back to the energy totals).
+    for (const auto &o : outcomes) {
+        const double err = obs::ledgerMaxRelError(o.result.perDisk);
+        PACACHE_ASSERT(err <= obs::kLedgerConservationTol,
+                       "ledger conservation violated at '", o.label,
+                       "' (rel error ", err, ")");
+    }
     writeRatioPanel(grid, outcomes);
     interArrivalPanel(grid, outcomes);
 

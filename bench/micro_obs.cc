@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Observability overhead micro-benchmark: replays the fig6-scale OLTP
+ * workload (21 disks, 2 hours, 1024-block cache, PA-LRU) twice per
+ * repetition — once with the null observer (the default production
+ * path) and once with the full observability stack attached (metric
+ * registry, trace-event writer, and the phase profiler) — and
+ * verifies both runs produce bit-identical simulation results before
+ * reporting best-of-N timings. Null and observed reps run as
+ * interleaved pairs so machine-load bursts inflate both sides of the
+ * ratio instead of whichever happened to be running.
+ *
+ * BENCH_micro_obs.json carries two gated metrics:
+ *   null_replay_krps         null-observer replay throughput
+ *                            (thousand requests per wall second) —
+ *                            guards the un-instrumented hot path
+ *                            against observability bleeding into it;
+ *   observed_vs_null_ratio   observed throughput relative to null
+ *                            (1.0 = free, lower = more overhead).
+ * tools/bench_compare.py gates them against the committed baseline
+ * (see tools/check.sh). PACACHE_BENCH_REPS overrides the repetition
+ * count (default 5; every rep re-verifies equivalence).
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "bench_report.hh"
+#include "core/experiment.hh"
+#include "obs/energy_ledger.hh"
+#include "obs/metrics.hh"
+#include "obs/observer.hh"
+#include "obs/profiler.hh"
+#include "obs/trace_writer.hh"
+#include "trace/workloads.hh"
+#include "util/table.hh"
+
+using namespace pacache;
+
+namespace
+{
+
+constexpr std::size_t kCacheBlocks = 1024;
+
+unsigned
+repsFromEnv()
+{
+    if (const char *env = std::getenv("PACACHE_BENCH_REPS")) {
+        const long v = std::atol(env);
+        if (v > 0)
+            return static_cast<unsigned>(v);
+    }
+    return 5;
+}
+
+double
+nowMs()
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** The simulation outputs that must not depend on observation. */
+struct RunFingerprint
+{
+    Energy totalEnergy = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t spinUps = 0;
+    uint64_t responseCount = 0;
+    double responseSum = 0;
+
+    explicit RunFingerprint() = default;
+
+    explicit RunFingerprint(const ExperimentResult &r)
+        : totalEnergy(r.totalEnergy), hits(r.cache.hits),
+          misses(r.cache.misses), evictions(r.cache.evictions),
+          spinUps(r.energy.spinUps),
+          responseCount(r.responses.count()),
+          responseSum(r.responses.sum())
+    {
+    }
+
+    bool
+    operator==(const RunFingerprint &o) const
+    {
+        return totalEnergy == o.totalEnergy && hits == o.hits &&
+               misses == o.misses && evictions == o.evictions &&
+               spinUps == o.spinUps &&
+               responseCount == o.responseCount &&
+               responseSum == o.responseSum; // exact, not near
+    }
+};
+
+ExperimentConfig
+baseConfig()
+{
+    ExperimentConfig cfg;
+    cfg.policy = PolicyKind::PALRU;
+    cfg.dpm = DpmChoice::Practical;
+    cfg.cacheBlocks = kCacheBlocks;
+    cfg.pa.epochLength = 900.0;
+    return cfg;
+}
+
+struct Timing
+{
+    double bestMs = 0;
+    RunFingerprint fp;
+};
+
+void
+foldRep(Timing &out, double ms, const RunFingerprint &fp,
+        unsigned rep)
+{
+    if (rep == 0) {
+        out.bestMs = ms;
+        out.fp = fp;
+        return;
+    }
+    out.bestMs = std::min(out.bestMs, ms);
+    if (!(fp == out.fp)) {
+        std::cerr << "FATAL: replay not deterministic across "
+                     "repetitions\n";
+        std::exit(1);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "=== micro_obs: observability overhead ===\n\n";
+    const unsigned reps = repsFromEnv();
+
+    const Trace trace = makeOltpTrace();
+    std::cout << "OLTP fig6 scale: " << trace.size() << " requests, "
+              << trace.numDisks() << " disks, cache " << kCacheBlocks
+              << " blocks, " << reps << " reps\n\n";
+
+    Timing off, on;
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        {
+            const ExperimentConfig cfg = baseConfig();
+            const double t0 = nowMs();
+            const ExperimentResult r = runExperiment(trace, cfg);
+            const double ms = nowMs() - t0;
+            foldRep(off, ms, RunFingerprint(r), rep);
+        }
+        {
+            // Fresh sinks each rep: the trace-event buffer and the
+            // profiler span list grow per run.
+            obs::SimObserver observer;
+            obs::MetricRegistry registry;
+            obs::TraceEventWriter trace_events;
+            obs::Profiler profiler;
+            observer.attachMetrics(&registry);
+            observer.attachTrace(&trace_events);
+            ExperimentConfig cfg = baseConfig();
+            cfg.observer = &observer;
+            cfg.profiler = &profiler;
+            const double t0 = nowMs();
+            const ExperimentResult r = runExperiment(trace, cfg);
+            const double ms = nowMs() - t0;
+            foldRep(on, ms, RunFingerprint(r), rep);
+            if (rep == 0 &&
+                obs::ledgerMaxRelError(r.perDisk) >
+                    obs::kLedgerConservationTol) {
+                std::cerr << "FATAL: energy ledger does not "
+                             "conserve\n";
+                return 1;
+            }
+        }
+    }
+
+    if (!(off.fp == on.fp)) {
+        std::cerr << "FATAL: observed replay diverges from the "
+                     "null-observer replay:\n  energy "
+                  << off.fp.totalEnergy << " vs " << on.fp.totalEnergy
+                  << "\n  hits " << off.fp.hits << " vs " << on.fp.hits
+                  << "\n  response sum " << off.fp.responseSum
+                  << " vs " << on.fp.responseSum << '\n';
+        return 1;
+    }
+
+    const double requests = static_cast<double>(trace.size());
+    const double nullKrps = requests / off.bestMs; // = k req / s
+    const double ratio = off.bestMs / on.bestMs;
+
+    TextTable table;
+    table.header({"Replay", "best (ms)", "kreq/s"});
+    table.row({"null observer", fmt(off.bestMs, 1),
+               fmt(requests / off.bestMs, 1)});
+    table.row({"full observability", fmt(on.bestMs, 1),
+               fmt(requests / on.bestMs, 1)});
+    table.print(std::cout);
+    std::cout << "\nobserved/null throughput ratio: " << fmt(ratio, 3)
+              << " (overhead " << fmt((1.0 / ratio - 1.0) * 100.0, 1)
+              << "%)\nequivalence: bit-identical\n";
+
+    benchsupport::BenchReport report("micro_obs",
+                                     benchsupport::jobsFromEnv());
+    report.addRun("replay/obs_off", off.bestMs, trace.size());
+    report.addRun("replay/obs_on", on.bestMs, trace.size());
+    report.metric("null_replay_krps", nullKrps);
+    report.metric("observed_vs_null_ratio", ratio);
+    const std::string path = report.write();
+    std::cout << "report: " << path << '\n';
+    return 0;
+}

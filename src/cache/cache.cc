@@ -61,8 +61,10 @@ Cache::access(const BlockId &block, Time now, std::size_t idx)
         return result;
     }
 
-    if (recordFirstSeen(block))
+    if (recordFirstSeen(block)) {
         ++counters.coldMisses;
+        result.coldMiss = true;
+    }
     ++counters.misses;
     repl->beforeMiss(block, now, idx);
     bringIn(block, now, idx, result);

@@ -29,6 +29,7 @@ class SimObserver;
 struct CacheResult
 {
     bool hit = false;
+    bool coldMiss = false;    //!< miss on a never-before-seen block
     bool evicted = false;     //!< an eviction was needed
     BlockId victim;           //!< valid when evicted
     bool victimDirty = false; //!< victim needed a write-back

@@ -16,6 +16,7 @@
 #include "disk/dpm.hh"
 #include "disk/oracle_dpm.hh"
 #include "obs/observer.hh"
+#include "obs/profiler.hh"
 #include "sim/event_queue.hh"
 #include "tracefmt/trace_source.hh"
 #include "util/logging.hh"
@@ -159,6 +160,7 @@ runExperimentImpl(const Trace *trace, tracefmt::TraceSource *source,
     obs::SimObserver *observer = config.observer;
     DiskOptions disk_opts = config.disk;
     StorageConfig storage_cfg = config.storage;
+    storage_cfg.profiler = config.profiler;
     if (observer) {
         std::vector<std::string> mode_names;
         for (std::size_t m = 0; m < pm.numModes(); ++m)
@@ -242,19 +244,27 @@ runExperimentImpl(const Trace *trace, tracefmt::TraceSource *source,
     result.energy = EnergyStats(pm.numModes());
     result.perDisk.reserve(num_disks);
     const OracleAnalyzer oracle(pm);
-    for (DiskId d = 0; d < num_disks; ++d) {
-        EnergyStats stats = config.dpm == DpmChoice::Oracle
-            ? oracle.priceDisk(disks.disk(d)).stats
-            : disks.disk(d).energy();
-        result.energy += stats;
-        result.perDisk.push_back(std::move(stats));
-        result.diskMeanInterArrival.push_back(
-            disks.disk(d).meanInterArrival());
+    {
+        obs::ProfileScope pricing_scope(
+            config.dpm == DpmChoice::Oracle ? config.profiler
+                                            : nullptr,
+            "oracle_pricing");
+        for (DiskId d = 0; d < num_disks; ++d) {
+            EnergyStats stats = config.dpm == DpmChoice::Oracle
+                ? oracle.priceDisk(disks.disk(d)).stats
+                : disks.disk(d).energy();
+            result.energy += stats;
+            result.perDisk.push_back(std::move(stats));
+            result.diskMeanInterArrival.push_back(
+                disks.disk(d).meanInterArrival());
+        }
     }
 
     result.totalEnergy = result.energy.total();
-    if (log_disk)
-        result.totalEnergy += log_disk->energy().serviceEnergy;
+    if (log_disk) {
+        result.logServiceEnergy = log_disk->energy().serviceEnergy;
+        result.totalEnergy += result.logServiceEnergy;
+    }
 
     // Final summary gauges: the registry snapshot then reports the
     // exact values the CLI report prints.

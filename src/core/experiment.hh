@@ -75,6 +75,13 @@ struct ExperimentConfig
      * final summary gauges into the attached metric registry.
      */
     obs::SimObserver *observer = nullptr;
+
+    /**
+     * Scoped wall-clock profiler; null disables phase timing. The
+     * runner forwards it into the storage system (expand/replay
+     * phases) and wraps its own oracle re-pricing pass.
+     */
+    obs::Profiler *profiler = nullptr;
 };
 
 /** Everything a run produces. */
@@ -88,6 +95,11 @@ struct ExperimentResult
     Energy totalEnergy = 0;           //!< + log-device service energy
     std::vector<double> diskMeanInterArrival; //!< post-cache, per disk
     std::vector<uint64_t> diskAccesses;       //!< per disk
+    /**
+     * WTDU log-device service energy (J); the slice of totalEnergy
+     * not covered by perDisk. Zero when the run has no log device.
+     */
+    Energy logServiceEnergy = 0;
     uint64_t logWrites = 0;
     uint64_t prefetchedBlocks = 0;
     std::size_t numModes = 0; //!< for interpreting the breakdowns

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/observer.hh"
+#include "obs/profiler.hh"
 #include "tracefmt/trace_source.hh"
 #include "util/logging.hh"
 
@@ -73,18 +74,30 @@ StorageSystem::run()
 void
 StorageSystem::runMaterialized()
 {
-    const std::vector<BlockAccess> accesses = expandTrace(*trace);
-    cache.policy().prepare(accesses);
+    std::vector<BlockAccess> accesses;
+    {
+        obs::ProfileScope scope(cfg.profiler, "expand_trace");
+        accesses = expandTrace(*trace);
+    }
+    {
+        // Off-line policies (Belady/OPG) index the whole future
+        // here; on-line policies return immediately.
+        obs::ProfileScope scope(cfg.profiler, "oracle_precompute");
+        cache.policy().prepare(accesses);
+    }
 
     obs::SimObserver *observer = cfg.observer;
     if (observer)
         observer->runBegin(accesses.size(), trace->endTime());
 
-    for (std::size_t i = 0; i < accesses.size(); ++i) {
-        queue.runUntil(accesses[i].time);
-        processAccess(accesses[i], i);
-        if (observer)
-            observer->requestProcessed(accesses[i].time);
+    {
+        obs::ProfileScope scope(cfg.profiler, "replay");
+        for (std::size_t i = 0; i < accesses.size(); ++i) {
+            queue.runUntil(accesses[i].time);
+            processAccess(accesses[i], i);
+            if (observer)
+                observer->requestProcessed(accesses[i].time);
+        }
     }
 
     finishRun(trace->endTime());
@@ -108,18 +121,21 @@ StorageSystem::runStreaming()
     std::size_t idx = 0;
     std::size_t records = 0;
     Time end_time = 0;
-    while (source->next(rec)) {
-        for (uint32_t b = 0; b < rec.numBlocks; ++b) {
-            const BlockAccess acc{rec.time,
-                                  BlockId{rec.disk, rec.block + b},
-                                  rec.write, records};
-            queue.runUntil(acc.time);
-            processAccess(acc, idx++);
-            if (observer)
-                observer->requestProcessed(acc.time);
+    {
+        obs::ProfileScope scope(cfg.profiler, "replay");
+        while (source->next(rec)) {
+            for (uint32_t b = 0; b < rec.numBlocks; ++b) {
+                const BlockAccess acc{rec.time,
+                                      BlockId{rec.disk, rec.block + b},
+                                      rec.write, records};
+                queue.runUntil(acc.time);
+                processAccess(acc, idx++);
+                if (observer)
+                    observer->requestProcessed(acc.time);
+            }
+            end_time = rec.time;
+            ++records;
         }
-        end_time = rec.time;
-        ++records;
     }
     PACACHE_ASSERT(records > 0, "cannot run an empty trace");
 
@@ -133,6 +149,7 @@ StorageSystem::finishRun(Time trace_end)
     // close every disk's accounting at a horizon that depends only on
     // the trace and the power model — NOT on run dynamics — so that
     // energies are comparable across policies and DPM choices.
+    obs::ProfileScope scope(cfg.profiler, "drain_finalize");
     queue.runAll();
     const PowerModel &pm = disks.powerModel();
     const Time tail =
@@ -179,7 +196,9 @@ StorageSystem::handleRead(const BlockAccess &acc, std::size_t idx)
         }
     }
 
-    submitDisk(acc.block.disk, acc.block.block, run, false, true, now);
+    submitDisk(acc.block.disk, acc.block.block, run, false, true, now,
+               result.coldMiss ? WakeCause::DemandColdMiss
+                               : WakeCause::CapacityMiss);
     handleVictim(result, now);
     for (uint32_t b = 1; b < run; ++b) {
         const CacheResult pf = cache.insert(
@@ -200,7 +219,8 @@ StorageSystem::handleWrite(const BlockAccess &acc, std::size_t idx)
     switch (cfg.writePolicy) {
       case WritePolicy::WriteThrough:
         handleVictim(result, now);
-        submitDisk(d, acc.block.block, 1, true, true, now);
+        submitDisk(d, acc.block.block, 1, true, true, now,
+                   WakeCause::DemandWrite);
         break;
 
       case WritePolicy::WriteBack:
@@ -221,7 +241,8 @@ StorageSystem::handleWrite(const BlockAccess &acc, std::size_t idx)
                 cfg.observer->wbeuForcedWake(d, dirty.size(), now);
             for (const BlockId &b : dirty)
                 cache.markClean(b);
-            flushBlocks(d, std::move(dirty), now);
+            flushBlocks(d, std::move(dirty), now,
+                        WakeCause::WbeuForcedWake);
         }
         break;
       }
@@ -231,7 +252,8 @@ StorageSystem::handleWrite(const BlockAccess &acc, std::size_t idx)
         if (disks.disk(d).atFullSpeed()) {
             // The destination is awake: plain write-through.
             cache.clearLogged(acc.block);
-            submitDisk(d, acc.block.block, 1, true, true, now);
+            submitDisk(d, acc.block.block, 1, true, true, now,
+                       WakeCause::DemandWrite);
             break;
         }
         if (log->full(d))
@@ -251,6 +273,7 @@ StorageSystem::handleWrite(const BlockAccess &acc, std::size_t idx)
         req.block = log_block;
         req.numBlocks = 1;
         req.write = true;
+        req.cause = WakeCause::DemandWrite; // log device never parks
         req.onComplete = [this, now](Time done, const DiskRequest &) {
             respStats.record(done - now);
         };
@@ -268,20 +291,21 @@ StorageSystem::handleVictim(const CacheResult &result, Time now)
     if (result.victimDirty) {
         // Write-back family: the eviction forces the write-back.
         submitDisk(result.victim.disk, result.victim.block, 1, true,
-                   false, now);
+                   false, now, WakeCause::EvictionWriteback);
     }
     if (result.victimLogged) {
         // WTDU corner case: the cache copy is the only fresh copy
         // outside the log; persist it home before dropping it.
         ++loggedEvictionCount;
         submitDisk(result.victim.disk, result.victim.block, 1, true,
-                   false, now);
+                   false, now, WakeCause::EvictionWriteback);
     }
 }
 
 void
 StorageSystem::submitDisk(DiskId disk, BlockNum block, uint32_t count,
-                          bool write, bool record_response, Time arrival)
+                          bool write, bool record_response, Time arrival,
+                          WakeCause cause)
 {
     PACACHE_ASSERT(disk < disks.numDisks(), "disk id out of range");
     ++perDiskAccesses[disk];
@@ -293,6 +317,7 @@ StorageSystem::submitDisk(DiskId disk, BlockNum block, uint32_t count,
     req.block = block;
     req.numBlocks = count;
     req.write = write;
+    req.cause = cause;
     if (record_response) {
         req.onComplete = [this, arrival](Time done, const DiskRequest &) {
             respStats.record(done - arrival);
@@ -303,7 +328,7 @@ StorageSystem::submitDisk(DiskId disk, BlockNum block, uint32_t count,
 
 void
 StorageSystem::flushBlocks(DiskId disk, std::vector<BlockId> blocks,
-                           Time now)
+                           Time now, WakeCause cause)
 {
     if (blocks.empty())
         return;
@@ -317,7 +342,8 @@ StorageSystem::flushBlocks(DiskId disk, std::vector<BlockId> blocks,
             ++j;
         }
         submitDisk(disk, blocks[i].block,
-                   static_cast<uint32_t>(j - i), true, false, now);
+                   static_cast<uint32_t>(j - i), true, false, now,
+                   cause);
         i = j;
     }
 }
@@ -327,10 +353,13 @@ StorageSystem::onDiskActivated(DiskId disk, Time now)
 {
     switch (cfg.writePolicy) {
       case WritePolicy::WriteBackEagerUpdate: {
+        // The disk is already at full speed here; these writebacks
+        // ride along without waking anything.
         std::vector<BlockId> dirty = cache.dirtyBlocksOf(disk);
         for (const BlockId &b : dirty)
             cache.markClean(b);
-        flushBlocks(disk, std::move(dirty), now);
+        flushBlocks(disk, std::move(dirty), now,
+                    WakeCause::EvictionWriteback);
         break;
       }
       case WritePolicy::WriteThroughDeferredUpdate:
@@ -349,7 +378,8 @@ StorageSystem::flushLogged(DiskId disk, Time now)
     std::vector<BlockId> logged = cache.loggedBlocksOf(disk);
     for (const BlockId &b : logged)
         cache.clearLogged(b);
-    flushBlocks(disk, std::move(logged), now);
+    flushBlocks(disk, std::move(logged), now,
+                WakeCause::WtduLogRecycle);
     log->retire(disk);
     if (cfg.observer)
         cfg.observer->wtduRegionRecycle(disk, now);

@@ -31,6 +31,7 @@ namespace pacache
 namespace obs
 {
 class SimObserver;
+class Profiler;
 }
 
 namespace tracefmt
@@ -66,6 +67,12 @@ struct StorageConfig
      * runExperiment() does this automatically.
      */
     obs::SimObserver *observer = nullptr;
+
+    /**
+     * Scoped wall-clock profiler for the run's own phases (expand,
+     * replay, drain). Null disables phase timing.
+     */
+    obs::Profiler *profiler = nullptr;
 };
 
 /** End-to-end simulator for one trace. */
@@ -144,13 +151,15 @@ class StorageSystem
     void handleWrite(const BlockAccess &acc, std::size_t idx);
     void handleVictim(const CacheResult &result, Time now);
 
-    /** Submit one block access to a data disk. */
+    /** Submit one block access to a data disk, tagged with the wake
+     *  cause charged if the disk must spin up for it. */
     void submitDisk(DiskId disk, BlockNum block, uint32_t count,
-                    bool write, bool record_response, Time arrival);
+                    bool write, bool record_response, Time arrival,
+                    WakeCause cause);
 
     /** Coalesce a block set into run-length requests and submit. */
     void flushBlocks(DiskId disk, std::vector<BlockId> blocks,
-                     Time now);
+                     Time now, WakeCause cause);
 
     /** WBEU/WTDU: flush when a disk reaches full speed. */
     void onDiskActivated(DiskId disk, Time now);

@@ -59,6 +59,7 @@ Disk::submit(DiskRequest req)
 
     if (idleOpen) {
         gaps.push_back(now - idleStart);
+        gapCauses.push_back(req.cause);
         idleOpen = false;
         dpm->onIdleEnd(diskId, curMode, now - idleStart);
     }
@@ -229,12 +230,18 @@ Disk::beginSpinUp(Time now)
         obs->diskPowerState(diskId, "spin-up", now);
     }
 
+    // The request at the head of the queue is what forced this
+    // transition; its cause owns the spin-up in the ledger.
+    PACACHE_ASSERT(!pending.empty(), "spin-up with no pending cause");
+    const WakeCause cause = pending.front().cause;
+
     const Time dt = pm->mode(curMode).spinUpTime;
     const Energy de = pm->mode(curMode).spinUpEnergy;
-    queue.schedule(now + dt, [this, dt, de](Time t) {
+    queue.schedule(now + dt, [this, dt, de, cause](Time t) {
         stats.spinUpTime += dt;
         stats.spinUpEnergy += de;
         ++stats.spinUps;
+        stats.attributeSpinUp(cause, de);
         onSpinUpDone(t);
     });
 }

@@ -47,6 +47,12 @@ struct DiskRequest
     BlockNum block = 0;     //!< starting logical block
     uint32_t numBlocks = 1; //!< request length in blocks
     bool write = false;
+    /**
+     * Why this request exists, for spin-up attribution: if the disk
+     * must spin up to service it, the transition's energy is charged
+     * to this cause in the energy-attribution ledger.
+     */
+    WakeCause cause = WakeCause::DemandColdMiss;
     /** Optional completion callback (completion time, request). */
     std::function<void(Time, const DiskRequest &)> onComplete;
 };
@@ -142,6 +148,18 @@ class Disk
      */
     const std::vector<Time> &idleGaps() const { return gaps; }
 
+    /**
+     * Cause of the request that closed each idle gap, parallel to
+     * idleGaps() — except for a trailing gap still open at
+     * finalize(), which no request closed (so after finalize this
+     * holds either idleGaps().size() or one fewer entries). Lets the
+     * offline Oracle re-pricer attribute the spin-ups it charges.
+     */
+    const std::vector<WakeCause> &gapCloseCauses() const
+    {
+        return gapCauses;
+    }
+
     /** Mean inter-arrival time of submitted requests. */
     double meanInterArrival() const;
 
@@ -211,6 +229,7 @@ class Disk
     EnergyStats stats;
     ResponseStats respStats;
     std::vector<Time> gaps;
+    std::vector<WakeCause> gapCauses;
 
     uint64_t numArrivals = 0;
     Time firstArrival = 0;

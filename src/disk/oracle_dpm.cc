@@ -10,9 +10,16 @@ namespace pacache
 OracleResult
 OracleAnalyzer::price(const std::vector<Time> &gaps,
                       const EnergyStats &service,
-                      bool last_gap_open) const
+                      bool last_gap_open,
+                      const std::vector<WakeCause> *gap_causes) const
 {
     const PowerModel &pm = *powerModel;
+    if (gap_causes) {
+        const std::size_t closed =
+            gaps.size() - (last_gap_open && !gaps.empty() ? 1 : 0);
+        PACACHE_ASSERT(gap_causes->size() >= closed,
+                       "fewer gap causes than closed gaps");
+    }
     OracleResult result;
     result.stats = EnergyStats(pm.numModes());
     result.stats.serviceEnergy = service.serviceEnergy;
@@ -39,6 +46,11 @@ OracleAnalyzer::price(const std::vector<Time> &gaps,
                 result.stats.spinUpTime += std::min(mode.spinUpTime, gap);
                 ++result.stats.spinDowns;
                 ++result.stats.spinUps;
+                result.stats.attributeSpinUp(
+                    gap_causes && g < gap_causes->size()
+                        ? (*gap_causes)[g]
+                        : WakeCause::DemandColdMiss,
+                    mode.spinUpEnergy);
             }
         } else {
             // Trailing gap: no further request, so no spin-up is ever
@@ -73,7 +85,8 @@ OracleAnalyzer::price(const std::vector<Time> &gaps,
 OracleResult
 OracleAnalyzer::priceDisk(const Disk &disk) const
 {
-    return price(disk.idleGaps(), disk.energy(), true);
+    return price(disk.idleGaps(), disk.energy(), true,
+                 &disk.gapCloseCauses());
 }
 
 } // namespace pacache

@@ -51,10 +51,19 @@ class OracleAnalyzer
      * @param service       service energy/time carried over unchanged
      * @param last_gap_open true if the final entry of @p gaps is the
      *                      trailing (never-re-activated) gap
+     * @param gap_causes    optional wake cause per closed gap (from
+     *                      Disk::gapCloseCauses()); when provided,
+     *                      every spin-up the envelope charges is
+     *                      attributed to the request that ended the
+     *                      gap, keeping the energy ledger conserved
+     *                      under Oracle DPM. Without it spin-ups are
+     *                      attributed to DemandColdMiss.
      */
     OracleResult price(const std::vector<Time> &gaps,
                        const EnergyStats &service,
-                       bool last_gap_open = true) const;
+                       bool last_gap_open = true,
+                       const std::vector<WakeCause> *gap_causes =
+                           nullptr) const;
 
     /**
      * Convenience: price a finalized always-on disk. Service energy,

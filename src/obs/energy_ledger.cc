@@ -1,0 +1,171 @@
+#include "obs/energy_ledger.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+
+#include "util/json.hh"
+
+namespace pacache::obs
+{
+
+double
+ledgerRelError(const EnergyStats &stats)
+{
+    uint64_t cause_count = 0;
+    Energy cause_energy = 0;
+    for (std::size_t c = 0; c < kNumWakeCauses; ++c) {
+        cause_count += stats.spinUpsByCause[c];
+        cause_energy += stats.spinUpEnergyByCause[c];
+    }
+    if (cause_count != stats.spinUps)
+        return 1.0; // a lost or double-counted attribution
+
+    Energy rows = stats.serviceEnergy + stats.spinDownEnergy +
+                  cause_energy;
+    for (const Energy e : stats.idleEnergyPerMode)
+        rows += e;
+    const Energy total = stats.total();
+    const double scale = std::max(
+        {1.0, std::abs(total),
+         std::abs(stats.spinUpEnergy)});
+    const double row_err = std::abs(rows - total) / scale;
+    const double spinup_err =
+        std::abs(cause_energy - stats.spinUpEnergy) / scale;
+    return std::max(row_err, spinup_err);
+}
+
+double
+ledgerMaxRelError(const std::vector<EnergyStats> &per_disk)
+{
+    EnergyStats aggregate;
+    double worst = 0.0;
+    for (const EnergyStats &s : per_disk) {
+        worst = std::max(worst, ledgerRelError(s));
+        aggregate += s;
+    }
+    return std::max(worst, ledgerRelError(aggregate));
+}
+
+void
+EnergyLedger::addDisk(std::string label, const EnergyStats &stats)
+{
+    disks.push_back(Entry{std::move(label), stats});
+    aggregate += stats;
+}
+
+double
+EnergyLedger::maxRelError() const
+{
+    double worst = ledgerRelError(aggregate);
+    for (const Entry &e : disks)
+        worst = std::max(worst, ledgerRelError(e.stats));
+    return worst;
+}
+
+void
+EnergyLedger::writeEntryValue(JsonWriter &json,
+                              const EnergyStats &stats) const
+{
+    json.beginObject();
+    json.kv("active_j", stats.serviceEnergy);
+    json.key("idle_per_mode_j");
+    if (modeNames.size() == stats.idleEnergyPerMode.size()) {
+        json.beginObject();
+        for (std::size_t m = 0; m < modeNames.size(); ++m)
+            json.kv(modeNames[m], stats.idleEnergyPerMode[m]);
+        json.endObject();
+    } else {
+        json.beginArray();
+        for (const Energy e : stats.idleEnergyPerMode)
+            json.value(e);
+        json.endArray();
+    }
+    json.kv("spinup_j", stats.spinUpEnergy);
+    json.kv("spindown_j", stats.spinDownEnergy);
+    json.kv("total_j", stats.total());
+    json.kv("spinups", stats.spinUps);
+    json.key("spinups_by_cause");
+    json.beginObject();
+    for (std::size_t c = 0; c < kNumWakeCauses; ++c)
+        json.kv(wakeCauseName(static_cast<WakeCause>(c)),
+                stats.spinUpsByCause[c]);
+    json.endObject();
+    json.key("spinup_energy_by_cause_j");
+    json.beginObject();
+    for (std::size_t c = 0; c < kNumWakeCauses; ++c)
+        json.kv(wakeCauseName(static_cast<WakeCause>(c)),
+                stats.spinUpEnergyByCause[c]);
+    json.endObject();
+    json.kv("conservation_rel_error", ledgerRelError(stats));
+    json.endObject();
+}
+
+void
+EnergyLedger::writeJsonValue(JsonWriter &json) const
+{
+    json.beginObject();
+    json.key("mode_names");
+    json.beginArray();
+    for (const std::string &name : modeNames)
+        json.value(name);
+    json.endArray();
+    json.key("disks");
+    json.beginObject();
+    for (const Entry &e : disks) {
+        json.key(e.label);
+        writeEntryValue(json, e.stats);
+    }
+    json.endObject();
+    json.key("total");
+    writeEntryValue(json, aggregate);
+    json.kv("max_conservation_rel_error", maxRelError());
+    json.kv("conserves", conserves());
+    json.endObject();
+}
+
+void
+EnergyLedger::writeTable(std::ostream &os) const
+{
+    const auto flags = os.flags();
+    const auto precision = os.precision();
+    os << "energy ledger (J):\n";
+    os << "  " << std::left << std::setw(8) << "disk" << std::right
+       << std::setw(11) << "active" << std::setw(11) << "idle"
+       << std::setw(11) << "spin-up" << std::setw(11) << "spin-down"
+       << std::setw(12) << "total" << "\n";
+    os << std::fixed << std::setprecision(1);
+    auto row = [&os](const std::string &label,
+                     const EnergyStats &s) {
+        Energy idle = 0;
+        for (const Energy e : s.idleEnergyPerMode)
+            idle += e;
+        os << "  " << std::left << std::setw(8) << label
+           << std::right << std::setw(11) << s.serviceEnergy
+           << std::setw(11) << idle << std::setw(11) << s.spinUpEnergy
+           << std::setw(11) << s.spinDownEnergy << std::setw(12)
+           << s.total() << "\n";
+    };
+    for (const Entry &e : disks)
+        row(e.label, e.stats);
+    row("total", aggregate);
+
+    os << "  spin-ups by cause (count / J):\n";
+    for (std::size_t c = 0; c < kNumWakeCauses; ++c) {
+        if (aggregate.spinUpsByCause[c] == 0)
+            continue;
+        os << "    " << std::left << std::setw(20)
+           << wakeCauseName(static_cast<WakeCause>(c)) << std::right
+           << std::setw(9) << aggregate.spinUpsByCause[c]
+           << std::setw(12) << aggregate.spinUpEnergyByCause[c]
+           << "\n";
+    }
+    os << std::scientific << std::setprecision(2)
+       << "  conservation max rel error " << maxRelError() << " ("
+       << (conserves() ? "ok" : "VIOLATED") << ")\n";
+    os.flags(flags);
+    os.precision(precision);
+}
+
+} // namespace pacache::obs

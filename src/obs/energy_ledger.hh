@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Energy-attribution ledger: decomposes each disk's EnergyStats into
+ * {active, per-power-mode idle, spin-up by wake cause, spin-down}
+ * rows and enforces the conservation invariant — the rows sum back
+ * to EnergyStats::total(), and the by-cause spin-up rows sum to the
+ * spin-up totals (energy within 1e-9 relative, counts exactly).
+ * This is the paper's "where does the energy go" question answered
+ * per run: the idle/transition split of Figures 6-9 plus *why* each
+ * spin-up happened, which no aggregate figure shows.
+ */
+
+#ifndef PACACHE_OBS_ENERGY_LEDGER_HH
+#define PACACHE_OBS_ENERGY_LEDGER_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "stats/energy_stats.hh"
+
+namespace pacache
+{
+class JsonWriter;
+}
+
+namespace pacache::obs
+{
+
+/** Relative tolerance of the ledger conservation invariant. */
+constexpr double kLedgerConservationTol = 1e-9;
+
+/**
+ * Relative error of the ledger decomposition of @p stats: how far
+ * the attributed rows (service + idle + spin-down + per-cause
+ * spin-up energy) land from total(), and the per-cause spin-up
+ * energies from spinUpEnergy, as a fraction of the larger total.
+ * Count mismatches (spinUps != sum of spinUpsByCause) report as 1.0
+ * — an unattributed transition is a bug, not a rounding artifact.
+ */
+double ledgerRelError(const EnergyStats &stats);
+
+/** Max ledgerRelError over per-disk stats and their aggregate. */
+double ledgerMaxRelError(const std::vector<EnergyStats> &per_disk);
+
+/** The per-run attribution report behind --energy-ledger. */
+class EnergyLedger
+{
+  public:
+    /** @param mode_names one name per power mode (may be empty). */
+    explicit EnergyLedger(std::vector<std::string> mode_names = {})
+        : modeNames(std::move(mode_names)) {}
+
+    /** Append one disk's breakdown (label e.g. "disk3"). */
+    void addDisk(std::string label, const EnergyStats &stats);
+
+    /** Aggregate over every added disk. */
+    const EnergyStats &total() const { return aggregate; }
+
+    /** Max conservation error across disks and the aggregate. */
+    double maxRelError() const;
+
+    /** True when every row set reconciles within the tolerance. */
+    bool conserves() const
+    {
+        return maxRelError() <= kLedgerConservationTol;
+    }
+
+    /**
+     * Append the ledger as a JSON value: per-disk and total row
+     * objects of {active_j, idle_per_mode_j, spinup_j, spindown_j,
+     * total_j, spinups_by_cause, spinup_energy_by_cause_j,
+     * conservation_rel_error}.
+     */
+    void writeJsonValue(JsonWriter &json) const;
+
+    /** Human-readable table (the --energy-ledger console report). */
+    void writeTable(std::ostream &os) const;
+
+  private:
+    struct Entry
+    {
+        std::string label;
+        EnergyStats stats;
+    };
+
+    void writeEntryValue(JsonWriter &json,
+                         const EnergyStats &stats) const;
+
+    std::vector<std::string> modeNames;
+    std::vector<Entry> disks;
+    EnergyStats aggregate;
+};
+
+} // namespace pacache::obs
+
+#endif // PACACHE_OBS_ENERGY_LEDGER_HH

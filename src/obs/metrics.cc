@@ -227,4 +227,61 @@ MetricRegistry::writeText(std::ostream &os) const
     }
 }
 
+namespace
+{
+
+std::string
+prometheusName(std::string_view name)
+{
+    std::string out;
+    out.reserve(name.size() + 1);
+    if (!name.empty() && name.front() >= '0' && name.front() <= '9')
+        out.push_back('_');
+    for (const char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '_';
+        out.push_back(ok ? c : '_');
+    }
+    return out;
+}
+
+} // namespace
+
+void
+MetricRegistry::writePrometheus(std::ostream &os) const
+{
+    for (const auto &[name, slot] : slots) {
+        const std::string flat = prometheusName(name);
+        switch (slot.kind) {
+          case Kind::Counter:
+            os << "# TYPE " << flat << " counter\n"
+               << flat << ' ' << slot.counter->value() << '\n';
+            break;
+          case Kind::Gauge:
+            os << "# TYPE " << flat << " gauge\n"
+               << flat << ' ' << slot.gauge->value() << '\n';
+            break;
+          case Kind::Histogram: {
+            // Summary leaves as gauges: the native Prometheus
+            // histogram type wants cumulative le-buckets, which the
+            // scrape-side consumers of these files don't need.
+            const Histogram &h = *slot.histogram;
+            const auto leaf = [&os, &flat](const char *suffix,
+                                           double v) {
+                os << "# TYPE " << flat << suffix << " gauge\n"
+                   << flat << suffix << ' ' << v << '\n';
+            };
+            leaf("_count", static_cast<double>(h.count()));
+            leaf("_mean", h.mean());
+            leaf("_p50", h.percentile(0.50));
+            leaf("_p95", h.percentile(0.95));
+            leaf("_p99", h.percentile(0.99));
+            leaf("_max", h.max());
+            break;
+          }
+        }
+    }
+}
+
 } // namespace pacache::obs

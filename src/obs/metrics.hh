@@ -116,6 +116,15 @@ class MetricRegistry
      */
     void writeText(std::ostream &os) const;
 
+    /**
+     * Prometheus-style text exposition: one "name value" line per
+     * metric with names sanitized to [a-zA-Z0-9_] (dots and any
+     * other byte become '_'; a leading digit gets a '_' prefix),
+     * each preceded by a "# TYPE" comment. Histograms expand to
+     * _count/_mean/_p50/_p95/_p99/_max gauge lines.
+     */
+    void writePrometheus(std::ostream &os) const;
+
   private:
     enum class Kind
     {

@@ -1,0 +1,108 @@
+#include "obs/profiler.hh"
+
+#include <iomanip>
+#include <ostream>
+
+#include "obs/trace_writer.hh"
+#include "util/logging.hh"
+
+namespace pacache::obs
+{
+
+Profiler::Profiler() : epoch(Clock::now()) {}
+
+double
+Profiler::now() const
+{
+    return std::chrono::duration<double>(Clock::now() - epoch)
+        .count();
+}
+
+double
+Profiler::elapsed() const
+{
+    return now();
+}
+
+void
+Profiler::enter(const std::string &name)
+{
+    Span span;
+    span.name = name;
+    span.start = now();
+    span.depth = static_cast<int>(open.size());
+    open.push_back(spans.size());
+    spans.push_back(std::move(span));
+}
+
+void
+Profiler::exit()
+{
+    PACACHE_ASSERT(!open.empty(), "ProfileScope exit without enter");
+    const std::size_t idx = open.back();
+    open.pop_back();
+    Span &span = spans[idx];
+    span.end = now();
+    if (!open.empty())
+        spans[open.back()].childTime += span.end - span.start;
+}
+
+std::vector<ProfilePhase>
+Profiler::phases() const
+{
+    PACACHE_ASSERT(open.empty(),
+                   "profiler phases read with scopes still open");
+    std::vector<ProfilePhase> result;
+    for (const Span &span : spans) {
+        ProfilePhase *phase = nullptr;
+        for (ProfilePhase &p : result) {
+            if (p.name == span.name) {
+                phase = &p;
+                break;
+            }
+        }
+        if (!phase) {
+            result.push_back(ProfilePhase{span.name, 0, 0.0, 0.0});
+            phase = &result.back();
+        }
+        const double total = span.end - span.start;
+        ++phase->calls;
+        phase->totalSeconds += total;
+        phase->selfSeconds += total - span.childTime;
+    }
+    return result;
+}
+
+void
+Profiler::emitTrace(TraceEventWriter &trace, uint32_t track) const
+{
+    PACACHE_ASSERT(open.empty(),
+                   "profiler trace emitted with scopes still open");
+    trace.setTrackName(track, "profiler (wall clock)");
+    for (const Span &span : spans)
+        trace.complete(track, span.name, span.start, span.end,
+                       "profile");
+}
+
+void
+Profiler::writeSummary(std::ostream &os) const
+{
+    const std::vector<ProfilePhase> rows = phases();
+    os << "profile (wall clock):\n";
+    os << "  " << std::left << std::setw(20) << "phase" << std::right
+       << std::setw(8) << "calls" << std::setw(12) << "total ms"
+       << std::setw(12) << "self ms" << "\n";
+    const auto flags = os.flags();
+    const auto precision = os.precision();
+    os << std::fixed << std::setprecision(1);
+    for (const ProfilePhase &p : rows) {
+        os << "  " << std::left << std::setw(20) << p.name
+           << std::right << std::setw(8) << p.calls << std::setw(12)
+           << p.totalSeconds * 1e3 << std::setw(12)
+           << p.selfSeconds * 1e3 << "\n";
+    }
+    os.flags(flags);
+    os.precision(precision);
+}
+
+} // namespace pacache::obs

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Scoped wall-clock profiler for the simulator's own phases (trace
+ * ingest, oracle precompute, replay, reporting). ProfileScope is an
+ * RAII timer; phases nest, and the profiler aggregates per-phase
+ * call counts, total (inclusive) and self (exclusive) time. The
+ * result can be printed as a summary table and exported as Chrome
+ * trace duration events through TraceEventWriter, on a dedicated
+ * track so simulator wall-time sits next to simulated disk activity
+ * in the same Perfetto view.
+ *
+ * A null Profiler* disables everything: ProfileScope against nullptr
+ * is a no-op, matching the null-observer convention.
+ */
+
+#ifndef PACACHE_OBS_PROFILER_HH
+#define PACACHE_OBS_PROFILER_HH
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pacache::obs
+{
+
+class TraceEventWriter;
+
+/** Aggregated statistics for one phase name. */
+struct ProfilePhase
+{
+    std::string name;
+    uint64_t calls = 0;
+    double totalSeconds = 0; //!< inclusive (children counted)
+    double selfSeconds = 0;  //!< exclusive (children subtracted)
+};
+
+/** Collects nested phase timings for one process run. */
+class Profiler
+{
+  public:
+    Profiler();
+
+    /** Open a phase; pair with exit(). Prefer ProfileScope. */
+    void enter(const std::string &name);
+    void exit();
+
+    /**
+     * Aggregated phases in first-entered order. Call after all
+     * scopes closed (asserts the stack is empty).
+     */
+    std::vector<ProfilePhase> phases() const;
+
+    /** Seconds of wall clock since the profiler was constructed. */
+    double elapsed() const;
+
+    /**
+     * Append every recorded span as a duration event on @p track
+     * (wall-clock seconds since construction as the time axis) and
+     * name the track.
+     */
+    void emitTrace(TraceEventWriter &trace,
+                   uint32_t track = kProfileTrack) const;
+
+    /** Print the summary table (name, calls, total, self). */
+    void writeSummary(std::ostream &os) const;
+
+    /**
+     * Track id for profiler spans, far above any disk track id so
+     * the lanes never collide (disks use 0..N+1).
+     */
+    static constexpr uint32_t kProfileTrack = 4096;
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    struct Span
+    {
+        std::string name;
+        double start = 0;    //!< seconds since profiler construction
+        double end = 0;
+        int depth = 0;
+        double childTime = 0; //!< summed durations of direct children
+    };
+
+    double now() const;
+
+    Clock::time_point epoch;
+    std::vector<Span> spans;      //!< closed spans, in open order
+    std::vector<std::size_t> open; //!< indices into spans (the stack)
+};
+
+/** RAII phase scope; safe on a null profiler. */
+class ProfileScope
+{
+  public:
+    ProfileScope(Profiler *profiler, const char *name)
+        : prof(profiler)
+    {
+        if (prof)
+            prof->enter(name);
+    }
+
+    ~ProfileScope()
+    {
+        if (prof)
+            prof->exit();
+    }
+
+    ProfileScope(const ProfileScope &) = delete;
+    ProfileScope &operator=(const ProfileScope &) = delete;
+
+  private:
+    Profiler *prof;
+};
+
+} // namespace pacache::obs
+
+#endif // PACACHE_OBS_PROFILER_HH

@@ -11,6 +11,8 @@
 
 #include "cache/belady.hh"
 #include "cache/belady_ref.hh"
+#include "obs/energy_ledger.hh"
+#include "util/log_histogram.hh"
 #include "cache/cache.hh"
 #include "cache/future.hh"
 #include "cache/lru.hh"
@@ -574,6 +576,89 @@ propOpgIncrementalConsistent(const FuzzCase &c)
 }
 
 PropertyResult
+propLedgerConservation(const FuzzCase &c)
+{
+    if (c.trace.empty())
+        return PropertyResult::ok();
+    const ExperimentConfig cfg = experimentConfig(c);
+    const ExperimentResult res = runExperiment(c.trace, cfg);
+
+    for (std::size_t d = 0; d < res.perDisk.size(); ++d) {
+        const double err = obs::ledgerRelError(res.perDisk[d]);
+        if (err > obs::kLedgerConservationTol)
+            return failMsg("disk ", d,
+                           ": ledger rows diverge from the energy "
+                           "totals by rel error ",
+                           err, " (spinUps=", res.perDisk[d].spinUps,
+                           ")");
+    }
+    const double aggErr = obs::ledgerMaxRelError(res.perDisk);
+    if (aggErr > obs::kLedgerConservationTol)
+        return failMsg("aggregate ledger rel error ", aggErr,
+                       " exceeds ", obs::kLedgerConservationTol);
+    // The run-level aggregate must also decompose: it is the same
+    // EnergyStats sum the reports print.
+    const double runErr = obs::ledgerRelError(res.energy);
+    if (runErr > obs::kLedgerConservationTol)
+        return failMsg("run aggregate ledger rel error ", runErr);
+    return PropertyResult::ok();
+}
+
+PropertyResult
+propHdrQuantileAccuracy(const FuzzCase &c)
+{
+    Rng rng(deriveSeed(c.seed, 0x4d78));
+    const std::size_t n = 256 + rng.below(4096);
+    std::vector<double> samples;
+    samples.reserve(n);
+    LogHistogram hist;
+    for (std::size_t i = 0; i < n; ++i) {
+        double v;
+        switch (rng.below(3)) {
+          case 0: v = rng.exponential(0.02); break;
+          case 1: v = rng.pareto(1.5, 1e-4); break;
+          default: v = rng.uniform(1e-6, 1e4); break;
+        }
+        // Keep clear of the histogram's under/overflow buckets, where
+        // the relative-error bound intentionally does not hold.
+        v = std::clamp(v, 1e-6, 1e9);
+        samples.push_back(v);
+        hist.record(v);
+    }
+    std::sort(samples.begin(), samples.end());
+
+    if (hist.count() != n)
+        return failMsg("histogram count ", hist.count(), " != ", n);
+
+    double prev = 0.0;
+    for (const double p :
+         {0.0, 0.01, 0.10, 0.50, 0.90, 0.95, 0.99, 0.999, 1.0}) {
+        const std::size_t rank = std::min<std::size_t>(
+            n, std::max<std::size_t>(
+                   1, static_cast<std::size_t>(std::ceil(
+                          p * static_cast<double>(n)))));
+        const double exact = samples[rank - 1];
+        const double got = hist.quantile(p);
+        if (got < prev)
+            return failMsg("quantile(", p, ") = ", got,
+                           " is below quantile of the previous p (",
+                           prev, ")");
+        prev = got;
+        const double err = std::fabs(got - exact) /
+                           std::max(std::fabs(exact), 1e-300);
+        if (err > LogHistogram::kMaxRelativeError)
+            return failMsg("quantile(", p, ") = ", got,
+                           " but exact nearest-rank is ", exact,
+                           " (rel error ", err, " > ",
+                           LogHistogram::kMaxRelativeError, ")");
+    }
+    if (hist.quantile(1.0) != samples.back())
+        return failMsg("quantile(1.0) = ", hist.quantile(1.0),
+                       " != exact max ", samples.back());
+    return PropertyResult::ok();
+}
+
+PropertyResult
 propDpmTwoCompetitive(const FuzzCase &c)
 {
     const PowerModel pm = c.powerModel();
@@ -693,6 +778,14 @@ allProperties()
          "Practical DPM stays within twice the Oracle envelope and "
          "its thresholds ascend",
          propDpmTwoCompetitive},
+        {"energy_ledger_conservation",
+         "Per-disk and aggregate energy ledgers reconcile with the "
+         "energy totals within 1e-9 relative, spin-up counts exactly",
+         propLedgerConservation},
+        {"hdr_quantile_accuracy",
+         "LogHistogram quantiles stay within the documented relative "
+         "error of exact nearest-rank on fuzzed mixed samples",
+         propHdrQuantileAccuracy},
     };
     return registry;
 }

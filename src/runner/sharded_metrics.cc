@@ -1,0 +1,25 @@
+#include "runner/sharded_metrics.hh"
+
+#include "obs/metrics.hh"
+
+namespace pacache::runner
+{
+
+void
+recordDistGauges(obs::MetricRegistry &registry,
+                 const std::string &prefix, const LogHistogram &hist)
+{
+    // Every value here is derived from bucket counts (plus the exact
+    // min/max), so the gauges are byte-identical however the samples
+    // were sharded across workers.
+    registry.gauge(prefix + ".count")
+        .set(static_cast<double>(hist.count()));
+    registry.gauge(prefix + ".mean").set(hist.bucketMean());
+    registry.gauge(prefix + ".p50").set(hist.quantile(0.50));
+    registry.gauge(prefix + ".p95").set(hist.quantile(0.95));
+    registry.gauge(prefix + ".p99").set(hist.quantile(0.99));
+    registry.gauge(prefix + ".min").set(hist.min());
+    registry.gauge(prefix + ".max").set(hist.max());
+}
+
+} // namespace pacache::runner

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Thread-safe sharded instruments for the parallel sweep runner and
+ * the future concurrent serving mode.
+ *
+ * Each instrument spreads updates over a fixed number of shards
+ * (fixed = independent of the worker count) so concurrent writers
+ * rarely contend, then merges deterministically after the barrier:
+ * counters sum with commutative integer addition, histograms merge
+ * exact bucket counts, so the merged result is byte-identical for
+ * any job count and any thread/shard assignment of the same value
+ * multiset. Deterministic reporting must therefore use the
+ * bucket-derived statistics (bucketSum/bucketMean/quantile), never
+ * the order-dependent floating-point sum of raw values.
+ */
+
+#ifndef PACACHE_RUNNER_SHARDED_METRICS_HH
+#define PACACHE_RUNNER_SHARDED_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include <string>
+
+#include "util/log_histogram.hh"
+
+namespace pacache
+{
+namespace obs
+{
+class MetricRegistry;
+}
+}
+
+namespace pacache::runner
+{
+
+/** Default shard count; plenty for the pool's max worker count. */
+constexpr std::size_t kDefaultShards = 16;
+
+/** Monotonic counter sharded over cache-line-padded atomics. */
+class ShardedCounter
+{
+  public:
+    explicit ShardedCounter(std::size_t shards = kDefaultShards)
+        : slots(shards == 0 ? 1 : shards)
+    {
+    }
+
+    /** Add @p by on the shard for @p key (e.g. the task index). */
+    void inc(std::size_t key, uint64_t by = 1)
+    {
+        slots[key % slots.size()].value.fetch_add(
+            by, std::memory_order_relaxed);
+    }
+
+    /** Sum over shards; exact and shard-layout independent. */
+    uint64_t total() const
+    {
+        uint64_t sum = 0;
+        for (const Slot &s : slots)
+            sum += s.value.load(std::memory_order_relaxed);
+        return sum;
+    }
+
+    std::size_t shards() const { return slots.size(); }
+
+  private:
+    struct alignas(64) Slot
+    {
+        std::atomic<uint64_t> value{0};
+    };
+
+    std::vector<Slot> slots;
+};
+
+/**
+ * LogHistogram sharded behind per-shard locks. record() contends
+ * only within a shard; merged() runs post-barrier.
+ */
+class ShardedHistogram
+{
+  public:
+    explicit ShardedHistogram(std::size_t shards = kDefaultShards)
+        : slots(shards == 0 ? 1 : shards)
+    {
+    }
+
+    /** Record @p v on the shard for @p key (e.g. the task index). */
+    void record(std::size_t key, double v)
+    {
+        Slot &slot = slots[key % slots.size()];
+        const std::lock_guard<std::mutex> lock(slot.mutex);
+        slot.hist.record(v);
+    }
+
+    /**
+     * Merge every shard (fixed order). Bucket counts, min/max, and
+     * count are exact; use the result's bucket-derived statistics
+     * for output that must be byte-identical across job counts.
+     */
+    LogHistogram merged() const
+    {
+        LogHistogram out;
+        for (const Slot &s : slots) {
+            const std::lock_guard<std::mutex> lock(s.mutex);
+            out.merge(s.hist);
+        }
+        return out;
+    }
+
+    std::size_t shards() const { return slots.size(); }
+
+  private:
+    struct alignas(64) Slot
+    {
+        mutable std::mutex mutex;
+        LogHistogram hist;
+    };
+
+    std::vector<Slot> slots;
+};
+
+/**
+ * Emit a merged histogram as "<prefix>.count/.mean/.p50/.p95/.p99/
+ * .min/.max" gauges, using only bucket-derived (shard-layout
+ * independent) statistics.
+ */
+void recordDistGauges(obs::MetricRegistry &registry,
+                      const std::string &prefix,
+                      const LogHistogram &hist);
+
+} // namespace pacache::runner
+
+#endif // PACACHE_RUNNER_SHARDED_METRICS_HH

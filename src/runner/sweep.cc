@@ -4,6 +4,7 @@
 #include <string>
 
 #include "obs/metrics.hh"
+#include "runner/sharded_metrics.hh"
 #include "runner/thread_pool.hh"
 #include "trace/workloads.hh"
 #include "util/json.hh"
@@ -233,6 +234,15 @@ runAll(const std::vector<RunPoint> &points, unsigned jobs,
     const unsigned workers =
         jobs == 0 ? ThreadPool::defaultWorkers() : jobs;
 
+    // Sharded instruments, written concurrently by the workers and
+    // merged after the barrier. Only simulation-derived values go in
+    // (energy, hit ratio, request counts) — never wall clock — so
+    // the merged "runner.sweep.dist.*" gauges are byte-identical at
+    // any job count. The shard count is fixed, not tied to workers.
+    ShardedCounter runRequests;
+    ShardedHistogram runEnergy;
+    ShardedHistogram runHitRatio;
+
     const auto sweepStart = Clock::now();
     {
         ThreadPool pool(workers);
@@ -240,13 +250,17 @@ runAll(const std::vector<RunPoint> &points, unsigned jobs,
             // Each task owns exactly one pre-assigned outcome slot,
             // so completion order cannot perturb the result layout
             // and no synchronization beyond the pool's is needed.
-            pool.submit([&points, &outcomes, i] {
+            pool.submit([&points, &outcomes, &runRequests, &runEnergy,
+                         &runHitRatio, i] {
                 const RunPoint &point = points[i];
                 PACACHE_ASSERT(point.trace != nullptr,
                                "run point '", point.label,
                                "' has no trace");
                 PACACHE_ASSERT(point.config.observer == nullptr,
                                "per-point observers are not supported "
+                               "in parallel sweeps");
+                PACACHE_ASSERT(point.config.profiler == nullptr,
+                               "per-point profilers are not supported "
                                "in parallel sweeps");
                 RunOutcome &out = outcomes[i];
                 out.label = point.label;
@@ -260,6 +274,9 @@ runAll(const std::vector<RunPoint> &points, unsigned jobs,
                         ? static_cast<double>(point.trace->size()) *
                               1000.0 / out.wallMs
                         : 0.0;
+                runRequests.inc(i, out.result.cache.accesses);
+                runEnergy.record(i, out.result.totalEnergy);
+                runHitRatio.record(i, out.result.cache.hitRatio());
             });
         }
         pool.wait();
@@ -290,6 +307,14 @@ runAll(const std::vector<RunPoint> &points, unsigned jobs,
                      ? static_cast<double>(totalRequests) * 1000.0 /
                            sweepElapsed.count()
                      : 0.0);
+        // Deterministic cross-run distributions from the sharded
+        // instruments (byte-identical at any --jobs).
+        metrics->gauge("runner.sweep.dist.requests_total")
+            .set(static_cast<double>(runRequests.total()));
+        recordDistGauges(*metrics, "runner.sweep.dist.energy_j",
+                         runEnergy.merged());
+        recordDistGauges(*metrics, "runner.sweep.dist.hit_ratio",
+                         runHitRatio.merged());
     }
     return outcomes;
 }

@@ -9,6 +9,28 @@
 namespace pacache
 {
 
+const char *
+wakeCauseName(WakeCause cause)
+{
+    switch (cause) {
+      case WakeCause::DemandColdMiss:
+        return "demand_cold_miss";
+      case WakeCause::CapacityMiss:
+        return "capacity_miss";
+      case WakeCause::DemandWrite:
+        return "demand_write";
+      case WakeCause::EvictionWriteback:
+        return "eviction_writeback";
+      case WakeCause::WbeuForcedWake:
+        return "wbeu_forced_wake";
+      case WakeCause::WtduLogRecycle:
+        return "wtdu_log_recycle";
+      case WakeCause::Prefetch:
+        return "prefetch";
+    }
+    return "unknown";
+}
+
 Energy
 EnergyStats::total() const
 {
@@ -46,6 +68,10 @@ EnergyStats::operator+=(const EnergyStats &other)
     spinDownTime += other.spinDownTime;
     spinUps += other.spinUps;
     spinDowns += other.spinDowns;
+    for (std::size_t c = 0; c < kNumWakeCauses; ++c) {
+        spinUpsByCause[c] += other.spinUpsByCause[c];
+        spinUpEnergyByCause[c] += other.spinUpEnergyByCause[c];
+    }
     requests += other.requests;
     return *this;
 }
@@ -87,6 +113,18 @@ EnergyStats::writeJsonValue(
     json.kv("spindown_time_s", spinDownTime);
     json.kv("spinups", spinUps);
     json.kv("spindowns", spinDowns);
+    json.key("spinups_by_cause");
+    json.beginObject();
+    for (std::size_t c = 0; c < kNumWakeCauses; ++c)
+        json.kv(wakeCauseName(static_cast<WakeCause>(c)),
+                spinUpsByCause[c]);
+    json.endObject();
+    json.key("spinup_energy_by_cause_j");
+    json.beginObject();
+    for (std::size_t c = 0; c < kNumWakeCauses; ++c)
+        json.kv(wakeCauseName(static_cast<WakeCause>(c)),
+                spinUpEnergyByCause[c]);
+    json.endObject();
     json.kv("requests", requests);
     json.endObject();
 }

@@ -8,6 +8,7 @@
 #ifndef PACACHE_STATS_ENERGY_STATS_HH
 #define PACACHE_STATS_ENERGY_STATS_HH
 
+#include <array>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -19,6 +20,34 @@ namespace pacache
 {
 
 class JsonWriter;
+
+/**
+ * Why a sleeping disk was forced to spin back up. Every spin-up a
+ * disk performs is attributed to exactly one cause, so the by-cause
+ * rows of the energy-attribution ledger sum to the spin-up totals.
+ *
+ * DemandWrite extends the classic read-side taxonomy: under
+ * write-through (and WTDU's awake-disk path) a write reaches a
+ * sleeping disk directly, which is neither a cold nor a capacity
+ * miss. Prefetch is carried for completeness — the current prefetch
+ * engine piggybacks on the demand fetch that triggered it, so its
+ * row is structurally zero until an asynchronous prefetcher lands.
+ */
+enum class WakeCause : uint8_t
+{
+    DemandColdMiss = 0, //!< first-ever access to the block
+    CapacityMiss,       //!< re-fetch of a previously evicted block
+    DemandWrite,        //!< write-through/awake write to the disk
+    EvictionWriteback,  //!< dirty victim flushed on eviction
+    WbeuForcedWake,     //!< WBEU epoch timer forced the disk awake
+    WtduLogRecycle,     //!< WTDU log recycle replayed logged writes
+    Prefetch,           //!< speculative fetch (currently unused)
+};
+
+constexpr std::size_t kNumWakeCauses = 7;
+
+/** Stable lower-case identifier for JSON keys and report rows. */
+const char *wakeCauseName(WakeCause cause);
 
 /** Energy/time breakdown for one disk (or an aggregate). */
 struct EnergyStats
@@ -41,7 +70,22 @@ struct EnergyStats
     uint64_t spinUps = 0;   //!< transitions toward full speed
     uint64_t spinDowns = 0; //!< demotion steps performed
 
+    /**
+     * Spin-up attribution: counts and energy by WakeCause. The
+     * conservation invariant — sums across causes equal spinUps and
+     * spinUpEnergy — is what obs::EnergyLedger verifies.
+     */
+    std::array<uint64_t, kNumWakeCauses> spinUpsByCause{};
+    std::array<Energy, kNumWakeCauses> spinUpEnergyByCause{};
+
     uint64_t requests = 0;  //!< requests serviced
+
+    /** Record one attributed spin-up transition. */
+    void attributeSpinUp(WakeCause cause, Energy energy)
+    {
+        spinUpsByCause[static_cast<std::size_t>(cause)] += 1;
+        spinUpEnergyByCause[static_cast<std::size_t>(cause)] += energy;
+    }
 
     /** Total energy consumed. */
     Energy total() const;

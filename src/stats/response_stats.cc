@@ -1,7 +1,5 @@
 #include "stats/response_stats.hh"
 
-#include <algorithm>
-#include <cmath>
 #include <ostream>
 
 #include "util/json.hh"
@@ -10,51 +8,11 @@ namespace pacache
 {
 
 void
-ResponseStats::record(Time response_time)
-{
-    samples.push_back(response_time);
-    sorted = false;
-    total += response_time;
-    maxSeen = std::max(maxSeen, response_time);
-}
-
-double
-ResponseStats::mean() const
-{
-    return samples.empty() ? 0.0 : total / static_cast<double>(samples.size());
-}
-
-Time
-ResponseStats::percentile(double p) const
-{
-    if (samples.empty())
-        return 0.0;
-    if (!sorted) {
-        std::sort(samples.begin(), samples.end());
-        sorted = true;
-    }
-    p = std::clamp(p, 0.0, 1.0);
-    const auto rank = static_cast<std::size_t>(
-        std::ceil(p * static_cast<double>(samples.size())));
-    return samples[rank == 0 ? 0 : rank - 1];
-}
-
-void
-ResponseStats::merge(const ResponseStats &other)
-{
-    samples.insert(samples.end(), other.samples.begin(),
-                   other.samples.end());
-    sorted = false;
-    total += other.total;
-    maxSeen = std::max(maxSeen, other.maxSeen);
-}
-
-void
 ResponseStats::writeJsonValue(JsonWriter &json) const
 {
     json.beginObject();
     json.kv("count", count());
-    json.kv("sum_s", total);
+    json.kv("sum_s", sum());
     json.kv("mean_ms", mean() * 1e3);
     json.kv("p50_ms", percentile(0.50) * 1e3);
     json.kv("p95_ms", percentile(0.95) * 1e3);

@@ -2,6 +2,12 @@
  * @file
  * Response-time statistics: count, mean, max, and percentiles over
  * recorded request latencies.
+ *
+ * Backed by a bounded-memory log-bucketed histogram
+ * (util/log_histogram.hh) rather than a sample vector, so the
+ * footprint is O(1) in the number of requests and percentiles carry
+ * a documented relative error of at most
+ * LogHistogram::kMaxRelativeError (< 1%).
  */
 
 #ifndef PACACHE_STATS_RESPONSE_STATS_HH
@@ -9,9 +15,9 @@
 
 #include <cstdint>
 #include <iosfwd>
-#include <vector>
 
 #include "sim/types.hh"
+#include "util/log_histogram.hh"
 
 namespace pacache
 {
@@ -23,20 +29,30 @@ class ResponseStats
 {
   public:
     /** Record one response time (seconds). */
-    void record(Time response_time);
+    void record(Time response_time) { hist.record(response_time); }
 
-    uint64_t count() const { return samples.size(); }
-    double mean() const;
-    Time max() const { return maxSeen; }
+    uint64_t count() const { return hist.count(); }
+    double mean() const { return hist.mean(); }
+    Time max() const { return hist.max(); }
 
     /** Sum of all recorded response times (seconds). */
-    double sum() const { return total; }
+    double sum() const { return hist.sum(); }
 
-    /** p in [0,1]; nearest-rank percentile. 0 samples -> 0. */
-    Time percentile(double p) const;
+    /**
+     * p in [0,1]; nearest-rank percentile, answered from the
+     * histogram within kMaxRelativeError of the exact sample.
+     * 0 samples -> 0.
+     */
+    Time percentile(double p) const { return hist.quantile(p); }
 
-    /** Merge another accumulator into this one. */
-    void merge(const ResponseStats &other);
+    /** Merge another accumulator into this one (exact on buckets). */
+    void merge(const ResponseStats &other)
+    {
+        hist.merge(other.hist);
+    }
+
+    /** The underlying histogram, for obs instruments and tests. */
+    const LogHistogram &histogram() const { return hist; }
 
     /** Serialize count/mean/percentiles/max as a JSON object. */
     void writeJson(std::ostream &os) const;
@@ -45,10 +61,7 @@ class ResponseStats
     void writeJsonValue(JsonWriter &json) const;
 
   private:
-    mutable std::vector<Time> samples;
-    mutable bool sorted = true;
-    double total = 0;
-    Time maxSeen = 0;
+    LogHistogram hist;
 };
 
 /** Human-readable one-line summary (count, mean, p95, max). */

@@ -1,0 +1,154 @@
+#include "util/log_histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pacache
+{
+
+void LogHistogram::ensureBuckets()
+{
+    if (counts_.empty())
+        counts_.assign(kNumBuckets, 0);
+}
+
+int LogHistogram::bucketIndex(double v)
+{
+    if (!(v > 0.0))
+        return 0; // zero, negative, or NaN
+    int e = 0;
+    const double m = std::frexp(v, &e); // v = m * 2^e, m in [0.5, 1)
+    const int octave = (e - 1) - kMinExp;
+    if (octave < 0)
+        return 1; // underflow: smallest positive bucket
+    if (octave >= kOctaves)
+        return kNumBuckets - 1; // overflow: clamped top bucket
+    const double u = 2.0 * m;   // in [1, 2)
+    int sub = static_cast<int>((u - 1.0) * kSubBuckets);
+    sub = std::min(sub, kSubBuckets - 1);
+    return 1 + octave * kSubBuckets + sub;
+}
+
+double LogHistogram::bucketLow(int index)
+{
+    if (index <= 0)
+        return 0.0;
+    const int octave = (index - 1) / kSubBuckets;
+    const int sub = (index - 1) % kSubBuckets;
+    return std::ldexp(1.0 + static_cast<double>(sub) / kSubBuckets,
+                      kMinExp + octave);
+}
+
+double LogHistogram::bucketHigh(int index)
+{
+    if (index <= 0)
+        return 0.0;
+    const int octave = (index - 1) / kSubBuckets;
+    const int sub = (index - 1) % kSubBuckets;
+    return std::ldexp(1.0 +
+                          static_cast<double>(sub + 1) / kSubBuckets,
+                      kMinExp + octave);
+}
+
+double LogHistogram::bucketMid(int index)
+{
+    if (index <= 0)
+        return 0.0;
+    return 0.5 * (bucketLow(index) + bucketHigh(index));
+}
+
+void LogHistogram::recordN(double v, std::uint64_t n)
+{
+    if (n == 0)
+        return;
+    ensureBuckets();
+    counts_[static_cast<std::size_t>(bucketIndex(v))] += n;
+    if (total_ == 0)
+    {
+        minSeen_ = v;
+        maxSeen_ = v;
+    }
+    else
+    {
+        minSeen_ = std::min(minSeen_, v);
+        maxSeen_ = std::max(maxSeen_, v);
+    }
+    total_ += n;
+    sumExact_ += v * static_cast<double>(n);
+}
+
+double LogHistogram::bucketSum() const
+{
+    double s = 0.0;
+    for (int i = 0; i < kNumBuckets && !counts_.empty(); ++i)
+        if (const std::uint64_t c =
+                counts_[static_cast<std::size_t>(i)])
+            s += static_cast<double>(c) * bucketMid(i);
+    return s;
+}
+
+double LogHistogram::bucketMean() const
+{
+    return total_ == 0 ? 0.0
+                       : bucketSum() / static_cast<double>(total_);
+}
+
+double LogHistogram::quantile(double p) const
+{
+    if (total_ == 0)
+        return 0.0;
+    p = std::min(std::max(p, 0.0), 1.0);
+    const double target = p * static_cast<double>(total_);
+    std::uint64_t rank =
+        static_cast<std::uint64_t>(std::ceil(target));
+    rank = std::max<std::uint64_t>(rank, 1);
+    rank = std::min(rank, total_);
+    // The extreme ranks are tracked exactly; nearest-rank at rank 1
+    // is the minimum and at rank total_ the maximum.
+    if (rank == 1)
+        return minSeen_;
+    if (rank == total_)
+        return maxSeen_;
+    std::uint64_t seen = 0;
+    for (int i = 0; i < kNumBuckets; ++i)
+    {
+        seen += counts_[static_cast<std::size_t>(i)];
+        if (seen >= rank)
+            return std::min(std::max(bucketMid(i), minSeen_),
+                            maxSeen_);
+    }
+    return maxSeen_; // unreachable: seen ends at total_ >= rank
+}
+
+void LogHistogram::merge(const LogHistogram &other)
+{
+    if (other.total_ == 0)
+        return;
+    ensureBuckets();
+    for (int i = 0; i < kNumBuckets; ++i)
+        counts_[static_cast<std::size_t>(i)] +=
+            other.counts_[static_cast<std::size_t>(i)];
+    if (total_ == 0)
+    {
+        minSeen_ = other.minSeen_;
+        maxSeen_ = other.maxSeen_;
+    }
+    else
+    {
+        minSeen_ = std::min(minSeen_, other.minSeen_);
+        maxSeen_ = std::max(maxSeen_, other.maxSeen_);
+    }
+    total_ += other.total_;
+    sumExact_ += other.sumExact_;
+}
+
+void LogHistogram::clear()
+{
+    counts_.clear();
+    total_ = 0;
+    sumExact_ = 0.0;
+    minSeen_ = 0.0;
+    maxSeen_ = 0.0;
+}
+
+} // namespace pacache

@@ -1,0 +1,97 @@
+#pragma once
+// Bounded-memory log-bucketed (HDR-style) histogram.
+//
+// Values are binned into 64 linear sub-buckets per power-of-two
+// octave, covering [2^-26, 2^35) — roughly 15 ns to 1 year when the
+// unit is seconds — plus one underflow/zero bucket below and a
+// clamped top bucket above. The footprint is a fixed ~31 KB
+// regardless of how many samples are recorded, and any quantile is
+// off from the exact nearest-rank sample by at most half a bucket
+// width: kMaxRelativeError = 1/128 < 1%.
+//
+// merge() is exact on the bucket counts (addition), so a histogram
+// sharded across workers and merged afterwards reports the same
+// bucket-derived statistics as one recorded serially. The exact
+// floating-point sum() is kept alongside for reconciliation against
+// external totals; being an ordered reduction it can differ in the
+// last ulps across shard layouts, so deterministic cross-job
+// reporting should use bucketSum()/bucketMean(), which only depend
+// on the (commutative) bucket counts.
+
+#include <cstdint>
+#include <vector>
+
+namespace pacache
+{
+
+class LogHistogram
+{
+  public:
+    static constexpr int kMinExp = -26;     // smallest octave: 2^-26
+    static constexpr int kMaxExp = 35;      // one past largest octave
+    static constexpr int kSubBuckets = 64;  // linear bins per octave
+    static constexpr int kOctaves = kMaxExp - kMinExp;
+    static constexpr int kNumBuckets = 1 + kOctaves * kSubBuckets;
+    // Worst-case relative distance from a bucket midpoint to any
+    // value binned in that bucket: half the relative bucket width.
+    static constexpr double kMaxRelativeError =
+        0.5 / static_cast<double>(kSubBuckets);
+
+    void record(double v) { recordN(v, 1); }
+    void recordN(double v, std::uint64_t n);
+
+    std::uint64_t count() const { return total_; }
+    bool empty() const { return total_ == 0; }
+
+    // Exact (order-dependent) sum of every recorded value.
+    double sum() const { return sumExact_; }
+    double mean() const
+    {
+        return total_ == 0 ? 0.0
+                           : sumExact_ / static_cast<double>(total_);
+    }
+
+    // Bucket-derived sum/mean: counts times midpoints, accumulated
+    // in fixed bucket order. Identical across any shard/merge
+    // layout, within kMaxRelativeError of the exact values.
+    double bucketSum() const;
+    double bucketMean() const;
+
+    double min() const { return total_ == 0 ? 0.0 : minSeen_; }
+    double max() const { return total_ == 0 ? 0.0 : maxSeen_; }
+
+    // Nearest-rank quantile (rank = max(1, ceil(p * count))),
+    // answered as the midpoint of the bucket holding that rank,
+    // clamped to [min(), max()] so quantile(0) == min() and
+    // quantile(1) == max() hold exactly. Returns 0 when empty.
+    double quantile(double p) const;
+
+    void merge(const LogHistogram &other);
+    void clear();
+
+    // Bucket introspection, used by tests and JSON emission. Bucket
+    // 0 collects zero and negative values; its midpoint is 0.
+    static int bucketIndex(double v);
+    static double bucketLow(int index);
+    static double bucketHigh(int index);
+    static double bucketMid(int index);
+    std::uint64_t bucketCount(int index) const
+    {
+        return counts_.empty()
+                   ? 0
+                   : counts_[static_cast<std::size_t>(index)];
+    }
+
+  private:
+    // Lazily sized to kNumBuckets on first record so an empty
+    // histogram (e.g. an unused instrument) costs nothing.
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+    double sumExact_ = 0.0;
+    double minSeen_ = 0.0;
+    double maxSeen_ = 0.0;
+
+    void ensureBuckets();
+};
+
+} // namespace pacache

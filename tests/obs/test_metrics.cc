@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <map>
 #include <sstream>
 #include <stdexcept>
+#include <string>
 
 #include "json_check.hh"
 #include "obs/metrics.hh"
@@ -149,6 +151,80 @@ TEST(MetricRegistryTest, TextSnapshotExpandsHistograms)
     EXPECT_NE(text.find("lat.p95"), std::string::npos);
     EXPECT_NE(text.find("lat.p99"), std::string::npos);
     EXPECT_NE(text.find("lat.max"), std::string::npos);
+}
+
+TEST(MetricRegistryTest, PrometheusExpositionIsFlatAndSanitized)
+{
+    MetricRegistry reg;
+    reg.counter("disk.0.spinups").inc(3);
+    reg.gauge("cache.hit_ratio").set(0.5);
+
+    std::ostringstream os;
+    reg.writePrometheus(os);
+    EXPECT_EQ(os.str(), "# TYPE cache_hit_ratio gauge\n"
+                        "cache_hit_ratio 0.5\n"
+                        "# TYPE disk_0_spinups counter\n"
+                        "disk_0_spinups 3\n");
+}
+
+TEST(MetricRegistryTest, PrometheusExpandsHistogramsToGaugeLeaves)
+{
+    MetricRegistry reg;
+    reg.histogram("lat", 1e-3, 1e3).record(1.0);
+
+    std::ostringstream os;
+    reg.writePrometheus(os);
+    const std::string text = os.str();
+    for (const char *leaf :
+         {"lat_count ", "lat_mean ", "lat_p50 ", "lat_p95 ",
+          "lat_p99 ", "lat_max "}) {
+        EXPECT_NE(text.find(leaf), std::string::npos) << leaf;
+        EXPECT_NE(text.find(std::string("# TYPE ") +
+                            std::string(leaf).substr(
+                                0, std::string(leaf).size() - 1) +
+                            " gauge"),
+                  std::string::npos)
+            << leaf;
+    }
+}
+
+/**
+ * Round trip: every non-comment exposition line is "name value" with
+ * a sanitized name, parses back as a double, and matches the live
+ * instrument it came from.
+ */
+TEST(MetricRegistryTest, PrometheusRoundTripsValues)
+{
+    MetricRegistry reg;
+    reg.counter("runner.sweep.runs").inc(12);
+    reg.gauge("run.wall_ms").set(431.25);
+    reg.gauge("9starts.with.digit").set(-1.5);
+
+    std::ostringstream os;
+    reg.writePrometheus(os);
+
+    std::map<std::string, double> parsed;
+    std::istringstream in(os.str());
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        const std::size_t space = line.find(' ');
+        ASSERT_NE(space, std::string::npos) << line;
+        const std::string name = line.substr(0, space);
+        for (const char c : name) {
+            const bool ok = (c >= 'a' && c <= 'z') ||
+                            (c >= 'A' && c <= 'Z') ||
+                            (c >= '0' && c <= '9') || c == '_';
+            EXPECT_TRUE(ok) << "unsanitized char in " << name;
+        }
+        EXPECT_FALSE(name[0] >= '0' && name[0] <= '9') << name;
+        parsed[name] = std::stod(line.substr(space + 1));
+    }
+    ASSERT_EQ(parsed.size(), 3u);
+    EXPECT_DOUBLE_EQ(parsed.at("runner_sweep_runs"), 12.0);
+    EXPECT_DOUBLE_EQ(parsed.at("run_wall_ms"), 431.25);
+    EXPECT_DOUBLE_EQ(parsed.at("_9starts_with_digit"), -1.5);
 }
 
 } // namespace

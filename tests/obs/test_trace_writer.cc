@@ -122,5 +122,45 @@ TEST(TraceEventWriterTest, NamesWithSpecialCharactersStayValid)
               "flip \"P\"\n");
 }
 
+TEST(TraceEventWriterTest, TrackNamesWithSpecialCharactersStayValid)
+{
+    TraceEventWriter w;
+    w.setTrackName(0, "disk \"0\"\t\\backslash");
+    w.complete(0, "busy", 0.0, 1.0);
+
+    std::ostringstream os;
+    w.writeJson(os);
+    const testjson::Value doc = testjson::parse(os.str());
+    EXPECT_EQ(doc.at("traceEvents").items[0]->at("args").at("name").str,
+              "disk \"0\"\t\\backslash");
+}
+
+TEST(TraceEventWriterTest, ZeroDurationSpansAreKept)
+{
+    TraceEventWriter w;
+    w.complete(0, "instant-phase", 2.0, 2.0);
+
+    std::ostringstream os;
+    w.writeJson(os);
+    const testjson::Value doc = testjson::parse(os.str());
+    const auto &events = doc.at("traceEvents").items;
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0]->at("ph").str, "X");
+    EXPECT_DOUBLE_EQ(events[0]->at("dur").number, 0.0);
+    EXPECT_DOUBLE_EQ(events[0]->at("ts").number, 2.0e6);
+}
+
+TEST(TraceEventWriterTest, EmptyRunStillWritesAValidDocument)
+{
+    TraceEventWriter w;
+    std::ostringstream os;
+    w.writeJson(os);
+    const testjson::Value doc = testjson::parse(os.str());
+    ASSERT_TRUE(doc.isObject());
+    ASSERT_TRUE(doc.at("traceEvents").isArray());
+    EXPECT_TRUE(doc.at("traceEvents").items.empty());
+    EXPECT_EQ(w.eventCount(), 0u);
+}
+
 } // namespace
 } // namespace pacache::obs

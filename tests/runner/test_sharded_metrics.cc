@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hh"
+#include "runner/sharded_metrics.hh"
+#include "runner/thread_pool.hh"
+#include "util/random.hh"
+
+namespace pacache::runner
+{
+namespace
+{
+
+TEST(ShardedCounterTest, ConcurrentIncrementsAreExact)
+{
+    ShardedCounter counter;
+    constexpr int kTasks = 64;
+    constexpr uint64_t kPerTask = 1000;
+    {
+        ThreadPool pool(8);
+        for (int t = 0; t < kTasks; ++t) {
+            pool.submit([&counter, t] {
+                for (uint64_t i = 0; i < kPerTask; ++i)
+                    counter.inc(static_cast<std::size_t>(t));
+            });
+        }
+        pool.wait();
+    }
+    EXPECT_EQ(counter.total(), kTasks * kPerTask);
+}
+
+TEST(ShardedCounterTest, ZeroShardRequestClampsToOne)
+{
+    ShardedCounter counter(0);
+    EXPECT_EQ(counter.shards(), 1u);
+    counter.inc(7, 5);
+    EXPECT_EQ(counter.total(), 5u);
+}
+
+TEST(ShardedHistogramTest, MergedMatchesSerialOnBucketStatistics)
+{
+    Rng rng(1234);
+    std::vector<double> samples;
+    for (int i = 0; i < 20000; ++i)
+        samples.push_back(rng.exponential(0.05));
+
+    LogHistogram serial;
+    for (const double v : samples)
+        serial.record(v);
+
+    ShardedHistogram sharded;
+    {
+        ThreadPool pool(8);
+        constexpr std::size_t kChunk = 2500;
+        for (std::size_t start = 0; start < samples.size();
+             start += kChunk) {
+            pool.submit([&sharded, &samples, start] {
+                const std::size_t end =
+                    std::min(start + kChunk, samples.size());
+                for (std::size_t i = start; i < end; ++i)
+                    sharded.record(i, samples[i]);
+            });
+        }
+        pool.wait();
+    }
+
+    const LogHistogram merged = sharded.merged();
+    EXPECT_EQ(merged.count(), serial.count());
+    EXPECT_DOUBLE_EQ(merged.min(), serial.min());
+    EXPECT_DOUBLE_EQ(merged.max(), serial.max());
+    EXPECT_DOUBLE_EQ(merged.bucketSum(), serial.bucketSum());
+    EXPECT_DOUBLE_EQ(merged.bucketMean(), serial.bucketMean());
+    for (const double p : {0.5, 0.95, 0.99})
+        EXPECT_DOUBLE_EQ(merged.quantile(p), serial.quantile(p));
+}
+
+/**
+ * The property the sweep runner relies on: however the same value
+ * multiset is split across threads and shard keys, the emitted dist
+ * gauges are byte-identical.
+ */
+TEST(ShardedHistogramTest, DistGaugesAreByteIdenticalAcrossJobCounts)
+{
+    Rng rng(99);
+    std::vector<double> samples;
+    for (int i = 0; i < 5000; ++i)
+        samples.push_back(rng.pareto(1.2, 0.001));
+
+    const auto runWith = [&samples](unsigned workers,
+                                    std::size_t key_stride) {
+        ShardedHistogram hist;
+        {
+            ThreadPool pool(workers);
+            for (std::size_t i = 0; i < samples.size(); ++i) {
+                const std::size_t key = i * key_stride;
+                pool.submit([&hist, &samples, i, key] {
+                    hist.record(key, samples[i]);
+                });
+            }
+            pool.wait();
+        }
+        obs::MetricRegistry registry;
+        recordDistGauges(registry, "dist.sample", hist.merged());
+        std::ostringstream os;
+        registry.writeText(os);
+        return os.str();
+    };
+
+    const std::string one = runWith(1, 1);
+    EXPECT_EQ(runWith(4, 1), one);
+    EXPECT_EQ(runWith(8, 3), one); // different thread AND shard layout
+}
+
+TEST(RecordDistGaugesTest, EmitsTheExpectedLeaves)
+{
+    LogHistogram hist;
+    for (int i = 1; i <= 100; ++i)
+        hist.record(i * 0.01);
+    obs::MetricRegistry registry;
+    recordDistGauges(registry, "runner.sweep.dist.energy_j", hist);
+
+    std::ostringstream os;
+    registry.writeText(os);
+    const std::string text = os.str();
+    for (const char *leaf : {".count ", ".mean ", ".p50 ", ".p95 ",
+                             ".p99 ", ".min ", ".max "}) {
+        EXPECT_NE(text.find(std::string("runner.sweep.dist.energy_j") +
+                            leaf),
+                  std::string::npos)
+            << leaf;
+    }
+    EXPECT_NE(text.find(".count 100"), std::string::npos);
+}
+
+} // namespace
+} // namespace pacache::runner

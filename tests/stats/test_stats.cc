@@ -69,20 +69,24 @@ TEST(ResponseStatsTest, MeanMaxPercentiles)
     EXPECT_EQ(r.count(), 100u);
     EXPECT_DOUBLE_EQ(r.mean(), 50.5);
     EXPECT_DOUBLE_EQ(r.max(), 100.0);
-    EXPECT_DOUBLE_EQ(r.percentile(0.5), 50.0);
-    EXPECT_DOUBLE_EQ(r.percentile(0.95), 95.0);
+    // Percentiles come from the log-bucketed histogram: within 1%
+    // of the exact nearest-rank sample, with the extremes pinned to
+    // the exact min/max by the clamp.
+    EXPECT_NEAR(r.percentile(0.5), 50.0, 0.5);
+    EXPECT_NEAR(r.percentile(0.95), 95.0, 0.95);
     EXPECT_DOUBLE_EQ(r.percentile(1.0), 100.0);
-    EXPECT_DOUBLE_EQ(r.percentile(0.0), 1.0);
+    EXPECT_NEAR(r.percentile(0.0), 1.0, 0.01);
 }
 
 TEST(ResponseStatsTest, PercentileWorksAfterMoreRecords)
 {
-    // The lazy sort must be invalidated by later records.
+    // Percentiles must reflect samples recorded after earlier
+    // percentile queries.
     ResponseStats r;
     r.record(5.0);
     EXPECT_DOUBLE_EQ(r.percentile(0.5), 5.0);
     r.record(1.0);
-    EXPECT_DOUBLE_EQ(r.percentile(0.0), 1.0);
+    EXPECT_NEAR(r.percentile(0.0), 1.0, 0.01);
 }
 
 TEST(ResponseStatsTest, MergeCombinesSamples)
@@ -165,8 +169,8 @@ TEST(ResponseStatsTest, WriteJsonReportsPercentilesAndSum)
     EXPECT_DOUBLE_EQ(doc.at("count").number, 100.0);
     EXPECT_DOUBLE_EQ(doc.at("sum_s").number, 5050.0);
     EXPECT_DOUBLE_EQ(doc.at("mean_ms").number, 50.5 * 1e3);
-    EXPECT_DOUBLE_EQ(doc.at("p50_ms").number, 50.0 * 1e3);
-    EXPECT_DOUBLE_EQ(doc.at("p95_ms").number, 95.0 * 1e3);
+    EXPECT_NEAR(doc.at("p50_ms").number, 50.0 * 1e3, 500.0);
+    EXPECT_NEAR(doc.at("p95_ms").number, 95.0 * 1e3, 950.0);
     EXPECT_DOUBLE_EQ(doc.at("max_s").number, 100.0);
 }
 

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/log_histogram.hh"
+#include "util/random.hh"
+
+namespace pacache
+{
+namespace
+{
+
+// Exact nearest-rank quantile over a sorted copy, the reference the
+// histogram is allowed to deviate from by kMaxRelativeError.
+double
+exactQuantile(std::vector<double> sorted, double p)
+{
+    std::sort(sorted.begin(), sorted.end());
+    const auto n = sorted.size();
+    auto rank = static_cast<std::size_t>(
+        std::ceil(p * static_cast<double>(n)));
+    rank = std::max<std::size_t>(rank, 1);
+    rank = std::min(rank, n);
+    return sorted[rank - 1];
+}
+
+TEST(LogHistogramTest, EmptyIsZero)
+{
+    LogHistogram h;
+    EXPECT_TRUE(h.empty());
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.min(), 0.0);
+    EXPECT_DOUBLE_EQ(h.max(), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(LogHistogramTest, BucketIndexRoundTrips)
+{
+    // Every probed value must land in a bucket whose [low, high)
+    // range contains it.
+    const double probes[] = {1e-7, 0.001, 0.4,  0.5,    1.0,
+                             1.5,  2.0,   3.75, 1000.0, 3.2e9};
+    for (const double v : probes)
+    {
+        const int idx = LogHistogram::bucketIndex(v);
+        ASSERT_GT(idx, 0) << v;
+        ASSERT_LT(idx, LogHistogram::kNumBuckets) << v;
+        EXPECT_LE(LogHistogram::bucketLow(idx), v) << v;
+        EXPECT_GT(LogHistogram::bucketHigh(idx), v) << v;
+    }
+}
+
+TEST(LogHistogramTest, ZeroNegativeAndExtremeValues)
+{
+    LogHistogram h;
+    h.record(0.0);
+    h.record(-3.0);
+    h.record(1e-300); // underflows the octave range
+    h.record(1e300);  // overflows the octave range
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_DOUBLE_EQ(h.min(), -3.0);
+    EXPECT_DOUBLE_EQ(h.max(), 1e300);
+    EXPECT_EQ(LogHistogram::bucketIndex(0.0), 0);
+    EXPECT_EQ(LogHistogram::bucketIndex(-1.0), 0);
+    EXPECT_EQ(LogHistogram::bucketIndex(1e-300), 1);
+    EXPECT_EQ(LogHistogram::bucketIndex(1e300),
+              LogHistogram::kNumBuckets - 1);
+    // Quantiles stay inside [min, max] even for clamped buckets.
+    for (const double p : {0.0, 0.25, 0.5, 0.75, 1.0})
+    {
+        EXPECT_GE(h.quantile(p), h.min());
+        EXPECT_LE(h.quantile(p), h.max());
+    }
+}
+
+TEST(LogHistogramTest, SingleValueQuantilesAreExact)
+{
+    LogHistogram h;
+    h.record(0.0137);
+    for (const double p : {0.0, 0.5, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(h.quantile(p), 0.0137);
+}
+
+TEST(LogHistogramTest, QuantilesMonotonic)
+{
+    LogHistogram h;
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        h.record(std::exp(rng.uniform(-10.0, 10.0)));
+    double prev = h.quantile(0.0);
+    for (const double p : {0.25, 0.5, 0.95, 0.99, 1.0})
+    {
+        const double q = h.quantile(p);
+        EXPECT_GE(q, prev) << "p=" << p;
+        prev = q;
+    }
+    EXPECT_LE(h.quantile(0.99), h.max());
+}
+
+TEST(LogHistogramTest, MillionSampleQuantilesWithinOnePercent)
+{
+    // The acceptance regression: 1e6 samples from a heavy-tailed
+    // latency-like mixture; p50/p95/p99 must sit within 1% of the
+    // exact nearest-rank values while the histogram footprint stays
+    // fixed at kNumBuckets counters.
+    LogHistogram h;
+    std::vector<double> samples;
+    samples.reserve(1000000);
+    Rng rng(42);
+    for (int i = 0; i < 1000000; ++i)
+    {
+        double v = 0.004 + rng.uniform(0.0, 0.01);
+        if (rng.uniform(0.0, 1.0) < 0.05)
+            v += std::exp(rng.uniform(-2.0, 3.0)); // spin-up tail
+        samples.push_back(v);
+        h.record(v);
+    }
+    EXPECT_EQ(h.count(), 1000000u);
+    for (const double p : {0.50, 0.95, 0.99})
+    {
+        const double exact = exactQuantile(samples, p);
+        const double approx = h.quantile(p);
+        EXPECT_NEAR(approx, exact, 0.01 * exact) << "p=" << p;
+        EXPECT_NEAR(approx, exact,
+                    LogHistogram::kMaxRelativeError * exact)
+            << "p=" << p;
+    }
+    EXPECT_DOUBLE_EQ(h.quantile(1.0),
+                     *std::max_element(samples.begin(),
+                                       samples.end()));
+}
+
+TEST(LogHistogramTest, MergeEqualsWholeOnBuckets)
+{
+    // Split the same stream across 4 shards; merging them must
+    // reproduce the serially recorded histogram exactly on every
+    // bucket-derived statistic, regardless of merge order.
+    LogHistogram whole;
+    LogHistogram shards[4];
+    Rng rng(11);
+    for (int i = 0; i < 50000; ++i)
+    {
+        const double v = std::exp(rng.uniform(-8.0, 4.0));
+        whole.record(v);
+        shards[i % 4].record(v);
+    }
+    LogHistogram merged;
+    for (const int s : {2, 0, 3, 1})
+        merged.merge(shards[s]);
+    EXPECT_EQ(merged.count(), whole.count());
+    EXPECT_DOUBLE_EQ(merged.min(), whole.min());
+    EXPECT_DOUBLE_EQ(merged.max(), whole.max());
+    EXPECT_DOUBLE_EQ(merged.bucketSum(), whole.bucketSum());
+    EXPECT_DOUBLE_EQ(merged.bucketMean(), whole.bucketMean());
+    for (const double p : {0.0, 0.5, 0.95, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(merged.quantile(p), whole.quantile(p));
+    for (int i = 0; i < LogHistogram::kNumBuckets; ++i)
+        ASSERT_EQ(merged.bucketCount(i), whole.bucketCount(i));
+}
+
+TEST(LogHistogramTest, MergeIntoEmptyAndFromEmpty)
+{
+    LogHistogram a, b, empty;
+    b.record(2.5);
+    a.merge(b); // into empty
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_DOUBLE_EQ(a.min(), 2.5);
+    a.merge(empty); // from empty is a no-op
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_DOUBLE_EQ(a.max(), 2.5);
+}
+
+TEST(LogHistogramTest, BucketSumTracksExactSum)
+{
+    LogHistogram h;
+    Rng rng(3);
+    for (int i = 0; i < 20000; ++i)
+        h.record(rng.uniform(0.001, 50.0));
+    EXPECT_NEAR(h.bucketSum(), h.sum(),
+                LogHistogram::kMaxRelativeError * h.sum());
+    EXPECT_NEAR(h.bucketMean(), h.mean(),
+                LogHistogram::kMaxRelativeError * h.mean());
+}
+
+TEST(LogHistogramTest, RecordNAndClear)
+{
+    LogHistogram h;
+    h.recordN(1.0, 10);
+    h.recordN(4.0, 0); // n == 0 records nothing
+    EXPECT_EQ(h.count(), 10u);
+    EXPECT_DOUBLE_EQ(h.sum(), 10.0);
+    EXPECT_DOUBLE_EQ(h.max(), 1.0);
+    h.clear();
+    EXPECT_TRUE(h.empty());
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+} // namespace
+} // namespace pacache

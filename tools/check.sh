@@ -59,6 +59,27 @@ else
     rm -rf "$bench_dir"
 fi
 
+step "observability overhead benchmark gate"
+# micro_obs replays the fig6-scale OLTP workload with the null
+# observer and with the full observability stack (verifying
+# bit-identical simulation results) and reports the null-path
+# throughput plus the observed/null ratio; the tight 2% tolerance
+# asserts observability never bleeds into the un-instrumented path.
+# 15 best-of reps keep both metrics stable to ~1% run-to-run, which
+# the default 5 do not on a loaded host.
+if [ "${SKIP_BENCH_GATE:-0}" = "1" ]; then
+    echo "skipped (SKIP_BENCH_GATE=1)"
+else
+    bench_dir=$(mktemp -d)
+    PACACHE_BENCH_DIR="$bench_dir" PACACHE_BENCH_REPS=15 \
+        "$root/build-release/bench/micro_obs"
+    python3 "$root/tools/bench_compare.py" \
+        "$bench_dir/BENCH_micro_obs.json" \
+        "$root/bench/baselines/BENCH_micro_obs.json" \
+        --tolerance 0.02
+    rm -rf "$bench_dir"
+fi
+
 step "ASan+UBSan build"
 cmake -B "$root/build-asan" -S "$root" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -82,9 +103,17 @@ trap 'rm -rf "$obs_dir"' EXIT
     --metrics-out "$obs_dir/m.json" \
     --trace-events "$obs_dir/t.json" \
     --timeline "$obs_dir/tl.jsonl" --timeline-interval 900 \
+    --energy-ledger --profile \
     > "$obs_dir/report.txt"
 python3 "$root/tools/check_obs_json.py" \
     "$obs_dir/m.json" "$obs_dir/t.json" "$obs_dir/tl.jsonl"
+grep -q "energy ledger" "$obs_dir/report.txt"
+grep -q "profile (wall clock)" "$obs_dir/report.txt"
+# Prometheus-style flat exposition (same run, .prom suffix).
+"$root/build-asan/tools/pacache_sim" \
+    --workload oltp --duration 600 --policy lru \
+    --metrics-out "$obs_dir/m.prom" > /dev/null
+grep -q "^run_wall_ms " "$obs_dir/m.prom"
 
 step "trace ingestion smoke run (sanitized binaries)"
 # Generate a workload, convert it through the binary .pct format, and

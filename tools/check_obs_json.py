@@ -8,7 +8,11 @@ CLI wrote:
   - every file is well-formed (JSON / trace-event JSON / JSONL),
   - trace-event timestamps are monotonically non-decreasing,
   - timeline row sums reconcile with the metrics summary (accesses,
-    hits, response count/sum exactly; energy within 1e-6 relative).
+    hits, response count/sum exactly; energy within 1e-6 relative),
+  - the energy ledger's rows sum to its totals within 1e-9 relative,
+    spin-up by-cause counts sum exactly, and the ledger total
+    reconciles with the run's total energy,
+  - response-time percentiles are monotone (p50 <= p95 <= p99 <= max).
 
 Exits non-zero with a diagnostic on the first violation.
 """
@@ -68,6 +72,69 @@ def check_timeline(path):
     return rows
 
 
+def check_ledger_entry(label, entry):
+    for key in ("active_j", "idle_per_mode_j", "spinup_j",
+                "spindown_j", "total_j", "spinups",
+                "spinups_by_cause", "spinup_energy_by_cause_j",
+                "conservation_rel_error"):
+        if key not in entry:
+            fail(f"ledger entry '{label}' lacks '{key}'")
+    idle = entry["idle_per_mode_j"]
+    idle_sum = sum(idle.values() if isinstance(idle, dict) else idle)
+    rows = (entry["active_j"] + idle_sum + entry["spinup_j"] +
+            entry["spindown_j"])
+    total = entry["total_j"]
+    if abs(rows - total) > 1e-9 * max(1.0, abs(total)):
+        fail(f"ledger entry '{label}': rows sum to {rows}, "
+             f"total_j is {total}")
+    if sum(entry["spinups_by_cause"].values()) != entry["spinups"]:
+        fail(f"ledger entry '{label}': by-cause spin-up counts do "
+             f"not sum to {entry['spinups']}")
+    cause_j = sum(entry["spinup_energy_by_cause_j"].values())
+    scale = max(1.0, abs(entry["spinup_j"]))
+    if abs(cause_j - entry["spinup_j"]) > 1e-9 * scale:
+        fail(f"ledger entry '{label}': by-cause spin-up energy "
+             f"{cause_j} != spinup_j {entry['spinup_j']}")
+
+
+def check_ledger(metrics_path, metrics):
+    ledger = metrics["energy_ledger"]
+    for key in ("mode_names", "disks", "total",
+                "max_conservation_rel_error", "conserves"):
+        if key not in ledger:
+            fail(f"{metrics_path}: energy_ledger lacks '{key}'")
+    if not ledger["conserves"]:
+        fail(f"{metrics_path}: energy_ledger reports a conservation "
+             f"violation ({ledger['max_conservation_rel_error']})")
+    if ledger["max_conservation_rel_error"] > 1e-9:
+        fail(f"{metrics_path}: ledger conservation error "
+             f"{ledger['max_conservation_rel_error']} > 1e-9")
+    if not ledger["disks"]:
+        fail(f"{metrics_path}: energy_ledger has no disks")
+    for label, entry in ledger["disks"].items():
+        check_ledger_entry(label, entry)
+    check_ledger_entry("total", ledger["total"])
+
+    # The ledger is a decomposition of the same run: its grand total
+    # must be the run's total energy.
+    run_total = metrics["total_energy_joules"]
+    ledger_total = ledger["total"]["total_j"]
+    if abs(ledger_total - run_total) > 1e-9 * max(1.0, abs(run_total)):
+        fail(f"{metrics_path}: ledger total {ledger_total} != run "
+             f"total {run_total}")
+
+
+def check_percentiles(metrics_path, resp):
+    for key in ("p50_ms", "p95_ms", "p99_ms", "max_s"):
+        if key not in resp:
+            fail(f"{metrics_path}: responses lacks '{key}'")
+    p50, p95, p99 = resp["p50_ms"], resp["p95_ms"], resp["p99_ms"]
+    max_ms = resp["max_s"] * 1e3
+    if not (p50 <= p95 <= p99 <= max_ms):
+        fail(f"{metrics_path}: percentiles not monotone: "
+             f"p50 {p50} / p95 {p95} / p99 {p99} / max {max_ms} ms")
+
+
 def main():
     if len(sys.argv) != 4:
         print(__doc__, file=sys.stderr)
@@ -76,9 +143,12 @@ def main():
 
     metrics = load_json(metrics_path)
     for section in ("build", "run", "energy", "responses", "cache",
-                    "metrics"):
+                    "energy_ledger", "metrics"):
         if section not in metrics:
             fail(f"{metrics_path}: missing '{section}' section")
+
+    check_ledger(metrics_path, metrics)
+    check_percentiles(metrics_path, metrics["responses"])
 
     n_events = check_trace(trace_path)
     rows = check_timeline(timeline_path)

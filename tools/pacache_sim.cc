@@ -23,7 +23,9 @@
 #include "cli.hh"
 #include "core/experiment.hh"
 #include "core/report.hh"
+#include "obs/energy_ledger.hh"
 #include "obs/observer.hh"
+#include "obs/profiler.hh"
 #include "runner/sweep.hh"
 #include "runner/thread_pool.hh"
 #include "trace/stats.hh"
@@ -85,12 +87,18 @@ parallel sweeps:
 
 output:
   --per-disk             include the per-disk breakdown
+  --energy-ledger        print the energy-attribution ledger: active /
+                         idle / spin-up / spin-down rows per disk plus
+                         spin-ups by wake cause, with the conservation
+                         check (rows sum to the energy totals)
   --help                 this text
   --version              build information
 
 observability:
   --metrics-out FILE     metric registry + summary snapshot; JSON, or
-                         flat "name value" text if FILE ends in .txt
+                         flat "name value" text if FILE ends in .txt,
+                         or Prometheus-style exposition if it ends in
+                         .prom
   --trace-events FILE    Chrome trace-event JSON (load in Perfetto or
                          chrome://tracing): per-disk power-state
                          residency tracks, spin-up/-down markers, PA
@@ -100,6 +108,11 @@ observability:
   --timeline-interval S  timeline row length in simulated seconds
                          (default: 900, the PA epoch)
   --progress             live progress meter on stderr
+  --profile              time the simulator's own phases (ingest,
+                         oracle precompute, replay, drain, report) and
+                         print a self-time summary table; with
+                         --trace-events the spans land on a dedicated
+                         wall-clock track in the trace file
 )";
 
 Trace
@@ -173,6 +186,7 @@ writeMetricsJson(std::ostream &os, const cli::Args &args,
                  const TraceStats &st, const ExperimentConfig &cfg,
                  const ExperimentResult &r,
                  const std::vector<std::string> &mode_names,
+                 const obs::EnergyLedger &ledger,
                  const obs::MetricRegistry &registry)
 {
     JsonWriter json(os);
@@ -211,6 +225,9 @@ writeMetricsJson(std::ostream &os, const cli::Args &args,
     json.kv("cold_misses", r.cache.coldMisses);
     json.kv("evictions", r.cache.evictions);
     json.endObject();
+
+    json.key("energy_ledger");
+    ledger.writeJsonValue(json);
 
     // The registry snapshot is a complete JSON object of its own;
     // splice it in verbatim.
@@ -287,6 +304,28 @@ runSweepMode(const cli::Args &args)
         json.kv("sweep", spec.name);
         json.kv("jobs", workers);
         json.kv("wall_ms", sweepWall);
+        // Cross-run distributions from the sharded instruments; all
+        // simulation-derived, so this object is byte-identical for
+        // any --jobs (unlike the wall-clock fields above).
+        json.key("dist");
+        json.beginObject();
+        json.kv("requests_total",
+                registry.gauge("runner.sweep.dist.requests_total")
+                    .value());
+        for (const char *group : {"energy_j", "hit_ratio"}) {
+            json.key(group);
+            json.beginObject();
+            for (const char *leaf :
+                 {"count", "mean", "p50", "p95", "p99", "min",
+                  "max"}) {
+                const std::string name =
+                    std::string("runner.sweep.dist.") + group + '.' +
+                    leaf;
+                json.kv(leaf, registry.gauge(name).value());
+            }
+            json.endObject();
+        }
+        json.endObject();
         json.key("runs");
         json.beginArray();
         for (const auto &o : outcomes) {
@@ -325,9 +364,9 @@ try {
         "trace", "trace-format", "stream", "workload", "duration",
         "requests", "write-ratio", "interarrival", "pareto", "seed",
         "policy", "dpm", "write", "cache-blocks", "epoch", "opg-theta",
-        "per-disk", "help", "version", "metrics-out", "trace-events",
-        "timeline", "timeline-interval", "progress", "sweep",
-        "sweep-out", "jobs"};
+        "per-disk", "energy-ledger", "help", "version", "metrics-out",
+        "trace-events", "timeline", "timeline-interval", "progress",
+        "profile", "sweep", "sweep-out", "jobs"};
     if (const std::string bad = args.firstUnknown(known); !bad.empty())
         PACACHE_FATAL("unknown flag --", bad, " (see --help)");
 
@@ -343,22 +382,32 @@ try {
         PACACHE_FATAL("--stream requires --trace (generated workloads "
                       "are already in memory)");
 
+    // Phase timing for the simulator's own pipeline; a null profiler
+    // pointer (the default) keeps every ProfileScope a no-op.
+    obs::Profiler profiler;
+    const bool profiling = args.has("profile");
+    obs::Profiler *const prof = profiling ? &profiler : nullptr;
+
     Trace trace;
     std::unique_ptr<tracefmt::TraceSource> source;
     TraceStats st;
-    if (streaming) {
-        source = tracefmt::openTraceSource(
-            args.get("trace", ""),
-            tracefmt::parseTraceFormat(args.get("trace-format", "auto")));
-        const tracefmt::ScanSummary sum = tracefmt::scan(*source);
-        st.requests = sum.records;
-        st.disks = static_cast<uint32_t>(sum.numDisks);
-        st.writeRatio = sum.writeRatio();
-        st.meanInterArrival = sum.meanInterArrival();
-        st.duration = sum.endTime;
-    } else {
-        trace = loadWorkload(args);
-        st = characterize(trace);
+    {
+        const obs::ProfileScope ingest(prof, "ingest");
+        if (streaming) {
+            source = tracefmt::openTraceSource(
+                args.get("trace", ""),
+                tracefmt::parseTraceFormat(
+                    args.get("trace-format", "auto")));
+            const tracefmt::ScanSummary sum = tracefmt::scan(*source);
+            st.requests = sum.records;
+            st.disks = static_cast<uint32_t>(sum.numDisks);
+            st.writeRatio = sum.writeRatio();
+            st.meanInterArrival = sum.meanInterArrival();
+            st.duration = sum.endTime;
+        } else {
+            trace = loadWorkload(args);
+            st = characterize(trace);
+        }
     }
 
     ExperimentConfig cfg;
@@ -409,6 +458,7 @@ try {
     }
     if (observing)
         cfg.observer = &observer;
+    cfg.profiler = prof;
 
     const auto wallStart = std::chrono::steady_clock::now();
     const ExperimentResult r =
@@ -423,39 +473,71 @@ try {
                                   : 0.0);
     }
 
-    if (args.has("trace-events"))
+    std::vector<std::string> mode_names;
+    {
+        const PowerModel pm(cfg.spec);
+        for (std::size_t m = 0; m < pm.numModes(); ++m)
+            mode_names.push_back(pm.mode(m).name);
+    }
+    obs::EnergyLedger ledger(mode_names);
+    for (std::size_t d = 0; d < r.perDisk.size(); ++d)
+        ledger.addDisk("disk" + std::to_string(d), r.perDisk[d]);
+    if (r.logServiceEnergy != 0) {
+        // The WTDU log device never parks; only its service energy
+        // enters totalEnergy, so its ledger row is that single cell.
+        EnergyStats log_stats(mode_names.size());
+        log_stats.serviceEnergy = r.logServiceEnergy;
+        ledger.addDisk("log", log_stats);
+    }
+
+    if (args.has("trace-events")) {
+        // Closed profiler phases ride along on their own track; the
+        // still-open report phase (below) is console-summary only.
+        if (profiling)
+            profiler.emitTrace(trace_events);
         trace_events.writeJson(trace_out);
+    }
     if (args.has("metrics-out")) {
         const std::string path = args.get("metrics-out", "");
         std::ostream &out = metrics_out;
         if (hasSuffix(path, ".txt")) {
             registry.writeText(out);
+        } else if (hasSuffix(path, ".prom")) {
+            registry.writePrometheus(out);
         } else {
-            std::vector<std::string> mode_names;
-            const PowerModel pm(cfg.spec);
-            for (std::size_t m = 0; m < pm.numModes(); ++m)
-                mode_names.push_back(pm.mode(m).name);
-            writeMetricsJson(out, args, st, cfg, r, mode_names,
+            writeMetricsJson(out, args, st, cfg, r, mode_names, ledger,
                              registry);
         }
     }
     if (timeline)
         timeline_out.flush();
 
-    std::cout << "workload: " << st.requests << " requests, "
-              << st.disks << " disks, " << fmtPct(st.writeRatio, 1)
-              << " writes, mean inter-arrival "
-              << fmt(st.meanInterArrival * 1000.0, 2) << " ms\n";
-    std::cout << "system:   policy " << r.policyName << ", dpm "
-              << args.get("dpm", "practical") << ", write "
-              << writePolicyName(cfg.storage.writePolicy) << ", cache "
-              << cfg.cacheBlocks << " blocks\n\n";
+    {
+        const obs::ProfileScope report_scope(prof, "report");
+        std::cout << "workload: " << st.requests << " requests, "
+                  << st.disks << " disks, "
+                  << fmtPct(st.writeRatio, 1)
+                  << " writes, mean inter-arrival "
+                  << fmt(st.meanInterArrival * 1000.0, 2) << " ms\n";
+        std::cout << "system:   policy " << r.policyName << ", dpm "
+                  << args.get("dpm", "practical") << ", write "
+                  << writePolicyName(cfg.storage.writePolicy)
+                  << ", cache " << cfg.cacheBlocks << " blocks\n\n";
 
-    printSummaryReport(std::cout, r);
+        printSummaryReport(std::cout, r);
 
-    if (args.has("per-disk")) {
-        std::cout << "\nper-disk breakdown:\n\n";
-        printPerDiskReport(std::cout, r);
+        if (args.has("per-disk")) {
+            std::cout << "\nper-disk breakdown:\n\n";
+            printPerDiskReport(std::cout, r);
+        }
+        if (args.has("energy-ledger")) {
+            std::cout << '\n';
+            ledger.writeTable(std::cout);
+        }
+    }
+    if (profiling) {
+        std::cout << '\n';
+        profiler.writeSummary(std::cout);
     }
     return 0;
 } catch (const std::exception &e) {
