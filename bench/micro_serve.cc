@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Serving front-end throughput micro-benchmark: drives the sharded
+ * concurrent server (src/serve/) with the synthetic open-loop load
+ * generator — 2M Zipf-distributed requests over 16 disks, LRU +
+ * practical DPM + write-back, one stripe, one worker — and reports
+ * best-of-N end-to-end throughput. Every repetition must produce
+ * bit-identical simulation results (same seed, single producer), so
+ * the timing loop doubles as a determinism check, and each run must
+ * pass the energy-ledger conservation check.
+ *
+ * BENCH_serve.json carries one gated metric:
+ *   serve_mrps    end-to-end serve throughput in million requests
+ *                 per wall second (submit -> process -> finish);
+ *                 tools/check.sh gates it with a hard floor of 1.0
+ *                 (the acceptance criterion) on top of the baseline
+ *                 comparison.
+ * plus informational (un-gated, "info_"-prefixed) latency numbers
+ * from the host-clock sampling path. PACACHE_BENCH_REPS overrides
+ * the repetition count (default 5).
+ */
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_report.hh"
+#include "serve/load_gen.hh"
+#include "serve/server.hh"
+#include "util/table.hh"
+
+using namespace pacache;
+
+namespace
+{
+
+unsigned
+repsFromEnv()
+{
+    if (const char *env = std::getenv("PACACHE_BENCH_REPS")) {
+        const long v = std::atol(env);
+        if (v > 0)
+            return static_cast<unsigned>(v);
+    }
+    return 5;
+}
+
+serve::ServeConfig
+serveConfig()
+{
+    serve::ServeConfig cfg;
+    cfg.exp.policy = PolicyKind::LRU;
+    cfg.exp.dpm = DpmChoice::Practical;
+    cfg.exp.storage.writePolicy = WritePolicy::WriteBack;
+    cfg.exp.cacheBlocks = 1024;
+    cfg.numDisks = 16;
+    cfg.shards = 1;
+    cfg.threads = 1;
+    return cfg;
+}
+
+serve::LoadGenConfig
+loadConfig()
+{
+    serve::LoadGenConfig gen;
+    gen.producers = 1;
+    gen.requests = 2000000;
+    gen.arrivalRate = 100000.0;
+    gen.writeRatio = 0.3;
+    gen.zipfTheta = 0.9;
+    gen.seed = 1;
+    gen.latencySampleEvery = 64;
+    return gen;
+}
+
+/** The simulation outputs that must not vary across repetitions. */
+struct Fingerprint
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    Energy totalEnergy = 0;
+
+    Fingerprint() = default;
+
+    explicit Fingerprint(const ExperimentResult &r)
+        : hits(r.cache.hits), misses(r.cache.misses),
+          evictions(r.cache.evictions), totalEnergy(r.totalEnergy)
+    {
+    }
+
+    bool
+    operator==(const Fingerprint &o) const
+    {
+        return hits == o.hits && misses == o.misses &&
+               evictions == o.evictions &&
+               totalEnergy == o.totalEnergy; // exact, not near
+    }
+};
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "=== micro_serve: serving front-end throughput ===\n\n";
+    const unsigned reps = repsFromEnv();
+    const serve::ServeConfig cfg = serveConfig();
+    const serve::LoadGenConfig gen = loadConfig();
+
+    std::cout << gen.requests << " open-loop requests, "
+              << cfg.numDisks << " disks, " << cfg.shards
+              << " shard(s), " << cfg.threads << " worker(s), "
+              << reps << " reps\n\n";
+
+    double bestSec = 0;
+    Fingerprint fp;
+    double p50us = 0, p99us = 0, p999us = 0;
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        serve::ServeServer server(cfg);
+        const auto t0 = std::chrono::steady_clock::now();
+        server.start();
+        runLoadGen(server, gen);
+        const Time end = static_cast<double>(gen.requests - 1) /
+                         gen.arrivalRate;
+        const serve::ServeResult res = server.finish(end);
+        const double sec = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count();
+
+        if (!res.ledgerConserves) {
+            std::cerr << "FATAL: energy ledger conservation failed "
+                         "(max rel error "
+                      << res.ledgerMaxRelError << ")\n";
+            return 1;
+        }
+        const Fingerprint now(res.result);
+        if (rep == 0) {
+            fp = now;
+        } else if (!(now == fp)) {
+            std::cerr << "FATAL: serve run not deterministic across "
+                         "repetitions\n";
+            return 1;
+        }
+        if (rep == 0 || sec < bestSec) {
+            bestSec = sec;
+            if (!res.latency.empty()) {
+                p50us = res.latency.quantile(0.5) * 1e6;
+                p99us = res.latency.quantile(0.99) * 1e6;
+                p999us = res.latency.quantile(0.999) * 1e6;
+            }
+        }
+        std::cout << "  rep " << rep << ": "
+                  << fmt(static_cast<double>(gen.requests) / sec / 1e6,
+                         3)
+                  << " M req/s\n";
+    }
+
+    const double mrps =
+        static_cast<double>(gen.requests) / bestSec / 1e6;
+    std::cout << "\nbest: " << fmt(mrps, 3) << " M req/s, p99 "
+              << fmt(p99us, 1) << " us\n";
+
+    benchsupport::BenchReport report("serve", 1);
+    report.addRun("serve/open_loop", bestSec * 1e3, gen.requests);
+    report.metric("serve_mrps", mrps);
+    report.metric("info_p50_us", p50us);
+    report.metric("info_p99_us", p99us);
+    report.metric("info_p999_us", p999us);
+    std::cout << "\nwrote " << report.write() << '\n';
+    return 0;
+}

@@ -44,20 +44,40 @@ policyKindName(PolicyKind kind)
     PACACHE_PANIC("unknown policy kind");
 }
 
-namespace
+bool
+policyNeedsClassifier(PolicyKind kind)
 {
+    return kind == PolicyKind::PALRU || kind == PolicyKind::PAARC ||
+           kind == PolicyKind::PALIRS;
+}
 
-/** First mode below full speed that appears on the lower envelope. */
+bool
+policyNeedsFuture(PolicyKind kind)
+{
+    return kind == PolicyKind::Belady || kind == PolicyKind::OPG ||
+           kind == PolicyKind::InfiniteCache;
+}
+
 std::size_t
 firstEnvelopeNap(const PowerModel &pm)
 {
+    // First mode below full speed that appears on the lower envelope.
     const auto &env = pm.envelopeModes();
     return env.size() > 1 ? env[1] : pm.deepestMode();
 }
 
+PaParams
+resolvePaParams(const ExperimentConfig &config, const PowerModel &pm)
+{
+    PaParams pa = config.pa;
+    if (pa.intervalThreshold <= 0)
+        pa.intervalThreshold = pm.breakEvenTime(firstEnvelopeNap(pm));
+    return pa;
+}
+
 std::unique_ptr<ReplacementPolicy>
-makePolicy(const ExperimentConfig &cfg, const PowerModel &pm,
-           const PaClassifier *classifier, std::size_t capacity)
+makeReplacementPolicy(const ExperimentConfig &cfg, const PowerModel &pm,
+                      const PaClassifier *classifier, std::size_t capacity)
 {
     // OPG prices idle periods with the energy function of the DPM the
     // disks actually run; the adaptive timeout policy is closest to
@@ -105,6 +125,9 @@ makePolicy(const ExperimentConfig &cfg, const PowerModel &pm,
     PACACHE_PANIC("unknown policy kind");
 }
 
+namespace
+{
+
 /**
  * Shared experiment body: exactly one of @p trace / @p source is
  * non-null and picks the in-memory or streaming drive path.
@@ -129,17 +152,13 @@ runExperimentImpl(const Trace *trace, tracefmt::TraceSource *source,
 
     // Classifier for the PA family.
     std::unique_ptr<PaClassifier> classifier;
-    if (config.policy == PolicyKind::PALRU ||
-        config.policy == PolicyKind::PAARC ||
-        config.policy == PolicyKind::PALIRS) {
-        PaParams pa = config.pa;
-        if (pa.intervalThreshold <= 0)
-            pa.intervalThreshold = pm.breakEvenTime(firstEnvelopeNap(pm));
-        classifier = std::make_unique<PaClassifier>(num_disks, pa);
+    if (policyNeedsClassifier(config.policy)) {
+        classifier = std::make_unique<PaClassifier>(
+            num_disks, resolvePaParams(config, pm));
     }
 
     std::unique_ptr<ReplacementPolicy> policy =
-        makePolicy(config, pm, classifier.get(), capacity);
+        makeReplacementPolicy(config, pm, classifier.get(), capacity);
     Cache cache(capacity, *policy);
 
     EventQueue eq;
@@ -315,9 +334,7 @@ runExperiment(tracefmt::TraceSource &source,
 {
     // Off-line future knowledge and the infinite-cache sizing rule
     // both need the whole access stream before the run starts.
-    if (config.policy == PolicyKind::Belady ||
-        config.policy == PolicyKind::OPG ||
-        config.policy == PolicyKind::InfiniteCache) {
+    if (policyNeedsFuture(config.policy)) {
         const Trace trace = tracefmt::readAll(source);
         return runExperiment(trace, config);
     }

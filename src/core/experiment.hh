@@ -9,6 +9,7 @@
 #ifndef PACACHE_CORE_EXPERIMENT_HH
 #define PACACHE_CORE_EXPERIMENT_HH
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -107,6 +108,37 @@ struct ExperimentResult
 
 /** Display name for a policy kind. */
 const char *policyKindName(PolicyKind kind);
+
+/** True for PA-family policies, which need a PaClassifier. */
+bool policyNeedsClassifier(PolicyKind kind);
+
+/**
+ * True for policies that need the whole future access stream before
+ * the run starts (off-line future knowledge, or the infinite-cache
+ * sizing rule). These cannot drive a live serving front-end.
+ */
+bool policyNeedsFuture(PolicyKind kind);
+
+/** First mode below full speed on the power model's lower envelope. */
+std::size_t firstEnvelopeNap(const PowerModel &pm);
+
+/**
+ * The experiment's PA parameters with intervalThreshold <= 0
+ * resolved to the model's break-even time of the first NAP mode.
+ */
+PaParams resolvePaParams(const ExperimentConfig &config,
+                         const PowerModel &pm);
+
+/**
+ * Build the replacement policy an ExperimentConfig asks for.
+ * @p classifier may be null unless the policy is PA-family;
+ * @p capacity sizes ARC/LIRS ghost lists. Exposed so alternative
+ * front-ends (the sharded server) assemble per-stripe policies with
+ * exactly the runner's construction rules.
+ */
+std::unique_ptr<ReplacementPolicy>
+makeReplacementPolicy(const ExperimentConfig &config, const PowerModel &pm,
+                      const PaClassifier *classifier, std::size_t capacity);
 
 /** Run one experiment over @p trace. */
 ExperimentResult runExperiment(const Trace &trace,

@@ -6,21 +6,108 @@
 namespace pacache
 {
 
+namespace
+{
+
+IntervalHistogram
+makeIntervalHistogram()
+{
+    // 1 ms .. ~3 hours covers every interesting interval length.
+    return IntervalHistogram::geometric(1e-3, 1e4, 8);
+}
+
+} // namespace
+
+PaEpochStats::DiskEpoch::DiskEpoch() : intervals(makeIntervalHistogram()) {}
+
+void
+PaEpochStats::DiskEpoch::reset()
+{
+    accesses = 0;
+    cold = 0;
+    intervals.reset();
+}
+
+void
+PaEpochStats::DiskEpoch::merge(const DiskEpoch &other)
+{
+    accesses += other.accesses;
+    cold += other.cold;
+    intervals.merge(other.intervals);
+}
+
+PaEpochStats::PaEpochStats(std::size_t num_disks) : perDisk(num_disks)
+{
+    PACACHE_ASSERT(num_disks > 0, "epoch stats need at least one disk");
+}
+
+void
+PaEpochStats::noteRequest(DiskId disk, bool cold_miss)
+{
+    PACACHE_ASSERT(disk < perDisk.size(), "disk id out of range");
+    ++perDisk[disk].accesses;
+    if (cold_miss)
+        ++perDisk[disk].cold;
+}
+
+void
+PaEpochStats::noteInterval(DiskId disk, Time interval)
+{
+    PACACHE_ASSERT(disk < perDisk.size(), "disk id out of range");
+    perDisk[disk].intervals.record(interval);
+}
+
+void
+PaEpochStats::reset()
+{
+    for (auto &d : perDisk)
+        d.reset();
+}
+
+void
+PaEpochStats::merge(const PaEpochStats &other)
+{
+    PACACHE_ASSERT(perDisk.size() == other.perDisk.size(),
+                   "cannot merge epoch stats over different disk counts");
+    for (std::size_t d = 0; d < perDisk.size(); ++d)
+        perDisk[d].merge(other.perDisk[d]);
+}
+
+PaClassification
+classifyDiskEpoch(const PaEpochStats::DiskEpoch &epoch, const PaParams &params)
+{
+    PaClassification out;
+    const uint64_t samples = epoch.intervals.sampleCount();
+    if (epoch.accesses < params.minEpochSamples)
+        return out; // too little evidence; keep the previous class
+    const double cold = static_cast<double>(epoch.cold) /
+                        static_cast<double>(epoch.accesses);
+    if (samples >= params.minEpochSamples) {
+        out.decided = true;
+        out.haveQuantile = true;
+        out.coldFraction = cold;
+        out.quantile = epoch.intervals.quantile(params.cumulativeProb);
+        out.priority = cold <= params.coldMissThreshold &&
+                       out.quantile >= params.intervalThreshold;
+    } else if (samples == 0) {
+        // Requests arrived but none reached the disk: the cache
+        // absorbs this disk entirely — clearly worth protecting if
+        // its accesses are not cold.
+        out.decided = true;
+        out.coldFraction = cold;
+        out.priority = cold <= params.coldMissThreshold;
+    }
+    return out;
+}
+
 PaClassifier::PaClassifier(std::size_t num_disks, const PaParams &params)
     : p(params), bloom(params.bloomBits, params.bloomHashes),
-      epochEnd(params.epochLength),
-      accessesThisEpoch(num_disks, 0), coldThisEpoch(num_disks, 0),
+      epochEnd(params.epochLength), epoch(num_disks),
       lastDiskAccess(num_disks, -1.0), priority(num_disks, false),
       lastColdFraction(num_disks, 0.0), lastQuantile(num_disks, 0.0)
 {
     PACACHE_ASSERT(num_disks > 0, "classifier needs at least one disk");
     PACACHE_ASSERT(p.epochLength > 0, "epoch length must be positive");
-    histograms.reserve(num_disks);
-    for (std::size_t i = 0; i < num_disks; ++i) {
-        // 1 ms .. ~3 hours covers every interesting interval length.
-        histograms.push_back(
-            IntervalHistogram::geometric(1e-3, 1e4, 8));
-    }
 }
 
 void
@@ -29,33 +116,15 @@ PaClassifier::rollEpoch(Time now)
     while (now >= epochEnd) {
         for (std::size_t d = 0; d < priority.size(); ++d) {
             const bool was_priority = priority[d];
-            const uint64_t samples = histograms[d].sampleCount();
-            const uint64_t accesses = accessesThisEpoch[d];
-            if (accesses >= p.minEpochSamples &&
-                samples >= p.minEpochSamples) {
-                const double cold =
-                    static_cast<double>(coldThisEpoch[d]) /
-                    static_cast<double>(accesses);
-                const Time t_p =
-                    histograms[d].quantile(p.cumulativeProb);
-                lastColdFraction[d] = cold;
-                lastQuantile[d] = t_p;
-                priority[d] = cold <= p.coldMissThreshold &&
-                              t_p >= p.intervalThreshold;
-            } else if (accesses >= p.minEpochSamples && samples == 0) {
-                // Requests arrived but none reached the disk: the
-                // cache absorbs this disk entirely — clearly worth
-                // protecting if its accesses are not cold.
-                const double cold =
-                    static_cast<double>(coldThisEpoch[d]) /
-                    static_cast<double>(accesses);
-                lastColdFraction[d] = cold;
-                priority[d] = cold <= p.coldMissThreshold;
+            const PaClassification cls =
+                classifyDiskEpoch(epoch.perDisk[d], p);
+            if (cls.decided) {
+                lastColdFraction[d] = cls.coldFraction;
+                if (cls.haveQuantile)
+                    lastQuantile[d] = cls.quantile;
+                priority[d] = cls.priority;
             }
-            // Otherwise: too little evidence; keep the previous class.
-            accessesThisEpoch[d] = 0;
-            coldThisEpoch[d] = 0;
-            histograms[d].reset();
+            epoch.perDisk[d].reset();
             if (obs && priority[d] != was_priority) {
                 obs->paClassFlip(static_cast<DiskId>(d), priority[d],
                                  epochEnd);
@@ -73,9 +142,7 @@ PaClassifier::onRequest(DiskId disk, const BlockId &block, Time now)
 {
     rollEpoch(now);
     PACACHE_ASSERT(disk < priority.size(), "disk id out of range");
-    ++accessesThisEpoch[disk];
-    if (bloom.testAndInsert(block.packed()))
-        ++coldThisEpoch[disk];
+    epoch.noteRequest(disk, bloom.testAndInsert(block.packed()));
 }
 
 void
@@ -83,7 +150,7 @@ PaClassifier::onDiskAccess(DiskId disk, Time now)
 {
     PACACHE_ASSERT(disk < priority.size(), "disk id out of range");
     if (lastDiskAccess[disk] >= 0)
-        histograms[disk].record(now - lastDiskAccess[disk]);
+        epoch.noteInterval(disk, now - lastDiskAccess[disk]);
     lastDiskAccess[disk] = now;
 }
 

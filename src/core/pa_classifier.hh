@@ -48,6 +48,75 @@ struct PaParams
     uint64_t minEpochSamples = 2;   //!< keep old class below this
 };
 
+/**
+ * The per-disk accumulators of one classification epoch: request and
+ * cold-miss counts plus the idle-interval histogram.
+ *
+ * Factored out of the classifier so concurrent front-ends can keep
+ * one accumulator per shard and combine them at the epoch boundary:
+ * merge() adds bucket counts and integer tallies, which is
+ * commutative and associative, so K per-shard accumulators merged in
+ * any order equal one accumulator fed the interleaved request set —
+ * the property the serve-mode epoch-merge protocol (DESIGN.md 5g)
+ * and the shard_merge_equivalence fuzz property rely on.
+ */
+struct PaEpochStats
+{
+    /** One disk's epoch accumulators. */
+    struct DiskEpoch
+    {
+        uint64_t accesses = 0; //!< requests seen this epoch
+        uint64_t cold = 0;     //!< thereof first-ever block touches
+        IntervalHistogram intervals; //!< post-cache idle intervals
+
+        DiskEpoch();
+        void reset();
+        void merge(const DiskEpoch &other);
+    };
+
+    explicit PaEpochStats(std::size_t num_disks);
+
+    /** Count one pre-cache request (and whether it was cold). */
+    void noteRequest(DiskId disk, bool cold_miss);
+
+    /** Record one post-cache idle interval (seconds). */
+    void noteInterval(DiskId disk, Time interval);
+
+    /** Clear every disk's accumulators (new epoch). */
+    void reset();
+
+    /** Element-wise commutative merge; disk counts must match. */
+    void merge(const PaEpochStats &other);
+
+    std::size_t numDisks() const { return perDisk.size(); }
+    const DiskEpoch &disk(DiskId d) const { return perDisk[d]; }
+
+    std::vector<DiskEpoch> perDisk;
+};
+
+/** Outcome of applying the classification rule to one disk epoch. */
+struct PaClassification
+{
+    bool decided = false;      //!< enough evidence to (re)classify
+    bool priority = false;     //!< the new class, valid when decided
+    bool haveQuantile = false; //!< quantile evaluated (disk was hit)
+    double coldFraction = 0.0;
+    Time quantile = 0.0;
+};
+
+/**
+ * The pure epoch-boundary classification rule (paper Section 4): a
+ * disk is priority iff its cold-miss fraction is at most alpha and
+ * F^{-1}(p) of its idle intervals is at least the interval
+ * threshold; a disk whose requests were absorbed entirely by the
+ * cache is judged on the cold fraction alone; a disk with too few
+ * samples is left undecided (keep the previous class). Exposed so
+ * the sharded server can classify from merged epoch stats with
+ * exactly the classifier's rule.
+ */
+PaClassification classifyDiskEpoch(const PaEpochStats::DiskEpoch &epoch,
+                                   const PaParams &params);
+
 /** Epoch-based regular/priority disk classifier. */
 class PaClassifier
 {
@@ -83,6 +152,9 @@ class PaClassifier
 
     const PaParams &params() const { return p; }
 
+    /** The (still-open) current epoch's accumulators. */
+    const PaEpochStats &epochStats() const { return epoch; }
+
     /** Attach an observability fan-out: epoch boundaries and class
      *  flips become trace instants and metric counters. */
     void setObserver(obs::SimObserver *observer) { obs = observer; }
@@ -96,10 +168,8 @@ class PaClassifier
     Time epochEnd;
     uint64_t epochs = 0;
 
-    // Per-disk, current epoch:
-    std::vector<uint64_t> accessesThisEpoch;
-    std::vector<uint64_t> coldThisEpoch;
-    std::vector<IntervalHistogram> histograms;
+    // Current epoch accumulators (mergeable; see PaEpochStats):
+    PaEpochStats epoch;
     std::vector<Time> lastDiskAccess; //!< persists across epochs
 
     // Classification state:

@@ -36,6 +36,20 @@ StorageSystem::StorageSystem(tracefmt::TraceSource &source_,
     init();
 }
 
+StorageSystem::StorageSystem(EventQueue &eq, Cache &cache_,
+                             DiskArray &disks_,
+                             const StorageConfig &config,
+                             PaClassifier *classifier, Disk *log_disk)
+    : trace(nullptr), queue(eq), cache(cache_), disks(disks_),
+      cfg(config), cls(classifier), logDisk(log_disk),
+      perDiskAccesses(disks_.numDisks(), 0)
+{
+    PACACHE_ASSERT(!cache.policy().isOffline(),
+                   "incremental runs need an on-line policy; ",
+                   cache.policy().name(), " wants the whole future");
+    init();
+}
+
 void
 StorageSystem::init()
 {
@@ -63,12 +77,35 @@ StorageSystem::init()
 void
 StorageSystem::run()
 {
+    PACACHE_ASSERT(trace || source,
+                   "incremental StorageSystem has no trace to run; "
+                   "drive it with step()/finish()");
     PACACHE_ASSERT(!ran, "StorageSystem::run called twice");
     ran = true;
     if (source)
         runStreaming();
     else
         runMaterialized();
+}
+
+void
+StorageSystem::step(const BlockAccess &acc, std::size_t idx)
+{
+    PACACHE_ASSERT(!trace && !source,
+                   "step() is for incremental mode; use run()");
+    PACACHE_ASSERT(!ran, "step() after finish()");
+    queue.runUntil(acc.time);
+    processAccess(acc, idx);
+}
+
+void
+StorageSystem::finish(Time trace_end)
+{
+    PACACHE_ASSERT(!trace && !source,
+                   "finish() is for incremental mode; use run()");
+    PACACHE_ASSERT(!ran, "StorageSystem::finish called twice");
+    ran = true;
+    finishRun(trace_end);
 }
 
 void

@@ -108,10 +108,42 @@ class StorageSystem
                   Disk *log_disk = nullptr);
 
     /**
+     * Incremental variant: no trace attached; the caller feeds
+     * accesses one at a time through step() and closes the run with
+     * finish(). This is the kernel facade the sharded serving
+     * front-end drives — each serve stripe owns one incremental
+     * StorageSystem and pushes its partition of the request stream
+     * through it. Requires an on-line replacement policy, exactly
+     * like the streaming constructor.
+     */
+    StorageSystem(EventQueue &eq, Cache &cache, DiskArray &disks,
+                  const StorageConfig &config,
+                  PaClassifier *classifier = nullptr,
+                  Disk *log_disk = nullptr);
+
+    /**
      * Drive the whole trace, drain the event queue, and finalize all
-     * disks. Idempotent guard: panics on a second call.
+     * disks. Idempotent guard: panics on a second call. Only valid
+     * with a trace or source attached (not in incremental mode).
      */
     void run();
+
+    /**
+     * Incremental mode: advance simulated time to @p acc.time and
+     * process one access — the exact per-request body of the replay
+     * loops, so a stream of step() calls reproduces run() on the same
+     * access sequence bit for bit. @p idx is the access's position in
+     * the stream (feeds policy recency bookkeeping).
+     */
+    void step(const BlockAccess &acc, std::size_t idx);
+
+    /**
+     * Incremental mode: drain the event queue and finalize disk
+     * accounting at the same policy-independent horizon run() uses,
+     * where @p trace_end is the last request's arrival time. Panics
+     * on a second call.
+     */
+    void finish(Time trace_end);
 
     /** System-level response times (hits, buffered writes, misses). */
     const ResponseStats &responses() const { return respStats; }

@@ -17,6 +17,19 @@
  * add); components that might run without observability hold a null
  * registry/observer pointer and skip the call entirely, so an
  * un-instrumented run pays only an untaken branch per hook.
+ *
+ * Threading contract: a MetricRegistry and its instruments are
+ * SINGLE-WRITER. Registration mutates the name tree, and Counter /
+ * Gauge / Histogram updates are non-atomic on purpose — making them
+ * atomic would put contended read-modify-writes on the simulator hot
+ * path (see the micro_obs overhead gate). A registry must therefore
+ * be confined to one thread at a time: either one simulation thread
+ * owns it outright, or each concurrent lane keeps its own
+ * thread-local state and the lanes are combined after the fact
+ * (runner/sharded_metrics.hh merges per-worker registries; the serve
+ * front-end keeps all statistics shard-local under the stripe lock
+ * and merges them in ServeServer::finish()). Snapshots (writeJson /
+ * writeFlat) are reads and may only run once writers have quiesced.
  */
 
 #ifndef PACACHE_OBS_METRICS_HH

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <filesystem>
 #include <limits>
+#include <set>
 #include <sstream>
 #include <unistd.h>
 #include <vector>
@@ -21,8 +22,10 @@
 #include "core/opg_ref.hh"
 #include "core/wtdu_log.hh"
 #include "disk/power_model.hh"
+#include "core/pa_classifier.hh"
 #include "qa/gen.hh"
 #include "runner/sweep.hh"
+#include "serve/server.hh"
 #include "tracefmt/pct.hh"
 #include "tracefmt/trace_source.hh"
 
@@ -331,6 +334,132 @@ propParallelMatchesSerial(const FuzzCase &c)
             return failMsg("--jobs 3 diverges from serial at point '",
                            points[i].label, "': ", diff);
     }
+    return PropertyResult::ok();
+}
+
+PropertyResult
+propPaShardMergeEquivalence(const FuzzCase &c)
+{
+    if (c.trace.empty())
+        return PropertyResult::ok();
+    const std::vector<BlockAccess> accesses = expandTrace(c.trace);
+    const std::size_t num_disks =
+        std::max<std::size_t>(c.trace.numDisks(), 1);
+    constexpr std::size_t kShards = 3;
+
+    // Feed the interleaved stream into one global accumulator and,
+    // simultaneously, into per-shard accumulators partitioned the way
+    // the serve front-end stripes disks (disk mod shards). Cold-miss
+    // flags come from an exact seen-set so both sides get identical
+    // inputs.
+    PaEpochStats global(num_disks);
+    std::vector<PaEpochStats> shards(kShards, PaEpochStats(num_disks));
+    std::set<uint64_t> seen;
+    std::vector<Time> last(num_disks, -1.0);
+    for (const BlockAccess &acc : accesses) {
+        const std::size_t d = acc.block.disk;
+        const bool cold = seen.insert(acc.block.packed()).second;
+        PaEpochStats &local = shards[d % kShards];
+        global.noteRequest(acc.block.disk, cold);
+        local.noteRequest(acc.block.disk, cold);
+        if (last[d] >= 0) {
+            global.noteInterval(acc.block.disk, acc.time - last[d]);
+            local.noteInterval(acc.block.disk, acc.time - last[d]);
+        }
+        last[d] = acc.time;
+    }
+
+    // Merge the shards forward and in reverse: commutativity demands
+    // both orders equal the interleaved accumulator exactly.
+    PaEpochStats fwd(num_disks);
+    PaEpochStats rev(num_disks);
+    for (std::size_t s = 0; s < kShards; ++s)
+        fwd.merge(shards[s]);
+    for (std::size_t s = kShards; s-- > 0;)
+        rev.merge(shards[s]);
+
+    PaParams params;
+    params.epochLength = c.cfg.paEpoch;
+    const std::pair<const PaEpochStats *, const char *> orders[] = {
+        {&fwd, "forward"}, {&rev, "reverse"}};
+    for (const auto &[mergedPtr, order] : orders) {
+        const PaEpochStats &merged = *mergedPtr;
+        for (std::size_t d = 0; d < num_disks; ++d) {
+            const PaEpochStats::DiskEpoch &g =
+                global.disk(static_cast<DiskId>(d));
+            const PaEpochStats::DiskEpoch &m =
+                merged.disk(static_cast<DiskId>(d));
+            if (g.accesses != m.accesses || g.cold != m.cold)
+                return failMsg(order, "-merged counters diverge on "
+                               "disk ", d, ": ", m.accesses, "/",
+                               m.cold, " vs global ", g.accesses, "/",
+                               g.cold);
+            if (g.intervals.counts() != m.intervals.counts())
+                return failMsg(order, "-merged interval buckets "
+                               "diverge on disk ", d);
+            const PaClassification cg = classifyDiskEpoch(g, params);
+            const PaClassification cm = classifyDiskEpoch(m, params);
+            if (cg.decided != cm.decided ||
+                cg.priority != cm.priority ||
+                cg.haveQuantile != cm.haveQuantile ||
+                cg.coldFraction != cm.coldFraction ||
+                cg.quantile != cm.quantile)
+                return failMsg(order, "-merged classification "
+                               "diverges on disk ", d, ": priority ",
+                               cm.priority, " quantile ", cm.quantile,
+                               " vs ", cg.priority, " ", cg.quantile);
+        }
+    }
+    return PropertyResult::ok();
+}
+
+PropertyResult
+propServeMatchesReplay(const FuzzCase &c)
+{
+    if (c.trace.empty())
+        return PropertyResult::ok();
+    ExperimentConfig cfg = experimentConfig(c);
+    if (policyNeedsFuture(cfg.policy))
+        cfg.policy = PolicyKind::LRU; // serve is on-line only
+    const ExperimentResult ref = runExperiment(c.trace, cfg);
+
+    serve::ServeConfig sc;
+    sc.exp = cfg;
+    sc.ringCapacity = 256;
+    sc.batch = 16;
+    for (const std::size_t threads : {1, 3}) {
+        sc.shards = 1;
+        sc.threads = threads;
+        const serve::ServeResult sr =
+            serve::ServeServer::replayTrace(c.trace, sc);
+        const std::string diff = diffResults(sr.result, ref);
+        if (!diff.empty())
+            return failMsg("serve (1 shard, ", threads,
+                           " threads) diverges from replay: ", diff);
+        if (!sr.ledgerConserves)
+            return failMsg("serve (1 shard, ", threads,
+                           " threads) breaks ledger conservation "
+                           "(max rel error ", sr.ledgerMaxRelError,
+                           ")");
+    }
+
+    // Striping partitions the cache, so 2-shard results are their own
+    // semantic — but they must be invariant to the worker count.
+    if (cfg.cacheBlocks < 2)
+        return PropertyResult::ok(); // a shard would get 0 blocks
+    sc.shards = 2;
+    sc.threads = 1;
+    const serve::ServeResult one =
+        serve::ServeServer::replayTrace(c.trace, sc);
+    sc.threads = 3;
+    const serve::ServeResult three =
+        serve::ServeServer::replayTrace(c.trace, sc);
+    const std::string diff = diffResults(one.result, three.result);
+    if (!diff.empty())
+        return failMsg("2-shard serve varies with thread count: ",
+                       diff);
+    if (!one.ledgerConserves || !three.ledgerConserves)
+        return failMsg("2-shard serve breaks ledger conservation");
     return PropertyResult::ok();
 }
 
@@ -754,6 +883,16 @@ allProperties()
          "runAll with --jobs N returns results identical to the "
          "serial run",
          propParallelMatchesSerial},
+        {"pa_shard_merge_equivalence",
+         "PA epoch stats merged from per-shard accumulators (either "
+         "merge order) equal one accumulator fed the interleaved "
+         "stream, classification included",
+         propPaShardMergeEquivalence},
+        {"serve_matches_replay",
+         "The sharded concurrent server replays a trace with "
+         "statistics identical to runExperiment at 1 shard for any "
+         "thread count, and thread-invariant at 2 shards",
+         propServeMatchesReplay},
         {"pct_roundtrip_identity",
          "Writing a trace to .pct and reading it back (buffered and "
          "mmap) is the identity",

@@ -1,0 +1,84 @@
+#include "serve/load_gen.hh"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "serve/server.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace pacache::serve
+{
+
+namespace
+{
+
+uint64_t
+hostNowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+void
+producerMain(ServeServer &server, const LoadGenConfig &cfg,
+             const ZipfSampler &zipf, std::size_t producer)
+{
+    const std::size_t num_disks = server.config().numDisks;
+    Rng rng(cfg.seed * 0x9e3779b97f4a7c15ULL + producer);
+    ServeRequest req;
+    // Producer p owns global slots p, p+P, p+2P, ...; the slot index
+    // fixes both the simulated arrival time and the policy stream
+    // index, so the workload is host-timing independent.
+    for (uint64_t n = producer; n < cfg.requests;
+         n += cfg.producers) {
+        req.time = static_cast<double>(n) / cfg.arrivalRate;
+        const DiskId disk =
+            static_cast<DiskId>(rng.below(num_disks));
+        req.block = BlockId{disk, zipf.sample(rng)};
+        req.write = rng.chance(cfg.writeRatio);
+        req.traceIndex = n;
+        req.idx = n;
+        req.submitNs = cfg.latencySampleEvery != 0 &&
+                               n % cfg.latencySampleEvery == 0
+                           ? hostNowNs()
+                           : 0;
+        server.submit(req);
+    }
+}
+
+} // namespace
+
+LoadGenReport
+runLoadGen(ServeServer &server, const LoadGenConfig &cfg)
+{
+    PACACHE_ASSERT(cfg.producers >= 1, "need at least one producer");
+    PACACHE_ASSERT(cfg.arrivalRate > 0, "arrival rate must be positive");
+    PACACHE_ASSERT(cfg.blocksPerDisk >= 1, "need at least one block");
+
+    // One shared inverted-CDF table; sampling from it is const.
+    const ZipfSampler zipf(
+        static_cast<std::size_t>(cfg.blocksPerDisk), cfg.zipfTheta);
+
+    const uint64_t t0 = hostNowNs();
+    std::vector<std::thread> producers;
+    producers.reserve(cfg.producers);
+    for (std::size_t p = 0; p < cfg.producers; ++p) {
+        producers.emplace_back([&server, &cfg, &zipf, p] {
+            producerMain(server, cfg, zipf, p);
+        });
+    }
+    for (auto &t : producers)
+        t.join();
+
+    LoadGenReport report;
+    report.submitted = cfg.requests;
+    report.wallSeconds =
+        static_cast<double>(hostNowNs() - t0) * 1e-9;
+    return report;
+}
+
+} // namespace pacache::serve

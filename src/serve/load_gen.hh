@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Open-loop load generator for the sharded server: N producer
+ * threads submit a fixed total number of requests whose *simulated*
+ * arrival times follow a configured rate (open loop — arrivals never
+ * wait for completions, matching the trace-driven methodology), with
+ * Zipf-distributed keys and a configured read/write mix. Every
+ * decision derives from the producer's own SplitMix64 stream and the
+ * request's global slot index, so a workload is reproducible for a
+ * given (seed, producers) pair regardless of host timing.
+ */
+
+#ifndef PACACHE_SERVE_LOAD_GEN_HH
+#define PACACHE_SERVE_LOAD_GEN_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pacache::serve
+{
+
+class ServeServer;
+
+/** Synthetic open-loop workload parameters. */
+struct LoadGenConfig
+{
+    std::size_t producers = 1;
+    uint64_t requests = 1000000;   //!< total across all producers
+    double arrivalRate = 100000.0; //!< simulated requests/second
+    double writeRatio = 0.3;
+    double zipfTheta = 0.9;        //!< per-disk block skew; 0 = uniform
+    uint64_t blocksPerDisk = 1u << 20;
+    uint64_t seed = 1;
+    /** Stamp every Nth request with a host clock for the latency
+     *  histogram; 0 disables sampling entirely. */
+    std::size_t latencySampleEvery = 64;
+};
+
+/** What the generator measured on the host. */
+struct LoadGenReport
+{
+    uint64_t submitted = 0;
+    double wallSeconds = 0.0; //!< producers started -> all submitted
+};
+
+/**
+ * Run the workload against @p server (which must be started and is
+ * NOT finished here — the caller still owns finish()). Blocks until
+ * every producer has submitted its share.
+ */
+LoadGenReport runLoadGen(ServeServer &server, const LoadGenConfig &cfg);
+
+} // namespace pacache::serve
+
+#endif // PACACHE_SERVE_LOAD_GEN_HH

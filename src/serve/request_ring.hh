@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Bounded lock-free multi-producer/multi-consumer ring (Vyukov's
+ * bounded MPMC queue). The serving front-end uses one ring per cache
+ * stripe as the in-process request channel: load-generator threads
+ * (or the trace-replay producer) push ServeRequests, worker threads
+ * pop them under the stripe lock.
+ *
+ * Each slot carries a sequence number; a producer claims a slot by
+ * CAS on the enqueue cursor and publishes with a release store of
+ * the sequence, a consumer symmetrically on the dequeue cursor.
+ * Per-producer FIFO order is preserved, which is what serve-mode
+ * determinism needs: the replay producer is single-threaded, so each
+ * stripe sees its partition of the trace in trace order.
+ */
+
+#ifndef PACACHE_SERVE_REQUEST_RING_HH
+#define PACACHE_SERVE_REQUEST_RING_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/logging.hh"
+
+namespace pacache::serve
+{
+
+/** Bounded MPMC FIFO; capacity must be a power of two. */
+template <typename T>
+class RequestRing
+{
+  public:
+    explicit RequestRing(std::size_t capacity)
+        : slots(capacity), mask(capacity - 1)
+    {
+        PACACHE_ASSERT(capacity >= 2 && (capacity & mask) == 0,
+                       "ring capacity must be a power of two >= 2");
+        for (std::size_t i = 0; i < capacity; ++i)
+            slots[i].seq.store(i, std::memory_order_relaxed);
+    }
+
+    RequestRing(const RequestRing &) = delete;
+    RequestRing &operator=(const RequestRing &) = delete;
+
+    /** Try to enqueue; false when the ring is full. */
+    bool
+    tryPush(const T &value)
+    {
+        std::size_t pos = enqueuePos.load(std::memory_order_relaxed);
+        for (;;) {
+            Slot &slot = slots[pos & mask];
+            const std::size_t seq =
+                slot.seq.load(std::memory_order_acquire);
+            const std::intptr_t diff =
+                static_cast<std::intptr_t>(seq) -
+                static_cast<std::intptr_t>(pos);
+            if (diff == 0) {
+                if (enqueuePos.compare_exchange_weak(
+                        pos, pos + 1, std::memory_order_relaxed)) {
+                    slot.value = value;
+                    slot.seq.store(pos + 1, std::memory_order_release);
+                    return true;
+                }
+            } else if (diff < 0) {
+                return false; // full: slot not yet consumed
+            } else {
+                pos = enqueuePos.load(std::memory_order_relaxed);
+            }
+        }
+    }
+
+    /** Try to dequeue; false when the ring is empty. */
+    bool
+    tryPop(T &out)
+    {
+        std::size_t pos = dequeuePos.load(std::memory_order_relaxed);
+        for (;;) {
+            Slot &slot = slots[pos & mask];
+            const std::size_t seq =
+                slot.seq.load(std::memory_order_acquire);
+            const std::intptr_t diff =
+                static_cast<std::intptr_t>(seq) -
+                static_cast<std::intptr_t>(pos + 1);
+            if (diff == 0) {
+                if (dequeuePos.compare_exchange_weak(
+                        pos, pos + 1, std::memory_order_relaxed)) {
+                    out = slot.value;
+                    slot.seq.store(pos + mask + 1,
+                                   std::memory_order_release);
+                    return true;
+                }
+            } else if (diff < 0) {
+                return false; // empty: slot not yet produced
+            } else {
+                pos = dequeuePos.load(std::memory_order_relaxed);
+            }
+        }
+    }
+
+    /**
+     * Approximate emptiness: exact once producers have stopped (the
+     * cursors are then quiescent), which is the only point the
+     * server's shutdown protocol consults it.
+     */
+    bool
+    empty() const
+    {
+        return dequeuePos.load(std::memory_order_acquire) ==
+               enqueuePos.load(std::memory_order_acquire);
+    }
+
+    std::size_t capacity() const { return slots.size(); }
+
+  private:
+    struct Slot
+    {
+        std::atomic<std::size_t> seq;
+        T value;
+    };
+
+    static constexpr std::size_t kCacheLine = 64;
+
+    std::vector<Slot> slots;
+    std::size_t mask;
+    alignas(kCacheLine) std::atomic<std::size_t> enqueuePos{0};
+    alignas(kCacheLine) std::atomic<std::size_t> dequeuePos{0};
+};
+
+} // namespace pacache::serve
+
+#endif // PACACHE_SERVE_REQUEST_RING_HH

@@ -1,0 +1,321 @@
+#include "serve/server.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+
+#include "cache/future.hh"
+#include "disk/disk_array.hh"
+#include "disk/dpm.hh"
+#include "disk/oracle_dpm.hh"
+#include "obs/energy_ledger.hh"
+#include "serve/request_ring.hh"
+#include "sim/event_queue.hh"
+#include "trace/trace.hh"
+#include "util/logging.hh"
+
+namespace pacache::serve
+{
+
+namespace
+{
+
+uint64_t
+hostNowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+/**
+ * One stripe: a complete, independently-locked simulation stack.
+ * The disk array is sized to the full disk count so ids need no
+ * remapping; only the stripe's owned disks ever receive traffic, and
+ * finish() reads statistics for owned disks exclusively.
+ */
+struct ServeServer::Shard
+{
+    Shard(const ServeConfig &cfg, const PowerModel &pm,
+          const ServiceModel &sm, std::size_t capacity,
+          std::size_t num_disks)
+        : ring(cfg.ringCapacity), practical(pm), adaptive(pm)
+    {
+        if (policyNeedsClassifier(cfg.exp.policy)) {
+            classifier = std::make_unique<PaClassifier>(
+                num_disks, resolvePaParams(cfg.exp, pm));
+        }
+        policy = makeReplacementPolicy(cfg.exp, pm, classifier.get(),
+                                       capacity);
+        cache = std::make_unique<Cache>(capacity, *policy);
+
+        Dpm *dpm = &static_cast<Dpm &>(alwaysOn);
+        if (cfg.exp.dpm == DpmChoice::Practical)
+            dpm = &practical;
+        else if (cfg.exp.dpm == DpmChoice::Adaptive)
+            dpm = &adaptive;
+        disks = std::make_unique<DiskArray>(num_disks, eq, pm, sm,
+                                            *dpm, cfg.exp.disk);
+
+        if (cfg.exp.storage.writePolicy ==
+            WritePolicy::WriteThroughDeferredUpdate) {
+            logDisk = std::make_unique<Disk>(
+                static_cast<DiskId>(num_disks), eq, pm, sm, alwaysOn,
+                DiskOptions{});
+        }
+        system = std::make_unique<StorageSystem>(
+            eq, *cache, *disks, cfg.exp.storage, classifier.get(),
+            logDisk.get());
+    }
+
+    std::mutex mu; //!< guards everything below the ring
+    RequestRing<ServeRequest> ring;
+    EventQueue eq;
+    AlwaysOnDpm alwaysOn;
+    PracticalDpm practical;
+    AdaptiveDpm adaptive;
+    std::unique_ptr<PaClassifier> classifier;
+    std::unique_ptr<ReplacementPolicy> policy;
+    std::unique_ptr<Cache> cache;
+    std::unique_ptr<DiskArray> disks;
+    std::unique_ptr<Disk> logDisk;
+    std::unique_ptr<StorageSystem> system;
+    Time lastTime = 0;      //!< monotone clamp of request times
+    uint64_t processed = 0;
+    LogHistogram latency;   //!< host seconds, sampled requests only
+};
+
+ServeServer::ServeServer(const ServeConfig &config)
+    : cfg(config), numShards(config.shards), pm(config.exp.spec),
+      sm(config.exp.spec, config.exp.service)
+{
+    PACACHE_ASSERT(numShards >= 1, "need at least one stripe");
+    PACACHE_ASSERT(cfg.threads >= 1, "need at least one worker");
+    PACACHE_ASSERT(cfg.numDisks >= 1, "need at least one disk");
+    PACACHE_ASSERT(!policyNeedsFuture(cfg.exp.policy),
+                   policyKindName(cfg.exp.policy),
+                   " needs the whole future and cannot serve");
+    PACACHE_ASSERT(!cfg.exp.observer && !cfg.exp.profiler,
+                   "serve mode takes no observer/profiler; metrics "
+                   "are shard-local (see src/obs/metrics.hh)");
+
+    const std::size_t base = cfg.exp.cacheBlocks / numShards;
+    const std::size_t extra = cfg.exp.cacheBlocks % numShards;
+    stripes.reserve(numShards);
+    for (std::size_t i = 0; i < numShards; ++i) {
+        const std::size_t capacity = base + (i < extra ? 1 : 0);
+        PACACHE_ASSERT(capacity >= 1, "cache of ", cfg.exp.cacheBlocks,
+                       " blocks cannot split into ", numShards,
+                       " stripes");
+        stripes.push_back(std::make_unique<Shard>(cfg, pm, sm,
+                                                  capacity,
+                                                  cfg.numDisks));
+    }
+}
+
+ServeServer::~ServeServer()
+{
+    if (started && !finished) {
+        done.store(true, std::memory_order_release);
+        for (auto &w : workers)
+            w.join();
+    }
+}
+
+void
+ServeServer::start()
+{
+    PACACHE_ASSERT(!started, "ServeServer::start called twice");
+    started = true;
+    workers.reserve(cfg.threads);
+    for (std::size_t t = 0; t < cfg.threads; ++t)
+        workers.emplace_back([this] { workerLoop(); });
+}
+
+void
+ServeServer::submit(const ServeRequest &req)
+{
+    PACACHE_ASSERT(started && !finished,
+                   "submit outside start()..finish()");
+    PACACHE_ASSERT(req.block.disk < cfg.numDisks,
+                   "disk id out of range");
+    Shard &shard = *stripes[shardOf(req.block.disk)];
+    while (!shard.ring.tryPush(req))
+        std::this_thread::yield();
+}
+
+void
+ServeServer::workerLoop()
+{
+    for (;;) {
+        bool any = false;
+        for (auto &stripe : stripes)
+            any = pumpShard(*stripe) || any;
+        if (!any) {
+            // Exactness of empty() needs quiescent producers, which
+            // the shutdown contract guarantees: done is set only
+            // after every producer stopped.
+            if (done.load(std::memory_order_acquire) &&
+                allRingsEmpty()) {
+                return;
+            }
+            std::this_thread::yield();
+        }
+    }
+}
+
+bool
+ServeServer::pumpShard(Shard &shard)
+{
+    std::unique_lock<std::mutex> lock(shard.mu, std::try_to_lock);
+    if (!lock.owns_lock())
+        return false;
+    bool any = false;
+    ServeRequest req;
+    for (std::size_t n = 0;
+         n < cfg.batch && shard.ring.tryPop(req); ++n) {
+        processOne(shard, req);
+        any = true;
+    }
+    return any;
+}
+
+void
+ServeServer::processOne(Shard &shard, const ServeRequest &req)
+{
+    // Per-stripe simulated time must be monotone (the event queue
+    // cannot run backwards). In replay mode the stripe's subsequence
+    // of a monotone trace is monotone and the clamp is a no-op; the
+    // open-loop generator's cross-producer interleave may need it.
+    const Time t = req.time < shard.lastTime ? shard.lastTime
+                                             : req.time;
+    shard.lastTime = t;
+    shard.system->step(
+        BlockAccess{t, req.block, req.write,
+                    static_cast<std::size_t>(req.traceIndex)},
+        static_cast<std::size_t>(req.idx));
+    ++shard.processed;
+    if (req.submitNs != 0)
+        shard.latency.record(
+            static_cast<double>(hostNowNs() - req.submitNs) * 1e-9);
+}
+
+bool
+ServeServer::allRingsEmpty() const
+{
+    for (const auto &stripe : stripes) {
+        if (!stripe->ring.empty())
+            return false;
+    }
+    return true;
+}
+
+ServeResult
+ServeServer::finish(Time end_time)
+{
+    PACACHE_ASSERT(started, "finish() before start()");
+    PACACHE_ASSERT(!finished, "ServeServer::finish called twice");
+    finished = true;
+    done.store(true, std::memory_order_release);
+    for (auto &w : workers)
+        w.join();
+    workers.clear();
+    PACACHE_ASSERT(allRingsEmpty(), "workers exited with work left");
+
+    ServeResult out;
+    ExperimentResult &r = out.result;
+    r.policyName = policyKindName(cfg.exp.policy);
+    r.numModes = pm.numModes();
+
+    for (auto &stripe : stripes)
+        stripe->system->finish(end_time);
+
+    // Per-disk statistics come from each disk's owning stripe; the
+    // other stripes' replicas of that disk never saw traffic and
+    // their idle-only energy is deliberately not charged.
+    const OracleAnalyzer oracle(pm);
+    r.energy = EnergyStats(pm.numModes());
+    r.perDisk.reserve(cfg.numDisks);
+    for (DiskId d = 0; d < cfg.numDisks; ++d) {
+        Shard &owner = *stripes[shardOf(d)];
+        EnergyStats stats = cfg.exp.dpm == DpmChoice::Oracle
+            ? oracle.priceDisk(owner.disks->disk(d)).stats
+            : owner.disks->disk(d).energy();
+        r.energy += stats;
+        r.perDisk.push_back(std::move(stats));
+        r.diskAccesses.push_back(owner.system->diskAccesses()[d]);
+        r.diskMeanInterArrival.push_back(
+            owner.disks->disk(d).meanInterArrival());
+    }
+
+    for (auto &stripe : stripes) {
+        const CacheStats &cs = stripe->cache->stats();
+        r.cache.accesses += cs.accesses;
+        r.cache.hits += cs.hits;
+        r.cache.misses += cs.misses;
+        r.cache.evictions += cs.evictions;
+        r.cache.coldMisses += cs.coldMisses;
+        r.cache.prefetchInserts += cs.prefetchInserts;
+        r.responses.merge(stripe->system->responses());
+        r.logWrites += stripe->system->logWrites();
+        r.prefetchedBlocks += stripe->system->prefetchedBlocks();
+        if (stripe->logDisk) {
+            r.logServiceEnergy +=
+                stripe->logDisk->energy().serviceEnergy;
+        }
+        out.latency.merge(stripe->latency);
+    }
+    r.totalEnergy = r.energy.total() + r.logServiceEnergy;
+
+    out.shards.reserve(numShards);
+    for (std::size_t i = 0; i < numShards; ++i) {
+        Shard &stripe = *stripes[i];
+        ShardSummary sum;
+        sum.requests = stripe.processed;
+        sum.hits = stripe.cache->stats().hits;
+        std::vector<EnergyStats> owned;
+        for (DiskId d = 0; d < cfg.numDisks; ++d) {
+            if (shardOf(d) != i)
+                continue;
+            owned.push_back(r.perDisk[d]);
+            sum.energy += r.perDisk[d].total();
+        }
+        if (stripe.logDisk)
+            sum.energy += stripe.logDisk->energy().serviceEnergy;
+        sum.ledgerRelError = obs::ledgerMaxRelError(owned);
+        out.shards.push_back(std::move(sum));
+    }
+    out.ledgerMaxRelError = obs::ledgerMaxRelError(r.perDisk);
+    out.ledgerConserves =
+        out.ledgerMaxRelError <= obs::kLedgerConservationTol;
+    return out;
+}
+
+ServeResult
+ServeServer::replayTrace(const Trace &trace, const ServeConfig &config)
+{
+    PACACHE_ASSERT(!trace.empty(), "cannot serve an empty trace");
+    ServeConfig cfg = config;
+    cfg.numDisks = std::max<std::size_t>(trace.numDisks(), 1);
+    ServeServer server(cfg);
+    server.start();
+
+    const std::vector<BlockAccess> accesses = expandTrace(trace);
+    ServeRequest req;
+    for (std::size_t i = 0; i < accesses.size(); ++i) {
+        const BlockAccess &acc = accesses[i];
+        req.time = acc.time;
+        req.block = acc.block;
+        req.write = acc.write;
+        req.traceIndex = acc.traceIndex;
+        req.idx = i;
+        req.submitNs = 0;
+        server.submit(req);
+    }
+    return server.finish(trace.endTime());
+}
+
+} // namespace pacache::serve

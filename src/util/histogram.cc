@@ -50,6 +50,17 @@ IntervalHistogram::reset()
     sum = 0.0;
 }
 
+void
+IntervalHistogram::merge(const IntervalHistogram &other)
+{
+    PACACHE_ASSERT(binEdges == other.binEdges,
+                   "cannot merge histograms with different bin edges");
+    for (std::size_t i = 0; i < binCounts.size(); ++i)
+        binCounts[i] += other.binCounts[i];
+    total += other.total;
+    sum += other.sum;
+}
+
 double
 IntervalHistogram::mean() const
 {

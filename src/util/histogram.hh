@@ -46,6 +46,17 @@ class IntervalHistogram
     /** Remove all samples (start of a new epoch). */
     void reset();
 
+    /**
+     * Add another histogram's samples into this one. Both must share
+     * identical bin edges (fatal otherwise). Bucket counts and the
+     * sample count merge exactly; because addition of the per-bin
+     * integers is commutative and associative, merging per-shard
+     * histograms yields the same buckets as recording the interleaved
+     * stream into one histogram, regardless of shard count or merge
+     * order.
+     */
+    void merge(const IntervalHistogram &other);
+
     /** Total number of recorded samples. */
     uint64_t sampleCount() const { return total; }
 

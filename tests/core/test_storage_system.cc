@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <vector>
 
+#include "cache/belady.hh"
+#include "cache/future.hh"
 #include "cache/lru.hh"
 #include "core/storage_system.hh"
 #include "disk/dpm.hh"
@@ -285,6 +288,43 @@ TEST(StorageSystem, TotalEnergyIncludesLogServiceOnly)
     // The log disk's (large) idle energy is NOT charged.
     EXPECT_LT(sys.totalEnergy(),
               disks_only + h.logDisk->energy().total());
+}
+
+TEST(StorageSystem, IncrementalStepFinishMatchesRun)
+{
+    const Trace t = rwTrace();
+    StorageConfig cfg;
+    cfg.writePolicy = WritePolicy::WriteBack;
+
+    Harness batch(64, 1, true, false);
+    StorageSystem ref(t, batch.eq, batch.cache, batch.disks, cfg);
+    ref.run();
+
+    // Driving the same accesses one step() at a time (the serve
+    // stripe's mode) must land on identical statistics and energy.
+    Harness inc(64, 1, true, false);
+    StorageSystem sys(inc.eq, inc.cache, inc.disks, cfg);
+    const std::vector<BlockAccess> accesses = expandTrace(t);
+    for (std::size_t i = 0; i < accesses.size(); ++i)
+        sys.step(accesses[i], i);
+    sys.finish(t.endTime());
+
+    EXPECT_EQ(inc.cache.stats().hits, batch.cache.stats().hits);
+    EXPECT_EQ(inc.cache.stats().misses, batch.cache.stats().misses);
+    EXPECT_EQ(inc.cache.stats().evictions,
+              batch.cache.stats().evictions);
+    EXPECT_EQ(sys.totalEnergy(), ref.totalEnergy());
+    EXPECT_EQ(sys.responses().count(), ref.responses().count());
+    EXPECT_EQ(sys.responses().sum(), ref.responses().sum());
+}
+
+TEST(StorageSystem, IncrementalRejectsOfflinePolicy)
+{
+    Harness h(64, 1, false, false);
+    StorageConfig cfg;
+    BeladyPolicy offline;
+    Cache cache(8, offline);
+    EXPECT_ANY_THROW(StorageSystem(h.eq, cache, h.disks, cfg));
 }
 
 } // namespace

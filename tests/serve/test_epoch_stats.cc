@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "core/pa_classifier.hh"
+
+namespace pacache
+{
+namespace
+{
+
+PaParams
+testParams()
+{
+    PaParams p;
+    p.coldMissThreshold = 0.5;
+    p.cumulativeProb = 0.8;
+    p.intervalThreshold = 10.0;
+    p.minEpochSamples = 2;
+    return p;
+}
+
+TEST(PaEpochStats, AccumulatesPerDisk)
+{
+    PaEpochStats stats(2);
+    stats.noteRequest(0, true);
+    stats.noteRequest(0, false);
+    stats.noteRequest(1, false);
+    stats.noteInterval(0, 5.0);
+    EXPECT_EQ(stats.disk(0).accesses, 2u);
+    EXPECT_EQ(stats.disk(0).cold, 1u);
+    EXPECT_EQ(stats.disk(0).intervals.sampleCount(), 1u);
+    EXPECT_EQ(stats.disk(1).accesses, 1u);
+    EXPECT_EQ(stats.disk(1).cold, 0u);
+    stats.reset();
+    EXPECT_EQ(stats.disk(0).accesses, 0u);
+    EXPECT_EQ(stats.disk(0).intervals.sampleCount(), 0u);
+}
+
+TEST(PaEpochStats, MergeIsCommutativeAndExact)
+{
+    PaEpochStats a(1);
+    PaEpochStats b(1);
+    PaEpochStats interleaved(1);
+    for (int i = 0; i < 10; ++i) {
+        const bool cold = i % 3 == 0;
+        const double interval = 1.0 + i;
+        PaEpochStats &half = i % 2 == 0 ? a : b;
+        half.noteRequest(0, cold);
+        half.noteInterval(0, interval);
+        interleaved.noteRequest(0, cold);
+        interleaved.noteInterval(0, interval);
+    }
+    PaEpochStats ab(1);
+    ab.merge(a);
+    ab.merge(b);
+    PaEpochStats ba(1);
+    ba.merge(b);
+    ba.merge(a);
+    for (const PaEpochStats *merged : {&ab, &ba}) {
+        EXPECT_EQ(merged->disk(0).accesses,
+                  interleaved.disk(0).accesses);
+        EXPECT_EQ(merged->disk(0).cold, interleaved.disk(0).cold);
+        EXPECT_EQ(merged->disk(0).intervals.counts(),
+                  interleaved.disk(0).intervals.counts());
+        EXPECT_EQ(merged->disk(0).intervals.quantile(0.8),
+                  interleaved.disk(0).intervals.quantile(0.8));
+    }
+}
+
+TEST(ClassifyDiskEpoch, TooFewAccessesStaysUndecided)
+{
+    PaEpochStats stats(1);
+    stats.noteRequest(0, false);
+    const PaClassification c =
+        classifyDiskEpoch(stats.disk(0), testParams());
+    EXPECT_FALSE(c.decided);
+}
+
+TEST(ClassifyDiskEpoch, LongIdleColdBelowAlphaIsPriority)
+{
+    PaEpochStats stats(1);
+    for (int i = 0; i < 10; ++i) {
+        stats.noteRequest(0, i == 0); // 10% cold
+        stats.noteInterval(0, 100.0); // way past the threshold
+    }
+    const PaClassification c =
+        classifyDiskEpoch(stats.disk(0), testParams());
+    EXPECT_TRUE(c.decided);
+    EXPECT_TRUE(c.haveQuantile);
+    EXPECT_TRUE(c.priority);
+    EXPECT_DOUBLE_EQ(c.coldFraction, 0.1);
+    EXPECT_GE(c.quantile, 10.0);
+}
+
+TEST(ClassifyDiskEpoch, MostlyColdIsRegular)
+{
+    PaEpochStats stats(1);
+    for (int i = 0; i < 10; ++i) {
+        stats.noteRequest(0, true); // all cold
+        stats.noteInterval(0, 100.0);
+    }
+    const PaClassification c =
+        classifyDiskEpoch(stats.disk(0), testParams());
+    EXPECT_TRUE(c.decided);
+    EXPECT_FALSE(c.priority);
+}
+
+TEST(ClassifyDiskEpoch, ShortIdleIntervalsAreRegular)
+{
+    PaEpochStats stats(1);
+    for (int i = 0; i < 10; ++i) {
+        stats.noteRequest(0, false);
+        stats.noteInterval(0, 0.5); // below the 10 s threshold
+    }
+    const PaClassification c =
+        classifyDiskEpoch(stats.disk(0), testParams());
+    EXPECT_TRUE(c.decided);
+    EXPECT_TRUE(c.haveQuantile);
+    EXPECT_FALSE(c.priority);
+}
+
+TEST(ClassifyDiskEpoch, CacheAbsorbedDiskJudgedOnColdFractionAlone)
+{
+    PaEpochStats stats(1);
+    stats.noteRequest(0, false);
+    stats.noteRequest(0, false); // accesses but zero disk intervals
+    const PaClassification c =
+        classifyDiskEpoch(stats.disk(0), testParams());
+    EXPECT_TRUE(c.decided);
+    EXPECT_FALSE(c.haveQuantile);
+    EXPECT_TRUE(c.priority);
+}
+
+} // namespace
+} // namespace pacache

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/request_ring.hh"
+
+namespace pacache::serve
+{
+namespace
+{
+
+TEST(RequestRing, SingleThreadFifo)
+{
+    RequestRing<int> ring(8);
+    EXPECT_TRUE(ring.empty());
+    for (int i = 0; i < 5; ++i)
+        ASSERT_TRUE(ring.tryPush(i));
+    EXPECT_FALSE(ring.empty());
+    int out = -1;
+    for (int i = 0; i < 5; ++i) {
+        ASSERT_TRUE(ring.tryPop(out));
+        EXPECT_EQ(out, i);
+    }
+    EXPECT_TRUE(ring.empty());
+    EXPECT_FALSE(ring.tryPop(out));
+}
+
+TEST(RequestRing, FullRingRejectsPush)
+{
+    RequestRing<int> ring(4);
+    EXPECT_EQ(ring.capacity(), 4u);
+    for (int i = 0; i < 4; ++i)
+        ASSERT_TRUE(ring.tryPush(i));
+    EXPECT_FALSE(ring.tryPush(99));
+    int out = -1;
+    ASSERT_TRUE(ring.tryPop(out));
+    EXPECT_EQ(out, 0);
+    EXPECT_TRUE(ring.tryPush(4)); // slot freed
+}
+
+TEST(RequestRing, WrapsAroundManyTimes)
+{
+    RequestRing<int> ring(4);
+    int out = -1;
+    for (int i = 0; i < 1000; ++i) {
+        ASSERT_TRUE(ring.tryPush(i));
+        ASSERT_TRUE(ring.tryPop(out));
+        EXPECT_EQ(out, i);
+    }
+    EXPECT_TRUE(ring.empty());
+}
+
+/**
+ * MPMC stress: every pushed value is popped exactly once, and each
+ * producer's values come out in that producer's order (the FIFO
+ * guarantee serve-mode determinism rests on).
+ */
+TEST(RequestRing, ConcurrentProducersConsumersLoseNothing)
+{
+    constexpr int kProducers = 3;
+    constexpr int kConsumers = 3;
+    constexpr int kPerProducer = 20000;
+    RequestRing<uint64_t> ring(64);
+
+    std::atomic<bool> done{false};
+    std::mutex sinkLock;
+    std::vector<uint64_t> sink;
+    sink.reserve(kProducers * kPerProducer);
+
+    std::vector<std::thread> consumers;
+    for (int t = 0; t < kConsumers; ++t) {
+        consumers.emplace_back([&] {
+            std::vector<uint64_t> local;
+            uint64_t v = 0;
+            for (;;) {
+                if (ring.tryPop(v))
+                    local.push_back(v);
+                else if (done.load(std::memory_order_acquire) &&
+                         ring.empty())
+                    break;
+                else
+                    std::this_thread::yield();
+            }
+            const std::lock_guard<std::mutex> g(sinkLock);
+            sink.insert(sink.end(), local.begin(), local.end());
+        });
+    }
+
+    std::vector<std::thread> producers;
+    for (int p = 0; p < kProducers; ++p) {
+        producers.emplace_back([&ring, p] {
+            for (int n = 0; n < kPerProducer; ++n) {
+                const uint64_t v =
+                    (static_cast<uint64_t>(p) << 32) |
+                    static_cast<uint64_t>(n);
+                while (!ring.tryPush(v))
+                    std::this_thread::yield();
+            }
+        });
+    }
+    for (std::thread &t : producers)
+        t.join();
+    done.store(true, std::memory_order_release);
+    for (std::thread &t : consumers)
+        t.join();
+
+    ASSERT_EQ(sink.size(),
+              static_cast<std::size_t>(kProducers) * kPerProducer);
+    std::sort(sink.begin(), sink.end());
+    for (int p = 0; p < kProducers; ++p) {
+        for (int n = 0; n < kPerProducer; ++n) {
+            const uint64_t expect = (static_cast<uint64_t>(p) << 32) |
+                                    static_cast<uint64_t>(n);
+            EXPECT_EQ(sink[static_cast<std::size_t>(p) * kPerProducer +
+                           n],
+                      expect);
+        }
+    }
+}
+
+} // namespace
+} // namespace pacache::serve

@@ -38,10 +38,13 @@ NON_METRIC_KEYS = {
 
 
 def metrics_of(report):
+    # Keys prefixed "info_" are informational context (e.g. latency
+    # percentiles, which are machine-specific) and never gated.
     return {
         k: v
         for k, v in report.items()
-        if k not in NON_METRIC_KEYS and isinstance(v, (int, float))
+        if k not in NON_METRIC_KEYS and not k.startswith("info_")
+        and isinstance(v, (int, float))
     }
 
 

@@ -80,6 +80,25 @@ else
     rm -rf "$bench_dir"
 fi
 
+step "serve throughput benchmark gate"
+# micro_serve drives the sharded server with the open-loop load
+# generator (verifying run-to-run determinism and ledger
+# conservation) and reports end-to-end throughput; the 1.0 M req/s
+# floor is the serving acceptance criterion. Latency percentiles in
+# the report are informational (info_ prefix) and never gated.
+if [ "${SKIP_BENCH_GATE:-0}" = "1" ]; then
+    echo "skipped (SKIP_BENCH_GATE=1)"
+else
+    bench_dir=$(mktemp -d)
+    PACACHE_BENCH_DIR="$bench_dir" \
+        "$root/build-release/bench/micro_serve"
+    python3 "$root/tools/bench_compare.py" \
+        "$bench_dir/BENCH_serve.json" \
+        "$root/bench/baselines/BENCH_serve.json" \
+        --min serve_mrps=1.0
+    rm -rf "$bench_dir"
+fi
+
 step "ASan+UBSan build"
 cmake -B "$root/build-asan" -S "$root" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo \
@@ -141,7 +160,7 @@ cmake -B "$root/build-tsan" -S "$root" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo \
       -DPACACHE_SANITIZE=thread >/dev/null
 cmake --build "$root/build-tsan" -j "$jobs" \
-      --target pacache_tests pacache_fuzz
+      --target pacache_tests pacache_fuzz pacache_serve
 
 step "TSan parallel sweep determinism"
 # The work-stealing pool must produce byte-identical results at any
@@ -153,5 +172,23 @@ step "TSan fuzz campaign (threaded)"
 # The campaign driver shares the pool across batches; run it with
 # several workers so TSan sees the real submit/wait traffic.
 "$root/build-tsan/tools/pacache_fuzz" --cases 12 --seed 3 --jobs 4
+
+step "TSan serve smoke (multi-threaded)"
+# Drive the sharded server with 4 workers and 2 producers so TSan
+# sees the real ring/stripe-lock traffic, and require the energy
+# ledger to stay conservation-exact under concurrency. TSan aborts
+# the run on any data race; the grep asserts the ledger check.
+"$root/build-tsan/tools/pacache_serve" \
+    --requests 60000 --rate 20000 --shards 4 --threads 4 \
+    --producers 2 --policy pa-lru --per-shard \
+    > "$obs_dir/serve.txt"
+grep -q "energy ledger conservation: ok" "$obs_dir/serve.txt"
+
+step "TSan serve replay differential"
+# The concurrent replay must match the single-threaded simulator
+# bit for bit (exit 1 on any counter or 1e-9 energy mismatch).
+"$root/build-tsan/tools/pacache_serve" \
+    --workload synthetic --requests 4000 --policy pa-lru \
+    --write wtdu --shards 1 --threads 3 --verify-replay
 
 step "all checks passed"

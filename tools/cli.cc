@@ -1,7 +1,14 @@
 #include "cli.hh"
 
 #include <cstdlib>
+#include <iostream>
 
+#include "trace/synthetic.hh"
+#include "trace/trace.hh"
+#include "trace/workloads.hh"
+#include "tracefmt/detect.hh"
+#include "tracefmt/trace_source.hh"
+#include "util/build_info.hh"
 #include "util/logging.hh"
 
 namespace pacache::cli
@@ -77,6 +84,100 @@ Args::firstUnknown(const std::set<std::string> &known) const
             return key;
     }
     return {};
+}
+
+bool
+handleStandardFlags(const Args &args, const std::string &tool,
+                    const char *usage,
+                    const std::set<std::string> &known)
+{
+    if (args.has("help")) {
+        std::cout << usage;
+        return true;
+    }
+    if (args.has("version")) {
+        std::cout << buildInfoBanner(tool.c_str()) << '\n';
+        return true;
+    }
+    std::set<std::string> all = known;
+    all.insert("help");
+    all.insert("version");
+    if (const std::string bad = args.firstUnknown(all); !bad.empty())
+        PACACHE_FATAL("unknown flag --", bad, " (see --help)");
+    return false;
+}
+
+bool
+hasSuffix(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(),
+                     suffix) == 0;
+}
+
+std::ofstream
+openOutput(const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        PACACHE_FATAL("cannot open '", path, "' for writing");
+    return out;
+}
+
+const std::set<std::string> &
+workloadFlags()
+{
+    static const std::set<std::string> flags{
+        "trace",        "trace-format", "workload", "duration",
+        "requests",     "write-ratio",  "interarrival", "pareto",
+        "disks",        "seed"};
+    return flags;
+}
+
+Trace
+loadWorkload(const Args &args, const std::string &default_workload)
+{
+    if (args.has("trace")) {
+        const auto src = tracefmt::openTraceSource(
+            args.get("trace", ""),
+            tracefmt::parseTraceFormat(
+                args.get("trace-format", "auto")));
+        return tracefmt::readAll(*src);
+    }
+
+    const std::string name = args.get("workload", default_workload);
+    if (name == "oltp") {
+        OltpParams p;
+        p.duration = args.getDouble("duration", p.duration);
+        p.seed = args.getUint("seed", p.seed);
+        return makeOltpTrace(p);
+    }
+    if (name == "cello") {
+        CelloParams p;
+        p.duration = args.getDouble("duration", 300.0);
+        p.seed = args.getUint("seed", p.seed);
+        return makeCelloTrace(p);
+    }
+    if (name == "opg-showcase") {
+        OpgShowcaseParams p;
+        p.duration = args.getDouble("duration", p.duration);
+        return makeOpgShowcaseTrace(p);
+    }
+    if (name == "synthetic") {
+        SyntheticParams p;
+        p.numRequests = args.getUint("requests", 20000);
+        p.numDisks =
+            static_cast<uint32_t>(args.getUint("disks", p.numDisks));
+        p.writeRatio = args.getDouble("write-ratio", p.writeRatio);
+        const double mean =
+            args.getDouble("interarrival", p.arrival.meanMs);
+        p.arrival = args.has("pareto")
+            ? ArrivalModel::pareto(mean)
+            : ArrivalModel::exponential(mean);
+        p.seed = args.getUint("seed", p.seed);
+        return generateSynthetic(p);
+    }
+    PACACHE_FATAL("unknown workload '", name, "'");
 }
 
 } // namespace pacache::cli

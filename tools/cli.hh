@@ -9,10 +9,16 @@
 #define PACACHE_TOOLS_CLI_HH
 
 #include <cstdint>
+#include <fstream>
 #include <map>
 #include <set>
 #include <string>
 #include <vector>
+
+namespace pacache
+{
+class Trace;
+}
 
 namespace pacache::cli
 {
@@ -44,6 +50,38 @@ class Args
     std::map<std::string, std::string> values;
     std::vector<std::string> pos;
 };
+
+/**
+ * The option prelude every pacache tool shares: print @p usage on
+ * --help, the build banner on --version (returning true so the
+ * caller exits 0), and reject the first flag not in @p known
+ * ("help" and "version" are implied members).
+ */
+bool handleStandardFlags(const Args &args, const std::string &tool,
+                         const char *usage,
+                         const std::set<std::string> &known);
+
+/** True when @p s ends with @p suffix (output-format sniffing). */
+bool hasSuffix(const std::string &s, const std::string &suffix);
+
+/** Open @p path for writing; fatal (fail fast) when it cannot be. */
+std::ofstream openOutput(const std::string &path);
+
+/**
+ * The workload-selection flags loadWorkload() consumes; union these
+ * into a tool's known-flag set.
+ */
+const std::set<std::string> &workloadFlags();
+
+/**
+ * Build a trace from the standard workload flags: --trace FILE
+ * (format sniffed unless --trace-format says otherwise) or
+ * --workload NAME (oltp | cello | synthetic | opg-showcase) with the
+ * generator knobs --duration, --requests, --write-ratio,
+ * --interarrival, --pareto, --disks, and --seed.
+ */
+Trace loadWorkload(const Args &args,
+                   const std::string &default_workload);
 
 } // namespace pacache::cli
 

@@ -98,20 +98,11 @@ int
 main(int argc, char **argv)
 try {
     const cli::Args args(argc, argv);
-    if (args.has("help")) {
-        std::cout << kUsage;
-        return 0;
-    }
-    if (args.has("version")) {
-        std::cout << buildInfoBanner("pacache_fuzz") << '\n';
-        return 0;
-    }
     const std::set<std::string> known{
         "seconds", "cases", "seed", "property", "jobs", "corpus-out",
-        "no-shrink", "replay", "list", "max-requests", "help",
-        "version"};
-    if (const std::string bad = args.firstUnknown(known); !bad.empty())
-        PACACHE_FATAL("unknown flag --", bad, " (see --help)");
+        "no-shrink", "replay", "list", "max-requests"};
+    if (cli::handleStandardFlags(args, "pacache_fuzz", kUsage, known))
+        return 0;
 
     if (args.has("list")) {
         for (const qa::PropertyDef &prop : qa::allProperties())

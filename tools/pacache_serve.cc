@@ -1,0 +1,282 @@
+/**
+ * @file
+ * pacache_serve — the sharded concurrent serving front-end: drive
+ * the cache + write-policy + DPM kernel from an in-process request
+ * ring, either with the synthetic open-loop load generator (default)
+ * or by replaying a trace/workload, and report throughput, request
+ * latency percentiles, hit ratio, and ledger-reconciled energy per
+ * stripe.
+ *
+ * Examples:
+ *   pacache_serve --threads 4 --shards 4 --requests 2000000
+ *   pacache_serve --workload oltp --policy pa-lru --verify-replay
+ *   pacache_serve --trace mytrace.pct --shards 2 --threads 2
+ */
+
+#include <chrono>
+#include <cmath>
+#include <iostream>
+#include <set>
+
+#include "cli.hh"
+#include "core/report.hh"
+#include "runner/sweep.hh"
+#include "serve/load_gen.hh"
+#include "serve/server.hh"
+#include "trace/trace.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+using namespace pacache;
+
+namespace
+{
+
+const char kUsage[] = R"(pacache_serve — sharded concurrent cache server harness
+
+serving topology:
+  --shards N         cache/disk stripes (default: 1). The stripe
+                     count is semantic: it decides the cache
+                     partition. 1 reproduces pacache_sim bit for bit.
+  --threads N        worker threads (default: 1); any value yields
+                     identical results at a fixed --shards
+  --ring N           per-stripe request ring capacity, power of two
+                     (default: 4096)
+  --batch N          max requests drained per stripe-lock hold
+                     (default: 64)
+
+kernel (as in pacache_sim):
+  --policy NAME      lru | fifo | clock | arc | mq | lirs |
+                     pa-lru | pa-arc | pa-lirs  (default: lru;
+                     off-line policies cannot serve)
+  --dpm NAME         always-on | adaptive | practical | oracle
+                     (default: practical)
+  --write NAME       wt | wb | wbeu | wtdu   (default: wb)
+  --cache-blocks N   cache capacity in blocks (default: 1024)
+  --epoch SECONDS    PA classifier epoch (default: 900)
+  --opg-theta J      OPG penalty floor (default: auto)
+
+workload — replay mode (when --trace or --workload is given):
+  --trace FILE       replay a trace file (format sniffed)
+  --workload NAME    oltp | cello | synthetic | opg-showcase, with
+                     the pacache_sim generator knobs (--duration,
+                     --requests, --write-ratio, --interarrival,
+                     --pareto, --disks, --seed)
+  --verify-replay    also run the single-threaded replay and require
+                     identical hit/miss/eviction counts and total
+                     energy within 1e-9 (exit 1 on mismatch)
+
+workload — open-loop load generator (default mode):
+  --requests N       total requests (default: 1000000)
+  --rate R           simulated arrivals per second (default: 100000)
+  --write-ratio R    write fraction (default: 0.3)
+  --zipf-theta T     per-disk block-popularity skew (default: 0.9;
+                     0 = uniform)
+  --disks N          disk count (default: 16)
+  --blocks-per-disk N  key space per disk (default: 1048576)
+  --producers N      load-generator threads (default: 1)
+  --latency-sample N stamp every Nth request with a host clock for
+                     the latency histogram (default: 64; 0 = off)
+  --seed N           workload seed (default: 1)
+
+output:
+  --per-shard        include the per-stripe table
+  --help             this text
+  --version          build information
+
+Exit status: 0 on success, 1 when --verify-replay finds a mismatch
+or the energy ledger fails its conservation check.
+)";
+
+double
+relDiff(double a, double b)
+{
+    const double scale = std::max(std::abs(a), std::abs(b));
+    return scale == 0 ? 0.0 : std::abs(a - b) / scale;
+}
+
+/**
+ * The acceptance-criteria comparison behind --verify-replay:
+ * identical hit/miss/eviction counts, total energy within 1e-9
+ * relative. Prints one line per mismatch.
+ */
+bool
+matchesReplay(const ExperimentResult &serve,
+              const ExperimentResult &replay)
+{
+    bool ok = true;
+    const auto counter = [&](const char *name, uint64_t s,
+                             uint64_t r) {
+        if (s != r) {
+            std::cout << "MISMATCH " << name << ": serve " << s
+                      << " vs replay " << r << '\n';
+            ok = false;
+        }
+    };
+    counter("accesses", serve.cache.accesses, replay.cache.accesses);
+    counter("hits", serve.cache.hits, replay.cache.hits);
+    counter("misses", serve.cache.misses, replay.cache.misses);
+    counter("evictions", serve.cache.evictions,
+            replay.cache.evictions);
+    counter("cold_misses", serve.cache.coldMisses,
+            replay.cache.coldMisses);
+    counter("log_writes", serve.logWrites, replay.logWrites);
+    const double err = relDiff(serve.totalEnergy, replay.totalEnergy);
+    if (err > 1e-9) {
+        std::cout << "MISMATCH total_energy: serve "
+                  << serve.totalEnergy << " J vs replay "
+                  << replay.totalEnergy << " J (rel " << err << ")\n";
+        ok = false;
+    }
+    return ok;
+}
+
+void
+printLatency(const LogHistogram &lat)
+{
+    if (lat.empty()) {
+        std::cout << "latency: (no samples)\n";
+        return;
+    }
+    std::cout << "latency (" << lat.count() << " samples): p50 "
+              << fmt(lat.quantile(0.5) * 1e6, 1) << " us, p99 "
+              << fmt(lat.quantile(0.99) * 1e6, 1) << " us, p999 "
+              << fmt(lat.quantile(0.999) * 1e6, 1) << " us, max "
+              << fmt(lat.max() * 1e6, 1) << " us\n";
+}
+
+void
+printShards(const serve::ServeResult &res)
+{
+    TextTable table;
+    table.header({"shard", "requests", "hits", "hit ratio",
+                  "energy (J)", "ledger rel err"});
+    for (std::size_t i = 0; i < res.shards.size(); ++i) {
+        const serve::ShardSummary &s = res.shards[i];
+        const double ratio =
+            s.requests ? static_cast<double>(s.hits) /
+                             static_cast<double>(s.requests)
+                       : 0.0;
+        table.row({std::to_string(i), std::to_string(s.requests),
+                   std::to_string(s.hits), fmtPct(ratio, 1),
+                   fmt(s.energy, 1),
+                   fmt(s.ledgerRelError, 12)});
+    }
+    table.print(std::cout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+try {
+    const cli::Args args(argc, argv);
+    std::set<std::string> known{
+        "shards", "threads", "ring", "batch", "policy", "dpm",
+        "write", "cache-blocks", "epoch", "opg-theta",
+        "verify-replay", "rate", "zipf-theta", "blocks-per-disk",
+        "producers", "latency-sample", "per-shard"};
+    known.insert(cli::workloadFlags().begin(),
+                 cli::workloadFlags().end());
+    if (cli::handleStandardFlags(args, "pacache_serve", kUsage, known))
+        return 0;
+
+    serve::ServeConfig cfg;
+    cfg.exp.policy = runner::parsePolicyKind(args.get("policy", "lru"));
+    cfg.exp.dpm = runner::parseDpmChoice(args.get("dpm", "practical"));
+    cfg.exp.storage.writePolicy =
+        runner::parseWritePolicy(args.get("write", "wb"));
+    cfg.exp.cacheBlocks = args.getUint("cache-blocks", 1024);
+    cfg.exp.pa.epochLength = args.getDouble("epoch", 900.0);
+    cfg.exp.opgTheta = args.getDouble("opg-theta", -1.0);
+    cfg.shards = args.getUint("shards", 1);
+    cfg.threads = args.getUint("threads", 1);
+    cfg.ringCapacity = args.getUint("ring", 4096);
+    cfg.batch = args.getUint("batch", 64);
+
+    const bool replay_mode =
+        args.has("trace") || args.has("workload");
+
+    std::cout << "system:   policy "
+              << policyKindName(cfg.exp.policy) << ", dpm "
+              << args.get("dpm", "practical") << ", write "
+              << args.get("write", "wb") << ", cache "
+              << cfg.exp.cacheBlocks << " blocks\n"
+              << "topology: " << cfg.shards << " shard"
+              << (cfg.shards == 1 ? "" : "s") << ", " << cfg.threads
+              << " thread" << (cfg.threads == 1 ? "" : "s")
+              << ", ring " << cfg.ringCapacity << ", batch "
+              << cfg.batch << "\n\n";
+
+    serve::ServeResult res;
+    uint64_t requests = 0;
+    double wall = 0;
+
+    if (replay_mode) {
+        const Trace trace = cli::loadWorkload(args, "oltp");
+        requests = trace.numBlockAccesses();
+        const auto t0 = std::chrono::steady_clock::now();
+        res = serve::ServeServer::replayTrace(trace, cfg);
+        wall = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+        if (args.has("verify-replay")) {
+            ExperimentConfig exp = cfg.exp;
+            const ExperimentResult ref = runExperiment(trace, exp);
+            if (!matchesReplay(res.result, ref)) {
+                std::cout << "serve does NOT match replay\n";
+                return 1;
+            }
+            std::cout << "serve matches replay (" << cfg.shards
+                      << " shards, " << cfg.threads << " threads)\n";
+        }
+    } else {
+        serve::LoadGenConfig gen;
+        gen.producers = args.getUint("producers", 1);
+        gen.requests = args.getUint("requests", 1000000);
+        gen.arrivalRate = args.getDouble("rate", 100000.0);
+        gen.writeRatio = args.getDouble("write-ratio", 0.3);
+        gen.zipfTheta = args.getDouble("zipf-theta", 0.9);
+        gen.blocksPerDisk =
+            args.getUint("blocks-per-disk", 1u << 20);
+        gen.seed = args.getUint("seed", 1);
+        gen.latencySampleEvery = args.getUint("latency-sample", 64);
+        cfg.numDisks = args.getUint("disks", 16);
+        requests = gen.requests;
+
+        serve::ServeServer server(cfg);
+        const auto t0 = std::chrono::steady_clock::now();
+        server.start();
+        runLoadGen(server, gen);
+        const Time end_time = gen.requests == 0
+            ? 0.0
+            : static_cast<double>(gen.requests - 1) /
+                gen.arrivalRate;
+        res = server.finish(end_time);
+        wall = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+    }
+
+    printSummaryReport(std::cout, res.result);
+    std::cout << '\n';
+
+    const double rps = wall > 0 ? static_cast<double>(requests) / wall
+                                : 0.0;
+    std::cout << "throughput: " << fmt(rps / 1e6, 3) << " M req/s ("
+              << requests << " requests in " << fmt(wall, 3)
+              << " s)\n";
+    printLatency(res.latency);
+    std::cout << "energy ledger conservation: "
+              << (res.ledgerConserves ? "ok" : "FAIL")
+              << " (max rel error " << res.ledgerMaxRelError << ")\n";
+
+    if (args.has("per-shard")) {
+        std::cout << "\nper-shard:\n\n";
+        printShards(res);
+    }
+    return res.ledgerConserves ? 0 : 1;
+} catch (const std::exception &e) {
+    std::cerr << e.what() << '\n';
+    return 1;
+}

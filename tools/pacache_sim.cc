@@ -62,6 +62,7 @@ workload selection (one of):
   --write-ratio R        synthetic write fraction (0..1)
   --interarrival MS      synthetic mean inter-arrival time
   --pareto               synthetic: bursty Pareto arrivals
+  --disks N              synthetic disk count
   --seed N               generator seed
 
 system configuration:
@@ -114,65 +115,6 @@ observability:
                          --trace-events the spans land on a dedicated
                          wall-clock track in the trace file
 )";
-
-Trace
-loadWorkload(const cli::Args &args)
-{
-    if (args.has("trace")) {
-        const auto src = tracefmt::openTraceSource(
-            args.get("trace", ""),
-            tracefmt::parseTraceFormat(args.get("trace-format", "auto")));
-        return tracefmt::readAll(*src);
-    }
-
-    const std::string name = args.get("workload", "oltp");
-    if (name == "oltp") {
-        OltpParams p;
-        p.duration = args.getDouble("duration", p.duration);
-        p.seed = args.getUint("seed", p.seed);
-        return makeOltpTrace(p);
-    }
-    if (name == "cello") {
-        CelloParams p;
-        p.duration = args.getDouble("duration", 300.0);
-        p.seed = args.getUint("seed", p.seed);
-        return makeCelloTrace(p);
-    }
-    if (name == "opg-showcase") {
-        OpgShowcaseParams p;
-        p.duration = args.getDouble("duration", p.duration);
-        return makeOpgShowcaseTrace(p);
-    }
-    if (name == "synthetic") {
-        SyntheticParams p;
-        p.numRequests = args.getUint("requests", 20000);
-        p.writeRatio = args.getDouble("write-ratio", p.writeRatio);
-        const double mean =
-            args.getDouble("interarrival", p.arrival.meanMs);
-        p.arrival = args.has("pareto") ? ArrivalModel::pareto(mean)
-                                       : ArrivalModel::exponential(mean);
-        p.seed = args.getUint("seed", p.seed);
-        return generateSynthetic(p);
-    }
-    PACACHE_FATAL("unknown workload '", name, "'");
-}
-
-bool
-hasSuffix(const std::string &s, const std::string &suffix)
-{
-    return s.size() >= suffix.size() &&
-           s.compare(s.size() - suffix.size(), suffix.size(),
-                     suffix) == 0;
-}
-
-std::ofstream
-openOutput(const std::string &path)
-{
-    std::ofstream out(path);
-    if (!out)
-        PACACHE_FATAL("cannot open '", path, "' for writing");
-    return out;
-}
 
 /**
  * The full --metrics-out JSON document: build identification, run
@@ -266,7 +208,7 @@ runSweepMode(const cli::Args &args)
     // milliseconds, not after minutes of simulation.
     std::optional<std::ofstream> sweepOut;
     if (args.has("sweep-out"))
-        sweepOut.emplace(openOutput(args.get("sweep-out", "")));
+        sweepOut.emplace(cli::openOutput(args.get("sweep-out", "")));
 
     std::cout << "sweep '" << spec.name << "': " << spec.points()
               << " runs on " << workers << " worker"
@@ -352,23 +294,15 @@ int
 main(int argc, char **argv)
 try {
     const cli::Args args(argc, argv);
-    if (args.has("help")) {
-        std::cout << kUsage;
-        return 0;
-    }
-    if (args.has("version")) {
-        std::cout << buildInfoBanner("pacache_sim") << '\n';
-        return 0;
-    }
-    const std::set<std::string> known{
-        "trace", "trace-format", "stream", "workload", "duration",
-        "requests", "write-ratio", "interarrival", "pareto", "seed",
-        "policy", "dpm", "write", "cache-blocks", "epoch", "opg-theta",
-        "per-disk", "energy-ledger", "help", "version", "metrics-out",
+    std::set<std::string> known{
+        "stream", "policy", "dpm", "write", "cache-blocks", "epoch",
+        "opg-theta", "per-disk", "energy-ledger", "metrics-out",
         "trace-events", "timeline", "timeline-interval", "progress",
         "profile", "sweep", "sweep-out", "jobs"};
-    if (const std::string bad = args.firstUnknown(known); !bad.empty())
-        PACACHE_FATAL("unknown flag --", bad, " (see --help)");
+    known.insert(cli::workloadFlags().begin(),
+                 cli::workloadFlags().end());
+    if (cli::handleStandardFlags(args, "pacache_sim", kUsage, known))
+        return 0;
 
     if (args.has("sweep"))
         return runSweepMode(args);
@@ -405,7 +339,7 @@ try {
             st.meanInterArrival = sum.meanInterArrival();
             st.duration = sum.endTime;
         } else {
-            trace = loadWorkload(args);
+            trace = cli::loadWorkload(args, "oltp");
             st = characterize(trace);
         }
     }
@@ -430,18 +364,18 @@ try {
     std::unique_ptr<obs::TimelineWriter> timeline;
     bool observing = false;
     if (args.has("metrics-out")) {
-        metrics_out = openOutput(args.get("metrics-out", ""));
+        metrics_out = cli::openOutput(args.get("metrics-out", ""));
         observer.attachMetrics(&registry);
         observing = true;
     }
     if (args.has("trace-events")) {
-        trace_out = openOutput(args.get("trace-events", ""));
+        trace_out = cli::openOutput(args.get("trace-events", ""));
         observer.attachTrace(&trace_events);
         observing = true;
     }
     if (args.has("timeline")) {
         const std::string path = args.get("timeline", "");
-        timeline_out = openOutput(path);
+        timeline_out = cli::openOutput(path);
         timeline = std::make_unique<obs::TimelineWriter>(
             timeline_out, obs::TimelineWriter::formatForPath(path));
         const double interval =
@@ -500,9 +434,9 @@ try {
     if (args.has("metrics-out")) {
         const std::string path = args.get("metrics-out", "");
         std::ostream &out = metrics_out;
-        if (hasSuffix(path, ".txt")) {
+        if (cli::hasSuffix(path, ".txt")) {
             registry.writeText(out);
-        } else if (hasSuffix(path, ".prom")) {
+        } else if (cli::hasSuffix(path, ".prom")) {
             registry.writePrometheus(out);
         } else {
             writeMetricsJson(out, args, st, cfg, r, mode_names, ledger,

@@ -14,10 +14,7 @@
 
 #include "cli.hh"
 #include "trace/stats.hh"
-#include "trace/synthetic.hh"
 #include "trace/trace_io.hh"
-#include "trace/workloads.hh"
-#include "util/build_info.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
 
@@ -30,6 +27,8 @@ const char kUsage[] = R"(pacache_tracegen — workload trace generator
 
   --workload NAME     oltp | cello | synthetic | opg-showcase
                       (default: synthetic)
+  --trace FILE        re-emit an existing trace instead (format
+                      sniffed unless --trace-format says otherwise)
   --out FILE          output path (default: stdout)
   --duration SECONDS  workload length where applicable
   --requests N        synthetic request count (default: 20000)
@@ -48,51 +47,14 @@ int
 main(int argc, char **argv)
 try {
     const cli::Args args(argc, argv);
-    if (args.has("help")) {
-        std::cout << kUsage;
+    std::set<std::string> known{"out"};
+    known.insert(cli::workloadFlags().begin(),
+                 cli::workloadFlags().end());
+    if (cli::handleStandardFlags(args, "pacache_tracegen", kUsage,
+                                 known))
         return 0;
-    }
-    if (args.has("version")) {
-        std::cout << buildInfoBanner("pacache_tracegen") << '\n';
-        return 0;
-    }
-    const std::set<std::string> known{
-        "workload", "out", "duration", "requests", "write-ratio",
-        "interarrival", "pareto", "disks", "seed", "help", "version"};
-    if (const std::string bad = args.firstUnknown(known); !bad.empty())
-        PACACHE_FATAL("unknown flag --", bad, " (see --help)");
 
-    Trace trace;
-    const std::string name = args.get("workload", "synthetic");
-    if (name == "oltp") {
-        OltpParams p;
-        p.duration = args.getDouble("duration", p.duration);
-        p.seed = args.getUint("seed", p.seed);
-        trace = makeOltpTrace(p);
-    } else if (name == "cello") {
-        CelloParams p;
-        p.duration = args.getDouble("duration", 300.0);
-        p.seed = args.getUint("seed", p.seed);
-        trace = makeCelloTrace(p);
-    } else if (name == "opg-showcase") {
-        OpgShowcaseParams p;
-        p.duration = args.getDouble("duration", p.duration);
-        trace = makeOpgShowcaseTrace(p);
-    } else if (name == "synthetic") {
-        SyntheticParams p;
-        p.numRequests = args.getUint("requests", 20000);
-        p.numDisks =
-            static_cast<uint32_t>(args.getUint("disks", p.numDisks));
-        p.writeRatio = args.getDouble("write-ratio", p.writeRatio);
-        const double mean =
-            args.getDouble("interarrival", p.arrival.meanMs);
-        p.arrival = args.has("pareto") ? ArrivalModel::pareto(mean)
-                                       : ArrivalModel::exponential(mean);
-        p.seed = args.getUint("seed", p.seed);
-        trace = generateSynthetic(p);
-    } else {
-        PACACHE_FATAL("unknown workload '", name, "'");
-    }
+    const Trace trace = cli::loadWorkload(args, "synthetic");
 
     if (args.has("out")) {
         writeTraceFile(args.get("out", ""), trace);
