@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Out-of-core scale micro-benchmark: stream-generate a scaled OLTP
+ * trace to .pct (never materialized), replay it with the windowed
+ * off-line oracle (OPG on WindowedFuture), then replay it disk-sharded
+ * across the work-stealing pool — and track throughput plus peak RSS
+ * (VmHWM) at every stage. The trace is 10x the future-knowledge
+ * window, so a bounded peak RSS is direct evidence the oracle really
+ * runs out-of-core.
+ *
+ * BENCH_scale.json carries one gated metric:
+ *   max_peak_rss_mb   process-wide VmHWM in MiB after all phases;
+ *                     "max_"-prefixed, so tools/bench_compare.py
+ *                     gates it as a CEILING (higher is worse), and
+ *                     tools/check.sh adds a hard absolute ceiling on
+ *                     top of the baseline comparison.
+ * plus informational (un-gated, "info_"-prefixed) throughput numbers,
+ * which are machine-specific.
+ *
+ * Equivalence gates built into the timing loop:
+ *   - every windowed replay repetition must be bit-identical
+ *     (deterministic streaming replay);
+ *   - the sharded replay must be bit-identical at --jobs 1 and at the
+ *     full worker count (scheduling must not leak into statistics).
+ *
+ * PACACHE_SCALE_REQUESTS / PACACHE_SCALE_DISKS resize the workload
+ * (defaults: 2000000 x 64); PACACHE_BENCH_REPS overrides the
+ * repetition count (default 3).
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include <stdlib.h>
+#include <unistd.h>
+
+#include "bench_report.hh"
+#include "core/experiment.hh"
+#include "runner/shard_replay.hh"
+#include "trace/stream_gen.hh"
+#include "tracefmt/pct.hh"
+#include "util/mem.hh"
+#include "util/table.hh"
+
+using namespace pacache;
+
+namespace
+{
+
+uint64_t
+envUint(const char *name, uint64_t fallback)
+{
+    if (const char *env = std::getenv(name)) {
+        const long long v = std::atoll(env);
+        if (v > 0)
+            return static_cast<uint64_t>(v);
+    }
+    return fallback;
+}
+
+double
+mib(uint64_t bytes)
+{
+    return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** Unlinked-on-exit temporary .pct path. */
+struct TempPct
+{
+    std::string path;
+
+    TempPct()
+    {
+        const char *dir = std::getenv("TMPDIR");
+        std::string templ = std::string(dir && *dir ? dir : "/tmp") +
+                            "/pacache-scale-XXXXXX.pct";
+        const int fd = mkstemps(templ.data(), 4);
+        if (fd < 0) {
+            std::cerr << "FATAL: cannot create temp file " << templ
+                      << '\n';
+            std::exit(1);
+        }
+        close(fd);
+        path = templ;
+    }
+
+    ~TempPct() { unlink(path.c_str()); }
+};
+
+/** The replay outputs that must not vary across reps or job counts. */
+struct Fingerprint
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    Energy totalEnergy = 0;
+
+    Fingerprint() = default;
+
+    explicit Fingerprint(const ExperimentResult &r)
+        : hits(r.cache.hits), misses(r.cache.misses),
+          evictions(r.cache.evictions), totalEnergy(r.totalEnergy)
+    {
+    }
+
+    bool
+    operator==(const Fingerprint &o) const
+    {
+        return hits == o.hits && misses == o.misses &&
+               evictions == o.evictions &&
+               totalEnergy == o.totalEnergy; // exact, not near
+    }
+};
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "=== micro_scale: out-of-core replay at scale ===\n\n";
+    const uint64_t requests =
+        envUint("PACACHE_SCALE_REQUESTS", 2000000);
+    const uint32_t disks = static_cast<uint32_t>(
+        envUint("PACACHE_SCALE_DISKS", 64));
+    const unsigned reps =
+        static_cast<unsigned>(envUint("PACACHE_BENCH_REPS", 3));
+    const unsigned jobs = benchsupport::jobsFromEnv();
+
+    ExperimentConfig cfg;
+    cfg.policy = PolicyKind::OPG;
+    cfg.cacheBlocks = 1 << 16;
+    // Trace = 10x window: the oracle must page future knowledge.
+    cfg.windowAccesses =
+        static_cast<std::size_t>(std::max<uint64_t>(requests / 10, 1));
+    // Several backward-pass chunks, so stitching is on the timed path.
+    cfg.oracleChunkAccesses =
+        static_cast<std::size_t>(std::max<uint64_t>(requests / 8, 1024));
+
+    std::cout << requests << " requests, " << disks
+              << " disks (scaled oltp), window " << cfg.windowAccesses
+              << " accesses, " << reps << " reps\n\n";
+
+    benchsupport::BenchReport report("scale", jobs);
+    TempPct pct;
+
+    // --- generate: stream straight to .pct, no Trace in memory ----
+    double genSec;
+    {
+        StreamingSyntheticSource gen(scaledOltpStreams(disks), 0.0, 42,
+                                     requests);
+        const auto t0 = std::chrono::steady_clock::now();
+        const tracefmt::PctInfo info = tracefmt::writePct(pct.path, gen);
+        genSec = secondsSince(t0);
+        if (info.records != requests) {
+            std::cerr << "FATAL: generator produced "
+                      << info.records << " of " << requests
+                      << " records\n";
+            return 1;
+        }
+    }
+    const double genRps = static_cast<double>(requests) / genSec;
+    report.addRun("scale/generate", genSec * 1e3, requests);
+    report.metric("info_gen_krps", genRps / 1e3);
+    std::cout << "generate: " << fmt(genRps / 1e6, 3)
+              << " M req/s, peak RSS " << fmt(mib(peakRssBytes()), 1)
+              << " MiB\n";
+
+    // --- windowed OPG replay, best of N, bit-identical reps --------
+    // Checksum verification off: it is a separate sequential pass and
+    // this benchmark times the replay itself.
+    tracefmt::PctReadOptions ropts;
+    ropts.verifyChecksum = false;
+    double windowedSec = 0;
+    Fingerprint fp;
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        tracefmt::PctMmapSource src(pct.path, ropts);
+        const auto t0 = std::chrono::steady_clock::now();
+        const ExperimentResult r = runExperiment(src, cfg);
+        const double sec = secondsSince(t0);
+        const Fingerprint now(r);
+        if (rep == 0) {
+            fp = now;
+        } else if (!(now == fp)) {
+            std::cerr << "FATAL: windowed replay not deterministic "
+                         "across repetitions\n";
+            return 1;
+        }
+        if (rep == 0 || sec < windowedSec)
+            windowedSec = sec;
+        std::cout << "  windowed opg rep " << rep << ": "
+                  << fmt(static_cast<double>(requests) / sec / 1e3, 1)
+                  << " k req/s\n";
+    }
+    const double windowedRps =
+        static_cast<double>(requests) / windowedSec;
+    report.addRun("scale/opg_windowed", windowedSec * 1e3, requests);
+    report.metric("info_windowed_krps", windowedRps / 1e3);
+    report.metric("info_peak_rss_windowed_mb", mib(peakRssBytes()));
+    std::cout << "windowed opg: " << fmt(windowedRps / 1e3, 1)
+              << " k req/s best, peak RSS "
+              << fmt(mib(peakRssBytes()), 1) << " MiB\n";
+
+    // --- disk-sharded replay: jobs=1 must equal jobs=N -------------
+    runner::ShardReplayOptions sopts;
+    sopts.shards = 8;
+    sopts.jobs = 1;
+    Fingerprint shardFp;
+    {
+        const ExperimentResult r =
+            runner::runShardedExperiment(pct.path, cfg, sopts);
+        shardFp = Fingerprint(r);
+    }
+    sopts.jobs = jobs;
+    double shardSec = 0;
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        const auto t0 = std::chrono::steady_clock::now();
+        const ExperimentResult r =
+            runner::runShardedExperiment(pct.path, cfg, sopts);
+        const double sec = secondsSince(t0);
+        if (!(Fingerprint(r) == shardFp)) {
+            std::cerr << "FATAL: sharded replay at jobs=" << jobs
+                      << " differs from jobs=1\n";
+            return 1;
+        }
+        if (rep == 0 || sec < shardSec)
+            shardSec = sec;
+        std::cout << "  sharded opg rep " << rep << ": "
+                  << fmt(static_cast<double>(requests) / sec / 1e3, 1)
+                  << " k req/s\n";
+    }
+    const double shardRps = static_cast<double>(requests) / shardSec;
+    report.addRun("scale/opg_sharded", shardSec * 1e3, requests);
+    report.metric("info_sharded_krps", shardRps / 1e3);
+
+    // --- the gated ceiling -----------------------------------------
+    const double peakMb = mib(peakRssBytes());
+    report.metric("max_peak_rss_mb", peakMb);
+    std::cout << "sharded opg (" << sopts.shards << " shards): "
+              << fmt(shardRps / 1e3, 1) << " k req/s best\n"
+              << "\npeak RSS " << fmt(peakMb, 1)
+              << " MiB across all phases\n";
+
+    std::cout << "\nwrote " << report.write() << '\n';
+    return 0;
+}

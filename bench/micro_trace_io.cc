@@ -119,10 +119,35 @@ BM_PctMmapVerified(benchmark::State &state)
         static_cast<int64_t>(state.iterations() * kRecords));
 }
 
+/**
+ * The mmap reader without the paging hints (no MADV_SEQUENTIAL /
+ * WILLNEED prefetch ahead, no MADV_DONTNEED release behind), against
+ * BM_PctMmap which has both on. On a warm page cache the hinted
+ * path's win is small-to-none — the hints exist to bound the
+ * resident set on files larger than RAM, not to speed up re-reads —
+ * so this pair mostly guards against the hint syscalls costing
+ * measurable throughput.
+ */
+void
+BM_PctMmapNoHints(benchmark::State &state)
+{
+    tracefmt::PctReadOptions opts;
+    opts.verifyChecksum = false;
+    opts.releaseBehind = false;
+    opts.prefetchAhead = false;
+    for (auto _ : state) {
+        tracefmt::PctMmapSource src(files().pct, opts);
+        drain(src);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * kRecords));
+}
+
 BENCHMARK(BM_TextParse);
 BENCHMARK(BM_PctBuffered);
 BENCHMARK(BM_PctMmap);
 BENCHMARK(BM_PctMmapVerified);
+BENCHMARK(BM_PctMmapNoHints);
 
 } // namespace
 

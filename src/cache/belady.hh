@@ -11,6 +11,11 @@
  * block) — kNever sorts last, exactly matching the reference's
  * std::prev(set.end()) victim — with a flat hash map from block to
  * its stable heap handle.
+ *
+ * Like OPG the policy is templated over its future provider F:
+ * FutureKnowledge (materialized; BeladyPolicy) or WindowedFuture
+ * (exact out-of-core streaming; WindowedBeladyPolicy, fed through
+ * prepareWindowed with pinTimes off — MIN never prices times).
  */
 
 #ifndef PACACHE_CACHE_BELADY_HH
@@ -18,6 +23,7 @@
 
 #include <utility>
 
+#include "cache/future_window.hh"
 #include "cache/policy.hh"
 #include "util/flat_map.hh"
 #include "util/indexed_heap.hh"
@@ -25,13 +31,17 @@
 namespace pacache
 {
 
-/** Belady's off-line MIN replacement policy. */
-class BeladyPolicy : public ReplacementPolicy
+/** Belady's off-line MIN replacement policy over future provider F. */
+template <typename F>
+class BasicBeladyPolicy : public ReplacementPolicy
 {
   public:
     const char *name() const override { return "Belady"; }
 
     void prepare(const std::vector<BlockAccess> &accesses) override;
+
+    /** Streaming counterpart of prepare() (F = WindowedFuture). */
+    void prepareWindowed(F &&fut);
 
     void onAccess(const BlockId &block, Time now, std::size_t idx,
                   bool hit) override;
@@ -39,6 +49,10 @@ class BeladyPolicy : public ReplacementPolicy
     BlockId evict(Time now, std::size_t idx) override;
     bool supportsPrefetch() const override { return false; }
     bool isOffline() const override { return true; }
+    bool streamReady() const override
+    {
+        return F::kStreaming && prepared;
+    }
 
   private:
     using UseKey = std::pair<std::size_t, BlockId>;
@@ -54,15 +68,24 @@ class BeladyPolicy : public ReplacementPolicy
     };
 
     using UseHeap = IndexedHeap<UseKey, FurthestFirst>;
-    using Handle = UseHeap::Handle;
+    using Handle = typename UseHeap::Handle;
 
-    FutureKnowledge future;
+    F future;
     bool prepared = false;
 
     UseHeap byNextUse;
     /** Packed 64-bit keys: 16-byte slots, one-word hash per probe. */
     FlatMap<std::uint64_t, Handle> handleOf;
 };
+
+// Compiled once in belady.cc; see the matching note in core/opg.hh.
+extern template class BasicBeladyPolicy<FutureKnowledge>;
+extern template class BasicBeladyPolicy<WindowedFuture>;
+
+/** The classic materialized MIN. */
+using BeladyPolicy = BasicBeladyPolicy<FutureKnowledge>;
+/** The exact out-of-core MIN (streaming replay only). */
+using WindowedBeladyPolicy = BasicBeladyPolicy<WindowedFuture>;
 
 } // namespace pacache
 

@@ -54,6 +54,8 @@ class FutureKnowledge
   public:
     /** Sentinel: the block is never accessed again. */
     static constexpr std::size_t kNever = static_cast<std::size_t>(-1);
+    /** Materialized provider: consumers may hold the whole stream. */
+    static constexpr bool kStreaming = false;
 
     /** Build from an expanded access stream. */
     static FutureKnowledge build(const std::vector<BlockAccess> &accesses);

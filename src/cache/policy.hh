@@ -77,6 +77,14 @@ class ReplacementPolicy
      * materialize the trace for them; they override this to true.
      */
     virtual bool isOffline() const { return false; }
+
+    /**
+     * True when this policy can replay a stream it has never seen
+     * materialized. On-line policies always can; off-line ones only
+     * when armed with out-of-core future knowledge (the windowed
+     * oracles override this once prepareWindowed() has run).
+     */
+    virtual bool streamReady() const { return !isOffline(); }
 };
 
 } // namespace pacache

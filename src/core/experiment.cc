@@ -1,6 +1,11 @@
 #include "core/experiment.hh"
 
+#include <stdlib.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <cstring>
 #include <memory>
 
 #include "cache/arc.hh"
@@ -18,6 +23,7 @@
 #include "obs/observer.hh"
 #include "obs/profiler.hh"
 #include "sim/event_queue.hh"
+#include "tracefmt/pct.hh"
 #include "tracefmt/trace_source.hh"
 #include "util/logging.hh"
 
@@ -75,20 +81,39 @@ resolvePaParams(const ExperimentConfig &config, const PowerModel &pm)
     return pa;
 }
 
+namespace
+{
+
+/**
+ * OPG prices idle periods with the energy function of the DPM the
+ * disks actually run; the adaptive timeout policy is closest to the
+ * threshold walk.
+ */
+DpmKind
+opgPricing(const ExperimentConfig &cfg)
+{
+    return (cfg.dpm == DpmChoice::Practical ||
+            cfg.dpm == DpmChoice::Adaptive)
+        ? DpmKind::Practical
+        : DpmKind::Oracle;
+}
+
+Energy
+opgThetaOf(const ExperimentConfig &cfg, const PowerModel &pm)
+{
+    return cfg.opgTheta >= 0
+        ? cfg.opgTheta
+        : pm.mode(firstEnvelopeNap(pm)).transitionEnergy();
+}
+
+} // namespace
+
 std::unique_ptr<ReplacementPolicy>
 makeReplacementPolicy(const ExperimentConfig &cfg, const PowerModel &pm,
                       const PaClassifier *classifier, std::size_t capacity)
 {
-    // OPG prices idle periods with the energy function of the DPM the
-    // disks actually run; the adaptive timeout policy is closest to
-    // the threshold walk.
-    const DpmKind pricing = (cfg.dpm == DpmChoice::Practical ||
-                             cfg.dpm == DpmChoice::Adaptive)
-        ? DpmKind::Practical
-        : DpmKind::Oracle;
-    const Energy theta = cfg.opgTheta >= 0
-        ? cfg.opgTheta
-        : pm.mode(firstEnvelopeNap(pm)).transitionEnergy();
+    const DpmKind pricing = opgPricing(cfg);
+    const Energy theta = opgThetaOf(cfg, pm);
 
     switch (cfg.policy) {
       case PolicyKind::LRU:
@@ -129,25 +154,43 @@ namespace
 {
 
 /**
+ * Out-of-core oracle request: build windowed future knowledge over
+ * this .pct file and stream the replay instead of materializing.
+ */
+struct WindowedSetup
+{
+    std::string pctPath;
+    std::size_t windowEntries;
+    std::size_t chunkAccesses; //!< 0 = WindowedFuture default
+};
+
+/**
  * Shared experiment body: exactly one of @p trace / @p source is
  * non-null and picks the in-memory or streaming drive path.
+ * @p windowed (streaming off-line runs only) carries the
+ * out-of-core oracle request.
  */
 ExperimentResult
 runExperimentImpl(const Trace *trace, tracefmt::TraceSource *source,
-                  std::size_t num_disks, const ExperimentConfig &config)
+                  std::size_t num_disks, const ExperimentConfig &config,
+                  const WindowedSetup *windowed = nullptr)
 {
     const PowerModel pm(config.spec);
     const ServiceModel sm(config.spec, config.service);
 
-    // Infinite cache: capacity one past the total block volume (the
-    // streaming overload materializes for this policy).
+    // Infinite cache: capacity one past the total block volume —
+    // summed from the trace, or from a constant-memory pre-scan when
+    // streaming.
     std::size_t capacity = config.cacheBlocks;
     if (config.policy == PolicyKind::InfiniteCache) {
-        PACACHE_ASSERT(trace, "infinite cache needs the whole trace");
         uint64_t blocks = 0;
-        for (const auto &rec : *trace)
-            blocks += rec.numBlocks;
-        capacity = blocks + 16;
+        if (trace) {
+            for (const auto &rec : *trace)
+                blocks += rec.numBlocks;
+        } else {
+            blocks = tracefmt::scan(*source).blocks;
+        }
+        capacity = static_cast<std::size_t>(blocks) + 16;
     }
 
     // Classifier for the PA family.
@@ -157,8 +200,33 @@ runExperimentImpl(const Trace *trace, tracefmt::TraceSource *source,
             num_disks, resolvePaParams(config, pm));
     }
 
-    std::unique_ptr<ReplacementPolicy> policy =
-        makeReplacementPolicy(config, pm, classifier.get(), capacity);
+    std::unique_ptr<ReplacementPolicy> policy;
+    if (windowed) {
+        // Out-of-core off-line run: the backward pass over the .pct
+        // file replaces prepare()'s whole-trace oracle indexing.
+        obs::ProfileScope scope(config.profiler, "oracle_precompute");
+        WindowedFuture::Options wopts;
+        wopts.windowEntries = windowed->windowEntries;
+        if (windowed->chunkAccesses > 0)
+            wopts.chunkAccesses = windowed->chunkAccesses;
+        wopts.pinTimes = config.policy == PolicyKind::OPG;
+        WindowedFuture fut(windowed->pctPath, wopts);
+        if (config.policy == PolicyKind::OPG) {
+            auto opg = std::make_unique<WindowedOpgPolicy>(
+                pm, opgPricing(config), opgThetaOf(config, pm));
+            opg->prepareWindowed(std::move(fut));
+            policy = std::move(opg);
+        } else {
+            PACACHE_ASSERT(config.policy == PolicyKind::Belady,
+                           "windowed oracle supports Belady/OPG only");
+            auto min = std::make_unique<WindowedBeladyPolicy>();
+            min->prepareWindowed(std::move(fut));
+            policy = std::move(min);
+        }
+    } else {
+        policy = makeReplacementPolicy(config, pm, classifier.get(),
+                                       capacity);
+    }
     Cache cache(capacity, *policy);
 
     EventQueue eq;
@@ -328,13 +396,51 @@ runExperiment(const Trace &trace, const ExperimentConfig &config)
         config);
 }
 
+namespace
+{
+
+/** A named temp .pct, unlinked when the spill goes out of scope. */
+struct PctSpill
+{
+    std::string path;
+
+    ~PctSpill()
+    {
+        if (!path.empty())
+            ::unlink(path.c_str());
+    }
+
+    void
+    create()
+    {
+        const char *env = ::getenv("TMPDIR");
+        std::string templ = (env && *env ? std::string(env)
+                                         : std::string("/tmp")) +
+                            "/pacache-spill-XXXXXX.pct";
+        std::vector<char> buf(templ.begin(), templ.end());
+        buf.push_back('\0');
+        const int fd = ::mkstemps(buf.data(), 4);
+        if (fd < 0) {
+            PACACHE_FATAL("cannot create spill file '", buf.data(),
+                          "': ", std::strerror(errno));
+        }
+        ::close(fd);
+        path.assign(buf.data());
+    }
+};
+
+} // namespace
+
 ExperimentResult
 runExperiment(tracefmt::TraceSource &source,
               const ExperimentConfig &config)
 {
-    // Off-line future knowledge and the infinite-cache sizing rule
-    // both need the whole access stream before the run starts.
-    if (policyNeedsFuture(config.policy)) {
+    // Off-line future knowledge needs the whole access stream before
+    // the run starts: materialize by default, or run out-of-core on
+    // the windowed oracle when a window was requested.
+    const bool offline = config.policy == PolicyKind::Belady ||
+                         config.policy == PolicyKind::OPG;
+    if (offline && config.windowAccesses == 0) {
         const Trace trace = tracefmt::readAll(source);
         return runExperiment(trace, config);
     }
@@ -344,10 +450,27 @@ runExperiment(tracefmt::TraceSource &source,
     uint64_t num_disks = source.numDisksHint();
     if (num_disks == tracefmt::TraceSource::kUnknown)
         num_disks = tracefmt::scan(source).numDisks;
-    return runExperimentImpl(
-        nullptr, &source,
-        std::max<std::size_t>(static_cast<std::size_t>(num_disks), 1),
-        config);
+    const std::size_t disks =
+        std::max<std::size_t>(static_cast<std::size_t>(num_disks), 1);
+
+    if (!offline)
+        return runExperimentImpl(nullptr, &source, disks, config);
+
+    // The backward pass needs random access to the records: use the
+    // source's own .pct file, or spill the stream to a temporary one
+    // (a single sequential pass, never materialized).
+    WindowedSetup setup;
+    setup.windowEntries = config.windowAccesses;
+    setup.chunkAccesses = config.oracleChunkAccesses;
+    setup.pctPath = source.pctPath();
+    PctSpill spill;
+    if (setup.pctPath.empty()) {
+        spill.create();
+        tracefmt::writePct(spill.path, source);
+        source.rewind();
+        setup.pctPath = spill.path;
+    }
+    return runExperimentImpl(nullptr, &source, disks, config, &setup);
 }
 
 } // namespace pacache

@@ -70,6 +70,24 @@ struct ExperimentConfig
     Energy opgTheta = -1;  //!< < 0: auto (first NAP transition energy)
 
     /**
+     * Out-of-core oracle replay (streaming overload only): when > 0
+     * and the policy is off-line (Belady/OPG), future knowledge is
+     * built by the windowed backward pass over the source's .pct file
+     * (non-.pct sources are spilled to a temporary .pct first) and
+     * the replay streams, so peak RSS is bounded by the window
+     * instead of the trace length. Results are bit-identical to the
+     * materialized path for any value. 0 keeps the transparent
+     * materialization behavior.
+     */
+    std::size_t windowAccesses = 0;
+    /**
+     * Backward-pass chunk size in block accesses for the windowed
+     * oracle (bounds the build's peak RSS). 0 = WindowedFuture's
+     * default.
+     */
+    std::size_t oracleChunkAccesses = 0;
+
+    /**
      * Observability fan-out; null disables instrumentation. The
      * runner wires it into the disks, cache, classifier and storage
      * system, installs the timeline snapshot callback, and fills the
@@ -147,10 +165,13 @@ ExperimentResult runExperiment(const Trace &trace,
 /**
  * Run one experiment by streaming records from @p source (rewinding
  * it first if a pre-scan is needed), so traces larger than RAM can
- * drive the system. Off-line policies (Belady, OPG) and the infinite
- * cache need the whole access stream up front; for those the source
- * is materialized transparently. Statistics are identical to the
- * in-memory path on the same workload.
+ * drive the system. The infinite cache sizes itself from a
+ * constant-memory pre-scan and streams. Off-line policies (Belady,
+ * OPG) need the whole future: with config.windowAccesses == 0 the
+ * source is materialized transparently; with it > 0 they run
+ * out-of-core on windowed future knowledge over the source's .pct
+ * file. Statistics are identical to the in-memory path on the same
+ * workload either way.
  */
 ExperimentResult runExperiment(tracefmt::TraceSource &source,
                                const ExperimentConfig &config);

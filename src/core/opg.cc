@@ -1,38 +1,27 @@
 #include "core/opg.hh"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/logging.hh"
 
 namespace pacache
 {
 
-OpgPolicy::OpgPolicy(const PowerModel &pm_, DpmKind kind, Energy theta_)
+template <typename F>
+BasicOpgPolicy<F>::BasicOpgPolicy(const PowerModel &pm_, DpmKind kind,
+                                  Energy theta_)
     : pm(&pm_), dpmKind(kind), theta(theta_)
 {
     PACACHE_ASSERT(theta >= 0, "theta must be non-negative");
 }
 
+template <typename F>
 void
-OpgPolicy::prepare(const std::vector<BlockAccess> &accs)
+BasicOpgPolicy<F>::finishPrepare(
+    std::size_t num_disks, Time last,
+    const std::vector<std::pair<DiskId, std::size_t>> &cold)
 {
-    accesses = &accs;
-    future = FutureKnowledge::build(accs);
-
-    // One pass over the 40-byte records: disk count, trace end, and
-    // the cold-miss indices (each block's first reference) that seed
-    // S. The per-disk inserts are deferred until the disk count is
-    // known; cold[] holds one entry per unique block.
-    std::size_t num_disks = 1;
-    Time last = 0;
-    std::vector<std::pair<DiskId, std::size_t>> cold;
-    for (std::size_t i = 0; i < accs.size(); ++i) {
-        const auto &a = accs[i];
-        num_disks = std::max<std::size_t>(num_disks, a.block.disk + 1);
-        last = std::max(last, a.time);
-        if (future.isFirstReference(i))
-            cold.emplace_back(a.block.disk, i);
-    }
     // "No leader/follower" sentinel: far enough out that every energy
     // function has reached its linear (deepest-mode) tail.
     const auto &thr = pm->thresholds();
@@ -50,12 +39,68 @@ OpgPolicy::prepare(const std::vector<BlockAccess> &accs)
     // S starts as the set of all cold misses (first references).
     for (const auto &[disk, i] : cold)
         detMiss[disk].insert(i);
+    ready = true;
 }
 
-Energy
-OpgPolicy::computePenalty(DiskId disk, std::size_t next_idx) const
+template <typename F>
+void
+BasicOpgPolicy<F>::prepare(const std::vector<BlockAccess> &accs)
 {
-    if (next_idx == FutureKnowledge::kNever)
+    if constexpr (F::kStreaming) {
+        (void)accs;
+        PACACHE_FATAL("windowed OPG cannot materialize an access "
+                      "stream; feed it via prepareWindowed()");
+    } else {
+        accesses = &accs;
+        future = F::build(accs);
+
+        // One pass over the 40-byte records: disk count, trace end,
+        // and the cold-miss indices (each block's first reference)
+        // that seed S. The per-disk inserts are deferred until the
+        // disk count is known; cold[] holds one entry per unique
+        // block.
+        std::size_t num_disks = 1;
+        Time last = 0;
+        std::vector<std::pair<DiskId, std::size_t>> cold;
+        for (std::size_t i = 0; i < accs.size(); ++i) {
+            const auto &a = accs[i];
+            num_disks =
+                std::max<std::size_t>(num_disks, a.block.disk + 1);
+            last = std::max(last, a.time);
+            if (future.isFirstReference(i))
+                cold.emplace_back(a.block.disk, i);
+        }
+        finishPrepare(num_disks, last, cold);
+    }
+}
+
+template <typename F>
+void
+BasicOpgPolicy<F>::prepareWindowed(F &&fut)
+{
+    if constexpr (!F::kStreaming) {
+        (void)fut;
+        PACACHE_FATAL("prepareWindowed on the materialized oracle; "
+                      "use prepare()");
+    } else {
+        PACACHE_ASSERT(fut.built(),
+                       "prepareWindowed requires a built future");
+        future = std::move(fut);
+        accesses = nullptr;
+        std::vector<std::pair<DiskId, std::size_t>> cold;
+        cold.reserve(future.coldSeeds().size());
+        for (const auto &seed : future.coldSeeds())
+            cold.emplace_back(seed.disk, seed.idx);
+        finishPrepare(future.numDisks(), future.endTime(), cold);
+    }
+}
+
+template <typename F>
+Energy
+BasicOpgPolicy<F>::computePenalty(DiskId disk,
+                                  std::size_t next_idx) const
+{
+    if (next_idx == F::kNever)
         return 0.0; // never re-referenced: eviction costs nothing
 
     const auto nb = detMiss[disk].neighbors(next_idx);
@@ -74,8 +119,10 @@ OpgPolicy::computePenalty(DiskId disk, std::size_t next_idx) const
     return std::max<Energy>(penalty, 0.0);
 }
 
+template <typename F>
 void
-OpgPolicy::insertResident(const BlockId &block, std::size_t next_idx)
+BasicOpgPolicy<F>::insertResident(const BlockId &block,
+                                  std::size_t next_idx)
 {
     const Energy penalty =
         std::max(computePenalty(block.disk, next_idx), theta);
@@ -83,22 +130,23 @@ OpgPolicy::insertResident(const BlockId &block, std::size_t next_idx)
         evictOrder.push(EvictKey{penalty, next_idx, block.packed()});
     const bool inserted = handleOf.emplace(block.packed(), h).second;
     PACACHE_ASSERT(inserted, "OPG double insert of resident block");
-    if (next_idx != FutureKnowledge::kNever) {
+    if (next_idx != F::kNever) {
         const bool fresh =
             residentByNext[block.disk].insert(next_idx, h);
         PACACHE_ASSERT(fresh, "OPG next-use index collision");
     }
 }
 
-OpgPolicy::EvictKey
-OpgPolicy::eraseResident(const BlockId &block)
+template <typename F>
+typename BasicOpgPolicy<F>::EvictKey
+BasicOpgPolicy<F>::eraseResident(const BlockId &block)
 {
     Handle *hp = handleOf.find(block.packed());
     PACACHE_ASSERT(hp, "OPG removal of unknown block");
     const Handle h = *hp;
     const EvictKey key = evictOrder.key(h);
     handleOf.erase(block.packed());
-    if (key.nextIdx != FutureKnowledge::kNever) {
+    if (key.nextIdx != F::kNever) {
         const bool erased =
             residentByNext[block.disk].erase(key.nextIdx);
         PACACHE_ASSERT(erased, "OPG residentByNext out of sync");
@@ -107,16 +155,16 @@ OpgPolicy::eraseResident(const BlockId &block)
     return key;
 }
 
+template <typename F>
 void
-OpgPolicy::repriceGap(DiskId disk, std::size_t lo, bool has_lo,
-                      std::size_t hi, bool has_hi)
+BasicOpgPolicy<F>::repriceGap(DiskId disk, std::size_t lo, bool has_lo,
+                              std::size_t hi, bool has_hi)
 {
     // Every resident with next access inside (lo, hi) shares the same
     // leader (lo) and follower (hi) — no per-block detMiss queries.
     const Time t_lo = has_lo ? future.timeOf(lo) : 0;
     const Time t_hi = has_hi ? future.timeOf(hi) : 0;
-    const std::size_t hi_key =
-        has_hi ? hi : FutureKnowledge::kNever;
+    const std::size_t hi_key = has_hi ? hi : F::kNever;
     // A missing end always prices as the cached E(bigTime), exactly
     // what computePenalty substitutes. The whole-gap term is NOT
     // hoisted as E(t_hi - t_lo) even though l + f is mathematically
@@ -142,10 +190,11 @@ OpgPolicy::repriceGap(DiskId disk, std::size_t lo, bool has_lo,
         });
 }
 
+template <typename F>
 void
-OpgPolicy::detInsert(DiskId disk, std::size_t idx)
+BasicOpgPolicy<F>::detInsert(DiskId disk, std::size_t idx)
 {
-    OrderedSet<std::size_t>::Neighbors nb;
+    typename OrderedSet<std::size_t>::Neighbors nb;
     const bool fresh = detMiss[disk].insertWithNeighbors(idx, nb);
     PACACHE_ASSERT(fresh, "duplicate deterministic miss");
     // idx split its gap in two: residents below idx now follow it,
@@ -154,10 +203,11 @@ OpgPolicy::detInsert(DiskId disk, std::size_t idx)
     repriceGap(disk, idx, true, nb.hasSucc ? nb.succ : 0, nb.hasSucc);
 }
 
+template <typename F>
 void
-OpgPolicy::detErase(DiskId disk, std::size_t idx)
+BasicOpgPolicy<F>::detErase(DiskId disk, std::size_t idx)
 {
-    OrderedSet<std::size_t>::Neighbors nb;
+    typename OrderedSet<std::size_t>::Neighbors nb;
     const bool was = detMiss[disk].eraseWithNeighbors(idx, nb);
     PACACHE_ASSERT(was, "miss not in deterministic-miss set");
     // idx's two gaps merged into one spanning (pred, succ).
@@ -165,18 +215,22 @@ OpgPolicy::detErase(DiskId disk, std::size_t idx)
                nb.hasSucc ? nb.succ : 0, nb.hasSucc);
 }
 
+template <typename F>
 void
-OpgPolicy::beforeMiss(const BlockId &block, Time, std::size_t idx)
+BasicOpgPolicy<F>::beforeMiss(const BlockId &block, Time,
+                              std::size_t idx)
 {
     // The access happening now is, by definition, a deterministic
     // miss; it leaves S.
     detErase(block.disk, idx);
 }
 
+template <typename F>
 void
-OpgPolicy::onAccess(const BlockId &block, Time, std::size_t idx, bool hit)
+BasicOpgPolicy<F>::onAccess(const BlockId &block, Time,
+                            std::size_t idx, bool hit)
 {
-    PACACHE_ASSERT(accesses, "OPG requires prepare() before use");
+    PACACHE_ASSERT(ready, "OPG requires prepare() before use");
     const std::size_t next = future.nextUse(idx);
     if (!hit) {
         insertResident(block, next);
@@ -195,24 +249,26 @@ OpgPolicy::onAccess(const BlockId &block, Time, std::size_t idx, bool hit)
     const Energy penalty =
         std::max(computePenalty(block.disk, next), theta);
     evictOrder.update(h, EvictKey{penalty, next, block.packed()});
-    if (next != FutureKnowledge::kNever) {
+    if (next != F::kNever) {
         const bool fresh = residentByNext[block.disk].insert(next, h);
         PACACHE_ASSERT(fresh, "OPG next-use index collision");
     }
 }
 
+template <typename F>
 void
-OpgPolicy::onRemove(const BlockId &block)
+BasicOpgPolicy<F>::onRemove(const BlockId &block)
 {
     // External removal behaves like an eviction: the block's next
     // reference becomes a deterministic miss.
     const EvictKey key = eraseResident(block);
-    if (key.nextIdx != FutureKnowledge::kNever)
+    if (key.nextIdx != F::kNever)
         detInsert(block.disk, key.nextIdx);
 }
 
+template <typename F>
 BlockId
-OpgPolicy::evict(Time, std::size_t)
+BasicOpgPolicy<F>::evict(Time, std::size_t)
 {
     PACACHE_ASSERT(!evictOrder.empty(), "OPG evict on empty cache");
     // The victim is the heap top: no handle lookup needed, and pop()
@@ -222,33 +278,36 @@ OpgPolicy::evict(Time, std::size_t)
     const BlockId victim = BlockId::fromPacked(key.block);
     const bool known = handleOf.erase(key.block);
     PACACHE_ASSERT(known, "OPG evicting unknown block");
-    if (key.nextIdx != FutureKnowledge::kNever) {
+    if (key.nextIdx != F::kNever) {
         const bool erased =
             residentByNext[victim.disk].erase(key.nextIdx);
         PACACHE_ASSERT(erased, "OPG residentByNext out of sync");
     }
     evictOrder.pop();
-    if (key.nextIdx != FutureKnowledge::kNever)
+    if (key.nextIdx != F::kNever)
         detInsert(victim.disk, key.nextIdx);
     return victim;
 }
 
+template <typename F>
 Energy
-OpgPolicy::penaltyOf(const BlockId &block) const
+BasicOpgPolicy<F>::penaltyOf(const BlockId &block) const
 {
     const Handle *hp = handleOf.find(block.packed());
     PACACHE_ASSERT(hp, "penaltyOf unknown block");
     return evictOrder.key(*hp).penalty;
 }
 
+template <typename F>
 std::size_t
-OpgPolicy::deterministicMissCount(DiskId disk) const
+BasicOpgPolicy<F>::deterministicMissCount(DiskId disk) const
 {
     return disk < detMiss.size() ? detMiss[disk].size() : 0;
 }
 
+template <typename F>
 void
-OpgPolicy::validateInternalState(bool full) const
+BasicOpgPolicy<F>::validateInternalState(bool full) const
 {
     // Cheap size-drift invariants, always on.
     PACACHE_ASSERT(evictOrder.size() == handleOf.size(),
@@ -278,7 +337,7 @@ OpgPolicy::validateInternalState(bool full) const
                        "stale penalty for disk ", block.disk,
                        " block ", block.block, ": cached ",
                        key.penalty, " fresh ", freshPenalty);
-        if (key.nextIdx == FutureKnowledge::kNever)
+        if (key.nextIdx == F::kNever)
             return;
         ++finite;
         const Handle *indexedHandle =
@@ -289,5 +348,8 @@ OpgPolicy::validateInternalState(bool full) const
     PACACHE_ASSERT(indexed == finite,
                    "next-use index holds stale entries");
 }
+
+template class BasicOpgPolicy<FutureKnowledge>;
+template class BasicOpgPolicy<WindowedFuture>;
 
 } // namespace pacache

@@ -44,6 +44,15 @@
  *  - gap pricing inlines the power model's precomputed fast paths
  *    (flat line-table min-scan for Oracle, closed-form segment table
  *    for Practical), bit-identical to the legacy per-call scans.
+ *
+ * The policy is a template over its future-knowledge provider F:
+ * FutureKnowledge (materialized arrays; OpgPolicy, the classic
+ * fits-in-RAM fast path) or WindowedFuture (exact out-of-core
+ * next-use streaming over a .pct sidecar; WindowedOpgPolicy, fed by
+ * prepareWindowed() instead of prepare()). Both instantiations live
+ * in opg.cc — the replay loops are identical, only nextUse/timeOf
+ * resolution differs, and the windowed provider's pinned-times
+ * discipline guarantees every index OPG queries is resident.
  */
 
 #ifndef PACACHE_CORE_OPG_HH
@@ -52,6 +61,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "cache/future_window.hh"
 #include "cache/policy.hh"
 #include "disk/power_model.hh"
 #include "util/flat_map.hh"
@@ -68,8 +78,9 @@ enum class DpmKind
     Practical, //!< threshold-based DPM energy
 };
 
-/** The off-line power-aware greedy policy. */
-class OpgPolicy : public ReplacementPolicy
+/** The off-line power-aware greedy policy over future provider F. */
+template <typename F>
+class BasicOpgPolicy : public ReplacementPolicy
 {
   public:
     /**
@@ -77,11 +88,19 @@ class OpgPolicy : public ReplacementPolicy
      * @param kind   which DPM the disks run (prices E)
      * @param theta  penalty floor in Joules (0 = pure OPG)
      */
-    OpgPolicy(const PowerModel &pm, DpmKind kind, Energy theta = 0);
+    BasicOpgPolicy(const PowerModel &pm, DpmKind kind,
+                   Energy theta = 0);
 
     const char *name() const override { return "OPG"; }
 
     void prepare(const std::vector<BlockAccess> &accesses) override;
+
+    /**
+     * Streaming counterpart of prepare(): adopt an already-built
+     * windowed future (F = WindowedFuture only) whose cold seeds
+     * initialize the deterministic-miss sets.
+     */
+    void prepareWindowed(F &&fut);
 
     void beforeMiss(const BlockId &block, Time now,
                     std::size_t idx) override;
@@ -91,6 +110,10 @@ class OpgPolicy : public ReplacementPolicy
     BlockId evict(Time now, std::size_t idx) override;
     bool supportsPrefetch() const override { return false; }
     bool isOffline() const override { return true; }
+    bool streamReady() const override
+    {
+        return F::kStreaming && ready;
+    }
 
     /** Energy penalty currently assigned to a resident block. */
     Energy penaltyOf(const BlockId &block) const;
@@ -141,7 +164,7 @@ class OpgPolicy : public ReplacementPolicy
     };
 
     using EvictHeap = IndexedHeap<EvictKey>;
-    using Handle = EvictHeap::Handle;
+    using Handle = typename EvictHeap::Handle;
 
     Energy
     idleEnergy(Time t) const
@@ -150,6 +173,11 @@ class OpgPolicy : public ReplacementPolicy
                                           : pm->practicalEnergy(t);
     }
     Energy computePenalty(DiskId disk, std::size_t next_idx) const;
+
+    /** Shared tail of both prepares: sentinel, tables, cold seeds. */
+    void finishPrepare(
+        std::size_t num_disks, Time last,
+        const std::vector<std::pair<DiskId, std::size_t>> &cold);
 
     void insertResident(const BlockId &block, std::size_t next_idx);
     /** Drop a resident from every index; @return its evict key. */
@@ -169,7 +197,8 @@ class OpgPolicy : public ReplacementPolicy
     Energy theta;
 
     const std::vector<BlockAccess> *accesses = nullptr;
-    FutureKnowledge future;
+    F future;
+    bool ready = false;
     Time bigTime = 0;  //!< stands in for "no leader/follower"
     Energy eBig = 0;   //!< cached idleEnergy(bigTime)
 
@@ -180,6 +209,17 @@ class OpgPolicy : public ReplacementPolicy
     FlatMap<std::uint64_t, Handle> handleOf;
     EvictHeap evictOrder;
 };
+
+// Both instantiations are compiled once, in opg.cc, so the hot replay
+// loops keep the exact same single-TU codegen the non-template policy
+// had (micro_opg's 2.5x floor is sensitive to this).
+extern template class BasicOpgPolicy<FutureKnowledge>;
+extern template class BasicOpgPolicy<WindowedFuture>;
+
+/** The classic materialized oracle. */
+using OpgPolicy = BasicOpgPolicy<FutureKnowledge>;
+/** The exact out-of-core oracle (streaming replay only). */
+using WindowedOpgPolicy = BasicOpgPolicy<WindowedFuture>;
 
 } // namespace pacache
 

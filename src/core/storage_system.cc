@@ -30,9 +30,10 @@ StorageSystem::StorageSystem(tracefmt::TraceSource &source_,
       disks(disks_), cfg(config), cls(classifier), logDisk(log_disk),
       perDiskAccesses(disks_.numDisks(), 0)
 {
-    PACACHE_ASSERT(!cache.policy().isOffline(),
-                   "streaming runs need an on-line policy; materialize "
-                   "the trace for ", cache.policy().name());
+    PACACHE_ASSERT(cache.policy().streamReady(),
+                   "streaming runs need an on-line policy or windowed "
+                   "future knowledge; materialize the trace for ",
+                   cache.policy().name());
     init();
 }
 
@@ -174,7 +175,8 @@ StorageSystem::runStreaming()
             ++records;
         }
     }
-    PACACHE_ASSERT(records > 0, "cannot run an empty trace");
+    PACACHE_ASSERT(records > 0 || cfg.endTimeFloor > 0,
+                   "cannot run an empty trace");
 
     finishRun(end_time);
 }
@@ -188,11 +190,12 @@ StorageSystem::finishRun(Time trace_end)
     // energies are comparable across policies and DPM choices.
     obs::ProfileScope scope(cfg.profiler, "drain_finalize");
     queue.runAll();
+    const Time end = std::max(trace_end, cfg.endTimeFloor);
     const PowerModel &pm = disks.powerModel();
     const Time tail =
         (pm.thresholds().empty() ? 0.0 : pm.thresholds().back()) +
         pm.mode(pm.deepestMode()).transitionTime() + 10.0;
-    const Time horizon = std::max(trace_end + tail, queue.now());
+    const Time horizon = std::max(end + tail, queue.now());
     disks.finalize(horizon);
     if (logDisk)
         logDisk->finalize(horizon);

@@ -61,6 +61,18 @@ struct StorageConfig
     uint32_t prefetchBlocks = 0;
 
     /**
+     * Lower bound on the accounting horizon's trace-end component.
+     * Disk-sharded replay sets this to the full trace's end time so
+     * every shard finalizes its disks at the same horizon the
+     * unsharded run would use, even though each shard only sees its
+     * own sub-trace (whose last arrival is earlier). 0 = no floor.
+     * A positive floor also legitimizes an empty streaming shard
+     * (a shard whose disks received no requests still idles to the
+     * shared horizon).
+     */
+    Time endTimeFloor = 0;
+
+    /**
      * Observability fan-out (metrics / trace events / timeline /
      * progress). Null disables instrumentation. The same observer
      * should also be wired into the disks, cache, and classifier —
@@ -96,10 +108,11 @@ class StorageSystem
 
     /**
      * Streaming variant: pull records from @p source one at a time so
-     * traces larger than RAM can drive the simulation. Requires an
-     * on-line replacement policy (off-line ones need the whole access
-     * stream up front — materialize for them); every record's disk id
-     * must be < disks.numDisks().
+     * traces larger than RAM can drive the simulation. Requires a
+     * policy whose streamReady() holds — on-line policies always, and
+     * off-line ones once windowed future knowledge has been attached
+     * (prepareWindowed); every record's disk id must be
+     * < disks.numDisks().
      */
     StorageSystem(tracefmt::TraceSource &source, EventQueue &eq,
                   Cache &cache, DiskArray &disks,

@@ -307,6 +307,47 @@ propStreamingMatchesMaterialized(const FuzzCase &c)
 }
 
 PropertyResult
+propWindowedOracleEquivalence(const FuzzCase &c)
+{
+    if (c.trace.empty())
+        return PropertyResult::ok();
+    // Fuzz the out-of-core geometry: window and backward-pass chunk
+    // sizes from one access up to past the trace length, so chunk
+    // stitching, window refills, and the single-chunk degenerate
+    // case all get exercised.
+    Rng rng(deriveSeed(c.seed, 0x5ca1e));
+    const std::size_t accesses =
+        std::max<std::size_t>(c.trace.numBlockAccesses(), 1);
+    ExperimentConfig cfg = experimentConfig(c);
+    cfg.policy = rng.chance(0.5) ? PolicyKind::OPG : PolicyKind::Belady;
+    cfg.windowAccesses = 1 + rng.below(accesses + 8);
+    cfg.oracleChunkAccesses = 1 + rng.below(accesses + 8);
+
+    ExperimentConfig mat_cfg = cfg;
+    mat_cfg.windowAccesses = 0;
+    mat_cfg.oracleChunkAccesses = 0;
+    const ExperimentResult mat = runExperiment(c.trace, mat_cfg);
+
+    std::ostringstream stem;
+    stem << c.seed << "_win.pct";
+    const TempFile tmp(stem.str());
+    {
+        tracefmt::MemorySource src(c.trace);
+        tracefmt::writePct(tmp.path, src);
+    }
+    tracefmt::PctMmapSource src(tmp.path);
+    const ExperimentResult windowed = runExperiment(src, cfg);
+    const std::string diff = diffResults(mat, windowed);
+    if (!diff.empty())
+        return failMsg("windowed oracle (window=", cfg.windowAccesses,
+                       ", chunk=", cfg.oracleChunkAccesses, ", ",
+                       policyKindName(cfg.policy),
+                       ") diverges from the materialized oracle: ",
+                       diff);
+    return PropertyResult::ok();
+}
+
+PropertyResult
 propParallelMatchesSerial(const FuzzCase &c)
 {
     if (c.trace.empty())
@@ -879,6 +920,11 @@ allProperties()
          "Streaming a trace through a TraceSource reproduces the "
          "materialized run's statistics exactly",
          propStreamingMatchesMaterialized},
+        {"windowed_oracle_equivalence",
+         "Off-line replay on windowed out-of-core future knowledge "
+         "(fuzzed window and chunk sizes) is bit-identical to the "
+         "materialized oracle",
+         propWindowedOracleEquivalence},
         {"parallel_matches_serial",
          "runAll with --jobs N returns results identical to the "
          "serial run",

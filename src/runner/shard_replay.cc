@@ -1,0 +1,188 @@
+#include "runner/shard_replay.hh"
+
+#include <stdlib.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "obs/profiler.hh"
+#include "runner/thread_pool.hh"
+#include "tracefmt/pct.hh"
+#include "util/logging.hh"
+
+namespace pacache::runner
+{
+
+namespace
+{
+
+/**
+ * A shard's sub-trace reports the global disk count so its stack
+ * builds a full-size disk-array replica (ids stay global; only owned
+ * disks ever see traffic).
+ */
+class FullArraySource : public tracefmt::PctMmapSource
+{
+  public:
+    FullArraySource(const std::string &path, uint64_t disks)
+        : PctMmapSource(path), allDisks(disks)
+    {
+    }
+
+    uint64_t numDisksHint() const override { return allDisks; }
+
+  private:
+    uint64_t allDisks;
+};
+
+/** Per-shard sub-trace file, unlinked on scope exit. */
+struct ShardFile
+{
+    std::string path;
+
+    ~ShardFile()
+    {
+        if (!path.empty())
+            ::unlink(path.c_str());
+    }
+};
+
+std::string
+makeShardPath(const std::string &dir, unsigned shard)
+{
+    std::string templ = dir + "/pacache-shard-" +
+                        std::to_string(shard) + "-XXXXXX.pct";
+    std::vector<char> buf(templ.begin(), templ.end());
+    buf.push_back('\0');
+    const int fd = ::mkstemps(buf.data(), 4);
+    if (fd < 0) {
+        PACACHE_FATAL("cannot create shard file '", buf.data(),
+                      "': ", std::strerror(errno));
+    }
+    ::close(fd);
+    return std::string(buf.data());
+}
+
+} // namespace
+
+ExperimentResult
+runShardedExperiment(const std::string &pct_path,
+                     const ExperimentConfig &config,
+                     const ShardReplayOptions &opts)
+{
+    const tracefmt::PctInfo info = tracefmt::readPctInfo(pct_path);
+    const std::size_t num_disks =
+        std::max<std::size_t>(info.numDisks, 1);
+    const unsigned shards = static_cast<unsigned>(std::clamp<uint64_t>(
+        opts.shards, 1, static_cast<uint64_t>(num_disks)));
+    PACACHE_ASSERT(config.cacheBlocks >= shards,
+                   "cache of ", config.cacheBlocks,
+                   " blocks cannot be split across ", shards,
+                   " shards");
+
+    // Per-shard configuration: headless, a common finishRun horizon,
+    // and out-of-core oracles even for shards whose sub-trace is
+    // empty (materialization would reject an empty trace).
+    ExperimentConfig shard_cfg = config;
+    shard_cfg.observer = nullptr;
+    shard_cfg.profiler = nullptr;
+    shard_cfg.storage.observer = nullptr;
+    shard_cfg.storage.profiler = nullptr;
+    shard_cfg.storage.endTimeFloor =
+        std::max(config.storage.endTimeFloor, info.endTime);
+    const bool offline = config.policy == PolicyKind::Belady ||
+                         config.policy == PolicyKind::OPG;
+    if (offline && shard_cfg.windowAccesses == 0)
+        shard_cfg.windowAccesses = std::size_t(1) << 20;
+
+    std::string dir = opts.tempDir;
+    if (dir.empty()) {
+        const char *env = ::getenv("TMPDIR");
+        dir = env && *env ? env : "/tmp";
+    }
+
+    // One streaming pass demultiplexes the trace into per-shard
+    // sub-traces; global order is preserved within each shard, so
+    // per-shard times stay monotone.
+    std::vector<ShardFile> files(shards);
+    {
+        obs::ProfileScope scope(config.profiler, "shard_demux");
+        std::vector<std::unique_ptr<tracefmt::PctWriter>> writers;
+        writers.reserve(shards);
+        for (unsigned s = 0; s < shards; ++s) {
+            files[s].path = makeShardPath(dir, s);
+            writers.push_back(std::make_unique<tracefmt::PctWriter>(
+                files[s].path));
+        }
+        tracefmt::PctMmapSource src(pct_path);
+        TraceRecord rec;
+        uint64_t r = 0;
+        while (src.next(rec)) {
+            tracefmt::ensurePackable(rec, pct_path, r);
+            writers[rec.disk % shards]->append(rec);
+            ++r;
+        }
+        for (auto &w : writers)
+            w->finish();
+    }
+
+    // Replay every shard into its pre-assigned slot; the pool only
+    // decides scheduling, never the statistics.
+    const std::size_t cap_base = config.cacheBlocks / shards;
+    const std::size_t cap_extra = config.cacheBlocks % shards;
+    std::vector<ExperimentResult> results(shards);
+    {
+        obs::ProfileScope scope(config.profiler, "replay");
+        ThreadPool pool(opts.jobs > 0 ? opts.jobs
+                                      : ThreadPool::defaultWorkers());
+        for (unsigned s = 0; s < shards; ++s) {
+            pool.submit([&, s] {
+                ExperimentConfig cfg = shard_cfg;
+                cfg.cacheBlocks = cap_base + (s < cap_extra ? 1 : 0);
+                FullArraySource src(files[s].path, num_disks);
+                results[s] = runExperiment(src, cfg);
+            });
+        }
+        pool.wait();
+    }
+
+    // Deterministic merge, in shard index order. Per-disk statistics
+    // come from each disk's owning shard; cache/response/log
+    // statistics sum across shards.
+    obs::ProfileScope scope(config.profiler, "merge");
+    ExperimentResult out;
+    out.policyName = results[0].policyName;
+    out.numModes = results[0].numModes;
+    out.energy = EnergyStats(out.numModes);
+    out.perDisk.reserve(num_disks);
+    for (std::size_t d = 0; d < num_disks; ++d) {
+        const ExperimentResult &owner = results[d % shards];
+        PACACHE_ASSERT(d < owner.perDisk.size(),
+                       "shard result missing disk ", d);
+        out.energy += owner.perDisk[d];
+        out.perDisk.push_back(owner.perDisk[d]);
+        out.diskAccesses.push_back(owner.diskAccesses[d]);
+        out.diskMeanInterArrival.push_back(
+            owner.diskMeanInterArrival[d]);
+    }
+    for (const ExperimentResult &r : results) {
+        out.cache.accesses += r.cache.accesses;
+        out.cache.hits += r.cache.hits;
+        out.cache.misses += r.cache.misses;
+        out.cache.evictions += r.cache.evictions;
+        out.cache.coldMisses += r.cache.coldMisses;
+        out.cache.prefetchInserts += r.cache.prefetchInserts;
+        out.responses.merge(r.responses);
+        out.logWrites += r.logWrites;
+        out.prefetchedBlocks += r.prefetchedBlocks;
+        out.logServiceEnergy += r.logServiceEnergy;
+    }
+    out.totalEnergy = out.energy.total() + out.logServiceEnergy;
+    return out;
+}
+
+} // namespace pacache::runner

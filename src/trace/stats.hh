@@ -15,6 +15,11 @@
 namespace pacache
 {
 
+namespace tracefmt
+{
+class TraceSource;
+}
+
 /** Summary statistics for one trace. */
 struct TraceStats
 {
@@ -35,6 +40,14 @@ struct TraceStats
 
 /** Compute summary statistics for a trace. */
 TraceStats characterize(const Trace &trace);
+
+/**
+ * Streaming characterization: the same statistics from a single pass
+ * over @p src without materializing it, so memory is bounded by the
+ * footprint (the per-disk unique-block sets), never the trace
+ * length. Leaves @p src at end of stream.
+ */
+TraceStats characterize(tracefmt::TraceSource &src);
 
 } // namespace pacache
 

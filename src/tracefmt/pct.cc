@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdint>
 #include <cstring>
 
 #include "util/logging.hh"
@@ -142,6 +143,78 @@ fileSize(std::ifstream &in, const std::string &path)
     in.seekg(0);
     return static_cast<uint64_t>(size);
 }
+
+/** Page size for madvise range rounding. */
+std::size_t
+pageSize()
+{
+    static const std::size_t page = [] {
+        const long v = ::sysconf(_SC_PAGESIZE);
+        return v > 0 ? static_cast<std::size_t>(v)
+                     : std::size_t(4096);
+    }();
+    return page;
+}
+
+/**
+ * madvise the pages *fully inside* [p, p+n) for DONTNEED (partial
+ * edge pages must stay: their other halves may still be live), or
+ * the pages *covering* it for WILLNEED.
+ */
+void
+adviseRange(const unsigned char *map_base, const unsigned char *p,
+            std::size_t n, int advice)
+{
+    const std::size_t page = pageSize();
+    const auto base_addr = reinterpret_cast<std::uintptr_t>(map_base);
+    std::uintptr_t lo = reinterpret_cast<std::uintptr_t>(p);
+    std::uintptr_t hi = lo + n;
+    if (advice == MADV_DONTNEED) {
+        lo = (lo + page - 1) & ~(page - 1);
+        hi &= ~(page - 1);
+    } else {
+        lo &= ~(page - 1);
+        hi = (hi + page - 1) & ~(page - 1);
+    }
+    lo = std::max(lo, base_addr);
+    if (hi <= lo)
+        return;
+    // Best effort: a failed hint costs performance, not correctness.
+    ::madvise(reinterpret_cast<void *>(lo), hi - lo, advice);
+}
+
+/** Checksum chunk: records hashed (and released) per madvise batch. */
+constexpr uint64_t kChecksumChunkRecords = 1 << 19; // 12 MiB
+
+/**
+ * Verify the record checksum of a mapping chunk-by-chunk, releasing
+ * each verified chunk so the pass touches the whole file without
+ * ever holding more than one chunk resident.
+ */
+void
+verifyMappedChecksum(const unsigned char *map_base,
+                     const unsigned char *records, const PctInfo &info,
+                     const std::string &path)
+{
+    uint64_t h = kFnvOffset;
+    for (uint64_t first = 0; first < info.records;
+         first += kChecksumChunkRecords) {
+        const uint64_t n =
+            std::min<uint64_t>(kChecksumChunkRecords,
+                               info.records - first);
+        const unsigned char *p = records + first * kPctRecordBytes;
+        h = fnv1a(h, p, static_cast<std::size_t>(n * kPctRecordBytes));
+        adviseRange(map_base, p,
+                    static_cast<std::size_t>(n * kPctRecordBytes),
+                    MADV_DONTNEED);
+    }
+    if (h != info.checksum)
+        PACACHE_FATAL("checksum mismatch in '", path,
+                      "': file is corrupt");
+}
+
+/** Forward-replay hint cadence: records between madvise batches. */
+constexpr uint64_t kReplayHintRecords = 1 << 16; // 1.5 MiB
 
 } // namespace
 
@@ -328,8 +401,13 @@ PctBufferedSource::rewind()
     lastTime = 0;
 }
 
-PctMmapSource::PctMmapSource(const std::string &path_, PctReadOptions opts)
-    : path(path_)
+namespace
+{
+
+/** Shared open+map+header for the mmap readers. */
+const unsigned char *
+mapPctFile(const std::string &path, std::size_t &map_len,
+           PctInfo &info)
 {
     const int fd = ::open(path.c_str(), O_RDONLY);
     if (fd < 0)
@@ -339,26 +417,32 @@ PctMmapSource::PctMmapSource(const std::string &path_, PctReadOptions opts)
         ::close(fd);
         PACACHE_FATAL("cannot stat '", path, "'");
     }
-    mapLen = static_cast<std::size_t>(st.st_size);
-    if (mapLen < kPctHeaderBytes) {
+    map_len = static_cast<std::size_t>(st.st_size);
+    if (map_len < kPctHeaderBytes) {
         ::close(fd);
         PACACHE_FATAL("'", path, "' is too small to be a .pct trace");
     }
-    void *map = ::mmap(nullptr, mapLen, PROT_READ, MAP_PRIVATE, fd, 0);
+    void *map = ::mmap(nullptr, map_len, PROT_READ, MAP_PRIVATE, fd, 0);
     ::close(fd); // the mapping keeps its own reference
     if (map == MAP_FAILED)
         PACACHE_FATAL("cannot mmap '", path, "'");
-    base = static_cast<const unsigned char *>(map);
-    ::madvise(map, mapLen, MADV_SEQUENTIAL);
+    const unsigned char *base = static_cast<const unsigned char *>(map);
+    info = decodeHeader(base, path, map_len);
+    return base;
+}
 
-    info = decodeHeader(base, path, mapLen);
+} // namespace
+
+PctMmapSource::PctMmapSource(const std::string &path_,
+                             PctReadOptions opts_)
+    : path(path_), opts(opts_)
+{
+    base = mapPctFile(path, mapLen, info);
+    ::madvise(const_cast<unsigned char *>(base), mapLen,
+              MADV_SEQUENTIAL);
     records = base + kPctHeaderBytes;
-    if (opts.verifyChecksum &&
-        fnv1a(kFnvOffset, records, info.records * kPctRecordBytes) !=
-            info.checksum) {
-        PACACHE_FATAL("checksum mismatch in '", path,
-                      "': file is corrupt");
-    }
+    if (opts.verifyChecksum)
+        verifyMappedChecksum(base, records, info, path);
 }
 
 PctMmapSource::~PctMmapSource()
@@ -376,6 +460,25 @@ PctMmapSource::next(TraceRecord &out)
                  lastTime);
     lastTime = out.time;
     ++pos;
+    if (pos - releaseMark >= kReplayHintRecords) {
+        // Forward replay never revisits consumed records: drop the
+        // pages behind the cursor and pre-fault the next batch.
+        if (opts.releaseBehind)
+            adviseRange(base, records + releaseMark * kPctRecordBytes,
+                        static_cast<std::size_t>((pos - releaseMark) *
+                                                 kPctRecordBytes),
+                        MADV_DONTNEED);
+        if (opts.prefetchAhead && pos < info.records) {
+            const uint64_t ahead =
+                std::min<uint64_t>(kReplayHintRecords,
+                                   info.records - pos);
+            adviseRange(base, records + pos * kPctRecordBytes,
+                        static_cast<std::size_t>(ahead *
+                                                 kPctRecordBytes),
+                        MADV_WILLNEED);
+        }
+        releaseMark = pos;
+    }
     return true;
 }
 
@@ -383,7 +486,70 @@ void
 PctMmapSource::rewind()
 {
     pos = 0;
+    releaseMark = 0;
     lastTime = 0;
+}
+
+PctMapping::PctMapping(const std::string &path_, PctReadOptions opts)
+    : path(path_)
+{
+    base = mapPctFile(path, mapLen, info);
+    records = base + kPctHeaderBytes;
+    if (opts.verifyChecksum)
+        verifyMappedChecksum(base, records, info, path);
+}
+
+PctMapping::~PctMapping()
+{
+    if (base)
+        ::munmap(const_cast<unsigned char *>(base), mapLen);
+}
+
+void
+PctMapping::record(uint64_t index, TraceRecord &out) const
+{
+    PACACHE_ASSERT(index < info.records,
+                   ".pct record index out of range");
+    // Random access has no running clock; monotonicity is enforced
+    // by the sequential readers (times are never negative, so a
+    // floor of 0 keeps the corruption check for length/NaN alive).
+    decodeRecord(records + index * kPctRecordBytes, out, path, index,
+                 0);
+}
+
+void
+PctMapping::dropRange(uint64_t first, uint64_t count) const
+{
+    if (count == 0)
+        return;
+    adviseRange(base, records + first * kPctRecordBytes,
+                static_cast<std::size_t>(count * kPctRecordBytes),
+                MADV_DONTNEED);
+}
+
+void
+PctMapping::willNeed(uint64_t first, uint64_t count) const
+{
+    if (count == 0)
+        return;
+    adviseRange(base, records + first * kPctRecordBytes,
+                static_cast<std::size_t>(count * kPctRecordBytes),
+                MADV_WILLNEED);
+}
+
+void
+ensurePackable(const TraceRecord &rec, const std::string &path,
+               uint64_t index)
+{
+    const uint64_t last_block =
+        rec.block + (rec.numBlocks ? rec.numBlocks - 1 : 0);
+    if (rec.disk >= (1u << 16) || last_block < rec.block ||
+        last_block >= (uint64_t(1) << 48)) {
+        PACACHE_FATAL("record ", index, " in '", path, "': (disk ",
+                      rec.disk, ", block ", rec.block, ", len ",
+                      rec.numBlocks, ") overflows the 16-bit-disk/"
+                      "48-bit-block packed key space");
+    }
 }
 
 } // namespace pacache::tracefmt

@@ -90,6 +90,16 @@ struct PctReadOptions
 {
     /** Verify the record checksum on open (one extra pass). */
     bool verifyChecksum = true;
+    /**
+     * During forward replay, periodically MADV_DONTNEED the pages
+     * behind the read position so a sequential pass over a
+     * file-larger-than-RAM keeps a bounded resident set. Dropped
+     * pages refault from the file (the mapping is read-only), so
+     * rewind() stays correct.
+     */
+    bool releaseBehind = true;
+    /** Pair the release with an MADV_WILLNEED for the next chunk. */
+    bool prefetchAhead = true;
 };
 
 /** Streaming .pct reader over buffered file I/O. */
@@ -105,6 +115,7 @@ class PctBufferedSource : public TraceSource
     uint64_t sizeHint() const override { return info.records; }
     uint64_t numDisksHint() const override { return info.numDisks; }
     Time endTimeHint() const override { return info.endTime; }
+    std::string pctPath() const override { return path; }
 
     const PctInfo &header() const { return info; }
 
@@ -138,6 +149,7 @@ class PctMmapSource : public TraceSource
     uint64_t sizeHint() const override { return info.records; }
     uint64_t numDisksHint() const override { return info.numDisks; }
     Time endTimeHint() const override { return info.endTime; }
+    std::string pctPath() const override { return path; }
 
     const PctInfo &header() const { return info; }
 
@@ -147,9 +159,59 @@ class PctMmapSource : public TraceSource
     std::size_t mapLen = 0;
     const unsigned char *records = nullptr;
     PctInfo info;
+    PctReadOptions opts;
     uint64_t pos = 0;
+    uint64_t releaseMark = 0; //!< first record not yet MADV_DONTNEEDed
     Time lastTime = 0;
 };
+
+/**
+ * Random-access mmap view of a .pct file for out-of-core passes
+ * (the windowed-oracle backward scan, disk-sharded demux). Unlike
+ * the TraceSource readers this exposes record(i) at any index plus
+ * explicit residency control, so a pass can walk chunks in any
+ * order while keeping only the active chunk resident.
+ */
+class PctMapping
+{
+  public:
+    /** Map @p path; checksum verification streams chunk-by-chunk
+     *  and releases each verified chunk, so it never inflates the
+     *  peak resident set by the file size. */
+    explicit PctMapping(const std::string &path,
+                        PctReadOptions opts = {});
+    ~PctMapping();
+
+    PctMapping(const PctMapping &) = delete;
+    PctMapping &operator=(const PctMapping &) = delete;
+
+    const PctInfo &header() const { return info; }
+    const std::string &pctPath() const { return path; }
+
+    /** Decode record @p index (fatal, located, on corruption). */
+    void record(uint64_t index, TraceRecord &out) const;
+
+    /** MADV_DONTNEED the pages fully inside records [first, first+count). */
+    void dropRange(uint64_t first, uint64_t count) const;
+    /** MADV_WILLNEED the pages covering records [first, first+count). */
+    void willNeed(uint64_t first, uint64_t count) const;
+
+  private:
+    std::string path;
+    const unsigned char *base = nullptr;
+    std::size_t mapLen = 0;
+    const unsigned char *records = nullptr;
+    PctInfo info;
+};
+
+/**
+ * Fatal unless @p rec's disk and every block of its extent fit the
+ * 16-bit-disk / 48-bit-block packed key space, naming the trace
+ * file and record index (the streaming demux / backward-scan
+ * counterpart of the located tracefmt mapExtent check).
+ */
+void ensurePackable(const TraceRecord &rec, const std::string &path,
+                    uint64_t index);
 
 } // namespace pacache::tracefmt
 

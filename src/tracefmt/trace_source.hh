@@ -13,6 +13,7 @@
 #define PACACHE_TRACEFMT_TRACE_SOURCE_HH
 
 #include <cstdint>
+#include <string>
 
 #include "trace/trace.hh"
 
@@ -45,6 +46,14 @@ class TraceSource
 
     /** Last arrival time, when cheaply known (negative if not). */
     virtual Time endTimeHint() const { return -1; }
+
+    /**
+     * Path of the backing .pct file, when this source *is* a .pct
+     * file (empty otherwise). Out-of-core consumers (the windowed
+     * oracle's backward pass, disk-sharded demux) re-open the file
+     * for random access instead of materializing the stream.
+     */
+    virtual std::string pctPath() const { return {}; }
 };
 
 /** Adapter: stream an in-memory Trace. */

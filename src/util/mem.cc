@@ -1,0 +1,48 @@
+#include "util/mem.hh"
+
+#include <cstdio>
+#include <cstring>
+
+namespace pacache
+{
+
+namespace
+{
+
+/** Read a "VmXXX:  1234 kB" line from /proc/self/status, in bytes. */
+uint64_t
+statusLineBytes(const char *key)
+{
+    FILE *fh = std::fopen("/proc/self/status", "r");
+    if (!fh)
+        return 0;
+    const std::size_t key_len = std::strlen(key);
+    char line[256];
+    uint64_t bytes = 0;
+    while (std::fgets(line, sizeof(line), fh)) {
+        if (std::strncmp(line, key, key_len) != 0)
+            continue;
+        unsigned long long kb = 0;
+        if (std::sscanf(line + key_len, ": %llu kB", &kb) == 1)
+            bytes = static_cast<uint64_t>(kb) * 1024;
+        break;
+    }
+    std::fclose(fh);
+    return bytes;
+}
+
+} // namespace
+
+uint64_t
+peakRssBytes()
+{
+    return statusLineBytes("VmHWM");
+}
+
+uint64_t
+currentRssBytes()
+{
+    return statusLineBytes("VmRSS");
+}
+
+} // namespace pacache

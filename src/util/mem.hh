@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Process-memory probes: current and peak resident set size read
+ * from /proc/self/status (VmRSS / VmHWM). Scale work (out-of-core
+ * replay, streaming tools) reports these so "bounded RSS" is a
+ * measured claim, not an assumption.
+ */
+
+#ifndef PACACHE_UTIL_MEM_HH
+#define PACACHE_UTIL_MEM_HH
+
+#include <cstdint>
+
+namespace pacache
+{
+
+/**
+ * Peak resident set size (VmHWM) of this process in bytes, or 0
+ * when /proc/self/status is unavailable (non-Linux hosts).
+ */
+uint64_t peakRssBytes();
+
+/** Current resident set size (VmRSS) in bytes, or 0. */
+uint64_t currentRssBytes();
+
+} // namespace pacache
+
+#endif // PACACHE_UTIL_MEM_HH

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include "trace/stats.hh"
+#include "trace/synthetic.hh"
+#include "tracefmt/trace_source.hh"
 
 namespace pacache
 {
@@ -56,6 +58,39 @@ TEST(TraceStatsTest, SingleRequestDiskHasZeroInterArrival)
     t.append({5.0, 0, 1, 1, false});
     const TraceStats s = characterize(t);
     EXPECT_DOUBLE_EQ(s.perDiskInterArrival[0], 0.0);
+}
+
+TEST(TraceStatsTest, StreamingOverloadMatchesMaterialized)
+{
+    SyntheticParams p;
+    p.numRequests = 4000;
+    p.numDisks = 7;
+    p.writeRatio = 0.35;
+    p.address.footprintBlocks = 250;
+    p.seed = 19;
+    const Trace t = generateSynthetic(p);
+
+    const TraceStats want = characterize(t);
+    tracefmt::MemorySource src(t);
+    const TraceStats got = characterize(src);
+
+    EXPECT_EQ(got.requests, want.requests);
+    EXPECT_EQ(got.disks, want.disks);
+    EXPECT_EQ(got.uniqueBlocks, want.uniqueBlocks);
+    EXPECT_EQ(got.writeRatio, want.writeRatio);
+    EXPECT_EQ(got.duration, want.duration);
+    EXPECT_EQ(got.meanInterArrival, want.meanInterArrival);
+    EXPECT_EQ(got.perDiskRequests, want.perDiskRequests);
+    EXPECT_EQ(got.perDiskUnique, want.perDiskUnique);
+    EXPECT_EQ(got.perDiskInterArrival, want.perDiskInterArrival);
+}
+
+TEST(TraceStatsTest, StreamingOverloadEmptySource)
+{
+    tracefmt::MemorySource src(Trace{});
+    const TraceStats s = characterize(src);
+    EXPECT_EQ(s.requests, 0u);
+    EXPECT_EQ(s.disks, 0u);
 }
 
 } // namespace

@@ -12,13 +12,17 @@ A metric fails when the current value drops below
     baseline * (1 - tolerance)        (ratio regression), or
     an explicit floor given with --min key=value.
 
-Higher is always better for these metrics (they are speedups); a metric
-present in the baseline but missing from the current report is an error
-(a silently dropped measurement must not read as a pass).
+Higher is always better for these metrics (they are speedups) — except
+metrics whose key starts with "max_", which are CEILINGS (e.g.
+max_peak_rss_mb): they fail when the current value rises above
+baseline * (1 + tolerance) or above an explicit --max key=value. A
+metric present in the baseline but missing from the current report is
+an error (a silently dropped measurement must not read as a pass).
 
 Usage:
     bench_compare.py CURRENT.json BASELINE.json \
-        [--tolerance 0.25] [--min opg_replay_speedup=2.5] ...
+        [--tolerance 0.25] [--min opg_replay_speedup=2.5] \
+        [--max max_peak_rss_mb=256] ...
 """
 
 import argparse
@@ -48,16 +52,16 @@ def metrics_of(report):
     }
 
 
-def parse_floor(spec):
+def parse_bound(spec):
     key, sep, value = spec.partition("=")
     if not sep or not key:
         raise argparse.ArgumentTypeError(
-            f"--min expects key=value, got {spec!r}")
+            f"expected key=value, got {spec!r}")
     try:
         return key, float(value)
     except ValueError as exc:
         raise argparse.ArgumentTypeError(
-            f"--min {spec!r}: {exc}") from exc
+            f"{spec!r}: {exc}") from exc
 
 
 def load(path):
@@ -81,10 +85,15 @@ def main():
              "bursty, so the slack is generous — hard floors "
              "belong in --min)")
     ap.add_argument(
-        "--min", dest="floors", type=parse_floor, action="append",
+        "--min", dest="floors", type=parse_bound, action="append",
         default=[], metavar="KEY=VALUE",
         help="absolute floor for a metric, checked in addition to "
              "the baseline-relative tolerance")
+    ap.add_argument(
+        "--max", dest="ceilings", type=parse_bound, action="append",
+        default=[], metavar="KEY=VALUE",
+        help="absolute ceiling for a \"max_\"-prefixed metric, "
+             "checked in addition to the baseline-relative tolerance")
     args = ap.parse_args()
 
     current = load(args.current)
@@ -97,6 +106,7 @@ def main():
     cur = metrics_of(current)
     base = metrics_of(baseline)
     floors = dict(args.floors)
+    ceilings = dict(args.ceilings)
     failures = []
 
     print(f"bench_compare: {current.get('bench')} "
@@ -105,6 +115,22 @@ def main():
     for key in sorted(base):
         if key not in cur:
             failures.append(f"{key}: missing from current report")
+            continue
+        if key.startswith("max_"):
+            # Ceiling metric: lower is better (e.g. peak RSS).
+            threshold = base[key] * (1.0 + args.tolerance)
+            ceiling = ceilings.pop(key, None)
+            bound = (threshold if ceiling is None
+                     else min(threshold, ceiling))
+            ok = cur[key] <= bound
+            verdict = "ok" if ok else "FAIL"
+            note = "" if ceiling is None else f", ceiling {ceiling:.2f}"
+            print(f"  {key}: {cur[key]:.2f} "
+                  f"(baseline {base[key]:.2f}, "
+                  f"needs <= {bound:.2f}{note}) {verdict}")
+            if not ok:
+                failures.append(
+                    f"{key}: {cur[key]:.2f} > {bound:.2f}")
             continue
         threshold = base[key] * (1.0 - args.tolerance)
         floor = floors.pop(key, None)
@@ -126,6 +152,15 @@ def main():
             failures.append(f"{key}: {cur[key]:.2f} < floor {floor}")
         else:
             print(f"  {key}: {cur[key]:.2f} (floor {floor}) ok")
+    for key, ceiling in ceilings.items():
+        # Ceilings for metrics absent from the baseline still apply.
+        if key not in cur:
+            failures.append(f"{key}: missing from current report")
+        elif cur[key] > ceiling:
+            failures.append(
+                f"{key}: {cur[key]:.2f} > ceiling {ceiling}")
+        else:
+            print(f"  {key}: {cur[key]:.2f} (ceiling {ceiling}) ok")
 
     if failures:
         print("bench_compare: REGRESSION", file=sys.stderr)

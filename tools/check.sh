@@ -99,6 +99,47 @@ else
     rm -rf "$bench_dir"
 fi
 
+step "out-of-core scale benchmark gate"
+# micro_scale stream-generates a scaled OLTP trace, replays it with
+# the windowed off-line oracle (trace = 10x window) and disk-sharded
+# across the pool (verifying bit-identical reps and jobs=1 == jobs=N),
+# and reports peak RSS (VmHWM). Throughput numbers are informational;
+# the gated metric is the max_peak_rss_mb CEILING — the out-of-core
+# acceptance criterion is that replay memory stays bounded, with a
+# 256 MiB hard ceiling on top of the baseline comparison.
+if [ "${SKIP_BENCH_GATE:-0}" = "1" ]; then
+    echo "skipped (SKIP_BENCH_GATE=1)"
+else
+    bench_dir=$(mktemp -d)
+    PACACHE_BENCH_DIR="$bench_dir" \
+        "$root/build-release/bench/micro_scale"
+    python3 "$root/tools/bench_compare.py" \
+        "$bench_dir/BENCH_scale.json" \
+        "$root/bench/baselines/BENCH_scale.json" \
+        --max max_peak_rss_mb=256
+    rm -rf "$bench_dir"
+fi
+
+step "sharded streaming determinism smoke (Release)"
+# Reduced-scale version of the billion-request workflow: stream a
+# 1e7-record x 64-disk scaled OLTP trace to .pct (never
+# materialized), then replay it disk-sharded with the windowed OPG
+# oracle at --jobs 1 and --jobs 8. The two reports must be
+# byte-identical: worker count only changes scheduling, never
+# statistics.
+scale_dir=$(mktemp -d)
+"$root/build-release/tools/pacache_tracegen" \
+    --scale --workload oltp --disks 64 --requests 10000000 \
+    --out "$scale_dir/scale.pct"
+for j in 1 8; do
+    "$root/build-release/tools/pacache_sim" \
+        --trace "$scale_dir/scale.pct" --stream --shards 8 \
+        --jobs "$j" --policy opg --window 1000000 \
+        --cache-blocks 65536 > "$scale_dir/shard_j$j.txt"
+done
+cmp "$scale_dir/shard_j1.txt" "$scale_dir/shard_j8.txt"
+rm -rf "$scale_dir"
+
 step "ASan+UBSan build"
 cmake -B "$root/build-asan" -S "$root" \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo \

@@ -26,6 +26,7 @@
 #include "obs/energy_ledger.hh"
 #include "obs/observer.hh"
 #include "obs/profiler.hh"
+#include "runner/shard_replay.hh"
 #include "runner/sweep.hh"
 #include "runner/thread_pool.hh"
 #include "trace/stats.hh"
@@ -54,7 +55,21 @@ workload selection (one of):
   --stream               drive the simulation straight from the trace
                          file instead of loading it into memory, so
                          traces larger than RAM work (requires --trace;
-                         off-line policies are materialized anyway)
+                         off-line policies materialize unless --window
+                         gives them out-of-core future knowledge)
+  --window N             with --stream and belady/opg: build windowed
+                         future knowledge over the .pct file (exact;
+                         bit-identical to the materialized oracle) and
+                         keep peak memory bounded by N look-ahead
+                         accesses instead of the trace length
+  --window-chunk N       backward-pass chunk size in accesses
+                         (default: 4Mi; smaller = less build memory)
+  --shards N             partition the trace by disk (shard = disk id
+                         mod N) and replay every shard on its own
+                         simulation stack in parallel (requires
+                         --stream and a .pct trace; statistics follow
+                         the sharded-cache model of pacache_serve and
+                         are byte-identical for any --jobs)
   --workload NAME        oltp | cello | synthetic | opg-showcase
                          (default: oltp)
   --duration SECONDS     workload length where applicable
@@ -83,7 +98,7 @@ parallel sweeps:
                          plus name and duration (see EXPERIMENTS.md)
   --sweep-out FILE       write the sweep report as JSON (default:
                          console table only)
-  --jobs N               worker threads for --sweep
+  --jobs N               worker threads for --sweep / --shards
                          (default: all hardware threads)
 
 output:
@@ -295,7 +310,8 @@ main(int argc, char **argv)
 try {
     const cli::Args args(argc, argv);
     std::set<std::string> known{
-        "stream", "policy", "dpm", "write", "cache-blocks", "epoch",
+        "stream", "window", "window-chunk", "shards", "policy", "dpm",
+        "write", "cache-blocks", "epoch",
         "opg-theta", "per-disk", "energy-ledger", "metrics-out",
         "trace-events", "timeline", "timeline-interval", "progress",
         "profile", "sweep", "sweep-out", "jobs"};
@@ -352,6 +368,13 @@ try {
     cfg.cacheBlocks = args.getUint("cache-blocks", 1024);
     cfg.pa.epochLength = args.getDouble("epoch", 900.0);
     cfg.opgTheta = args.getDouble("opg-theta", -1.0);
+    cfg.windowAccesses =
+        static_cast<std::size_t>(args.getUint("window", 0));
+    cfg.oracleChunkAccesses =
+        static_cast<std::size_t>(args.getUint("window-chunk", 0));
+    if (cfg.windowAccesses > 0 && !streaming)
+        PACACHE_FATAL("--window needs --stream (the in-memory path "
+                      "already holds the whole future)");
 
     // Observability sinks, attached only when requested; the null
     // observer default keeps the un-instrumented hot path unchanged.
@@ -394,9 +417,33 @@ try {
         cfg.observer = &observer;
     cfg.profiler = prof;
 
+    const unsigned shards =
+        static_cast<unsigned>(args.getUint("shards", 0));
+    if (shards > 0) {
+        if (!streaming)
+            PACACHE_FATAL("--shards needs --stream");
+        if (source->pctPath().empty())
+            PACACHE_FATAL("--shards needs a .pct trace (the demux "
+                          "re-opens the file for random access); "
+                          "convert with pacache_tracectl first");
+        if (observing)
+            PACACHE_FATAL("--shards runs headless per-shard stacks; "
+                          "drop the observability flags");
+    }
+
     const auto wallStart = std::chrono::steady_clock::now();
-    const ExperimentResult r =
-        streaming ? runExperiment(*source, cfg) : runExperiment(trace, cfg);
+    ExperimentResult r;
+    if (shards > 0) {
+        runner::ShardReplayOptions shard_opts;
+        shard_opts.shards = shards;
+        shard_opts.jobs =
+            static_cast<unsigned>(args.getUint("jobs", 0));
+        r = runner::runShardedExperiment(source->pctPath(), cfg,
+                                         shard_opts);
+    } else {
+        r = streaming ? runExperiment(*source, cfg)
+                      : runExperiment(trace, cfg);
+    }
     const std::chrono::duration<double, std::milli> wall =
         std::chrono::steady_clock::now() - wallStart;
     if (args.has("metrics-out")) {
