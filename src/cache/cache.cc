@@ -19,7 +19,7 @@ bool
 Cache::recordFirstSeen(const BlockId &block)
 {
     if (block.block >= kSeenBitmapLimit)
-        return everSeenSparse.emplace(block.packed(), 0).second;
+        return everSeenSparse.testAndSet(block.packed());
     if (block.disk >= seenBits.size())
         seenBits.resize(block.disk + 1);
     auto &bits = seenBits[block.disk];

@@ -16,6 +16,7 @@
 #include "cache/policy.hh"
 #include "sim/types.hh"
 #include "util/flat_map.hh"
+#include "util/seen_filter.hh"
 
 namespace pacache
 {
@@ -151,13 +152,15 @@ class Cache
      * below kSeenBitmapLimit (every simulated workload) are answered
      * by a per-disk grow-on-demand bitmap — one direct bit test, no
      * hashing. Sparse ids beyond the limit (raw sector addresses from
-     * real traces) fall back to the hash set, so memory stays bounded
-     * by blocks actually seen.
+     * real traces) go to the budgeted paged-bitmap tier: resident
+     * memory is capped at SparseSeenSet::kDefaultBudget with overflow
+     * pages spilled to disk, instead of a hash set growing with every
+     * unique block. Same exact first-ever-seen answers either way.
      */
     static constexpr BlockNum kSeenBitmapLimit = BlockNum{1} << 22;
     bool recordFirstSeen(const BlockId &block);
     std::vector<std::vector<uint64_t>> seenBits;
-    FlatMap<uint64_t, uint8_t> everSeenSparse;
+    SparseSeenSet everSeenSparse;
     CacheStats counters;
     obs::SimObserver *obs = nullptr; //!< null = no instrumentation
 };

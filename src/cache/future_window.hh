@@ -31,6 +31,13 @@
  * most one in-flight entry per distinct block, the same order of
  * memory OPG's deterministic-miss set already needs. Belady only
  * needs next indices and opts out of pinning entirely.
+ *
+ * Options::pinnedBudgetBytes bounds even that: the backward pass
+ * additionally writes an arrival-times sidecar (8 bytes per access),
+ * only indices within a budget-derived horizon of the cursor are
+ * pinned, and timeOf() for anything farther is an exact pread
+ * through a small direct-mapped page cache. Same doubles either
+ * way, so replay stays bit-identical under any budget.
  */
 
 #ifndef PACACHE_CACHE_FUTURE_WINDOW_HH
@@ -75,6 +82,16 @@ class WindowedFuture
          * every record anyway.
          */
         bool verifyChecksum = false;
+        /**
+         * Bound the pinned-times map. 0 = pin every in-flight index
+         * (exact but O(unique blocks) memory, the historical
+         * behavior). > 0 = pin only indices within a budget-derived
+         * horizon of the replay cursor and serve far timeOf()
+         * queries from an arrival-times sidecar written during the
+         * backward pass — the same doubles the records carry, so
+         * replay stays bit-identical while the map stays O(horizon).
+         */
+        std::size_t pinnedBudgetBytes = 0;
     };
 
     /** A block's first-ever access: seeds OPG's deterministic set. */
@@ -112,11 +129,16 @@ class WindowedFuture
     std::size_t nextUse(std::size_t idx);
 
     /**
-     * Time of a pinned (cold or not-yet-consumed successor) index.
-     * Exactly the indices OPG tracks — deterministic misses and
-     * resident next-uses — are pinned; anything else is a bug.
+     * Time of a future index. Unbounded mode: exactly the indices
+     * OPG tracks — deterministic misses and resident next-uses —
+     * are pinned; anything else is a bug. Budgeted mode: a pinned
+     * hit when the index is near the cursor, otherwise an exact
+     * pread from the arrival-times sidecar.
      */
     Time timeOf(std::size_t idx) const;
+
+    /** Far timeOf() queries served by sidecar reads (telemetry). */
+    std::uint64_t timeSidecarReads() const { return timeReads; }
 
     /** First-reference accesses, ascending by index. */
     const std::vector<ColdSeed> &coldSeeds() const { return cold; }
@@ -133,13 +155,29 @@ class WindowedFuture
     void build(const std::string &pct_path);
     void refill(std::size_t from);
     void closeFd();
+    bool budgeted() const
+    {
+        return opts.pinTimes && opts.pinnedBudgetBytes > 0;
+    }
+    Time readTime(std::size_t idx) const;
+
+    /** Times-sidecar page cache: 8 direct-mapped 4 KiB pages. */
+    static constexpr std::size_t kTimePageDoubles = 512;
+    static constexpr std::size_t kTimePages = 8;
+    struct TimePage
+    {
+        std::size_t base = kNever;
+        std::vector<double> buf;
+    };
 
     Options opts;
     int sidecarFd = -1;
+    int timesFd = -1; //!< arrival-times sidecar (budgeted mode)
     std::size_t total = 0;
     std::size_t diskCount = 1;
     Time lastTime = 0;
     bool ready = false;
+    std::size_t pinHorizon = 0; //!< pinned entries ahead of cursor
 
     std::vector<ColdSeed> cold;
     /** idx -> arrival time for every pinned future index. */
@@ -149,6 +187,9 @@ class WindowedFuture
     std::size_t winBase = 0;
     std::size_t winCount = 0;
     std::size_t cursor = 0; //!< next index nextUse() will accept
+
+    mutable std::vector<TimePage> timePages;
+    mutable std::uint64_t timeReads = 0;
 };
 
 } // namespace pacache

@@ -132,6 +132,10 @@ makeReplacementPolicy(const ExperimentConfig &cfg, const PowerModel &pm,
       case PolicyKind::Belady:
         return std::make_unique<BeladyPolicy>();
       case PolicyKind::OPG:
+        if (cfg.oracleMemBudget > 0) {
+            return std::make_unique<SpilledOpgPolicy>(
+                pm, pricing, theta, cfg.oracleMemBudget);
+        }
         return std::make_unique<OpgPolicy>(pm, pricing, theta);
       case PolicyKind::PALRU:
         PACACHE_ASSERT(classifier, "PA-LRU needs a classifier");
@@ -210,12 +214,27 @@ runExperimentImpl(const Trace *trace, tracefmt::TraceSource *source,
         if (windowed->chunkAccesses > 0)
             wopts.chunkAccesses = windowed->chunkAccesses;
         wopts.pinTimes = config.policy == PolicyKind::OPG;
+        // Budgeted oracle: half bounds the pinned-times map, half
+        // the policy's SpillPool (max() keeps a 1-byte budget — the
+        // fuzzer's "tightest possible" probe — in budgeted mode).
+        const std::size_t budget = config.oracleMemBudget;
+        if (wopts.pinTimes && budget > 0)
+            wopts.pinnedBudgetBytes =
+                std::max<std::size_t>(budget / 2, 1);
         WindowedFuture fut(windowed->pctPath, wopts);
         if (config.policy == PolicyKind::OPG) {
-            auto opg = std::make_unique<WindowedOpgPolicy>(
-                pm, opgPricing(config), opgThetaOf(config, pm));
-            opg->prepareWindowed(std::move(fut));
-            policy = std::move(opg);
+            if (budget > 0) {
+                auto opg = std::make_unique<SpilledWindowedOpgPolicy>(
+                    pm, opgPricing(config), opgThetaOf(config, pm),
+                    std::max<std::size_t>(budget / 2, 1));
+                opg->prepareWindowed(std::move(fut));
+                policy = std::move(opg);
+            } else {
+                auto opg = std::make_unique<WindowedOpgPolicy>(
+                    pm, opgPricing(config), opgThetaOf(config, pm));
+                opg->prepareWindowed(std::move(fut));
+                policy = std::move(opg);
+            }
         } else {
             PACACHE_ASSERT(config.policy == PolicyKind::Belady,
                            "windowed oracle supports Belady/OPG only");

@@ -88,6 +88,18 @@ struct ExperimentConfig
     std::size_t oracleChunkAccesses = 0;
 
     /**
+     * Byte budget for the oracle's in-RAM replay state (OPG only).
+     * 0 = unbounded (the historical in-memory containers). > 0 runs
+     * the spillable oracle tier: half the budget bounds the windowed
+     * future's pinned-times map, half bounds the SpillPool behind the
+     * deterministic-miss sets and next-use indexes, with overflow
+     * pages spilled to unlinked temporary files. Results are
+     * bit-identical to the unbounded path for any value. Belady keeps
+     * O(capacity) state and ignores the budget.
+     */
+    std::size_t oracleMemBudget = 0;
+
+    /**
      * Observability fan-out; null disables instrumentation. The
      * runner wires it into the disks, cache, classifier and storage
      * system, installs the timeline snapshot callback, and fills the

@@ -8,17 +8,18 @@
 namespace pacache
 {
 
-template <typename F>
-BasicOpgPolicy<F>::BasicOpgPolicy(const PowerModel &pm_, DpmKind kind,
-                                  Energy theta_)
-    : pm(&pm_), dpmKind(kind), theta(theta_)
+template <typename F, typename Store>
+BasicOpgPolicy<F, Store>::BasicOpgPolicy(const PowerModel &pm_,
+                                         DpmKind kind, Energy theta_,
+                                         std::size_t mem_budget)
+    : pm(&pm_), dpmKind(kind), theta(theta_), memBudget(mem_budget)
 {
     PACACHE_ASSERT(theta >= 0, "theta must be non-negative");
 }
 
-template <typename F>
+template <typename F, typename Store>
 void
-BasicOpgPolicy<F>::finishPrepare(
+BasicOpgPolicy<F, Store>::finishPrepare(
     std::size_t num_disks, Time last,
     const std::vector<std::pair<DiskId, std::size_t>> &cold)
 {
@@ -31,8 +32,24 @@ BasicOpgPolicy<F>::finishPrepare(
     // the scan once instead of re-running it per gap endpoint.
     eBig = idleEnergy(bigTime);
 
-    detMiss.assign(num_disks, {});
-    residentByNext.assign(num_disks, {});
+    if constexpr (Store::kSpilled) {
+        // Spillable sets hold pool-registered pages: destroy them
+        // against the old pool before replacing it, then attach the
+        // fresh ones (moves only happen while empty and unattached,
+        // so the resize from empty is safe).
+        detMiss.clear();
+        residentByNext.clear();
+        spillPool = std::make_unique<SpillPool>(memBudget);
+        detMiss.resize(num_disks);
+        residentByNext.resize(num_disks);
+        for (auto &s : detMiss)
+            s.attach(*spillPool);
+        for (auto &s : residentByNext)
+            s.attach(*spillPool);
+    } else {
+        detMiss.assign(num_disks, {});
+        residentByNext.assign(num_disks, {});
+    }
     handleOf.clear();
     evictOrder.clear();
 
@@ -42,9 +59,9 @@ BasicOpgPolicy<F>::finishPrepare(
     ready = true;
 }
 
-template <typename F>
+template <typename F, typename Store>
 void
-BasicOpgPolicy<F>::prepare(const std::vector<BlockAccess> &accs)
+BasicOpgPolicy<F, Store>::prepare(const std::vector<BlockAccess> &accs)
 {
     if constexpr (F::kStreaming) {
         (void)accs;
@@ -74,9 +91,9 @@ BasicOpgPolicy<F>::prepare(const std::vector<BlockAccess> &accs)
     }
 }
 
-template <typename F>
+template <typename F, typename Store>
 void
-BasicOpgPolicy<F>::prepareWindowed(F &&fut)
+BasicOpgPolicy<F, Store>::prepareWindowed(F &&fut)
 {
     if constexpr (!F::kStreaming) {
         (void)fut;
@@ -95,9 +112,9 @@ BasicOpgPolicy<F>::prepareWindowed(F &&fut)
     }
 }
 
-template <typename F>
+template <typename F, typename Store>
 Energy
-BasicOpgPolicy<F>::computePenalty(DiskId disk,
+BasicOpgPolicy<F, Store>::computePenalty(DiskId disk,
                                   std::size_t next_idx) const
 {
     if (next_idx == F::kNever)
@@ -119,9 +136,9 @@ BasicOpgPolicy<F>::computePenalty(DiskId disk,
     return std::max<Energy>(penalty, 0.0);
 }
 
-template <typename F>
+template <typename F, typename Store>
 void
-BasicOpgPolicy<F>::insertResident(const BlockId &block,
+BasicOpgPolicy<F, Store>::insertResident(const BlockId &block,
                                   std::size_t next_idx)
 {
     const Energy penalty =
@@ -137,9 +154,9 @@ BasicOpgPolicy<F>::insertResident(const BlockId &block,
     }
 }
 
-template <typename F>
-typename BasicOpgPolicy<F>::EvictKey
-BasicOpgPolicy<F>::eraseResident(const BlockId &block)
+template <typename F, typename Store>
+typename BasicOpgPolicy<F, Store>::EvictKey
+BasicOpgPolicy<F, Store>::eraseResident(const BlockId &block)
 {
     Handle *hp = handleOf.find(block.packed());
     PACACHE_ASSERT(hp, "OPG removal of unknown block");
@@ -155,9 +172,9 @@ BasicOpgPolicy<F>::eraseResident(const BlockId &block)
     return key;
 }
 
-template <typename F>
+template <typename F, typename Store>
 void
-BasicOpgPolicy<F>::repriceGap(DiskId disk, std::size_t lo, bool has_lo,
+BasicOpgPolicy<F, Store>::repriceGap(DiskId disk, std::size_t lo, bool has_lo,
                               std::size_t hi, bool has_hi)
 {
     // Every resident with next access inside (lo, hi) shares the same
@@ -190,11 +207,11 @@ BasicOpgPolicy<F>::repriceGap(DiskId disk, std::size_t lo, bool has_lo,
         });
 }
 
-template <typename F>
+template <typename F, typename Store>
 void
-BasicOpgPolicy<F>::detInsert(DiskId disk, std::size_t idx)
+BasicOpgPolicy<F, Store>::detInsert(DiskId disk, std::size_t idx)
 {
-    typename OrderedSet<std::size_t>::Neighbors nb;
+    typename Store::DetSet::Neighbors nb;
     const bool fresh = detMiss[disk].insertWithNeighbors(idx, nb);
     PACACHE_ASSERT(fresh, "duplicate deterministic miss");
     // idx split its gap in two: residents below idx now follow it,
@@ -203,11 +220,11 @@ BasicOpgPolicy<F>::detInsert(DiskId disk, std::size_t idx)
     repriceGap(disk, idx, true, nb.hasSucc ? nb.succ : 0, nb.hasSucc);
 }
 
-template <typename F>
+template <typename F, typename Store>
 void
-BasicOpgPolicy<F>::detErase(DiskId disk, std::size_t idx)
+BasicOpgPolicy<F, Store>::detErase(DiskId disk, std::size_t idx)
 {
-    typename OrderedSet<std::size_t>::Neighbors nb;
+    typename Store::DetSet::Neighbors nb;
     const bool was = detMiss[disk].eraseWithNeighbors(idx, nb);
     PACACHE_ASSERT(was, "miss not in deterministic-miss set");
     // idx's two gaps merged into one spanning (pred, succ).
@@ -215,9 +232,9 @@ BasicOpgPolicy<F>::detErase(DiskId disk, std::size_t idx)
                nb.hasSucc ? nb.succ : 0, nb.hasSucc);
 }
 
-template <typename F>
+template <typename F, typename Store>
 void
-BasicOpgPolicy<F>::beforeMiss(const BlockId &block, Time,
+BasicOpgPolicy<F, Store>::beforeMiss(const BlockId &block, Time,
                               std::size_t idx)
 {
     // The access happening now is, by definition, a deterministic
@@ -225,9 +242,9 @@ BasicOpgPolicy<F>::beforeMiss(const BlockId &block, Time,
     detErase(block.disk, idx);
 }
 
-template <typename F>
+template <typename F, typename Store>
 void
-BasicOpgPolicy<F>::onAccess(const BlockId &block, Time,
+BasicOpgPolicy<F, Store>::onAccess(const BlockId &block, Time,
                             std::size_t idx, bool hit)
 {
     PACACHE_ASSERT(ready, "OPG requires prepare() before use");
@@ -255,9 +272,9 @@ BasicOpgPolicy<F>::onAccess(const BlockId &block, Time,
     }
 }
 
-template <typename F>
+template <typename F, typename Store>
 void
-BasicOpgPolicy<F>::onRemove(const BlockId &block)
+BasicOpgPolicy<F, Store>::onRemove(const BlockId &block)
 {
     // External removal behaves like an eviction: the block's next
     // reference becomes a deterministic miss.
@@ -266,9 +283,9 @@ BasicOpgPolicy<F>::onRemove(const BlockId &block)
         detInsert(block.disk, key.nextIdx);
 }
 
-template <typename F>
+template <typename F, typename Store>
 BlockId
-BasicOpgPolicy<F>::evict(Time, std::size_t)
+BasicOpgPolicy<F, Store>::evict(Time, std::size_t)
 {
     PACACHE_ASSERT(!evictOrder.empty(), "OPG evict on empty cache");
     // The victim is the heap top: no handle lookup needed, and pop()
@@ -289,25 +306,25 @@ BasicOpgPolicy<F>::evict(Time, std::size_t)
     return victim;
 }
 
-template <typename F>
+template <typename F, typename Store>
 Energy
-BasicOpgPolicy<F>::penaltyOf(const BlockId &block) const
+BasicOpgPolicy<F, Store>::penaltyOf(const BlockId &block) const
 {
     const Handle *hp = handleOf.find(block.packed());
     PACACHE_ASSERT(hp, "penaltyOf unknown block");
     return evictOrder.key(*hp).penalty;
 }
 
-template <typename F>
+template <typename F, typename Store>
 std::size_t
-BasicOpgPolicy<F>::deterministicMissCount(DiskId disk) const
+BasicOpgPolicy<F, Store>::deterministicMissCount(DiskId disk) const
 {
     return disk < detMiss.size() ? detMiss[disk].size() : 0;
 }
 
-template <typename F>
+template <typename F, typename Store>
 void
-BasicOpgPolicy<F>::validateInternalState(bool full) const
+BasicOpgPolicy<F, Store>::validateInternalState(bool full) const
 {
     // Cheap size-drift invariants, always on.
     PACACHE_ASSERT(evictOrder.size() == handleOf.size(),
@@ -351,5 +368,7 @@ BasicOpgPolicy<F>::validateInternalState(bool full) const
 
 template class BasicOpgPolicy<FutureKnowledge>;
 template class BasicOpgPolicy<WindowedFuture>;
+template class BasicOpgPolicy<FutureKnowledge, SpilledOracleStore>;
+template class BasicOpgPolicy<WindowedFuture, SpilledOracleStore>;
 
 } // namespace pacache

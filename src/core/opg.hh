@@ -49,16 +49,27 @@
  * FutureKnowledge (materialized arrays; OpgPolicy, the classic
  * fits-in-RAM fast path) or WindowedFuture (exact out-of-core
  * next-use streaming over a .pct sidecar; WindowedOpgPolicy, fed by
- * prepareWindowed() instead of prepare()). Both instantiations live
+ * prepareWindowed() instead of prepare()). All instantiations live
  * in opg.cc — the replay loops are identical, only nextUse/timeOf
  * resolution differs, and the windowed provider's pinned-times
  * discipline guarantees every index OPG queries is resident.
+ *
+ * A second template axis, Store, picks where the oracle's ordered
+ * state lives. InMemoryOracleStore (the default) keeps the per-disk
+ * deterministic-miss sets and next-use indexes in plain OrderedSets
+ * — O(unique blocks) RAM, the historical behavior. SpilledOracleStore
+ * swaps both for SpillableOrderedSets sharing one SpillPool sized by
+ * the constructor's mem_budget: pages beyond the budget overflow to
+ * an unlinked spill file and fault back on touch. Spilling moves
+ * bytes, never values, so every instantiation replays bit-identically
+ * — evictions, counters, and energy all match the in-memory oracle.
  */
 
 #ifndef PACACHE_CORE_OPG_HH
 #define PACACHE_CORE_OPG_HH
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "cache/future_window.hh"
@@ -67,6 +78,8 @@
 #include "util/flat_map.hh"
 #include "util/indexed_heap.hh"
 #include "util/ordered_set.hh"
+#include "util/spill_pool.hh"
+#include "util/spill_set.hh"
 
 namespace pacache
 {
@@ -78,18 +91,39 @@ enum class DpmKind
     Practical, //!< threshold-based DPM energy
 };
 
+/** Oracle state in plain OrderedSets (O(unique blocks) RAM). */
+struct InMemoryOracleStore
+{
+    static constexpr bool kSpilled = false;
+    using DetSet = OrderedSet<std::size_t>;
+    template <typename V>
+    using Map = OrderedSet<std::size_t, V>;
+};
+
+/** Oracle state in SpillableOrderedSets under one SpillPool. */
+struct SpilledOracleStore
+{
+    static constexpr bool kSpilled = true;
+    using DetSet = SpillableOrderedSet<std::size_t>;
+    template <typename V>
+    using Map = SpillableOrderedSet<std::size_t, V>;
+};
+
 /** The off-line power-aware greedy policy over future provider F. */
-template <typename F>
+template <typename F, typename Store = InMemoryOracleStore>
 class BasicOpgPolicy : public ReplacementPolicy
 {
   public:
     /**
-     * @param pm     power model used to price idle periods
-     * @param kind   which DPM the disks run (prices E)
-     * @param theta  penalty floor in Joules (0 = pure OPG)
+     * @param pm          power model used to price idle periods
+     * @param kind        which DPM the disks run (prices E)
+     * @param theta       penalty floor in Joules (0 = pure OPG)
+     * @param mem_budget  SpillPool budget in bytes for the oracle's
+     *                    ordered state (SpilledOracleStore only;
+     *                    ignored by the in-memory store)
      */
     BasicOpgPolicy(const PowerModel &pm, DpmKind kind,
-                   Energy theta = 0);
+                   Energy theta = 0, std::size_t mem_budget = 0);
 
     const char *name() const override { return "OPG"; }
 
@@ -195,6 +229,7 @@ class BasicOpgPolicy : public ReplacementPolicy
     const PowerModel *pm;
     DpmKind dpmKind;
     Energy theta;
+    std::size_t memBudget; //!< SpillPool bytes (spilled store only)
 
     const std::vector<BlockAccess> *accesses = nullptr;
     F future;
@@ -202,24 +237,40 @@ class BasicOpgPolicy : public ReplacementPolicy
     Time bigTime = 0;  //!< stands in for "no leader/follower"
     Energy eBig = 0;   //!< cached idleEnergy(bigTime)
 
-    std::vector<OrderedSet<std::size_t>> detMiss; //!< per-disk S
+    /**
+     * Declared before the spillable containers: members destruct in
+     * reverse order, so the sets (whose destructors return pages and
+     * slots to the pool) must go first.
+     */
+    std::unique_ptr<SpillPool> spillPool;
+    std::vector<typename Store::DetSet> detMiss; //!< per-disk S
     /** Per disk: finite next-access index -> victim-heap handle. */
-    std::vector<OrderedSet<std::size_t, Handle>> residentByNext;
+    std::vector<typename Store::template Map<Handle>> residentByNext;
     /** Packed 64-bit keys: 16-byte slots, one-word hash per probe. */
     FlatMap<std::uint64_t, Handle> handleOf;
     EvictHeap evictOrder;
 };
 
-// Both instantiations are compiled once, in opg.cc, so the hot replay
+// All instantiations are compiled once, in opg.cc, so the hot replay
 // loops keep the exact same single-TU codegen the non-template policy
 // had (micro_opg's 2.5x floor is sensitive to this).
 extern template class BasicOpgPolicy<FutureKnowledge>;
 extern template class BasicOpgPolicy<WindowedFuture>;
+extern template class BasicOpgPolicy<FutureKnowledge,
+                                     SpilledOracleStore>;
+extern template class BasicOpgPolicy<WindowedFuture,
+                                     SpilledOracleStore>;
 
 /** The classic materialized oracle. */
 using OpgPolicy = BasicOpgPolicy<FutureKnowledge>;
 /** The exact out-of-core oracle (streaming replay only). */
 using WindowedOpgPolicy = BasicOpgPolicy<WindowedFuture>;
+/** The materialized oracle with budgeted (spillable) state. */
+using SpilledOpgPolicy =
+    BasicOpgPolicy<FutureKnowledge, SpilledOracleStore>;
+/** The out-of-core oracle with budgeted (spillable) state. */
+using SpilledWindowedOpgPolicy =
+    BasicOpgPolicy<WindowedFuture, SpilledOracleStore>;
 
 } // namespace pacache
 

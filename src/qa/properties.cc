@@ -348,6 +348,68 @@ propWindowedOracleEquivalence(const FuzzCase &c)
 }
 
 PropertyResult
+propSpilledOracleEquivalence(const FuzzCase &c)
+{
+    if (c.trace.empty())
+        return PropertyResult::ok();
+    // Spilling moves oracle state between RAM and the spill file but
+    // never changes a value, so every budget — one byte (pages spill
+    // the moment an operation releases them), a small fuzzed budget
+    // (steady churn), or SIZE_MAX (machinery engaged, never evicts)
+    // — must replay bit-identically to the unbounded in-memory
+    // oracle.  Belady ignores the budget and must be unaffected.
+    Rng rng(deriveSeed(c.seed, 0x5b111));
+    ExperimentConfig cfg = experimentConfig(c);
+    cfg.policy = rng.chance(0.8) ? PolicyKind::OPG : PolicyKind::Belady;
+    cfg.windowAccesses = 0;
+    cfg.oracleChunkAccesses = 0;
+    cfg.oracleMemBudget = 0;
+    const ExperimentResult want = runExperiment(c.trace, cfg);
+
+    const std::size_t budgets[] = {
+        1, 1 + rng.below(std::size_t{64} << 10),
+        static_cast<std::size_t>(-1)};
+    for (const std::size_t budget : budgets) {
+        ExperimentConfig bcfg = cfg;
+        bcfg.oracleMemBudget = budget;
+        const ExperimentResult got = runExperiment(c.trace, bcfg);
+        const std::string diff = diffResults(want, got);
+        if (!diff.empty())
+            return failMsg("budget=", budget, " materialized ",
+                           policyKindName(cfg.policy),
+                           " diverges from unbounded in-memory: ",
+                           diff);
+    }
+
+    // The windowed oracle under a budget additionally spills
+    // far-future pinned entries and rereads arrival times from the
+    // sidecar; fuzz the window geometry along with the budget.
+    ExperimentConfig wcfg = cfg;
+    const std::size_t accesses =
+        std::max<std::size_t>(c.trace.numBlockAccesses(), 1);
+    wcfg.windowAccesses = 1 + rng.below(accesses + 8);
+    wcfg.oracleChunkAccesses = 1 + rng.below(accesses + 8);
+    wcfg.oracleMemBudget = 1 + rng.below(std::size_t{16} << 10);
+    std::ostringstream stem;
+    stem << c.seed << "_spill.pct";
+    const TempFile tmp(stem.str());
+    {
+        tracefmt::MemorySource src(c.trace);
+        tracefmt::writePct(tmp.path, src);
+    }
+    tracefmt::PctMmapSource src(tmp.path);
+    const ExperimentResult windowed = runExperiment(src, wcfg);
+    const std::string diff = diffResults(want, windowed);
+    if (!diff.empty())
+        return failMsg("budget=", wcfg.oracleMemBudget,
+                       " windowed (window=", wcfg.windowAccesses,
+                       ", chunk=", wcfg.oracleChunkAccesses, ", ",
+                       policyKindName(cfg.policy),
+                       ") diverges from unbounded in-memory: ", diff);
+    return PropertyResult::ok();
+}
+
+PropertyResult
 propParallelMatchesSerial(const FuzzCase &c)
 {
     if (c.trace.empty())
@@ -925,6 +987,11 @@ allProperties()
          "(fuzzed window and chunk sizes) is bit-identical to the "
          "materialized oracle",
          propWindowedOracleEquivalence},
+        {"spilled_oracle_equivalence",
+         "Replay with the spillable oracle store (materialized and "
+         "windowed, budgets from one byte to SIZE_MAX) is "
+         "bit-identical to the unbounded in-memory oracle",
+         propSpilledOracleEquivalence},
         {"parallel_matches_serial",
          "runAll with --jobs N returns results identical to the "
          "serial run",

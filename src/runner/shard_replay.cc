@@ -29,13 +29,30 @@ class FullArraySource : public tracefmt::PctMmapSource
 {
   public:
     FullArraySource(const std::string &path, uint64_t disks)
-        : PctMmapSource(path), allDisks(disks)
+        : PctMmapSource(path, shardReadOptions()), allDisks(disks)
     {
     }
 
     uint64_t numDisksHint() const override { return allDisks; }
 
   private:
+    /**
+     * Shard sub-traces were demuxed moments ago, are hot in the page
+     * cache, and are per-shard fractions of the input that get
+     * unlinked on scope exit. DONTNEED-behind would pay one madvise
+     * syscall per hint batch per concurrent shard to return pages the
+     * kernel is about to drop with the files anyway, so it is
+     * disabled here; the WILLNEED prefetch (cheap, keeps the replay
+     * loop ahead of any cold pages) stays on.
+     */
+    static tracefmt::PctReadOptions
+    shardReadOptions()
+    {
+        tracefmt::PctReadOptions opts;
+        opts.releaseBehind = false;
+        return opts;
+    }
+
     uint64_t allDisks;
 };
 
@@ -98,6 +115,12 @@ runShardedExperiment(const std::string &pct_path,
                          config.policy == PolicyKind::OPG;
     if (offline && shard_cfg.windowAccesses == 0)
         shard_cfg.windowAccesses = std::size_t(1) << 20;
+    // The budget caps the whole run's oracle state, so concurrent
+    // shards split it evenly (max() keeps a tiny budget nonzero —
+    // zero would silently mean unbounded).
+    if (shard_cfg.oracleMemBudget > 0)
+        shard_cfg.oracleMemBudget = std::max<std::size_t>(
+            shard_cfg.oracleMemBudget / shards, 1);
 
     std::string dir = opts.tempDir;
     if (dir.empty()) {

@@ -174,6 +174,9 @@ SweepSpec::fromJson(const JsonValue &doc)
                 spec.writePolicies.push_back(parseWritePolicy(s));
         } else if (key == "duration") {
             spec.duration = value.asNumber();
+        } else if (key == "oracle_mem_budget_mb") {
+            spec.oracleMemBudgetMb =
+                static_cast<std::size_t>(value.asNumber());
         } else {
             PACACHE_FATAL("unknown sweep spec key '", key, "'");
         }
@@ -211,11 +214,25 @@ SweepPlan::SweepPlan(const SweepSpec &spec)
                         point.label += dpmChoiceName(dpm);
                         point.label += '/';
                         point.label += writePolicyCliName(wp);
+                        // The budget only changes OPG's machinery
+                        // (never its results); suffix the label so
+                        // budgeted reports are self-describing.
+                        if (spec.oracleMemBudgetMb > 0 &&
+                            policy == PolicyKind::OPG) {
+                            point.label += "/b";
+                            point.label += std::to_string(
+                                spec.oracleMemBudgetMb);
+                            point.label += 'm';
+                        }
                         point.trace = trace;
                         point.config.policy = policy;
                         point.config.cacheBlocks = blocks;
                         point.config.dpm = dpm;
                         point.config.storage.writePolicy = wp;
+                        point.config.oracleMemBudget =
+                            policy == PolicyKind::OPG
+                                ? spec.oracleMemBudgetMb << 20
+                                : 0;
                         runPoints.push_back(std::move(point));
                     }
                 }

@@ -77,6 +77,11 @@ struct SweepSpec
     std::vector<WritePolicy> writePolicies;
     /** Workload duration override in seconds; <= 0 keeps defaults. */
     double duration = 0;
+    /**
+     * Oracle replay-state budget in MiB, applied to every OPG point
+     * (spillable oracle tier; bit-identical results). 0 = unbounded.
+     */
+    std::size_t oracleMemBudgetMb = 0;
 
     std::size_t points() const
     {

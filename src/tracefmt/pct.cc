@@ -460,7 +460,9 @@ PctMmapSource::next(TraceRecord &out)
                  lastTime);
     lastTime = out.time;
     ++pos;
-    if (pos - releaseMark >= kReplayHintRecords) {
+    const uint64_t cadence =
+        opts.hintRecords ? opts.hintRecords : kReplayHintRecords;
+    if (pos - releaseMark >= cadence) {
         // Forward replay never revisits consumed records: drop the
         // pages behind the cursor and pre-fault the next batch.
         if (opts.releaseBehind)
@@ -470,8 +472,7 @@ PctMmapSource::next(TraceRecord &out)
                         MADV_DONTNEED);
         if (opts.prefetchAhead && pos < info.records) {
             const uint64_t ahead =
-                std::min<uint64_t>(kReplayHintRecords,
-                                   info.records - pos);
+                std::min<uint64_t>(cadence, info.records - pos);
             adviseRange(base, records + pos * kPctRecordBytes,
                         static_cast<std::size_t>(ahead *
                                                  kPctRecordBytes),

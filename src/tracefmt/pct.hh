@@ -100,6 +100,15 @@ struct PctReadOptions
     bool releaseBehind = true;
     /** Pair the release with an MADV_WILLNEED for the next chunk. */
     bool prefetchAhead = true;
+    /**
+     * Replay-hint cadence and look-ahead in records: every
+     * hintRecords consumed records, the mmap source drops the pages
+     * behind the cursor (releaseBehind) and pre-faults the next
+     * hintRecords ahead (prefetchAhead). 0 = the built-in default
+     * (64Ki records). Larger windows batch the madvise syscalls;
+     * smaller ones tighten the resident set.
+     */
+    std::uint64_t hintRecords = 0;
 };
 
 /** Streaming .pct reader over buffered file I/O. */

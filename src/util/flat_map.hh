@@ -114,6 +114,27 @@ class FlatMap
             rehash(want);
     }
 
+    /**
+     * Rehash down after heavy erase churn. Tombstone squashing keeps
+     * probe chains short but never returns slot memory; shrink()
+     * does, rebuilding at the smallest power-of-two capacity that
+     * holds the live elements under the 7/8 load limit. Only acts
+     * when the table is at least 4x oversized, so calling it
+     * periodically (window transitions) cannot thrash. Invalidates
+     * pointers like any rehash.
+     */
+    void
+    shrink()
+    {
+        if (slots.empty())
+            return;
+        std::size_t want = kMinCapacity;
+        while (want * 7 < occupied * 8)
+            want <<= 1;
+        if (want * 4 <= slots.size())
+            rehash(want);
+    }
+
     /** @return pointer to the mapped value, or null if absent. */
     T *
     find(const Key &key)

@@ -1,0 +1,204 @@
+#include "util/seen_filter.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace pacache
+{
+
+SparseSeenSet::SparseSeenSet(std::size_t budget_bytes,
+                             unsigned sketch_log2)
+    : pool(budget_bytes), sketchLog2(sketch_log2)
+{
+    PACACHE_ASSERT(sketch_log2 >= 4 && sketch_log2 < 40,
+                   "unreasonable sketch size");
+}
+
+std::uint32_t
+SparseSeenSet::allocSlab()
+{
+    if (!freeSlabs.empty()) {
+        const std::uint32_t sb = freeSlabs.back();
+        freeSlabs.pop_back();
+        return sb;
+    }
+    const std::uint32_t sb = static_cast<std::uint32_t>(slabs.size());
+    slabs.emplace_back();
+    return sb;
+}
+
+void
+SparseSeenSet::sketchAdd(std::uint64_t key)
+{
+    if (sketch.empty()) {
+        sketch.assign(std::size_t(1) << (sketchLog2 - 1), 0);
+        sketchMask = (std::uint64_t(1) << sketchLog2) - 1;
+    }
+    const std::uint64_t h1 = splitmix64(key) & sketchMask;
+    const std::uint64_t h2 =
+        splitmix64(key ^ 0x9e3779b97f4a7c15ULL) & sketchMask;
+    for (const std::uint64_t h : {h1, h2}) {
+        std::uint8_t &byte = sketch[h >> 1];
+        const unsigned shift = (h & 1) * 4;
+        const std::uint8_t nib = (byte >> shift) & 0xF;
+        if (nib < 0xF)
+            byte = static_cast<std::uint8_t>(
+                (byte & ~(0xF << shift)) | ((nib + 1) << shift));
+    }
+}
+
+bool
+SparseSeenSet::sketchMaybe(std::uint64_t key) const
+{
+    if (sketch.empty())
+        return false;
+    const std::uint64_t h1 = splitmix64(key) & sketchMask;
+    const std::uint64_t h2 =
+        splitmix64(key ^ 0x9e3779b97f4a7c15ULL) & sketchMask;
+    const std::uint8_t n1 =
+        (sketch[h1 >> 1] >> ((h1 & 1) * 4)) & 0xF;
+    const std::uint8_t n2 =
+        (sketch[h2 >> 1] >> ((h2 & 1) * 4)) & 0xF;
+    return n1 > 0 && n2 > 0;
+}
+
+void
+SparseSeenSet::mergeOverlay(Meta &m)
+{
+    PACACHE_ASSERT(m.partial && m.slab != kNone32 &&
+                       m.slot != SpillPool::kNoSlot,
+                   "overlay merge on a non-partial page");
+    PageWords old;
+    pool.readSlot(m.slot, old.data(), kPageIoBytes);
+    PageWords &w = slabs[m.slab];
+    for (std::size_t i = 0; i < kWords; ++i)
+        w[i] |= old[i];
+    m.partial = false;
+    m.dirty = true;
+    ++merges;
+}
+
+bool
+SparseSeenSet::testAndSet(std::uint64_t key)
+{
+    const std::uint64_t pageNo = key >> 12;
+    const std::size_t bit = static_cast<std::size_t>(key & 4095);
+    const std::size_t word = bit >> 6;
+    const std::uint64_t mask = std::uint64_t{1} << (bit & 63);
+
+    const auto [idp, isNew] = index.emplace(
+        pageNo, static_cast<std::uint32_t>(metas.size()));
+    if (isNew) {
+        metas.emplace_back();
+        Meta &m = metas.back();
+        m.slab = allocSlab();
+        slabs[m.slab].fill(0);
+        slabs[m.slab][word] |= mask;
+        m.dirty = true;
+        sketchAdd(key);
+        ++inserted;
+        // Pinned through the add so the enforcement sweep cannot
+        // reclaim the page between registration and this return.
+        m.token = pool.add(this, static_cast<std::uint32_t>(
+                                     metas.size() - 1),
+                           pageCost(), true);
+        pool.unpin(m.token);
+        return true;
+    }
+
+    const std::uint32_t id = *idp;
+    Meta &m = metas[id];
+    if (m.slab != kNone32) {
+        pool.touch(m.token);
+        pool.pin(m.token);
+        PageWords &w = slabs[m.slab];
+        bool seen = (w[word] & mask) != 0;
+        if (!seen && m.partial && sketchMaybe(key)) {
+            mergeOverlay(m);
+            seen = (w[word] & mask) != 0;
+        }
+        if (!seen) {
+            w[word] |= mask;
+            m.dirty = true;
+            sketchAdd(key);
+            ++inserted;
+        }
+        pool.unpin(m.token);
+        return !seen;
+    }
+
+    // Page is spilled. The sketch has no false negatives, so a
+    // "definitely new" verdict inserts into a fresh overlay with no
+    // read; only a "maybe" pays the pread.
+    if (!sketchMaybe(key)) {
+        m.slab = allocSlab();
+        slabs[m.slab].fill(0);
+        slabs[m.slab][word] |= mask;
+        m.partial = true;
+        m.dirty = true;
+        sketchAdd(key);
+        ++inserted;
+        ++blind;
+        m.token = pool.add(this, id, pageCost(), true);
+        pool.unpin(m.token);
+        return true;
+    }
+
+    m.slab = allocSlab();
+    pool.readSlot(m.slot, slabs[m.slab].data(), kPageIoBytes);
+    m.partial = false;
+    m.dirty = false;
+    ++faults;
+    m.token = pool.add(this, id, pageCost(), true);
+    PageWords &w = slabs[m.slab];
+    const bool seen = (w[word] & mask) != 0;
+    if (!seen) {
+        w[word] |= mask;
+        m.dirty = true;
+        sketchAdd(key);
+        ++inserted;
+    }
+    pool.unpin(m.token);
+    return !seen;
+}
+
+void
+SparseSeenSet::spillPage(std::uint32_t page)
+{
+    Meta &m = metas[page];
+    PACACHE_ASSERT(m.slab != kNone32, "spill of non-resident page");
+    if (m.partial)
+        mergeOverlay(m);
+    if (m.dirty || m.slot == SpillPool::kNoSlot) {
+        if (m.slot == SpillPool::kNoSlot)
+            m.slot = pool.allocSlot(kPageIoBytes);
+        pool.writeSlot(m.slot, slabs[m.slab].data(), kPageIoBytes);
+        m.dirty = false;
+    }
+    freeSlabs.push_back(m.slab);
+    m.slab = kNone32;
+    m.token = SpillPool::kNoToken;
+}
+
+void
+SparseSeenSet::checkInvariants() const
+{
+    pool.checkInvariants();
+    std::size_t resident = 0;
+    for (const Meta &m : metas) {
+        if (m.slab == kNone32)
+            PACACHE_ASSERT(m.slot != SpillPool::kNoSlot,
+                           "spilled page without a slot");
+        else
+            ++resident;
+        if (m.partial)
+            PACACHE_ASSERT(m.slab != kNone32 &&
+                               m.slot != SpillPool::kNoSlot,
+                           "partial page must be a resident overlay");
+    }
+    PACACHE_ASSERT(resident == pool.residentPages(),
+                   "SparseSeenSet residency drift");
+}
+
+} // namespace pacache

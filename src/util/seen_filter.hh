@@ -1,0 +1,133 @@
+/**
+ * @file
+ * SparseSeenSet — exact first-ever-seen tracking for sparse 64-bit
+ * key spaces (raw sector addresses from real traces) under a fixed
+ * memory budget.
+ *
+ * The cache's cold-miss counter needs one exact membership test per
+ * miss: "has this block ever been demand-accessed?" Dense block
+ * spaces use per-disk bitmaps; sparse spaces used to fall back to a
+ * hash set whose memory grew with every unique block. This tier
+ * bounds that:
+ *
+ *  - keys are grouped into 4096-bit bitmap pages (512 B per page,
+ *    pageNo = key >> 12), resident pages budgeted by a private
+ *    SpillPool and spilled to its unlinked file beyond the budget —
+ *    the *paged bitmap is authoritative and exact*;
+ *  - a counting sketch (two splitmix64-hashed 4-bit saturating
+ *    counters per key) shadows every inserted key. The sketch is
+ *    *only a presence filter*: it has no false negatives, so
+ *    "definitely never seen" answers skip faulting spilled pages —
+ *    a first touch of a spilled page's range inserts into a fresh
+ *    partial overlay page with zero disk reads. A partial page
+ *    merges with its spilled bits (one pread + OR) only when the
+ *    sketch reports a possible prior insert, and at spill time.
+ *
+ * Semantics are bit-identical to the unbounded hash set: testAndSet
+ * returns true exactly once per distinct key, in any access order.
+ */
+
+#ifndef PACACHE_UTIL_SEEN_FILTER_HH
+#define PACACHE_UTIL_SEEN_FILTER_HH
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/flat_map.hh"
+#include "util/spill_pool.hh"
+
+namespace pacache
+{
+
+/** Budgeted exact seen-set over sparse keys; see the file comment. */
+class SparseSeenSet : public SpillClient
+{
+  public:
+    /** Resident-page budget (bytes) before pages spill. */
+    static constexpr std::size_t kDefaultBudget = std::size_t(4)
+                                                  << 20;
+    /** log2 of sketch counters; 2^21 nibbles = 1 MiB, lazy. */
+    static constexpr unsigned kDefaultSketchLog2 = 21;
+
+    explicit SparseSeenSet(
+        std::size_t budget_bytes = kDefaultBudget,
+        unsigned sketch_log2 = kDefaultSketchLog2);
+
+    /** Record @p key; @return true iff this is its first insert. */
+    bool testAndSet(std::uint64_t key);
+
+    std::size_t size() const { return inserted; }
+    std::size_t pages() const { return metas.size(); }
+    std::size_t residentPages() const
+    {
+        return pool.residentPages();
+    }
+    /** Full-page refaults forced by a sketch "maybe". */
+    std::uint64_t pageFaults() const { return faults; }
+    /** Read-free inserts into fresh overlays ("definitely new"). */
+    std::uint64_t blindInserts() const { return blind; }
+    /** Overlay merges forced by a sketch "maybe" on a partial. */
+    std::uint64_t overlayMerges() const { return merges; }
+
+    /** SpillPool callback: merge-if-partial, serialize, drop. */
+    void spillPage(std::uint32_t page) override;
+
+    /** Test hook: metadata coherence; panics on drift. */
+    void checkInvariants() const;
+
+  private:
+    static constexpr std::size_t kPageBits = 4096;
+    static constexpr std::size_t kWords = kPageBits / 64;
+    static constexpr std::size_t kPageIoBytes = kWords * 8;
+    static constexpr std::uint32_t kNone32 = ~std::uint32_t{0};
+
+    using PageWords = std::array<std::uint64_t, kWords>;
+
+    struct Meta
+    {
+        std::uint32_t slab = kNone32;
+        std::uint32_t token = SpillPool::kNoToken;
+        std::uint64_t slot = SpillPool::kNoSlot;
+        /**
+         * Resident slab holds only bits set since its creation; the
+         * spill slot holds earlier bits (slot is always valid when
+         * partial). Cleared by merging.
+         */
+        bool partial = false;
+        bool dirty = false;
+    };
+
+    /** Resident cost charged to the pool budget per page. */
+    static constexpr std::size_t pageCost()
+    {
+        return kPageIoBytes + sizeof(Meta) + 32;
+    }
+
+    std::uint32_t allocSlab();
+    /** Make page @p id resident (pinned); fault or overlay. */
+    void sketchAdd(std::uint64_t key);
+    bool sketchMaybe(std::uint64_t key) const;
+    void mergeOverlay(Meta &m);
+
+    FlatMap<std::uint64_t, std::uint32_t> index; //!< pageNo -> id
+    std::vector<Meta> metas;
+    std::vector<PageWords> slabs;
+    std::vector<std::uint32_t> freeSlabs;
+    SpillPool pool;
+
+    /** 4-bit saturating counters, two per key; lazy allocation. */
+    std::vector<std::uint8_t> sketch;
+    std::uint64_t sketchMask = 0;
+    unsigned sketchLog2;
+
+    std::size_t inserted = 0;
+    std::uint64_t faults = 0;
+    std::uint64_t blind = 0;
+    std::uint64_t merges = 0;
+};
+
+} // namespace pacache
+
+#endif // PACACHE_UTIL_SEEN_FILTER_HH

@@ -233,6 +233,53 @@ INSTANTIATE_TEST_SUITE_P(
         return n;
     });
 
+/**
+ * The spillable oracle store must replay byte-identically to the
+ * in-memory store at every budget — a 1-byte budget (pages spill the
+ * moment an operation releases them), a mid budget (steady churn),
+ * and SIZE_MAX (machinery engaged, never evicts). Spilling moves
+ * bytes, never values, so any divergence is a bug, not noise.
+ */
+TEST(SpilledOpgEquivalence, ReplayMatchesInMemoryAtEveryBudget)
+{
+    const PowerModel pm;
+    const auto accesses = syntheticStream(505);
+    OpgPolicy plain(pm, DpmKind::Oracle, 0.0);
+    const auto want = replay(plain, accesses, 96);
+    for (const std::size_t budget :
+         {std::size_t{1}, std::size_t{64} << 10,
+          static_cast<std::size_t>(-1)}) {
+        SpilledOpgPolicy spilled(pm, DpmKind::Oracle, 0.0, budget);
+        const auto got = replay(spilled, accesses, 96);
+        expectIdentical(got, want);
+        spilled.validateInternalState(/*full=*/true);
+    }
+}
+
+TEST(SpilledOpgEquivalence, PenaltiesMatchUnderTightBudget)
+{
+    const PowerModel pm;
+    const auto accesses = syntheticStream(606);
+    OpgPolicy plain(pm, DpmKind::Practical, 29.6);
+    SpilledOpgPolicy spilled(pm, DpmKind::Practical, 29.6,
+                             /*mem_budget=*/4096);
+    Cache plainCache(64, plain);
+    Cache spilledCache(64, spilled);
+    plain.prepare(accesses);
+    spilled.prepare(accesses);
+    for (std::size_t i = 0; i < accesses.size(); ++i) {
+        plainCache.access(accesses[i].block, accesses[i].time, i);
+        spilledCache.access(accesses[i].block, accesses[i].time, i);
+        if (i % 500 != 0)
+            continue;
+        ASSERT_EQ(plainCache.stats().misses,
+                  spilledCache.stats().misses);
+        ASSERT_EQ(spilled.penaltyOf(accesses[i].block),
+                  plain.penaltyOf(accesses[i].block))
+            << "penalty diverges at access " << i;
+    }
+}
+
 TEST(BeladyEquivalence, OltpReplayIsByteIdentical)
 {
     const auto accesses = smallOltpStream();

@@ -192,5 +192,43 @@ TEST(FlatMap, ForEachVisitsAllLiveEntries)
         EXPECT_NE(k % 3, 0u);
 }
 
+TEST(FlatMap, ShrinkReturnsMemoryAfterEraseChurn)
+{
+    FlatMap<uint64_t, uint64_t> m;
+    const uint64_t n = 100000;
+    for (uint64_t k = 0; k < n; ++k)
+        m.emplace(k, k);
+    const std::size_t peak = m.capacity();
+    // Drain to 1% of peak: the table stays at peak capacity (erase
+    // never shrinks)...
+    for (uint64_t k = 0; k < n - n / 100; ++k)
+        m.erase(k);
+    EXPECT_EQ(m.capacity(), peak);
+    // ...until shrink() rebuilds it at the smallest fitting size.
+    m.shrink();
+    EXPECT_LT(m.capacity(), peak / 4);
+    // Live contents survive the rebuild.
+    EXPECT_EQ(m.size(), n / 100);
+    for (uint64_t k = n - n / 100; k < n; ++k) {
+        ASSERT_NE(m.find(k), nullptr);
+        EXPECT_EQ(*m.find(k), k);
+    }
+}
+
+TEST(FlatMap, ShrinkIsANoOpWhenRightSized)
+{
+    FlatMap<uint64_t, int> m;
+    for (uint64_t k = 0; k < 1000; ++k)
+        m.emplace(k, 1);
+    const std::size_t cap = m.capacity();
+    // Nearly full table: shrink must not thrash.
+    m.shrink();
+    EXPECT_EQ(m.capacity(), cap);
+    // Empty map with no table: shrink must not allocate.
+    FlatMap<uint64_t, int> empty;
+    empty.shrink();
+    EXPECT_EQ(empty.capacity(), 0u);
+}
+
 } // namespace
 } // namespace pacache

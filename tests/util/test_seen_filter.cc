@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <unordered_set>
+#include <vector>
+
+#include "util/seen_filter.hh"
+
+namespace pacache
+{
+namespace
+{
+
+TEST(SparseSeenSet, FirstInsertTrueSecondFalse)
+{
+    SparseSeenSet seen;
+    EXPECT_TRUE(seen.testAndSet(42));
+    EXPECT_FALSE(seen.testAndSet(42));
+    EXPECT_TRUE(seen.testAndSet(43));
+    EXPECT_EQ(seen.size(), 2u);
+    seen.checkInvariants();
+}
+
+TEST(SparseSeenSet, MatchesHashSetOnSparseKeys)
+{
+    // Raw-sector-style keys: clustered runs spread across a huge
+    // space, with re-touches — the cold-miss counter's access shape.
+    SparseSeenSet seen;
+    std::unordered_set<std::uint64_t> model;
+    std::mt19937_64 rng(42);
+    for (int i = 0; i < 100000; ++i) {
+        const std::uint64_t base = (rng() % 4096) << 20;
+        const std::uint64_t key = base + (rng() % 8192);
+        EXPECT_EQ(seen.testAndSet(key), model.insert(key).second);
+    }
+    EXPECT_EQ(seen.size(), model.size());
+    seen.checkInvariants();
+}
+
+TEST(SparseSeenSet, ExactUnderTightBudgetWithSpills)
+{
+    // A few pages resident; everything else lives in the spill file.
+    SparseSeenSet seen(4 * 1024);
+    std::unordered_set<std::uint64_t> model;
+    std::mt19937_64 rng(7);
+    for (int i = 0; i < 200000; ++i) {
+        // Cycle through many distinct bitmap pages to force spills,
+        // and revisit keys often to exercise the overlay merge path.
+        const std::uint64_t page = rng() % 512;
+        const std::uint64_t key = (page << 12) + (rng() % 4096);
+        EXPECT_EQ(seen.testAndSet(key), model.insert(key).second);
+    }
+    EXPECT_EQ(seen.size(), model.size());
+    EXPECT_GT(seen.pages(), seen.residentPages());
+    seen.checkInvariants();
+}
+
+TEST(SparseSeenSet, BlindInsertsSkipReads)
+{
+    // Tiny budget + disjoint key ranges: revisiting a spilled page's
+    // range with brand-new keys should use the sketch's "definitely
+    // new" verdict and insert without a pread.
+    SparseSeenSet seen(1024);
+    // Touch many pages once each so earlier ones spill.
+    for (std::uint64_t p = 0; p < 64; ++p)
+        EXPECT_TRUE(seen.testAndSet(p << 12));
+    // New keys on the long-spilled first pages.
+    for (std::uint64_t p = 0; p < 8; ++p)
+        EXPECT_TRUE(seen.testAndSet((p << 12) + 100));
+    EXPECT_GT(seen.blindInserts(), 0u);
+    // Still exact: the original keys remain seen (forces merges).
+    for (std::uint64_t p = 0; p < 64; ++p)
+        EXPECT_FALSE(seen.testAndSet(p << 12));
+    for (std::uint64_t p = 0; p < 8; ++p)
+        EXPECT_FALSE(seen.testAndSet((p << 12) + 100));
+    EXPECT_EQ(seen.size(), 64u + 8u);
+    seen.checkInvariants();
+}
+
+TEST(SparseSeenSet, DenseSinglePageNeverSpills)
+{
+    SparseSeenSet seen;
+    for (std::uint64_t b = 0; b < 4096; ++b)
+        EXPECT_TRUE(seen.testAndSet(b));
+    for (std::uint64_t b = 0; b < 4096; ++b)
+        EXPECT_FALSE(seen.testAndSet(b));
+    EXPECT_EQ(seen.size(), 4096u);
+    EXPECT_EQ(seen.pages(), 1u);
+    EXPECT_EQ(seen.pageFaults(), 0u);
+    seen.checkInvariants();
+}
+
+} // namespace
+} // namespace pacache

@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "util/spill_pool.hh"
+
+namespace pacache
+{
+namespace
+{
+
+/**
+ * Minimal client: pages are byte buffers; spillPage serializes into a
+ * pool slot and drops the buffer, mirroring the real containers.
+ */
+class VectorClient : public SpillClient
+{
+  public:
+    explicit VectorClient(SpillPool &p) : pool(&p) {}
+
+    std::uint32_t
+    addPage(std::vector<char> data)
+    {
+        const std::uint32_t page =
+            static_cast<std::uint32_t>(pages.size());
+        pages.push_back(Page{std::move(data), 0,
+                             SpillPool::kNoToken, SpillPool::kNoSlot,
+                             true});
+        pages[page].size = pages[page].data.size();
+        pages[page].token =
+            pool->add(this, page, pages[page].size, false);
+        return page;
+    }
+
+    /** Fault the page back in if spilled; touch it either way. */
+    std::vector<char> &
+    fetch(std::uint32_t page)
+    {
+        Page &p = pages[page];
+        if (!p.resident) {
+            p.data.resize(p.size);
+            pool->readSlot(p.slot, p.data.data(), p.size);
+            p.resident = true;
+            p.token = pool->add(this, page, p.size, false);
+        } else {
+            pool->touch(p.token);
+        }
+        return p.data;
+    }
+
+    bool resident(std::uint32_t page) const
+    {
+        return pages[page].resident;
+    }
+
+    std::uint32_t token(std::uint32_t page) const
+    {
+        return pages[page].token;
+    }
+
+    void
+    spillPage(std::uint32_t page) override
+    {
+        Page &p = pages[page];
+        if (p.slot == SpillPool::kNoSlot)
+            p.slot = pool->allocSlot(p.size);
+        pool->writeSlot(p.slot, p.data.data(), p.size);
+        p.data.clear();
+        p.data.shrink_to_fit();
+        p.resident = false;
+        p.token = SpillPool::kNoToken;
+        ++spills;
+    }
+
+    int spills = 0;
+
+  private:
+    struct Page
+    {
+        std::vector<char> data;
+        std::size_t size;
+        std::uint32_t token;
+        std::uint64_t slot;
+        bool resident;
+    };
+
+    SpillPool *pool;
+    std::vector<Page> pages;
+};
+
+std::vector<char>
+patternPage(std::size_t n, char seed)
+{
+    std::vector<char> v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] = static_cast<char>(seed + i * 7);
+    return v;
+}
+
+TEST(SpillPool, StaysResidentUnderBudget)
+{
+    SpillPool pool(1 << 20);
+    VectorClient c(pool);
+    for (int i = 0; i < 8; ++i)
+        c.addPage(patternPage(1024, static_cast<char>(i)));
+    EXPECT_EQ(pool.evictions(), 0u);
+    EXPECT_EQ(pool.residentPages(), 8u);
+    EXPECT_EQ(pool.residentBytes(), 8u * 1024);
+    for (std::uint32_t i = 0; i < 8; ++i)
+        EXPECT_TRUE(c.resident(i));
+    // No spilling means no spill file space was ever claimed.
+    EXPECT_EQ(pool.spillFileBytes(), 0u);
+    pool.checkInvariants();
+}
+
+TEST(SpillPool, EvictsLruBeyondBudgetAndRoundTrips)
+{
+    SpillPool pool(4 * 1024);
+    VectorClient c(pool);
+    std::vector<std::uint32_t> ids;
+    for (int i = 0; i < 10; ++i)
+        ids.push_back(
+            c.addPage(patternPage(1024, static_cast<char>(i))));
+    // Budget holds 4 pages; the 6 oldest spilled in LRU order.
+    EXPECT_EQ(pool.residentPages(), 4u);
+    EXPECT_EQ(pool.evictions(), 6u);
+    EXPECT_EQ(c.spills, 6);
+    EXPECT_GT(pool.spillFileBytes(), 0u);
+    for (std::uint32_t i = 0; i < 6; ++i)
+        EXPECT_FALSE(c.resident(ids[i]));
+    for (std::uint32_t i = 6; i < 10; ++i)
+        EXPECT_TRUE(c.resident(ids[i]));
+
+    // Faulting a spilled page back returns its exact bytes and
+    // pushes out the then-LRU page to stay within budget.
+    const std::vector<char> expect = patternPage(1024, 0);
+    EXPECT_EQ(c.fetch(ids[0]), expect);
+    EXPECT_EQ(pool.residentPages(), 4u);
+    EXPECT_FALSE(c.resident(ids[6]));
+    pool.checkInvariants();
+}
+
+TEST(SpillPool, TouchRefreshesLruOrder)
+{
+    SpillPool pool(4 * 1024);
+    VectorClient c(pool);
+    std::vector<std::uint32_t> ids;
+    for (int i = 0; i < 4; ++i)
+        ids.push_back(
+            c.addPage(patternPage(1024, static_cast<char>(i))));
+    // Touch the oldest page, then overflow: the *second*-oldest is
+    // now the LRU victim.
+    c.fetch(ids[0]);
+    c.addPage(patternPage(1024, 'z'));
+    EXPECT_TRUE(c.resident(ids[0]));
+    EXPECT_FALSE(c.resident(ids[1]));
+    pool.checkInvariants();
+}
+
+TEST(SpillPool, PinnedPagesAreNeverVictims)
+{
+    SpillPool pool(2 * 1024);
+    VectorClient c(pool);
+    const std::uint32_t keep = c.addPage(patternPage(1024, 'k'));
+    pool.pin(c.token(keep));
+    for (int i = 0; i < 6; ++i)
+        c.addPage(patternPage(1024, static_cast<char>(i)));
+    // Despite being the LRU page throughout, the pinned page stayed.
+    EXPECT_TRUE(c.resident(keep));
+    EXPECT_GE(pool.evictions(), 1u);
+    pool.unpin(c.token(keep));
+    // Enforcement is deferred to the next add(), never the unpin
+    // itself (a query's find() pointer must survive its release).
+    EXPECT_TRUE(c.resident(keep));
+    c.addPage(patternPage(1024, 'n'));
+    EXPECT_FALSE(c.resident(keep));
+    pool.checkInvariants();
+}
+
+TEST(SpillPool, SlotReuseBySizeClass)
+{
+    SpillPool pool(1 << 20);
+    const std::uint64_t a = pool.allocSlot(512);
+    const std::uint64_t b = pool.allocSlot(512);
+    EXPECT_NE(a, b);
+    pool.freeSlot(a, 512);
+    // Freed slots of the same size are recycled before the file grows.
+    const std::uint64_t c = pool.allocSlot(512);
+    EXPECT_EQ(c, a);
+    // A different size class gets fresh space, not the 512-byte slot.
+    const std::uint64_t d = pool.allocSlot(1024);
+    EXPECT_NE(d, b);
+
+    char buf[512];
+    std::memset(buf, 0x5a, sizeof(buf));
+    pool.writeSlot(c, buf, sizeof(buf));
+    char back[512] = {};
+    pool.readSlot(c, back, sizeof(back));
+    EXPECT_EQ(std::memcmp(buf, back, sizeof(buf)), 0);
+}
+
+TEST(SpillPool, UnboundedBudgetNeverSpills)
+{
+    SpillPool pool(static_cast<std::size_t>(-1));
+    VectorClient c(pool);
+    for (int i = 0; i < 64; ++i)
+        c.addPage(patternPage(4096, static_cast<char>(i)));
+    EXPECT_EQ(pool.evictions(), 0u);
+    EXPECT_EQ(c.spills, 0);
+    EXPECT_EQ(pool.spillFileBytes(), 0u);
+    pool.checkInvariants();
+}
+
+} // namespace
+} // namespace pacache

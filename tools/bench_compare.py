@@ -19,10 +19,16 @@ baseline * (1 + tolerance) or above an explicit --max key=value. A
 metric present in the baseline but missing from the current report is
 an error (a silently dropped measurement must not read as a pass).
 
+With --trend PATH, an entry for the current report — git revision,
+wall clock, and every metric — is appended to a JSON-array trend file
+(created if absent) so regressions that stay inside the gate's
+tolerance are still visible as a drift series across commits. The
+append happens even when the gate fails, recording the failure point.
+
 Usage:
     bench_compare.py CURRENT.json BASELINE.json \
         [--tolerance 0.25] [--min opg_replay_speedup=2.5] \
-        [--max max_peak_rss_mb=256] ...
+        [--max max_peak_rss_mb=256] [--trend BENCH_TREND.json] ...
 """
 
 import argparse
@@ -72,6 +78,41 @@ def load(path):
         sys.exit(f"bench_compare: cannot read {path}: {exc}")
 
 
+def append_trend(path, report):
+    """Append this run's metrics to the JSON-array trend file."""
+    entries = []
+    try:
+        with open(path, encoding="utf-8") as fh:
+            entries = json.load(fh)
+        if not isinstance(entries, list):
+            sys.exit(f"bench_compare: {path} is not a JSON array")
+    except FileNotFoundError:
+        pass
+    except (OSError, json.JSONDecodeError) as exc:
+        sys.exit(f"bench_compare: cannot read trend {path}: {exc}")
+    entry = {
+        "bench": report.get("bench"),
+        "git": report.get("git"),
+        "jobs": report.get("jobs"),
+        "wall_ms": report.get("wall_ms"),
+    }
+    # Gated and informational metrics alike: the trend is for eyes,
+    # not gates, and info_ values (e.g. peak RSS per phase) are the
+    # first place drift shows up.
+    for key, value in report.items():
+        if key not in NON_METRIC_KEYS and isinstance(
+                value, (int, float)):
+            entry[key] = value
+    entries.append(entry)
+    try:
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(entries, fh, indent=1)
+            fh.write("\n")
+    except OSError as exc:
+        sys.exit(f"bench_compare: cannot write trend {path}: {exc}")
+    print(f"bench_compare: appended run {len(entries)} to {path}")
+
+
 def main():
     ap = argparse.ArgumentParser(
         description=__doc__,
@@ -94,10 +135,16 @@ def main():
         default=[], metavar="KEY=VALUE",
         help="absolute ceiling for a \"max_\"-prefixed metric, "
              "checked in addition to the baseline-relative tolerance")
+    ap.add_argument(
+        "--trend", metavar="PATH",
+        help="append this run's git revision, wall clock, and "
+             "metrics to a JSON-array trend file (created if absent)")
     args = ap.parse_args()
 
     current = load(args.current)
     baseline = load(args.baseline)
+    if args.trend:
+        append_trend(args.trend, current)
     if current.get("bench") != baseline.get("bench"):
         sys.exit("bench_compare: reports are from different "
                  f"benchmarks ({current.get('bench')!r} vs "

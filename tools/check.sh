@@ -55,7 +55,8 @@ else
     python3 "$root/tools/bench_compare.py" \
         "$bench_dir/BENCH_micro_opg.json" \
         "$root/bench/baselines/BENCH_micro_opg.json" \
-        --min opg_replay_speedup=2.5
+        --min opg_replay_speedup=2.5 \
+        --trend "$root/bench/baselines/BENCH_TREND.json"
     rm -rf "$bench_dir"
 fi
 
@@ -76,7 +77,8 @@ else
     python3 "$root/tools/bench_compare.py" \
         "$bench_dir/BENCH_micro_obs.json" \
         "$root/bench/baselines/BENCH_micro_obs.json" \
-        --tolerance 0.02
+        --tolerance 0.02 \
+        --trend "$root/bench/baselines/BENCH_TREND.json"
     rm -rf "$bench_dir"
 fi
 
@@ -95,18 +97,22 @@ else
     python3 "$root/tools/bench_compare.py" \
         "$bench_dir/BENCH_serve.json" \
         "$root/bench/baselines/BENCH_serve.json" \
-        --min serve_mrps=1.0
+        --min serve_mrps=1.0 \
+        --trend "$root/bench/baselines/BENCH_TREND.json"
     rm -rf "$bench_dir"
 fi
 
 step "out-of-core scale benchmark gate"
-# micro_scale stream-generates a scaled OLTP trace, replays it with
-# the windowed off-line oracle (trace = 10x window) and disk-sharded
-# across the pool (verifying bit-identical reps and jobs=1 == jobs=N),
-# and reports peak RSS (VmHWM). Throughput numbers are informational;
-# the gated metric is the max_peak_rss_mb CEILING — the out-of-core
-# acceptance criterion is that replay memory stays bounded, with a
-# 256 MiB hard ceiling on top of the baseline comparison.
+# micro_scale stream-generates a scaled OLTP trace and replays it
+# (windowed off-line oracle, trace = 10x window, then disk-sharded
+# across the pool) under a fixed oracle memory budget FIRST, then
+# unbounded — verifying bit-identical reps, jobs=1 == jobs=N, and
+# budgeted == unbounded fingerprints. Two gated metrics: the
+# max_peak_rss_mb CEILING is sampled after the budgeted phases (the
+# out-of-core acceptance criterion: replay memory stays bounded, with
+# a 256 MiB hard ceiling on top of the baseline comparison), and
+# budget_throughput_ratio must hold the >= 0.8 acceptance floor
+# (bounding memory may not cost more than 20% of replay throughput).
 if [ "${SKIP_BENCH_GATE:-0}" = "1" ]; then
     echo "skipped (SKIP_BENCH_GATE=1)"
 else
@@ -116,7 +122,9 @@ else
     python3 "$root/tools/bench_compare.py" \
         "$bench_dir/BENCH_scale.json" \
         "$root/bench/baselines/BENCH_scale.json" \
-        --max max_peak_rss_mb=256
+        --max max_peak_rss_mb=256 \
+        --min budget_throughput_ratio=0.8 \
+        --trend "$root/bench/baselines/BENCH_TREND.json"
     rm -rf "$bench_dir"
 fi
 
@@ -124,9 +132,12 @@ step "sharded streaming determinism smoke (Release)"
 # Reduced-scale version of the billion-request workflow: stream a
 # 1e7-record x 64-disk scaled OLTP trace to .pct (never
 # materialized), then replay it disk-sharded with the windowed OPG
-# oracle at --jobs 1 and --jobs 8. The two reports must be
-# byte-identical: worker count only changes scheduling, never
-# statistics.
+# oracle under a tight oracle memory budget (64 MiB across 8 shards
+# — every tier spills: deterministic-miss pages, pinned times, and
+# the cold-miss bitmap) at --jobs 1 and --jobs 8, plus once
+# unbudgeted. All three reports must be byte-identical: worker count
+# only changes scheduling, and spilling only changes where oracle
+# bytes live — never statistics.
 scale_dir=$(mktemp -d)
 "$root/build-release/tools/pacache_tracegen" \
     --scale --workload oltp --disks 64 --requests 10000000 \
@@ -135,9 +146,15 @@ for j in 1 8; do
     "$root/build-release/tools/pacache_sim" \
         --trace "$scale_dir/scale.pct" --stream --shards 8 \
         --jobs "$j" --policy opg --window 1000000 \
-        --cache-blocks 65536 > "$scale_dir/shard_j$j.txt"
+        --cache-blocks 65536 --oracle-mem-budget 64 \
+        > "$scale_dir/shard_j$j.txt"
 done
 cmp "$scale_dir/shard_j1.txt" "$scale_dir/shard_j8.txt"
+"$root/build-release/tools/pacache_sim" \
+    --trace "$scale_dir/scale.pct" --stream --shards 8 \
+    --jobs 8 --policy opg --window 1000000 \
+    --cache-blocks 65536 > "$scale_dir/shard_unbudgeted.txt"
+cmp "$scale_dir/shard_j8.txt" "$scale_dir/shard_unbudgeted.txt"
 rm -rf "$scale_dir"
 
 step "ASan+UBSan build"

@@ -64,6 +64,12 @@ workload selection (one of):
                          accesses instead of the trace length
   --window-chunk N       backward-pass chunk size in accesses
                          (default: 4Mi; smaller = less build memory)
+  --oracle-mem-budget M  with opg: cap the oracle's in-RAM replay
+                         state (deterministic-miss sets, next-use
+                         indexes, pinned times) at M MiB, spilling
+                         overflow pages to unlinked temporary files;
+                         results stay bit-identical to the unbounded
+                         oracle (0 = unbounded, the default)
   --shards N             partition the trace by disk (shard = disk id
                          mod N) and replay every shard on its own
                          simulation stack in parallel (requires
@@ -310,7 +316,8 @@ main(int argc, char **argv)
 try {
     const cli::Args args(argc, argv);
     std::set<std::string> known{
-        "stream", "window", "window-chunk", "shards", "policy", "dpm",
+        "stream", "window", "window-chunk", "oracle-mem-budget",
+        "shards", "policy", "dpm",
         "write", "cache-blocks", "epoch",
         "opg-theta", "per-disk", "energy-ledger", "metrics-out",
         "trace-events", "timeline", "timeline-interval", "progress",
@@ -372,6 +379,12 @@ try {
         static_cast<std::size_t>(args.getUint("window", 0));
     cfg.oracleChunkAccesses =
         static_cast<std::size_t>(args.getUint("window-chunk", 0));
+    cfg.oracleMemBudget =
+        static_cast<std::size_t>(args.getUint("oracle-mem-budget", 0))
+        << 20;
+    if (cfg.oracleMemBudget > 0 && cfg.policy != PolicyKind::OPG)
+        PACACHE_FATAL("--oracle-mem-budget applies to --policy opg "
+                      "only (Belady keeps O(capacity) state)");
     if (cfg.windowAccesses > 0 && !streaming)
         PACACHE_FATAL("--window needs --stream (the in-memory path "
                       "already holds the whole future)");
