@@ -1,0 +1,48 @@
+#include "core/fault.hh"
+
+#include <array>
+
+#include "util/logging.hh"
+
+namespace pacache
+{
+
+namespace
+{
+
+constexpr std::array<const char *, kNumCrashSites> kSiteNames = {
+    "log-append",  "log-append-torn", "eager-update",
+    "spin-up",     "retire-pre",      "retire-post",
+    "data-write",  "shutdown",        "recovery",
+};
+
+} // namespace
+
+const char *
+crashSiteName(CrashSite site)
+{
+    const auto idx = static_cast<std::size_t>(site);
+    PACACHE_ASSERT(idx < kSiteNames.size(), "bad CrashSite");
+    return kSiteNames[idx];
+}
+
+bool
+parseCrashSite(const std::string &name, CrashSite &out)
+{
+    for (std::size_t i = 0; i < kSiteNames.size(); ++i) {
+        if (name == kSiteNames[i]) {
+            out = static_cast<CrashSite>(i);
+            return true;
+        }
+    }
+    return false;
+}
+
+CrashException::CrashException(CrashSite site_, DiskId disk_)
+    : std::runtime_error(std::string("simulated power failure at ") +
+                         crashSiteName(site_)),
+      site(site_), disk(disk_)
+{
+}
+
+} // namespace pacache

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Fault injection for crash-consistency testing (DESIGN.md 5j).
+ *
+ * A FaultInjector is an optional observer-plus-trigger threaded
+ * through the write path: the storage system (and the WTDU log)
+ * announce crash *sites* — instants where a real machine could lose
+ * power — and notify the injector of every durability-relevant
+ * transition (log appends, region retires, data-disk write
+ * submission and completion). A null injector (the default
+ * everywhere) costs one pointer test per site; a testing injector
+ * counts site occurrences and simulates a power failure by throwing
+ * CrashException from a chosen crashPoint(), unwinding the run and
+ * leaving the persistent state (the WtduLog object and the
+ * injector's model of the platters) frozen exactly as the crash
+ * found it.
+ *
+ * The fault model is documented in DESIGN.md section 5j: single
+ * region-header (timestamp) writes are atomic, log entry writes may
+ * tear (modeled by the entry checksum), and data-disk writes that
+ * are in flight at the crash survive as an arbitrary — in tests,
+ * seeded — subset (reordered-flush model).
+ */
+
+#ifndef PACACHE_CORE_FAULT_HH
+#define PACACHE_CORE_FAULT_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace pacache
+{
+
+/** Where in the write path a simulated power failure can strike. */
+enum class CrashSite : uint8_t
+{
+    LogAppend = 0, //!< before a WTDU log append touches the region
+    LogAppendTorn, //!< mid-append: the entry is on disk, torn
+    EagerUpdate,   //!< WBEU: before an eager dirty-block flush
+    SpinUp,        //!< a data disk just reached full speed
+    RetirePre,     //!< flush durable, region timestamp not yet bumped
+    RetirePost,    //!< region timestamp bumped (entries now stale)
+    DataWrite,     //!< before a data-disk write request is submitted
+    Shutdown,      //!< at shutdown, before the final drain
+    Recovery,      //!< between recovery replay/retire steps
+};
+
+constexpr std::size_t kNumCrashSites = 9;
+
+/** Stable lower-case identifier (corpus files, reports). */
+const char *crashSiteName(CrashSite site);
+
+/** Parse a crashSiteName(); false on unknown names. */
+bool parseCrashSite(const std::string &name, CrashSite &out);
+
+/** The simulated power failure, thrown from a crashPoint(). */
+class CrashException : public std::runtime_error
+{
+  public:
+    CrashException(CrashSite site_, DiskId disk_);
+
+    CrashSite site;
+    DiskId disk;
+};
+
+/**
+ * One generated fault scenario: power fails at the Nth occurrence of
+ * a crash site, and the data-disk writes in flight at that instant
+ * survive as a seeded random subset.
+ */
+struct CrashPlan
+{
+    bool armed = false; //!< unarmed plans never fire
+    CrashSite site = CrashSite::Shutdown;
+    uint64_t occurrence = 0; //!< fire on the Nth hit of the site
+    uint64_t reorderSeed = 1; //!< seeds the in-flight survival draw
+    double surviveProb = 0.5; //!< per in-flight write survival odds
+};
+
+/**
+ * Crash-site trigger and durability-event observer. Every hook has a
+ * no-op default, so production code runs unchanged with a null (or
+ * inert) injector; the qa harness overrides them to count sites,
+ * model the durable platter state, and throw at the planned point.
+ *
+ * Not thread-safe: an injector must only be shared by code that is
+ * serialized anyway (one replay, or one serve stripe's worker plus
+ * the post-join shutdown path).
+ */
+class FaultInjector
+{
+  public:
+    virtual ~FaultInjector() = default;
+
+    /** A crash site was reached; may throw CrashException. */
+    virtual void crashPoint(CrashSite site, DiskId disk)
+    {
+        (void)site;
+        (void)disk;
+    }
+
+    /** A WTDU client write was assigned @p version (any path). */
+    virtual void noteClientWrite(DiskId disk, BlockNum block,
+                                 uint64_t version)
+    {
+        (void)disk;
+        (void)block;
+        (void)version;
+    }
+
+    /**
+     * A log append for @p version completed (entry durable, write
+     * acknowledged — the log device is synchronous).
+     */
+    virtual void noteLogAppend(DiskId disk, BlockNum block,
+                               uint64_t version)
+    {
+        (void)disk;
+        (void)block;
+        (void)version;
+    }
+
+    /** A region retired; its entries are stale from here on. */
+    virtual void noteLogRetire(DiskId disk, uint64_t new_stamp)
+    {
+        (void)disk;
+        (void)new_stamp;
+    }
+
+    /**
+     * A write request for [first, first+count) was submitted to a
+     * data disk. @p acks — its completion acknowledges a client
+     * write. @return an id for noteDataWriteDurable (0 = untracked).
+     */
+    virtual uint64_t noteDataWriteSubmitted(DiskId disk, BlockNum first,
+                                            uint32_t count, bool acks)
+    {
+        (void)disk;
+        (void)first;
+        (void)count;
+        (void)acks;
+        return 0;
+    }
+
+    /** The write submitted as @p id completed (content durable). */
+    virtual void noteDataWriteDurable(uint64_t id) { (void)id; }
+};
+
+} // namespace pacache
+
+#endif // PACACHE_CORE_FAULT_HH

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/fault.hh"
 #include "obs/observer.hh"
 #include "obs/profiler.hh"
 #include "tracefmt/trace_source.hh"
@@ -58,6 +59,8 @@ StorageSystem::init()
         PACACHE_ASSERT(logDisk != nullptr, "WTDU needs a log device");
         log = std::make_unique<WtduLog>(disks.numDisks(),
                                         cfg.wtduRegionBlocks);
+        log->setFaultInjector(cfg.fault);
+        retireState.resize(disks.numDisks());
     }
     PACACHE_ASSERT(cfg.prefetchBlocks == 0 ||
                        cache.policy().supportsPrefetch(),
@@ -189,6 +192,8 @@ StorageSystem::finishRun(Time trace_end)
     // the trace and the power model — NOT on run dynamics — so that
     // energies are comparable across policies and DPM choices.
     obs::ProfileScope scope(cfg.profiler, "drain_finalize");
+    if (cfg.fault)
+        cfg.fault->crashPoint(CrashSite::Shutdown, 0);
     queue.runAll();
     const Time end = std::max(trace_end, cfg.endTimeFloor);
     const PowerModel &pm = disks.powerModel();
@@ -276,6 +281,8 @@ StorageSystem::handleWrite(const BlockAccess &acc, std::size_t idx)
         if (cache.dirtyCount(d) >= cfg.wbeuMaxDirtyPerDisk) {
             // Dirty backlog cap reached: force the disk awake and
             // flush everything (the submits trigger the spin-up).
+            if (cfg.fault)
+                cfg.fault->crashPoint(CrashSite::EagerUpdate, d);
             std::vector<BlockId> dirty = cache.dirtyBlocksOf(d);
             if (cfg.observer)
                 cfg.observer->wbeuForcedWake(d, dirty.size(), now);
@@ -289,20 +296,43 @@ StorageSystem::handleWrite(const BlockAccess &acc, std::size_t idx)
 
       case WritePolicy::WriteThroughDeferredUpdate: {
         handleVictim(result, now);
-        if (disks.disk(d).atFullSpeed()) {
+        RetireState &rs = retireState[d];
+        if (!rs.pending && disks.disk(d).atFullSpeed()) {
             // The destination is awake: plain write-through.
             cache.clearLogged(acc.block);
+            const uint64_t version = nextVersion++;
+            if (cfg.fault)
+                cfg.fault->noteClientWrite(d, acc.block.block, version);
             submitDisk(d, acc.block.block, 1, true, true, now,
                        WakeCause::DemandWrite);
             break;
         }
-        if (log->full(d))
-            flushLogged(d, now); // wakes the disk; region retires
+        if (!rs.pending && log->full(d))
+            flushLogged(d, now); // wakes the disk; schedules a retire
+        if (rs.pending) {
+            // A retire is in flight: the region is still full (its
+            // entries stay live until the flush is durable), and a
+            // direct write now could be overwritten by a stale entry
+            // if recovery ran after a crash. The write waits; it is
+            // acknowledged when it completes as a write-through after
+            // the retire (completeRetire submits it).
+            rs.deferred.push_back(DeferredWrite{acc.block.block, now});
+            break;
+        }
         const BlockNum log_block =
             static_cast<BlockNum>(d) * log->regionBlocks() +
             log->used(d);
-        const bool ok = log->append(d, acc.block.block, nextVersion++);
+        if (cfg.fault)
+            cfg.fault->crashPoint(CrashSite::LogAppend, d);
+        const uint64_t version = nextVersion++;
+        if (cfg.fault)
+            cfg.fault->noteClientWrite(d, acc.block.block, version);
+        const bool ok = log->append(d, acc.block.block, version);
         PACACHE_ASSERT(ok, "WTDU log region still full after flush");
+        // The log device is synchronous: the append returning is the
+        // acknowledgement of this write.
+        if (cfg.fault)
+            cfg.fault->noteLogAppend(d, acc.block.block, version);
         cache.markLogged(acc.block);
         ++logWriteCount;
         if (cfg.observer)
@@ -345,12 +375,24 @@ StorageSystem::handleVictim(const CacheResult &result, Time now)
 void
 StorageSystem::submitDisk(DiskId disk, BlockNum block, uint32_t count,
                           bool write, bool record_response, Time arrival,
-                          WakeCause cause)
+                          WakeCause cause, Time ack_from)
 {
     PACACHE_ASSERT(disk < disks.numDisks(), "disk id out of range");
+    uint64_t fault_id = 0;
+    if (cfg.fault && write) {
+        cfg.fault->crashPoint(CrashSite::DataWrite, disk);
+        fault_id = cfg.fault->noteDataWriteSubmitted(
+            disk, block, count, record_response);
+    }
     ++perDiskAccesses[disk];
     if (cls)
         cls->onDiskAccess(disk, arrival);
+
+    // WTDU retires a region only once every write to its disk is
+    // durable, so every data-disk write is tracked while a log exists.
+    const bool track = log != nullptr && write;
+    if (track)
+        ++retireState[disk].outstanding;
 
     DiskRequest req;
     req.arrival = arrival;
@@ -358,9 +400,18 @@ StorageSystem::submitDisk(DiskId disk, BlockNum block, uint32_t count,
     req.numBlocks = count;
     req.write = write;
     req.cause = cause;
-    if (record_response) {
-        req.onComplete = [this, arrival](Time done, const DiskRequest &) {
-            respStats.record(done - arrival);
+    if (record_response || fault_id != 0 || track) {
+        const Time resp_from = ack_from >= 0 ? ack_from : arrival;
+        FaultInjector *fi = cfg.fault;
+        req.onComplete = [this, resp_from, record_response, fi,
+                          fault_id, track,
+                          disk](Time done, const DiskRequest &) {
+            if (record_response)
+                respStats.record(done - resp_from);
+            if (fault_id != 0)
+                fi->noteDataWriteDurable(fault_id);
+            if (track)
+                writeDurable(disk, done);
         };
     }
     disks.submit(disk, std::move(req));
@@ -391,10 +442,14 @@ StorageSystem::flushBlocks(DiskId disk, std::vector<BlockId> blocks,
 void
 StorageSystem::onDiskActivated(DiskId disk, Time now)
 {
+    if (cfg.fault)
+        cfg.fault->crashPoint(CrashSite::SpinUp, disk);
     switch (cfg.writePolicy) {
       case WritePolicy::WriteBackEagerUpdate: {
         // The disk is already at full speed here; these writebacks
         // ride along without waking anything.
+        if (cfg.fault)
+            cfg.fault->crashPoint(CrashSite::EagerUpdate, disk);
         std::vector<BlockId> dirty = cache.dirtyBlocksOf(disk);
         for (const BlockId &b : dirty)
             cache.markClean(b);
@@ -415,14 +470,72 @@ StorageSystem::flushLogged(DiskId disk, Time now)
 {
     if (log->used(disk) == 0)
         return;
+    RetireState &rs = retireState[disk];
+    if (rs.pending)
+        return; // a flush is already on its way to a retire
     std::vector<BlockId> logged = cache.loggedBlocksOf(disk);
     for (const BlockId &b : logged)
         cache.clearLogged(b);
+    rs.pending = true;
     flushBlocks(disk, std::move(logged), now,
                 WakeCause::WtduLogRecycle);
+    // Two-phase retire: the region's entries must stay live until the
+    // flush — and every earlier write to this disk (e.g. the eviction
+    // write-back of a logged block) — is durable. Retiring at submit
+    // time would lose acknowledged writes if power failed with the
+    // flush still in flight. With nothing outstanding (all logged
+    // blocks already persisted home by evictions) retire right away.
+    if (rs.outstanding == 0)
+        completeRetire(disk, now);
+}
+
+void
+StorageSystem::writeDurable(DiskId disk, Time now)
+{
+    RetireState &rs = retireState[disk];
+    PACACHE_ASSERT(rs.outstanding > 0,
+                   "write completion without a tracked submission");
+    if (--rs.outstanding == 0 && rs.pending) {
+        // The retire runs as its own zero-delay event rather than
+        // inside the disk's completion callback: a crash injected at
+        // the retire sites must not strand the disk mid-completion
+        // (and the header write really does happen after the
+        // completion interrupt, not during it).
+        queue.schedule(now, [this, disk](Time t) {
+            completeRetire(disk, t);
+        });
+    }
+}
+
+void
+StorageSystem::completeRetire(DiskId disk, Time now)
+{
+    RetireState &rs = retireState[disk];
+    rs.pending = false;
+    if (cfg.fault)
+        cfg.fault->crashPoint(CrashSite::RetirePre, disk);
     log->retire(disk);
+    if (cfg.fault) {
+        cfg.fault->crashPoint(CrashSite::RetirePost, disk);
+        cfg.fault->noteLogRetire(disk, log->timestamp(disk));
+    }
     if (cfg.observer)
         cfg.observer->wtduRegionRecycle(disk, now);
+
+    // Release the writes that arrived during the retire window. The
+    // disk is at full speed (a write to it just completed, or it never
+    // had to sleep), so they go through as plain write-throughs; each
+    // is acknowledged at completion, timed from its original arrival.
+    std::vector<DeferredWrite> waiting = std::move(rs.deferred);
+    rs.deferred.clear();
+    for (const DeferredWrite &w : waiting) {
+        cache.clearLogged(BlockId{disk, w.block});
+        const uint64_t version = nextVersion++;
+        if (cfg.fault)
+            cfg.fault->noteClientWrite(disk, w.block, version);
+        submitDisk(disk, w.block, 1, true, true, now,
+                   WakeCause::DemandWrite, w.arrival);
+    }
 }
 
 Energy

@@ -28,6 +28,8 @@
 namespace pacache
 {
 
+class FaultInjector;
+
 namespace obs
 {
 class SimObserver;
@@ -85,6 +87,13 @@ struct StorageConfig
      * replay, drain). Null disables phase timing.
      */
     obs::Profiler *profiler = nullptr;
+
+    /**
+     * Crash/power-fail injector for qa torture runs (DESIGN.md 5j).
+     * Null — the default everywhere outside tests — disables every
+     * hook at the cost of one pointer test per crash site.
+     */
+    FaultInjector *fault = nullptr;
 };
 
 /** End-to-end simulator for one trace. */
@@ -182,6 +191,8 @@ class StorageSystem
     }
 
     const WtduLog *wtduLog() const { return log.get(); }
+    /** Mutable log access for crash recovery (qa harness). */
+    WtduLog *wtduLog() { return log.get(); }
 
   private:
     void init();
@@ -196,11 +207,16 @@ class StorageSystem
     void handleWrite(const BlockAccess &acc, std::size_t idx);
     void handleVictim(const CacheResult &result, Time now);
 
-    /** Submit one block access to a data disk, tagged with the wake
-     *  cause charged if the disk must spin up for it. */
+    /**
+     * Submit one block access to a data disk, tagged with the wake
+     * cause charged if the disk must spin up for it. @p ack_from,
+     * when >= 0, overrides @p arrival as the response-time origin
+     * (deferred writes are submitted at retire-completion time but
+     * the client has been waiting since the original request).
+     */
     void submitDisk(DiskId disk, BlockNum block, uint32_t count,
                     bool write, bool record_response, Time arrival,
-                    WakeCause cause);
+                    WakeCause cause, Time ack_from = -1.0);
 
     /** Coalesce a block set into run-length requests and submit. */
     void flushBlocks(DiskId disk, std::vector<BlockId> blocks,
@@ -209,8 +225,38 @@ class StorageSystem
     /** WBEU/WTDU: flush when a disk reaches full speed. */
     void onDiskActivated(DiskId disk, Time now);
 
-    /** WTDU: flush logged blocks and retire the region. */
+    /**
+     * WTDU: flush logged blocks home and schedule the region retire.
+     * The retire itself completes only once every outstanding write
+     * to the disk is durable (completeRetire) — retiring at submit
+     * time would mark the log entries stale while the flush could
+     * still be lost to a power failure (exactly-the-acknowledged-
+     * writes durability, DESIGN.md 5j).
+     */
     void flushLogged(DiskId disk, Time now);
+
+    /** A tracked data-disk write became durable (WTDU only). */
+    void writeDurable(DiskId disk, Time now);
+
+    /** Retire the region and release the writes that waited on it. */
+    void completeRetire(DiskId disk, Time now);
+
+    /** A client write parked while its disk's region retire is in
+     *  flight (appending would race the retire; a direct write could
+     *  be overwritten by a stale recovery replay). */
+    struct DeferredWrite
+    {
+        BlockNum block;
+        Time arrival;
+    };
+
+    /** Per-disk two-phase retire state (WTDU only). */
+    struct RetireState
+    {
+        bool pending = false;     //!< flush submitted, retire queued
+        uint64_t outstanding = 0; //!< in-flight writes to the disk
+        std::vector<DeferredWrite> deferred;
+    };
 
     const Trace *trace;                      //!< null when streaming
     tracefmt::TraceSource *source = nullptr; //!< null when in-memory
@@ -223,6 +269,7 @@ class StorageSystem
     std::unique_ptr<WtduLog> log;
 
     ResponseStats respStats;
+    std::vector<RetireState> retireState; //!< sized only for WTDU
     std::vector<uint64_t> perDiskAccesses;
     uint64_t logWriteCount = 0;
     uint64_t loggedEvictionCount = 0;

@@ -1,17 +1,51 @@
 #include "core/wtdu_log.hh"
 
+#include "core/fault.hh"
 #include "util/logging.hh"
 
 namespace pacache
 {
 
-WtduLog::WtduLog(std::size_t num_disks, std::size_t region_blocks)
+namespace
+{
+
+// SplitMix64 finalizer: cheap, good avalanche — enough to make an
+// interrupted entry write fail verification.
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+uint64_t
+WtduLog::Entry::expectedSum(BlockNum block, uint64_t version,
+                            uint64_t stamp)
+{
+    return mix64(mix64(static_cast<uint64_t>(block)) ^
+                 mix64(version) ^ stamp);
+}
+
+bool
+WtduLog::Entry::valid() const
+{
+    return sum == expectedSum(block, version, stamp);
+}
+
+WtduLog::WtduLog(std::size_t num_disks, std::size_t region_blocks,
+                 uint64_t initial_stamp)
     : regionCapacity(region_blocks), regions(num_disks)
 {
     PACACHE_ASSERT(num_disks > 0, "log needs at least one region");
     PACACHE_ASSERT(region_blocks > 0, "regions need positive capacity");
-    for (auto &r : regions)
+    for (auto &r : regions) {
+        r.stamp = initial_stamp;
         r.slots.reserve(region_blocks);
+    }
 }
 
 const WtduLog::Region &
@@ -35,12 +69,19 @@ WtduLog::append(DiskId disk, BlockNum block, uint64_t version)
     if (r.freePtr >= regionCapacity)
         return false;
     // Physically, slot reuse overwrites the stale entry left by a
-    // previous generation.
-    const Entry e{block, version, r.stamp};
+    // previous generation. The entry body lands first; its checksum
+    // completes last, so a power failure in between leaves a torn
+    // entry that recovery will skip.
+    const Entry torn{block, version, r.stamp,
+                     ~Entry::expectedSum(block, version, r.stamp)};
     if (r.freePtr < r.slots.size())
-        r.slots[r.freePtr] = e;
+        r.slots[r.freePtr] = torn;
     else
-        r.slots.push_back(e);
+        r.slots.push_back(torn);
+    if (fault)
+        fault->crashPoint(CrashSite::LogAppendTorn, disk);
+    r.slots[r.freePtr].sum =
+        Entry::expectedSum(block, version, r.stamp);
     ++r.freePtr;
     ++totalAppends;
     return true;
@@ -78,13 +119,55 @@ WtduLog::recover(DiskId disk) const
     const Region &r = region(disk);
     std::vector<Entry> live;
     // Scan the whole physical region, as a real recovery pass would:
-    // only entries stamped with the current region timestamp are
-    // newer than the last retire.
+    // only intact entries stamped with the current region timestamp
+    // are newer than the last retire.
     for (const Entry &e : r.slots) {
-        if (e.stamp == r.stamp)
+        if (e.valid() && e.stamp == r.stamp)
             live.push_back(e);
     }
     return live;
+}
+
+WtduLog::ScanStats
+WtduLog::scan(DiskId disk) const
+{
+    const Region &r = region(disk);
+    ScanStats s;
+    for (const Entry &e : r.slots) {
+        if (!e.valid())
+            ++s.torn;
+        else if (e.stamp == r.stamp)
+            ++s.live;
+        else
+            ++s.stale;
+    }
+    return s;
+}
+
+const std::vector<WtduLog::Entry> &
+WtduLog::entries(DiskId disk) const
+{
+    return region(disk).slots;
+}
+
+void
+WtduLog::recoverAll(
+    const std::function<void(DiskId, const Entry &)> &apply,
+    FaultInjector *inj)
+{
+    for (std::size_t d = 0; d < regions.size(); ++d) {
+        const DiskId disk = static_cast<DiskId>(d);
+        for (const Entry &e : recover(disk)) {
+            if (inj)
+                inj->crashPoint(CrashSite::Recovery, disk);
+            apply(disk, e);
+        }
+        if (inj)
+            inj->crashPoint(CrashSite::Recovery, disk);
+        retire(disk);
+        if (inj)
+            inj->noteLogRetire(disk, region(disk).stamp);
+    }
 }
 
 } // namespace pacache

@@ -16,18 +16,27 @@
  * may not have reached the data disk, so they are replayed; stale
  * entries are ignored. Each entry carries an opaque payload version
  * so tests can verify exactly-the-acknowledged-writes durability.
+ *
+ * Fault model (DESIGN.md 5j): the region header (timestamp) updates
+ * atomically, but an entry write can tear if power fails mid-append.
+ * Each entry therefore carries a checksum over its fields; a torn
+ * entry fails verification and is ignored by scans and recovery, the
+ * same way a real log skips a bad-CRC record.
  */
 
 #ifndef PACACHE_CORE_WTDU_LOG_HH
 #define PACACHE_CORE_WTDU_LOG_HH
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "sim/types.hh"
 
 namespace pacache
 {
+
+class FaultInjector;
 
 /** The per-disk-region persistent write log used by WTDU. */
 class WtduLog
@@ -39,13 +48,47 @@ class WtduLog
         BlockNum block;
         uint64_t version; //!< opaque payload tag for verification
         uint64_t stamp;   //!< region timestamp at append time
+        uint64_t sum;     //!< checksum; mismatch = torn write
+
+        /** The checksum a fully written entry carries. */
+        static uint64_t expectedSum(BlockNum block, uint64_t version,
+                                    uint64_t stamp);
+
+        /** False when the entry tore mid-write. */
+        bool valid() const;
+
+        bool operator==(const Entry &o) const
+        {
+            return block == o.block && version == o.version &&
+                   stamp == o.stamp && sum == o.sum;
+        }
+        bool operator!=(const Entry &o) const { return !(*this == o); }
+    };
+
+    /** Physical-scan census of one region. */
+    struct ScanStats
+    {
+        std::size_t live = 0;  //!< current-stamp, checksum ok
+        std::size_t stale = 0; //!< older stamp, checksum ok
+        std::size_t torn = 0;  //!< checksum mismatch
     };
 
     /**
      * @param num_disks      number of data disks (= regions)
      * @param region_blocks  capacity of each region in blocks
+     * @param initial_stamp  starting timestamp of every region
+     *                       (non-zero only in wraparound tests)
      */
-    WtduLog(std::size_t num_disks, std::size_t region_blocks);
+    WtduLog(std::size_t num_disks, std::size_t region_blocks,
+            uint64_t initial_stamp = 0);
+
+    /**
+     * Hook the append path for torn-write injection. The injector's
+     * crashPoint(LogAppendTorn) fires after the entry lands in its
+     * slot but before its checksum is complete; throwing there
+     * leaves a torn entry behind. Null disables injection.
+     */
+    void setFaultInjector(FaultInjector *inj) { fault = inj; }
 
     /**
      * Append a write to a disk's region.
@@ -63,6 +106,9 @@ class WtduLog
     /** Region capacity in blocks. */
     std::size_t regionBlocks() const { return regionCapacity; }
 
+    /** Number of regions (= data disks). */
+    std::size_t numDisks() const { return regions.size(); }
+
     /**
      * Retire a region after its disk has been flushed: bump the
      * timestamp and reset the free pointer.
@@ -75,9 +121,29 @@ class WtduLog
     /**
      * Crash recovery for one region: the entries that must be
      * replayed to the data disk (stamped with the current region
-     * timestamp), in append order.
+     * timestamp and not torn), in append order.
      */
     std::vector<Entry> recover(DiskId disk) const;
+
+    /** Classify every physical slot of a region. */
+    ScanStats scan(DiskId disk) const;
+
+    /**
+     * The raw physical slots of a region, beyond the free pointer
+     * included — for bit-identical comparison of two log images.
+     */
+    const std::vector<Entry> &entries(DiskId disk) const;
+
+    /**
+     * Full-log crash recovery: for each region in disk order, replay
+     * the live entries through @p apply (the durable write-back to
+     * the data disk), then retire the region so a second recovery
+     * pass finds nothing to do. @p inj, when non-null, gets a
+     * crashPoint(Recovery) before every replayed entry and before
+     * every retire, so recovery itself can be crashed and re-run.
+     */
+    void recoverAll(const std::function<void(DiskId, const Entry &)> &apply,
+                    FaultInjector *inj = nullptr);
 
     /** Total appends performed (log-device write traffic). */
     uint64_t appends() const { return totalAppends; }
@@ -96,6 +162,7 @@ class WtduLog
     std::size_t regionCapacity;
     std::vector<Region> regions;
     uint64_t totalAppends = 0;
+    FaultInjector *fault = nullptr;
 };
 
 } // namespace pacache

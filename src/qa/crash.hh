@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Crash-and-power-fail torture harness for WTDU (DESIGN.md 5j).
+ *
+ * CrashInjector is the qa-side FaultInjector: it counts crash-site
+ * hits, fires the case's CrashPlan by throwing CrashException at the
+ * planned occurrence, and maintains a durability model of the run —
+ * which versions were *issued* per block, which were *acknowledged*
+ * to the client, and what the platters durably hold (data-disk
+ * writes in flight at the crash survive as a seeded Bernoulli subset,
+ * the reordered-flush model).
+ *
+ * The crash properties run a workload against an injector-wired
+ * StorageSystem, catch the simulated power failure, execute WTDU
+ * recovery over the surviving log image, and differentially check
+ * exactly-the-acknowledged-writes durability: every acknowledged
+ * write is recovered at its version (or a newer issued one), and
+ * nothing that was never issued materializes. A plan that never
+ * fires degrades to a clean-shutdown differential check of the same
+ * contract.
+ */
+
+#ifndef PACACHE_QA_CRASH_HH
+#define PACACHE_QA_CRASH_HH
+
+#include <array>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "core/fault.hh"
+#include "qa/properties.hh"
+
+namespace pacache::qa
+{
+
+/** The qa FaultInjector: site counting, one-shot crash, durability
+ *  model. Single-threaded by contract (see FaultInjector). */
+class CrashInjector : public FaultInjector
+{
+  public:
+    explicit CrashInjector(const CrashPlan &plan_) : plan(plan_) {}
+
+    void crashPoint(CrashSite site, DiskId disk) override;
+    void noteClientWrite(DiskId disk, BlockNum block,
+                         uint64_t version) override;
+    void noteLogAppend(DiskId disk, BlockNum block,
+                       uint64_t version) override;
+    uint64_t noteDataWriteSubmitted(DiskId disk, BlockNum first,
+                                    uint32_t count, bool acks) override;
+    void noteDataWriteDurable(uint64_t id) override;
+
+    /** True once the planned crash fired. */
+    bool crashed() const { return didCrash; }
+
+    /** Times @p site was reached so far. */
+    uint64_t siteHits(CrashSite site) const
+    {
+        return hits[static_cast<std::size_t>(site)];
+    }
+
+    /** block(packed) -> newest version acknowledged to the client. */
+    const std::map<uint64_t, uint64_t> &ackedWrites() const
+    {
+        return acked;
+    }
+
+    /** Copy of the modeled durable platter state (block -> version;
+     *  absent = never durably written). */
+    std::map<uint64_t, uint64_t> durableState() const { return durable; }
+
+    /** Was @p version ever issued for @p key (packed block id)? */
+    bool
+    wasIssued(uint64_t key, uint64_t version) const
+    {
+        const auto it = issued.find(key);
+        return it != issued.end() && it->second.count(version) > 0;
+    }
+
+    /** Data-disk writes still in flight (not yet durable). */
+    std::size_t inflightWrites() const { return inflight.size(); }
+
+  private:
+    struct InFlight
+    {
+        bool acks = false;
+        /** (packed block, version) content snapshot at submission. */
+        std::vector<std::pair<uint64_t, uint64_t>> snapshot;
+    };
+
+    void applyDurable(const InFlight &w);
+    void settleCrash();
+
+    CrashPlan plan;
+    bool didCrash = false;
+    std::array<uint64_t, kNumCrashSites> hits{};
+    std::map<uint64_t, uint64_t> latest; //!< newest issued per block
+    std::map<uint64_t, uint64_t> acked;  //!< newest acked per block
+    std::map<uint64_t, std::set<uint64_t>> issued;
+    std::map<uint64_t, uint64_t> durable;
+    std::map<uint64_t, InFlight> inflight; //!< key order = submit order
+    uint64_t nextId = 1;
+};
+
+/** The four crash properties (registered in allProperties()). */
+PropertyResult propWtduCrashDurability(const FuzzCase &c);
+PropertyResult propWtduCrashLedger(const FuzzCase &c);
+PropertyResult propWtduRecoveryIdempotentUnderCrash(const FuzzCase &c);
+PropertyResult propServeCrashShutdownRecovery(const FuzzCase &c);
+
+} // namespace pacache::qa
+
+#endif // PACACHE_QA_CRASH_HH

@@ -94,6 +94,15 @@ writeCorpus(std::ostream &os, const CorpusEntry &entry)
        << formatExact(cfg.spec.spinUpTime) << ' '
        << formatExact(cfg.spec.spinDownEnergy) << ' '
        << formatExact(cfg.spec.spinDownTime) << '\n';
+    if (cfg.crash.armed) {
+        // An unarmed plan writes nothing, so pre-crash corpus files
+        // and crash reproducers share the same v1 format.
+        os << "crash_site: " << crashSiteName(cfg.crash.site) << '\n';
+        os << "crash_occurrence: " << cfg.crash.occurrence << '\n';
+        os << "crash_reorder_seed: " << cfg.crash.reorderSeed << '\n';
+        os << "crash_survive_prob: " << formatExact(cfg.crash.surviveProb)
+           << '\n';
+    }
     os << "trace:\n";
     for (const TraceRecord &rec : entry.fuzzCase.trace)
         os << formatRecord(rec) << '\n';
@@ -205,6 +214,21 @@ readCorpus(std::istream &is, const std::string &name)
                 cfg.crashStep = std::stoull(value);
             } else if (key == "pa_epoch") {
                 cfg.paEpoch = std::stod(value);
+            } else if (key == "crash_site") {
+                if (!parseCrashSite(value, cfg.crash.site))
+                    corpusFail(name, lineno,
+                               "unknown crash_site '" + value + "'");
+                cfg.crash.armed = true;
+            } else if (key == "crash_occurrence") {
+                cfg.crash.occurrence = std::stoull(value);
+            } else if (key == "crash_reorder_seed") {
+                cfg.crash.reorderSeed = std::stoull(value);
+            } else if (key == "crash_survive_prob") {
+                cfg.crash.surviveProb = std::stod(value);
+                if (cfg.crash.surviveProb < 0.0 ||
+                    cfg.crash.surviveProb > 1.0)
+                    corpusFail(name, lineno,
+                               "crash_survive_prob outside [0, 1]");
             } else if (key == "spec") {
                 DiskSpec &s = cfg.spec;
                 if (std::sscanf(value.c_str(),

@@ -25,6 +25,10 @@
  *     crash_step: 17
  *     pa_epoch: 20
  *     spec: <idleW> <standbyW> <upJ> <upS> <downJ> <downS>
+ *     crash_site: retire-post            # optional: armed CrashPlan
+ *     crash_occurrence: 3                # fire on the Nth site hit
+ *     crash_reorder_seed: 99             # in-flight survival draw
+ *     crash_survive_prob: 0.5
  *     trace:
  *     <time> <disk> <block> <count> <R|W>     # native text format
  *     end
@@ -41,6 +45,7 @@
 #include <string>
 
 #include "core/experiment.hh"
+#include "core/fault.hh"
 #include "core/opg.hh"
 #include "trace/trace.hh"
 
@@ -60,6 +65,7 @@ struct CaseConfig
     uint64_t crashStep = 0;    //!< WTDU recovery crash point
     double paEpoch = 20.0;     //!< PA classifier epoch length (s)
     DiskSpec spec;             //!< fuzzed power-model constants
+    CrashPlan crash;           //!< fault scenario (crash properties)
 };
 
 /** One self-contained qa case. */

@@ -23,6 +23,7 @@
 #include "core/wtdu_log.hh"
 #include "disk/power_model.hh"
 #include "core/pa_classifier.hh"
+#include "qa/crash.hh"
 #include "qa/gen.hh"
 #include "runner/sweep.hh"
 #include "serve/server.hh"
@@ -1038,6 +1039,24 @@ allProperties()
          "LogHistogram quantiles stay within the documented relative "
          "error of exact nearest-rank on fuzzed mixed samples",
          propHdrQuantileAccuracy},
+        {"wtdu_crash_durability",
+         "A power failure injected at the case's generated crash site "
+         "loses no acknowledged write and resurrects no unissued one "
+         "after WTDU recovery over the surviving log image",
+         propWtduCrashDurability},
+        {"wtdu_crash_ledger",
+         "Per-disk energy ledgers still reconcile after a crash is "
+         "injected, the queue drained, and accounting finalized",
+         propWtduCrashLedger},
+        {"wtdu_recovery_idempotent_under_crash",
+         "WTDU recovery crashed mid-replay and re-run applies exactly "
+         "the block versions a single uninterrupted pass applies",
+         propWtduRecoveryIdempotentUnderCrash},
+        {"serve_crash_shutdown_recovery",
+         "A crash at serve-mode shutdown leaves every stripe's WTDU "
+         "log bit-identical to replay mode at 1 shard, recovery "
+         "included",
+         propServeCrashShutdownRecovery},
     };
     return registry;
 }

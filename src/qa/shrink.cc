@@ -141,6 +141,16 @@ struct Shrinker
         }
         if (best.cfg.theta != 0)
             tryCfg([](CaseConfig &cfg) { cfg.theta = 0; });
+        while (best.cfg.crash.armed && best.cfg.crash.occurrence > 0 &&
+               budgetLeft()) {
+            const uint64_t before = best.cfg.crash.occurrence;
+            tryCfg([](CaseConfig &cfg) { cfg.crash.occurrence /= 2; });
+            if (best.cfg.crash.occurrence == before)
+                break;
+        }
+        // All-lost is the simplest in-flight outcome to reason about.
+        if (best.cfg.crash.armed && best.cfg.crash.surviveProb != 0.0)
+            tryCfg([](CaseConfig &cfg) { cfg.crash.surviveProb = 0.0; });
         return shrunk;
     }
 };

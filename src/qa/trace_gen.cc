@@ -97,6 +97,32 @@ genCaseConfig(const CaseProfile &profile)
     });
 }
 
+Gen<CrashPlan>
+genCrashPlan()
+{
+    return Gen<CrashPlan>([](Rng &rng) {
+        CrashPlan plan;
+        plan.armed = true;
+        plan.site = elementOf<CrashSite>(
+            {CrashSite::LogAppend, CrashSite::LogAppendTorn,
+             CrashSite::EagerUpdate, CrashSite::SpinUp,
+             CrashSite::RetirePre, CrashSite::RetirePost,
+             CrashSite::DataWrite, CrashSite::Shutdown,
+             CrashSite::Recovery})(rng);
+        // Low occurrences hit rare sites (retire, spin-up); the high
+        // tail reaches deep into frequent ones (data-write) and, when
+        // the site never fires that often, exercises the clean-finish
+        // differential path.
+        plan.occurrence = frequency<uint64_t>(
+            {{3.0, intIn(0, 7)}, {2.0, intIn(8, 63)},
+             {1.0, intIn(64, 255)}})(rng);
+        plan.reorderSeed = rng.next64();
+        plan.surviveProb = elementOf<double>(
+            {0.0, 0.25, 0.5, 0.75, 1.0})(rng);
+        return plan;
+    });
+}
+
 Gen<FuzzCase>
 genCase(const CaseProfile &profile)
 {
@@ -106,6 +132,9 @@ genCase(const CaseProfile &profile)
         SyntheticParams tp = genTraceParams(profile)(rng);
         tp.seed = rng.next64();
         c.trace = generateSynthetic(tp);
+        // Drawn last so arming crash plans never perturbed the trace
+        // streams of pre-existing seeds.
+        c.cfg.crash = genCrashPlan()(rng);
         return c;
     });
 }

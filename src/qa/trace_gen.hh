@@ -47,6 +47,13 @@ Gen<DiskSpec> genDiskSpec();
 Gen<CaseConfig> genCaseConfig(const CaseProfile &profile);
 
 /**
+ * A fault scenario for the crash properties: a site, which hit of it
+ * fires, and the seeded in-flight write survival draw. Always armed;
+ * properties that ignore faults simply never wire an injector.
+ */
+Gen<CrashPlan> genCrashPlan();
+
+/**
  * A whole case: config + materialized trace. The trace's generator
  * seed is drawn from the same rng, so one rng drives everything.
  */

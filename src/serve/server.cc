@@ -294,6 +294,14 @@ ServeServer::finish(Time end_time)
     return out;
 }
 
+const WtduLog *
+ServeServer::shardWtduLog(std::size_t shard) const
+{
+    PACACHE_ASSERT(shard < numShards, "stripe ", shard,
+                   " out of range (", numShards, " stripes)");
+    return stripes[shard]->system->wtduLog();
+}
+
 ServeResult
 ServeServer::replayTrace(const Trace &trace, const ServeConfig &config)
 {

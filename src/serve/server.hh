@@ -137,6 +137,14 @@ class ServeServer
 
     const ServeConfig &config() const { return cfg; }
 
+    /**
+     * Stripe @p shard's WTDU log image (null unless the write policy
+     * is WTDU). For crash-recovery tests: after a finish() that threw
+     * CrashException the image is frozen exactly as the simulated
+     * power failure left it.
+     */
+    const WtduLog *shardWtduLog(std::size_t shard) const;
+
   private:
     struct Shard;
 

@@ -1,11 +1,36 @@
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
+#include "core/fault.hh"
 #include "core/wtdu_log.hh"
 
 namespace pacache
 {
 namespace
 {
+
+/** Throws at the Nth hit of one crash site; counts every hit. */
+struct SiteInjector : FaultInjector
+{
+    CrashSite target;
+    uint64_t fireAt;
+    uint64_t hits = 0;
+
+    SiteInjector(CrashSite site, uint64_t occurrence)
+        : target(site), fireAt(occurrence)
+    {
+    }
+
+    void crashPoint(CrashSite site, DiskId disk) override
+    {
+        if (site != target)
+            return;
+        if (hits++ == fireAt)
+            throw CrashException(site, disk);
+    }
+};
 
 TEST(WtduLogTest, AppendAndRecover)
 {
@@ -95,6 +120,109 @@ TEST(WtduLogTest, CountsAppends)
     log.retire(0);
     log.append(0, 3, 3);
     EXPECT_EQ(log.appends(), 3u);
+}
+
+TEST(WtduLogTest, EmptyAndNeverRetiredRegionRecovery)
+{
+    // A region that never saw an append recovers to nothing, and one
+    // that was appended to but never retired recovers everything —
+    // the no-retire case is exactly the first generation, where every
+    // slot carries the initial stamp.
+    WtduLog log(2, 4);
+    EXPECT_TRUE(log.recover(0).empty());
+    const WtduLog::ScanStats empty = log.scan(0);
+    EXPECT_EQ(empty.live, 0u);
+    EXPECT_EQ(empty.stale, 0u);
+    EXPECT_EQ(empty.torn, 0u);
+
+    log.append(1, 10, 1);
+    log.append(1, 11, 2);
+    const auto live = log.recover(1);
+    ASSERT_EQ(live.size(), 2u);
+    EXPECT_EQ(live[0].version, 1u);
+    EXPECT_EQ(live[1].version, 2u);
+    EXPECT_EQ(log.timestamp(1), 0u);
+}
+
+TEST(WtduLogTest, RetireIncrementsStampAndStalenessFollows)
+{
+    // Each retire bumps the stamp by exactly one; entries are live
+    // iff stamped with the *current* value, across generations.
+    WtduLog log(1, 4);
+    for (uint64_t gen = 0; gen < 3; ++gen) {
+        EXPECT_EQ(log.timestamp(0), gen);
+        log.append(0, 100 + gen, gen + 1);
+        ASSERT_EQ(log.recover(0).size(), 1u);
+        EXPECT_EQ(log.recover(0)[0].stamp, gen);
+        log.retire(0);
+        EXPECT_EQ(log.timestamp(0), gen + 1);
+        EXPECT_TRUE(log.recover(0).empty());
+        // The slot physically remains, just stale.
+        EXPECT_EQ(log.scan(0).stale, 1u);
+    }
+}
+
+TEST(WtduLogTest, StampWraparound)
+{
+    // A region born at the maximum stamp wraps to 0 on retire; the
+    // pre-wrap entries (stamped UINT64_MAX) must read as stale, not
+    // as a future generation.
+    WtduLog log(1, 4, UINT64_MAX);
+    EXPECT_EQ(log.timestamp(0), UINT64_MAX);
+    log.append(0, 1, 1);
+    log.append(0, 2, 2);
+    log.retire(0);
+    EXPECT_EQ(log.timestamp(0), 0u);
+    EXPECT_TRUE(log.recover(0).empty());
+    EXPECT_EQ(log.scan(0).stale, 2u);
+    log.append(0, 3, 3);
+    const auto live = log.recover(0);
+    ASSERT_EQ(live.size(), 1u);
+    EXPECT_EQ(live[0].block, 3u);
+    EXPECT_EQ(live[0].stamp, 0u);
+    // One pre-wrap entry survives physically beyond the free pointer.
+    EXPECT_EQ(log.scan(0).stale, 1u);
+}
+
+TEST(WtduLogTest, TornAppendIsSkippedByRecovery)
+{
+    // Power fails mid-append: the slot is consumed but its checksum
+    // never completes, so scans count it torn and recovery skips it
+    // like a bad-CRC record.
+    WtduLog log(1, 4);
+    log.append(0, 1, 1);
+    SiteInjector inj(CrashSite::LogAppendTorn, 0);
+    log.setFaultInjector(&inj);
+    EXPECT_THROW(log.append(0, 2, 2), CrashException);
+    log.setFaultInjector(nullptr);
+    const WtduLog::ScanStats stats = log.scan(0);
+    EXPECT_EQ(stats.live, 1u);
+    EXPECT_EQ(stats.torn, 1u);
+    const auto live = log.recover(0);
+    ASSERT_EQ(live.size(), 1u);
+    EXPECT_EQ(live[0].block, 1u);
+}
+
+TEST(WtduLogTest, RecoverAllReplaysInDiskOrderAndRetires)
+{
+    WtduLog log(3, 4);
+    log.append(2, 30, 3);
+    log.append(0, 10, 1);
+    log.append(0, 11, 2);
+    std::vector<std::pair<DiskId, uint64_t>> replayed;
+    log.recoverAll([&](DiskId d, const WtduLog::Entry &e) {
+        replayed.emplace_back(d, e.version);
+    });
+    ASSERT_EQ(replayed.size(), 3u);
+    EXPECT_EQ(replayed[0], (std::pair<DiskId, uint64_t>{0, 1}));
+    EXPECT_EQ(replayed[1], (std::pair<DiskId, uint64_t>{0, 2}));
+    EXPECT_EQ(replayed[2], (std::pair<DiskId, uint64_t>{2, 3}));
+    // Every region retired: a second pass finds nothing.
+    for (DiskId d = 0; d < 3; ++d)
+        EXPECT_TRUE(log.recover(d).empty());
+    std::size_t second = 0;
+    log.recoverAll([&](DiskId, const WtduLog::Entry &) { ++second; });
+    EXPECT_EQ(second, 0u);
 }
 
 TEST(WtduLogTest, OutOfRangeRegionPanics)

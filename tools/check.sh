@@ -10,7 +10,9 @@
 # sanitizer builds exclude fuzz-smoke (-LE fuzz-smoke): the campaign
 # re-runs whole experiments hundreds of times, which is wasted time
 # under 10-20x sanitizer overhead; instead each sanitizer gets a
-# small dedicated campaign sized for it.
+# small dedicated campaign sized for it. The crash tier (ctest -L
+# crash, plus the timed crash campaign below) covers the WTDU
+# power-failure fault-injection properties.
 #
 # Usage: tools/check.sh            (from the repository root)
 #        JOBS=4 tools/check.sh     (limit build parallelism)
@@ -38,6 +40,25 @@ step "fuzz campaign smoke (Release)"
 "$root/build-release/tools/pacache_fuzz" \
     --seconds 10 --seed 1 --jobs "$jobs" \
     --corpus-out "$root/build-release/fuzz_corpus"
+
+step "crash-recovery campaign (Release)"
+# 2500 small cases x 4 crash properties = 10000 fault scenarios
+# through the WTDU fault-injection layer (DESIGN.md 5j). The case
+# stream is --jobs-invariant by construction; the cmp proves it on
+# every run (wall-clock line stripped).
+crash_dir=$(mktemp -d)
+"$root/build-release/tools/pacache_fuzz" \
+    --crash --cases 2500 --seed 1 --jobs "$jobs" \
+    --corpus-out "$root/build-release/crash_corpus" \
+    | grep -v '^campaign:' > "$crash_dir/crash_jN.txt"
+"$root/build-release/tools/pacache_fuzz" \
+    --crash --cases 2500 --seed 1 --jobs 1 \
+    | grep -v '^campaign:' > "$crash_dir/crash_j1.txt"
+cmp "$crash_dir/crash_j1.txt" "$crash_dir/crash_jN.txt"
+rm -rf "$crash_dir"
+
+step "crash corpus replay (Release, ctest -L crash)"
+ctest --test-dir "$root/build-release" --output-on-failure -L crash
 
 step "oracle fast-path benchmark gate"
 # micro_opg replays the fig6-scale OLTP workload through the fast and
@@ -171,6 +192,12 @@ step "ASan+UBSan mini fuzz campaign"
 # A handful of cases is enough to drag generated workloads through
 # every experiment layer under ASan/UBSan.
 "$root/build-asan/tools/pacache_fuzz" --cases 8 --seed 2
+
+step "ASan+UBSan mini crash campaign"
+# The crash properties throw and unwind through the whole write path
+# mid-flight — exactly where lifetime bugs would hide; ~250 cases
+# drag every crash site through ASan/UBSan.
+"$root/build-asan/tools/pacache_fuzz" --crash --cases 250 --seed 5
 
 step "observability smoke run (sanitized binary)"
 obs_dir=$(mktemp -d)

@@ -26,6 +26,13 @@ REQUIRED_KEYS = {
     "pa_epoch", "spec",
 }
 OPTIONAL_KEYS = {"pre_fix_rev", "description"}
+# Crash-plan keys are written only when a case's fault plan is armed,
+# and then all four must appear together (see qa/corpus.cc).
+CRASH_KEYS = {"crash_site", "crash_occurrence", "crash_reorder_seed",
+              "crash_survive_prob"}
+CRASH_SITES = {"log-append", "log-append-torn", "eager-update",
+               "spin-up", "retire-pre", "retire-post", "data-write",
+               "shutdown", "recovery"}
 POLICIES = {"lru", "fifo", "clock", "arc", "mq", "lirs", "belady",
             "opg", "pa-lru", "pa-arc", "pa-lirs", "infinite"}
 DPM_KINDS = {"oracle", "practical"}
@@ -94,9 +101,30 @@ def lint_file(path: pathlib.Path) -> list[str]:
     missing = REQUIRED_KEYS - keys.keys()
     if missing:
         errors.append(f"missing keys: {', '.join(sorted(missing))}")
-    unknown = keys.keys() - REQUIRED_KEYS - OPTIONAL_KEYS
+    unknown = keys.keys() - REQUIRED_KEYS - OPTIONAL_KEYS - CRASH_KEYS
     if unknown:
         errors.append(f"unknown keys: {', '.join(sorted(unknown))}")
+    present_crash = CRASH_KEYS & keys.keys()
+    if present_crash and present_crash != CRASH_KEYS:
+        errors.append("partial crash plan: missing "
+                      f"{', '.join(sorted(CRASH_KEYS - present_crash))}")
+    if "crash_site" in keys and keys["crash_site"] not in CRASH_SITES:
+        errors.append(f"bad crash_site '{keys['crash_site']}'")
+    for key in ("crash_occurrence", "crash_reorder_seed"):
+        if key in keys:
+            try:
+                if int(keys[key]) < 0:
+                    errors.append(f"negative {key}")
+            except ValueError:
+                errors.append(f"non-integer {key} '{keys[key]}'")
+    if "crash_survive_prob" in keys:
+        try:
+            prob = float(keys["crash_survive_prob"])
+            if not 0.0 <= prob <= 1.0:
+                errors.append("crash_survive_prob outside [0, 1]")
+        except ValueError:
+            errors.append("non-numeric crash_survive_prob "
+                          f"'{keys['crash_survive_prob']}'")
 
     def check_enum(key, allowed):
         if key in keys and keys[key] not in allowed:

@@ -44,6 +44,10 @@ const char kUsage[] = R"(pacache_fuzz — property-based differential fuzzer
   --replay FILE     re-run a corpus reproducer instead of a campaign
   --list             list registered properties
   --max-requests N   cap generated trace length (default 1200)
+  --crash            crash-recovery preset: run the WTDU/serve crash
+                     properties on small cases (50-400 requests, <=3
+                     disks) so each case replays many fault scenarios
+                     per second; combine with --property to narrow
   --help             this text
   --version          build information
 
@@ -100,7 +104,7 @@ try {
     const cli::Args args(argc, argv);
     const std::set<std::string> known{
         "seconds", "cases", "seed", "property", "jobs", "corpus-out",
-        "no-shrink", "replay", "list", "max-requests"};
+        "no-shrink", "replay", "list", "max-requests", "crash"};
     if (cli::handleStandardFlags(args, "pacache_fuzz", kUsage, known))
         return 0;
 
@@ -120,6 +124,19 @@ try {
     opts.jobs = static_cast<unsigned>(args.getUint("jobs", 1));
     opts.corpusDir = args.get("corpus-out", "");
     opts.shrink = !args.has("no-shrink");
+    if (args.has("crash")) {
+        // Small cases: a crash scenario's interesting structure is the
+        // fault site and timing, not trace length, and shorter traces
+        // let one budget cover far more fault scenarios.
+        opts.profile.minRequests = 50;
+        opts.profile.maxRequests = 400;
+        opts.profile.maxCacheBlocks = 64;
+        opts.profile.maxDisks = 3;
+        opts.properties = selectProperties(
+            "wtdu_crash_durability,wtdu_crash_ledger,"
+            "wtdu_recovery_idempotent_under_crash,"
+            "serve_crash_shutdown_recovery");
+    }
     opts.profile.maxRequests =
         args.getUint("max-requests", opts.profile.maxRequests);
     if (args.has("property"))
